@@ -1,0 +1,87 @@
+// Ablation (Theorem 7): ghost aborts.
+//
+// Repeats the paper's §5.5 schedule on fresh key triples:
+//   T3: R(X) C;  T2: R(Y) W(X) A;  T1: W(Y) → ?
+// T1's only conflict is with the already-aborted T2 — a ghost abort.
+// MVTL-TO (≙ MVTO+) aborts T1 every time because aborted transactions
+// leave their read locks (read timestamps) behind; MVTL-Ghostbuster
+// garbage collects on abort and never loses T1.
+#include <cstdio>
+
+#include "core/mvtl_engine.hpp"
+#include "core/policy.hpp"
+#include "txbench/report.hpp"
+
+namespace {
+
+using namespace mvtl;
+
+struct GhostStats {
+  int t2_aborts = 0;  // the real conflict (expected in both)
+  int t1_aborts = 0;  // the ghost abort (only without GC)
+};
+
+GhostStats run_schedules(TransactionalStore& store, ManualClock& clock,
+                         int rounds) {
+  GhostStats stats;
+  for (int i = 0; i < rounds; ++i) {
+    const Key x = "X" + std::to_string(i);
+    const Key y = "Y" + std::to_string(i);
+    const std::uint64_t base = 100 + static_cast<std::uint64_t>(i) * 100;
+
+    clock.set(base + 10);
+    auto t1 = store.begin(TxOptions{.process = 1});
+    clock.set(base + 20);
+    auto t2 = store.begin(TxOptions{.process = 2});
+    clock.set(base + 30);
+    auto t3 = store.begin(TxOptions{.process = 3});
+
+    (void)store.read(*t3, x);
+    (void)store.commit(*t3);
+
+    (void)store.read(*t2, y);
+    (void)store.write(*t2, x, "x2");
+    if (!store.commit(*t2).committed()) ++stats.t2_aborts;
+
+    (void)store.write(*t1, y, "y1");
+    if (!store.commit(*t1).committed()) ++stats.t1_aborts;
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using mvtl::Table;
+  constexpr int kRounds = 500;
+
+  Table table({"algorithm", "T2 aborts (real conflict)",
+               "T1 aborts (ghost)"});
+  {
+    auto clock = std::make_shared<ManualClock>(1);
+    MvtlEngineConfig config;
+    config.clock = clock;
+    MvtlEngine engine(make_to_policy(), config);
+    const GhostStats s = run_schedules(engine, *clock, kRounds);
+    table.add_row({"MVTL-TO (= MVTO+)", std::to_string(s.t2_aborts),
+                   std::to_string(s.t1_aborts)});
+  }
+  {
+    auto clock = std::make_shared<ManualClock>(1);
+    MvtlEngineConfig config;
+    config.clock = clock;
+    MvtlEngine engine(make_ghostbuster_policy(), config);
+    const GhostStats s = run_schedules(engine, *clock, kRounds);
+    table.add_row({"MVTL-Ghostbuster", std::to_string(s.t2_aborts),
+                   std::to_string(s.t1_aborts)});
+  }
+
+  std::printf("=== Ghost aborts over %d instances of the S5.5 schedule ===\n",
+              kRounds);
+  table.print();
+  std::printf(
+      "\nShape check: both algorithms abort T2 (a genuine conflict with "
+      "T3); only MVTL-TO aborts T1, whose sole conflict is with a "
+      "transaction that had already aborted (Theorem 7).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation (Theorem 2): MVTL-Pref commits strictly more workloads than
+// MVTO+ when the alternatives A(t) lie below the preferential timestamp.
+//
+// Part 1 replays many instances of the Theorem 2(b) workload
+//   W1(Y) C1  R2(X) R3(Y) C3  W2(Y) C2   (t1 < t2 < t3, max A(t2) < t1)
+// Part 2 runs a concurrent mixed workload and compares commit rates.
+#include <cstdio>
+
+#include "core/mvtl_engine.hpp"
+#include "core/policy.hpp"
+#include "txbench/driver.hpp"
+#include "txbench/report.hpp"
+
+namespace {
+
+using namespace mvtl;
+
+int run_theorem2_workloads(TransactionalStore& store, ManualClock& clock,
+                           int rounds) {
+  int t2_commits = 0;
+  for (int i = 0; i < rounds; ++i) {
+    const Key x = "X" + std::to_string(i);
+    const Key y = "Y" + std::to_string(i);
+    const std::uint64_t base = 1'000 + static_cast<std::uint64_t>(i) * 1'000;
+
+    clock.set(base + 100);  // t1
+    auto t1 = store.begin(TxOptions{.process = 1});
+    (void)store.write(*t1, y, "y1");
+    (void)store.commit(*t1);
+
+    clock.set(base + 200);  // t2
+    auto t2 = store.begin(TxOptions{.process = 2});
+    (void)store.read(*t2, x);
+
+    clock.set(base + 300);  // t3
+    auto t3 = store.begin(TxOptions{.process = 3});
+    (void)store.read(*t3, y);
+    (void)store.commit(*t3);
+
+    (void)store.write(*t2, y, "y2");
+    if (store.commit(*t2).committed()) ++t2_commits;
+  }
+  return t2_commits;
+}
+
+double concurrent_commit_rate(std::shared_ptr<MvtlPolicy> policy) {
+  MvtlEngineConfig config;
+  config.clock = std::make_shared<LogicalClock>(1'000'000);
+  MvtlEngine engine(std::move(policy), config);
+  DriverConfig driver;
+  driver.clients = 8;
+  driver.workload.key_space = 96;
+  driver.workload.ops_per_tx = 8;
+  driver.workload.write_fraction = 0.3;
+  driver.workload.seed = 5;
+  const DriverResult r = run_fixed_count(engine, driver, 250);
+  return r.commit_rate;
+}
+
+}  // namespace
+
+int main() {
+  using mvtl::Table;
+  constexpr int kRounds = 300;
+
+  Table t2_table({"algorithm", "T2 commits", "out of"});
+  {
+    auto clock = std::make_shared<ManualClock>(1);
+    MvtlEngineConfig config;
+    config.clock = clock;
+    MvtlEngine engine(make_to_policy(), config);
+    t2_table.add_row({"MVTL-TO (= MVTO+)",
+                      std::to_string(run_theorem2_workloads(engine, *clock,
+                                                            kRounds)),
+                      std::to_string(kRounds)});
+  }
+  {
+    auto clock = std::make_shared<ManualClock>(1);
+    MvtlEngineConfig config;
+    config.clock = clock;
+    MvtlEngine engine(make_pref_policy({-150}), config);
+    t2_table.add_row({"MVTL-Pref A(t)={t-150}",
+                      std::to_string(run_theorem2_workloads(engine, *clock,
+                                                            kRounds)),
+                      std::to_string(kRounds)});
+  }
+  std::printf("=== Theorem 2(b) workload: does T2 commit? ===\n");
+  t2_table.print();
+
+  std::printf("\n=== Concurrent mixed workload: commit rate ===\n");
+  Table rate_table({"algorithm", "commit rate"});
+  rate_table.add_row(
+      {"MVTL-TO", fmt_double(concurrent_commit_rate(make_to_policy()), 3)});
+  rate_table.add_row(
+      {"MVTL-Pref", fmt_double(concurrent_commit_rate(
+                        make_pref_policy({-64, -128, -256})),
+                    3)});
+  rate_table.print();
+  std::printf(
+      "\nShape check: MVTL-Pref commits every Theorem-2 workload that "
+      "MVTL-TO aborts. Theorem 2(a)'s domination is per-workload (same "
+      "operation/timestamp sequences); under a live concurrent run the "
+      "schedules diverge, so the aggregate commit rates are merely "
+      "comparable.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation (Theorem 3): the prioritizer. Critical transactions are never
+// aborted by normal ones; normal transactions behave like MVTO+.
+//
+// A mixed workload marks a fraction of transactions critical and counts
+// abort rates per class under MVTL-Prio, against MVTL-TO (which has no
+// priority mechanism — "critical" transactions abort like any other).
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "core/mvtl_engine.hpp"
+#include "core/policy.hpp"
+#include "txbench/driver.hpp"
+#include "txbench/report.hpp"
+
+namespace {
+
+using namespace mvtl;
+
+struct ClassStats {
+  std::atomic<std::uint64_t> critical_commits{0};
+  std::atomic<std::uint64_t> critical_aborts{0};
+  std::atomic<std::uint64_t> normal_commits{0};
+  std::atomic<std::uint64_t> normal_aborts{0};
+};
+
+void run_mixed(TransactionalStore& store, ClassStats& stats) {
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 8; ++c) {
+    threads.emplace_back([&, c] {
+      WorkloadConfig wl;
+      wl.key_space = 64;
+      wl.ops_per_tx = 6;
+      wl.write_fraction = 0.4;
+      wl.seed = 300 + static_cast<std::uint64_t>(c);
+      WorkloadGenerator gen(wl);
+      Rng rng(777 + static_cast<std::uint64_t>(c));
+      const auto process = static_cast<ProcessId>(c + 1);
+      for (int i = 0; i < 200; ++i) {
+        const bool critical = rng.next_bool(0.1);
+        const CommitResult r =
+            execute_tx(store, gen.next_tx(), process, critical);
+        if (critical) {
+          (r.committed() ? stats.critical_commits : stats.critical_aborts)
+              .fetch_add(1);
+        } else {
+          (r.committed() ? stats.normal_commits : stats.normal_aborts)
+              .fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+double pct(std::uint64_t aborts, std::uint64_t commits) {
+  const auto total = aborts + commits;
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(aborts) /
+                                static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  using mvtl::Table;
+
+  Table table({"algorithm", "critical abort%", "normal abort%"});
+  for (const bool use_prio : {true, false}) {
+    MvtlEngineConfig config;
+    config.clock = std::make_shared<LogicalClock>(1'000'000);
+    config.lock_timeout = std::chrono::microseconds{250'000};
+    MvtlEngine engine(use_prio ? make_prio_policy() : make_to_policy(),
+                      config);
+    ClassStats stats;
+    run_mixed(engine, stats);
+    table.add_row({use_prio ? "MVTL-Prio" : "MVTL-TO (no priorities)",
+                   fmt_double(pct(stats.critical_aborts, stats.critical_commits), 2),
+                   fmt_double(pct(stats.normal_aborts, stats.normal_commits), 2)});
+  }
+
+  std::printf("=== Priority ablation: abort rate by transaction class ===\n");
+  table.print();
+  std::printf(
+      "\nShape check: MVTL-Prio cuts the critical class's abort rate well "
+      "below the normal class's (Theorem 3: normals can never abort a "
+      "critical; residual critical aborts are lock-wait timeouts under "
+      "sustained reader churn), while MVTL-TO treats both classes alike.\n");
+  return 0;
+}

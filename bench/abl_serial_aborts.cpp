@@ -1,0 +1,73 @@
+// Ablation (Theorem 4): serial aborts under unsynchronized clocks.
+//
+// A strictly serial read-modify-write chain is executed by processes
+// whose clocks are skewed by up to `skew` ticks. MVTO+-style timestamp
+// ordering (MVTL-TO) aborts whenever a lagging process draws a timestamp
+// below a committed read; MVTL-ε-clock with ε ≥ skew never aborts
+// (Theorem 4). The sweep shows the abort rate as skew grows past ε.
+#include <cstdio>
+
+#include "core/mvtl_engine.hpp"
+#include "core/policy.hpp"
+#include "txbench/report.hpp"
+
+namespace {
+
+using namespace mvtl;
+
+constexpr std::uint64_t kEpsilon = 256;
+constexpr int kProcesses = 16;
+constexpr int kChainLength = 400;
+
+std::shared_ptr<ClockSource> skewed_clock(std::int64_t skew) {
+  auto base = std::make_shared<LogicalClock>(1'000'000);
+  std::vector<std::int64_t> offsets;
+  for (int p = 0; p < kProcesses; ++p) {
+    offsets.push_back(p % 2 == 0 ? 0 : -skew);
+  }
+  return std::make_shared<SkewedClock>(base, std::move(offsets));
+}
+
+/// Runs the serial chain; returns the fraction of aborted transactions.
+double serial_abort_rate(TransactionalStore& store) {
+  int aborted = 0;
+  for (int i = 0; i < kChainLength; ++i) {
+    TxOptions options;
+    options.process = static_cast<ProcessId>(i % kProcesses);
+    auto tx = store.begin(options);
+    bool ok = store.read(*tx, "chain").ok;
+    ok = ok && store.write(*tx, "chain", std::to_string(i));
+    ok = ok && store.commit(*tx).committed();
+    if (!ok) ++aborted;
+  }
+  return static_cast<double>(aborted) / kChainLength;
+}
+
+}  // namespace
+
+int main() {
+  using mvtl::Table;
+
+  std::printf("=== Serial aborts vs clock skew (epsilon = %llu ticks) ===\n",
+              static_cast<unsigned long long>(kEpsilon));
+  Table table({"skew", "MVTL-TO abort%", "MVTL-eps-clock abort%"});
+  for (const std::int64_t skew : {0, 32, 128, 256, 512, 1024}) {
+    MvtlEngineConfig to_config;
+    to_config.clock = skewed_clock(skew);
+    MvtlEngine to_engine(make_to_policy(), to_config);
+
+    MvtlEngineConfig eps_config;
+    eps_config.clock = skewed_clock(skew);
+    MvtlEngine eps_engine(make_eps_clock_policy(kEpsilon), eps_config);
+
+    table.add_row({std::to_string(skew),
+                   fmt_double(serial_abort_rate(to_engine) * 100, 1),
+                   fmt_double(serial_abort_rate(eps_engine) * 100, 1)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: MVTL-TO aborts as soon as skew > 0; the eps-clock "
+      "policy holds 0%% up to skew <= epsilon (Theorem 4) and only starts "
+      "aborting when the skew exceeds epsilon.\n");
+  return 0;
+}

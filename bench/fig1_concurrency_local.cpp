@@ -1,0 +1,26 @@
+// Figure 1: effect of concurrency level on performance, local test bed.
+//
+// Paper setup: 3 servers on big LAN machines; transactions of 20
+// operations, 25% writes, 10K keys; clients swept up to 600. Expected
+// shape: MVTIL-early/late sustain the highest throughput and a commit
+// rate near 1.0 as concurrency grows; MVTO+'s commit rate decays with
+// conflicts; 2PL pays lock waiting.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mvtl;
+  using namespace mvtl::bench;
+
+  const std::vector<std::size_t> clients = {30, 100, 200, 400, 600};
+  run_sweep("Figure 1: concurrency, local test bed", "clients", clients,
+            [](std::size_t c) {
+              RunSpec spec;
+              spec.bed = TestBed::local(3);
+              spec.clients = c;
+              spec.key_space = 10'000;
+              spec.ops_per_tx = 20;
+              spec.write_fraction = 0.25;
+              return spec;
+            });
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 2: effect of concurrency level on performance, cloud test bed.
+//
+// Paper setup: 8 t2.micro servers (1 vCPU), jittery network, 50K keys,
+// 20 ops/tx, 25% writes, clients swept to 400. Expected shape: same
+// ordering as Figure 1 but with a larger MVTIL advantage (≈2×) because
+// resources are scarce — aborted/blocked work is costlier.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mvtl;
+  using namespace mvtl::bench;
+
+  const std::vector<std::size_t> clients = {30, 100, 200, 400, 600};
+  run_sweep("Figure 2: concurrency, cloud test bed", "clients", clients,
+            [](std::size_t c) {
+              RunSpec spec;
+              spec.bed = TestBed::cloud(8);
+              spec.clients = c;
+              spec.key_space = 50'000;
+              spec.ops_per_tx = 20;
+              spec.write_fraction = 0.25;
+              return spec;
+            });
+  return 0;
+}

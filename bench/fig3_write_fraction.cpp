@@ -1,0 +1,30 @@
+// Figure 3: effect of the fraction of write operations.
+//
+// Paper setup: local test bed, 90 clients, 20 ops/tx, 10K keys; write
+// fraction swept 0..100%. Expected shape: all protocols agree on
+// read-only workloads; at 100% writes the multiversion protocols commit
+// nearly everything (blind writes never conflict) while 2PL still pays
+// exclusive-lock waits; in the balanced middle MVTO+'s abort rate peaks
+// and MVTIL holds the advantage.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mvtl;
+  using namespace mvtl::bench;
+
+  const std::vector<int> write_pct = {0, 25, 50, 75, 100};
+  run_sweep(
+      "Figure 3: write fraction, local test bed", "write%", write_pct,
+      [](int pct) {
+        RunSpec spec;
+        spec.bed = TestBed::local(3);
+        spec.clients = 90;
+        spec.key_space = 10'000;
+        spec.ops_per_tx = 20;
+        spec.write_fraction = pct / 100.0;
+        return spec;
+      },
+      {DistProtocol::kMvtoPlus, DistProtocol::kTwoPl,
+       DistProtocol::kMvtilEarly});
+  return 0;
+}

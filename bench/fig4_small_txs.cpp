@@ -1,0 +1,25 @@
+// Figure 4: small transactions (8 operations, 50% writes).
+//
+// Paper setup: local test bed, 10K keys, clients swept. Expected shape:
+// at low concurrency all protocols are close — this is the one setting
+// where 2PL can edge out MVTIL (paper: ≈5% faster) — while at higher
+// concurrency MVTIL pulls ahead again.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mvtl;
+  using namespace mvtl::bench;
+
+  const std::vector<std::size_t> clients = {8, 60, 150, 300, 600};
+  run_sweep("Figure 4: small transactions, local test bed", "clients",
+            clients, [](std::size_t c) {
+              RunSpec spec;
+              spec.bed = TestBed::local(3);
+              spec.clients = c;
+              spec.key_space = 10'000;
+              spec.ops_per_tx = 8;
+              spec.write_fraction = 0.5;
+              return spec;
+            });
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 5: effect of the number of servers, cloud test bed.
+//
+// Paper setup: 400 clients, 20 ops/tx, 100K keys, servers swept 1..20,
+// at 25% writes (panel a) and 50% writes (panel b). Expected shape:
+// every protocol scales with servers, MVTIL scales best — higher commit
+// rate than MVTO+ and less lock waiting than 2PL, especially at 50%.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mvtl;
+  using namespace mvtl::bench;
+
+  for (const double writes : {0.25, 0.50}) {
+    const int reads_pct = static_cast<int>((1.0 - writes) * 100);
+    const std::vector<std::size_t> servers = {1, 2, 4, 8, 16};
+    char title[96];
+    std::snprintf(title, sizeof(title), "Figure 5: server scaling, %d%% reads",
+                  reads_pct);
+    run_sweep(title, "servers", servers, [writes](std::size_t n) {
+      RunSpec spec;
+      spec.bed = TestBed::cloud(n);
+      spec.clients = 400;
+      spec.key_space = 100'000;
+      spec.ops_per_tx = 20;
+      spec.write_fraction = writes;
+      // Few servers under 400 clients = deep queues: transactions take
+      // seconds, so the measurement window must be wide enough to catch
+      // completions at all.
+      spec.warmup = std::chrono::milliseconds{400};
+      spec.measure = std::chrono::milliseconds{900};
+      return spec;
+    });
+  }
+  return 0;
+}

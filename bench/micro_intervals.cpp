@@ -1,0 +1,91 @@
+// Microbenchmark: interval-set algebra — the inner loop of the lock
+// table (interval compression, §6) and of the client-side commit
+// intersection (Algorithm 1 line 13).
+#include <benchmark/benchmark.h>
+
+#include "common/interval_set.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace mvtl;
+
+Interval iv(std::uint64_t lo, std::uint64_t hi) {
+  return Interval{Timestamp{lo}, Timestamp{hi}};
+}
+
+IntervalSet make_set(std::size_t intervals, std::uint64_t stride,
+                     std::uint64_t width, std::uint64_t offset = 0) {
+  IntervalSet s;
+  for (std::size_t i = 0; i < intervals; ++i) {
+    const std::uint64_t lo = offset + i * stride;
+    s.insert(iv(lo, lo + width));
+  }
+  return s;
+}
+
+void BM_InsertCoalescing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  for (auto _ : state) {
+    IntervalSet s;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t lo = rng.next_below(100'000);
+      s.insert(iv(lo, lo + rng.next_below(64)));
+    }
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_InsertCoalescing)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_Intersect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const IntervalSet a = make_set(n, 100, 60);
+  const IntervalSet b = make_set(n, 100, 60, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Intersect)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_Subtract(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const IntervalSet base = make_set(n, 100, 90);
+  for (auto _ : state) {
+    IntervalSet s = base;
+    s.subtract(iv(n * 25, n * 75));
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Subtract)->Arg(64)->Arg(1024);
+
+void BM_ContainsPoint(benchmark::State& state) {
+  const IntervalSet s = make_set(1024, 100, 60);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.contains(Timestamp{rng.next_below(110'000)}));
+  }
+}
+BENCHMARK(BM_ContainsPoint);
+
+void BM_CommitIntersection(benchmark::State& state) {
+  // Models Algorithm 1 line 13: intersect ~20 per-key holding sets.
+  const auto keys = static_cast<std::size_t>(state.range(0));
+  std::vector<IntervalSet> holdings;
+  for (std::size_t k = 0; k < keys; ++k) {
+    holdings.push_back(make_set(3, 1'000, 900, k * 17));
+  }
+  for (auto _ : state) {
+    IntervalSet t = IntervalSet::all();
+    for (const IntervalSet& h : holdings) t = t.intersect(h);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(keys));
+}
+BENCHMARK(BM_CommitIntersection)->Arg(8)->Arg(20)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

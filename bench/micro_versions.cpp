@@ -1,0 +1,58 @@
+// Microbenchmark: per-key version chains — resolution and purge costs.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "storage/version_chain.hpp"
+
+namespace {
+
+using namespace mvtl;
+
+VersionChain make_chain(std::size_t versions) {
+  VersionChain chain;
+  for (std::size_t i = 0; i < versions; ++i) {
+    chain.install(Timestamp{10 + i * 10}, "value", i + 1);
+  }
+  return chain;
+}
+
+void BM_LatestBefore(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const VersionChain chain = make_chain(n);
+  Rng rng(3);
+  for (auto _ : state) {
+    const Timestamp bound{rng.next_below(n * 10 + 20)};
+    benchmark::DoNotOptimize(chain.latest_before(bound));
+  }
+}
+BENCHMARK(BM_LatestBefore)->Arg(4)->Arg(64)->Arg(4096);
+
+void BM_InstallAppend(benchmark::State& state) {
+  // The common case: versions arrive in timestamp order.
+  for (auto _ : state) {
+    state.PauseTiming();
+    VersionChain chain;
+    state.ResumeTiming();
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      chain.install(Timestamp{10 + i * 10}, "v", i + 1);
+    }
+    benchmark::DoNotOptimize(chain);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_InstallAppend);
+
+void BM_PurgeBelow(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    VersionChain chain = make_chain(n);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(chain.purge_below(Timestamp{n * 10}));
+  }
+}
+BENCHMARK(BM_PurgeBelow)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

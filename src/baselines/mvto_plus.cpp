@@ -1,0 +1,284 @@
+#include "baselines/mvto_plus.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvtl {
+
+class MvtoPlusEngine::MvtoTx final : public TransactionalStore::Tx {
+ public:
+  MvtoTx(TxId id, Timestamp ts) : id_(id), ts_(ts) {}
+
+  TxId id() const override { return id_; }
+  bool is_active() const override { return active_; }
+
+  Timestamp ts() const { return ts_; }
+  void finish() { active_ = false; }
+
+  std::map<Key, Value> writeset;
+
+ private:
+  TxId id_;
+  Timestamp ts_;
+  bool active_ = true;
+};
+
+MvtoPlusEngine::MvtoPlusEngine(MvtoConfig config) : config_(std::move(config)) {
+  if (!config_.clock) {
+    throw std::invalid_argument("MvtoConfig.clock must be set");
+  }
+  const std::size_t n = config_.shards == 0 ? 1 : config_.shards;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+MvtoPlusEngine::~MvtoPlusEngine() = default;
+
+MvtoPlusEngine::KeyStateMvto& MvtoPlusEngine::key_state(const Key& key) {
+  Shard& shard = *shards_[std::hash<Key>{}(key) % shards_.size()];
+  {
+    std::shared_lock guard(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) return *it->second;
+  }
+  std::unique_lock guard(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(key, nullptr);
+  if (inserted) it->second = std::make_unique<KeyStateMvto>();
+  return *it->second;
+}
+
+TransactionalStore::TxPtr MvtoPlusEngine::begin(const TxOptions& options) {
+  const TxId id = next_tx_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<MvtoTx>(id,
+                                  config_.clock->timestamp(options.process));
+}
+
+ReadResult MvtoPlusEngine::read(Tx& tx_base, const Key& key) {
+  auto& tx = static_cast<MvtoTx&>(tx_base);
+  ReadResult out;
+  if (!tx.is_active()) return out;
+
+  if (auto it = tx.writeset.find(key); it != tx.writeset.end()) {
+    out.ok = true;
+    out.value = it->second;
+    out.version_ts = Timestamp::min();
+    return out;
+  }
+
+  KeyStateMvto& ks = key_state(key);
+  std::unique_lock guard(ks.mu);
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.pending_wait_timeout;
+  for (;;) {
+    if (tx.ts() <= ks.purge_floor) {
+      guard.unlock();
+      finish(tx, false, AbortReason::kVersionPurged);
+      return out;
+    }
+    // Latest committed version below our timestamp, and whether any
+    // *pending* version sits between it and us (if so: wait — reading
+    // around it would be wrong whichever way it resolves).
+    VersionRec* latest_committed = nullptr;
+    bool pending_between = false;
+    for (auto& v : ks.versions) {
+      if (v.ts >= tx.ts()) break;
+      if (v.committed) {
+        latest_committed = &v;
+        pending_between = false;
+      } else {
+        pending_between = true;
+      }
+    }
+    if (!pending_between) {
+      if (latest_committed != nullptr) {
+        latest_committed->read_ts = max(latest_committed->read_ts, tx.ts());
+        out.ok = true;
+        out.value = latest_committed->value;
+        out.version_ts = latest_committed->ts;
+        if (config_.recorder != nullptr) {
+          config_.recorder->record_read(tx.id(), key, latest_committed->ts,
+                                        latest_committed->writer);
+        }
+      } else {
+        ks.bottom_read_ts = max(ks.bottom_read_ts, tx.ts());
+        out.ok = true;
+        out.value = std::nullopt;
+        out.version_ts = Timestamp::min();
+        if (config_.recorder != nullptr) {
+          config_.recorder->record_read(tx.id(), key, Timestamp::min(),
+                                        kInvalidTxId);
+        }
+      }
+      return out;
+    }
+    if (ks.cv.wait_until(guard, deadline) == std::cv_status::timeout) {
+      guard.unlock();
+      finish(tx, false, AbortReason::kLockTimeout);
+      return out;
+    }
+  }
+}
+
+bool MvtoPlusEngine::write(Tx& tx_base, const Key& key, Value value) {
+  auto& tx = static_cast<MvtoTx&>(tx_base);
+  if (!tx.is_active()) return false;
+  tx.writeset[key] = std::move(value);
+  return true;
+}
+
+CommitResult MvtoPlusEngine::commit(Tx& tx_base) {
+  auto& tx = static_cast<MvtoTx&>(tx_base);
+  CommitResult result;
+  if (!tx.is_active()) return result;
+
+  // Phase 1: validate the read-timestamp rule per key and stage pending
+  // versions. Readers below our timestamp will wait on them.
+  std::vector<KeyStateMvto*> staged;
+  staged.reserve(tx.writeset.size());
+  bool conflict = false;
+  for (const auto& [key, value] : tx.writeset) {
+    KeyStateMvto& ks = key_state(key);
+    std::lock_guard guard(ks.mu);
+    if (tx.ts() <= ks.purge_floor) {
+      conflict = true;
+      break;
+    }
+    bool key_conflict = false;
+    bool has_version_below = false;
+    for (const auto& v : ks.versions) {
+      if (v.ts < tx.ts()) {
+        has_version_below = true;
+        if (v.read_ts > tx.ts()) {
+          key_conflict = true;  // someone read an older version past us
+          break;
+        }
+      }
+    }
+    if (!has_version_below && ks.bottom_read_ts > tx.ts()) {
+      key_conflict = true;  // ⊥ was read past our timestamp
+    }
+    if (key_conflict) {
+      conflict = true;
+      break;
+    }
+    VersionRec rec;
+    rec.ts = tx.ts();
+    rec.value = value;
+    rec.writer = tx.id();
+    rec.committed = false;
+    auto it = std::lower_bound(
+        ks.versions.begin(), ks.versions.end(), rec.ts,
+        [](const VersionRec& v, Timestamp t) { return v.ts < t; });
+    assert(it == ks.versions.end() || it->ts != rec.ts);
+    ks.versions.insert(it, std::move(rec));
+    staged.push_back(&ks);
+  }
+
+  if (conflict) {
+    // Roll the staged pending versions back and abort. Read timestamps
+    // this transaction set on other keys stay — the MVTO+ behaviour that
+    // causes ghost aborts.
+    for (KeyStateMvto* ks : staged) {
+      std::lock_guard guard(ks->mu);
+      auto it = std::find_if(ks->versions.begin(), ks->versions.end(),
+                             [&](const VersionRec& v) {
+                               return v.ts == tx.ts() && !v.committed;
+                             });
+      if (it != ks->versions.end()) ks->versions.erase(it);
+      ks->cv.notify_all();
+    }
+    finish(tx, false, AbortReason::kValidationConflict);
+    return result;
+  }
+
+  // Phase 2: expose the staged versions.
+  for (KeyStateMvto* ks : staged) {
+    std::lock_guard guard(ks->mu);
+    auto it = std::find_if(
+        ks->versions.begin(), ks->versions.end(),
+        [&](const VersionRec& v) { return v.ts == tx.ts(); });
+    assert(it != ks->versions.end());
+    it->committed = true;
+    ks->cv.notify_all();
+  }
+  if (config_.recorder != nullptr) {
+    for (const auto& [key, value] : tx.writeset) {
+      (void)value;
+      config_.recorder->record_write(tx.id(), key);
+    }
+  }
+  finish(tx, true, AbortReason::kNone);
+  result.status = CommitStatus::kCommitted;
+  result.commit_ts = tx.ts();
+  return result;
+}
+
+void MvtoPlusEngine::abort(Tx& tx_base) {
+  auto& tx = static_cast<MvtoTx&>(tx_base);
+  if (!tx.is_active()) return;
+  finish(tx, false, AbortReason::kUserAbort);
+}
+
+void MvtoPlusEngine::finish(MvtoTx& tx, bool committed, AbortReason reason) {
+  tx.finish();
+  if (config_.recorder == nullptr) return;
+  if (committed) {
+    config_.recorder->record_commit(tx.id(), tx.ts());
+  } else {
+    config_.recorder->record_abort(tx.id(), reason);
+  }
+}
+
+std::size_t MvtoPlusEngine::purge_below(Timestamp horizon) {
+  std::size_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::shared_lock guard(shard->mu);
+    for (auto& [key, ks] : shard->map) {
+      std::lock_guard kguard(ks->mu);
+      // Keep the most recent committed version below the horizon; drop
+      // the committed ones before it. Pending versions are never purged.
+      auto& vs = ks->versions;
+      std::size_t last_below = vs.size();
+      for (std::size_t i = 0; i < vs.size(); ++i) {
+        if (vs[i].ts < horizon && vs[i].committed) last_below = i;
+      }
+      if (last_below == vs.size()) continue;
+      std::size_t removed = 0;
+      std::vector<VersionRec> kept;
+      kept.reserve(vs.size());
+      const Timestamp survivor_ts = vs[last_below].ts;
+      for (auto& v : vs) {
+        const bool purgeable =
+            v.committed && v.ts < horizon && v.ts != survivor_ts;
+        if (purgeable) {
+          ++removed;
+        } else {
+          kept.push_back(std::move(v));
+        }
+      }
+      if (removed > 0) {
+        vs = std::move(kept);
+        ks->purge_floor = max(ks->purge_floor, survivor_ts);
+        ks->cv.notify_all();
+        dropped += removed;
+      }
+    }
+  }
+  return dropped;
+}
+
+std::size_t MvtoPlusEngine::version_count() {
+  std::size_t n = 0;
+  for (auto& shard : shards_) {
+    std::shared_lock guard(shard->mu);
+    for (auto& [key, ks] : shard->map) {
+      std::lock_guard kguard(ks->mu);
+      n += ks->versions.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace mvtl

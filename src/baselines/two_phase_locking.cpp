@@ -1,0 +1,204 @@
+#include "baselines/two_phase_locking.hpp"
+
+#include <cassert>
+
+namespace mvtl {
+
+class TwoPhaseLockingEngine::TplTx final : public TransactionalStore::Tx {
+ public:
+  TplTx(TxId id, ProcessId process) : id_(id), process_(process) {}
+
+  TxId id() const override { return id_; }
+  bool is_active() const override { return active_; }
+
+  ProcessId process() const { return process_; }
+  void finish() { active_ = false; }
+
+  std::map<Key, Value> writeset;
+  // Keys this tx holds locks on (mode tracked store-side).
+  std::vector<Key> locked_keys;
+  std::unordered_set<Key> locked_set;
+
+  void note_locked(const Key& key) {
+    if (locked_set.insert(key).second) locked_keys.push_back(key);
+  }
+
+ private:
+  TxId id_;
+  ProcessId process_;
+  bool active_ = true;
+};
+
+TwoPhaseLockingEngine::TwoPhaseLockingEngine(TwoPlConfig config)
+    : config_(std::move(config)) {
+  if (!config_.clock) {
+    throw std::invalid_argument("TwoPlConfig.clock must be set");
+  }
+  const std::size_t n = config_.shards == 0 ? 1 : config_.shards;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+TwoPhaseLockingEngine::~TwoPhaseLockingEngine() = default;
+
+TwoPhaseLockingEngine::KeyStateTpl& TwoPhaseLockingEngine::key_state(
+    const Key& key) {
+  Shard& shard = *shards_[std::hash<Key>{}(key) % shards_.size()];
+  {
+    std::shared_lock guard(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) return *it->second;
+  }
+  std::unique_lock guard(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(key, nullptr);
+  if (inserted) it->second = std::make_unique<KeyStateTpl>();
+  return *it->second;
+}
+
+bool TwoPhaseLockingEngine::lock_shared(KeyStateTpl& ks, TxId tx) {
+  std::unique_lock guard(ks.mu);
+  const auto deadline = std::chrono::steady_clock::now() + config_.lock_timeout;
+  for (;;) {
+    if (ks.writer == tx || ks.readers.count(tx) != 0) return true;
+    if (ks.writer == kInvalidTxId) {
+      ks.readers.insert(tx);
+      return true;
+    }
+    if (ks.cv.wait_until(guard, deadline) == std::cv_status::timeout) {
+      return false;
+    }
+  }
+}
+
+bool TwoPhaseLockingEngine::lock_exclusive(KeyStateTpl& ks, TxId tx) {
+  std::unique_lock guard(ks.mu);
+  const auto deadline = std::chrono::steady_clock::now() + config_.lock_timeout;
+  for (;;) {
+    if (ks.writer == tx) return true;
+    const bool sole_reader =
+        ks.readers.size() == 1 && ks.readers.count(tx) == 1;
+    if (ks.writer == kInvalidTxId && (ks.readers.empty() || sole_reader)) {
+      ks.readers.erase(tx);  // upgrade
+      ks.writer = tx;
+      return true;
+    }
+    if (ks.cv.wait_until(guard, deadline) == std::cv_status::timeout) {
+      return false;
+    }
+  }
+}
+
+TransactionalStore::TxPtr TwoPhaseLockingEngine::begin(
+    const TxOptions& options) {
+  const TxId id = next_tx_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<TplTx>(id, options.process);
+}
+
+ReadResult TwoPhaseLockingEngine::read(Tx& tx_base, const Key& key) {
+  auto& tx = static_cast<TplTx&>(tx_base);
+  ReadResult out;
+  if (!tx.is_active()) return out;
+
+  if (auto it = tx.writeset.find(key); it != tx.writeset.end()) {
+    out.ok = true;
+    out.value = it->second;
+    out.version_ts = Timestamp::min();
+    return out;
+  }
+
+  KeyStateTpl& ks = key_state(key);
+  if (!lock_shared(ks, tx.id())) {
+    release_locks(tx);
+    finish(tx, false, Timestamp::min(), AbortReason::kLockTimeout);
+    return out;
+  }
+  tx.note_locked(key);
+  std::lock_guard guard(ks.mu);
+  out.ok = true;
+  out.value = ks.has_value ? std::optional<Value>(ks.value) : std::nullopt;
+  out.version_ts = ks.version_ts;
+  if (config_.recorder != nullptr) {
+    config_.recorder->record_read(tx.id(), key, ks.version_ts,
+                                  ks.version_writer);
+  }
+  return out;
+}
+
+bool TwoPhaseLockingEngine::write(Tx& tx_base, const Key& key, Value value) {
+  auto& tx = static_cast<TplTx&>(tx_base);
+  if (!tx.is_active()) return false;
+
+  KeyStateTpl& ks = key_state(key);
+  if (!lock_exclusive(ks, tx.id())) {
+    release_locks(tx);
+    finish(tx, false, Timestamp::min(), AbortReason::kLockTimeout);
+    return false;
+  }
+  tx.note_locked(key);
+  tx.writeset[key] = std::move(value);
+  return true;
+}
+
+CommitResult TwoPhaseLockingEngine::commit(Tx& tx_base) {
+  auto& tx = static_cast<TplTx&>(tx_base);
+  CommitResult result;
+  if (!tx.is_active()) return result;
+
+  // Serialization timestamp drawn while every lock is still held: lock
+  // order and timestamp order agree (see header comment).
+  const Timestamp commit_ts = config_.clock->timestamp(tx.process());
+  for (auto& [key, value] : tx.writeset) {
+    KeyStateTpl& ks = key_state(key);
+    std::lock_guard guard(ks.mu);
+    assert(ks.writer == tx.id());
+    ks.has_value = true;
+    ks.value = value;
+    ks.version_ts = commit_ts;
+    ks.version_writer = tx.id();
+  }
+  if (config_.recorder != nullptr) {
+    for (const auto& [key, value] : tx.writeset) {
+      (void)value;
+      config_.recorder->record_write(tx.id(), key);
+    }
+  }
+  release_locks(tx);
+  finish(tx, true, commit_ts, AbortReason::kNone);
+  result.status = CommitStatus::kCommitted;
+  result.commit_ts = commit_ts;
+  return result;
+}
+
+void TwoPhaseLockingEngine::abort(Tx& tx_base) {
+  auto& tx = static_cast<TplTx&>(tx_base);
+  if (!tx.is_active()) return;
+  release_locks(tx);
+  finish(tx, false, Timestamp::min(), AbortReason::kUserAbort);
+}
+
+void TwoPhaseLockingEngine::release_locks(TplTx& tx) {
+  for (const Key& key : tx.locked_keys) {
+    KeyStateTpl& ks = key_state(key);
+    std::lock_guard guard(ks.mu);
+    ks.readers.erase(tx.id());
+    if (ks.writer == tx.id()) ks.writer = kInvalidTxId;
+    ks.cv.notify_all();
+  }
+  tx.locked_keys.clear();
+  tx.locked_set.clear();
+}
+
+void TwoPhaseLockingEngine::finish(TplTx& tx, bool committed,
+                                   Timestamp commit_ts, AbortReason reason) {
+  tx.finish();
+  if (config_.recorder == nullptr) return;
+  if (committed) {
+    config_.recorder->record_commit(tx.id(), commit_ts);
+  } else {
+    config_.recorder->record_abort(tx.id(), reason);
+  }
+}
+
+}  // namespace mvtl

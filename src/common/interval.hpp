@@ -1,0 +1,110 @@
+// Closed timestamp intervals.
+//
+// All locking in MVTL is expressed over contiguous timestamp ranges
+// (interval compression, paper §6): a read locks `[tr+1, te]`, the
+// pessimistic policy locks `[tr+1, +∞]`, MVTIL starts from `[t, t+Δ]`.
+// We therefore make the closed interval a first-class value type.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "common/timestamp.hpp"
+
+namespace mvtl {
+
+/// A closed, possibly empty interval [lo, hi] on the timestamp line.
+/// The canonical empty interval has lo > hi; `Interval::empty()` returns
+/// a fixed representative so that empty intervals compare equal.
+class Interval {
+ public:
+  /// Default-constructed interval is empty.
+  constexpr Interval() : lo_(Timestamp{1}), hi_(Timestamp{0}) {}
+
+  constexpr Interval(Timestamp lo, Timestamp hi) : lo_(lo), hi_(hi) {
+    if (hi_ < lo_) *this = empty();
+  }
+
+  static constexpr Interval empty() {
+    Interval i;
+    i.lo_ = Timestamp{1};
+    i.hi_ = Timestamp{0};
+    return i;
+  }
+
+  /// The single point {t}.
+  static constexpr Interval point(Timestamp t) { return Interval{t, t}; }
+
+  /// The whole timeline [0, +∞].
+  static constexpr Interval all() {
+    return Interval{Timestamp::min(), Timestamp::infinity()};
+  }
+
+  constexpr Timestamp lo() const { return lo_; }
+  constexpr Timestamp hi() const { return hi_; }
+
+  constexpr bool is_empty() const { return hi_ < lo_; }
+
+  /// Number of discrete timestamps covered; saturates at Rep max.
+  constexpr Timestamp::Rep size() const {
+    if (is_empty()) return 0;
+    const auto span = hi_.raw() - lo_.raw();
+    return span == std::numeric_limits<Timestamp::Rep>::max()
+               ? span
+               : span + 1;
+  }
+
+  constexpr bool contains(Timestamp t) const {
+    return !is_empty() && lo_ <= t && t <= hi_;
+  }
+
+  constexpr bool contains(const Interval& other) const {
+    if (other.is_empty()) return true;
+    return contains(other.lo_) && contains(other.hi_);
+  }
+
+  constexpr bool overlaps(const Interval& other) const {
+    if (is_empty() || other.is_empty()) return false;
+    return lo_ <= other.hi_ && other.lo_ <= hi_;
+  }
+
+  /// True when `other` starts exactly one tick after this interval ends
+  /// (or vice versa), i.e. their union is still a single interval.
+  constexpr bool adjacent(const Interval& other) const {
+    if (is_empty() || other.is_empty()) return false;
+    return (!hi_.is_infinity() && hi_.next() == other.lo_) ||
+           (!other.hi_.is_infinity() && other.hi_.next() == lo_);
+  }
+
+  constexpr Interval intersect(const Interval& other) const {
+    if (is_empty() || other.is_empty()) return empty();
+    const Timestamp lo = std::max(lo_, other.lo_);
+    const Timestamp hi = std::min(hi_, other.hi_);
+    return hi < lo ? empty() : Interval{lo, hi};
+  }
+
+  /// Smallest interval covering both (only meaningful if they overlap or
+  /// are adjacent, but defined for any pair of non-empty intervals).
+  constexpr Interval hull(const Interval& other) const {
+    if (is_empty()) return other;
+    if (other.is_empty()) return *this;
+    return Interval{std::min(lo_, other.lo_), std::max(hi_, other.hi_)};
+  }
+
+  constexpr bool operator==(const Interval& other) const {
+    if (is_empty() && other.is_empty()) return true;
+    return lo_ == other.lo_ && hi_ == other.hi_;
+  }
+
+  std::string to_string() const {
+    if (is_empty()) return "[]";
+    return "[" + lo_.to_string() + ", " + hi_.to_string() + "]";
+  }
+
+ private:
+  Timestamp lo_;
+  Timestamp hi_;
+};
+
+}  // namespace mvtl

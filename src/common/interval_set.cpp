@@ -1,0 +1,164 @@
+#include "common/interval_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvtl {
+
+Timestamp::Rep IntervalSet::cardinality() const {
+  Timestamp::Rep total = 0;
+  constexpr auto kMax = std::numeric_limits<Timestamp::Rep>::max();
+  for (const Interval& iv : intervals_) {
+    const auto n = iv.size();
+    if (total > kMax - n) return kMax;
+    total += n;
+  }
+  return total;
+}
+
+std::size_t IntervalSet::lower_bound_index(Timestamp t) const {
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](const Interval& iv, Timestamp ts) { return iv.hi() < ts; });
+  return static_cast<std::size_t>(it - intervals_.begin());
+}
+
+bool IntervalSet::contains(Timestamp t) const {
+  const std::size_t i = lower_bound_index(t);
+  return i < intervals_.size() && intervals_[i].contains(t);
+}
+
+bool IntervalSet::contains(const Interval& iv) const {
+  if (iv.is_empty()) return true;
+  const std::size_t i = lower_bound_index(iv.lo());
+  return i < intervals_.size() && intervals_[i].contains(iv);
+}
+
+Timestamp IntervalSet::min() const {
+  assert(!intervals_.empty());
+  return intervals_.front().lo();
+}
+
+Timestamp IntervalSet::max() const {
+  assert(!intervals_.empty());
+  return intervals_.back().hi();
+}
+
+void IntervalSet::insert(Interval iv) {
+  if (iv.is_empty()) return;
+  // Find all existing intervals that overlap or are adjacent to iv and
+  // merge them into one hull.
+  const Timestamp probe_lo = iv.lo().is_min() ? iv.lo() : iv.lo().prev();
+  std::size_t first = lower_bound_index(probe_lo);
+  std::size_t last = first;
+  Interval merged = iv;
+  while (last < intervals_.size() &&
+         (intervals_[last].overlaps(merged) ||
+          intervals_[last].adjacent(merged))) {
+    merged = merged.hull(intervals_[last]);
+    ++last;
+  }
+  intervals_.erase(intervals_.begin() + static_cast<std::ptrdiff_t>(first),
+                   intervals_.begin() + static_cast<std::ptrdiff_t>(last));
+  intervals_.insert(intervals_.begin() + static_cast<std::ptrdiff_t>(first),
+                    merged);
+}
+
+void IntervalSet::subtract(Interval iv) {
+  if (iv.is_empty() || intervals_.empty()) return;
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  for (const Interval& cur : intervals_) {
+    if (!cur.overlaps(iv)) {
+      out.push_back(cur);
+      continue;
+    }
+    if (cur.lo() < iv.lo()) out.emplace_back(cur.lo(), iv.lo().prev());
+    if (iv.hi() < cur.hi()) out.emplace_back(iv.hi().next(), cur.hi());
+  }
+  intervals_ = std::move(out);
+}
+
+void IntervalSet::insert(const IntervalSet& other) {
+  for (const Interval& iv : other.intervals_) insert(iv);
+}
+
+void IntervalSet::subtract(const IntervalSet& other) {
+  for (const Interval& iv : other.intervals_) subtract(iv);
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval meet = intervals_[i].intersect(other.intervals_[j]);
+    if (!meet.is_empty()) out.intervals_.push_back(meet);
+    if (intervals_[i].hi() < other.intervals_[j].hi()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::intersect(const Interval& iv) const {
+  IntervalSet other(iv);
+  return intersect(other);
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+  IntervalSet out = *this;
+  out.insert(other);
+  return out;
+}
+
+IntervalSet IntervalSet::complement() const {
+  IntervalSet out;
+  Timestamp cursor = Timestamp::min();
+  bool cursor_valid = true;
+  for (const Interval& iv : intervals_) {
+    if (cursor_valid && cursor < iv.lo()) {
+      out.intervals_.emplace_back(cursor, iv.lo().prev());
+    }
+    if (iv.hi().is_infinity()) {
+      cursor_valid = false;
+      break;
+    }
+    cursor = iv.hi().next();
+  }
+  if (cursor_valid) {
+    out.intervals_.emplace_back(cursor, Timestamp::infinity());
+  }
+  return out;
+}
+
+std::optional<Timestamp> IntervalSet::floor(Timestamp t) const {
+  // Find the last interval with lo <= t.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Timestamp ts, const Interval& iv) { return ts < iv.lo(); });
+  if (it == intervals_.begin()) return std::nullopt;
+  --it;
+  return it->contains(t) ? t : it->hi();
+}
+
+std::optional<Timestamp> IntervalSet::ceiling(Timestamp t) const {
+  const std::size_t i = lower_bound_index(t);
+  if (i >= intervals_.size()) return std::nullopt;
+  return intervals_[i].contains(t) ? t : intervals_[i].lo();
+}
+
+std::string IntervalSet::to_string() const {
+  if (intervals_.empty()) return "{}";
+  std::string out = "{";
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += intervals_[i].to_string();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mvtl

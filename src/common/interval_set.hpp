@@ -1,0 +1,79 @@
+// Sets of disjoint closed timestamp intervals.
+//
+// The commit step of Algorithm 1 (line 13) intersects, per key, the
+// timestamps a transaction holds locked, and then across keys. Holdings
+// are naturally unions of a few intervals (interval compression, §6), so
+// the set algebra here — union, intersection, subtraction — is the
+// workhorse of both the lock table and the coordinator's commit logic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/interval.hpp"
+
+namespace mvtl {
+
+/// An ordered set of pairwise-disjoint, non-adjacent, non-empty closed
+/// intervals. Maintains canonical form: inserting [1,3] then [4,6]
+/// coalesces to [1,6].
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(Interval iv) { insert(iv); }
+
+  static IntervalSet all() { return IntervalSet{Interval::all()}; }
+
+  bool is_empty() const { return intervals_.empty(); }
+  std::size_t interval_count() const { return intervals_.size(); }
+
+  /// Total number of discrete timestamps covered (saturating).
+  Timestamp::Rep cardinality() const;
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  bool contains(Timestamp t) const;
+  bool contains(const Interval& iv) const;
+
+  Timestamp min() const;  ///< Smallest covered timestamp; set must be non-empty.
+  Timestamp max() const;  ///< Largest covered timestamp; set must be non-empty.
+
+  /// Adds an interval, coalescing with neighbours. No-op for empty input.
+  void insert(Interval iv);
+
+  /// Removes every timestamp of `iv` from the set (may split an interval).
+  void subtract(Interval iv);
+
+  void insert(const IntervalSet& other);
+  void subtract(const IntervalSet& other);
+
+  IntervalSet intersect(const IntervalSet& other) const;
+  IntervalSet intersect(const Interval& iv) const;
+
+  /// Union of the two sets, as a new value.
+  IntervalSet unite(const IntervalSet& other) const;
+
+  /// Complement within [0, +∞].
+  IntervalSet complement() const;
+
+  /// The largest timestamp in the set that is <= t, if any.
+  std::optional<Timestamp> floor(Timestamp t) const;
+
+  /// The smallest timestamp in the set that is >= t, if any.
+  std::optional<Timestamp> ceiling(Timestamp t) const;
+
+  bool operator==(const IntervalSet& other) const {
+    return intervals_ == other.intervals_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  // Index of the first interval whose hi >= t (candidates for containing t).
+  std::size_t lower_bound_index(Timestamp t) const;
+
+  std::vector<Interval> intervals_;  // sorted by lo, disjoint, non-adjacent
+};
+
+}  // namespace mvtl

@@ -1,0 +1,77 @@
+// Small, fast, seedable PRNG utilities for workloads and property tests.
+//
+// Workload generation must be deterministic per seed (so failures
+// reproduce) and cheap enough not to perturb throughput measurements;
+// std::mt19937_64 satisfies both at our scales, and we wrap it with the
+// distributions the benchmarks need (uniform keys, zipfian keys, bernoulli
+// write decisions).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mvtl {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : gen_(seed) {}
+
+  std::uint64_t next_u64() { return gen_(); }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    assert(bound > 0);
+    return std::uniform_int_distribution<std::uint64_t>{0, bound - 1}(gen_);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(gen_);
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+/// Zipfian generator over [0, n) with parameter theta (YCSB-style).
+/// Precomputes the harmonic normalizer once; draws are O(1).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    assert(n > 0);
+    for (std::uint64_t i = 1; i <= n_; ++i) {
+      zeta_n_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    zeta_2_ = 1.0 + 1.0 / std::pow(2.0, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta_2_ / zeta_n_);
+  }
+
+  std::uint64_t next(Rng& rng) const {
+    const double u = rng.next_double();
+    const double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto idx = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return idx >= n_ ? n_ - 1 : idx;
+  }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zeta_n_ = 0.0;
+  double zeta_2_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace mvtl

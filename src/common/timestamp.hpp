@@ -1,0 +1,112 @@
+// Timestamps for multiversion timestamp locking.
+//
+// The paper (§4.1) models a timestamp as a pair (v, p) — a real clock value
+// plus a process id — ordered lexicographically so that concurrently issued
+// timestamps are unique. We pack the pair into one 64-bit word: the high
+// 48 bits hold the clock tick, the low 16 bits the process id. Packing keeps
+// lexicographic order under plain integer comparison and, crucially, makes
+// the timeline *dense and discrete*: `t + 1` / `t - 1` are well defined,
+// which the interval arithmetic of the lock table relies on (read locks
+// cover `[tr+1, te]`, Algorithm 1 line 7).
+//
+// Two values are reserved:
+//   Timestamp::min()      == 0   — the initial version `⊥` lives here.
+//   Timestamp::infinity() == 2^64-1 — "+∞" used by the pessimistic policy.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace mvtl {
+
+/// Identifies the process (thread / client) that generated a timestamp.
+using ProcessId = std::uint16_t;
+
+/// A point on the global discrete timeline. Totally ordered, unique per
+/// (tick, process) pair. Trivially copyable; safe to use in std::atomic.
+class Timestamp {
+ public:
+  using Rep = std::uint64_t;
+
+  static constexpr int kProcessBits = 16;
+  static constexpr Rep kProcessMask = (Rep{1} << kProcessBits) - 1;
+  static constexpr Rep kMaxTick = (Rep{1} << (64 - kProcessBits)) - 1;
+
+  constexpr Timestamp() = default;
+  constexpr explicit Timestamp(Rep raw) : raw_(raw) {}
+
+  /// Builds a timestamp from a clock tick and the issuing process id.
+  static constexpr Timestamp make(Rep tick, ProcessId process) {
+    return Timestamp{(tick << kProcessBits) | (Rep{process} & kProcessMask)};
+  }
+
+  /// The smallest timestamp; `Values[k, 0] = ⊥` initially (§4.1).
+  static constexpr Timestamp min() { return Timestamp{0}; }
+
+  /// "+∞": greater than every timestamp a clock can produce.
+  static constexpr Timestamp infinity() {
+    return Timestamp{std::numeric_limits<Rep>::max()};
+  }
+
+  constexpr Rep raw() const { return raw_; }
+  constexpr Rep tick() const { return raw_ >> kProcessBits; }
+  constexpr ProcessId process() const {
+    return static_cast<ProcessId>(raw_ & kProcessMask);
+  }
+
+  constexpr bool is_min() const { return raw_ == 0; }
+  constexpr bool is_infinity() const { return *this == infinity(); }
+
+  /// Successor on the discrete timeline. Saturates at +∞.
+  constexpr Timestamp next() const {
+    return is_infinity() ? infinity() : Timestamp{raw_ + 1};
+  }
+
+  /// Predecessor on the discrete timeline. Saturates at 0.
+  constexpr Timestamp prev() const {
+    return is_min() ? min() : Timestamp{raw_ - 1};
+  }
+
+  /// Shifts the *tick* component, keeping the process id. Used by
+  /// MVTL-Pref alternative-timestamp functions A(t) and the ε-clock
+  /// policy's `[now−ε, now+ε]` window. Saturating.
+  constexpr Timestamp plus_ticks(std::int64_t delta) const {
+    const Rep t = tick();
+    Rep shifted;
+    if (delta >= 0) {
+      const Rep d = static_cast<Rep>(delta);
+      shifted = (t > kMaxTick - d) ? kMaxTick : t + d;
+    } else {
+      const Rep d = static_cast<Rep>(-delta);
+      shifted = (t < d) ? 0 : t - d;
+    }
+    return make(shifted, process());
+  }
+
+  constexpr auto operator<=>(const Timestamp&) const = default;
+
+  /// Debug form "tick.process"; +∞ and 0 print symbolically.
+  std::string to_string() const {
+    if (is_infinity()) return "+inf";
+    if (is_min()) return "0";
+    return std::to_string(tick()) + "." + std::to_string(process());
+  }
+
+ private:
+  Rep raw_ = 0;
+};
+
+inline Timestamp min(Timestamp a, Timestamp b) { return a < b ? a : b; }
+inline Timestamp max(Timestamp a, Timestamp b) { return a < b ? b : a; }
+
+}  // namespace mvtl
+
+template <>
+struct std::hash<mvtl::Timestamp> {
+  std::size_t operator()(const mvtl::Timestamp& ts) const noexcept {
+    return std::hash<std::uint64_t>{}(ts.raw());
+  }
+};

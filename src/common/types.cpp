@@ -1,0 +1,27 @@
+#include "common/types.hpp"
+
+namespace mvtl {
+
+const char* abort_reason_name(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kNoCommonTimestamp:
+      return "no-common-timestamp";
+    case AbortReason::kLockTimeout:
+      return "lock-timeout";
+    case AbortReason::kValidationConflict:
+      return "validation-conflict";
+    case AbortReason::kVersionPurged:
+      return "version-purged";
+    case AbortReason::kUserAbort:
+      return "user-abort";
+    case AbortReason::kCoordinatorSuspected:
+      return "coordinator-suspected";
+    case AbortReason::kDeadlock:
+      return "deadlock";
+  }
+  return "unknown";
+}
+
+}  // namespace mvtl

@@ -1,0 +1,62 @@
+// Shared vocabulary types for the transactional store.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/timestamp.hpp"
+
+namespace mvtl {
+
+/// Object identifier. The paper uses small 8-character strings; we keep
+/// generic strings and let workloads decide.
+using Key = std::string;
+
+/// Object payload. `std::nullopt` at the store level denotes ⊥ (never
+/// written); user-facing reads surface that as a missing value.
+using Value = std::string;
+
+/// Unique transaction identifier (assigned by the engine at begin()).
+using TxId = std::uint64_t;
+
+constexpr TxId kInvalidTxId = 0;
+
+/// Outcome of a commit attempt.
+enum class CommitStatus {
+  kCommitted,
+  kAborted,
+};
+
+struct CommitResult {
+  CommitStatus status = CommitStatus::kAborted;
+  /// Serialization timestamp; only meaningful when committed.
+  Timestamp commit_ts;
+
+  bool committed() const { return status == CommitStatus::kCommitted; }
+};
+
+/// Outcome of a read: the value (⊥ ⇒ nullopt) and the timestamp of the
+/// version that was read — needed by callers that track reads-from
+/// relationships (the serializability checker) and by GC.
+struct ReadResult {
+  bool ok = false;  ///< false ⇒ the read failed and the tx must abort.
+  std::optional<Value> value;
+  Timestamp version_ts;
+};
+
+/// Why a transaction aborted; used by metrics and tests.
+enum class AbortReason {
+  kNone,
+  kNoCommonTimestamp,   ///< Algorithm 1 line 14: T = ∅.
+  kLockTimeout,         ///< waited too long on an unfrozen lock (deadlock relief)
+  kValidationConflict,  ///< MVTO+ read-timestamp rule / 2PL conflict
+  kVersionPurged,       ///< needed a version the GC already purged
+  kUserAbort,
+  kCoordinatorSuspected,  ///< distributed: commitment decided abort after timeout
+  kDeadlock,              ///< wait-for-graph cycle; this tx was the victim
+};
+
+const char* abort_reason_name(AbortReason r);
+
+}  // namespace mvtl

@@ -1,0 +1,194 @@
+#include "core/mvtl_engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mvtl {
+
+MvtlEngine::MvtlEngine(std::shared_ptr<MvtlPolicy> policy,
+                       MvtlEngineConfig config)
+    : policy_(std::move(policy)),
+      config_(std::move(config)),
+      store_(config_.shards),
+      ctx_(store_, *config_.clock, config_.lock_timeout,
+           config_.deadlock_detection ? &wait_graph_ : nullptr) {
+  if (!config_.clock) {
+    throw std::invalid_argument("MvtlEngineConfig.clock must be set");
+  }
+}
+
+std::string MvtlEngine::name() const { return policy_->name(); }
+
+TransactionalStore::TxPtr MvtlEngine::begin(const TxOptions& options) {
+  const TxId id = next_tx_id_.fetch_add(1, std::memory_order_relaxed);
+  auto tx = std::make_unique<MvtlTx>(id, options);
+  policy_->on_begin(ctx_, *tx);
+  return tx;
+}
+
+ReadResult MvtlEngine::read(Tx& tx_base, const Key& key) {
+  auto& tx = static_cast<MvtlTx&>(tx_base);
+  ReadResult out;
+  if (!tx.is_active()) return out;
+
+  // Read-own-writes: the paper buffers writes in a temporary area and
+  // reads return committed data only; surfacing the transaction's own
+  // buffered value is a client-side convenience that involves no locks
+  // and no readset entry.
+  if (auto it = tx.writeset().find(key); it != tx.writeset().end()) {
+    out.ok = true;
+    out.value = it->second;
+    out.version_ts = Timestamp::min();
+    return out;
+  }
+
+  PolicyReadResult r = policy_->read_locks(ctx_, tx, key);
+  if (!r.ok) {
+    do_abort(tx, r.failure == AbortReason::kNone ? AbortReason::kLockTimeout
+                                                 : r.failure);
+    return out;
+  }
+  if (!tx.in_readset(key)) {
+    tx.readset().emplace_back(key, r.tr);
+  }
+  if (config_.recorder != nullptr) {
+    config_.recorder->record_read(tx.id(), key, r.tr, r.writer);
+  }
+  out.ok = true;
+  out.value = std::move(r.value);
+  out.version_ts = r.tr;
+  return out;
+}
+
+bool MvtlEngine::write(Tx& tx_base, const Key& key, Value value) {
+  auto& tx = static_cast<MvtlTx&>(tx_base);
+  if (!tx.is_active()) return false;
+  if (!policy_->write_locks(ctx_, tx, key)) {
+    do_abort(tx, tx.pending_failure != AbortReason::kNone
+                     ? tx.pending_failure
+                     : AbortReason::kLockTimeout);
+    return false;
+  }
+  tx.writeset()[key] = std::move(value);
+  return true;
+}
+
+IntervalSet MvtlEngine::commit_candidates(const MvtlTx& tx) const {
+  IntervalSet candidates = IntervalSet::all();
+  // ∀k ∈ readset: t must lie in the *read-anchored* interval [tr+1, ...]
+  // (Theorem 1's proof invariant: read locks run from the version read to
+  // the commit timestamp). A write lock at some other timestamp — e.g. a
+  // read-then-write transaction's write lock in a gap below the version
+  // it read — must NOT qualify: committing there would mean the
+  // transaction read from its own future. The read holdings already
+  // include points covered by the transaction's own write locks inside
+  // the anchored interval, so upgrades lose nothing.
+  for (const auto& [key, tr] : tx.readset()) {
+    auto it = tx.holdings().find(key);
+    if (it == tx.holdings().end()) return IntervalSet{};
+    candidates = candidates.intersect(it->second.read);
+    if (candidates.is_empty()) return candidates;
+  }
+  // ∀k ∈ writeset: tx holds a write lock on (k, t).
+  for (const auto& [key, value] : tx.writeset()) {
+    auto it = tx.holdings().find(key);
+    if (it == tx.holdings().end()) return IntervalSet{};
+    candidates = candidates.intersect(it->second.write);
+    if (candidates.is_empty()) return candidates;
+  }
+  // Committing at timestamp 0 would collide with the initial version ⊥.
+  candidates.subtract(Interval::point(Timestamp::min()));
+  return candidates;
+}
+
+CommitResult MvtlEngine::commit(Tx& tx_base) {
+  auto& tx = static_cast<MvtlTx&>(tx_base);
+  CommitResult result;
+  if (!tx.is_active()) return result;
+
+  if (!policy_->commit_locks(ctx_, tx)) {
+    do_abort(tx, AbortReason::kNoCommonTimestamp);
+    return result;
+  }
+
+  const IntervalSet candidates = commit_candidates(tx);
+  if (candidates.is_empty()) {
+    do_abort(tx, AbortReason::kNoCommonTimestamp);
+    return result;
+  }
+
+  const Timestamp c = policy_->commit_ts(tx, candidates);
+  assert(candidates.contains(c));
+  tx.set_commit_ts(c);
+
+  // Freeze the commit point and expose the written values (lines 17–19;
+  // per-key atomicity under the key latch, see §6).
+  for (const auto& [key, value] : tx.writeset()) {
+    lock_ops::commit_key(store_.key_state(key), tx.id(), c, value);
+  }
+  tx.set_state(MvtlTx::State::kCommitted);
+  if (config_.recorder != nullptr) {
+    for (const auto& [key, value] : tx.writeset()) {
+      config_.recorder->record_write(tx.id(), key);
+    }
+    config_.recorder->record_commit(tx.id(), c);
+  }
+
+  if (config_.deadlock_detection) wait_graph_.remove_tx(tx.id());
+  if (policy_->commit_gc(tx)) gc_tx(tx);
+
+  result.status = CommitStatus::kCommitted;
+  result.commit_ts = c;
+  return result;
+}
+
+void MvtlEngine::abort(Tx& tx_base) {
+  auto& tx = static_cast<MvtlTx&>(tx_base);
+  if (!tx.is_active()) return;
+  do_abort(tx, AbortReason::kUserAbort);
+}
+
+void MvtlEngine::do_abort(MvtlTx& tx, AbortReason reason) {
+  tx.set_state(MvtlTx::State::kAborted);
+  tx.set_abort_reason(reason);
+  if (config_.deadlock_detection) wait_graph_.remove_tx(tx.id());
+  // An aborted transaction exposes no data: its write locks serve no
+  // purpose and are always released. Its read locks persist under no-GC
+  // policies — exactly how MVTO+'s read timestamps outlive aborts, the
+  // root of ghost aborts (§5.5).
+  ctx_.release_all_write_locks(tx);
+  if (policy_->commit_gc(tx)) {
+    for (auto& [key, holding] : tx.holdings()) {
+      lock_ops::release_all(store_.key_state(key), tx.id());
+      holding.read = IntervalSet{};
+      holding.write = IntervalSet{};
+    }
+  }
+  if (config_.recorder != nullptr) {
+    config_.recorder->record_abort(tx.id(), reason);
+  }
+}
+
+void MvtlEngine::gc_tx(MvtlTx& tx) {
+  // Algorithm 1 gc(): for committed transactions, freeze the read locks
+  // between the version read and the commit timestamp; release the rest.
+  if (tx.state() == MvtlTx::State::kCommitted) {
+    for (const auto& [key, tr] : tx.readset()) {
+      lock_ops::freeze_read_range(store_.key_state(key), tx.id(), tr,
+                                  tx.commit_ts());
+    }
+  }
+  for (auto& [key, holding] : tx.holdings()) {
+    lock_ops::release_all(store_.key_state(key), tx.id());
+    holding.read = IntervalSet{};
+    holding.write = IntervalSet{};
+  }
+}
+
+void MvtlEngine::gc_finished(Tx& tx_base) {
+  auto& tx = static_cast<MvtlTx&>(tx_base);
+  if (tx.is_active()) return;
+  gc_tx(tx);
+}
+
+}  // namespace mvtl

@@ -1,0 +1,73 @@
+// The generic MVTL engine — Algorithm 1 of the paper.
+//
+// begin/read/write/commit drive a pluggable MvtlPolicy (Algorithm 2).
+// The engine owns the shared Store (versions + freezable interval locks),
+// computes the commit intersection T, installs versions, and performs
+// garbage collection when the policy asks for it. Safety (Theorem 1) does
+// not depend on the policy; liveness and abort behaviour do.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "core/mvtl_tx.hpp"
+#include "core/policy.hpp"
+#include "core/transactional_store.hpp"
+#include "storage/store.hpp"
+#include "sync/clock.hpp"
+#include "sync/wait_for_graph.hpp"
+#include "verify/history.hpp"
+
+namespace mvtl {
+
+struct MvtlEngineConfig {
+  /// Clock the policy draws timestamps from.
+  std::shared_ptr<ClockSource> clock;
+  /// Bound on blocking lock waits (deadlock relief, §4.3).
+  std::chrono::microseconds lock_timeout{20'000};
+  /// Store shard count (latch striping).
+  std::size_t shards = 64;
+  /// Optional history recorder for serializability checking.
+  HistoryRecorder* recorder = nullptr;
+  /// Precise deadlock detection via a wait-for graph (§4.3). When off,
+  /// bounded waits (lock_timeout) provide deadlock relief instead.
+  bool deadlock_detection = false;
+};
+
+class MvtlEngine final : public TransactionalStore {
+ public:
+  MvtlEngine(std::shared_ptr<MvtlPolicy> policy, MvtlEngineConfig config);
+
+  TxPtr begin(const TxOptions& options = {}) override;
+  ReadResult read(Tx& tx, const Key& key) override;
+  bool write(Tx& tx, const Key& key, Value value) override;
+  CommitResult commit(Tx& tx) override;
+  void abort(Tx& tx) override;
+  std::string name() const override;
+
+  /// Background/deferred garbage collection for a finished transaction
+  /// whose policy skipped commit-time GC (Algorithm 1: "garbage collection
+  /// can be invoked any time later").
+  void gc_finished(Tx& tx);
+
+  Store& store() { return store_; }
+  ClockSource& clock() { return *config_.clock; }
+
+ private:
+  void do_abort(MvtlTx& tx, AbortReason reason);
+  void gc_tx(MvtlTx& tx);
+
+  /// Algorithm 1 line 13: all timestamps locked appropriately across the
+  /// read and write sets.
+  IntervalSet commit_candidates(const MvtlTx& tx) const;
+
+  std::shared_ptr<MvtlPolicy> policy_;
+  MvtlEngineConfig config_;
+  Store store_;
+  WaitForGraph wait_graph_;
+  PolicyContext ctx_;
+  std::atomic<TxId> next_tx_id_{1};
+};
+
+}  // namespace mvtl

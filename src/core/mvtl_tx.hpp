@@ -1,0 +1,95 @@
+// Per-transaction state of the generic MVTL engine.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/interval_set.hpp"
+#include "common/types.hpp"
+#include "core/transactional_store.hpp"
+
+namespace mvtl {
+
+/// The timestamps a transaction holds locked on one key, mirrored
+/// client-side so the commit step (Algorithm 1, line 13) can intersect
+/// them without revisiting every key's lock table. `read` includes points
+/// that need no stored lock (below the purge horizon) — they count toward
+/// the commit intersection all the same.
+struct KeyHolding {
+  IntervalSet read;
+  IntervalSet write;
+};
+
+class MvtlTx final : public TransactionalStore::Tx {
+ public:
+  enum class State { kActive, kCommitted, kAborted };
+
+  MvtlTx(TxId id, const TxOptions& options)
+      : id_(id), process_(options.process), critical_(options.critical) {}
+
+  TxId id() const override { return id_; }
+  bool is_active() const override { return state_ == State::kActive; }
+
+  ProcessId process() const { return process_; }
+  bool critical() const { return critical_; }
+
+  State state() const { return state_; }
+  void set_state(State s) { state_ = s; }
+
+  AbortReason abort_reason() const { return abort_reason_; }
+  void set_abort_reason(AbortReason r) { abort_reason_ = r; }
+
+  Timestamp commit_ts() const { return commit_ts_; }
+  void set_commit_ts(Timestamp t) { commit_ts_ = t; }
+
+  // --- Algorithm 1 bookkeeping -------------------------------------------
+  /// (key, tr) pairs: which version each read returned. A key appears
+  /// once per first read (repeat reads return the same version).
+  std::vector<std::pair<Key, Timestamp>>& readset() { return readset_; }
+  const std::vector<std::pair<Key, Timestamp>>& readset() const {
+    return readset_;
+  }
+
+  /// The temporary write area: values become visible only at commit.
+  std::map<Key, Value>& writeset() { return writeset_; }
+  const std::map<Key, Value>& writeset() const { return writeset_; }
+
+  /// Locked timestamps per key (client-side mirror of granted locks).
+  std::map<Key, KeyHolding>& holdings() { return holdings_; }
+  const std::map<Key, KeyHolding>& holdings() const { return holdings_; }
+
+  /// True if this tx already recorded a read of `key` (dedup for readset).
+  bool in_readset(const Key& key) const {
+    for (const auto& [k, tr] : readset_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+
+  // --- Policy scratch state ----------------------------------------------
+  // Interval policies (ε-clock, MVTIL, pessimistic, priority) maintain the
+  // set of still-possible serialization points here; point policies
+  // (TO, Ghostbuster, Pref) use `point_ts` for their clock timestamp and
+  // `chosen_ts` for the commit-locks outcome.
+  IntervalSet poss;
+  Timestamp point_ts;
+  std::optional<Timestamp> chosen_ts;
+  /// Why the last failing policy step failed (engine reads this when a
+  /// write-locks/commit-locks step returns false).
+  AbortReason pending_failure = AbortReason::kNone;
+
+ private:
+  TxId id_;
+  ProcessId process_;
+  bool critical_;
+  State state_ = State::kActive;
+  AbortReason abort_reason_ = AbortReason::kNone;
+  Timestamp commit_ts_;
+
+  std::vector<std::pair<Key, Timestamp>> readset_;
+  std::map<Key, Value> writeset_;
+  std::map<Key, KeyHolding> holdings_;
+};
+
+}  // namespace mvtl

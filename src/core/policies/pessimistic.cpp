@@ -1,0 +1,155 @@
+// MVTL-Pessimistic (§5.4, Algorithm 9) and MVTL-Prio (§5.2, Algorithm 6).
+//
+// Pessimistic concurrency control as an MVTL policy: writes lock every
+// timestamp (we start at 1 — nobody can commit at 0, where ⊥ lives),
+// reads lock [tr+1, +∞], both waiting unless frozen; commit picks the
+// minimum commonly locked timestamp and always garbage collects. Because
+// reads and writes both insist on the whole upper timeline, at most one
+// writer (or several readers) can "own" a key's future at a time —
+// exactly object-granularity locking (Theorem 6).
+//
+// The prioritizer runs critical transactions pessimistically and normal
+// transactions as MVTO+ (clock timestamp, point commit), both with GC on
+// completion. A normal transaction only ever locks timestamps up to its
+// clock value, while a critical one holds [maxts, +∞] — so no normal
+// transaction can deny a critical one its commit point (Theorem 3).
+#include "core/policy.hpp"
+
+namespace mvtl {
+namespace {
+
+AbortReason map_failure(lock_ops::Outcome outcome) {
+  switch (outcome) {
+    case lock_ops::Outcome::kPurged:
+      return AbortReason::kVersionPurged;
+    case lock_ops::Outcome::kTimeout:
+      return AbortReason::kLockTimeout;
+    case lock_ops::Outcome::kDeadlock:
+      return AbortReason::kDeadlock;
+    default:
+      return AbortReason::kNoCommonTimestamp;
+  }
+}
+
+/// The whole lockable timeline: [1, +∞] (0 is the ⊥ version's slot).
+IntervalSet full_range() {
+  return IntervalSet{
+      Interval{Timestamp::min().next(), Timestamp::infinity()}};
+}
+
+bool pessimistic_write_locks(PolicyContext& ctx, MvtlTx& tx,
+                             const Key& key) {
+  const lock_ops::WriteAcquire r =
+      ctx.write_lock_set(tx, key, full_range(), /*wait=*/true);
+  // Timeout means a possible deadlock — the classic pessimistic response
+  // is to abort and let the application retry. A wait-for-graph hit is a
+  // certain deadlock with this transaction as the victim.
+  if (r.outcome == lock_ops::Outcome::kAcquired) return true;
+  tx.pending_failure = map_failure(r.outcome);
+  return false;
+}
+
+PolicyReadResult pessimistic_read_locks(PolicyContext& ctx, MvtlTx& tx,
+                                        const Key& key) {
+  PolicyReadResult out;
+  const lock_ops::ReadAcquire r =
+      ctx.read_lock_upto(tx, key, Timestamp::infinity(), /*wait=*/true);
+  if (r.outcome != lock_ops::Outcome::kAcquired) {
+    out.failure = map_failure(r.outcome);
+    return out;
+  }
+  out.ok = true;
+  out.tr = r.tr;
+  out.value = r.value;
+  out.writer = r.writer;
+  return out;
+}
+
+class PessimisticPolicy : public MvtlPolicy {
+ public:
+  std::string name() const override { return "MVTL-Pessimistic"; }
+
+  void on_begin(PolicyContext&, MvtlTx&) override {}
+
+  bool write_locks(PolicyContext& ctx, MvtlTx& tx, const Key& key) override {
+    return pessimistic_write_locks(ctx, tx, key);
+  }
+
+  PolicyReadResult read_locks(PolicyContext& ctx, MvtlTx& tx,
+                              const Key& key) override {
+    return pessimistic_read_locks(ctx, tx, key);
+  }
+
+  bool commit_locks(PolicyContext&, MvtlTx&) override { return true; }
+
+  Timestamp commit_ts(MvtlTx&, const IntervalSet& T) override {
+    return T.min();
+  }
+
+  bool commit_gc(const MvtlTx&) const override { return true; }
+};
+
+class PrioPolicy : public MvtlPolicy {
+ public:
+  std::string name() const override { return "MVTL-Prio"; }
+
+  void on_begin(PolicyContext& ctx, MvtlTx& tx) override {
+    if (!tx.critical()) {
+      tx.point_ts = ctx.clock().timestamp(tx.process());
+    }
+  }
+
+  bool write_locks(PolicyContext& ctx, MvtlTx& tx, const Key& key) override {
+    if (tx.critical()) return pessimistic_write_locks(ctx, tx, key);
+    return true;  // normal transactions lock the write-set on commit
+  }
+
+  PolicyReadResult read_locks(PolicyContext& ctx, MvtlTx& tx,
+                              const Key& key) override {
+    if (tx.critical()) return pessimistic_read_locks(ctx, tx, key);
+    PolicyReadResult out;
+    const lock_ops::ReadAcquire r =
+        ctx.read_lock_upto(tx, key, tx.point_ts, /*wait=*/true);
+    if (r.outcome != lock_ops::Outcome::kAcquired) {
+      out.failure = map_failure(r.outcome);
+      return out;
+    }
+    out.ok = true;
+    out.tr = r.tr;
+    out.value = r.value;
+    out.writer = r.writer;
+    return out;
+  }
+
+  bool commit_locks(PolicyContext& ctx, MvtlTx& tx) override {
+    if (tx.critical()) return true;
+    for (const auto& [key, value] : tx.writeset()) {
+      (void)value;
+      if (!ctx.write_lock_point(tx, key, tx.point_ts,
+                                /*wait_on_conflicts=*/false)) {
+        ctx.release_all_write_locks(tx);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Timestamp commit_ts(MvtlTx& tx, const IntervalSet& T) override {
+    return tx.critical() ? T.min() : tx.point_ts;
+  }
+
+  // "Both types of transactions garbage collect on commit" (§5.2).
+  bool commit_gc(const MvtlTx&) const override { return true; }
+};
+
+}  // namespace
+
+std::shared_ptr<MvtlPolicy> make_pessimistic_policy() {
+  return std::make_shared<PessimisticPolicy>();
+}
+
+std::shared_ptr<MvtlPolicy> make_prio_policy() {
+  return std::make_shared<PrioPolicy>();
+}
+
+}  // namespace mvtl

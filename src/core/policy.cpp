@@ -1,0 +1,88 @@
+#include "core/policy.hpp"
+
+namespace mvtl {
+
+lock_ops::ReadAcquire PolicyContext::read_lock_upto(MvtlTx& tx,
+                                                    const Key& key,
+                                                    Timestamp m, bool wait) {
+  KeyState& ks = store_.key_state(key);
+  lock_ops::Options opts;
+  opts.wait = wait;
+  opts.timeout = lock_timeout_;
+  opts.wait_graph = wait_graph_;
+  lock_ops::ReadAcquire result = lock_ops::acquire_read_upto(ks, tx.id(), m, opts);
+  if (result.outcome == lock_ops::Outcome::kAcquired ||
+      result.outcome == lock_ops::Outcome::kPartial) {
+    if (result.upper > result.tr) {
+      tx.holdings()[key].read.insert(Interval{result.tr.next(), result.upper});
+    }
+  }
+  return result;
+}
+
+lock_ops::WriteAcquire PolicyContext::write_lock_set(MvtlTx& tx,
+                                                     const Key& key,
+                                                     const IntervalSet& want,
+                                                     bool wait) {
+  KeyState& ks = store_.key_state(key);
+  lock_ops::Options opts;
+  opts.wait = wait;
+  opts.timeout = lock_timeout_;
+  opts.wait_graph = wait_graph_;
+  lock_ops::WriteAcquire result =
+      lock_ops::acquire_write_set(ks, tx.id(), want, opts);
+  if (!result.acquired.is_empty()) {
+    tx.holdings()[key].write.insert(result.acquired);
+  }
+  return result;
+}
+
+bool PolicyContext::write_lock_point(MvtlTx& tx, const Key& key, Timestamp t,
+                                     bool wait_on_conflicts) {
+  KeyState& ks = store_.key_state(key);
+  const bool ok = lock_ops::acquire_write_point(
+      ks, tx.id(), t, wait_on_conflicts, lock_timeout_, wait_graph_);
+  if (ok) {
+    tx.holdings()[key].write.insert(Interval::point(t));
+  }
+  return ok;
+}
+
+void PolicyContext::trim_write_locks(MvtlTx& tx, const Key& key,
+                                     const IntervalSet& keep) {
+  KeyState& ks = store_.key_state(key);
+  lock_ops::release_writes_except(ks, tx.id(), keep);
+  auto it = tx.holdings().find(key);
+  if (it != tx.holdings().end()) {
+    it->second.write = it->second.write.intersect(keep);
+    // The released points also stop counting as read coverage only if they
+    // were never read-locked; read holdings are tracked separately and are
+    // untouched by a write-lock trim.
+  }
+}
+
+void PolicyContext::release_write_point(MvtlTx& tx, const Key& key,
+                                        Timestamp t) {
+  KeyState& ks = store_.key_state(key);
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.release(tx.id(), LockMode::kWrite,
+                     IntervalSet{Interval::point(t)});
+    ks.cv.notify_all();
+  }
+  auto it = tx.holdings().find(key);
+  if (it != tx.holdings().end()) {
+    it->second.write.subtract(Interval::point(t));
+  }
+}
+
+void PolicyContext::release_all_write_locks(MvtlTx& tx) {
+  for (auto& [key, holding] : tx.holdings()) {
+    if (holding.write.is_empty()) continue;
+    KeyState& ks = store_.key_state(key);
+    lock_ops::release_writes(ks, tx.id());
+    holding.write = IntervalSet{};
+  }
+}
+
+}  // namespace mvtl

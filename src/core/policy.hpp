@@ -1,0 +1,148 @@
+// The MVTL policy interface — Algorithm 2 of the paper.
+//
+// The generic MVTL algorithm leaves five choices open: which timestamps
+// writes lock, which interval reads lock, what extra locks commit
+// acquires, which common timestamp to commit at, and whether to garbage
+// collect at commit. Fixing them yields the named algorithms of §5; the
+// engine is correct for *any* choice (Theorem 1).
+//
+// PolicyContext wraps the shared store plus helpers that keep the
+// transaction's client-side lock mirror (tx.holdings) in sync with what
+// was actually granted — both the engine's commit intersection and the
+// policy logic itself read from that mirror.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/mvtl_tx.hpp"
+#include "storage/lock_ops.hpp"
+#include "sync/wait_for_graph.hpp"
+#include "storage/store.hpp"
+#include "sync/clock.hpp"
+
+namespace mvtl {
+
+/// Result a policy's read-locks step hands back to the engine.
+struct PolicyReadResult {
+  bool ok = false;
+  AbortReason failure = AbortReason::kNone;  // set when !ok
+  Timestamp tr;                              // version read
+  std::optional<Value> value;
+  TxId writer = kInvalidTxId;
+};
+
+class PolicyContext {
+ public:
+  PolicyContext(Store& store, ClockSource& clock,
+                std::chrono::microseconds lock_timeout,
+                WaitForGraph* wait_graph = nullptr)
+      : store_(store),
+        clock_(clock),
+        lock_timeout_(lock_timeout),
+        wait_graph_(wait_graph) {}
+
+  Store& store() { return store_; }
+  ClockSource& clock() { return clock_; }
+  std::chrono::microseconds lock_timeout() const { return lock_timeout_; }
+  WaitForGraph* wait_graph() { return wait_graph_; }
+
+  /// Runs the read loop on `key` with bound `m` and merges the granted
+  /// interval into tx.holdings[key].read.
+  lock_ops::ReadAcquire read_lock_upto(MvtlTx& tx, const Key& key,
+                                       Timestamp m, bool wait);
+
+  /// Write-locks `want` (or as much as permitted) and merges the grant
+  /// into tx.holdings[key].write. Returns the lock_ops result.
+  lock_ops::WriteAcquire write_lock_set(MvtlTx& tx, const Key& key,
+                                        const IntervalSet& want, bool wait);
+
+  /// All-or-nothing point write lock; updates holdings on success.
+  bool write_lock_point(MvtlTx& tx, const Key& key, Timestamp t,
+                        bool wait_on_conflicts);
+
+  /// Releases tx's write locks on `key` outside `keep`, syncing holdings.
+  void trim_write_locks(MvtlTx& tx, const Key& key, const IntervalSet& keep);
+
+  /// Releases a single write-locked point (MVTL-Pref commit retries).
+  void release_write_point(MvtlTx& tx, const Key& key, Timestamp t);
+
+  /// Releases all write locks tx holds on every key (commit-locks retry
+  /// paths), syncing holdings.
+  void release_all_write_locks(MvtlTx& tx);
+
+ private:
+  Store& store_;
+  ClockSource& clock_;
+  std::chrono::microseconds lock_timeout_;
+  WaitForGraph* wait_graph_;
+};
+
+class MvtlPolicy {
+ public:
+  virtual ~MvtlPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Initialization(tx) — draw clock timestamps, set up poss/point_ts.
+  virtual void on_begin(PolicyContext& ctx, MvtlTx& tx) = 0;
+
+  /// write-locks(tx, k): lock some timestamps ahead of buffering the
+  /// write. Returns false when the transaction can no longer commit.
+  virtual bool write_locks(PolicyContext& ctx, MvtlTx& tx, const Key& key) = 0;
+
+  /// read-locks(tx, k): resolve a version and lock an interval after it.
+  virtual PolicyReadResult read_locks(PolicyContext& ctx, MvtlTx& tx,
+                                      const Key& key) = 0;
+
+  /// commit-locks(tx): acquire any commit-time locks. Returns false when
+  /// no viable timestamp remains (transaction aborts).
+  virtual bool commit_locks(PolicyContext& ctx, MvtlTx& tx) = 0;
+
+  /// commit-ts(T): choose the serialization point from the non-empty
+  /// intersection T computed by the engine.
+  virtual Timestamp commit_ts(MvtlTx& tx, const IntervalSet& T) = 0;
+
+  /// commit-gc(tx): whether the engine garbage collects this
+  /// transaction's locks when it finishes (commit or abort).
+  virtual bool commit_gc(const MvtlTx& tx) const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Factories for the concrete policies of §5 (implemented in policies/).
+// ---------------------------------------------------------------------------
+
+/// MVTL-TO (§5.4): behaves exactly like MVTO+ — fixed clock timestamp,
+/// blocking reads up to it, non-waiting point write locks at commit, no GC.
+std::shared_ptr<MvtlPolicy> make_to_policy();
+
+/// MVTL-Ghostbuster (§5.5): MVTL-TO plus garbage collection on commit
+/// *and* abort, and commit-time write locks that wait unless frozen.
+std::shared_ptr<MvtlPolicy> make_ghostbuster_policy();
+
+/// MVTL-Pessimistic (§5.4): reads lock [tr+1, +∞], writes lock all
+/// timestamps, both blocking; commits at min T; GC on completion.
+std::shared_ptr<MvtlPolicy> make_pessimistic_policy();
+
+/// MVTL-ε-clock (§5.3): interval [now−ε, now+ε]; avoids serial aborts
+/// under ε-synchronized clocks. `epsilon_ticks` is ε in clock ticks.
+std::shared_ptr<MvtlPolicy> make_eps_clock_policy(std::uint64_t epsilon_ticks);
+
+/// MVTL-Pref (§5.1): preferential timestamp from the clock plus
+/// alternatives A(t) given as tick offsets (negative = earlier, the case
+/// covered by Theorem 2).
+std::shared_ptr<MvtlPolicy> make_pref_policy(
+    std::vector<std::int64_t> alternative_offsets);
+
+/// MVTL-Prio (§5.2): critical transactions lock pessimistically and are
+/// never aborted by normal (MVTO+-style) ones.
+std::shared_ptr<MvtlPolicy> make_prio_policy();
+
+/// MVTIL (§8): interval [t, t+Δ] that shrinks instead of waiting.
+/// `early` picks the smallest viable commit timestamp, else the largest.
+std::shared_ptr<MvtlPolicy> make_mvtil_policy(std::uint64_t delta_ticks,
+                                              bool early, bool gc_on_commit);
+
+}  // namespace mvtl

@@ -1,0 +1,57 @@
+// The uniform transactional-store interface (paper §2).
+//
+// Every engine in this repository — the generic MVTL engine under any
+// policy, the MVTO+ and 2PL baselines, and the distributed client — speaks
+// this interface: begin / read / write / commit / abort with dynamic
+// transactions. Workload drivers, the serializability checker, examples
+// and benchmarks are all written against it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mvtl {
+
+/// Per-transaction options supplied at begin().
+struct TxOptions {
+  /// Logical process issuing the transaction; feeds timestamp uniqueness.
+  ProcessId process = 0;
+  /// MVTL-Prio: critical transactions are never aborted by normal ones.
+  bool critical = false;
+};
+
+class TransactionalStore {
+ public:
+  /// Opaque per-engine transaction state. Owned by the caller via TxPtr;
+  /// must not outlive the engine.
+  class Tx {
+   public:
+    virtual ~Tx() = default;
+    virtual TxId id() const = 0;
+    virtual bool is_active() const = 0;
+  };
+  using TxPtr = std::unique_ptr<Tx>;
+
+  virtual ~TransactionalStore() = default;
+
+  virtual TxPtr begin(const TxOptions& options = {}) = 0;
+
+  /// Reads `key` within `tx`. `result.ok == false` means the transaction
+  /// can no longer commit and has been aborted by the engine.
+  virtual ReadResult read(Tx& tx, const Key& key) = 0;
+
+  /// Buffers a write of `key := value`. Returns false when the engine
+  /// already knows the transaction cannot commit (it has been aborted).
+  virtual bool write(Tx& tx, const Key& key, Value value) = 0;
+
+  virtual CommitResult commit(Tx& tx) = 0;
+
+  /// Voluntarily aborts an active transaction.
+  virtual void abort(Tx& tx) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace mvtl

@@ -1,0 +1,36 @@
+// Umbrella header: the full public API of the mvtl library.
+//
+//   #include "mvtl.hpp"
+//
+// Centralized engines:
+//   MvtlEngine + make_*_policy()     — generic MVTL under any §5 policy
+//   MvtoPlusEngine                   — MVTO+ baseline
+//   TwoPhaseLockingEngine            — strict 2PL baseline
+// Distributed system:
+//   Cluster / DistProtocol           — servers + clients on SimNetwork
+// Verification:
+//   HistoryRecorder + MvsgChecker    — machine-checked serializability
+// Workloads:
+//   WorkloadGenerator, run_closed_loop / run_fixed_count
+#pragma once
+
+#include "baselines/mvto_plus.hpp"
+#include "baselines/two_phase_locking.hpp"
+#include "common/interval.hpp"
+#include "common/interval_set.hpp"
+#include "common/timestamp.hpp"
+#include "common/types.hpp"
+#include "core/mvtl_engine.hpp"
+#include "core/policy.hpp"
+#include "core/transactional_store.hpp"
+#include "dist/cluster.hpp"
+#include "dist/commitment.hpp"
+#include "dist/paxos.hpp"
+#include "net/simnet.hpp"
+#include "sync/clock.hpp"
+#include "txbench/driver.hpp"
+#include "txbench/latency.hpp"
+#include "txbench/metrics.hpp"
+#include "txbench/workload.hpp"
+#include "verify/history.hpp"
+#include "verify/mvsg.hpp"

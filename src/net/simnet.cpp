@@ -1,0 +1,147 @@
+#include "net/simnet.hpp"
+
+namespace mvtl {
+
+Executor::Executor(std::size_t threads, std::string name,
+                   std::chrono::microseconds task_cost)
+    : name_(std::move(name)), task_cost_(task_cost) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard guard(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Executor::post(std::function<void()> fn) {
+  {
+    std::lock_guard guard(mu_);
+    if (stopping_) return;
+    queue_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+std::size_t Executor::backlog() const {
+  std::lock_guard guard(mu_);
+  return queue_.size();
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock guard(mu_);
+      cv_.wait(guard, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      fn = std::move(queue_.front());
+      queue_.pop();
+    }
+    if (task_cost_.count() > 0) {
+      // Occupy this worker (capacity = threads / task_cost) without
+      // burning host CPU: requests queue behind it exactly as they would
+      // behind a busy vCPU, which is the effect that matters.
+      std::this_thread::sleep_for(task_cost_);
+    }
+    fn();
+  }
+}
+
+SimNetwork::SimNetwork(NetProfile profile, std::uint64_t seed,
+                       std::size_t lanes)
+    : profile_(profile), rng_(seed) {
+  if (lanes == 0) lanes = 1;
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->timer = std::thread([this, l = lane.get()] { timer_loop(*l); });
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+SimNetwork::~SimNetwork() {
+  stopping_.store(true, std::memory_order_relaxed);
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard guard(lane->mu);
+    }
+    lane->cv.notify_all();
+    lane->timer.join();
+  }
+}
+
+std::chrono::microseconds SimNetwork::sample_latency() {
+  const auto jitter_us = static_cast<std::int64_t>(profile_.jitter.count());
+  std::int64_t extra = 0;
+  if (jitter_us > 0) {
+    std::lock_guard guard(rng_mu_);
+    extra = static_cast<std::int64_t>(rng_() %
+                                      static_cast<std::uint64_t>(jitter_us + 1));
+  }
+  return profile_.base + std::chrono::microseconds{extra};
+}
+
+void SimNetwork::enqueue(Lane& lane, std::function<void()> fn) {
+  const auto latency = sample_latency();
+  {
+    std::lock_guard guard(lane.mu);
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    lane.heap.push(Timed{std::chrono::steady_clock::now() + latency,
+                         lane.seq++, std::move(fn)});
+  }
+  lane.cv.notify_all();
+}
+
+SimNetwork::Lane& SimNetwork::lane_for_target(const void* target) {
+  const std::size_t h = std::hash<const void*>{}(target);
+  return *lanes_[h % lanes_.size()];
+}
+
+void SimNetwork::send(std::function<void()> fn) {
+  // Replies and unordered traffic spread round-robin across lanes.
+  const std::size_t i =
+      rr_.fetch_add(1, std::memory_order_relaxed) % lanes_.size();
+  enqueue(*lanes_[i], std::move(fn));
+}
+
+void SimNetwork::send_to(Executor& target, std::function<void()> fn) {
+  // Same destination ⇒ same lane: per-destination FIFO among equal
+  // deadlines, like messages on one connection.
+  enqueue(lane_for_target(&target),
+          [&target, f = std::move(fn)]() mutable { target.post(std::move(f)); });
+}
+
+void SimNetwork::timer_loop(Lane& lane) {
+  std::unique_lock guard(lane.mu);
+  for (;;) {
+    // On shutdown, drop undelivered messages: the endpoints they target
+    // are about to be destroyed (models a network partition at teardown).
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    if (lane.heap.empty()) {
+      lane.cv.wait(guard);
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (lane.heap.top().due > now) {
+      lane.cv.wait_until(guard, lane.heap.top().due);
+      continue;
+    }
+    // Timed::fn is move-only in spirit; const_cast around priority_queue's
+    // const top() is the standard idiom for draining move-only elements.
+    Timed item = std::move(const_cast<Timed&>(lane.heap.top()));
+    lane.heap.pop();
+    guard.unlock();
+    item.fn();
+    guard.lock();
+  }
+}
+
+}  // namespace mvtl

@@ -1,0 +1,163 @@
+// In-process simulated network.
+//
+// The paper evaluates the distributed algorithms over Apache Thrift on two
+// test beds: a 1 Gbps LAN of big multiprocessors ("local") and hundreds of
+// shared t2.micro VMs ("cloud"). We cannot reproduce the hardware, but the
+// protocols only observe two things: message delay and server-side
+// processing capacity. This module reproduces both:
+//
+//   * SimNetwork — a delivery scheduler that releases messages after a
+//     sampled latency (base + uniform jitter), via a timer thread;
+//   * Executor — a bounded worker pool standing in for a server's request
+//     threads (large for the local profile, tiny for cloud's 1 vCPU).
+//
+// An RPC is: schedule(request latency) → run handler on target executor →
+// schedule(reply latency) → complete the caller's future. Clients are
+// closed-loop threads blocking on the future, exactly like the paper's
+// client threads blocking on Thrift calls.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace mvtl {
+
+/// Latency profile of one network. Sampled per message:
+/// base + U[0, jitter].
+struct NetProfile {
+  std::chrono::microseconds base{50};
+  std::chrono::microseconds jitter{20};
+
+  /// ≈ LAN with fast dedicated machines (paper's local test bed).
+  static NetProfile local() { return NetProfile{.base = std::chrono::microseconds{40}, .jitter = std::chrono::microseconds{20}}; }
+
+  /// ≈ shared cloud VMs with an unpredictable network (cloud test bed).
+  static NetProfile cloud() { return NetProfile{.base = std::chrono::microseconds{250}, .jitter = std::chrono::microseconds{500}}; }
+
+  /// Zero-latency (for unit tests of the distributed logic).
+  static NetProfile instant() { return NetProfile{.base = std::chrono::microseconds{0}, .jitter = std::chrono::microseconds{0}}; }
+};
+
+/// Bounded worker pool; models a server's request-handling threads.
+/// `task_cost` burns CPU before each task, modeling the per-request
+/// processing cost of a weak machine (t2.micro, 1 vCPU): with it, wasted
+/// work — aborted transactions, lock-retry traffic — consumes real server
+/// capacity, as on the paper's test beds.
+class Executor {
+ public:
+  explicit Executor(std::size_t threads, std::string name = "exec",
+                    std::chrono::microseconds task_cost =
+                        std::chrono::microseconds{0});
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  void post(std::function<void()> fn);
+
+  /// Number of tasks waiting (diagnostics; server overload indicator).
+  std::size_t backlog() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::string name_;
+  std::chrono::microseconds task_cost_{0};
+};
+
+/// Timer-wheel delivery: messages become runnable after their latency.
+///
+/// Delivery is sharded into independent lanes (threads) so the simulator
+/// itself does not serialize the cluster: messages to the same executor
+/// always ride the same lane (per-destination FIFO among equal
+/// deadlines, like a TCP connection), while replies spread round-robin.
+class SimNetwork {
+ public:
+  explicit SimNetwork(NetProfile profile, std::uint64_t seed = 1,
+                      std::size_t lanes = 16);
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Runs `fn` on the scheduler thread after one sampled network latency.
+  /// `fn` must be cheap (enqueue / promise completion); heavy work goes
+  /// through an Executor.
+  void send(std::function<void()> fn);
+
+  /// send() that targets an executor: after the latency, `fn` is posted
+  /// to `target`'s queue.
+  void send_to(Executor& target, std::function<void()> fn);
+
+  std::chrono::microseconds sample_latency();
+
+  const NetProfile& profile() const { return profile_; }
+
+  /// Synchronous RPC: request latency → handler on the server executor →
+  /// reply latency → caller resumes. `handler` returns the response.
+  template <typename Handler>
+  auto call(Executor& server, Handler&& handler)
+      -> decltype(handler()) {
+    using Resp = decltype(handler());
+    auto done = std::make_shared<std::promise<Resp>>();
+    auto fut = done->get_future();
+    send_to(server, [this, done, h = std::forward<Handler>(handler)]() mutable {
+      Resp resp = h();
+      send([done, r = std::move(resp)]() mutable {
+        done->set_value(std::move(r));
+      });
+    });
+    return fut.get();
+  }
+
+  /// One-way message ("without waiting for replies", §H): request latency
+  /// then handler on the server executor.
+  template <typename Handler>
+  void cast(Executor& server, Handler&& handler) {
+    send_to(server, std::forward<Handler>(handler));
+  }
+
+ private:
+  struct Timed {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t seq;  // FIFO among equal deadlines
+    std::function<void()> fn;
+    bool operator>(const Timed& other) const {
+      return due != other.due ? due > other.due : seq > other.seq;
+    }
+  };
+
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::priority_queue<Timed, std::vector<Timed>, std::greater<>> heap;
+    std::uint64_t seq = 0;
+    std::thread timer;
+  };
+
+  void timer_loop(Lane& lane);
+  void enqueue(Lane& lane, std::function<void()> fn);
+  Lane& lane_for_target(const void* target);
+
+  NetProfile profile_;
+  std::mutex rng_mu_;
+  std::mt19937_64 rng_;
+  std::atomic<std::size_t> rr_{0};
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace mvtl

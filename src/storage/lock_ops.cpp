@@ -1,0 +1,265 @@
+#include "storage/lock_ops.hpp"
+
+#include <cassert>
+
+namespace mvtl::lock_ops {
+namespace {
+
+// How long to wait for a committing writer that has frozen its lock but
+// not yet installed the version (the transient window of §6's
+// atomic-block removal). Bounded and short: the installer runs under the
+// same latch right after freezing.
+constexpr std::chrono::microseconds kInstallWait{200};
+
+/// RAII scope for a waiter's wait-for-graph membership: edges registered
+/// while blocked are dropped when the acquire finishes either way.
+class WaitScope {
+ public:
+  WaitScope(WaitForGraph* graph, TxId tx) : graph_(graph), tx_(tx) {}
+  ~WaitScope() {
+    if (used_ && graph_ != nullptr) graph_->clear_waiter(tx_);
+  }
+
+  /// Registers waits-for edges; false ⇒ blocking would deadlock.
+  bool register_edges(const std::vector<TxId>& holders) {
+    if (graph_ == nullptr) return true;
+    used_ = true;
+    return graph_->add_edges(tx_, holders);
+  }
+
+ private:
+  WaitForGraph* graph_;
+  TxId tx_;
+  bool used_ = false;
+};
+
+}  // namespace
+
+ReadAcquire acquire_read_upto(KeyState& ks, TxId tx, Timestamp m,
+                              const Options& opts) {
+  assert(m > Timestamp::min());
+  std::unique_lock guard(ks.mu);
+  const auto deadline = Clock::now() + opts.timeout;
+
+  ReadAcquire out;
+  WaitScope wait_scope(opts.wait_graph, tx);
+  IntervalSet held;  // read locks granted within this call
+  Timestamp cur_tr = Timestamp::min();
+  bool have_tr = false;
+
+  for (;;) {
+    if (!ks.versions.is_safe_bound(m)) {
+      ks.locks.release(tx, LockMode::kRead, held);
+      ks.cv.notify_all();
+      out.outcome = Outcome::kPurged;
+      return out;
+    }
+    const VersionChain::Version& ver = ks.versions.latest_before(m);
+    if (have_tr && ver.ts != cur_tr) {
+      // A newer version committed below m: the paper's "release read-locks
+      // acquired above" restart.
+      ks.locks.release(tx, LockMode::kRead, held);
+      ks.cv.notify_all();
+      held = IntervalSet{};
+    }
+    cur_tr = ver.ts;
+    have_tr = true;
+
+    const Interval want{cur_tr.next(), m};
+    assert(!want.is_empty());
+    const ProbeResult probe = ks.locks.probe(tx, LockMode::kRead, want);
+
+    if (probe.hit_frozen_write) {
+      if (ks.versions.latest_before(m).ts > cur_tr) {
+        continue;  // a new version is visible below m; restart resolves it
+      }
+      // Frozen write(s) in (tr, m] but no version visible between: either
+      // a commit landed exactly at a frozen point (nothing to re-resolve
+      // — settle below it), or a committing writer froze but has not
+      // installed yet (transient; blocking callers wait it out).
+      const Timestamp f_min = probe.permanent.min();
+      if (!opts.wait || ks.versions.has_version_at(f_min)) {
+        const Timestamp upper = f_min.prev();
+        if (upper <= cur_tr) {
+          // The timeline right above the version we read is sealed; no
+          // read lock can be taken at all.
+          out.outcome = Outcome::kPartial;
+          out.tr = cur_tr;
+          out.value = ver.value;
+          out.writer = ver.writer;
+          out.upper = cur_tr;
+          return out;
+        }
+        m = upper;  // strictly decreases; next probe has no frozen points
+        continue;
+      }
+      ks.cv.wait_for(guard, kInstallWait);
+      if (Clock::now() >= deadline) {
+        ks.locks.release(tx, LockMode::kRead, held);
+        ks.cv.notify_all();
+        out.outcome = Outcome::kTimeout;
+        return out;
+      }
+      continue;
+    }
+
+    if (!probe.blocked.is_empty()) {
+      // Hold the obstacle-free prefix [want.lo, first_block-1] while
+      // deciding what to do about the rest (the paper acquires point by
+      // point and holds what it has).
+      const Timestamp first_block = probe.blocked.min();
+      if (first_block > want.lo()) {
+        const IntervalSet prefix =
+            probe.available.intersect(Interval{want.lo(), first_block.prev()});
+        ks.locks.grant(tx, LockMode::kRead, prefix);
+        held.insert(prefix);
+      }
+      if (!opts.wait) {
+        out.outcome = Outcome::kPartial;
+        out.tr = cur_tr;
+        out.value = ver.value;
+        out.writer = ver.writer;
+        out.upper = first_block > want.lo() ? first_block.prev() : cur_tr;
+        return out;
+      }
+      if (!wait_scope.register_edges(probe.blockers)) {
+        ks.locks.release(tx, LockMode::kRead, held);
+        ks.cv.notify_all();
+        out.outcome = Outcome::kDeadlock;
+        return out;
+      }
+      if (ks.cv.wait_until(guard, deadline) == std::cv_status::timeout ||
+          Clock::now() >= deadline) {
+        ks.locks.release(tx, LockMode::kRead, held);
+        ks.cv.notify_all();
+        out.outcome = Outcome::kTimeout;
+        return out;
+      }
+      continue;
+    }
+
+    // No obstacles: take the whole interval.
+    ks.locks.grant(tx, LockMode::kRead, probe.available);
+    out.outcome = Outcome::kAcquired;
+    out.tr = cur_tr;
+    out.value = ver.value;
+    out.writer = ver.writer;
+    out.upper = m;
+    return out;
+  }
+}
+
+WriteAcquire acquire_write_set(KeyState& ks, TxId tx, const IntervalSet& want,
+                               const Options& opts) {
+  WriteAcquire out;
+  if (want.is_empty()) {
+    out.outcome = Outcome::kAcquired;
+    return out;
+  }
+  std::unique_lock guard(ks.mu);
+  WaitScope wait_scope(opts.wait_graph, tx);
+  const auto deadline = Clock::now() + opts.timeout;
+
+  for (;;) {
+    IntervalSet available;
+    IntervalSet blocked;
+    std::vector<TxId> blockers;
+    for (const Interval& iv : want.intervals()) {
+      ProbeResult probe = ks.locks.probe(tx, LockMode::kWrite, iv);
+      available.insert(probe.available);
+      blocked.insert(probe.blocked);
+      blockers.insert(blockers.end(), probe.blockers.begin(),
+                      probe.blockers.end());
+    }
+    ks.locks.grant(tx, LockMode::kWrite, available);
+    out.acquired.insert(available);
+
+    if (blocked.is_empty()) {
+      out.outcome = Outcome::kAcquired;
+      return out;
+    }
+    if (!opts.wait) {
+      out.outcome = Outcome::kPartial;
+      return out;
+    }
+    if (!wait_scope.register_edges(blockers)) {
+      out.outcome = Outcome::kDeadlock;
+      return out;
+    }
+    if (ks.cv.wait_until(guard, deadline) == std::cv_status::timeout ||
+        Clock::now() >= deadline) {
+      out.outcome = Outcome::kTimeout;
+      return out;
+    }
+  }
+}
+
+bool acquire_write_point(KeyState& ks, TxId tx, Timestamp t,
+                         bool wait_on_conflicts,
+                         std::chrono::microseconds timeout,
+                         WaitForGraph* wait_graph) {
+  std::unique_lock guard(ks.mu);
+  WaitScope wait_scope(wait_graph, tx);
+  const auto deadline = Clock::now() + timeout;
+  const Interval point = Interval::point(t);
+  for (;;) {
+    const ProbeResult probe = ks.locks.probe(tx, LockMode::kWrite, point);
+    if (probe.available.contains(t)) {
+      ks.locks.grant(tx, LockMode::kWrite, IntervalSet{point});
+      return true;
+    }
+    if (!probe.permanent.is_empty() || !wait_on_conflicts) return false;
+    if (!wait_scope.register_edges(probe.blockers)) return false;
+    if (ks.cv.wait_until(guard, deadline) == std::cv_status::timeout ||
+        Clock::now() >= deadline) {
+      return false;
+    }
+  }
+}
+
+void commit_key(KeyState& ks, TxId tx, Timestamp commit_ts, Value value) {
+  std::lock_guard guard(ks.mu);
+  assert(ks.locks.holds(tx, LockMode::kWrite, commit_ts));
+  ks.locks.freeze(tx, LockMode::kWrite, IntervalSet{Interval::point(commit_ts)});
+  ks.versions.install(commit_ts, std::move(value), tx);
+  ks.cv.notify_all();
+}
+
+void freeze_read_range(KeyState& ks, TxId tx, Timestamp tr,
+                       Timestamp commit_ts) {
+  if (commit_ts <= tr) return;
+  std::lock_guard guard(ks.mu);
+  ks.locks.freeze(tx, LockMode::kRead,
+                  IntervalSet{Interval{tr.next(), commit_ts}});
+  // Freezing turns "wait-able" conflicts into permanent ones; waiting
+  // writers must re-probe and give up on those points.
+  ks.cv.notify_all();
+}
+
+void freeze_reads_upto(KeyState& ks, TxId tx, Timestamp commit_ts) {
+  std::lock_guard guard(ks.mu);
+  ks.locks.freeze(tx, LockMode::kRead,
+                  IntervalSet{Interval{Timestamp::min(), commit_ts}});
+  ks.cv.notify_all();
+}
+
+void release_all(KeyState& ks, TxId tx) {
+  std::lock_guard guard(ks.mu);
+  ks.locks.release_all(tx);
+  ks.cv.notify_all();
+}
+
+void release_writes(KeyState& ks, TxId tx) {
+  std::lock_guard guard(ks.mu);
+  ks.locks.release(tx, LockMode::kWrite, IntervalSet::all());
+  ks.cv.notify_all();
+}
+
+void release_writes_except(KeyState& ks, TxId tx, const IntervalSet& keep) {
+  std::lock_guard guard(ks.mu);
+  IntervalSet to_release = keep.complement();
+  ks.locks.release(tx, LockMode::kWrite, to_release);
+  ks.cv.notify_all();
+}
+
+}  // namespace mvtl::lock_ops

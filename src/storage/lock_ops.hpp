@@ -1,0 +1,129 @@
+// Lock acquisition loops over one key — the operational heart of every
+// MVTL policy.
+//
+// All the policy pseudo-code in the paper (Algorithms 3–10) is built from
+// two loops:
+//
+//   * the *read loop*: resolve the version to read below a bound `m`,
+//     read-lock the contiguous interval [tr+1, m], waiting on unfrozen
+//     write locks and restarting when a frozen write lock (= a freshly
+//     committed version) appears inside the range;
+//
+//   * the *write acquire*: write-lock a set of timestamps, either waiting
+//     for unfrozen conflicts to clear (pessimistic flavours) or taking
+//     what is free right now (MVTIL's shrink-the-interval flavour).
+//
+// These are implemented here once, against a KeyState, with bounded waits
+// for deadlock relief (§4.3: "cycle detection in the wait-for graph,
+// timeout, etc."). Policies compose them.
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+#include "storage/store.hpp"
+#include "sync/wait_for_graph.hpp"
+
+namespace mvtl::lock_ops {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  /// Block on unfrozen conflicting locks (true for the TO / pessimistic /
+  /// ε-clock families; false for MVTIL, which shrinks instead).
+  bool wait = true;
+  /// Upper bound on total blocking time before giving up (deadlock
+  /// relief). Ignored when `wait` is false.
+  std::chrono::microseconds timeout{20'000};
+  /// Optional precise deadlock detection (§4.3: "cycle detection in the
+  /// wait-for graph"): before blocking, the waiter registers edges to the
+  /// lock holders; an edge that would close a cycle aborts the waiter
+  /// immediately (kDeadlock) instead of letting the timeout fire.
+  WaitForGraph* wait_graph = nullptr;
+};
+
+enum class Outcome {
+  kAcquired,  ///< everything requested that is not permanently unavailable
+  kPartial,   ///< non-waiting acquire stopped at a conflict
+  kTimeout,   ///< waited past the deadline (possible deadlock)
+  kDeadlock,  ///< the wait-for graph found a cycle; waiter elected victim
+  kPurged,    ///< the requested range is below the purge horizon
+};
+
+struct ReadAcquire {
+  Outcome outcome = Outcome::kTimeout;
+  /// Timestamp of the version read (`tr` in the paper).
+  Timestamp tr;
+  /// Value of that version; nullopt == ⊥.
+  std::optional<Value> value;
+  /// Transaction that wrote the version (kInvalidTxId for ⊥).
+  TxId writer = kInvalidTxId;
+  /// Read locks now held cover [tr+1, upper]; upper == tr means none.
+  Timestamp upper;
+};
+
+/// Executes the read loop for `tx` on one key with bound `m` (the read
+/// returns the latest committed version with ts < m and locks upward from
+/// it toward m). With opts.wait, the result either covers [tr+1, m]
+/// (kAcquired) or the loop timed out / hit the purge horizon; without
+/// wait, the locks cover the maximal obstacle-free prefix (kAcquired when
+/// it reaches m, else kPartial).
+ReadAcquire acquire_read_upto(KeyState& ks, TxId tx, Timestamp m,
+                              const Options& opts);
+
+struct WriteAcquire {
+  Outcome outcome = Outcome::kTimeout;
+  /// Points of `want` the transaction now holds write locks on.
+  IntervalSet acquired;
+};
+
+/// Write-locks as much of `want` as possible for `tx`. With opts.wait,
+/// returns only when every point of `want` is either held by `tx` or
+/// permanently unavailable (frozen / below horizon) — or the deadline
+/// passes, in which case the points granted so far stay held and are
+/// reported (the caller shrinks or aborts). Without wait, a single pass
+/// grabs the currently free points.
+WriteAcquire acquire_write_set(KeyState& ks, TxId tx, const IntervalSet& want,
+                               const Options& opts);
+
+/// All-or-nothing write lock of the single point `t` (the commit-locks
+/// step of MVTL-TO / MVTL-Pref / MVTL-Ghostbuster). `wait_on_conflicts`
+/// selects between "without waiting if a timestamp is read-locked"
+/// (MVTO+-style immediate failure) and Ghostbuster's "waiting ... unless
+/// frozen". Returns true iff the lock is held on return.
+bool acquire_write_point(KeyState& ks, TxId tx, Timestamp t,
+                         bool wait_on_conflicts,
+                         std::chrono::microseconds timeout,
+                         WaitForGraph* wait_graph = nullptr);
+
+/// Commits one key: freezes tx's write lock at `commit_ts` and installs
+/// the new version, atomically under the key latch (the paper's lines
+/// 17–19 atomic block, realized per key; see §6).
+void commit_key(KeyState& ks, TxId tx, Timestamp commit_ts, Value value);
+
+/// Garbage collection for one read-set entry of a *committed* tx: freezes
+/// the read locks on [tr+1, commit_ts] (Algorithm 1, gc()).
+void freeze_read_range(KeyState& ks, TxId tx, Timestamp tr,
+                       Timestamp commit_ts);
+
+/// Freezes every read lock `tx` holds at or below `commit_ts`. Used by a
+/// server finishing a transaction whose read base (tr) it does not know
+/// — e.g. when committing on behalf of a suspected coordinator. Freezing
+/// a superset of [tr+1, commit_ts] is safe (conservatively blocks
+/// writers) and never unsound.
+void freeze_reads_upto(KeyState& ks, TxId tx, Timestamp commit_ts);
+
+/// Releases all unfrozen locks of `tx` on this key (both modes).
+void release_all(KeyState& ks, TxId tx);
+
+/// Releases only the unfrozen *write* locks of `tx` (an aborted
+/// transaction exposes no data, so its write locks serve no purpose; its
+/// read locks may deliberately persist under no-GC policies to emulate
+/// MVTO+ read timestamps).
+void release_writes(KeyState& ks, TxId tx);
+
+/// Releases the unfrozen write locks of `tx` outside `keep` (commit-time
+/// trimming used by interval policies before/after choosing commit_ts).
+void release_writes_except(KeyState& ks, TxId tx, const IntervalSet& keep);
+
+}  // namespace mvtl::lock_ops

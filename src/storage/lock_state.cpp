@@ -1,0 +1,140 @@
+#include "storage/lock_state.hpp"
+
+#include <algorithm>
+
+namespace mvtl {
+
+ProbeResult LockState::probe(TxId tx, LockMode mode,
+                             const Interval& want) const {
+  ProbeResult result;
+  if (want.is_empty()) return result;
+  const IntervalSet wanted(want);
+
+  IntervalSet blocked;
+  for (const auto& [owner, locks] : owners_) {
+    if (owner == tx) continue;
+    // Another owner's write always conflicts; their read conflicts only
+    // with a write request.
+    IntervalSet conflict = locks.write.intersect(want);
+    if (mode == LockMode::kWrite) {
+      conflict.insert(locks.read.intersect(want));
+    }
+    if (!conflict.is_empty()) {
+      blocked.insert(conflict);
+      result.blockers.push_back(owner);
+    }
+  }
+
+  IntervalSet permanent;
+  const IntervalSet frozen_w = frozen_write_.intersect(want);
+  if (!frozen_w.is_empty()) {
+    permanent.insert(frozen_w);
+    result.hit_frozen_write = true;
+  }
+  if (mode == LockMode::kWrite) {
+    permanent.insert(frozen_read_.intersect(want));
+    if (horizon_ > Timestamp::min()) {
+      permanent.insert(
+          IntervalSet(Interval{Timestamp::min(), horizon_.prev()})
+              .intersect(want));
+    }
+  }
+  // For reads, points below the horizon are auto-available: no writer can
+  // ever lock them, so the read is vacuously protected there.
+  if (mode == LockMode::kRead && horizon_ > Timestamp::min()) {
+    const Interval below{Timestamp::min(), horizon_.prev()};
+    blocked.subtract(below);
+    permanent.subtract(below);
+    if (permanent.is_empty()) result.hit_frozen_write = false;
+  }
+
+  blocked.subtract(permanent);  // permanent refusal dominates waiting
+  IntervalSet available = wanted;
+  available.subtract(blocked);
+  available.subtract(permanent);
+
+  result.available = std::move(available);
+  result.blocked = std::move(blocked);
+  result.permanent = std::move(permanent);
+  return result;
+}
+
+void LockState::grant(TxId tx, LockMode mode, const IntervalSet& points) {
+  if (points.is_empty()) return;
+  OwnerLocks& mine = owners_[tx];
+  // Read and write holdings of the same owner may overlap (a write lock
+  // "upgrading" a read keeps the read record): releasing or trimming the
+  // write lock later must not silently drop read protection the
+  // transaction's commit intersection still relies on.
+  if (mode == LockMode::kRead) {
+    mine.read.insert(points);
+  } else {
+    mine.write.insert(points);
+  }
+}
+
+void LockState::release(TxId tx, LockMode mode, const IntervalSet& points) {
+  auto it = owners_.find(tx);
+  if (it == owners_.end()) return;
+  if (mode == LockMode::kRead) {
+    it->second.read.subtract(points);
+  } else {
+    it->second.write.subtract(points);
+  }
+  if (it->second.empty()) owners_.erase(it);
+}
+
+void LockState::release_all(TxId tx) { owners_.erase(tx); }
+
+void LockState::freeze(TxId tx, LockMode mode, const IntervalSet& points) {
+  auto it = owners_.find(tx);
+  if (it == owners_.end()) return;
+  IntervalSet& held =
+      mode == LockMode::kRead ? it->second.read : it->second.write;
+  IntervalSet to_freeze = held.intersect(points);
+  if (to_freeze.is_empty()) return;
+  held.subtract(to_freeze);
+  if (mode == LockMode::kRead) {
+    frozen_read_.insert(to_freeze);
+  } else {
+    frozen_write_.insert(to_freeze);
+  }
+  if (it->second.empty()) owners_.erase(it);
+}
+
+bool LockState::holds(TxId tx, LockMode mode, Timestamp t) const {
+  auto it = owners_.find(tx);
+  if (it == owners_.end()) return false;
+  const OwnerLocks& mine = it->second;
+  if (mode == LockMode::kWrite) return mine.write.contains(t);
+  return mine.read.contains(t) || mine.write.contains(t);
+}
+
+void LockState::purge_below(Timestamp horizon) {
+  if (horizon <= horizon_) return;
+  horizon_ = horizon;
+  if (horizon_ == Timestamp::min()) return;
+  const Interval below{Timestamp::min(), horizon_.prev()};
+  frozen_read_.subtract(below);
+  frozen_write_.subtract(below);
+  // Unfrozen locks below the horizon are useless too — writes there are
+  // permanently refused and reads are vacuously protected — so they can
+  // be reclaimed even if their owner is still running (or crashed and
+  // will never release them).
+  for (auto it = owners_.begin(); it != owners_.end();) {
+    it->second.read.subtract(below);
+    it->second.write.subtract(below);
+    it = it->second.empty() ? owners_.erase(it) : std::next(it);
+  }
+}
+
+std::size_t LockState::entry_count() const {
+  std::size_t n = frozen_read_.interval_count() +
+                  frozen_write_.interval_count();
+  for (const auto& [owner, locks] : owners_) {
+    n += locks.read.interval_count() + locks.write.interval_count();
+  }
+  return n;
+}
+
+}  // namespace mvtl

@@ -1,0 +1,115 @@
+// Freezable timestamp locks for one key (paper §4.2), interval-compressed
+// (paper §6).
+//
+// Conceptually MVTL keeps one readers-writer lock *per timestamp* of each
+// object, extended with a "freeze" operation: a holder freezes a lock to
+// announce it will never release it (committed versions freeze their write
+// lock; garbage collection freezes the read locks that protect a committed
+// read). Frozen locks tell other transactions not to wait.
+//
+// This class is the practical realization: lock state is stored as
+// interval sets, one pair (read, write) per *active* owner, plus two global
+// frozen sets. Merging frozen locks across owners is sound because frozen
+// locks are never released and conflict rules for frozen locks do not
+// depend on the owner. A per-key purge horizon implements the state
+// discarding of §6: below the horizon, versions and frozen locks have been
+// reclaimed; writes there are permanently refused and reads need no locks
+// (nothing can invalidate them, since no writer can ever lock there).
+//
+// Conflict matrix at a single timestamp t ("own" entries never conflict):
+//   request read : blocked by another owner's unfrozen WRITE (wait),
+//                  refused by a frozen WRITE (a committed version is there
+//                  — the caller must re-resolve which version to read).
+//   request write: blocked by another owner's unfrozen READ or WRITE,
+//                  permanently refused by any frozen lock or the horizon.
+//
+// Thread safety: none here. KeyState wraps LockState + VersionChain under
+// one mutex; all callers hold it.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval_set.hpp"
+#include "common/types.hpp"
+
+namespace mvtl {
+
+enum class LockMode { kRead, kWrite };
+
+/// Outcome of a conflict probe over a wanted interval.
+struct ProbeResult {
+  /// Points grantable right now (free, or already held by the requester —
+  /// including, for read requests, points covered by the requester's own
+  /// write locks; for reads, also points below the purge horizon).
+  IntervalSet available;
+  /// Points held (conflicting, unfrozen) by other transactions; a caller
+  /// with blocking semantics may wait for these.
+  IntervalSet blocked;
+  /// Points that can never be granted: frozen conflicting locks, or (for
+  /// writes) points below the purge horizon.
+  IntervalSet permanent;
+  /// Owners of the `blocked` points (for wait-for-graph edges).
+  std::vector<TxId> blockers;
+  /// Read requests only: true iff `permanent` includes a frozen *write*
+  /// lock — i.e. a version committed inside the wanted range and the
+  /// reader must restart its version resolution (Algorithm 3/4/8 loops).
+  bool hit_frozen_write = false;
+};
+
+class LockState {
+ public:
+  /// Classifies every point of `want` for a (tx, mode) request.
+  ProbeResult probe(TxId tx, LockMode mode, const Interval& want) const;
+
+  /// Records locks for `tx`; caller must have verified availability via
+  /// probe() under the same critical section. Granting a write over the
+  /// requester's own read locks upgrades them (the read coverage is
+  /// subsumed and removed to keep state small).
+  void grant(TxId tx, LockMode mode, const IntervalSet& points);
+
+  /// Releases unfrozen locks of `tx` restricted to `points`.
+  void release(TxId tx, LockMode mode, const IntervalSet& points);
+
+  /// Releases every unfrozen lock of `tx` (both modes). Frozen locks
+  /// stay forever, as §4.2 requires.
+  void release_all(TxId tx);
+
+  /// Freezes `tx`'s locks of `mode` over `points ∩ currently-held`.
+  /// Frozen state migrates to the shared frozen sets.
+  void freeze(TxId tx, LockMode mode, const IntervalSet& points);
+
+  /// True iff `tx` currently holds (unfrozen) a lock of `mode` at `t`.
+  bool holds(TxId tx, LockMode mode, Timestamp t) const;
+
+  /// Raises the purge horizon: frozen state strictly below `horizon` is
+  /// discarded (the associated versions are being purged). Unfrozen locks
+  /// of active transactions are kept — their owners are still running.
+  void purge_below(Timestamp horizon);
+
+  Timestamp purge_horizon() const { return horizon_; }
+
+  /// Number of interval-compressed lock records currently stored —
+  /// the "number of locks" metric of Figure 6.
+  std::size_t entry_count() const;
+
+  /// Number of distinct active owners holding unfrozen locks.
+  std::size_t owner_count() const { return owners_.size(); }
+
+  const IntervalSet& frozen_read() const { return frozen_read_; }
+  const IntervalSet& frozen_write() const { return frozen_write_; }
+
+ private:
+  struct OwnerLocks {
+    IntervalSet read;
+    IntervalSet write;
+    bool empty() const { return read.is_empty() && write.is_empty(); }
+  };
+
+  std::unordered_map<TxId, OwnerLocks> owners_;
+  IntervalSet frozen_read_;
+  IntervalSet frozen_write_;
+  Timestamp horizon_ = Timestamp::min();  // everything below is reclaimed
+};
+
+}  // namespace mvtl

@@ -1,0 +1,62 @@
+#include "storage/store.hpp"
+
+namespace mvtl {
+
+Store::Store(std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+Store::Shard& Store::shard_for(const Key& key) {
+  const std::size_t h = std::hash<Key>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+KeyState& Store::key_state(const Key& key) {
+  Shard& shard = shard_for(key);
+  {
+    std::shared_lock read_guard(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) return *it->second;
+  }
+  std::unique_lock write_guard(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(key, nullptr);
+  if (inserted) it->second = std::make_unique<KeyState>();
+  return *it->second;
+}
+
+void Store::for_each(const std::function<void(const Key&, KeyState&)>& fn) {
+  for (auto& shard : shards_) {
+    std::shared_lock guard(shard->mu);
+    for (auto& [key, state] : shard->map) {
+      fn(key, *state);
+    }
+  }
+}
+
+std::size_t Store::purge_below(Timestamp horizon) {
+  std::size_t dropped = 0;
+  for_each([&](const Key&, KeyState& ks) {
+    std::lock_guard guard(ks.mu);
+    dropped += ks.versions.purge_below(horizon);
+    ks.locks.purge_below(horizon);
+    ks.cv.notify_all();
+  });
+  return dropped;
+}
+
+StoreStats Store::stats() {
+  StoreStats s;
+  for_each([&](const Key&, KeyState& ks) {
+    std::lock_guard guard(ks.mu);
+    s.keys += 1;
+    s.lock_entries += ks.locks.entry_count();
+    s.versions += ks.versions.version_count();
+  });
+  return s;
+}
+
+}  // namespace mvtl

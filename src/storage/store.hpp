@@ -1,0 +1,74 @@
+// The shared multiversion store: per-key lock state + version chain.
+//
+// The paper's implementation (§8.1) stores, per key, two skip lists —
+// version state and lock state — inside a concurrent hash table with a
+// latch per entry. We mirror that shape: a striped hash map of KeyState,
+// where each KeyState carries its own mutex (the latch) and condition
+// variable (for "wait unless frozen" semantics). Key states are never
+// removed, so references handed out remain valid for the store's lifetime.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/lock_state.hpp"
+#include "storage/version_chain.hpp"
+
+namespace mvtl {
+
+/// All shared state for one key. `mu` is the per-entry latch of §8.1;
+/// `cv` is signalled whenever locks are released/frozen or a version is
+/// installed, waking "wait unless frozen" loops.
+struct KeyState {
+  std::mutex mu;
+  std::condition_variable cv;
+  LockState locks;
+  VersionChain versions;
+};
+
+/// Aggregated metadata sizes (Figure 6).
+struct StoreStats {
+  std::size_t keys = 0;
+  std::size_t lock_entries = 0;
+  std::size_t versions = 0;
+};
+
+class Store {
+ public:
+  explicit Store(std::size_t shard_count = 64);
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Returns the state for `key`, creating it on first touch. The
+  /// returned reference is stable for the lifetime of the store.
+  KeyState& key_state(const Key& key);
+
+  /// Applies `fn` to every key state. `fn` must lock ks.mu itself if it
+  /// mutates; iteration holds only the shard map locks.
+  void for_each(const std::function<void(const Key&, KeyState&)>& fn);
+
+  /// Purges versions and frozen lock state below `horizon` on every key
+  /// (the timestamp-service broadcast of §8.1). Returns totals dropped.
+  std::size_t purge_below(Timestamp horizon);
+
+  StoreStats stats();
+
+ private:
+  struct Shard {
+    std::shared_mutex mu;
+    std::unordered_map<Key, std::unique_ptr<KeyState>> map;
+  };
+
+  Shard& shard_for(const Key& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mvtl

@@ -1,0 +1,58 @@
+#include "storage/version_chain.hpp"
+
+#include <algorithm>
+
+namespace mvtl {
+
+const VersionChain::Version& VersionChain::bottom() {
+  static const Version kBottom{Timestamp::min(), std::nullopt, kInvalidTxId};
+  return kBottom;
+}
+
+const VersionChain::Version& VersionChain::latest_before(
+    Timestamp bound) const {
+  auto it = std::lower_bound(
+      versions_.begin(), versions_.end(), bound,
+      [](const Version& v, Timestamp t) { return v.ts < t; });
+  if (it == versions_.begin()) return bottom();
+  return *(it - 1);
+}
+
+const VersionChain::Version& VersionChain::latest() const {
+  return versions_.empty() ? bottom() : versions_.back();
+}
+
+bool VersionChain::has_version_at(Timestamp t) const {
+  auto it = std::lower_bound(
+      versions_.begin(), versions_.end(), t,
+      [](const Version& v, Timestamp ts) { return v.ts < ts; });
+  return it != versions_.end() && it->ts == t;
+}
+
+void VersionChain::install(Timestamp ts, Value value, TxId writer) {
+  assert(ts > Timestamp::min());
+  auto it = std::lower_bound(
+      versions_.begin(), versions_.end(), ts,
+      [](const Version& v, Timestamp t) { return v.ts < t; });
+  assert(it == versions_.end() || it->ts != ts);
+  versions_.insert(it, Version{ts, std::move(value), writer});
+}
+
+std::size_t VersionChain::purge_below(Timestamp horizon) {
+  // Find versions strictly below the horizon; keep the newest of them.
+  auto below_end = std::lower_bound(
+      versions_.begin(), versions_.end(), horizon,
+      [](const Version& v, Timestamp t) { return v.ts < t; });
+  const auto below_count =
+      static_cast<std::size_t>(below_end - versions_.begin());
+  if (below_count <= 1) return 0;
+  const std::size_t dropped = below_count - 1;
+  versions_.erase(versions_.begin(),
+                  versions_.begin() + static_cast<std::ptrdiff_t>(dropped));
+  // versions_.front() is the survivor of the purged region; reads bounded
+  // at or below it can no longer be resolved correctly.
+  purge_floor_ = max(purge_floor_, versions_.front().ts);
+  return dropped;
+}
+
+}  // namespace mvtl

@@ -1,0 +1,64 @@
+// Per-key committed version history (paper §4.1, purging per §6).
+//
+// `Values[k, t]` from the paper, restricted to one key: a timestamp-ordered
+// list of committed versions. The initial version ⊥ lives implicitly at
+// timestamp 0 (a read that resolves to it reports "no value"). Purging
+// keeps, of the versions below the horizon, only the most recent one — so
+// reads above the horizon always find their base version.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mvtl {
+
+class VersionChain {
+ public:
+  struct Version {
+    Timestamp ts;
+    std::optional<Value> value;  // nullopt == ⊥ (only for the ts-0 sentinel)
+    TxId writer = kInvalidTxId;  // kInvalidTxId for ⊥
+  };
+
+  /// The latest committed version with ts < bound, i.e. the version a
+  /// transaction serialized anywhere in [result.ts+1, ...] reads. Always
+  /// defined: falls back to the ⊥ sentinel {0, nullopt}.
+  const Version& latest_before(Timestamp bound) const;
+
+  /// The latest committed version overall (the ⊥ sentinel if none).
+  const Version& latest() const;
+
+  /// True iff a committed version exists exactly at `t`.
+  bool has_version_at(Timestamp t) const;
+
+  /// Installs a committed version. Timestamps are unique per transaction,
+  /// so `ts` must not collide with an existing version.
+  void install(Timestamp ts, Value value, TxId writer);
+
+  /// Drops versions with ts < horizon except the most recent of them
+  /// (paper §6 / §8.1). Returns the number of versions dropped.
+  std::size_t purge_below(Timestamp horizon);
+
+  /// After purging, history below the newest purged-region version is
+  /// unknown, so `latest_before(bound)` is only trustworthy for bounds
+  /// above it. Transactions with an unsafe bound must abort
+  /// (AbortReason::kVersionPurged) — §6: "transactions that need purged
+  /// versions will abort".
+  bool is_safe_bound(Timestamp bound) const { return bound > purge_floor_; }
+
+  /// Number of explicit committed versions (excludes the ⊥ sentinel).
+  std::size_t version_count() const { return versions_.size(); }
+
+  const std::vector<Version>& versions() const { return versions_; }
+
+ private:
+  static const Version& bottom();
+
+  std::vector<Version> versions_;  // sorted by ts ascending
+  Timestamp purge_floor_ = Timestamp::min();
+};
+
+}  // namespace mvtl

@@ -1,0 +1,55 @@
+#include "sync/wait_for_graph.hpp"
+
+namespace mvtl {
+
+bool WaitForGraph::add_edges(TxId waiter, const std::vector<TxId>& holders) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (TxId holder : holders) {
+    if (holder == waiter) continue;
+    if (reachable_locked(holder, waiter)) return false;  // would close cycle
+  }
+  auto& out = waits_for_[waiter];
+  for (TxId holder : holders) {
+    if (holder != waiter) out.insert(holder);
+  }
+  return true;
+}
+
+void WaitForGraph::clear_waiter(TxId waiter) {
+  std::lock_guard<std::mutex> guard(mu_);
+  waits_for_.erase(waiter);
+}
+
+void WaitForGraph::remove_tx(TxId tx) {
+  std::lock_guard<std::mutex> guard(mu_);
+  waits_for_.erase(tx);
+  for (auto& [waiter, holders] : waits_for_) {
+    holders.erase(tx);
+  }
+}
+
+std::size_t WaitForGraph::edge_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::size_t n = 0;
+  for (const auto& [waiter, holders] : waits_for_) n += holders.size();
+  return n;
+}
+
+bool WaitForGraph::reachable_locked(TxId from, TxId to) const {
+  if (from == to) return true;
+  std::vector<TxId> stack{from};
+  std::unordered_set<TxId> seen{from};
+  while (!stack.empty()) {
+    const TxId cur = stack.back();
+    stack.pop_back();
+    auto it = waits_for_.find(cur);
+    if (it == waits_for_.end()) continue;
+    for (TxId next : it->second) {
+      if (next == to) return true;
+      if (seen.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+}  // namespace mvtl

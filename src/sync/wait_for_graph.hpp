@@ -1,0 +1,47 @@
+// Wait-for-graph deadlock detector.
+//
+// Blocking MVTL policies (pessimistic, ε-clock, critical transactions in
+// the prioritizer) can deadlock; the paper (§4.3) prescribes "standard
+// techniques for deadlock detection ... cycle detection in the wait-for
+// graph, timeout, etc". The lock table uses bounded waits (timeouts) as
+// the operational mechanism and this detector as an optional precise one:
+// waiters register edges and the detector refuses an edge that would close
+// a cycle, electing the newcomer as the victim.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mvtl {
+
+class WaitForGraph {
+ public:
+  /// Registers "waiter waits for each of holders". Returns false — and
+  /// registers nothing — if doing so would create a cycle (the waiter
+  /// should abort instead of blocking).
+  bool add_edges(TxId waiter, const std::vector<TxId>& holders);
+
+  /// Removes all outgoing edges of `waiter` (it stopped waiting).
+  void clear_waiter(TxId waiter);
+
+  /// Removes a transaction entirely (it finished; nobody waits for it
+  /// and it waits for nobody).
+  void remove_tx(TxId tx);
+
+  std::size_t edge_count() const;
+
+ private:
+  /// True if `to` is reachable from `from` following wait edges.
+  /// Caller holds mu_.
+  bool reachable_locked(TxId from, TxId to) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<TxId, std::unordered_set<TxId>> waits_for_;
+};
+
+}  // namespace mvtl

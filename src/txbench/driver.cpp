@@ -1,0 +1,128 @@
+#include "txbench/driver.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "txbench/latency.hpp"
+
+namespace mvtl {
+namespace {
+
+enum class Phase : int { kWarmup = 0, kMeasure = 1, kDone = 2 };
+
+}  // namespace
+
+CommitResult execute_tx(TransactionalStore& store, const TxSpec& spec,
+                        ProcessId process, bool critical) {
+  TxOptions options;
+  options.process = process;
+  options.critical = critical;
+  TransactionalStore::TxPtr tx = store.begin(options);
+  for (const Op& op : spec) {
+    if (op.kind == Op::Kind::kRead) {
+      const ReadResult r = store.read(*tx, op.key);
+      if (!r.ok) return CommitResult{};  // engine aborted the tx
+    } else {
+      if (!store.write(*tx, op.key, op.value)) return CommitResult{};
+    }
+  }
+  return store.commit(*tx);
+}
+
+DriverResult run_closed_loop(TransactionalStore& store,
+                             const DriverConfig& config) {
+  Metrics metrics;
+  LatencyHistogram latency;
+  std::atomic<int> phase{static_cast<int>(Phase::kWarmup)};
+
+  std::vector<std::thread> threads;
+  threads.reserve(config.clients);
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    threads.emplace_back([&, c] {
+      WorkloadConfig wl = config.workload;
+      wl.seed = config.workload.seed * 1'000'003 + c;
+      WorkloadGenerator gen(wl);
+      const auto process = static_cast<ProcessId>((c % 65'534) + 1);
+      while (phase.load(std::memory_order_relaxed) !=
+             static_cast<int>(Phase::kDone)) {
+        const TxSpec spec = gen.next_tx();
+        const auto started = std::chrono::steady_clock::now();
+        CommitResult result = execute_tx(store, spec, process);
+        std::size_t restarts = 0;
+        while (!result.committed() && config.retry_aborted &&
+               restarts < config.max_restarts &&
+               phase.load(std::memory_order_relaxed) !=
+                   static_cast<int>(Phase::kDone)) {
+          ++restarts;
+          result = execute_tx(store, spec, process);
+        }
+        if (phase.load(std::memory_order_relaxed) ==
+            static_cast<int>(Phase::kMeasure)) {
+          if (result.committed()) {
+            metrics.add_commit();
+            latency.record(std::chrono::steady_clock::now() - started);
+          } else {
+            metrics.add_abort(AbortReason::kNone);
+          }
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(config.warmup);
+  const auto measure_start = std::chrono::steady_clock::now();
+  phase.store(static_cast<int>(Phase::kMeasure), std::memory_order_relaxed);
+  std::this_thread::sleep_for(config.measure);
+  phase.store(static_cast<int>(Phase::kDone), std::memory_order_relaxed);
+  const auto measure_end = std::chrono::steady_clock::now();
+  for (auto& t : threads) t.join();
+
+  DriverResult out;
+  out.window = measure_end - measure_start;
+  out.committed = metrics.committed();
+  out.aborted = metrics.aborted();
+  out.commit_rate = metrics.commit_rate();
+  out.throughput_tps = metrics.throughput_tps(out.window);
+  out.p50_us = latency.quantile_us(0.50);
+  out.p99_us = latency.quantile_us(0.99);
+  return out;
+}
+
+DriverResult run_fixed_count(TransactionalStore& store,
+                             const DriverConfig& config,
+                             std::size_t txs_per_client) {
+  Metrics metrics;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(config.clients);
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    threads.emplace_back([&, c] {
+      WorkloadConfig wl = config.workload;
+      wl.seed = config.workload.seed * 1'000'003 + c;
+      WorkloadGenerator gen(wl);
+      const auto process = static_cast<ProcessId>((c % 65'534) + 1);
+      for (std::size_t i = 0; i < txs_per_client; ++i) {
+        const TxSpec spec = gen.next_tx();
+        const CommitResult result = execute_tx(store, spec, process);
+        if (result.committed()) {
+          metrics.add_commit();
+        } else {
+          metrics.add_abort(AbortReason::kNone);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  DriverResult out;
+  out.window = end - start;
+  out.committed = metrics.committed();
+  out.aborted = metrics.aborted();
+  out.commit_rate = metrics.commit_rate();
+  out.throughput_tps = metrics.throughput_tps(out.window);
+  return out;
+}
+
+}  // namespace mvtl

@@ -1,0 +1,58 @@
+// Closed-loop multi-threaded workload driver (paper §8.3).
+//
+// Clients submit transactions repeatedly in a closed loop; we measure the
+// aggregate throughput of committed transactions and the commit rate over
+// a measurement window preceded by a warm-up. A fixed-count mode runs a
+// deterministic number of transactions per client for the property tests
+// (which then verify the recorded history's serializability).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "core/transactional_store.hpp"
+#include "txbench/metrics.hpp"
+#include "txbench/workload.hpp"
+
+namespace mvtl {
+
+struct DriverConfig {
+  std::size_t clients = 8;
+  WorkloadConfig workload;
+  std::chrono::milliseconds warmup{50};
+  std::chrono::milliseconds measure{300};
+  /// When a transaction aborts, re-execute the same operation list
+  /// (clients "have the option of aborting or restarting", §8.1).
+  bool retry_aborted = false;
+  std::size_t max_restarts = 2;
+};
+
+struct DriverResult {
+  double throughput_tps = 0.0;
+  double commit_rate = 1.0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::chrono::duration<double> window{0.0};
+  /// Committed-transaction latency quantiles (µs), measured per attempt
+  /// including restarts; 0 when nothing committed in the window.
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Timed closed-loop run (benchmarks).
+DriverResult run_closed_loop(TransactionalStore& store,
+                             const DriverConfig& config);
+
+/// Deterministic run: each of `clients` threads executes exactly
+/// `txs_per_client` transactions; every attempt is counted.
+/// Used by the concurrency property tests.
+DriverResult run_fixed_count(TransactionalStore& store,
+                             const DriverConfig& config,
+                             std::size_t txs_per_client);
+
+/// Executes one transaction spec against `store`; returns the result.
+/// Aborts the transaction cleanly if any operation fails.
+CommitResult execute_tx(TransactionalStore& store, const TxSpec& spec,
+                        ProcessId process, bool critical = false);
+
+}  // namespace mvtl

@@ -1,0 +1,71 @@
+// Latency recording: a fixed-bucket log-scale histogram good enough for
+// p50/p95/p99 of transaction latencies without allocation on the hot
+// path. Used by the workload driver; thread-safe via atomic buckets.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
+namespace mvtl {
+
+class LatencyHistogram {
+ public:
+  // Buckets: [0..1µs), [1..1.25µs), ... multiplicative 1.25 steps up to
+  // ~80 s; 128 buckets total.
+  static constexpr std::size_t kBuckets = 128;
+  static constexpr double kGrowth = 1.25;
+
+  void record(std::chrono::nanoseconds latency) {
+    const double us =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(latency)
+                .count()) /
+        1000.0;
+    buckets_[bucket_for(us)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound (µs) of the bucket containing quantile q ∈ [0, 1].
+  double quantile_us(double q) const {
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i].load(std::memory_order_relaxed);
+      if (seen > target) return bucket_upper_us(i);
+    }
+    return bucket_upper_us(kBuckets - 1);
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::size_t bucket_for(double us) {
+    if (us < 1.0) return 0;
+    const auto idx =
+        static_cast<std::size_t>(1.0 + std::log(us) / std::log(kGrowth));
+    return idx >= kBuckets ? kBuckets - 1 : idx;
+  }
+
+  static double bucket_upper_us(std::size_t index) {
+    return index == 0 ? 1.0
+                      : std::pow(kGrowth, static_cast<double>(index));
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+}  // namespace mvtl

@@ -1,0 +1,67 @@
+// Experiment metrics: aggregate throughput of committed transactions and
+// commit rate (fraction of transactions that commit), as measured in §8.3,
+// plus per-abort-reason breakdowns used by the ablation benches.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mvtl {
+
+class Metrics {
+ public:
+  void add_commit() { committed_.fetch_add(1, std::memory_order_relaxed); }
+
+  void add_abort(AbortReason reason) {
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    const auto idx = static_cast<std::size_t>(reason);
+    if (idx < by_reason_.size()) {
+      by_reason_[idx].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t committed() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t aborted() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t attempts() const { return committed() + aborted(); }
+
+  std::uint64_t aborts_for(AbortReason reason) const {
+    const auto idx = static_cast<std::size_t>(reason);
+    return idx < by_reason_.size()
+               ? by_reason_[idx].load(std::memory_order_relaxed)
+               : 0;
+  }
+
+  double commit_rate() const {
+    const std::uint64_t total = attempts();
+    return total == 0 ? 1.0
+                      : static_cast<double>(committed()) /
+                            static_cast<double>(total);
+  }
+
+  double throughput_tps(std::chrono::duration<double> window) const {
+    const double secs = window.count();
+    return secs <= 0 ? 0.0 : static_cast<double>(committed()) / secs;
+  }
+
+  void reset() {
+    committed_.store(0, std::memory_order_relaxed);
+    aborted_.store(0, std::memory_order_relaxed);
+    for (auto& c : by_reason_) c.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> committed_{0};
+  std::atomic<std::uint64_t> aborted_{0};
+  std::array<std::atomic<std::uint64_t>, 8> by_reason_{};
+};
+
+}  // namespace mvtl

@@ -1,0 +1,60 @@
+// Figure-style table printing for the benchmark binaries.
+//
+// Each bench regenerates one of the paper's figures as rows of
+// x-value vs per-algorithm series (throughput and commit rate), so the
+// output can be eyeballed against the published plots.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mvtl {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> widths(columns_.size(), 0);
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      widths[i] = columns_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::fprintf(out, "%-*s", static_cast<int>(widths[i] + 2),
+                     cells[i].c_str());
+      }
+      std::fprintf(out, "\n");
+    };
+    print_row(columns_);
+    std::string sep;
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      sep += std::string(widths[i], '-') + "  ";
+    }
+    std::fprintf(out, "%s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt_double(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace mvtl

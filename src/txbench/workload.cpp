@@ -1,0 +1,52 @@
+#include "txbench/workload.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace mvtl {
+
+Key make_key(std::uint64_t index) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "k%010llu",
+                static_cast<unsigned long long>(index));
+  return Key(buf);
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.zipf_theta > 0.0) {
+    zipf_ = std::make_unique<ZipfGenerator>(config_.key_space,
+                                            config_.zipf_theta);
+  }
+}
+
+Value WorkloadGenerator::random_value() {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  Value v;
+  v.reserve(config_.value_len);
+  for (std::size_t i = 0; i < config_.value_len; ++i) {
+    v.push_back(kAlphabet[rng_.next_below(sizeof(kAlphabet) - 1)]);
+  }
+  return v;
+}
+
+TxSpec WorkloadGenerator::next_tx() {
+  TxSpec ops;
+  ops.reserve(config_.ops_per_tx);
+  for (std::size_t i = 0; i < config_.ops_per_tx; ++i) {
+    Op op;
+    const std::uint64_t key_index = zipf_ != nullptr
+                                        ? zipf_->next(rng_)
+                                        : rng_.next_below(config_.key_space);
+    op.key = make_key(key_index);
+    if (rng_.next_bool(config_.write_fraction)) {
+      op.kind = Op::Kind::kWrite;
+      op.value = random_value();
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+}  // namespace mvtl

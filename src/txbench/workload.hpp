@@ -1,0 +1,61 @@
+// Workload generation (paper §8.3).
+//
+// The paper's experiments fix: number of clients, operations per
+// transaction, fraction of writes, key-space size, and number of servers.
+// A WorkloadGenerator reproduces the per-client op stream: each
+// transaction is `ops_per_tx` operations, each a read or a write chosen
+// with `write_fraction`, over keys drawn uniformly (or zipfian, for the
+// contention ablations) from the key space. Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace mvtl {
+
+struct WorkloadConfig {
+  std::uint64_t key_space = 10'000;
+  std::size_t ops_per_tx = 20;
+  double write_fraction = 0.25;
+  /// 0 ⇒ uniform key choice; otherwise zipfian skew parameter.
+  double zipf_theta = 0.0;
+  /// Length of generated values (paper: 8-character strings).
+  std::size_t value_len = 8;
+  std::uint64_t seed = 1;
+};
+
+struct Op {
+  enum class Kind { kRead, kWrite };
+  Kind kind = Kind::kRead;
+  Key key;
+  Value value;  // writes only
+};
+
+using TxSpec = std::vector<Op>;
+
+/// Formats key index i as a fixed-width key string (stable across runs).
+Key make_key(std::uint64_t index);
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadConfig& config);
+
+  /// Generates the next transaction's operation list.
+  TxSpec next_tx();
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  Value random_value();
+
+  WorkloadConfig config_;
+  Rng rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+};
+
+}  // namespace mvtl

@@ -1,0 +1,58 @@
+#include "verify/history.hpp"
+
+namespace mvtl {
+
+TxRecord& HistoryRecorder::record_for(TxId tx) {
+  TxRecord& rec = records_[tx];
+  rec.id = tx;
+  return rec;
+}
+
+void HistoryRecorder::record_read(TxId tx, const Key& key,
+                                  Timestamp version_ts, TxId version_writer) {
+  std::lock_guard guard(mu_);
+  record_for(tx).reads.push_back(ReadEvent{key, version_ts, version_writer});
+}
+
+void HistoryRecorder::record_write(TxId tx, const Key& key) {
+  std::lock_guard guard(mu_);
+  record_for(tx).writes.push_back(key);
+}
+
+void HistoryRecorder::record_commit(TxId tx, Timestamp commit_ts) {
+  std::lock_guard guard(mu_);
+  TxRecord& rec = record_for(tx);
+  rec.committed = true;
+  rec.commit_ts = commit_ts;
+}
+
+void HistoryRecorder::record_abort(TxId tx, AbortReason reason) {
+  std::lock_guard guard(mu_);
+  TxRecord& rec = record_for(tx);
+  rec.committed = false;
+  rec.abort_reason = reason;
+}
+
+std::vector<TxRecord> HistoryRecorder::finished() const {
+  std::lock_guard guard(mu_);
+  std::vector<TxRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(rec);
+  return out;
+}
+
+std::size_t HistoryRecorder::committed_count() const {
+  std::lock_guard guard(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, rec] : records_) n += rec.committed ? 1 : 0;
+  return n;
+}
+
+std::size_t HistoryRecorder::aborted_count() const {
+  std::lock_guard guard(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, rec] : records_) n += rec.committed ? 0 : 1;
+  return n;
+}
+
+}  // namespace mvtl

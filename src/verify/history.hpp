@@ -1,0 +1,59 @@
+// Execution-history recording.
+//
+// The paper's correctness condition is multiversion view serializability,
+// certified via the multiversion serialization graph (Theorem 1 / Bernstein
+// et al.). To machine-check our engines we record, for every transaction,
+// which versions its reads returned (reads-from) and which keys it wrote,
+// plus commit timestamps. The checker (mvsg.hpp) then rebuilds the MVSG
+// of the committed projection and tests acyclicity.
+//
+// Recording is optional and engines accept a null recorder; when enabled
+// it is thread-safe and lock-cheap (per-event mutex — fine for tests,
+// disabled for benchmarks).
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mvtl {
+
+struct ReadEvent {
+  Key key;
+  Timestamp version_ts;  // timestamp of the version read (0 for ⊥)
+  TxId version_writer;   // kInvalidTxId for ⊥
+};
+
+struct TxRecord {
+  TxId id = kInvalidTxId;
+  std::vector<ReadEvent> reads;
+  std::vector<Key> writes;  // keys whose new version this tx installed
+  bool committed = false;
+  Timestamp commit_ts;
+  AbortReason abort_reason = AbortReason::kNone;
+};
+
+class HistoryRecorder {
+ public:
+  void record_read(TxId tx, const Key& key, Timestamp version_ts,
+                   TxId version_writer);
+  void record_write(TxId tx, const Key& key);
+  void record_commit(TxId tx, Timestamp commit_ts);
+  void record_abort(TxId tx, AbortReason reason);
+
+  /// Snapshot of all finished transactions. Call after workload quiesces.
+  std::vector<TxRecord> finished() const;
+
+  std::size_t committed_count() const;
+  std::size_t aborted_count() const;
+
+ private:
+  TxRecord& record_for(TxId tx);  // caller holds mu_
+
+  mutable std::mutex mu_;
+  std::unordered_map<TxId, TxRecord> records_;
+};
+
+}  // namespace mvtl

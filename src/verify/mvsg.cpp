@@ -1,0 +1,206 @@
+#include "verify/mvsg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mvtl {
+namespace {
+
+struct CommittedWrite {
+  TxId writer;
+  Timestamp ts;
+};
+
+/// Per-key committed version list, ordered by timestamp.
+using VersionIndex = std::unordered_map<Key, std::vector<CommittedWrite>>;
+
+VersionIndex build_version_index(const std::vector<TxRecord>& records) {
+  VersionIndex index;
+  for (const TxRecord& rec : records) {
+    if (!rec.committed) continue;
+    for (const Key& key : rec.writes) {
+      index[key].push_back(CommittedWrite{rec.id, rec.commit_ts});
+    }
+  }
+  for (auto& [key, writes] : index) {
+    std::sort(writes.begin(), writes.end(),
+              [](const CommittedWrite& a, const CommittedWrite& b) {
+                return a.ts < b.ts;
+              });
+  }
+  return index;
+}
+
+/// Returns a cycle (as the sequence of nodes along it) if one exists.
+std::vector<TxId> find_cycle(
+    const std::unordered_map<TxId, std::unordered_set<TxId>>& adj) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::unordered_map<TxId, Color> color;
+  for (const auto& [node, edges] : adj) {
+    (void)edges;
+    color.emplace(node, Color::kWhite);
+  }
+  // Iterative DFS with explicit stack of (node, remaining children).
+  for (const auto& [start, start_edges] : adj) {
+    (void)start_edges;
+    if (color[start] != Color::kWhite) continue;
+    std::vector<std::pair<TxId, std::vector<TxId>>> stack;
+    auto push = [&](TxId node) {
+      color[node] = Color::kGray;
+      std::vector<TxId> children;
+      auto it = adj.find(node);
+      if (it != adj.end()) {
+        children.assign(it->second.begin(), it->second.end());
+      }
+      stack.emplace_back(node, std::move(children));
+    };
+    push(start);
+    while (!stack.empty()) {
+      auto& [node, children] = stack.back();
+      if (children.empty()) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const TxId next = children.back();
+      children.pop_back();
+      auto cit = color.find(next);
+      if (cit == color.end()) continue;  // node with no record (shouldn't happen)
+      if (cit->second == Color::kGray) {
+        // The gray path from `next` to the top of the stack is the cycle.
+        std::vector<TxId> cycle;
+        bool in_cycle = false;
+        for (const auto& [n, rest] : stack) {
+          (void)rest;
+          if (n == next) in_cycle = true;
+          if (in_cycle) cycle.push_back(n);
+        }
+        cycle.push_back(next);
+        return cycle;
+      }
+      if (cit->second == Color::kWhite) push(next);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+CheckReport MvsgChecker::check_acyclic(const std::vector<TxRecord>& records) {
+  CheckReport report;
+  const VersionIndex index = build_version_index(records);
+
+  std::unordered_map<TxId, std::unordered_set<TxId>> adj;
+  std::unordered_map<TxId, const TxRecord*> by_id;
+  for (const TxRecord& rec : records) {
+    if (!rec.committed) continue;
+    by_id[rec.id] = &rec;
+    adj.emplace(rec.id, std::unordered_set<TxId>{});
+  }
+
+  for (const TxRecord& rec : records) {
+    if (!rec.committed) continue;
+    for (const ReadEvent& read : rec.reads) {
+      // Reads-from edge: writer → reader (skip ⊥ and self-reads).
+      if (read.version_writer != kInvalidTxId &&
+          read.version_writer != rec.id &&
+          by_id.count(read.version_writer) != 0) {
+        adj[read.version_writer].insert(rec.id);
+      }
+      // Version-order edges against every other committed writer of key.
+      auto it = index.find(read.key);
+      if (it == index.end()) continue;
+      for (const CommittedWrite& w : it->second) {
+        if (w.writer == rec.id || w.writer == read.version_writer) continue;
+        if (w.ts < read.version_ts) {
+          adj[w.writer].insert(read.version_writer != kInvalidTxId
+                                   ? read.version_writer
+                                   : rec.id);
+          // Edge Ti → Tj (earlier writer → writer of the read version).
+          if (read.version_writer != kInvalidTxId) {
+            adj[w.writer].insert(read.version_writer);
+          }
+        } else {
+          adj[rec.id].insert(w.writer);  // Tk → Ti
+        }
+      }
+    }
+  }
+
+  report.cycle = find_cycle(adj);
+  if (!report.cycle.empty()) {
+    report.serializable = false;
+    report.violation = "MVSG contains a cycle:";
+    for (const TxId id : report.cycle) {
+      report.violation += " " + std::to_string(id);
+      const auto it = by_id.find(id);
+      if (it != by_id.end()) {
+        report.violation += "(@" + it->second->commit_ts.to_string() + ")";
+      }
+      report.violation += " ->";
+    }
+    report.violation.resize(report.violation.size() - 3);
+  }
+  return report;
+}
+
+CheckReport MvsgChecker::check_timestamp_order(
+    const std::vector<TxRecord>& records) {
+  CheckReport report;
+  const VersionIndex index = build_version_index(records);
+
+  for (const TxRecord& rec : records) {
+    if (!rec.committed) continue;
+    for (const ReadEvent& read : rec.reads) {
+      auto it = index.find(read.key);
+      // The version read must exist (or be ⊥ at timestamp 0).
+      if (read.version_ts != Timestamp::min()) {
+        bool found = false;
+        if (it != index.end()) {
+          for (const CommittedWrite& w : it->second) {
+            if (w.ts == read.version_ts && w.writer == read.version_writer) {
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) {
+          report.serializable = false;
+          report.violation = "tx " + std::to_string(rec.id) + " read key '" +
+                             read.key + "' @" + read.version_ts.to_string() +
+                             " which no committed tx wrote";
+          return report;
+        }
+      }
+      // A reader serializes strictly after the version it read.
+      if (rec.commit_ts <= read.version_ts) {
+        report.serializable = false;
+        report.violation = "tx " + std::to_string(rec.id) + " committed @" +
+                           rec.commit_ts.to_string() +
+                           " at or below the version it read of key '" +
+                           read.key + "' (@" + read.version_ts.to_string() +
+                           ")";
+        return report;
+      }
+      // No committed version may exist in (version_ts, commit_ts).
+      if (it == index.end()) continue;
+      for (const CommittedWrite& w : it->second) {
+        if (w.ts > read.version_ts && w.ts < rec.commit_ts) {
+          report.serializable = false;
+          report.violation =
+              "tx " + std::to_string(rec.id) + " (commit @" +
+              rec.commit_ts.to_string() + ") read key '" + read.key + "' @" +
+              read.version_ts.to_string() + " but tx " +
+              std::to_string(w.writer) + " committed a version @" +
+              w.ts.to_string() + " in between";
+          return report;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mvtl

@@ -1,0 +1,197 @@
+#include "common/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace mvtl {
+namespace {
+
+Timestamp ts(std::uint64_t raw) { return Timestamp{raw}; }
+Interval iv(std::uint64_t lo, std::uint64_t hi) {
+  return Interval{ts(lo), ts(hi)};
+}
+
+TEST(IntervalSetTest, InsertDisjointKeepsBoth) {
+  IntervalSet s;
+  s.insert(iv(1, 3));
+  s.insert(iv(7, 9));
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_TRUE(s.contains(ts(2)));
+  EXPECT_TRUE(s.contains(ts(8)));
+  EXPECT_FALSE(s.contains(ts(5)));
+}
+
+TEST(IntervalSetTest, InsertCoalescesOverlap) {
+  IntervalSet s;
+  s.insert(iv(1, 5));
+  s.insert(iv(3, 9));
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.contains(iv(1, 9)));
+}
+
+TEST(IntervalSetTest, InsertCoalescesAdjacency) {
+  // Interval compression (§6): [1,3] + [4,6] is one lock record.
+  IntervalSet s;
+  s.insert(iv(1, 3));
+  s.insert(iv(4, 6));
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.contains(iv(1, 6)));
+}
+
+TEST(IntervalSetTest, InsertBridgesMultiple) {
+  IntervalSet s;
+  s.insert(iv(1, 2));
+  s.insert(iv(5, 6));
+  s.insert(iv(9, 10));
+  s.insert(iv(3, 8));  // bridges all three
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.contains(iv(1, 10)));
+}
+
+TEST(IntervalSetTest, SubtractSplits) {
+  IntervalSet s(iv(1, 10));
+  s.subtract(iv(4, 6));
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_TRUE(s.contains(iv(1, 3)));
+  EXPECT_TRUE(s.contains(iv(7, 10)));
+  EXPECT_FALSE(s.contains(ts(5)));
+}
+
+TEST(IntervalSetTest, SubtractEdges) {
+  IntervalSet s(iv(5, 10));
+  s.subtract(iv(1, 5));
+  s.subtract(iv(10, 12));
+  EXPECT_TRUE(s.contains(iv(6, 9)));
+  EXPECT_FALSE(s.contains(ts(5)));
+  EXPECT_FALSE(s.contains(ts(10)));
+}
+
+TEST(IntervalSetTest, SubtractEverything) {
+  IntervalSet s(iv(3, 8));
+  s.subtract(Interval::all());
+  EXPECT_TRUE(s.is_empty());
+}
+
+TEST(IntervalSetTest, IntersectSets) {
+  IntervalSet a;
+  a.insert(iv(1, 5));
+  a.insert(iv(10, 20));
+  IntervalSet b;
+  b.insert(iv(4, 12));
+  b.insert(iv(18, 25));
+  const IntervalSet meet = a.intersect(b);
+  EXPECT_EQ(meet.interval_count(), 3u);
+  EXPECT_TRUE(meet.contains(iv(4, 5)));
+  EXPECT_TRUE(meet.contains(iv(10, 12)));
+  EXPECT_TRUE(meet.contains(iv(18, 20)));
+  EXPECT_FALSE(meet.contains(ts(7)));
+}
+
+TEST(IntervalSetTest, Complement) {
+  IntervalSet s;
+  s.insert(iv(2, 4));
+  s.insert(iv(8, 9));
+  const IntervalSet c = s.complement();
+  EXPECT_TRUE(c.contains(iv(0, 1)));
+  EXPECT_TRUE(c.contains(iv(5, 7)));
+  EXPECT_TRUE(c.contains(Interval{ts(10), Timestamp::infinity()}));
+  EXPECT_FALSE(c.contains(ts(3)));
+  EXPECT_FALSE(c.contains(ts(8)));
+}
+
+TEST(IntervalSetTest, ComplementOfEmptyIsAll) {
+  EXPECT_EQ(IntervalSet{}.complement(), IntervalSet::all());
+}
+
+TEST(IntervalSetTest, ComplementIsInvolution) {
+  IntervalSet s;
+  s.insert(iv(0, 3));
+  s.insert(iv(10, 20));
+  s.insert(Interval{ts(100), Timestamp::infinity()});
+  EXPECT_EQ(s.complement().complement(), s);
+}
+
+TEST(IntervalSetTest, FloorCeiling) {
+  IntervalSet s;
+  s.insert(iv(5, 8));
+  s.insert(iv(12, 15));
+  EXPECT_EQ(s.floor(ts(7)), ts(7));
+  EXPECT_EQ(s.floor(ts(10)), ts(8));
+  EXPECT_EQ(s.floor(ts(4)), std::nullopt);
+  EXPECT_EQ(s.ceiling(ts(9)), ts(12));
+  EXPECT_EQ(s.ceiling(ts(13)), ts(13));
+  EXPECT_EQ(s.ceiling(ts(16)), std::nullopt);
+}
+
+TEST(IntervalSetTest, MinMaxCardinality) {
+  IntervalSet s;
+  s.insert(iv(3, 5));
+  s.insert(iv(9, 9));
+  EXPECT_EQ(s.min(), ts(3));
+  EXPECT_EQ(s.max(), ts(9));
+  EXPECT_EQ(s.cardinality(), 4u);
+}
+
+TEST(IntervalSetTest, UniteIsUnion) {
+  IntervalSet a(iv(1, 4));
+  IntervalSet b(iv(3, 8));
+  const IntervalSet u = a.unite(b);
+  EXPECT_TRUE(u.contains(iv(1, 8)));
+  EXPECT_EQ(u.interval_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random operations against a reference model over a small
+// discrete domain.
+// ---------------------------------------------------------------------------
+
+class IntervalSetModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetModelTest, MatchesReferenceModel) {
+  constexpr std::uint64_t kDomain = 64;
+  Rng rng(GetParam());
+  IntervalSet sut;
+  std::set<std::uint64_t> model;
+
+  for (int step = 0; step < 300; ++step) {
+    const std::uint64_t lo = rng.next_below(kDomain);
+    const std::uint64_t hi = lo + rng.next_below(kDomain - lo);
+    const Interval range = iv(lo, hi);
+    const int op = static_cast<int>(rng.next_below(3));
+    if (op == 0) {
+      sut.insert(range);
+      for (std::uint64_t v = lo; v <= hi; ++v) model.insert(v);
+    } else if (op == 1) {
+      sut.subtract(range);
+      for (std::uint64_t v = lo; v <= hi; ++v) model.erase(v);
+    } else {
+      IntervalSet other(range);
+      sut = sut.intersect(other);
+      std::set<std::uint64_t> kept;
+      for (std::uint64_t v : model) {
+        if (v >= lo && v <= hi) kept.insert(v);
+      }
+      model = std::move(kept);
+    }
+    // Full pointwise agreement over the domain.
+    for (std::uint64_t v = 0; v < kDomain; ++v) {
+      ASSERT_EQ(sut.contains(ts(v)), model.count(v) != 0)
+          << "step " << step << " point " << v;
+    }
+    // Canonical form: sorted, disjoint, non-adjacent.
+    const auto& ivs = sut.intervals();
+    for (std::size_t i = 0; i + 1 < ivs.size(); ++i) {
+      ASSERT_LT(ivs[i].hi().raw() + 1, ivs[i + 1].lo().raw());
+    }
+    ASSERT_EQ(sut.cardinality(), model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetModelTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace mvtl

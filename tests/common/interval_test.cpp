@@ -1,0 +1,102 @@
+#include "common/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mvtl {
+namespace {
+
+Timestamp ts(std::uint64_t raw) { return Timestamp{raw}; }
+
+TEST(IntervalTest, DefaultIsEmpty) {
+  EXPECT_TRUE(Interval{}.is_empty());
+  EXPECT_EQ(Interval{}.size(), 0u);
+}
+
+TEST(IntervalTest, InvertedBoundsNormalizeToEmpty) {
+  const Interval iv{ts(5), ts(3)};
+  EXPECT_TRUE(iv.is_empty());
+  EXPECT_EQ(iv, Interval::empty());
+}
+
+TEST(IntervalTest, PointInterval) {
+  const Interval p = Interval::point(ts(7));
+  EXPECT_FALSE(p.is_empty());
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_TRUE(p.contains(ts(7)));
+  EXPECT_FALSE(p.contains(ts(6)));
+}
+
+TEST(IntervalTest, ClosedContains) {
+  const Interval iv{ts(2), ts(5)};
+  EXPECT_TRUE(iv.contains(ts(2)));
+  EXPECT_TRUE(iv.contains(ts(5)));
+  EXPECT_FALSE(iv.contains(ts(1)));
+  EXPECT_FALSE(iv.contains(ts(6)));
+  EXPECT_EQ(iv.size(), 4u);
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  const Interval outer{ts(1), ts(10)};
+  EXPECT_TRUE(outer.contains(Interval{ts(3), ts(7)}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Interval{ts(0), ts(4)}));
+  EXPECT_TRUE(outer.contains(Interval::empty()));
+}
+
+TEST(IntervalTest, Overlaps) {
+  const Interval a{ts(1), ts(5)};
+  EXPECT_TRUE(a.overlaps(Interval{ts(5), ts(9)}));   // shared endpoint
+  EXPECT_TRUE(a.overlaps(Interval{ts(0), ts(1)}));
+  EXPECT_FALSE(a.overlaps(Interval{ts(6), ts(9)}));
+  EXPECT_FALSE(a.overlaps(Interval::empty()));
+}
+
+TEST(IntervalTest, Adjacent) {
+  const Interval a{ts(1), ts(5)};
+  EXPECT_TRUE(a.adjacent(Interval{ts(6), ts(9)}));
+  EXPECT_TRUE((Interval{ts(6), ts(9)}).adjacent(a));
+  EXPECT_FALSE(a.adjacent(Interval{ts(7), ts(9)}));
+  EXPECT_FALSE(a.adjacent(Interval{ts(5), ts(9)}));  // overlap, not adjacency
+}
+
+TEST(IntervalTest, AdjacentAtInfinityIsSafe) {
+  const Interval top{ts(5), Timestamp::infinity()};
+  EXPECT_FALSE(top.adjacent(Interval{ts(1), ts(2)}));
+  EXPECT_TRUE((Interval{ts(1), ts(4)}).adjacent(top));
+}
+
+TEST(IntervalTest, Intersect) {
+  const Interval a{ts(1), ts(6)};
+  const Interval b{ts(4), ts(9)};
+  EXPECT_EQ(a.intersect(b), (Interval{ts(4), ts(6)}));
+  EXPECT_TRUE(a.intersect(Interval{ts(7), ts(9)}).is_empty());
+  EXPECT_TRUE(a.intersect(Interval::empty()).is_empty());
+}
+
+TEST(IntervalTest, Hull) {
+  const Interval a{ts(1), ts(3)};
+  const Interval b{ts(7), ts(9)};
+  EXPECT_EQ(a.hull(b), (Interval{ts(1), ts(9)}));
+  EXPECT_EQ(a.hull(Interval::empty()), a);
+  EXPECT_EQ(Interval::empty().hull(b), b);
+}
+
+TEST(IntervalTest, AllCoversEverything) {
+  const Interval all = Interval::all();
+  EXPECT_TRUE(all.contains(Timestamp::min()));
+  EXPECT_TRUE(all.contains(Timestamp::infinity()));
+  EXPECT_TRUE(all.contains(ts(123456)));
+}
+
+TEST(IntervalTest, SizeSaturatesOnFullLine) {
+  EXPECT_EQ(Interval::all().size(),
+            std::numeric_limits<Timestamp::Rep>::max());
+}
+
+TEST(IntervalTest, EmptyIntervalsCompareEqual) {
+  EXPECT_EQ((Interval{ts(9), ts(2)}), Interval::empty());
+  EXPECT_EQ(Interval{}, Interval::empty());
+}
+
+}  // namespace
+}  // namespace mvtl

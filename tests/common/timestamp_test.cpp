@@ -1,0 +1,89 @@
+#include "common/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mvtl {
+namespace {
+
+TEST(TimestampTest, PacksTickAndProcess) {
+  const Timestamp t = Timestamp::make(42, 7);
+  EXPECT_EQ(t.tick(), 42u);
+  EXPECT_EQ(t.process(), 7u);
+}
+
+TEST(TimestampTest, LexicographicOrder) {
+  // (v, p) ordered lexicographically (§4.1): tick dominates, process
+  // breaks ties.
+  EXPECT_LT(Timestamp::make(1, 65535), Timestamp::make(2, 0));
+  EXPECT_LT(Timestamp::make(5, 3), Timestamp::make(5, 4));
+  EXPECT_EQ(Timestamp::make(5, 3), Timestamp::make(5, 3));
+}
+
+TEST(TimestampTest, UniquePerTickProcessPair) {
+  std::set<Timestamp::Rep> raws;
+  for (std::uint64_t tick = 0; tick < 10; ++tick) {
+    for (ProcessId p = 0; p < 10; ++p) {
+      raws.insert(Timestamp::make(tick, p).raw());
+    }
+  }
+  EXPECT_EQ(raws.size(), 100u);
+}
+
+TEST(TimestampTest, MinAndInfinity) {
+  EXPECT_TRUE(Timestamp::min().is_min());
+  EXPECT_TRUE(Timestamp::infinity().is_infinity());
+  EXPECT_LT(Timestamp::min(), Timestamp::infinity());
+  EXPECT_LT(Timestamp::make(Timestamp::kMaxTick, 65534),
+            Timestamp::infinity());
+}
+
+TEST(TimestampTest, NextPrevAreInverse) {
+  const Timestamp t = Timestamp::make(10, 3);
+  EXPECT_EQ(t.next().prev(), t);
+  EXPECT_EQ(t.prev().next(), t);
+}
+
+TEST(TimestampTest, NextSaturatesAtInfinity) {
+  EXPECT_EQ(Timestamp::infinity().next(), Timestamp::infinity());
+}
+
+TEST(TimestampTest, PrevSaturatesAtZero) {
+  EXPECT_EQ(Timestamp::min().prev(), Timestamp::min());
+}
+
+TEST(TimestampTest, NextCrossesProcessBoundary) {
+  // The discrete timeline is dense across (tick, process) pairs.
+  const Timestamp last_proc = Timestamp::make(3, 65535);
+  EXPECT_EQ(last_proc.next(), Timestamp::make(4, 0));
+}
+
+TEST(TimestampTest, PlusTicksKeepsProcess) {
+  const Timestamp t = Timestamp::make(100, 9);
+  EXPECT_EQ(t.plus_ticks(5), Timestamp::make(105, 9));
+  EXPECT_EQ(t.plus_ticks(-40), Timestamp::make(60, 9));
+}
+
+TEST(TimestampTest, PlusTicksSaturates) {
+  const Timestamp t = Timestamp::make(10, 2);
+  EXPECT_EQ(t.plus_ticks(-100), Timestamp::make(0, 2));
+  const Timestamp big = Timestamp::make(Timestamp::kMaxTick - 1, 2);
+  EXPECT_EQ(big.plus_ticks(100), Timestamp::make(Timestamp::kMaxTick, 2));
+}
+
+TEST(TimestampTest, ToStringForms) {
+  EXPECT_EQ(Timestamp::min().to_string(), "0");
+  EXPECT_EQ(Timestamp::infinity().to_string(), "+inf");
+  EXPECT_EQ(Timestamp::make(12, 3).to_string(), "12.3");
+}
+
+TEST(TimestampTest, MinMaxHelpers) {
+  const Timestamp a = Timestamp::make(1, 1);
+  const Timestamp b = Timestamp::make(2, 0);
+  EXPECT_EQ(min(a, b), a);
+  EXPECT_EQ(max(a, b), b);
+}
+
+}  // namespace
+}  // namespace mvtl

@@ -1,0 +1,168 @@
+// Parameter sweeps over policy knobs: every configuration must preserve
+// the basic guarantees (serial executions never abort under a monotonic
+// clock; values round-trip), and the theorem boundaries must sit exactly
+// where the theory puts them.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mvtl {
+namespace {
+
+MvtlEngineConfig config_with(std::shared_ptr<ClockSource> clock) {
+  return testutil::engine_config(std::move(clock), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// ε sweep: any ε works under a monotonic clock.
+// ---------------------------------------------------------------------------
+
+class EpsilonSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EpsilonSweepTest, SerialChainCommitsForAnyEpsilon) {
+  auto clock = std::make_shared<LogicalClock>(100'000);
+  MvtlEngine engine(make_eps_clock_policy(GetParam()), config_with(clock));
+  for (int i = 0; i < 12; ++i) {
+    auto tx = engine.begin(TxOptions{.process = static_cast<ProcessId>(i % 3)});
+    const ReadResult r = engine.read(*tx, "chain");
+    ASSERT_TRUE(r.ok) << "eps=" << GetParam() << " i=" << i;
+    const int prev = r.value ? std::stoi(*r.value) : 0;
+    ASSERT_TRUE(engine.write(*tx, "chain", std::to_string(prev + 1)));
+    ASSERT_TRUE(engine.commit(*tx).committed())
+        << "eps=" << GetParam() << " i=" << i;
+  }
+  auto check = engine.begin(TxOptions{.process = 1});
+  EXPECT_EQ(*engine.read(*check, "chain").value, "12");
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, EpsilonSweepTest,
+                         ::testing::Values(0, 4, 64, 1024, 65'536));
+
+// ---------------------------------------------------------------------------
+// MVTIL Δ sweep.
+// ---------------------------------------------------------------------------
+
+struct MvtilSweepCase {
+  std::uint64_t delta;
+  bool early;
+};
+
+class MvtilSweepTest : public ::testing::TestWithParam<MvtilSweepCase> {};
+
+TEST_P(MvtilSweepTest, SerialChainCommitsForAnyDelta) {
+  auto clock = std::make_shared<LogicalClock>(100'000);
+  MvtlEngine engine(
+      make_mvtil_policy(GetParam().delta, GetParam().early, true),
+      config_with(clock));
+  for (int i = 0; i < 12; ++i) {
+    auto tx = engine.begin(TxOptions{.process = static_cast<ProcessId>(i % 3)});
+    const ReadResult r = engine.read(*tx, "chain");
+    ASSERT_TRUE(r.ok) << "delta=" << GetParam().delta << " i=" << i;
+    const int prev = r.value ? std::stoi(*r.value) : 0;
+    ASSERT_TRUE(engine.write(*tx, "chain", std::to_string(prev + 1)));
+    ASSERT_TRUE(engine.commit(*tx).committed())
+        << "delta=" << GetParam().delta << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Deltas, MvtilSweepTest,
+    ::testing::Values(MvtilSweepCase{0, true}, MvtilSweepCase{1, true},
+                      MvtilSweepCase{64, false}, MvtilSweepCase{4096, true},
+                      MvtilSweepCase{1'000'000, false}),
+    [](const ::testing::TestParamInfo<MvtilSweepCase>& info) {
+      return std::string("d") + std::to_string(info.param.delta) +
+             (info.param.early ? "_early" : "_late");
+    });
+
+// ---------------------------------------------------------------------------
+// Theorem 2 boundary: the Pref workload commits iff an alternative lands
+// strictly below T1's timestamp.
+// ---------------------------------------------------------------------------
+
+struct PrefBoundaryCase {
+  std::int64_t offset;    // single alternative A(t) = {t + offset}
+  bool t2_should_commit;  // with t1 = t2 − 100, t3 = t2 + 100
+};
+
+class PrefBoundaryTest : public ::testing::TestWithParam<PrefBoundaryCase> {};
+
+TEST_P(PrefBoundaryTest, AlternativePlacementDecidesTheorem2Workload) {
+  auto clock = std::make_shared<ManualClock>(1);
+  MvtlEngine engine(make_pref_policy({GetParam().offset}),
+                    config_with(clock));
+
+  clock->set(100);  // t1
+  auto t1 = engine.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(engine.write(*t1, "Y", "y1"));
+  ASSERT_TRUE(engine.commit(*t1).committed());
+
+  clock->set(200);  // t2
+  auto t2 = engine.begin(TxOptions{.process = 2});
+  ASSERT_TRUE(engine.read(*t2, "X").ok);
+
+  clock->set(300);  // t3
+  auto t3 = engine.begin(TxOptions{.process = 3});
+  ASSERT_TRUE(engine.read(*t3, "Y").ok);
+  ASSERT_TRUE(engine.commit(*t3).committed());
+
+  ASSERT_TRUE(engine.write(*t2, "Y", "y2"));
+  EXPECT_EQ(engine.commit(*t2).committed(), GetParam().t2_should_commit)
+      << "offset " << GetParam().offset;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Offsets, PrefBoundaryTest,
+    ::testing::Values(
+        // Alternative below t1 (tick 100): T2 slides under T1 and commits.
+        PrefBoundaryCase{-150, true}, PrefBoundaryCase{-101, true},
+        // Alternative inside [t1, t3]: covered by T3's read locks → abort.
+        PrefBoundaryCase{-100, false}, PrefBoundaryCase{-50, false},
+        // Alternative above the preference: not viable after the reads.
+        PrefBoundaryCase{+50, false}),
+    [](const ::testing::TestParamInfo<PrefBoundaryCase>& info) {
+      const std::int64_t off = info.param.offset;
+      return std::string(off < 0 ? "minus" : "plus") +
+             std::to_string(off < 0 ? -off : off);
+    });
+
+// ---------------------------------------------------------------------------
+// All engines: a write-then-read-back of every value length the workload
+// generator can produce (value handling is length-agnostic).
+// ---------------------------------------------------------------------------
+
+class ValueRoundTripTest
+    : public ::testing::TestWithParam<testutil::EngineSpec> {};
+
+TEST_P(ValueRoundTripTest, ValuesOfVariousShapesRoundTrip) {
+  auto clock = std::make_shared<LogicalClock>(1'000);
+  auto engine = GetParam().make(clock, nullptr);
+  const std::vector<Value> values = {
+      "", "x", std::string(8, 'a'), std::string(1024, 'z'),
+      std::string("embedded\0null", 13)};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const Key key = "vk" + std::to_string(i);
+    auto tx = engine->begin(TxOptions{.process = 1});
+    ASSERT_TRUE(engine->write(*tx, key, values[i]));
+    ASSERT_TRUE(engine->commit(*tx).committed());
+    auto check = engine->begin(TxOptions{.process = 2});
+    const ReadResult r = engine->read(*check, key);
+    ASSERT_TRUE(r.ok);
+    ASSERT_TRUE(r.value.has_value());
+    EXPECT_EQ(*r.value, values[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, ValueRoundTripTest,
+    ::testing::ValuesIn(testutil::all_engines()),
+    [](const ::testing::TestParamInfo<testutil::EngineSpec>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace mvtl

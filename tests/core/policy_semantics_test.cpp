@@ -1,0 +1,420 @@
+// Semantic tests for the paper's per-policy theorems:
+//   Theorem 2 — MVTL-Pref commits workloads MVTO+/MVTL-TO abort.
+//   Theorem 3 — MVTL-Prio: critical transactions survive normal ones.
+//   Theorem 4 — MVTL-ε-clock has no serial aborts under skewed clocks.
+//   Theorem 5 — MVTL-TO behaves as MVTO+ (shares its aborts).
+//   Theorem 7 — MVTL-Ghostbuster has no ghost aborts.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_util.hpp"
+
+namespace mvtl {
+namespace {
+
+MvtlEngineConfig config_with(std::shared_ptr<ClockSource> clock) {
+  return testutil::engine_config(std::move(clock), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Serial aborts (§5.3). Schedule: T2 (timestamp 2) reads X and commits;
+// then T1 (timestamp 1 — its clock lags) writes X and tries to commit.
+// ---------------------------------------------------------------------------
+
+template <typename RunT2, typename RunT1>
+bool serial_schedule_t1_commits(TransactionalStore& store, ManualClock& clock,
+                                RunT2&& run_t2, RunT1&& run_t1) {
+  clock.set(200);
+  if (!run_t2(store)) return false;
+  clock.set(100);  // the next process's clock is behind
+  return run_t1(store);
+}
+
+bool default_run_t2(TransactionalStore& store) {
+  TxOptions o;
+  o.process = 2;
+  auto t2 = store.begin(o);
+  if (!store.read(*t2, "X").ok) return false;
+  return store.commit(*t2).committed();
+}
+
+bool default_run_t1(TransactionalStore& store) {
+  TxOptions o;
+  o.process = 1;
+  auto t1 = store.begin(o);
+  if (!store.write(*t1, "X", "v")) return false;
+  return store.commit(*t1).committed();
+}
+
+TEST(SerialAbortsTest, MvtlToSuffersSerialAborts) {
+  auto clock = std::make_shared<ManualClock>(1);
+  MvtlEngine engine(make_to_policy(), config_with(clock));
+  EXPECT_FALSE(serial_schedule_t1_commits(engine, *clock, default_run_t2,
+                                          default_run_t1));
+}
+
+TEST(SerialAbortsTest, MvtoPlusSuffersSerialAborts) {
+  auto clock = std::make_shared<ManualClock>(1);
+  MvtoConfig config;
+  config.clock = clock;
+  MvtoPlusEngine engine(std::move(config));
+  EXPECT_FALSE(serial_schedule_t1_commits(engine, *clock, default_run_t2,
+                                          default_run_t1));
+}
+
+TEST(SerialAbortsTest, EpsClockAvoidsSerialAborts) {
+  // Theorem 4: with clocks within ε, the ε-clock policy commits every
+  // serial execution. Skew here is 100 ticks < ε = 150.
+  auto clock = std::make_shared<ManualClock>(1);
+  MvtlEngine engine(make_eps_clock_policy(150), config_with(clock));
+  EXPECT_TRUE(serial_schedule_t1_commits(engine, *clock, default_run_t2,
+                                         default_run_t1));
+}
+
+TEST(SerialAbortsTest, EpsClockSerialChainUnderSkewedClock) {
+  // A longer serial chain where every other process lags: nothing aborts
+  // as long as the skew stays within ε.
+  auto base = std::make_shared<LogicalClock>(10'000);
+  std::vector<std::int64_t> offsets;
+  for (int p = 0; p < 16; ++p) offsets.push_back(p % 2 == 0 ? 0 : -200);
+  auto clock = std::make_shared<SkewedClock>(base, offsets);
+  MvtlEngine engine(make_eps_clock_policy(400), config_with(clock));
+  for (int i = 0; i < 30; ++i) {
+    TxOptions o;
+    o.process = static_cast<ProcessId>(i % 16);
+    auto tx = engine.begin(o);
+    ASSERT_TRUE(engine.read(*tx, "K").ok) << "iteration " << i;
+    ASSERT_TRUE(engine.write(*tx, "K", std::to_string(i)));
+    ASSERT_TRUE(engine.commit(*tx).committed()) << "iteration " << i;
+  }
+}
+
+TEST(SerialAbortsTest, MvtlToSerialChainUnderSkewedClockAborts) {
+  // The same chain under MVTL-TO: the lagging processes abort.
+  auto base = std::make_shared<LogicalClock>(10'000);
+  std::vector<std::int64_t> offsets;
+  for (int p = 0; p < 16; ++p) offsets.push_back(p % 2 == 0 ? 0 : -200);
+  auto clock = std::make_shared<SkewedClock>(base, offsets);
+  MvtlEngine engine(make_to_policy(), config_with(clock));
+  int aborted = 0;
+  for (int i = 0; i < 30; ++i) {
+    TxOptions o;
+    o.process = static_cast<ProcessId>(i % 16);
+    auto tx = engine.begin(o);
+    const ReadResult r = engine.read(*tx, "K");
+    if (!r.ok) {
+      ++aborted;
+      continue;
+    }
+    if (!engine.write(*tx, "K", std::to_string(i))) {
+      ++aborted;
+      continue;
+    }
+    if (!engine.commit(*tx).committed()) ++aborted;
+  }
+  EXPECT_GT(aborted, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Ghost aborts (§5.5). Schedule (timestamps 1 < 2 < 3):
+//   T3: R(X) C;  T2: R(Y) W(X) A;  T1: W(Y) → ghost abort under TO.
+// T1's only conflict is with T2, which aborted before T1's write.
+// ---------------------------------------------------------------------------
+
+template <typename MakeEngine>
+bool ghost_schedule_t1_commits(MakeEngine&& make_engine) {
+  auto clock = std::make_shared<ManualClock>(1);
+  auto engine = make_engine(clock);
+
+  clock->set(10);
+  TxOptions o1;
+  o1.process = 1;
+  auto t1 = engine->begin(o1);
+  clock->set(20);
+  TxOptions o2;
+  o2.process = 2;
+  auto t2 = engine->begin(o2);
+  clock->set(30);
+  TxOptions o3;
+  o3.process = 3;
+  auto t3 = engine->begin(o3);
+
+  // T3: R(X) C.
+  EXPECT_TRUE(engine->read(*t3, "X").ok);
+  EXPECT_TRUE(engine->commit(*t3).committed());
+  // T2: R(Y) W(X) — aborts (T3 read X past T2's timestamp).
+  EXPECT_TRUE(engine->read(*t2, "Y").ok);
+  EXPECT_TRUE(engine->write(*t2, "X", "x2"));
+  EXPECT_FALSE(engine->commit(*t2).committed());
+  // T1: W(Y) C?
+  EXPECT_TRUE(engine->write(*t1, "Y", "y1"));
+  return engine->commit(*t1).committed();
+}
+
+TEST(GhostAbortsTest, MvtlToSuffersGhostAborts) {
+  const bool committed = ghost_schedule_t1_commits(
+      [](std::shared_ptr<ClockSource> clock) {
+        return std::make_unique<MvtlEngine>(make_to_policy(),
+                                            config_with(std::move(clock)));
+      });
+  EXPECT_FALSE(committed);
+}
+
+TEST(GhostAbortsTest, MvtoPlusSuffersGhostAborts) {
+  const bool committed = ghost_schedule_t1_commits(
+      [](std::shared_ptr<ClockSource> clock) {
+        MvtoConfig config;
+        config.clock = std::move(clock);
+        return std::make_unique<MvtoPlusEngine>(std::move(config));
+      });
+  EXPECT_FALSE(committed);
+}
+
+TEST(GhostAbortsTest, GhostbusterAvoidsGhostAborts) {
+  // Theorem 7: T2's abort garbage collects its read locks on Y, so T1's
+  // write has no conflict left.
+  const bool committed = ghost_schedule_t1_commits(
+      [](std::shared_ptr<ClockSource> clock) {
+        return std::make_unique<MvtlEngine>(make_ghostbuster_policy(),
+                                            config_with(std::move(clock)));
+      });
+  EXPECT_TRUE(committed);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 2(b): the workload W1(Y) C1  R2(X) R3(Y) C3  W2(Y) C2 with
+// timestamps t1 < t2 < t3 and max A(t2) < t1 commits under MVTL-Pref but
+// aborts under MVTO+/MVTL-TO.
+// ---------------------------------------------------------------------------
+
+template <typename MakeEngine>
+bool pref_workload_t2_commits(MakeEngine&& make_engine) {
+  auto clock = std::make_shared<ManualClock>(1);
+  auto engine = make_engine(clock);
+
+  clock->set(100);  // t1
+  TxOptions o1;
+  o1.process = 1;
+  auto t1 = engine->begin(o1);
+  EXPECT_TRUE(engine->write(*t1, "Y", "y1"));
+  EXPECT_TRUE(engine->commit(*t1).committed());
+
+  clock->set(200);  // t2
+  TxOptions o2;
+  o2.process = 2;
+  auto t2 = engine->begin(o2);
+  EXPECT_TRUE(engine->read(*t2, "X").ok);
+
+  clock->set(300);  // t3
+  TxOptions o3;
+  o3.process = 3;
+  auto t3 = engine->begin(o3);
+  EXPECT_TRUE(engine->read(*t3, "Y").ok);
+  EXPECT_TRUE(engine->commit(*t3).committed());
+
+  EXPECT_TRUE(engine->write(*t2, "Y", "y2"));
+  return engine->commit(*t2).committed();
+}
+
+TEST(PreferentialTest, MvtlToAbortsTheWorkload) {
+  EXPECT_FALSE(pref_workload_t2_commits(
+      [](std::shared_ptr<ClockSource> clock) {
+        return std::make_unique<MvtlEngine>(make_to_policy(),
+                                            config_with(std::move(clock)));
+      }));
+}
+
+TEST(PreferentialTest, MvtoPlusAbortsTheWorkload) {
+  EXPECT_FALSE(pref_workload_t2_commits(
+      [](std::shared_ptr<ClockSource> clock) {
+        MvtoConfig config;
+        config.clock = std::move(clock);
+        return std::make_unique<MvtoPlusEngine>(std::move(config));
+      }));
+}
+
+TEST(PreferentialTest, MvtlPrefCommitsTheWorkload) {
+  // A(t) = {t−150}: for t2 = 200 the alternative (tick 50) is below
+  // t1 = 100, so T2 slides before T1's version of Y and commits.
+  EXPECT_TRUE(pref_workload_t2_commits(
+      [](std::shared_ptr<ClockSource> clock) {
+        return std::make_unique<MvtlEngine>(make_pref_policy({-150}),
+                                            config_with(std::move(clock)));
+      }));
+}
+
+TEST(PreferentialTest, PrefFallsBackOnlyWhenNeeded) {
+  // Without contention, Pref commits at its preferential timestamp.
+  auto clock = std::make_shared<ManualClock>(500);
+  MvtlEngine engine(make_pref_policy({-100}), config_with(clock));
+  TxOptions o;
+  o.process = 1;
+  auto tx = engine.begin(o);
+  ASSERT_TRUE(engine.write(*tx, "Z", "z"));
+  const CommitResult r = engine.commit(*tx);
+  ASSERT_TRUE(r.committed());
+  EXPECT_EQ(r.commit_ts, Timestamp::make(500, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3: critical transactions are never aborted by normal ones.
+// ---------------------------------------------------------------------------
+
+TEST(PriorityTest, CriticalWriterSurvivesNormalReader) {
+  auto clock = std::make_shared<LogicalClock>(1'000);
+  MvtlEngineConfig config = config_with(clock);
+  config.lock_timeout = std::chrono::microseconds{200'000};
+  MvtlEngine engine(make_prio_policy(), config);
+
+  // A normal transaction reads X and holds its read locks...
+  TxOptions normal;
+  normal.process = 1;
+  auto tn = engine.begin(normal);
+  ASSERT_TRUE(engine.read(*tn, "X").ok);
+
+  // ... while a critical transaction writes X concurrently. It must wait
+  // for the normal transaction, not abort.
+  std::atomic<bool> critical_committed{false};
+  std::thread critical_thread([&] {
+    TxOptions critical;
+    critical.process = 2;
+    critical.critical = true;
+    auto tc = engine.begin(critical);
+    if (!engine.write(*tc, "X", "critical")) return;
+    critical_committed.store(engine.commit(*tc).committed());
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  ASSERT_TRUE(engine.commit(*tn).committed());
+  critical_thread.join();
+  EXPECT_TRUE(critical_committed.load());
+}
+
+TEST(PriorityTest, CriticalReadAndWriteEndToEnd) {
+  auto clock = std::make_shared<LogicalClock>(1'000);
+  MvtlEngine engine(make_prio_policy(), config_with(clock));
+  testutil::seed_value(engine, "acct", "100");
+
+  TxOptions critical;
+  critical.process = 3;
+  critical.critical = true;
+  auto tc = engine.begin(critical);
+  const ReadResult r = engine.read(*tc, "acct");
+  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(engine.write(*tc, "acct", "150"));
+  ASSERT_TRUE(engine.commit(*tc).committed());
+
+  auto check = engine.begin();
+  EXPECT_EQ(*engine.read(*check, "acct").value, "150");
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5 flavor: MVTL-TO and MVTO+ agree on concrete schedules.
+// ---------------------------------------------------------------------------
+
+TEST(ToEquivalenceTest, ReadBlocksLaterLowerWriteInBoth) {
+  // T_high reads K, then T_low (smaller timestamp) writes K: both engines
+  // abort T_low and commit T_high.
+  for (const bool use_mvtl : {true, false}) {
+    auto clock = std::make_shared<ManualClock>(1);
+    std::unique_ptr<TransactionalStore> engine;
+    if (use_mvtl) {
+      engine = std::make_unique<MvtlEngine>(make_to_policy(),
+                                            config_with(clock));
+    } else {
+      MvtoConfig config;
+      config.clock = clock;
+      engine = std::make_unique<MvtoPlusEngine>(std::move(config));
+    }
+    testutil::seed_value(*engine, "K", "base");
+
+    clock->set(50);
+    TxOptions olow;
+    olow.process = 1;
+    auto tlow = engine->begin(olow);
+    clock->set(90);
+    TxOptions ohigh;
+    ohigh.process = 2;
+    auto thigh = engine->begin(ohigh);
+
+    EXPECT_TRUE(engine->read(*thigh, "K").ok);
+    EXPECT_TRUE(engine->commit(*thigh).committed());
+    EXPECT_TRUE(engine->write(*tlow, "K", "low"));
+    EXPECT_FALSE(engine->commit(*tlow).committed())
+        << (use_mvtl ? "MVTL-TO" : "MVTO+");
+  }
+}
+
+TEST(ToEquivalenceTest, BlindWritesNeverConflictInBoth) {
+  // Multiversion protocols commit concurrent blind writes (§8.4.2).
+  for (const bool use_mvtl : {true, false}) {
+    auto clock = std::make_shared<LogicalClock>(100);
+    std::unique_ptr<TransactionalStore> engine;
+    if (use_mvtl) {
+      engine = std::make_unique<MvtlEngine>(make_to_policy(),
+                                            config_with(clock));
+    } else {
+      MvtoConfig config;
+      config.clock = clock;
+      engine = std::make_unique<MvtoPlusEngine>(std::move(config));
+    }
+    TxOptions o1;
+    o1.process = 1;
+    TxOptions o2;
+    o2.process = 2;
+    auto ta = engine->begin(o1);
+    auto tb = engine->begin(o2);
+    EXPECT_TRUE(engine->write(*ta, "K", "a"));
+    EXPECT_TRUE(engine->write(*tb, "K", "b"));
+    EXPECT_TRUE(engine->commit(*ta).committed());
+    EXPECT_TRUE(engine->commit(*tb).committed());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MVTL-Pessimistic behaves like object locking (Theorem 6 flavor).
+// ---------------------------------------------------------------------------
+
+TEST(PessimisticTest, WriterExcludesWriterUntilCommit) {
+  auto clock = std::make_shared<LogicalClock>(100);
+  MvtlEngineConfig config = config_with(clock);
+  config.lock_timeout = std::chrono::microseconds{200'000};
+  MvtlEngine engine(make_pessimistic_policy(), config);
+
+  auto t1 = engine.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(engine.write(*t1, "K", "first"));
+
+  std::atomic<bool> second_done{false};
+  std::atomic<bool> second_committed{false};
+  std::thread second([&] {
+    auto t2 = engine.begin(TxOptions{.process = 2});
+    const bool wrote = engine.write(*t2, "K", "second");
+    second_committed.store(wrote && engine.commit(*t2).committed());
+    second_done.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  EXPECT_FALSE(second_done.load());  // writer blocked behind writer
+  ASSERT_TRUE(engine.commit(*t1).committed());
+  second.join();
+  EXPECT_TRUE(second_committed.load());
+
+  auto check = engine.begin(TxOptions{.process = 3});
+  EXPECT_EQ(*engine.read(*check, "K").value, "second");
+}
+
+TEST(PessimisticTest, SerialMixNeverAborts) {
+  auto clock = std::make_shared<LogicalClock>(100);
+  MvtlEngine engine(make_pessimistic_policy(), config_with(clock));
+  for (int i = 0; i < 20; ++i) {
+    auto tx = engine.begin(TxOptions{.process = static_cast<ProcessId>(i % 5)});
+    ASSERT_TRUE(engine.read(*tx, "A").ok);
+    ASSERT_TRUE(engine.write(*tx, "B", std::to_string(i)));
+    ASSERT_TRUE(engine.read(*tx, "B").ok);
+    ASSERT_TRUE(engine.commit(*tx).committed());
+  }
+}
+
+}  // namespace
+}  // namespace mvtl

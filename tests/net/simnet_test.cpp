@@ -1,0 +1,124 @@
+#include "net/simnet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace mvtl {
+namespace {
+
+TEST(ExecutorTest, RunsPostedTasks) {
+  Executor exec(2);
+  std::atomic<int> count{0};
+  std::promise<void> done;
+  for (int i = 0; i < 100; ++i) {
+    exec.post([&] {
+      if (count.fetch_add(1) + 1 == 100) done.set_value();
+    });
+  }
+  done.get_future().wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ExecutorTest, TasksFromManyThreads) {
+  Executor exec(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 250; ++i) {
+        exec.post([&] { count.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  // Drain: post a sentinel per worker and wait.
+  std::promise<void> done;
+  std::atomic<int> sentinels{0};
+  for (int i = 0; i < 4; ++i) {
+    exec.post([&] {
+      if (sentinels.fetch_add(1) + 1 == 4) done.set_value();
+    });
+  }
+  done.get_future().wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(SimNetworkTest, DeliversAfterLatency) {
+  SimNetwork net(NetProfile{.base = std::chrono::microseconds{2'000},
+                            .jitter = std::chrono::microseconds{0}});
+  const auto start = std::chrono::steady_clock::now();
+  std::promise<void> delivered;
+  net.send([&] { delivered.set_value(); });
+  delivered.get_future().wait();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::microseconds{1'800});
+}
+
+TEST(SimNetworkTest, SampleLatencyWithinBounds) {
+  SimNetwork net(NetProfile{.base = std::chrono::microseconds{100},
+                            .jitter = std::chrono::microseconds{50}});
+  for (int i = 0; i < 200; ++i) {
+    const auto l = net.sample_latency();
+    EXPECT_GE(l, std::chrono::microseconds{100});
+    EXPECT_LE(l, std::chrono::microseconds{150});
+  }
+}
+
+TEST(SimNetworkTest, RpcRoundTrip) {
+  SimNetwork net(NetProfile::instant());
+  Executor server(2);
+  const int result = net.call(server, [] { return 41 + 1; });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(SimNetworkTest, ManyConcurrentRpcs) {
+  SimNetwork net(NetProfile{.base = std::chrono::microseconds{200},
+                            .jitter = std::chrono::microseconds{200}});
+  Executor server(4);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 20; ++i) {
+        sum.fetch_add(net.call(server, [c, i] { return c * 100 + i; }));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  int expected = 0;
+  for (int c = 0; c < 8; ++c) {
+    for (int i = 0; i < 20; ++i) expected += c * 100 + i;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(SimNetworkTest, CastIsOneWay) {
+  SimNetwork net(NetProfile::instant());
+  Executor server(1);
+  std::promise<void> ran;
+  net.cast(server, [&] { ran.set_value(); });
+  ran.get_future().wait();  // arrives without the caller blocking on reply
+}
+
+TEST(SimNetworkTest, FifoAmongEqualDeadlines) {
+  // With zero latency, messages delivered to a single-threaded executor
+  // preserve send order.
+  SimNetwork net(NetProfile::instant());
+  Executor server(1);
+  std::vector<int> order;
+  std::mutex mu;
+  std::promise<void> done;
+  for (int i = 0; i < 50; ++i) {
+    net.cast(server, [&, i] {
+      std::lock_guard guard(mu);
+      order.push_back(i);
+      if (order.size() == 50) done.set_value();
+    });
+  }
+  done.get_future().wait();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace mvtl

@@ -1,0 +1,142 @@
+// Garbage-collection and state-compression tests: lock-state purging
+// (including reclaiming crashed owners' unfrozen locks), read-range
+// freezing helpers, and store-level aggregation.
+#include <gtest/gtest.h>
+
+#include "storage/lock_ops.hpp"
+#include "storage/store.hpp"
+
+namespace mvtl {
+namespace {
+
+Timestamp ts(std::uint64_t raw) { return Timestamp{raw}; }
+Interval iv(std::uint64_t lo, std::uint64_t hi) {
+  return Interval{ts(lo), ts(hi)};
+}
+
+TEST(LockPurgeTest, ReclaimsUnfrozenOwnerLocksBelowHorizon) {
+  // A crashed owner's unfrozen locks below the horizon are reclaimed even
+  // though nobody released them (Theorem 9 hygiene at the state level).
+  LockState ls;
+  ls.grant(1, LockMode::kWrite, IntervalSet{iv(10, 20)});
+  ls.grant(1, LockMode::kRead, IntervalSet{iv(30, 200)});
+  ls.purge_below(ts(100));
+  // Below 100: gone. Above: intact.
+  EXPECT_FALSE(ls.holds(1, LockMode::kWrite, ts(15)));
+  EXPECT_FALSE(ls.holds(1, LockMode::kRead, ts(50)));
+  EXPECT_TRUE(ls.holds(1, LockMode::kRead, ts(150)));
+  const ProbeResult p = ls.probe(2, LockMode::kWrite, iv(100, 300));
+  EXPECT_TRUE(p.blocked.contains(iv(100, 200)));
+  EXPECT_TRUE(p.available.contains(iv(201, 300)));
+}
+
+TEST(LockPurgeTest, OwnerEntryDroppedWhenFullyBelowHorizon) {
+  LockState ls;
+  ls.grant(1, LockMode::kRead, IntervalSet{iv(10, 20)});
+  EXPECT_EQ(ls.owner_count(), 1u);
+  ls.purge_below(ts(100));
+  EXPECT_EQ(ls.owner_count(), 0u);
+  EXPECT_EQ(ls.entry_count(), 0u);
+}
+
+TEST(FreezeReadsUptoTest, FreezesOnlyAtOrBelowCommit) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(1, LockMode::kRead, IntervalSet{iv(5, 50)});
+  }
+  lock_ops::freeze_reads_upto(ks, 1, ts(30));
+  const ProbeResult p = ks.locks.probe(2, LockMode::kWrite, iv(5, 50));
+  EXPECT_TRUE(p.permanent.contains(iv(5, 30)));  // frozen
+  EXPECT_TRUE(p.blocked.contains(iv(31, 50)));   // still held, unfrozen
+}
+
+TEST(ReleaseWritesExceptTest, KeepsOnlyRequestedPoints) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(1, LockMode::kWrite, IntervalSet{iv(10, 40)});
+  }
+  lock_ops::release_writes_except(ks, 1, IntervalSet{iv(20, 25)});
+  EXPECT_FALSE(ks.locks.holds(1, LockMode::kWrite, ts(15)));
+  EXPECT_TRUE(ks.locks.holds(1, LockMode::kWrite, ts(22)));
+  EXPECT_FALSE(ks.locks.holds(1, LockMode::kWrite, ts(30)));
+}
+
+TEST(ReleaseWritesExceptTest, DoesNotTouchReadLocks) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(1, LockMode::kRead, IntervalSet{iv(10, 40)});
+    ks.locks.grant(1, LockMode::kWrite, IntervalSet{iv(10, 40)});
+  }
+  lock_ops::release_writes_except(ks, 1, IntervalSet{});
+  EXPECT_FALSE(ks.locks.holds(1, LockMode::kWrite, ts(20)));
+  EXPECT_TRUE(ks.locks.holds(1, LockMode::kRead, ts(20)));
+}
+
+TEST(StoreTest, KeyStateIsStableAndShared) {
+  Store store(4);
+  KeyState& a = store.key_state("alpha");
+  KeyState& b = store.key_state("alpha");
+  EXPECT_EQ(&a, &b);
+  KeyState& c = store.key_state("beta");
+  EXPECT_NE(&a, &c);
+}
+
+TEST(StoreTest, StatsAggregateAcrossKeys) {
+  Store store(4);
+  for (int i = 0; i < 10; ++i) {
+    KeyState& ks = store.key_state("k" + std::to_string(i));
+    std::lock_guard guard(ks.mu);
+    ks.versions.install(ts(10), "v", 1);
+    ks.locks.grant(1, LockMode::kRead, IntervalSet{iv(11, 20)});
+  }
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.keys, 10u);
+  EXPECT_EQ(stats.versions, 10u);
+  EXPECT_EQ(stats.lock_entries, 10u);
+}
+
+TEST(StoreTest, PurgeBelowSweepsEveryKey) {
+  Store store(4);
+  for (int i = 0; i < 6; ++i) {
+    KeyState& ks = store.key_state("k" + std::to_string(i));
+    std::lock_guard guard(ks.mu);
+    ks.versions.install(ts(10), "old", 1);
+    ks.versions.install(ts(20), "mid", 2);
+    ks.versions.install(ts(200), "new", 3);
+  }
+  const std::size_t dropped = store.purge_below(ts(100));
+  EXPECT_EQ(dropped, 6u);  // one per key ("old"); "mid" survives as newest
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.versions, 12u);
+}
+
+TEST(StoreTest, ForEachVisitsAllKeys) {
+  Store store(8);
+  for (int i = 0; i < 25; ++i) {
+    (void)store.key_state("k" + std::to_string(i));
+  }
+  std::size_t visited = 0;
+  store.for_each([&](const Key&, KeyState&) { ++visited; });
+  EXPECT_EQ(visited, 25u);
+}
+
+TEST(ConcurrentStoreTest, ParallelKeyStateCreation) {
+  Store store(8);
+  std::vector<std::thread> threads;
+  std::vector<KeyState*> seen(8, nullptr);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      seen[static_cast<size_t>(t)] = &store.key_state("same-key");
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < 8; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+  }
+}
+
+}  // namespace
+}  // namespace mvtl

@@ -1,0 +1,296 @@
+#include "storage/lock_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace mvtl {
+namespace {
+
+using lock_ops::Options;
+using lock_ops::Outcome;
+
+Timestamp ts(std::uint64_t raw) { return Timestamp{raw}; }
+Interval iv(std::uint64_t lo, std::uint64_t hi) {
+  return Interval{ts(lo), ts(hi)};
+}
+
+Options nowait() {
+  Options o;
+  o.wait = false;
+  return o;
+}
+
+Options waiting(std::chrono::microseconds timeout =
+                    std::chrono::microseconds{50'000}) {
+  Options o;
+  o.wait = true;
+  o.timeout = timeout;
+  return o;
+}
+
+TEST(LockOpsReadTest, ReadsBottomAndLocksInterval) {
+  KeyState ks;
+  const auto r = lock_ops::acquire_read_upto(ks, 1, ts(10), waiting());
+  EXPECT_EQ(r.outcome, Outcome::kAcquired);
+  EXPECT_EQ(r.tr, Timestamp::min());
+  EXPECT_FALSE(r.value.has_value());
+  EXPECT_EQ(r.upper, ts(10));
+  EXPECT_TRUE(ks.locks.holds(1, LockMode::kRead, ts(1)));
+  EXPECT_TRUE(ks.locks.holds(1, LockMode::kRead, ts(10)));
+}
+
+TEST(LockOpsReadTest, ReadsLatestCommittedVersion) {
+  KeyState ks;
+  ks.versions.install(ts(3), "v3", 42);
+  const auto r = lock_ops::acquire_read_upto(ks, 1, ts(10), waiting());
+  EXPECT_EQ(r.outcome, Outcome::kAcquired);
+  EXPECT_EQ(r.tr, ts(3));
+  EXPECT_EQ(*r.value, "v3");
+  EXPECT_EQ(r.writer, 42u);
+  EXPECT_FALSE(ks.locks.holds(1, LockMode::kRead, ts(3)));
+  EXPECT_TRUE(ks.locks.holds(1, LockMode::kRead, ts(4)));
+}
+
+TEST(LockOpsReadTest, NonWaitingStopsAtForeignWriteLock) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(9, LockMode::kWrite, IntervalSet{Interval::point(ts(6))});
+  }
+  const auto r = lock_ops::acquire_read_upto(ks, 1, ts(10), nowait());
+  EXPECT_EQ(r.outcome, Outcome::kPartial);
+  EXPECT_EQ(r.tr, Timestamp::min());
+  EXPECT_EQ(r.upper, ts(5));
+  EXPECT_TRUE(ks.locks.holds(1, LockMode::kRead, ts(5)));
+  EXPECT_FALSE(ks.locks.holds(1, LockMode::kRead, ts(6)));
+}
+
+TEST(LockOpsReadTest, NonWaitingBlockedImmediatelyGetsNothing) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(9, LockMode::kWrite, IntervalSet{iv(1, 20)});
+  }
+  const auto r = lock_ops::acquire_read_upto(ks, 1, ts(10), nowait());
+  EXPECT_EQ(r.outcome, Outcome::kPartial);
+  EXPECT_EQ(r.upper, r.tr);  // no locks at all
+}
+
+TEST(LockOpsReadTest, WaitingTimesOutOnHeldWriteLock) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(9, LockMode::kWrite, IntervalSet{Interval::point(ts(6))});
+  }
+  const auto r = lock_ops::acquire_read_upto(
+      ks, 1, ts(10), waiting(std::chrono::microseconds{2'000}));
+  EXPECT_EQ(r.outcome, Outcome::kTimeout);
+  // Timed-out read releases the prefix it was holding.
+  EXPECT_FALSE(ks.locks.holds(1, LockMode::kRead, ts(5)));
+}
+
+TEST(LockOpsReadTest, WaitingProceedsWhenWriterReleases) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(9, LockMode::kWrite, IntervalSet{Interval::point(ts(6))});
+  }
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    lock_ops::release_writes(ks, 9);
+  });
+  const auto r = lock_ops::acquire_read_upto(ks, 1, ts(10), waiting());
+  releaser.join();
+  EXPECT_EQ(r.outcome, Outcome::kAcquired);
+  EXPECT_EQ(r.upper, ts(10));
+}
+
+TEST(LockOpsReadTest, RestartsWhenVersionCommitsInsideRange) {
+  // A writer holds an unfrozen lock at 6; while the reader waits, the
+  // writer commits (freeze + install). The reader must restart and return
+  // the *new* version.
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(9, LockMode::kWrite, IntervalSet{Interval::point(ts(6))});
+  }
+  std::thread committer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    lock_ops::commit_key(ks, 9, ts(6), "v6");
+  });
+  const auto r = lock_ops::acquire_read_upto(ks, 1, ts(10), waiting());
+  committer.join();
+  EXPECT_EQ(r.outcome, Outcome::kAcquired);
+  EXPECT_EQ(r.tr, ts(6));
+  EXPECT_EQ(*r.value, "v6");
+  EXPECT_TRUE(ks.locks.holds(1, LockMode::kRead, ts(7)));
+  EXPECT_FALSE(ks.locks.holds(1, LockMode::kRead, ts(5)));
+}
+
+TEST(LockOpsReadTest, PurgedBoundAborts) {
+  KeyState ks;
+  ks.versions.install(ts(2), "a", 1);
+  ks.versions.install(ts(5), "b", 2);
+  {
+    std::lock_guard guard(ks.mu);
+    ks.versions.purge_below(ts(8));
+    ks.locks.purge_below(ts(8));
+  }
+  const auto r = lock_ops::acquire_read_upto(ks, 1, ts(4), waiting());
+  EXPECT_EQ(r.outcome, Outcome::kPurged);
+}
+
+TEST(LockOpsWriteTest, AcquiresWholeFreeSet) {
+  KeyState ks;
+  IntervalSet want;
+  want.insert(iv(5, 10));
+  want.insert(iv(20, 25));
+  const auto r = lock_ops::acquire_write_set(ks, 1, want, waiting());
+  EXPECT_EQ(r.outcome, Outcome::kAcquired);
+  EXPECT_TRUE(r.acquired.contains(iv(5, 10)));
+  EXPECT_TRUE(r.acquired.contains(iv(20, 25)));
+}
+
+TEST(LockOpsWriteTest, FrozenPointsExcludedWithoutBlocking) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(9, LockMode::kWrite, IntervalSet{Interval::point(ts(7))});
+    ks.locks.freeze(9, LockMode::kWrite,
+                    IntervalSet{Interval::point(ts(7))});
+  }
+  const auto r =
+      lock_ops::acquire_write_set(ks, 1, IntervalSet{iv(5, 10)}, waiting());
+  EXPECT_EQ(r.outcome, Outcome::kAcquired);
+  EXPECT_TRUE(r.acquired.contains(iv(5, 6)));
+  EXPECT_TRUE(r.acquired.contains(iv(8, 10)));
+  EXPECT_FALSE(r.acquired.contains(ts(7)));
+}
+
+TEST(LockOpsWriteTest, NonWaitingReturnsPartial) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(9, LockMode::kRead, IntervalSet{iv(8, 9)});
+  }
+  const auto r =
+      lock_ops::acquire_write_set(ks, 1, IntervalSet{iv(5, 10)}, nowait());
+  EXPECT_EQ(r.outcome, Outcome::kPartial);
+  EXPECT_TRUE(r.acquired.contains(iv(5, 7)));
+  EXPECT_TRUE(r.acquired.contains(ts(10)));
+  EXPECT_FALSE(r.acquired.contains(ts(8)));
+}
+
+TEST(LockOpsWriteTest, WaitingSucceedsAfterReaderGc) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(9, LockMode::kRead, IntervalSet{iv(8, 9)});
+  }
+  std::thread gc([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    lock_ops::release_all(ks, 9);
+  });
+  const auto r =
+      lock_ops::acquire_write_set(ks, 1, IntervalSet{iv(5, 10)}, waiting());
+  gc.join();
+  EXPECT_EQ(r.outcome, Outcome::kAcquired);
+  EXPECT_TRUE(r.acquired.contains(iv(5, 10)));
+}
+
+TEST(LockOpsWriteTest, WaitingStopsWhenConflictFreezes) {
+  // A reader freezes its lock (committed): the waiting writer must give
+  // up on those points and return the remainder.
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(9, LockMode::kRead, IntervalSet{iv(8, 9)});
+  }
+  std::thread freezer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    lock_ops::freeze_read_range(ks, 9, ts(7), ts(9));
+  });
+  const auto r =
+      lock_ops::acquire_write_set(ks, 1, IntervalSet{iv(5, 10)}, waiting());
+  freezer.join();
+  EXPECT_EQ(r.outcome, Outcome::kAcquired);
+  EXPECT_TRUE(r.acquired.contains(iv(5, 7)));
+  EXPECT_TRUE(r.acquired.contains(ts(10)));
+  EXPECT_FALSE(r.acquired.contains(ts(8)));
+  EXPECT_FALSE(r.acquired.contains(ts(9)));
+}
+
+TEST(LockOpsWritePointTest, NonWaitingFailsOnForeignRead) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(9, LockMode::kRead, IntervalSet{Interval::point(ts(5))});
+  }
+  EXPECT_FALSE(lock_ops::acquire_write_point(
+      ks, 1, ts(5), /*wait_on_conflicts=*/false,
+      std::chrono::microseconds{1'000}));
+  EXPECT_TRUE(lock_ops::acquire_write_point(
+      ks, 1, ts(6), /*wait_on_conflicts=*/false,
+      std::chrono::microseconds{1'000}));
+}
+
+TEST(LockOpsWritePointTest, WaitingSucceedsAfterRelease) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(9, LockMode::kRead, IntervalSet{Interval::point(ts(5))});
+  }
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    lock_ops::release_all(ks, 9);
+  });
+  EXPECT_TRUE(lock_ops::acquire_write_point(
+      ks, 1, ts(5), /*wait_on_conflicts=*/true,
+      std::chrono::microseconds{100'000}));
+  releaser.join();
+}
+
+TEST(LockOpsWritePointTest, FrozenPointFailsEvenWhenWaiting) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(9, LockMode::kRead, IntervalSet{Interval::point(ts(5))});
+    ks.locks.freeze(9, LockMode::kRead, IntervalSet{Interval::point(ts(5))});
+  }
+  EXPECT_FALSE(lock_ops::acquire_write_point(
+      ks, 1, ts(5), /*wait_on_conflicts=*/true,
+      std::chrono::microseconds{100'000}));
+}
+
+TEST(LockOpsCommitTest, CommitKeyFreezesAndInstalls) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(1, LockMode::kWrite, IntervalSet{iv(5, 10)});
+  }
+  lock_ops::commit_key(ks, 1, ts(7), "v7");
+  EXPECT_TRUE(ks.versions.has_version_at(ts(7)));
+  EXPECT_EQ(*ks.versions.latest_before(ts(8)).value, "v7");
+  // The commit point is frozen; the rest of the write locks are not.
+  const ProbeResult p = ks.locks.probe(2, LockMode::kWrite, iv(5, 10));
+  EXPECT_TRUE(p.permanent.contains(ts(7)));
+  EXPECT_TRUE(p.blocked.contains(ts(5)));
+}
+
+TEST(LockOpsCommitTest, FreezeReadRangeMakesWriterSkip) {
+  KeyState ks;
+  {
+    std::lock_guard guard(ks.mu);
+    ks.locks.grant(1, LockMode::kRead, IntervalSet{iv(1, 9)});
+  }
+  lock_ops::freeze_read_range(ks, 1, ts(2), ts(6));  // freezes [3,6]
+  const ProbeResult p = ks.locks.probe(2, LockMode::kWrite, iv(1, 9));
+  EXPECT_TRUE(p.permanent.contains(iv(3, 6)));
+  EXPECT_TRUE(p.blocked.contains(iv(1, 2)));
+  EXPECT_TRUE(p.blocked.contains(iv(7, 9)));
+}
+
+}  // namespace
+}  // namespace mvtl

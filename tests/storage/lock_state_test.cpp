@@ -1,0 +1,179 @@
+#include "storage/lock_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mvtl {
+namespace {
+
+Timestamp ts(std::uint64_t raw) { return Timestamp{raw}; }
+Interval iv(std::uint64_t lo, std::uint64_t hi) {
+  return Interval{ts(lo), ts(hi)};
+}
+
+TEST(LockStateTest, FreshStateGrantsEverything) {
+  LockState ls;
+  const ProbeResult p = ls.probe(1, LockMode::kWrite, iv(1, 100));
+  EXPECT_TRUE(p.available.contains(iv(1, 100)));
+  EXPECT_TRUE(p.blocked.is_empty());
+  EXPECT_TRUE(p.permanent.is_empty());
+}
+
+TEST(LockStateTest, SharedReadersDoNotConflict) {
+  LockState ls;
+  ls.grant(1, LockMode::kRead, IntervalSet{iv(5, 10)});
+  const ProbeResult p = ls.probe(2, LockMode::kRead, iv(1, 20));
+  EXPECT_TRUE(p.available.contains(iv(1, 20)));
+  EXPECT_TRUE(p.blocked.is_empty());
+}
+
+TEST(LockStateTest, ReadBlocksForeignWrite) {
+  LockState ls;
+  ls.grant(1, LockMode::kRead, IntervalSet{iv(5, 10)});
+  const ProbeResult p = ls.probe(2, LockMode::kWrite, iv(1, 20));
+  EXPECT_TRUE(p.blocked.contains(iv(5, 10)));
+  EXPECT_TRUE(p.available.contains(iv(1, 4)));
+  EXPECT_TRUE(p.available.contains(iv(11, 20)));
+  ASSERT_EQ(p.blockers.size(), 1u);
+  EXPECT_EQ(p.blockers[0], 1u);
+}
+
+TEST(LockStateTest, WriteBlocksForeignReadAndWrite) {
+  LockState ls;
+  ls.grant(1, LockMode::kWrite, IntervalSet{iv(7, 9)});
+  EXPECT_TRUE(ls.probe(2, LockMode::kRead, iv(1, 20)).blocked.contains(
+      iv(7, 9)));
+  EXPECT_TRUE(ls.probe(2, LockMode::kWrite, iv(1, 20)).blocked.contains(
+      iv(7, 9)));
+}
+
+TEST(LockStateTest, OwnLocksNeverConflict) {
+  LockState ls;
+  ls.grant(1, LockMode::kWrite, IntervalSet{iv(7, 9)});
+  ls.grant(1, LockMode::kRead, IntervalSet{iv(1, 6)});
+  const ProbeResult pr = ls.probe(1, LockMode::kRead, iv(1, 12));
+  EXPECT_TRUE(pr.available.contains(iv(1, 12)));
+  const ProbeResult pw = ls.probe(1, LockMode::kWrite, iv(1, 12));
+  EXPECT_TRUE(pw.available.contains(iv(1, 12)));
+}
+
+TEST(LockStateTest, UpgradeBlockedByOtherReader) {
+  LockState ls;
+  ls.grant(1, LockMode::kRead, IntervalSet{Interval::point(ts(5))});
+  ls.grant(2, LockMode::kRead, IntervalSet{Interval::point(ts(5))});
+  const ProbeResult p = ls.probe(1, LockMode::kWrite, Interval::point(ts(5)));
+  EXPECT_TRUE(p.blocked.contains(ts(5)));
+}
+
+TEST(LockStateTest, FrozenWriteIsPermanentAndFlagged) {
+  LockState ls;
+  ls.grant(1, LockMode::kWrite, IntervalSet{Interval::point(ts(5))});
+  ls.freeze(1, LockMode::kWrite, IntervalSet{Interval::point(ts(5))});
+  const ProbeResult pr = ls.probe(2, LockMode::kRead, iv(1, 10));
+  EXPECT_TRUE(pr.permanent.contains(ts(5)));
+  EXPECT_TRUE(pr.hit_frozen_write);
+  const ProbeResult pw = ls.probe(2, LockMode::kWrite, iv(1, 10));
+  EXPECT_TRUE(pw.permanent.contains(ts(5)));
+}
+
+TEST(LockStateTest, FrozenReadBlocksWritesButNotReads) {
+  LockState ls;
+  ls.grant(1, LockMode::kRead, IntervalSet{iv(3, 6)});
+  ls.freeze(1, LockMode::kRead, IntervalSet{iv(3, 6)});
+  const ProbeResult pr = ls.probe(2, LockMode::kRead, iv(1, 10));
+  EXPECT_TRUE(pr.available.contains(iv(1, 10)));
+  EXPECT_FALSE(pr.hit_frozen_write);
+  const ProbeResult pw = ls.probe(2, LockMode::kWrite, iv(1, 10));
+  EXPECT_TRUE(pw.permanent.contains(iv(3, 6)));
+  EXPECT_TRUE(pw.available.contains(iv(1, 2)));
+}
+
+TEST(LockStateTest, ReleaseFreesPoints) {
+  LockState ls;
+  ls.grant(1, LockMode::kWrite, IntervalSet{iv(5, 10)});
+  ls.release(1, LockMode::kWrite, IntervalSet{iv(7, 8)});
+  const ProbeResult p = ls.probe(2, LockMode::kWrite, iv(5, 10));
+  EXPECT_TRUE(p.available.contains(iv(7, 8)));
+  EXPECT_TRUE(p.blocked.contains(iv(5, 6)));
+  EXPECT_TRUE(p.blocked.contains(iv(9, 10)));
+}
+
+TEST(LockStateTest, ReleaseAllKeepsFrozen) {
+  LockState ls;
+  ls.grant(1, LockMode::kWrite, IntervalSet{iv(5, 10)});
+  ls.freeze(1, LockMode::kWrite, IntervalSet{Interval::point(ts(6))});
+  ls.release_all(1);
+  const ProbeResult p = ls.probe(2, LockMode::kWrite, iv(5, 10));
+  EXPECT_TRUE(p.permanent.contains(ts(6)));
+  EXPECT_TRUE(p.available.contains(ts(5)));
+  EXPECT_TRUE(p.available.contains(iv(7, 10)));
+}
+
+TEST(LockStateTest, FreezeOnlyCoversHeldPoints) {
+  LockState ls;
+  ls.grant(1, LockMode::kRead, IntervalSet{iv(5, 8)});
+  ls.freeze(1, LockMode::kRead, IntervalSet{iv(1, 20)});
+  // Only [5,8] actually freezes.
+  const ProbeResult p = ls.probe(2, LockMode::kWrite, iv(1, 20));
+  EXPECT_TRUE(p.permanent.contains(iv(5, 8)));
+  EXPECT_TRUE(p.available.contains(iv(1, 4)));
+  EXPECT_TRUE(p.available.contains(iv(9, 20)));
+}
+
+TEST(LockStateTest, HoldsReflectsModes) {
+  LockState ls;
+  ls.grant(1, LockMode::kRead, IntervalSet{iv(2, 4)});
+  ls.grant(1, LockMode::kWrite, IntervalSet{Interval::point(ts(9))});
+  EXPECT_TRUE(ls.holds(1, LockMode::kRead, ts(3)));
+  EXPECT_FALSE(ls.holds(1, LockMode::kWrite, ts(3)));
+  EXPECT_TRUE(ls.holds(1, LockMode::kWrite, ts(9)));
+  // A write lock counts as read coverage too.
+  EXPECT_TRUE(ls.holds(1, LockMode::kRead, ts(9)));
+  EXPECT_FALSE(ls.holds(2, LockMode::kRead, ts(3)));
+}
+
+TEST(LockStateTest, PurgeDropsFrozenStateBelowHorizon) {
+  LockState ls;
+  ls.grant(1, LockMode::kWrite, IntervalSet{iv(2, 3)});
+  ls.freeze(1, LockMode::kWrite, IntervalSet{iv(2, 3)});
+  ls.grant(2, LockMode::kRead, IntervalSet{iv(4, 6)});
+  ls.freeze(2, LockMode::kRead, IntervalSet{iv(4, 6)});
+  EXPECT_EQ(ls.entry_count(), 2u);
+  ls.purge_below(ts(10));
+  EXPECT_EQ(ls.entry_count(), 0u);
+}
+
+TEST(LockStateTest, WritesBelowHorizonPermanentlyRefused) {
+  LockState ls;
+  ls.purge_below(ts(100));
+  const ProbeResult pw = ls.probe(1, LockMode::kWrite, iv(1, 150));
+  EXPECT_TRUE(pw.permanent.contains(iv(1, 99)));
+  EXPECT_TRUE(pw.available.contains(iv(100, 150)));
+}
+
+TEST(LockStateTest, ReadsBelowHorizonAutoAvailable) {
+  LockState ls;
+  ls.purge_below(ts(100));
+  const ProbeResult pr = ls.probe(1, LockMode::kRead, iv(1, 150));
+  EXPECT_TRUE(pr.available.contains(iv(1, 150)));
+  EXPECT_FALSE(pr.hit_frozen_write);
+}
+
+TEST(LockStateTest, EntryCountReflectsCompression) {
+  LockState ls;
+  ls.grant(1, LockMode::kRead, IntervalSet{iv(1, 5)});
+  ls.grant(1, LockMode::kRead, IntervalSet{iv(6, 9)});  // coalesces
+  EXPECT_EQ(ls.entry_count(), 1u);
+  ls.grant(2, LockMode::kWrite, IntervalSet{iv(20, 25)});
+  EXPECT_EQ(ls.entry_count(), 2u);
+  EXPECT_EQ(ls.owner_count(), 2u);
+}
+
+TEST(LockStateTest, PurgeHorizonMonotone) {
+  LockState ls;
+  ls.purge_below(ts(50));
+  ls.purge_below(ts(20));  // lower horizon must not regress
+  EXPECT_EQ(ls.purge_horizon(), ts(50));
+}
+
+}  // namespace
+}  // namespace mvtl

@@ -1,0 +1,119 @@
+#include "storage/version_chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mvtl {
+namespace {
+
+Timestamp ts(std::uint64_t raw) { return Timestamp{raw}; }
+
+TEST(VersionChainTest, EmptyChainResolvesToBottom) {
+  VersionChain chain;
+  const auto& v = chain.latest_before(ts(100));
+  EXPECT_EQ(v.ts, Timestamp::min());
+  EXPECT_FALSE(v.value.has_value());
+  EXPECT_EQ(v.writer, kInvalidTxId);
+}
+
+TEST(VersionChainTest, LatestBeforeIsStrict) {
+  VersionChain chain;
+  chain.install(ts(5), "a", 1);
+  chain.install(ts(9), "b", 2);
+  EXPECT_EQ(chain.latest_before(ts(5)).ts, Timestamp::min());
+  EXPECT_EQ(chain.latest_before(ts(6)).ts, ts(5));
+  EXPECT_EQ(chain.latest_before(ts(9)).ts, ts(5));
+  EXPECT_EQ(chain.latest_before(ts(10)).ts, ts(9));
+  EXPECT_EQ(*chain.latest_before(ts(10)).value, "b");
+}
+
+TEST(VersionChainTest, PaperTimelineExample) {
+  // §3's object X: versions a@2 and b@9; a transaction at 6 reads a.
+  VersionChain chain;
+  chain.install(ts(2), "a", 1);
+  chain.install(ts(9), "b", 2);
+  const auto& v = chain.latest_before(ts(6));
+  EXPECT_EQ(v.ts, ts(2));
+  EXPECT_EQ(*v.value, "a");
+}
+
+TEST(VersionChainTest, OutOfOrderInstallKeepsSorted) {
+  VersionChain chain;
+  chain.install(ts(9), "c", 3);
+  chain.install(ts(2), "a", 1);
+  chain.install(ts(5), "b", 2);
+  EXPECT_EQ(chain.latest_before(ts(4)).ts, ts(2));
+  EXPECT_EQ(chain.latest_before(ts(8)).ts, ts(5));
+  EXPECT_EQ(chain.version_count(), 3u);
+}
+
+TEST(VersionChainTest, HasVersionAt) {
+  VersionChain chain;
+  chain.install(ts(4), "x", 1);
+  EXPECT_TRUE(chain.has_version_at(ts(4)));
+  EXPECT_FALSE(chain.has_version_at(ts(3)));
+  EXPECT_FALSE(chain.has_version_at(ts(5)));
+}
+
+TEST(VersionChainTest, LatestIsNewest) {
+  VersionChain chain;
+  EXPECT_EQ(chain.latest().ts, Timestamp::min());
+  chain.install(ts(4), "x", 1);
+  chain.install(ts(7), "y", 2);
+  EXPECT_EQ(chain.latest().ts, ts(7));
+}
+
+TEST(VersionChainTest, PurgeKeepsNewestBelowHorizon) {
+  VersionChain chain;
+  chain.install(ts(2), "a", 1);
+  chain.install(ts(5), "b", 2);
+  chain.install(ts(8), "c", 3);
+  chain.install(ts(20), "d", 4);
+  const std::size_t dropped = chain.purge_below(ts(10));
+  EXPECT_EQ(dropped, 2u);  // a and b go; c survives as the newest below 10
+  EXPECT_EQ(chain.version_count(), 2u);
+  EXPECT_EQ(chain.latest_before(ts(15)).ts, ts(8));
+  EXPECT_EQ(chain.latest_before(ts(25)).ts, ts(20));
+}
+
+TEST(VersionChainTest, PurgeNothingBelowIsNoop) {
+  VersionChain chain;
+  chain.install(ts(20), "d", 4);
+  EXPECT_EQ(chain.purge_below(ts(10)), 0u);
+  EXPECT_EQ(chain.version_count(), 1u);
+}
+
+TEST(VersionChainTest, SafeBoundsAfterPurge) {
+  VersionChain chain;
+  chain.install(ts(2), "a", 1);
+  chain.install(ts(5), "b", 2);
+  chain.install(ts(8), "c", 3);
+  chain.purge_below(ts(10));
+  // Bounds at or below the survivor (8) can no longer be resolved.
+  EXPECT_FALSE(chain.is_safe_bound(ts(4)));
+  EXPECT_FALSE(chain.is_safe_bound(ts(8)));
+  EXPECT_TRUE(chain.is_safe_bound(ts(9)));
+  EXPECT_TRUE(chain.is_safe_bound(ts(100)));
+}
+
+TEST(VersionChainTest, AllBoundsSafeWithoutPurge) {
+  VersionChain chain;
+  chain.install(ts(5), "a", 1);
+  EXPECT_TRUE(chain.is_safe_bound(ts(1)));
+  EXPECT_TRUE(chain.is_safe_bound(ts(5)));
+}
+
+TEST(VersionChainTest, RepeatedPurgeMonotone) {
+  VersionChain chain;
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    chain.install(ts(i * 10), "v", i);
+  }
+  chain.purge_below(ts(45));
+  EXPECT_EQ(chain.latest_before(ts(50)).ts, ts(40));
+  chain.purge_below(ts(85));
+  EXPECT_EQ(chain.latest_before(ts(90)).ts, ts(80));
+  EXPECT_FALSE(chain.is_safe_bound(ts(80)));
+  EXPECT_EQ(chain.version_count(), 3u);  // 80, 90, 100
+}
+
+}  // namespace
+}  // namespace mvtl

@@ -1,0 +1,91 @@
+#include "sync/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace mvtl {
+namespace {
+
+TEST(LogicalClockTest, StrictlyIncreasing) {
+  LogicalClock clock;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t now = clock.now(0);
+    EXPECT_GT(now, prev);
+    prev = now;
+  }
+}
+
+TEST(LogicalClockTest, UniqueAcrossThreads) {
+  LogicalClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kDraws = 500;
+  std::vector<std::vector<std::uint64_t>> draws(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kDraws; ++i) {
+        draws[t].push_back(clock.now(static_cast<ProcessId>(t)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<std::uint64_t> all;
+  for (const auto& d : draws) all.insert(d.begin(), d.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kDraws));
+}
+
+TEST(LogicalClockTest, AdvanceToMovesForwardOnly) {
+  LogicalClock clock(10);
+  clock.advance_to(0, 100);
+  EXPECT_GE(clock.now(0), 100u);
+  clock.advance_to(0, 5);  // no-op: already past
+  EXPECT_GE(clock.now(0), 100u);
+}
+
+TEST(SystemClockTest, MonotonicAndUnique) {
+  SystemClock clock;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = clock.now(0);
+    EXPECT_GT(now, prev);
+    prev = now;
+  }
+}
+
+TEST(SkewedClockTest, AppliesPerProcessOffsets) {
+  auto base = std::make_shared<ManualClock>(1000);
+  SkewedClock skewed(base, {0, +50, -50});
+  EXPECT_EQ(skewed.now(0), 1000u);
+  EXPECT_EQ(skewed.now(1), 1050u);
+  EXPECT_EQ(skewed.now(2), 950u);
+  EXPECT_EQ(skewed.now(99), 1000u);  // unknown process: no offset
+}
+
+TEST(SkewedClockTest, NegativeOffsetClampsAboveZero) {
+  auto base = std::make_shared<ManualClock>(10);
+  SkewedClock skewed(base, {-100});
+  EXPECT_GE(skewed.now(0), 1u);
+}
+
+TEST(ManualClockTest, SetAndAdvance) {
+  ManualClock clock(5);
+  EXPECT_EQ(clock.now(0), 5u);
+  clock.advance(3);
+  EXPECT_EQ(clock.now(0), 8u);
+  clock.set(100);
+  EXPECT_EQ(clock.now(3), 100u);
+}
+
+TEST(ClockSourceTest, TimestampEmbedsProcess) {
+  ManualClock clock(7);
+  const Timestamp t = clock.timestamp(3);
+  EXPECT_EQ(t.tick(), 7u);
+  EXPECT_EQ(t.process(), 3u);
+}
+
+}  // namespace
+}  // namespace mvtl

@@ -1,0 +1,61 @@
+#include "sync/wait_for_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mvtl {
+namespace {
+
+TEST(WaitForGraphTest, AcceptsAcyclicEdges) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.add_edges(1, {2}));
+  EXPECT_TRUE(g.add_edges(2, {3}));
+  EXPECT_TRUE(g.add_edges(1, {3}));
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(WaitForGraphTest, RefusesDirectCycle) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.add_edges(1, {2}));
+  EXPECT_FALSE(g.add_edges(2, {1}));
+}
+
+TEST(WaitForGraphTest, RefusesTransitiveCycle) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.add_edges(1, {2}));
+  EXPECT_TRUE(g.add_edges(2, {3}));
+  EXPECT_TRUE(g.add_edges(3, {4}));
+  EXPECT_FALSE(g.add_edges(4, {1}));
+}
+
+TEST(WaitForGraphTest, RefusedEdgeBatchLeavesNothingBehind) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.add_edges(1, {2}));
+  // Batch with one bad edge must register none of them.
+  EXPECT_FALSE(g.add_edges(2, {5, 1}));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(WaitForGraphTest, SelfEdgesIgnored) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.add_edges(1, {1}));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(WaitForGraphTest, ClearWaiterUnblocksCycle) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.add_edges(1, {2}));
+  g.clear_waiter(1);
+  EXPECT_TRUE(g.add_edges(2, {1}));
+}
+
+TEST(WaitForGraphTest, RemoveTxDropsBothDirections) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.add_edges(1, {2}));
+  EXPECT_TRUE(g.add_edges(3, {1}));
+  g.remove_tx(1);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.add_edges(2, {3}));
+}
+
+}  // namespace
+}  // namespace mvtl

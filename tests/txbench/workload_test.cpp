@@ -1,0 +1,176 @@
+#include "txbench/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "txbench/latency.hpp"
+#include "txbench/metrics.hpp"
+
+namespace mvtl {
+namespace {
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  WorkloadConfig config;
+  config.seed = 42;
+  WorkloadGenerator a(config);
+  WorkloadGenerator b(config);
+  for (int i = 0; i < 10; ++i) {
+    const TxSpec ta = a.next_tx();
+    const TxSpec tb = b.next_tx();
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t j = 0; j < ta.size(); ++j) {
+      EXPECT_EQ(ta[j].kind, tb[j].kind);
+      EXPECT_EQ(ta[j].key, tb[j].key);
+      EXPECT_EQ(ta[j].value, tb[j].value);
+    }
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadConfig a_config;
+  a_config.seed = 1;
+  WorkloadConfig b_config;
+  b_config.seed = 2;
+  WorkloadGenerator a(a_config);
+  WorkloadGenerator b(b_config);
+  int differences = 0;
+  for (int i = 0; i < 5; ++i) {
+    const TxSpec ta = a.next_tx();
+    const TxSpec tb = b.next_tx();
+    for (std::size_t j = 0; j < ta.size() && j < tb.size(); ++j) {
+      if (ta[j].key != tb[j].key) ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(WorkloadTest, RespectsOpsPerTx) {
+  WorkloadConfig config;
+  config.ops_per_tx = 7;
+  WorkloadGenerator gen(config);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(gen.next_tx().size(), 7u);
+  }
+}
+
+TEST(WorkloadTest, WriteFractionApproximatelyHolds) {
+  WorkloadConfig config;
+  config.write_fraction = 0.25;
+  config.ops_per_tx = 20;
+  WorkloadGenerator gen(config);
+  int writes = 0;
+  int total = 0;
+  for (int i = 0; i < 500; ++i) {
+    for (const Op& op : gen.next_tx()) {
+      ++total;
+      if (op.kind == Op::Kind::kWrite) ++writes;
+    }
+  }
+  const double fraction = static_cast<double>(writes) / total;
+  EXPECT_NEAR(fraction, 0.25, 0.02);
+}
+
+TEST(WorkloadTest, WriteFractionExtremes) {
+  for (const double f : {0.0, 1.0}) {
+    WorkloadConfig config;
+    config.write_fraction = f;
+    WorkloadGenerator gen(config);
+    for (const Op& op : gen.next_tx()) {
+      EXPECT_EQ(op.kind == Op::Kind::kWrite, f == 1.0);
+    }
+  }
+}
+
+TEST(WorkloadTest, KeysStayInKeySpace) {
+  WorkloadConfig config;
+  config.key_space = 10;
+  WorkloadGenerator gen(config);
+  std::set<Key> valid;
+  for (std::uint64_t i = 0; i < 10; ++i) valid.insert(make_key(i));
+  for (int i = 0; i < 50; ++i) {
+    for (const Op& op : gen.next_tx()) {
+      EXPECT_EQ(valid.count(op.key), 1u) << op.key;
+    }
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewsTowardFewKeys) {
+  WorkloadConfig uniform;
+  uniform.key_space = 1'000;
+  uniform.zipf_theta = 0.0;
+  WorkloadConfig skewed = uniform;
+  skewed.zipf_theta = 0.99;
+
+  auto top_key_share = [](WorkloadConfig config) {
+    WorkloadGenerator gen(config);
+    std::unordered_map<Key, int> counts;
+    int total = 0;
+    for (int i = 0; i < 500; ++i) {
+      for (const Op& op : gen.next_tx()) {
+        ++counts[op.key];
+        ++total;
+      }
+    }
+    int top = 0;
+    for (const auto& [key, n] : counts) top = std::max(top, n);
+    return static_cast<double>(top) / total;
+  };
+
+  EXPECT_GT(top_key_share(skewed), 5 * top_key_share(uniform));
+}
+
+TEST(WorkloadTest, ValuesHaveConfiguredLength) {
+  WorkloadConfig config;
+  config.write_fraction = 1.0;
+  config.value_len = 8;  // paper: 8-character strings
+  WorkloadGenerator gen(config);
+  for (const Op& op : gen.next_tx()) {
+    EXPECT_EQ(op.value.size(), 8u);
+  }
+}
+
+TEST(MetricsTest, RatesAndCounts) {
+  Metrics m;
+  for (int i = 0; i < 30; ++i) m.add_commit();
+  for (int i = 0; i < 10; ++i) m.add_abort(AbortReason::kLockTimeout);
+  EXPECT_EQ(m.committed(), 30u);
+  EXPECT_EQ(m.aborted(), 10u);
+  EXPECT_EQ(m.attempts(), 40u);
+  EXPECT_DOUBLE_EQ(m.commit_rate(), 0.75);
+  EXPECT_EQ(m.aborts_for(AbortReason::kLockTimeout), 10u);
+  EXPECT_EQ(m.aborts_for(AbortReason::kVersionPurged), 0u);
+  EXPECT_NEAR(m.throughput_tps(std::chrono::duration<double>(2.0)), 15.0,
+              1e-9);
+  m.reset();
+  EXPECT_EQ(m.attempts(), 0u);
+  EXPECT_DOUBLE_EQ(m.commit_rate(), 1.0);  // vacuous
+}
+
+TEST(LatencyHistogramTest, QuantilesOrdered) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.record(std::chrono::microseconds{i});
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  const double p50 = h.quantile_us(0.50);
+  const double p99 = h.quantile_us(0.99);
+  EXPECT_GT(p50, 300.0);
+  EXPECT_LT(p50, 800.0);
+  EXPECT_GT(p99, p50);
+  EXPECT_LT(p99, 1'500.0);
+}
+
+TEST(LatencyHistogramTest, EmptyAndReset) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile_us(0.99), 0.0);
+  h.record(std::chrono::milliseconds{5});
+  EXPECT_GT(h.quantile_us(0.5), 1'000.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_us(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace mvtl
