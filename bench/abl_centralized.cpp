@@ -5,13 +5,11 @@
 // calls out. Part 2 sweeps MVTIL's interval width Δ: too small and the
 // interval collapses under contention (aborts); large enough and the
 // commit rate saturates (each transaction only needs one surviving
-// point).
+// point). Every engine is built through the Db facade — one Options call
+// per row.
 #include <cstdio>
 
-#include "baselines/mvto_plus.hpp"
-#include "baselines/two_phase_locking.hpp"
-#include "core/mvtl_engine.hpp"
-#include "core/policy.hpp"
+#include "api/db.hpp"
 #include "txbench/driver.hpp"
 #include "txbench/report.hpp"
 
@@ -19,7 +17,7 @@ namespace {
 
 using namespace mvtl;
 
-DriverResult run_engine(TransactionalStore& engine, double write_fraction) {
+DriverResult run_engine(Db& db, double write_fraction) {
   DriverConfig driver;
   driver.clients = 8;
   driver.workload.key_space = 512;
@@ -28,7 +26,7 @@ DriverResult run_engine(TransactionalStore& engine, double write_fraction) {
   driver.workload.seed = 17;
   driver.warmup = std::chrono::milliseconds{50};
   driver.measure = std::chrono::milliseconds{250};
-  return run_closed_loop(engine, driver);
+  return run_closed_loop(db.spi(), driver);
 }
 
 }  // namespace
@@ -40,63 +38,36 @@ int main() {
   Table table({"engine", "tput 25%w (tx/s)", "rate 25%w", "tput 75%w (tx/s)",
                "rate 75%w"});
 
-  auto add_engine = [&](const std::string& name,
-                        auto&& factory) {
+  const std::vector<std::pair<std::string, Policy>> engines = {
+      {"MVTL-TO", Policy::to()},
+      {"MVTL-Ghostbuster", Policy::ghostbuster()},
+      {"MVTL-Pessimistic", Policy::pessimistic()},
+      {"MVTL-eps-clock", Policy::eps_clock(200)},
+      {"MVTL-Pref", Policy::pref({-200, -400, -800})},
+      {"MVTL-Prio", Policy::prio()},
+      {"MVTIL-early", Policy::mvtil(5'000, Early::kYes)},
+      {"MVTIL-late", Policy::mvtil(5'000, Early::kNo)},
+      {"MVTO+", Policy::mvto_plus()},
+      {"2PL", Policy::two_phase_locking()},
+  };
+
+  for (const auto& [name, policy] : engines) {
     std::vector<std::string> row{name};
     for (const double w : {0.25, 0.75}) {
-      auto engine = factory();
-      const DriverResult r = run_engine(*engine, w);
+      Db db = Options().policy(policy).open();
+      const DriverResult r = run_engine(db, w);
       row.push_back(fmt_double(r.throughput_tps, 0));
       row.push_back(fmt_double(r.commit_rate, 3));
     }
     table.add_row(std::move(row));
-  };
-
-  auto clock_factory = [] {
-    return std::make_shared<SystemClock>();
-  };
-  auto mvtl_engine = [&](std::shared_ptr<MvtlPolicy> policy) {
-    MvtlEngineConfig config;
-    config.clock = clock_factory();
-    return std::make_unique<MvtlEngine>(std::move(policy), config);
-  };
-
-  add_engine("MVTL-TO", [&] { return mvtl_engine(make_to_policy()); });
-  add_engine("MVTL-Ghostbuster",
-             [&] { return mvtl_engine(make_ghostbuster_policy()); });
-  add_engine("MVTL-Pessimistic",
-             [&] { return mvtl_engine(make_pessimistic_policy()); });
-  add_engine("MVTL-eps-clock",
-             [&] { return mvtl_engine(make_eps_clock_policy(200)); });
-  add_engine("MVTL-Pref", [&] {
-    return mvtl_engine(make_pref_policy({-200, -400, -800}));
-  });
-  add_engine("MVTL-Prio", [&] { return mvtl_engine(make_prio_policy()); });
-  add_engine("MVTIL-early", [&] {
-    return mvtl_engine(make_mvtil_policy(5'000, true, true));
-  });
-  add_engine("MVTIL-late", [&] {
-    return mvtl_engine(make_mvtil_policy(5'000, false, true));
-  });
-  add_engine("MVTO+", [&] {
-    MvtoConfig config;
-    config.clock = clock_factory();
-    return std::make_unique<MvtoPlusEngine>(std::move(config));
-  });
-  add_engine("2PL", [&] {
-    TwoPlConfig config;
-    config.clock = clock_factory();
-    return std::make_unique<TwoPhaseLockingEngine>(std::move(config));
-  });
+  }
   table.print();
 
   std::printf("\n=== MVTIL interval width ablation (Δ in µs ticks) ===\n");
   Table delta_table({"delta", "tput (tx/s)", "commit rate"});
   for (const std::uint64_t delta : {10, 100, 1'000, 5'000, 50'000}) {
-    MvtlEngineConfig config;
-    config.clock = std::make_shared<SystemClock>();
-    MvtlEngine engine(make_mvtil_policy(delta, true, true), config);
-    const DriverResult r = run_engine(engine, 0.5);
+    Db db = Options().policy(Policy::mvtil(delta, Early::kYes)).open();
+    const DriverResult r = run_engine(db, 0.5);
     delta_table.add_row({std::to_string(delta),
                          fmt_double(r.throughput_tps, 0),
                          fmt_double(r.commit_rate, 3)});

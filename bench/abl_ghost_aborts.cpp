@@ -7,9 +7,9 @@
 // leave their read locks (read timestamps) behind; MVTL-Ghostbuster
 // garbage collects on abort and never loses T1.
 #include <cstdio>
+#include <utility>
 
-#include "core/mvtl_engine.hpp"
-#include "core/policy.hpp"
+#include "api/db.hpp"
 #include "txbench/report.hpp"
 
 namespace {
@@ -21,8 +21,7 @@ struct GhostStats {
   int t1_aborts = 0;  // the ghost abort (only without GC)
 };
 
-GhostStats run_schedules(TransactionalStore& store, ManualClock& clock,
-                         int rounds) {
+GhostStats run_schedules(Db& db, ManualClock& clock, int rounds) {
   GhostStats stats;
   for (int i = 0; i < rounds; ++i) {
     const Key x = "X" + std::to_string(i);
@@ -30,21 +29,21 @@ GhostStats run_schedules(TransactionalStore& store, ManualClock& clock,
     const std::uint64_t base = 100 + static_cast<std::uint64_t>(i) * 100;
 
     clock.set(base + 10);
-    auto t1 = store.begin(TxOptions{.process = 1});
+    Transaction t1 = db.begin(TxOptions{.process = 1});
     clock.set(base + 20);
-    auto t2 = store.begin(TxOptions{.process = 2});
+    Transaction t2 = db.begin(TxOptions{.process = 2});
     clock.set(base + 30);
-    auto t3 = store.begin(TxOptions{.process = 3});
+    Transaction t3 = db.begin(TxOptions{.process = 3});
 
-    (void)store.read(*t3, x);
-    (void)store.commit(*t3);
+    (void)t3.get(x);
+    (void)t3.commit();
 
-    (void)store.read(*t2, y);
-    (void)store.write(*t2, x, "x2");
-    if (!store.commit(*t2).committed()) ++stats.t2_aborts;
+    (void)t2.get(y);
+    (void)t2.put(x, "x2");
+    if (!t2.commit().ok()) ++stats.t2_aborts;
 
-    (void)store.write(*t1, y, "y1");
-    if (!store.commit(*t1).committed()) ++stats.t1_aborts;
+    (void)t1.put(y, "y1");
+    if (!t1.commit().ok()) ++stats.t1_aborts;
   }
   return stats;
 }
@@ -57,22 +56,14 @@ int main() {
 
   Table table({"algorithm", "T2 aborts (real conflict)",
                "T1 aborts (ghost)"});
-  {
+  for (const auto& [label, policy] :
+       {std::pair<const char*, Policy>{"MVTL-TO (= MVTO+)", Policy::to()},
+        std::pair<const char*, Policy>{"MVTL-Ghostbuster",
+                                       Policy::ghostbuster()}}) {
     auto clock = std::make_shared<ManualClock>(1);
-    MvtlEngineConfig config;
-    config.clock = clock;
-    MvtlEngine engine(make_to_policy(), config);
-    const GhostStats s = run_schedules(engine, *clock, kRounds);
-    table.add_row({"MVTL-TO (= MVTO+)", std::to_string(s.t2_aborts),
-                   std::to_string(s.t1_aborts)});
-  }
-  {
-    auto clock = std::make_shared<ManualClock>(1);
-    MvtlEngineConfig config;
-    config.clock = clock;
-    MvtlEngine engine(make_ghostbuster_policy(), config);
-    const GhostStats s = run_schedules(engine, *clock, kRounds);
-    table.add_row({"MVTL-Ghostbuster", std::to_string(s.t2_aborts),
+    Db db = Options().policy(policy).clock(clock).open();
+    const GhostStats s = run_schedules(db, *clock, kRounds);
+    table.add_row({label, std::to_string(s.t2_aborts),
                    std::to_string(s.t1_aborts)});
   }
 

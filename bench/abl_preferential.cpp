@@ -5,9 +5,9 @@
 //   W1(Y) C1  R2(X) R3(Y) C3  W2(Y) C2   (t1 < t2 < t3, max A(t2) < t1)
 // Part 2 runs a concurrent mixed workload and compares commit rates.
 #include <cstdio>
+#include <utility>
 
-#include "core/mvtl_engine.hpp"
-#include "core/policy.hpp"
+#include "api/db.hpp"
 #include "txbench/driver.hpp"
 #include "txbench/report.hpp"
 
@@ -15,8 +15,7 @@ namespace {
 
 using namespace mvtl;
 
-int run_theorem2_workloads(TransactionalStore& store, ManualClock& clock,
-                           int rounds) {
+int run_theorem2_workloads(Db& db, ManualClock& clock, int rounds) {
   int t2_commits = 0;
   for (int i = 0; i < rounds; ++i) {
     const Key x = "X" + std::to_string(i);
@@ -24,36 +23,37 @@ int run_theorem2_workloads(TransactionalStore& store, ManualClock& clock,
     const std::uint64_t base = 1'000 + static_cast<std::uint64_t>(i) * 1'000;
 
     clock.set(base + 100);  // t1
-    auto t1 = store.begin(TxOptions{.process = 1});
-    (void)store.write(*t1, y, "y1");
-    (void)store.commit(*t1);
+    Transaction t1 = db.begin(TxOptions{.process = 1});
+    (void)t1.put(y, "y1");
+    (void)t1.commit();
 
     clock.set(base + 200);  // t2
-    auto t2 = store.begin(TxOptions{.process = 2});
-    (void)store.read(*t2, x);
+    Transaction t2 = db.begin(TxOptions{.process = 2});
+    (void)t2.get(x);
 
     clock.set(base + 300);  // t3
-    auto t3 = store.begin(TxOptions{.process = 3});
-    (void)store.read(*t3, y);
-    (void)store.commit(*t3);
+    Transaction t3 = db.begin(TxOptions{.process = 3});
+    (void)t3.get(y);
+    (void)t3.commit();
 
-    (void)store.write(*t2, y, "y2");
-    if (store.commit(*t2).committed()) ++t2_commits;
+    (void)t2.put(y, "y2");
+    if (t2.commit().ok()) ++t2_commits;
   }
   return t2_commits;
 }
 
-double concurrent_commit_rate(std::shared_ptr<MvtlPolicy> policy) {
-  MvtlEngineConfig config;
-  config.clock = std::make_shared<LogicalClock>(1'000'000);
-  MvtlEngine engine(std::move(policy), config);
+double concurrent_commit_rate(Policy policy) {
+  Db db = Options()
+              .policy(std::move(policy))
+              .clock(std::make_shared<LogicalClock>(1'000'000))
+              .open();
   DriverConfig driver;
   driver.clients = 8;
   driver.workload.key_space = 96;
   driver.workload.ops_per_tx = 8;
   driver.workload.write_fraction = 0.3;
   driver.workload.seed = 5;
-  const DriverResult r = run_fixed_count(engine, driver, 250);
+  const DriverResult r = run_fixed_count(db.spi(), driver, 250);
   return r.commit_rate;
 }
 
@@ -64,25 +64,15 @@ int main() {
   constexpr int kRounds = 300;
 
   Table t2_table({"algorithm", "T2 commits", "out of"});
-  {
+  for (const auto& [label, policy] :
+       {std::pair<const char*, Policy>{"MVTL-TO (= MVTO+)", Policy::to()},
+        std::pair<const char*, Policy>{"MVTL-Pref A(t)={t-150}",
+                                       Policy::pref({-150})}}) {
     auto clock = std::make_shared<ManualClock>(1);
-    MvtlEngineConfig config;
-    config.clock = clock;
-    MvtlEngine engine(make_to_policy(), config);
-    t2_table.add_row({"MVTL-TO (= MVTO+)",
-                      std::to_string(run_theorem2_workloads(engine, *clock,
-                                                            kRounds)),
-                      std::to_string(kRounds)});
-  }
-  {
-    auto clock = std::make_shared<ManualClock>(1);
-    MvtlEngineConfig config;
-    config.clock = clock;
-    MvtlEngine engine(make_pref_policy({-150}), config);
-    t2_table.add_row({"MVTL-Pref A(t)={t-150}",
-                      std::to_string(run_theorem2_workloads(engine, *clock,
-                                                            kRounds)),
-                      std::to_string(kRounds)});
+    Db db = Options().policy(policy).clock(clock).open();
+    t2_table.add_row(
+        {label, std::to_string(run_theorem2_workloads(db, *clock, kRounds)),
+         std::to_string(kRounds)});
   }
   std::printf("=== Theorem 2(b) workload: does T2 commit? ===\n");
   t2_table.print();
@@ -90,11 +80,11 @@ int main() {
   std::printf("\n=== Concurrent mixed workload: commit rate ===\n");
   Table rate_table({"algorithm", "commit rate"});
   rate_table.add_row(
-      {"MVTL-TO", fmt_double(concurrent_commit_rate(make_to_policy()), 3)});
+      {"MVTL-TO", fmt_double(concurrent_commit_rate(Policy::to()), 3)});
   rate_table.add_row(
       {"MVTL-Pref", fmt_double(concurrent_commit_rate(
-                        make_pref_policy({-64, -128, -256})),
-                    3)});
+                                   Policy::pref({-64, -128, -256})),
+                               3)});
   rate_table.print();
   std::printf(
       "\nShape check: MVTL-Pref commits every Theorem-2 workload that "

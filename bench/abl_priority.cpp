@@ -8,8 +8,8 @@
 #include <cstdio>
 #include <thread>
 
-#include "core/mvtl_engine.hpp"
-#include "core/policy.hpp"
+#include "api/db.hpp"
+#include "common/rng.hpp"
 #include "txbench/driver.hpp"
 #include "txbench/report.hpp"
 
@@ -24,7 +24,7 @@ struct ClassStats {
   std::atomic<std::uint64_t> normal_aborts{0};
 };
 
-void run_mixed(TransactionalStore& store, ClassStats& stats) {
+void run_mixed(Db& db, ClassStats& stats) {
   std::vector<std::thread> threads;
   for (int c = 0; c < 8; ++c) {
     threads.emplace_back([&, c] {
@@ -39,7 +39,7 @@ void run_mixed(TransactionalStore& store, ClassStats& stats) {
       for (int i = 0; i < 200; ++i) {
         const bool critical = rng.next_bool(0.1);
         const CommitResult r =
-            execute_tx(store, gen.next_tx(), process, critical);
+            execute_tx(db.spi(), gen.next_tx(), process, critical);
         if (critical) {
           (r.committed() ? stats.critical_commits : stats.critical_aborts)
               .fetch_add(1);
@@ -66,16 +66,17 @@ int main() {
 
   Table table({"algorithm", "critical abort%", "normal abort%"});
   for (const bool use_prio : {true, false}) {
-    MvtlEngineConfig config;
-    config.clock = std::make_shared<LogicalClock>(1'000'000);
-    config.lock_timeout = std::chrono::microseconds{250'000};
-    MvtlEngine engine(use_prio ? make_prio_policy() : make_to_policy(),
-                      config);
+    Db db = Options()
+                .policy(use_prio ? Policy::prio() : Policy::to())
+                .clock(std::make_shared<LogicalClock>(1'000'000))
+                .lock_timeout(std::chrono::microseconds{250'000})
+                .open();
     ClassStats stats;
-    run_mixed(engine, stats);
-    table.add_row({use_prio ? "MVTL-Prio" : "MVTL-TO (no priorities)",
-                   fmt_double(pct(stats.critical_aborts, stats.critical_commits), 2),
-                   fmt_double(pct(stats.normal_aborts, stats.normal_commits), 2)});
+    run_mixed(db, stats);
+    table.add_row(
+        {use_prio ? "MVTL-Prio" : "MVTL-TO (no priorities)",
+         fmt_double(pct(stats.critical_aborts, stats.critical_commits), 2),
+         fmt_double(pct(stats.normal_aborts, stats.normal_commits), 2)});
   }
 
   std::printf("=== Priority ablation: abort rate by transaction class ===\n");

@@ -7,8 +7,7 @@
 // (Theorem 4). The sweep shows the abort rate as skew grows past ε.
 #include <cstdio>
 
-#include "core/mvtl_engine.hpp"
-#include "core/policy.hpp"
+#include "api/db.hpp"
 #include "txbench/report.hpp"
 
 namespace {
@@ -29,15 +28,15 @@ std::shared_ptr<ClockSource> skewed_clock(std::int64_t skew) {
 }
 
 /// Runs the serial chain; returns the fraction of aborted transactions.
-double serial_abort_rate(TransactionalStore& store) {
+double serial_abort_rate(Db& db) {
   int aborted = 0;
   for (int i = 0; i < kChainLength; ++i) {
     TxOptions options;
     options.process = static_cast<ProcessId>(i % kProcesses);
-    auto tx = store.begin(options);
-    bool ok = store.read(*tx, "chain").ok;
-    ok = ok && store.write(*tx, "chain", std::to_string(i));
-    ok = ok && store.commit(*tx).committed();
+    Transaction tx = db.begin(options);
+    bool ok = tx.get("chain").ok();
+    ok = ok && tx.put("chain", std::to_string(i)).ok();
+    ok = ok && tx.commit().ok();
     if (!ok) ++aborted;
   }
   return static_cast<double>(aborted) / kChainLength;
@@ -52,17 +51,15 @@ int main() {
               static_cast<unsigned long long>(kEpsilon));
   Table table({"skew", "MVTL-TO abort%", "MVTL-eps-clock abort%"});
   for (const std::int64_t skew : {0, 32, 128, 256, 512, 1024}) {
-    MvtlEngineConfig to_config;
-    to_config.clock = skewed_clock(skew);
-    MvtlEngine to_engine(make_to_policy(), to_config);
-
-    MvtlEngineConfig eps_config;
-    eps_config.clock = skewed_clock(skew);
-    MvtlEngine eps_engine(make_eps_clock_policy(kEpsilon), eps_config);
+    Db to_db = Options().policy(Policy::to()).clock(skewed_clock(skew)).open();
+    Db eps_db = Options()
+                    .policy(Policy::eps_clock(kEpsilon))
+                    .clock(skewed_clock(skew))
+                    .open();
 
     table.add_row({std::to_string(skew),
-                   fmt_double(serial_abort_rate(to_engine) * 100, 1),
-                   fmt_double(serial_abort_rate(eps_engine) * 100, 1)});
+                   fmt_double(serial_abort_rate(to_db) * 100, 1),
+                   fmt_double(serial_abort_rate(eps_db) * 100, 1)});
   }
   table.print();
   std::printf(

@@ -1,53 +1,66 @@
-// Shared plumbing for the figure benchmarks: build a cluster for one
-// protocol, run the closed-loop driver, report throughput and commit rate
-// in the paper's format (§8.3).
+// Shared plumbing for the figure benchmarks: build an engine for one
+// protocol behind the Db facade, run the closed-loop driver, report
+// throughput and commit rate in the paper's format (§8.3).
 //
 // Scale note: the paper measures 20 s windows on real test beds with up
 // to 600 client machines/VMs; we run hundreds-of-milliseconds windows
-// in-process so the whole suite finishes in minutes. Absolute tx/s are
-// not comparable — the *relative* shape (who wins, where the crossovers
-// are) is what these benches reproduce.
+// against in-process centralized engines so the whole suite finishes in
+// minutes. (The distributed test beds of Figures 2 and 5 return when
+// src/dist/ lands — see ROADMAP.md; the client will speak this same
+// facade.) Absolute tx/s are not comparable — the *relative* shape (who
+// wins, where the crossovers are) is what these benches reproduce.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "dist/cluster.hpp"
+#include "api/db.hpp"
 #include "txbench/driver.hpp"
 #include "txbench/report.hpp"
 
 namespace mvtl::bench {
 
+/// The four protocols of the paper's evaluation (§8.3).
+enum class Protocol { kMvtoPlus, kTwoPl, kMvtilEarly, kMvtilLate };
+
+inline const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kMvtoPlus:
+      return "MVTO+";
+    case Protocol::kTwoPl:
+      return "2PL";
+    case Protocol::kMvtilEarly:
+      return "MVTIL-early";
+    case Protocol::kMvtilLate:
+      return "MVTIL-late";
+  }
+  return "?";
+}
+
+inline Policy protocol_policy(Protocol p, std::uint64_t mvtil_delta_ticks) {
+  switch (p) {
+    case Protocol::kMvtoPlus:
+      return Policy::mvto_plus();
+    case Protocol::kTwoPl:
+      return Policy::two_phase_locking();
+    case Protocol::kMvtilEarly:
+      return Policy::mvtil(mvtil_delta_ticks, Early::kYes);
+    case Protocol::kMvtilLate:
+      return Policy::mvtil(mvtil_delta_ticks, Early::kNo);
+  }
+  return Policy::mvtil(mvtil_delta_ticks);
+}
+
+/// ≈ the paper's big-LAN test bed, compressed to one process: generous
+/// parallelism, a lock timeout tuned for throughput.
 struct TestBed {
   std::string name;
-  std::size_t servers;
-  std::size_t server_threads;
-  NetProfile net;
   std::chrono::microseconds lock_timeout;
-  std::chrono::microseconds op_cost;
 
-  /// ≈ the paper's three-machine LAN test bed: fast multiprocessors —
-  /// request handling is cheap and parallel.
-  static TestBed local(std::size_t servers = 3) {
-    return TestBed{"local",
-                   servers,
-                   8,
-                   NetProfile::local(),
-                   std::chrono::microseconds{10'000},
-                   std::chrono::microseconds{5}};
-  }
-
-  /// ≈ the paper's t2.micro cloud test bed: one weak vCPU per server and
-  /// a jittery network — wasted work (aborts, lock retries) eats real
-  /// capacity.
-  static TestBed cloud(std::size_t servers = 8) {
-    return TestBed{"cloud",
-                   servers,
-                   1,
-                   NetProfile::cloud(),
-                   std::chrono::microseconds{30'000},
-                   std::chrono::microseconds{40}};
+  static TestBed local() {
+    return TestBed{"local", std::chrono::microseconds{10'000}};
   }
 };
 
@@ -63,16 +76,15 @@ struct RunSpec {
   std::uint64_t seed = 1;
 };
 
-inline DriverResult run_protocol(DistProtocol protocol, const RunSpec& spec) {
-  ClusterConfig config;
-  config.servers = spec.bed.servers;
-  config.server_threads = spec.bed.server_threads;
-  config.net = spec.bed.net;
-  config.lock_timeout = spec.bed.lock_timeout;
-  config.server_op_cost = spec.bed.op_cost;
-  config.mvtil_delta_ticks = spec.mvtil_delta_ticks;
-  config.net_seed = spec.seed;
-  Cluster cluster(protocol, config);
+inline Db make_db(Protocol protocol, const RunSpec& spec) {
+  return Options()
+      .policy(protocol_policy(protocol, spec.mvtil_delta_ticks))
+      .lock_timeout(spec.bed.lock_timeout)
+      .open();
+}
+
+inline DriverResult run_protocol(Protocol protocol, const RunSpec& spec) {
+  Db db = make_db(protocol, spec);
 
   DriverConfig driver;
   driver.clients = spec.clients;
@@ -86,18 +98,17 @@ inline DriverResult run_protocol(DistProtocol protocol, const RunSpec& spec) {
   // (§8.1: "it has the option of aborting or restarting the transaction,
   // with an interval I adjusted based on the state it has already seen").
   // MVTO+ and 2PL aborts are terminal, as in the paper's measurements.
-  if (protocol == DistProtocol::kMvtilEarly ||
-      protocol == DistProtocol::kMvtilLate) {
+  if (protocol == Protocol::kMvtilEarly || protocol == Protocol::kMvtilLate) {
     driver.retry_aborted = true;
     driver.max_restarts = 5;
   }
-  return run_closed_loop(cluster.client(), driver);
+  return run_closed_loop(db.spi(), driver);
 }
 
-inline const std::vector<DistProtocol>& all_protocols() {
-  static const std::vector<DistProtocol> kProtocols = {
-      DistProtocol::kMvtoPlus, DistProtocol::kTwoPl,
-      DistProtocol::kMvtilEarly, DistProtocol::kMvtilLate};
+inline const std::vector<Protocol>& all_protocols() {
+  static const std::vector<Protocol> kProtocols = {
+      Protocol::kMvtoPlus, Protocol::kTwoPl, Protocol::kMvtilEarly,
+      Protocol::kMvtilLate};
   return kProtocols;
 }
 
@@ -106,16 +117,16 @@ inline const std::vector<DistProtocol>& all_protocols() {
 template <typename XValues, typename MakeSpec>
 void run_sweep(const std::string& figure, const std::string& x_label,
                const XValues& xs, MakeSpec&& make_spec,
-               const std::vector<DistProtocol>& protocols = all_protocols()) {
+               const std::vector<Protocol>& protocols = all_protocols()) {
   std::vector<std::string> columns{x_label};
-  for (DistProtocol p : protocols) columns.push_back(dist_protocol_name(p));
+  for (Protocol p : protocols) columns.push_back(protocol_name(p));
 
   Table throughput(columns);
   Table commit_rate(columns);
   for (const auto& x : xs) {
     std::vector<std::string> tput_row{std::to_string(x)};
     std::vector<std::string> rate_row{std::to_string(x)};
-    for (DistProtocol p : protocols) {
+    for (Protocol p : protocols) {
       const RunSpec spec = make_spec(x);
       const DriverResult r = run_protocol(p, spec);
       tput_row.push_back(fmt_double(r.throughput_tps, 0));

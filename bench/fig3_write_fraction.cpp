@@ -17,14 +17,13 @@ int main() {
       "Figure 3: write fraction, local test bed", "write%", write_pct,
       [](int pct) {
         RunSpec spec;
-        spec.bed = TestBed::local(3);
+        spec.bed = TestBed::local();
         spec.clients = 90;
         spec.key_space = 10'000;
         spec.ops_per_tx = 20;
         spec.write_fraction = pct / 100.0;
         return spec;
       },
-      {DistProtocol::kMvtoPlus, DistProtocol::kTwoPl,
-       DistProtocol::kMvtilEarly});
+      {Protocol::kMvtoPlus, Protocol::kTwoPl, Protocol::kMvtilEarly});
   return 0;
 }

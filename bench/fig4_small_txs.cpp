@@ -14,7 +14,7 @@ int main() {
   run_sweep("Figure 4: small transactions, local test bed", "clients",
             clients, [](std::size_t c) {
               RunSpec spec;
-              spec.bed = TestBed::local(3);
+              spec.bed = TestBed::local();
               spec.clients = c;
               spec.key_space = 10'000;
               spec.ops_per_tx = 8;

@@ -24,17 +24,14 @@ struct Series {
   std::vector<std::size_t> versions;
 };
 
-Series run_series(DistProtocol protocol, bool gc, int seconds) {
-  ClusterConfig config;
-  config.servers = 3;
-  config.server_threads = 8;
-  config.net = NetProfile::local();
-  config.mvtil_delta_ticks = 5'000;
-  Cluster cluster(protocol, config);
+Series run_series(Protocol protocol, bool gc, int seconds) {
+  RunSpec spec;
+  spec.mvtil_delta_ticks = 5'000;
+  Db db = make_db(protocol, spec);
   if (gc) {
     // Timestamp service: broadcast T = now − K (we use K = 500 ms at a
     // 1 s period; the paper uses K = 15 s at 15 s).
-    cluster.start_ts_service(std::chrono::milliseconds{1'000}, 500'000);
+    db.start_gc(std::chrono::milliseconds{1'000}, 500'000);
   }
 
   std::atomic<bool> stop{false};
@@ -49,17 +46,16 @@ Series run_series(DistProtocol protocol, bool gc, int seconds) {
       WorkloadGenerator gen(wl);
       const auto process = static_cast<ProcessId>(c + 1);
       while (!stop.load(std::memory_order_relaxed)) {
-        (void)execute_tx(cluster.client(), gen.next_tx(), process);
+        (void)execute_tx(db.spi(), gen.next_tx(), process);
       }
     });
   }
 
   Series series;
-  series.name = std::string(dist_protocol_name(protocol)) +
-                (gc ? "-GC" : "");
+  series.name = std::string(protocol_name(protocol)) + (gc ? "-GC" : "");
   for (int s = 0; s < seconds; ++s) {
     std::this_thread::sleep_for(std::chrono::seconds{1});
-    const StoreStats stats = cluster.stats();
+    const StoreStats stats = db.stats();
     series.locks.push_back(stats.lock_entries);
     series.versions.push_back(stats.versions);
   }
@@ -73,11 +69,9 @@ Series run_series(DistProtocol protocol, bool gc, int seconds) {
 int main() {
   constexpr int kSeconds = 10;
   std::vector<Series> series;
-  series.push_back(run_series(DistProtocol::kMvtoPlus, /*gc=*/false, kSeconds));
-  series.push_back(
-      run_series(DistProtocol::kMvtilEarly, /*gc=*/false, kSeconds));
-  series.push_back(
-      run_series(DistProtocol::kMvtilEarly, /*gc=*/true, kSeconds));
+  series.push_back(run_series(Protocol::kMvtoPlus, /*gc=*/false, kSeconds));
+  series.push_back(run_series(Protocol::kMvtilEarly, /*gc=*/false, kSeconds));
+  series.push_back(run_series(Protocol::kMvtilEarly, /*gc=*/true, kSeconds));
 
   std::vector<std::string> columns{"time(s)"};
   for (const Series& s : series) columns.push_back(s.name);

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "txbench/metrics.hpp"
 
 namespace {
 
@@ -22,15 +23,12 @@ struct TimedSeries {
   std::vector<double> rate;
 };
 
-TimedSeries run_series(DistProtocol protocol, bool gc, int windows) {
-  ClusterConfig config;
-  config.servers = 3;
-  config.server_threads = 8;
-  config.net = NetProfile::local();
-  config.mvtil_delta_ticks = 5'000;
-  Cluster cluster(protocol, config);
+TimedSeries run_series(Protocol protocol, bool gc, int windows) {
+  RunSpec spec;
+  spec.mvtil_delta_ticks = 5'000;
+  Db db = make_db(protocol, spec);
   if (gc) {
-    cluster.start_ts_service(std::chrono::milliseconds{1'000}, 500'000);
+    db.start_gc(std::chrono::milliseconds{1'000}, 500'000);
   }
 
   std::atomic<bool> stop{false};
@@ -46,8 +44,7 @@ TimedSeries run_series(DistProtocol protocol, bool gc, int windows) {
       WorkloadGenerator gen(wl);
       const auto process = static_cast<ProcessId>(c + 1);
       while (!stop.load(std::memory_order_relaxed)) {
-        const CommitResult r =
-            execute_tx(cluster.client(), gen.next_tx(), process);
+        const CommitResult r = execute_tx(db.spi(), gen.next_tx(), process);
         if (r.committed()) {
           metrics.add_commit();
         } else {
@@ -58,8 +55,7 @@ TimedSeries run_series(DistProtocol protocol, bool gc, int windows) {
   }
 
   TimedSeries series;
-  series.name =
-      std::string(dist_protocol_name(protocol)) + (gc ? "-GC" : "");
+  series.name = std::string(protocol_name(protocol)) + (gc ? "-GC" : "");
   for (int w = 0; w < windows; ++w) {
     metrics.reset();
     const auto start = std::chrono::steady_clock::now();
@@ -79,13 +75,10 @@ TimedSeries run_series(DistProtocol protocol, bool gc, int windows) {
 int main() {
   constexpr int kWindows = 18;
   std::vector<TimedSeries> series;
-  series.push_back(
-      run_series(DistProtocol::kMvtoPlus, /*gc=*/false, kWindows));
-  series.push_back(run_series(DistProtocol::kTwoPl, /*gc=*/false, kWindows));
-  series.push_back(
-      run_series(DistProtocol::kMvtilEarly, /*gc=*/false, kWindows));
-  series.push_back(
-      run_series(DistProtocol::kMvtilEarly, /*gc=*/true, kWindows));
+  series.push_back(run_series(Protocol::kMvtoPlus, /*gc=*/false, kWindows));
+  series.push_back(run_series(Protocol::kTwoPl, /*gc=*/false, kWindows));
+  series.push_back(run_series(Protocol::kMvtilEarly, /*gc=*/false, kWindows));
+  series.push_back(run_series(Protocol::kMvtilEarly, /*gc=*/true, kWindows));
 
   std::vector<std::string> columns{"time(s)"};
   for (const TimedSeries& s : series) columns.push_back(s.name);

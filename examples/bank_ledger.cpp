@@ -4,16 +4,18 @@
 // money between random pairs, plus auditor transactions that sum every
 // balance. Under a serializable engine the audited total never changes.
 // We run the same scenario on two engines — MVTL-Ghostbuster and 2PL —
-// and report commit statistics, showing the multiversion engine letting
-// auditors (large read-only transactions) coexist with transfers.
+// through the same Db facade, and report commit statistics, showing the
+// multiversion engine letting auditors (large read-only transactions)
+// coexist with transfers. All workers use Db::transact, so conflict
+// aborts are retried automatically and only terminal failures count as
+// losses.
 #include <atomic>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
-#include "baselines/two_phase_locking.hpp"
-#include "core/mvtl_engine.hpp"
-#include "core/policy.hpp"
+#include "api/db.hpp"
 #include "common/rng.hpp"
 
 namespace {
@@ -29,21 +31,31 @@ Key account_key(int i) { return "acct-" + std::to_string(i); }
 
 struct Outcome {
   std::atomic<int> transfers_committed{0};
-  std::atomic<int> transfers_aborted{0};
+  std::atomic<int> transfers_skipped{0};  // insufficient funds
+  std::atomic<int> transfers_failed{0};   // retries exhausted
   std::atomic<int> audits_committed{0};
-  std::atomic<int> audits_aborted{0};
+  std::atomic<int> audits_failed{0};
   std::atomic<bool> invariant_violated{false};
 };
 
-void run_scenario(TransactionalStore& store, Outcome& outcome) {
+void run_scenario(Db& db, Outcome& outcome) {
   // Seed the accounts.
   {
-    auto tx = store.begin(TxOptions{.process = 999});
-    for (int i = 0; i < kAccounts; ++i) {
-      store.write(*tx, account_key(i), std::to_string(kInitialBalance));
-    }
-    if (!store.commit(*tx).committed()) {
-      std::fprintf(stderr, "seeding failed\n");
+    const Result<Timestamp> seeded = db.transact(
+        [](Transaction& tx) -> Result<void> {
+          for (int i = 0; i < kAccounts; ++i) {
+            if (const auto w =
+                    tx.put(account_key(i), std::to_string(kInitialBalance));
+                !w.ok()) {
+              return w;
+            }
+          }
+          return {};
+        },
+        TxOptions{.process = 999});
+    if (!seeded.ok()) {
+      std::fprintf(stderr, "seeding failed: %s\n",
+                   seeded.error().message().c_str());
       return;
     }
   }
@@ -62,25 +74,34 @@ void run_scenario(TransactionalStore& store, Outcome& outcome) {
         if (to == from) to = (to + 1) % kAccounts;
         const int amount = 1 + static_cast<int>(rng.next_below(50));
 
-        auto tx = store.begin(TxOptions{.process = process});
-        const ReadResult rf = store.read(*tx, account_key(from));
-        const ReadResult rt = store.read(*tx, account_key(to));
-        bool ok = rf.ok && rt.ok;
-        if (ok) {
-          const int bf = std::stoi(*rf.value);
-          const int bt = std::stoi(*rt.value);
-          if (bf < amount) {  // insufficient funds: clean abort
-            store.abort(*tx);
-            continue;
-          }
-          ok = store.write(*tx, account_key(from),
-                           std::to_string(bf - amount)) &&
-               store.write(*tx, account_key(to), std::to_string(bt + amount));
-        }
-        if (ok && store.commit(*tx).committed()) {
+        bool insufficient = false;
+        const Result<Timestamp> r = db.transact(
+            [&](Transaction& tx) -> Result<void> {
+              const auto rf = tx.get(account_key(from));
+              if (!rf.ok()) return rf.error();
+              const auto rt = tx.get(account_key(to));
+              if (!rt.ok()) return rt.error();
+              const int bf = std::stoi(**rf);
+              const int bt = std::stoi(**rt);
+              if (bf < amount) {  // business rule: clean, terminal abort
+                insufficient = true;
+                tx.abort();
+                return TxError::user_abort();
+              }
+              if (const auto w =
+                      tx.put(account_key(from), std::to_string(bf - amount));
+                  !w.ok()) {
+                return w;
+              }
+              return tx.put(account_key(to), std::to_string(bt + amount));
+            },
+            TxOptions{.process = process});
+        if (r.ok()) {
           outcome.transfers_committed.fetch_add(1);
+        } else if (insufficient) {
+          outcome.transfers_skipped.fetch_add(1);
         } else {
-          outcome.transfers_aborted.fetch_add(1);
+          outcome.transfers_failed.fetch_add(1);
         }
       }
     });
@@ -91,27 +112,34 @@ void run_scenario(TransactionalStore& store, Outcome& outcome) {
   threads.emplace_back([&] {
     const auto process = static_cast<ProcessId>(100);
     while (!stop.load(std::memory_order_relaxed)) {
-      auto tx = store.begin(TxOptions{.process = process});
       long total = 0;
-      bool ok = true;
-      for (int i = 0; i < kAccounts && ok; ++i) {
-        const ReadResult r = store.read(*tx, account_key(i));
-        ok = r.ok && r.value.has_value();
-        if (ok) total += std::stoi(*r.value);
-      }
-      if (ok && store.commit(*tx).committed()) {
+      const Result<Timestamp> r = db.transact(
+          [&](Transaction& tx) -> Result<void> {
+            total = 0;
+            for (int i = 0; i < kAccounts; ++i) {
+              const auto b = tx.get(account_key(i));
+              if (!b.ok()) return b.error();
+              if (!b.value().has_value()) return TxError::user_abort();
+              total += std::stoi(**b);
+            }
+            return {};
+          },
+          TxOptions{.process = process});
+      if (r.ok()) {
         outcome.audits_committed.fetch_add(1);
         if (total != static_cast<long>(kAccounts) * kInitialBalance) {
           outcome.invariant_violated.store(true);
           std::fprintf(stderr, "INVARIANT VIOLATED: total = %ld\n", total);
         }
       } else {
-        outcome.audits_aborted.fetch_add(1);
+        outcome.audits_failed.fetch_add(1);
       }
     }
   });
 
-  for (int t = 0; t < kTransferThreads; ++t) threads[static_cast<size_t>(t)].join();
+  for (int t = 0; t < kTransferThreads; ++t) {
+    threads[static_cast<size_t>(t)].join();
+  }
   stop.store(true);
   threads.back().join();
 }
@@ -121,26 +149,17 @@ void run_scenario(TransactionalStore& store, Outcome& outcome) {
 int main() {
   using namespace mvtl;
 
-  for (const bool use_mvtl : {true, false}) {
-    std::unique_ptr<TransactionalStore> store;
-    if (use_mvtl) {
-      MvtlEngineConfig config;
-      config.clock = std::make_shared<SystemClock>();
-      store = std::make_unique<MvtlEngine>(make_ghostbuster_policy(), config);
-    } else {
-      TwoPlConfig config;
-      config.clock = std::make_shared<SystemClock>();
-      store = std::make_unique<TwoPhaseLockingEngine>(std::move(config));
-    }
-
+  for (const Policy& policy :
+       {Policy::ghostbuster(), Policy::two_phase_locking()}) {
+    Db db = Options().policy(policy).open();
     Outcome outcome;
-    run_scenario(*store, outcome);
+    run_scenario(db, outcome);
     std::printf(
-        "%-18s transfers: %d committed / %d aborted | audits: %d committed "
-        "/ %d aborted | invariant %s\n",
-        store->name().c_str(), outcome.transfers_committed.load(),
-        outcome.transfers_aborted.load(), outcome.audits_committed.load(),
-        outcome.audits_aborted.load(),
+        "%-18s transfers: %d committed / %d skipped / %d failed | audits: "
+        "%d committed / %d failed | invariant %s\n",
+        db.name().c_str(), outcome.transfers_committed.load(),
+        outcome.transfers_skipped.load(), outcome.transfers_failed.load(),
+        outcome.audits_committed.load(), outcome.audits_failed.load(),
         outcome.invariant_violated.load() ? "VIOLATED" : "held");
   }
   return 0;

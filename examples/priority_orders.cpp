@@ -4,15 +4,17 @@
 // not be starved by the analytics and restocking churn around them. With
 // MVTL-Prio, payments run as critical transactions: normal transactions
 // can never abort them — the only thing a payment ever waits for is a
-// normal transaction finishing its locks.
+// normal transaction finishing its locks. Everything goes through the Db
+// facade; churn retries via Db::transact, payments run with critical
+// TxOptions.
 #include <atomic>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "api/db.hpp"
 #include "common/rng.hpp"
-#include "core/mvtl_engine.hpp"
-#include "core/policy.hpp"
 
 namespace {
 
@@ -26,19 +28,22 @@ Key revenue_key() { return "revenue"; }
 }  // namespace
 
 int main() {
-  MvtlEngineConfig config;
-  config.clock = std::make_shared<SystemClock>();
-  config.lock_timeout = std::chrono::microseconds{100'000};
-  MvtlEngine store(make_prio_policy(), config);
+  Db db = Options()
+              .policy(Policy::prio())
+              .lock_timeout(std::chrono::microseconds{100'000})
+              .open();
 
   // Seed stock levels.
   {
-    auto tx = store.begin(TxOptions{.process = 99});
-    for (int i = 0; i < kItems; ++i) {
-      store.write(*tx, stock_key(i), "100");
-    }
-    store.write(*tx, revenue_key(), "0");
-    if (!store.commit(*tx).committed()) return 1;
+    const Result<Timestamp> seeded = db.transact(
+        [](Transaction& tx) -> Result<void> {
+          for (int i = 0; i < kItems; ++i) {
+            if (const auto w = tx.put(stock_key(i), "100"); !w.ok()) return w;
+          }
+          return tx.put(revenue_key(), "0");
+        },
+        TxOptions{.process = 99});
+    if (!seeded.ok()) return 1;
   }
 
   std::atomic<bool> stop{false};
@@ -54,18 +59,24 @@ int main() {
       Rng rng(10 + static_cast<std::uint64_t>(t));
       const auto process = static_cast<ProcessId>(t + 1);
       while (!stop.load(std::memory_order_relaxed)) {
-        auto tx = store.begin(TxOptions{.process = process});
-        bool ok = true;
-        for (int i = 0; i < 6 && ok; ++i) {
-          const int item = static_cast<int>(rng.next_below(kItems));
-          const ReadResult r = store.read(*tx, stock_key(item));
-          ok = r.ok;
-          if (ok && rng.next_bool(0.5)) {
-            ok = store.write(*tx, stock_key(item),
-                             std::to_string(std::stoi(*r.value) + 1));
-          }
-        }
-        if (ok && store.commit(*tx).committed()) {
+        const Result<Timestamp> r = db.transact(
+            [&](Transaction& tx) -> Result<void> {
+              for (int i = 0; i < 6; ++i) {
+                const int item = static_cast<int>(rng.next_below(kItems));
+                const auto stock = tx.get(stock_key(item));
+                if (!stock.ok()) return stock.error();
+                if (rng.next_bool(0.5)) {
+                  const auto w =
+                      tx.put(stock_key(item),
+                             std::to_string(std::stoi(**stock) + 1));
+                  if (!w.ok()) return w;
+                }
+              }
+              return {};
+            },
+            TxOptions{.process = process},
+            RetryPolicy{.max_attempts = 1});  // churn never retries
+        if (r.ok()) {
           churn_ok.fetch_add(1);
         } else {
           churn_failed.fetch_add(1);
@@ -82,17 +93,22 @@ int main() {
     critical.critical = true;
     for (int i = 0; i < 200; ++i) {
       const int item = static_cast<int>(rng.next_below(kItems));
-      auto tx = store.begin(critical);
-      const ReadResult stock = store.read(*tx, stock_key(item));
-      const ReadResult revenue = store.read(*tx, revenue_key());
-      bool ok = stock.ok && revenue.ok;
-      if (ok) {
-        ok = store.write(*tx, stock_key(item),
-                         std::to_string(std::stoi(*stock.value) - 1)) &&
-             store.write(*tx, revenue_key(),
-                         std::to_string(std::stoi(*revenue.value) + 25));
-      }
-      if (ok && store.commit(*tx).committed()) {
+      const Result<Timestamp> r = db.transact(
+          [&](Transaction& tx) -> Result<void> {
+            const auto stock = tx.get(stock_key(item));
+            if (!stock.ok()) return stock.error();
+            const auto revenue = tx.get(revenue_key());
+            if (!revenue.ok()) return revenue.error();
+            if (const auto w = tx.put(
+                    stock_key(item), std::to_string(std::stoi(**stock) - 1));
+                !w.ok()) {
+              return w;
+            }
+            return tx.put(revenue_key(),
+                          std::to_string(std::stoi(**revenue) + 25));
+          },
+          critical);
+      if (r.ok()) {
         payments_ok.fetch_add(1);
       } else {
         payments_failed.fetch_add(1);
@@ -108,10 +124,11 @@ int main() {
   std::printf("churn:     %d committed, %d aborted (normal class)\n",
               churn_ok.load(), churn_failed.load());
 
-  auto tx = store.begin(TxOptions{.process = 98});
-  const ReadResult revenue = store.read(*tx, revenue_key());
+  Transaction tx = db.begin(TxOptions{.process = 98});
+  const auto revenue = tx.get(revenue_key());
   std::printf("revenue captured: %s (expected %d)\n",
-              revenue.value ? revenue.value->c_str() : "<none>",
+              revenue.ok() && revenue.value() ? revenue.value()->c_str()
+                                              : "<none>",
               payments_ok.load() * 25);
   return 0;
 }

@@ -1,76 +1,81 @@
 // Quickstart: a serializable transactional key-value store backed by
-// multiversion timestamp locking.
+// multiversion timestamp locking, driven through the public Db facade.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/quickstart
 //
-// The MVTL engine exposes the four-operation interface of the paper (§2):
-// begin / read / write / commit. Here we use the MVTIL policy — the
-// variant the paper evaluates — but any policy from core/policy.hpp can
+// A Db = a policy + a clock, built by the fluent Options builder. Here we
+// use the MVTIL policy — the variant the paper evaluates — but any policy
+// (Policy::to(), Policy::pessimistic(), even the MVTO+/2PL baselines) can
 // be swapped in without touching the calling code.
 #include <cstdio>
+#include <string>
 
-#include "core/mvtl_engine.hpp"
-#include "core/policy.hpp"
+#include "api/db.hpp"
 
 int main() {
   using namespace mvtl;
 
-  // An engine = a policy + a clock. MVTIL(Δ, early, gc): transactions aim
-  // at the timestamp window [now, now+Δ] and commit at the earliest
-  // common point they manage to lock.
-  MvtlEngineConfig config;
-  config.clock = std::make_shared<SystemClock>();
-  MvtlEngine store(make_mvtil_policy(/*delta_ticks=*/5'000, /*early=*/true,
-                                     /*gc_on_commit=*/true),
-                   config);
+  // MVTIL(Δ, early): transactions aim at the timestamp window
+  // [now, now+Δ] and commit at the earliest common point they lock.
+  Db db = Options().policy(Policy::mvtil(/*delta_ticks=*/5'000)).open();
 
   // --- Write some data in one transaction --------------------------------
   {
-    auto tx = store.begin();
-    store.write(*tx, "greeting", "hello");
-    store.write(*tx, "audience", "world");
-    const CommitResult result = store.commit(*tx);
+    Transaction tx = db.begin();
+    if (!tx.put("greeting", "hello").ok() ||
+        !tx.put("audience", "world").ok()) {
+      return 1;
+    }
+    const Result<Timestamp> result = tx.commit();
+    if (!result.ok()) return 1;
     std::printf("setup committed at timestamp %s\n",
-                result.commit_ts.to_string().c_str());
+                result.value().to_string().c_str());
   }
 
   // --- Read it back, transactionally --------------------------------------
   {
-    auto tx = store.begin();
-    const ReadResult greeting = store.read(*tx, "greeting");
-    const ReadResult audience = store.read(*tx, "audience");
-    std::printf("%s, %s!\n", greeting.value->c_str(),
-                audience.value->c_str());
-    store.commit(*tx);
+    Transaction tx = db.begin();
+    const auto greeting = tx.get("greeting");
+    const auto audience = tx.get("audience");
+    if (!greeting.ok() || !audience.ok()) return 1;
+    std::printf("%s, %s!\n", greeting.value()->c_str(),
+                audience.value()->c_str());
+    if (!tx.commit().ok()) return 1;
   }
 
-  // --- Transactions are atomic: an abort leaves no trace ------------------
+  // --- Transactions are atomic: a dropped handle leaves no trace ----------
   {
-    auto tx = store.begin();
-    store.write(*tx, "greeting", "goodbye");
-    store.abort(*tx);
+    Transaction tx = db.begin();
+    if (!tx.put("greeting", "goodbye").ok()) return 1;
+    // No commit: the RAII handle aborts on destruction.
   }
   {
-    auto tx = store.begin();
-    const ReadResult r = store.read(*tx, "greeting");
-    std::printf("after abort, greeting is still: %s\n", r.value->c_str());
-    store.commit(*tx);
+    Transaction tx = db.begin();
+    const auto r = tx.get("greeting");
+    if (!r.ok()) return 1;
+    std::printf("after abort, greeting is still: %s\n", r.value()->c_str());
+    if (!tx.commit().ok()) return 1;
   }
 
   // --- Read-modify-write with automatic retry -----------------------------
-  for (int attempt = 0;; ++attempt) {
-    auto tx = store.begin();
-    const ReadResult r = store.read(*tx, "counter");
-    if (!r.ok) continue;  // engine aborted the tx; retry
-    const int value = r.value ? std::stoi(*r.value) : 0;
-    if (!store.write(*tx, "counter", std::to_string(value + 1))) continue;
-    if (store.commit(*tx).committed()) {
-      std::printf("counter incremented to %d (attempt %d)\n", value + 1,
-                  attempt + 1);
-      break;
-    }
+  // Db::transact re-runs the closure on retryable aborts (with bounded
+  // backoff) and returns the commit timestamp — no hand-rolled loop, and
+  // no way to leak a half-finished transaction between attempts.
+  const Result<Timestamp> incremented = db.transact(
+      [](Transaction& tx) -> Result<void> {
+        const auto r = tx.get("counter");
+        if (!r.ok()) return r.error();
+        const int value = r.value() ? std::stoi(*r.value()) : 0;
+        return tx.put("counter", std::to_string(value + 1));
+      });
+  if (incremented.ok()) {
+    std::printf("counter incremented, committed at %s\n",
+                incremented.value().to_string().c_str());
+  } else {
+    std::printf("counter increment failed: %s\n",
+                incremented.error().message().c_str());
   }
   return 0;
 }

@@ -1,0 +1,235 @@
+#include "api/db.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "baselines/mvto_plus.hpp"
+#include "baselines/two_phase_locking.hpp"
+#include "common/rng.hpp"
+#include "core/mvtl_engine.hpp"
+#include "core/policy.hpp"
+
+namespace mvtl {
+
+std::string Policy::name() const {
+  switch (kind_) {
+    case Kind::kTo:
+      return "MVTL-TO";
+    case Kind::kGhostbuster:
+      return "MVTL-Ghostbuster";
+    case Kind::kPessimistic:
+      return "MVTL-Pessimistic";
+    case Kind::kEpsClock:
+      return "MVTL-eps-clock";
+    case Kind::kPref:
+      return "MVTL-Pref";
+    case Kind::kPrio:
+      return "MVTL-Prio";
+    case Kind::kMvtil:
+      return early_ == Early::kYes ? "MVTIL-early" : "MVTIL-late";
+    case Kind::kMvtoPlus:
+      return "MVTO+";
+    case Kind::kTwoPhaseLocking:
+      return "2PL";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::shared_ptr<MvtlPolicy> make_mvtl_policy(const Policy& policy) {
+  switch (policy.kind()) {
+    case Policy::Kind::kTo:
+      return make_to_policy();
+    case Policy::Kind::kGhostbuster:
+      return make_ghostbuster_policy();
+    case Policy::Kind::kPessimistic:
+      return make_pessimistic_policy();
+    case Policy::Kind::kEpsClock:
+      return make_eps_clock_policy(policy.epsilon_ticks());
+    case Policy::Kind::kPref:
+      return make_pref_policy(policy.pref_offsets());
+    case Policy::Kind::kPrio:
+      return make_prio_policy();
+    case Policy::Kind::kMvtil:
+      return make_mvtil_policy(policy.delta_ticks(),
+                               policy.early() == Early::kYes,
+                               policy.gc_on_commit());
+    case Policy::Kind::kMvtoPlus:
+    case Policy::Kind::kTwoPhaseLocking:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Db Options::open() const {
+  std::shared_ptr<ClockSource> clock =
+      clock_ ? clock_ : std::make_shared<SystemClock>();
+  std::unique_ptr<TransactionalStore> engine;
+  switch (policy_.kind()) {
+    case Policy::Kind::kMvtoPlus: {
+      MvtoConfig config;
+      config.clock = clock;
+      config.pending_wait_timeout = lock_timeout_;
+      config.shards = shards_;
+      config.recorder = recorder_;
+      engine = std::make_unique<MvtoPlusEngine>(std::move(config));
+      break;
+    }
+    case Policy::Kind::kTwoPhaseLocking: {
+      TwoPlConfig config;
+      config.clock = clock;
+      config.lock_timeout = lock_timeout_;
+      config.shards = shards_;
+      config.recorder = recorder_;
+      engine = std::make_unique<TwoPhaseLockingEngine>(std::move(config));
+      break;
+    }
+    default: {
+      MvtlEngineConfig config;
+      config.clock = clock;
+      config.lock_timeout = lock_timeout_;
+      config.shards = shards_;
+      config.recorder = recorder_;
+      config.deadlock_detection = deadlock_detection_;
+      engine = std::make_unique<MvtlEngine>(make_mvtl_policy(policy_),
+                                            std::move(config));
+      break;
+    }
+  }
+  return Db(std::move(engine), std::move(clock), retry_);
+}
+
+// ---------------------------------------------------------------------------
+// Background timestamp service (§8.1): periodic purge below now − lag.
+// ---------------------------------------------------------------------------
+
+struct Db::GcService {
+  GcService(TransactionalStore& engine, ClockSource& clock,
+            std::chrono::milliseconds period, std::uint64_t lag_ticks)
+      : thread_([this, &engine, &clock, period, lag_ticks] {
+          std::unique_lock lock(mu_);
+          while (!stop_) {
+            if (cv_.wait_for(lock, period, [this] { return stop_; })) break;
+            const std::uint64_t now = clock.now(0);
+            const std::uint64_t horizon = now > lag_ticks ? now - lag_ticks : 0;
+            engine.purge_below(Timestamp::make(horizon, 0));
+          }
+        }) {}
+
+  ~GcService() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+Db::Db(std::unique_ptr<TransactionalStore> engine,
+       std::shared_ptr<ClockSource> clock, RetryPolicy retry)
+    : engine_(std::move(engine)), clock_(std::move(clock)), retry_(retry) {}
+
+Db::~Db() = default;
+Db::Db(Db&&) noexcept = default;
+
+Db& Db::operator=(Db&& other) noexcept {
+  if (this != &other) {
+    // Join our GC thread before the engine it references goes away; the
+    // defaulted member-wise order would free engine_ first.
+    gc_.reset();
+    engine_ = std::move(other.engine_);
+    clock_ = std::move(other.clock_);
+    retry_ = other.retry_;
+    gc_ = std::move(other.gc_);
+  }
+  return *this;
+}
+
+Transaction Db::begin(const TxOptions& options) {
+  return Transaction(*engine_, engine_->begin(options));
+}
+
+std::string Db::name() const { return engine_->name(); }
+
+StoreStats Db::stats() { return engine_->stats(); }
+
+std::size_t Db::purge_below(Timestamp horizon) {
+  return engine_->purge_below(horizon);
+}
+
+void Db::start_gc(std::chrono::milliseconds period,
+                  std::uint64_t horizon_lag_ticks) {
+  if (!clock_ || gc_) return;
+  gc_ = std::make_unique<GcService>(*engine_, *clock_, period,
+                                    horizon_lag_ticks);
+}
+
+void Db::stop_gc() { gc_.reset(); }
+
+// ---------------------------------------------------------------------------
+// The retry combinator.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Exponential backoff with ±50% jitter, capped. Per-thread RNG so
+/// concurrent transact() loops don't synchronize their restarts.
+void backoff_sleep(const RetryPolicy& retry, std::size_t attempt) {
+  thread_local Rng rng(std::hash<std::thread::id>{}(
+      std::this_thread::get_id()));
+  auto base = retry.initial_backoff.count();
+  for (std::size_t i = 1; i < attempt; ++i) {
+    base *= 2;
+    if (base >= retry.max_backoff.count()) {
+      base = retry.max_backoff.count();
+      break;
+    }
+  }
+  if (base <= 0) return;
+  const auto jittered =
+      base / 2 + static_cast<decltype(base)>(
+                     rng.next_below(static_cast<std::uint64_t>(base) + 1));
+  std::this_thread::sleep_for(std::chrono::microseconds{jittered});
+}
+
+}  // namespace
+
+Result<Timestamp> Db::transact(const TransactFn& fn, const TxOptions& options) {
+  return transact(fn, options, retry_);
+}
+
+Result<Timestamp> Db::transact(const TransactFn& fn, const TxOptions& options,
+                               const RetryPolicy& retry) {
+  TxError last = TxError::inactive_handle();
+  const std::size_t attempts = retry.max_attempts == 0 ? 1 : retry.max_attempts;
+  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) backoff_sleep(retry, attempt - 1);
+    Transaction tx = begin(options);
+    const Result<void> body = fn(tx);
+    if (!body.ok()) {
+      tx.abort();
+      if (!body.error().retryable()) return body.error();
+      last = body.error();
+      continue;
+    }
+    if (tx.committed()) return tx.commit_ts();  // fn committed itself
+    const Result<Timestamp> committed = tx.commit();
+    if (committed.ok()) return committed;
+    if (!committed.error().retryable()) return committed.error();
+    last = committed.error();
+  }
+  return last;
+}
+
+}  // namespace mvtl

@@ -1,0 +1,268 @@
+// The mvtl::Db facade — the library's public face.
+//
+// One type fronts every engine in the repository: the generic MVTL engine
+// under any §5 policy, the MVTO+ and 2PL baselines, and (later) the
+// distributed MVTIL client of §7 — all constructed through a fluent
+// Options builder:
+//
+//   Db db = Options()
+//               .policy(Policy::mvtil(5'000, Early::kYes))
+//               .shards(64)
+//               .deadlock_detection(true)
+//               .open();
+//
+//   auto ts = db.transact([](Transaction& tx) -> Result<void> {
+//     auto r = tx.get("counter");
+//     if (!r) return r.error();
+//     int v = r.value() ? std::stoi(*r.value()) : 0;
+//     return tx.put("counter", std::to_string(v + 1));
+//   });
+//
+// Db::transact re-runs the closure on retryable aborts with bounded
+// exponential backoff — the paper's clients "have the option of aborting
+// or restarting the transaction" (§8.1); the combinator makes restarting
+// the default. The raw TransactionalStore interface remains available as
+// an internal SPI via Db::spi().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/transaction.hpp"
+#include "api/tx_error.hpp"
+#include "core/transactional_store.hpp"
+#include "sync/clock.hpp"
+#include "verify/history.hpp"
+
+namespace mvtl {
+
+/// MVTIL commit-timestamp preference: the earliest viable locked point or
+/// the latest (§8.1 evaluates both as MVTIL-early / MVTIL-late).
+enum class Early { kYes, kNo };
+
+/// A concurrency-control algorithm, as a value. The seven MVTL policies
+/// of §5/§8 select the generic MVTL engine; mvto_plus() and
+/// two_phase_locking() select the baseline engines — one knob covers the
+/// whole design space.
+class Policy {
+ public:
+  enum class Kind {
+    kTo,
+    kGhostbuster,
+    kPessimistic,
+    kEpsClock,
+    kPref,
+    kPrio,
+    kMvtil,
+    kMvtoPlus,
+    kTwoPhaseLocking,
+  };
+
+  /// MVTL-TO (§5.4): fixed clock timestamp, MVTO+-equivalent behaviour.
+  static Policy to() { return Policy(Kind::kTo); }
+
+  /// MVTL-Ghostbuster (§5.5): MVTL-TO plus GC on commit *and* abort.
+  static Policy ghostbuster() { return Policy(Kind::kGhostbuster); }
+
+  /// MVTL-Pessimistic (§5.4): object-locking behaviour, blocking locks.
+  static Policy pessimistic() { return Policy(Kind::kPessimistic); }
+
+  /// MVTL-ε-clock (§5.3): window [now−ε, now+ε] in clock ticks.
+  static Policy eps_clock(std::uint64_t epsilon_ticks) {
+    Policy p(Kind::kEpsClock);
+    p.epsilon_ticks_ = epsilon_ticks;
+    return p;
+  }
+
+  /// MVTL-Pref (§5.1): preferential timestamp plus alternatives A(t)
+  /// given as tick offsets (negative = earlier; Theorem 2).
+  static Policy pref(std::vector<std::int64_t> alternative_offsets) {
+    Policy p(Kind::kPref);
+    p.pref_offsets_ = std::move(alternative_offsets);
+    return p;
+  }
+
+  /// MVTL-Prio (§5.2): critical transactions are never aborted by
+  /// normal ones (Theorem 3).
+  static Policy prio() { return Policy(Kind::kPrio); }
+
+  /// MVTIL (§8): interval [t, t+Δ] that shrinks instead of waiting.
+  static Policy mvtil(std::uint64_t delta_ticks, Early early = Early::kYes,
+                      bool gc_on_commit = true) {
+    Policy p(Kind::kMvtil);
+    p.delta_ticks_ = delta_ticks;
+    p.early_ = early;
+    p.gc_on_commit_ = gc_on_commit;
+    return p;
+  }
+
+  /// MVTO+ baseline (§3).
+  static Policy mvto_plus() { return Policy(Kind::kMvtoPlus); }
+
+  /// Strict 2PL baseline.
+  static Policy two_phase_locking() { return Policy(Kind::kTwoPhaseLocking); }
+
+  Kind kind() const { return kind_; }
+  std::string name() const;
+
+  std::uint64_t epsilon_ticks() const { return epsilon_ticks_; }
+  std::uint64_t delta_ticks() const { return delta_ticks_; }
+  Early early() const { return early_; }
+  bool gc_on_commit() const { return gc_on_commit_; }
+  const std::vector<std::int64_t>& pref_offsets() const {
+    return pref_offsets_;
+  }
+
+ private:
+  explicit Policy(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::uint64_t epsilon_ticks_ = 0;
+  std::uint64_t delta_ticks_ = 0;
+  Early early_ = Early::kYes;
+  bool gc_on_commit_ = true;
+  std::vector<std::int64_t> pref_offsets_;
+};
+
+/// Bounds for Db::transact's restart loop: at most `max_attempts` runs of
+/// the closure, sleeping an exponentially growing, jittered backoff
+/// (capped at `max_backoff`) between attempts.
+struct RetryPolicy {
+  std::size_t max_attempts = 32;
+  std::chrono::microseconds initial_backoff{50};
+  std::chrono::microseconds max_backoff{5'000};
+};
+
+class Db;
+
+/// Fluent builder for every engine configuration.
+class Options {
+ public:
+  Options() = default;
+
+  /// Which algorithm runs the store. Default: MVTIL(Δ = 5000 ticks,
+  /// early, GC on commit) — the variant the paper evaluates.
+  Options& policy(Policy p) {
+    policy_ = std::move(p);
+    return *this;
+  }
+
+  /// Clock timestamps are drawn from. Default: SystemClock (µs ticks).
+  Options& clock(std::shared_ptr<ClockSource> c) {
+    clock_ = std::move(c);
+    return *this;
+  }
+
+  /// Store latch striping (§8.1's concurrent hash table).
+  Options& shards(std::size_t n) {
+    shards_ = n;
+    return *this;
+  }
+
+  /// Bound on blocking lock waits (deadlock relief, §4.3).
+  Options& lock_timeout(std::chrono::microseconds t) {
+    lock_timeout_ = t;
+    return *this;
+  }
+
+  /// Precise wait-for-graph deadlock detection instead of relying on
+  /// bounded waits alone (MVTL engine only).
+  Options& deadlock_detection(bool on) {
+    deadlock_detection_ = on;
+    return *this;
+  }
+
+  /// Record every operation for the serializability checker.
+  Options& recorder(HistoryRecorder* r) {
+    recorder_ = r;
+    return *this;
+  }
+
+  /// Default retry bounds for Db::transact.
+  Options& retry(RetryPolicy r) {
+    retry_ = r;
+    return *this;
+  }
+
+  /// Builds the engine and wraps it in a Db.
+  Db open() const;
+
+ private:
+  Policy policy_ = Policy::mvtil(5'000, Early::kYes, true);
+  std::shared_ptr<ClockSource> clock_;
+  std::size_t shards_ = 64;
+  std::chrono::microseconds lock_timeout_{20'000};
+  bool deadlock_detection_ = false;
+  HistoryRecorder* recorder_ = nullptr;
+  RetryPolicy retry_;
+};
+
+class Db {
+ public:
+  using TransactFn = std::function<Result<void>(Transaction&)>;
+
+  /// Wraps an already-built engine (the SPI escape hatch for custom
+  /// configurations). `clock` is optional and only needed by the GC
+  /// service.
+  explicit Db(std::unique_ptr<TransactionalStore> engine,
+              std::shared_ptr<ClockSource> clock = nullptr,
+              RetryPolicy retry = {});
+
+  ~Db();
+
+  Db(Db&&) noexcept;
+  Db& operator=(Db&&) noexcept;
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  /// Starts a transaction session. The returned handle aborts itself if
+  /// dropped while active.
+  Transaction begin(const TxOptions& options = {});
+
+  /// Runs `fn` inside a transaction and commits; on a *retryable* abort
+  /// (conflict, lock timeout, deadlock victim, purged version) the
+  /// closure is re-run with bounded backoff. Returns the commit timestamp
+  /// or the terminal error — a non-retryable failure, or the last error
+  /// once attempts are exhausted. `fn` may commit or abort the handle
+  /// itself; an abort via Transaction::abort() surfaces as the terminal
+  /// kUserAbort.
+  Result<Timestamp> transact(const TransactFn& fn,
+                             const TxOptions& options = {});
+  Result<Timestamp> transact(const TransactFn& fn, const TxOptions& options,
+                             const RetryPolicy& retry);
+
+  std::string name() const;
+
+  /// Aggregated lock/version metadata counts (Figure 6).
+  StoreStats stats();
+
+  /// One-shot metadata purge below `horizon` (§8.1's timestamp service).
+  std::size_t purge_below(Timestamp horizon);
+
+  /// Background timestamp service (§8.1): every `period`, purges metadata
+  /// below now − `horizon_lag_ticks`. Requires a clock; no-op otherwise.
+  void start_gc(std::chrono::milliseconds period,
+                std::uint64_t horizon_lag_ticks);
+  void stop_gc();
+
+  /// The raw engine — the internal SPI that drivers, the checker, and
+  /// engine-specific maintenance calls still speak.
+  TransactionalStore& spi() { return *engine_; }
+
+  /// The clock this Db was built with (may be null for wrapped engines).
+  const std::shared_ptr<ClockSource>& clock() const { return clock_; }
+
+ private:
+  struct GcService;
+
+  std::unique_ptr<TransactionalStore> engine_;
+  std::shared_ptr<ClockSource> clock_;
+  RetryPolicy retry_;
+  std::unique_ptr<GcService> gc_;
+};
+
+}  // namespace mvtl

@@ -1,0 +1,132 @@
+// RAII transaction handle — the session half of the public API.
+//
+// A Transaction owns an engine transaction (TxPtr) together with the
+// engine it came from, so a single object can be passed around, moved,
+// and — crucially — *dropped*: destruction of an active handle aborts the
+// transaction and releases its locks (the paper's clients may abandon a
+// transaction at any time; Algorithm 1 treats that as a voluntary abort).
+// All operations report failure through Result/TxError instead of the
+// SPI's bare flags.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "api/tx_error.hpp"
+#include "core/transactional_store.hpp"
+
+namespace mvtl {
+
+/// What a transactional read observed: the value (nullopt ⇒ the key was
+/// never written, ⊥) and the timestamp of the version it came from.
+struct ReadSnapshot {
+  std::optional<Value> value;
+  Timestamp version_ts;
+};
+
+class Transaction {
+ public:
+  Transaction(TransactionalStore& engine, TransactionalStore::TxPtr tx)
+      : engine_(&engine), tx_(std::move(tx)) {}
+
+  Transaction(Transaction&& other) noexcept
+      : engine_(other.engine_),
+        tx_(std::move(other.tx_)),
+        commit_ts_(other.commit_ts_) {
+    other.engine_ = nullptr;
+  }
+
+  Transaction& operator=(Transaction&& other) noexcept {
+    if (this != &other) {
+      abort_if_active();
+      engine_ = other.engine_;
+      tx_ = std::move(other.tx_);
+      commit_ts_ = other.commit_ts_;
+      other.engine_ = nullptr;
+    }
+    return *this;
+  }
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Dropping an active handle aborts it — no leaked locks, ever.
+  ~Transaction() { abort_if_active(); }
+
+  /// Reads `key`, returning the value or the error that aborted the
+  /// transaction. A missing key is success with std::nullopt.
+  Result<std::optional<Value>> get(const Key& key) {
+    Result<ReadSnapshot> r = read(key);
+    if (!r.ok()) return r.error();
+    return std::move(r).value().value;
+  }
+
+  /// Reads `key` with the version timestamp it resolved to (for callers
+  /// tracking reads-from relationships).
+  Result<ReadSnapshot> read(const Key& key) {
+    if (!valid()) return TxError::inactive_handle();
+    const ReadResult r = engine_->read(*tx_, key);
+    if (!r.ok) return failure();
+    return ReadSnapshot{r.value, r.version_ts};
+  }
+
+  /// Buffers `key := value`; visible to this transaction's reads at once
+  /// and to others only after commit.
+  Result<void> put(const Key& key, Value value) {
+    if (!valid()) return TxError::inactive_handle();
+    if (!engine_->write(*tx_, key, std::move(value))) return failure();
+    return {};
+  }
+
+  /// Attempts to commit; on success returns the serialization timestamp.
+  Result<Timestamp> commit() {
+    if (!valid()) return TxError::inactive_handle();
+    const CommitResult r = engine_->commit(*tx_);
+    if (!r.committed()) return failure();
+    commit_ts_ = r.commit_ts;
+    return r.commit_ts;
+  }
+
+  /// Voluntarily aborts. Safe to call on a finished handle (no-op).
+  void abort() { abort_if_active(); }
+
+  /// True while operations can still be issued.
+  bool active() const { return valid() && tx_->is_active(); }
+
+  /// True once commit() has succeeded on this handle.
+  bool committed() const { return commit_ts_.has_value(); }
+
+  /// The serialization timestamp of a successful commit().
+  Timestamp commit_ts() const {
+    return commit_ts_.value_or(Timestamp::min());
+  }
+
+  TxId id() const { return valid() ? tx_->id() : kInvalidTxId; }
+
+  /// The engine-level abort reason (kNone while active or committed).
+  AbortReason abort_reason() const {
+    return valid() ? tx_->abort_reason() : AbortReason::kNone;
+  }
+
+  /// SPI escape hatch: the raw engine transaction, for engine-specific
+  /// maintenance operations (e.g. MvtlEngine::gc_finished). The handle
+  /// keeps ownership.
+  TransactionalStore::Tx& raw() { return *tx_; }
+
+ private:
+  bool valid() const { return engine_ != nullptr && tx_ != nullptr; }
+
+  /// Maps the current engine-side abort reason into a TxError. A dead
+  /// handle that was never engine-aborted reports kInactiveHandle.
+  TxError failure() const { return TxError::from_reason(tx_->abort_reason()); }
+
+  void abort_if_active() {
+    if (valid() && tx_->is_active()) engine_->abort(*tx_);
+  }
+
+  TransactionalStore* engine_;
+  TransactionalStore::TxPtr tx_;
+  std::optional<Timestamp> commit_ts_;
+};
+
+}  // namespace mvtl

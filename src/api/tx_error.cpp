@@ -1,0 +1,35 @@
+#include "api/tx_error.hpp"
+
+namespace mvtl {
+
+const char* tx_error_code_name(TxErrorCode code) {
+  switch (code) {
+    case TxErrorCode::kConflict:
+      return "conflict";
+    case TxErrorCode::kTimeout:
+      return "timeout";
+    case TxErrorCode::kDeadlock:
+      return "deadlock";
+    case TxErrorCode::kStale:
+      return "stale";
+    case TxErrorCode::kUnavailable:
+      return "unavailable";
+    case TxErrorCode::kUserAbort:
+      return "user-abort";
+    case TxErrorCode::kInactiveHandle:
+      return "inactive-handle";
+  }
+  return "unknown";
+}
+
+std::string TxError::message() const {
+  std::string out = tx_error_code_name(code_);
+  if (reason_ != AbortReason::kNone) {
+    out += " (";
+    out += abort_reason_name(reason_);
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace mvtl

@@ -1,0 +1,179 @@
+// Typed errors for the session-oriented public API.
+//
+// The SPI (core/transactional_store.hpp) signals failure through bare
+// `ok` flags and leaves the *why* on the transaction object; the facade
+// unifies both into one value — a TxError — carried by Result<T>, a
+// minimal expected<T, TxError>. The key property callers rely on is the
+// retryability class: conflict-shaped aborts (the paper's clients simply
+// restart, §8.1) are retryable by Db::transact, while user aborts and
+// handle misuse are terminal.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/types.hpp"
+
+namespace mvtl {
+
+/// Coarse classification of a transaction failure, derived from the
+/// engine's AbortReason.
+enum class TxErrorCode {
+  /// Timestamp/validation conflict with a concurrent transaction
+  /// (kNoCommonTimestamp, kValidationConflict). Retryable.
+  kConflict,
+  /// A bounded lock wait expired (kLockTimeout). Retryable.
+  kTimeout,
+  /// This transaction was the victim of deadlock detection (kDeadlock).
+  /// Retryable.
+  kDeadlock,
+  /// The transaction's timestamp fell below the GC purge horizon
+  /// (kVersionPurged); a fresh timestamp sees live versions. Retryable.
+  kStale,
+  /// The distributed commitment protocol suspected the coordinator and
+  /// decided abort (kCoordinatorSuspected). Retryable.
+  kUnavailable,
+  /// The application voluntarily aborted (kUserAbort). Terminal.
+  kUserAbort,
+  /// Operation on a handle that is no longer active (already committed,
+  /// moved-from, or never began). Terminal: retrying the same call can
+  /// never succeed.
+  kInactiveHandle,
+};
+
+const char* tx_error_code_name(TxErrorCode code);
+
+/// A failed transactional operation: what class of failure, and the
+/// engine-level abort reason it came from.
+class TxError {
+ public:
+  constexpr TxError(TxErrorCode code, AbortReason reason)
+      : code_(code), reason_(reason) {}
+
+  /// Classifies an engine abort reason. kNone means the engine rejected
+  /// the operation without aborting anything — a dead handle.
+  static constexpr TxError from_reason(AbortReason reason) {
+    switch (reason) {
+      case AbortReason::kNoCommonTimestamp:
+      case AbortReason::kValidationConflict:
+        return TxError(TxErrorCode::kConflict, reason);
+      case AbortReason::kLockTimeout:
+        return TxError(TxErrorCode::kTimeout, reason);
+      case AbortReason::kDeadlock:
+        return TxError(TxErrorCode::kDeadlock, reason);
+      case AbortReason::kVersionPurged:
+        return TxError(TxErrorCode::kStale, reason);
+      case AbortReason::kCoordinatorSuspected:
+        return TxError(TxErrorCode::kUnavailable, reason);
+      case AbortReason::kUserAbort:
+        return TxError(TxErrorCode::kUserAbort, reason);
+      case AbortReason::kNone:
+        break;
+    }
+    return TxError(TxErrorCode::kInactiveHandle, AbortReason::kNone);
+  }
+
+  static constexpr TxError user_abort() {
+    return TxError(TxErrorCode::kUserAbort, AbortReason::kUserAbort);
+  }
+
+  static constexpr TxError inactive_handle() {
+    return TxError(TxErrorCode::kInactiveHandle, AbortReason::kNone);
+  }
+
+  constexpr TxErrorCode code() const { return code_; }
+  constexpr AbortReason reason() const { return reason_; }
+
+  /// Whether re-running the transaction from begin() can succeed: true
+  /// for every failure caused by concurrency (conflicts, timeouts,
+  /// deadlock victims, purged versions, suspected coordinators), false
+  /// for deliberate aborts and dead handles.
+  constexpr bool retryable() const {
+    switch (code_) {
+      case TxErrorCode::kConflict:
+      case TxErrorCode::kTimeout:
+      case TxErrorCode::kDeadlock:
+      case TxErrorCode::kStale:
+      case TxErrorCode::kUnavailable:
+        return true;
+      case TxErrorCode::kUserAbort:
+      case TxErrorCode::kInactiveHandle:
+        return false;
+    }
+    return false;
+  }
+
+  std::string message() const;
+
+  constexpr bool operator==(const TxError& other) const {
+    return code_ == other.code_ && reason_ == other.reason_;
+  }
+
+ private:
+  TxErrorCode code_;
+  AbortReason reason_;
+};
+
+/// Minimal expected<T, TxError>: either a value or the error that ended
+/// the transaction. Implicitly constructible from both so call sites read
+/// `return r.error();` / `return value;`.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(TxError error) : state_(error) {}       // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const TxError& error() const {
+    assert(!ok());
+    return std::get<TxError>(state_);
+  }
+
+  /// The value, or `fallback` when the operation failed.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, TxError> state_;
+};
+
+/// Result<void>: success carries nothing; failure carries the TxError.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(TxError error) : error_(error) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const TxError& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<TxError> error_;
+};
+
+}  // namespace mvtl

@@ -13,7 +13,11 @@ class MvtoPlusEngine::MvtoTx final : public TransactionalStore::Tx {
   bool is_active() const override { return active_; }
 
   Timestamp ts() const { return ts_; }
-  void finish() { active_ = false; }
+  void finish(AbortReason reason) {
+    active_ = false;
+    reason_ = reason;
+  }
+  AbortReason abort_reason() const override { return reason_; }
 
   std::map<Key, Value> writeset;
 
@@ -21,6 +25,7 @@ class MvtoPlusEngine::MvtoTx final : public TransactionalStore::Tx {
   TxId id_;
   Timestamp ts_;
   bool active_ = true;
+  AbortReason reason_ = AbortReason::kNone;
 };
 
 MvtoPlusEngine::MvtoPlusEngine(MvtoConfig config) : config_(std::move(config)) {
@@ -222,7 +227,7 @@ void MvtoPlusEngine::abort(Tx& tx_base) {
 }
 
 void MvtoPlusEngine::finish(MvtoTx& tx, bool committed, AbortReason reason) {
-  tx.finish();
+  tx.finish(reason);
   if (config_.recorder == nullptr) return;
   if (committed) {
     config_.recorder->record_commit(tx.id(), tx.ts());
@@ -279,6 +284,19 @@ std::size_t MvtoPlusEngine::version_count() {
     }
   }
   return n;
+}
+
+StoreStats MvtoPlusEngine::stats() {
+  StoreStats out;
+  for (auto& shard : shards_) {
+    std::shared_lock guard(shard->mu);
+    out.keys += shard->map.size();
+    for (auto& [key, ks] : shard->map) {
+      std::lock_guard kguard(ks->mu);
+      out.versions += ks->versions.size();
+    }
+  }
+  return out;
 }
 
 }  // namespace mvtl

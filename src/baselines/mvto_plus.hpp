@@ -53,11 +53,13 @@ class MvtoPlusEngine final : public TransactionalStore {
 
   /// Purges versions below `horizon` (keeps the most recent per key);
   /// readers that need purged history abort (§8.1).
-  std::size_t purge_below(Timestamp horizon);
+  std::size_t purge_below(Timestamp horizon) override;
 
   /// Total committed versions currently stored (Figure 6's version count;
   /// MVTO+ has no interval lock state — read timestamps ride on versions).
   std::size_t version_count();
+
+  StoreStats stats() override;
 
  private:
   struct VersionRec {

@@ -12,7 +12,11 @@ class TwoPhaseLockingEngine::TplTx final : public TransactionalStore::Tx {
   bool is_active() const override { return active_; }
 
   ProcessId process() const { return process_; }
-  void finish() { active_ = false; }
+  void finish(AbortReason reason) {
+    active_ = false;
+    reason_ = reason;
+  }
+  AbortReason abort_reason() const override { return reason_; }
 
   std::map<Key, Value> writeset;
   // Keys this tx holds locks on (mode tracked store-side).
@@ -27,6 +31,7 @@ class TwoPhaseLockingEngine::TplTx final : public TransactionalStore::Tx {
   TxId id_;
   ProcessId process_;
   bool active_ = true;
+  AbortReason reason_ = AbortReason::kNone;
 };
 
 TwoPhaseLockingEngine::TwoPhaseLockingEngine(TwoPlConfig config)
@@ -192,7 +197,7 @@ void TwoPhaseLockingEngine::release_locks(TplTx& tx) {
 
 void TwoPhaseLockingEngine::finish(TplTx& tx, bool committed,
                                    Timestamp commit_ts, AbortReason reason) {
-  tx.finish();
+  tx.finish(reason);
   if (config_.recorder == nullptr) return;
   if (committed) {
     config_.recorder->record_commit(tx.id(), commit_ts);

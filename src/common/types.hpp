@@ -1,6 +1,7 @@
 // Shared vocabulary types for the transactional store.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -43,6 +44,14 @@ struct ReadResult {
   bool ok = false;  ///< false ⇒ the read failed and the tx must abort.
   std::optional<Value> value;
   Timestamp version_ts;
+};
+
+/// Aggregated metadata sizes (Figure 6). Shared vocabulary so any engine
+/// can report them through the uniform store interface.
+struct StoreStats {
+  std::size_t keys = 0;
+  std::size_t lock_entries = 0;
+  std::size_t versions = 0;
 };
 
 /// Why a transaction aborted; used by metrics and tests.

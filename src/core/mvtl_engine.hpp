@@ -51,6 +51,11 @@ class MvtlEngine final : public TransactionalStore {
   /// can be invoked any time later").
   void gc_finished(Tx& tx);
 
+  StoreStats stats() override { return store_.stats(); }
+  std::size_t purge_below(Timestamp horizon) override {
+    return store_.purge_below(horizon);
+  }
+
   Store& store() { return store_; }
   ClockSource& clock() { return *config_.clock; }
 

@@ -37,7 +37,7 @@ class MvtlTx final : public TransactionalStore::Tx {
   State state() const { return state_; }
   void set_state(State s) { state_ = s; }
 
-  AbortReason abort_reason() const { return abort_reason_; }
+  AbortReason abort_reason() const override { return abort_reason_; }
   void set_abort_reason(AbortReason r) { abort_reason_ = r; }
 
   Timestamp commit_ts() const { return commit_ts_; }

@@ -31,6 +31,9 @@ class TransactionalStore {
     virtual ~Tx() = default;
     virtual TxId id() const = 0;
     virtual bool is_active() const = 0;
+    /// Why the engine finished this transaction without committing it;
+    /// kNone while active or after a successful commit.
+    virtual AbortReason abort_reason() const { return AbortReason::kNone; }
   };
   using TxPtr = std::unique_ptr<Tx>;
 
@@ -52,6 +55,18 @@ class TransactionalStore {
   virtual void abort(Tx& tx) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Aggregated metadata counts (Figure 6). Engines without shared
+  /// lock/version state report zeros.
+  virtual StoreStats stats() { return {}; }
+
+  /// Purges metadata below `horizon` (the timestamp-service broadcast of
+  /// §8.1). Returns the number of records dropped; default: nothing to
+  /// purge.
+  virtual std::size_t purge_below(Timestamp horizon) {
+    (void)horizon;
+    return 0;
+  }
 };
 
 }  // namespace mvtl

@@ -2,18 +2,27 @@
 //
 //   #include "mvtl.hpp"
 //
-// Centralized engines:
+// Public facade (use this):
+//   Db / Options / Policy            — any engine behind one type
+//   Transaction / Result / TxError   — RAII sessions with typed errors
+//   Db::transact                     — retry combinator for aborts
+// Engine SPI (internal; what the facade constructs):
 //   MvtlEngine + make_*_policy()     — generic MVTL under any §5 policy
 //   MvtoPlusEngine                   — MVTO+ baseline
 //   TwoPhaseLockingEngine            — strict 2PL baseline
-// Distributed system:
-//   Cluster / DistProtocol           — servers + clients on SimNetwork
 // Verification:
 //   HistoryRecorder + MvsgChecker    — machine-checked serializability
 // Workloads:
 //   WorkloadGenerator, run_closed_loop / run_fixed_count
+//
+// The distributed system of §7 (dist/cluster, dist/commitment, dist/paxos
+// over net/simnet) is not implemented yet — see ROADMAP.md; its client
+// will slot in behind the same Db facade.
 #pragma once
 
+#include "api/db.hpp"
+#include "api/transaction.hpp"
+#include "api/tx_error.hpp"
 #include "baselines/mvto_plus.hpp"
 #include "baselines/two_phase_locking.hpp"
 #include "common/interval.hpp"
@@ -23,9 +32,6 @@
 #include "core/mvtl_engine.hpp"
 #include "core/policy.hpp"
 #include "core/transactional_store.hpp"
-#include "dist/cluster.hpp"
-#include "dist/commitment.hpp"
-#include "dist/paxos.hpp"
 #include "net/simnet.hpp"
 #include "sync/clock.hpp"
 #include "txbench/driver.hpp"

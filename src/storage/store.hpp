@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/types.hpp"
 #include "storage/lock_state.hpp"
 #include "storage/version_chain.hpp"
 
@@ -30,13 +31,6 @@ struct KeyState {
   std::condition_variable cv;
   LockState locks;
   VersionChain versions;
-};
-
-/// Aggregated metadata sizes (Figure 6).
-struct StoreStats {
-  std::size_t keys = 0;
-  std::size_t lock_entries = 0;
-  std::size_t versions = 0;
 };
 
 class Store {

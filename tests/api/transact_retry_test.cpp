@@ -1,0 +1,178 @@
+// Db::transact — the bounded-backoff retry combinator. Under contention
+// every engine must converge (lost updates are impossible and every
+// increment lands); terminal errors must stop the loop immediately.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "test_util.hpp"
+
+namespace mvtl {
+namespace {
+
+using testutil::EngineSpec;
+
+constexpr int kThreads = 4;
+constexpr int kIncrementsPerThread = 25;
+
+class TransactRetryTest : public ::testing::TestWithParam<EngineSpec> {};
+
+TEST_P(TransactRetryTest, ConvergesUnderContention) {
+  auto clock = std::make_shared<LogicalClock>(1'000);
+  Db db = Options()
+              .policy(GetParam().policy)
+              .clock(clock)
+              .lock_timeout(std::chrono::microseconds{10'000})
+              .retry(RetryPolicy{.max_attempts = 10'000,
+                                 .initial_backoff = std::chrono::microseconds{20},
+                                 .max_backoff = std::chrono::microseconds{2'000}})
+              .open();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TxOptions options;
+      options.process = static_cast<ProcessId>(t + 1);
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        const Result<Timestamp> r = db.transact(
+            [](Transaction& tx) -> Result<void> {
+              const auto cur = tx.get("counter");
+              if (!cur.ok()) return cur.error();
+              const int v = cur.value() ? std::stoi(*cur.value()) : 0;
+              return tx.put("counter", std::to_string(v + 1));
+            },
+            options);
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0) << GetParam().name;
+
+  Transaction check = db.begin(TxOptions{.process = 99});
+  const auto r = check.get("counter");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().has_value());
+  EXPECT_EQ(std::stoi(*r.value()), kThreads * kIncrementsPerThread)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, TransactRetryTest,
+    ::testing::ValuesIn(testutil::all_engines()),
+    [](const ::testing::TestParamInfo<EngineSpec>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Control flow of the combinator itself (engine-independent; run on one).
+// ---------------------------------------------------------------------------
+
+Db small_db() {
+  return Options()
+      .policy(Policy::mvtil(512, Early::kYes))
+      .clock(std::make_shared<LogicalClock>(1'000))
+      .open();
+}
+
+TEST(TransactControlFlowTest, CommitTimestampIsReturned) {
+  Db db = small_db();
+  const Result<Timestamp> r = db.transact([](Transaction& tx) -> Result<void> {
+    return tx.put("k", "v");
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value(), Timestamp::min());
+}
+
+TEST(TransactControlFlowTest, NonRetryableErrorStopsImmediately) {
+  Db db = small_db();
+  int attempts = 0;
+  const Result<Timestamp> r = db.transact(
+      [&](Transaction&) -> Result<void> {
+        ++attempts;
+        return TxError::user_abort();
+      },
+      TxOptions{}, RetryPolicy{.max_attempts = 50});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), TxErrorCode::kUserAbort);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(TransactControlFlowTest, RetryableErrorIsRetriedUntilAttemptsExhaust) {
+  Db db = small_db();
+  int attempts = 0;
+  const TxError conflict(TxErrorCode::kConflict,
+                         AbortReason::kNoCommonTimestamp);
+  const Result<Timestamp> r = db.transact(
+      [&](Transaction&) -> Result<void> {
+        ++attempts;
+        return conflict;
+      },
+      TxOptions{},
+      RetryPolicy{.max_attempts = 3,
+                  .initial_backoff = std::chrono::microseconds{1},
+                  .max_backoff = std::chrono::microseconds{10}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), conflict);  // the *last* error is surfaced
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(TransactControlFlowTest, RetryStopsAsSoonAsTheClosureSucceeds) {
+  Db db = small_db();
+  int attempts = 0;
+  const Result<Timestamp> r = db.transact(
+      [&](Transaction& tx) -> Result<void> {
+        if (++attempts < 3) {
+          return TxError(TxErrorCode::kConflict,
+                         AbortReason::kValidationConflict);
+        }
+        return tx.put("k", "third-time-lucky");
+      },
+      TxOptions{},
+      RetryPolicy{.max_attempts = 100,
+                  .initial_backoff = std::chrono::microseconds{1},
+                  .max_backoff = std::chrono::microseconds{10}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(attempts, 3);
+  Transaction check = db.begin();
+  EXPECT_EQ(*check.get("k").value(), "third-time-lucky");
+}
+
+TEST(TransactControlFlowTest, ClosureCommittingItselfIsHonored) {
+  Db db = small_db();
+  Timestamp inner_ts;
+  const Result<Timestamp> r = db.transact(
+      [&](Transaction& tx) -> Result<void> {
+        if (const auto w = tx.put("k", "self-committed"); !w.ok()) return w;
+        const Result<Timestamp> c = tx.commit();
+        if (!c.ok()) return c.error();
+        inner_ts = c.value();
+        return {};
+      });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), inner_ts);
+}
+
+TEST(TransactControlFlowTest, VoluntaryAbortInsideClosureIsTerminal) {
+  Db db = small_db();
+  int attempts = 0;
+  const Result<Timestamp> r = db.transact(
+      [&](Transaction& tx) -> Result<void> {
+        ++attempts;
+        tx.abort();  // e.g. a business rule failed; do not retry
+        return {};
+      },
+      TxOptions{}, RetryPolicy{.max_attempts = 50});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), TxErrorCode::kUserAbort);
+  EXPECT_EQ(attempts, 1);
+}
+
+}  // namespace
+}  // namespace mvtl

@@ -1,0 +1,116 @@
+// RAII Transaction handle semantics: abort-on-drop releases locks on
+// every engine, move transfers ownership, finished handles reject
+// further operations with typed errors.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "test_util.hpp"
+
+namespace mvtl {
+namespace {
+
+using testutil::EngineSpec;
+
+class TransactionHandleTest : public ::testing::TestWithParam<EngineSpec> {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<LogicalClock>(1'000);
+    db_.emplace(testutil::make_db(GetParam(), clock_));
+  }
+
+  std::shared_ptr<LogicalClock> clock_;
+  std::optional<Db> db_;
+};
+
+TEST_P(TransactionHandleTest, AbortOnDropReleasesLocks) {
+  // Drop an active handle holding write locks on K. If destruction did
+  // not abort, the next writer would block until the (short) lock
+  // timeout and fail — under 2PL and pessimistic MVTL the exclusive lock
+  // would otherwise be held forever.
+  {
+    Transaction tx = db_->begin(TxOptions{.process = 1});
+    ASSERT_TRUE(tx.put("K", "leaked?").ok());
+    // no commit, no abort — the destructor must clean up
+  }
+  Transaction tx = db_->begin(TxOptions{.process = 2});
+  ASSERT_TRUE(tx.put("K", "after-drop").ok());
+  ASSERT_TRUE(tx.commit().ok());
+
+  Transaction check = db_->begin(TxOptions{.process = 3});
+  const auto r = check.get("K");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), "after-drop");
+}
+
+TEST_P(TransactionHandleTest, AbortOnDropLeavesNoTrace) {
+  testutil::seed_value(*db_, "K", "committed");
+  {
+    Transaction tx = db_->begin(TxOptions{.process = 1});
+    ASSERT_TRUE(tx.put("K", "doomed").ok());
+  }
+  Transaction check = db_->begin(TxOptions{.process = 2});
+  EXPECT_EQ(*check.get("K").value(), "committed");
+}
+
+TEST_P(TransactionHandleTest, MoveTransfersOwnership) {
+  Transaction tx = db_->begin(TxOptions{.process = 1});
+  ASSERT_TRUE(tx.put("K", "moved").ok());
+  Transaction moved = std::move(tx);
+  EXPECT_FALSE(tx.active());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(tx.id(), kInvalidTxId);
+  EXPECT_TRUE(moved.active());
+  ASSERT_TRUE(moved.commit().ok());
+
+  Transaction check = db_->begin(TxOptions{.process = 2});
+  EXPECT_EQ(*check.get("K").value(), "moved");
+}
+
+TEST_P(TransactionHandleTest, MoveAssignmentAbortsTheOverwrittenTx) {
+  Transaction a = db_->begin(TxOptions{.process = 1});
+  ASSERT_TRUE(a.put("A", "a").ok());
+  Transaction b = db_->begin(TxOptions{.process = 2});
+  ASSERT_TRUE(b.put("B", "b").ok());
+  a = std::move(b);  // a's original transaction must be aborted, not leaked
+  ASSERT_TRUE(a.commit().ok());
+
+  Transaction check = db_->begin(TxOptions{.process = 3});
+  EXPECT_FALSE(check.get("A").value().has_value());  // aborted write
+  EXPECT_EQ(*check.get("B").value(), "b");
+}
+
+TEST_P(TransactionHandleTest, AbortIsIdempotent) {
+  Transaction tx = db_->begin(TxOptions{.process = 1});
+  ASSERT_TRUE(tx.put("K", "v").ok());
+  tx.abort();
+  tx.abort();  // no-op
+  EXPECT_FALSE(tx.active());
+  const auto r = tx.get("K");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), TxErrorCode::kUserAbort);
+  EXPECT_FALSE(r.error().retryable());
+}
+
+TEST_P(TransactionHandleTest, CommitOnCommittedHandleIsRejected) {
+  Transaction tx = db_->begin(TxOptions{.process = 1});
+  ASSERT_TRUE(tx.put("K", "v").ok());
+  ASSERT_TRUE(tx.commit().ok());
+  const Result<Timestamp> again = tx.commit();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code(), TxErrorCode::kInactiveHandle);
+  EXPECT_FALSE(again.error().retryable());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, TransactionHandleTest,
+    ::testing::ValuesIn(testutil::all_engines()),
+    [](const ::testing::TestParamInfo<EngineSpec>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace mvtl

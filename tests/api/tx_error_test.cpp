@@ -1,0 +1,163 @@
+// TxError: every engine AbortReason must map to exactly the right error
+// code and retryability class — the contract Db::transact's restart loop
+// is built on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "test_util.hpp"
+
+namespace mvtl {
+namespace {
+
+struct MappingCase {
+  AbortReason reason;
+  TxErrorCode expected_code;
+  bool expected_retryable;
+};
+
+class AbortReasonMappingTest : public ::testing::TestWithParam<MappingCase> {};
+
+TEST_P(AbortReasonMappingTest, ReasonMapsToCodeAndRetryability) {
+  const MappingCase& c = GetParam();
+  const TxError err = TxError::from_reason(c.reason);
+  EXPECT_EQ(err.code(), c.expected_code);
+  EXPECT_EQ(err.retryable(), c.expected_retryable)
+      << abort_reason_name(c.reason);
+  if (c.reason != AbortReason::kNone) {
+    EXPECT_EQ(err.reason(), c.reason);
+  }
+  EXPECT_FALSE(err.message().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllReasons, AbortReasonMappingTest,
+    ::testing::Values(
+        // Conflict-shaped failures: a fresh attempt can succeed — the
+        // paper's clients simply restart (§8.1).
+        MappingCase{AbortReason::kNoCommonTimestamp, TxErrorCode::kConflict,
+                    true},
+        MappingCase{AbortReason::kValidationConflict, TxErrorCode::kConflict,
+                    true},
+        MappingCase{AbortReason::kLockTimeout, TxErrorCode::kTimeout, true},
+        MappingCase{AbortReason::kDeadlock, TxErrorCode::kDeadlock, true},
+        MappingCase{AbortReason::kVersionPurged, TxErrorCode::kStale, true},
+        MappingCase{AbortReason::kCoordinatorSuspected,
+                    TxErrorCode::kUnavailable, true},
+        // Terminal failures: retrying cannot help.
+        MappingCase{AbortReason::kUserAbort, TxErrorCode::kUserAbort, false},
+        MappingCase{AbortReason::kNone, TxErrorCode::kInactiveHandle, false}),
+    [](const ::testing::TestParamInfo<MappingCase>& info) {
+      std::string name = abort_reason_name(info.param.reason);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(TxErrorTest, HelpersProduceTerminalErrors) {
+  EXPECT_FALSE(TxError::user_abort().retryable());
+  EXPECT_EQ(TxError::user_abort().code(), TxErrorCode::kUserAbort);
+  EXPECT_FALSE(TxError::inactive_handle().retryable());
+  EXPECT_EQ(TxError::inactive_handle().code(), TxErrorCode::kInactiveHandle);
+}
+
+TEST(TxErrorTest, EveryCodeHasAName) {
+  for (const TxErrorCode code :
+       {TxErrorCode::kConflict, TxErrorCode::kTimeout, TxErrorCode::kDeadlock,
+        TxErrorCode::kStale, TxErrorCode::kUnavailable,
+        TxErrorCode::kUserAbort, TxErrorCode::kInactiveHandle}) {
+    EXPECT_STRNE(tx_error_code_name(code), "unknown");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-produced errors surface through the facade with the right class.
+// ---------------------------------------------------------------------------
+
+TEST(TxErrorEngineTest, LockTimeoutSurfacesAsRetryableTimeout) {
+  // 2PL shared→exclusive upgrade blocked by a second reader: the engine
+  // aborts with kLockTimeout, which must classify as retryable kTimeout.
+  Db db = Options()
+              .policy(Policy::two_phase_locking())
+              .clock(std::make_shared<LogicalClock>(100))
+              .lock_timeout(std::chrono::microseconds{2'000})
+              .open();
+  Transaction other = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(other.get("K").ok());
+
+  Transaction tx = db.begin(TxOptions{.process = 2});
+  ASSERT_TRUE(tx.get("K").ok());
+  const auto w = tx.put("K", "v");
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.error().code(), TxErrorCode::kTimeout);
+  EXPECT_EQ(w.error().reason(), AbortReason::kLockTimeout);
+  EXPECT_TRUE(w.error().retryable());
+}
+
+TEST(TxErrorEngineTest, DeadlockVictimSurfacesAsRetryableDeadlock) {
+  // Crossing pessimistic writers with detection on: the victim's failed
+  // operation reports kDeadlock — retryable, since re-running serially
+  // succeeds.
+  Db db = Options()
+              .policy(Policy::pessimistic())
+              .clock(std::make_shared<LogicalClock>(100))
+              .lock_timeout(std::chrono::seconds{5})
+              .deadlock_detection(true)
+              .open();
+
+  std::atomic<bool> saw_deadlock_error{false};
+  auto worker = [&](ProcessId process, const Key& first, const Key& second) {
+    Transaction tx = db.begin(TxOptions{.process = process});
+    if (!tx.put(first, "v").ok()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    const auto w = tx.put(second, "v");
+    if (!w.ok() && w.error().code() == TxErrorCode::kDeadlock &&
+        w.error().retryable()) {
+      saw_deadlock_error.store(true);
+      return;
+    }
+    (void)tx.commit();
+  };
+  std::thread t1(worker, 1, "A", "B");
+  std::thread t2(worker, 2, "B", "A");
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(saw_deadlock_error.load());
+}
+
+TEST(TxErrorEngineTest, StaleReadSurfacesAsRetryableStaleAndRetrySucceeds) {
+  // A purged version aborts the stale reader with kStale; Db::transact
+  // retries with a fresh timestamp, which sees the surviving version.
+  auto clock = std::make_shared<ManualClock>(100);
+  Db db = Options().policy(Policy::to()).clock(clock).open();
+  for (int i = 0; i < 3; ++i) {
+    clock->set(200 + static_cast<std::uint64_t>(i) * 100);
+    Transaction tx = db.begin(TxOptions{.process = 1});
+    ASSERT_TRUE(tx.put("K", std::to_string(i)).ok());
+    ASSERT_TRUE(tx.commit().ok());
+  }
+  db.purge_below(Timestamp::make(450, 0));
+
+  clock->set(300);
+  int attempts = 0;
+  const Result<Timestamp> r = db.transact(
+      [&](Transaction& tx) -> Result<void> {
+        ++attempts;
+        const auto g = tx.get("K");
+        if (!g.ok()) {
+          EXPECT_EQ(g.error().code(), TxErrorCode::kStale);
+          clock->set(1'000);  // the world moves on before the retry
+          return g.error();
+        }
+        EXPECT_EQ(*g.value(), "2");
+        return {};
+      },
+      TxOptions{.process = 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(attempts, 2);
+}
+
+}  // namespace
+}  // namespace mvtl

@@ -29,7 +29,7 @@ TEST_P(SerializabilityPropertyTest, HistoryIsSerializable) {
   const PropertyCase& pc = GetParam();
   HistoryRecorder recorder;
   auto clock = std::make_shared<LogicalClock>(1'000);
-  auto engine = pc.engine.make(clock, &recorder);
+  Db db = testutil::make_db(pc.engine, clock, &recorder);
 
   DriverConfig config;
   config.clients = 8;
@@ -38,7 +38,7 @@ TEST_P(SerializabilityPropertyTest, HistoryIsSerializable) {
   config.workload.write_fraction = pc.write_fraction;
   config.workload.seed = pc.seed;
   config.workload.zipf_theta = pc.zipf_theta;
-  const DriverResult result = run_fixed_count(*engine, config, 60);
+  const DriverResult result = run_fixed_count(db.spi(), config, 60);
 
   // Sanity: under these short transactions a healthy engine commits a
   // decent fraction even at high contention.
@@ -86,26 +86,26 @@ class RepeatableReadTest : public ::testing::TestWithParam<EngineSpec> {};
 
 TEST_P(RepeatableReadTest, ReadsAreRepeatable) {
   auto clock = std::make_shared<LogicalClock>(1'000);
-  auto engine = GetParam().make(clock, nullptr);
-  testutil::seed_value(*engine, "x", "v0");
+  Db db = testutil::make_db(GetParam(), clock);
+  testutil::seed_value(db, "x", "v0");
 
-  auto tx = engine->begin(TxOptions{.process = 1});
-  const ReadResult first = engine->read(*tx, "x");
-  ASSERT_TRUE(first.ok);
+  Transaction tx = db.begin(TxOptions{.process = 1});
+  const Result<ReadSnapshot> first = tx.read("x");
+  ASSERT_TRUE(first.ok());
 
   // A concurrent blind writer may or may not commit (engine-dependent);
   // either way our transaction's second read must match its first.
   {
-    auto writer = engine->begin(TxOptions{.process = 2});
-    if (engine->write(*writer, "x", "v1")) {
-      (void)engine->commit(*writer);
+    Transaction writer = db.begin(TxOptions{.process = 2});
+    if (writer.put("x", "v1").ok()) {
+      (void)writer.commit();
     }
   }
 
-  const ReadResult second = engine->read(*tx, "x");
-  ASSERT_TRUE(second.ok);
-  EXPECT_EQ(*first.value, *second.value);
-  EXPECT_EQ(first.version_ts, second.version_ts);
+  const Result<ReadSnapshot> second = tx.read("x");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first.value().value, *second.value().value);
+  EXPECT_EQ(first.value().version_ts, second.value().version_ts);
 }
 
 INSTANTIATE_TEST_SUITE_P(

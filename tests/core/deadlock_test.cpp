@@ -12,35 +12,36 @@
 namespace mvtl {
 namespace {
 
-MvtlEngineConfig detect_config(std::shared_ptr<ClockSource> clock,
-                               std::chrono::microseconds timeout) {
-  MvtlEngineConfig config;
-  config.clock = std::move(clock);
-  config.lock_timeout = timeout;
-  config.deadlock_detection = true;
-  return config;
+Db detect_db(std::shared_ptr<ClockSource> clock,
+             std::chrono::microseconds timeout,
+             HistoryRecorder* recorder = nullptr) {
+  return Options()
+      .policy(Policy::pessimistic())
+      .clock(std::move(clock))
+      .lock_timeout(timeout)
+      .deadlock_detection(true)
+      .recorder(recorder)
+      .open();
 }
 
 TEST(DeadlockDetectionTest, CrossingWritersResolveQuickly) {
   // T1 writes A then B; T2 writes B then A — the textbook deadlock. With
   // a generous timeout, only detection can finish this fast.
   auto clock = std::make_shared<LogicalClock>(100);
-  MvtlEngine engine(make_pessimistic_policy(),
-                    detect_config(clock, std::chrono::seconds{5}));
+  Db db = detect_db(clock, std::chrono::seconds{5});
 
   std::atomic<int> committed{0};
   std::atomic<int> deadlock_aborts{0};
   const auto started = std::chrono::steady_clock::now();
 
   auto worker = [&](ProcessId process, const Key& first, const Key& second) {
-    auto tx = engine.begin(TxOptions{.process = process});
-    bool ok = engine.write(*tx, first, "v");
+    Transaction tx = db.begin(TxOptions{.process = process});
+    bool ok = tx.put(first, "v").ok();
     std::this_thread::sleep_for(std::chrono::milliseconds{20});  // interleave
-    ok = ok && engine.write(*tx, second, "v");
-    if (ok && engine.commit(*tx).committed()) {
+    ok = ok && tx.put(second, "v").ok();
+    if (ok && tx.commit().ok()) {
       committed.fetch_add(1);
-    } else if (static_cast<MvtlTx&>(*tx).abort_reason() ==
-               AbortReason::kDeadlock) {
+    } else if (tx.abort_reason() == AbortReason::kDeadlock) {
       deadlock_aborts.fetch_add(1);
     }
   };
@@ -63,8 +64,7 @@ TEST(DeadlockDetectionTest, NoFalsePositivesOnPlainContention) {
   // Straight-line contention (all writers take keys in the same order)
   // must never be flagged as deadlock.
   auto clock = std::make_shared<LogicalClock>(100);
-  MvtlEngine engine(make_pessimistic_policy(),
-                    detect_config(clock, std::chrono::milliseconds{500}));
+  Db db = detect_db(clock, std::chrono::milliseconds{500});
 
   std::atomic<int> committed{0};
   std::atomic<int> deadlocks{0};
@@ -72,13 +72,12 @@ TEST(DeadlockDetectionTest, NoFalsePositivesOnPlainContention) {
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < 20; ++i) {
-        auto tx = engine.begin(
-            TxOptions{.process = static_cast<ProcessId>(t + 1)});
-        bool ok = engine.write(*tx, "A", "v") && engine.write(*tx, "B", "v");
-        if (ok && engine.commit(*tx).committed()) {
+        Transaction tx =
+            db.begin(TxOptions{.process = static_cast<ProcessId>(t + 1)});
+        const bool ok = tx.put("A", "v").ok() && tx.put("B", "v").ok();
+        if (ok && tx.commit().ok()) {
           committed.fetch_add(1);
-        } else if (static_cast<MvtlTx&>(*tx).abort_reason() ==
-                   AbortReason::kDeadlock) {
+        } else if (tx.abort_reason() == AbortReason::kDeadlock) {
           deadlocks.fetch_add(1);
         }
       }
@@ -92,10 +91,7 @@ TEST(DeadlockDetectionTest, NoFalsePositivesOnPlainContention) {
 TEST(DeadlockDetectionTest, SerializabilityHoldsWithDetectionOn) {
   HistoryRecorder recorder;
   auto clock = std::make_shared<LogicalClock>(1'000);
-  MvtlEngineConfig config =
-      detect_config(clock, std::chrono::milliseconds{50});
-  config.recorder = &recorder;
-  MvtlEngine engine(make_pessimistic_policy(), config);
+  Db db = detect_db(clock, std::chrono::milliseconds{50}, &recorder);
 
   DriverConfig driver;
   driver.clients = 6;
@@ -103,7 +99,7 @@ TEST(DeadlockDetectionTest, SerializabilityHoldsWithDetectionOn) {
   driver.workload.ops_per_tx = 5;
   driver.workload.write_fraction = 0.5;
   driver.workload.seed = 3;
-  const DriverResult result = run_fixed_count(engine, driver, 50);
+  const DriverResult result = run_fixed_count(db.spi(), driver, 50);
   EXPECT_GT(result.committed, 0u);
 
   const auto records = recorder.finished();

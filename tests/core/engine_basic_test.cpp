@@ -1,6 +1,9 @@
 // Basic transactional semantics, parameterized over every engine in the
-// repository: MVTL under each policy, MVTO+, and 2PL.
+// repository (MVTL under each policy, MVTO+, 2PL) — all driven through
+// the public Db/Transaction facade.
 #include <gtest/gtest.h>
+
+#include <optional>
 
 #include "test_util.hpp"
 #include "txbench/workload.hpp"
@@ -14,63 +17,63 @@ class EngineBasicTest : public ::testing::TestWithParam<EngineSpec> {
  protected:
   void SetUp() override {
     clock_ = std::make_shared<LogicalClock>(1'000);
-    engine_ = GetParam().make(clock_, nullptr);
+    db_.emplace(testutil::make_db(GetParam(), clock_));
   }
 
   std::shared_ptr<LogicalClock> clock_;
-  std::unique_ptr<TransactionalStore> engine_;
+  std::optional<Db> db_;
 };
 
 TEST_P(EngineBasicTest, ReadMissingKeyReturnsBottom) {
-  auto tx = engine_->begin();
-  const ReadResult r = engine_->read(*tx, "absent");
-  ASSERT_TRUE(r.ok);
-  EXPECT_FALSE(r.value.has_value());
-  EXPECT_TRUE(engine_->commit(*tx).committed());
+  Transaction tx = db_->begin();
+  const auto r = tx.get("absent");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().has_value());
+  EXPECT_TRUE(tx.commit().ok());
 }
 
 TEST_P(EngineBasicTest, WriteThenReadBackAcrossTransactions) {
-  testutil::seed_value(*engine_, "x", "hello");
-  auto tx = engine_->begin();
-  const ReadResult r = engine_->read(*tx, "x");
-  ASSERT_TRUE(r.ok);
-  ASSERT_TRUE(r.value.has_value());
-  EXPECT_EQ(*r.value, "hello");
-  EXPECT_TRUE(engine_->commit(*tx).committed());
+  testutil::seed_value(*db_, "x", "hello");
+  Transaction tx = db_->begin();
+  const auto r = tx.get("x");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().has_value());
+  EXPECT_EQ(*r.value(), "hello");
+  EXPECT_TRUE(tx.commit().ok());
 }
 
 TEST_P(EngineBasicTest, ReadOwnWrite) {
-  auto tx = engine_->begin();
-  ASSERT_TRUE(engine_->write(*tx, "x", "mine"));
-  const ReadResult r = engine_->read(*tx, "x");
-  ASSERT_TRUE(r.ok);
-  EXPECT_EQ(*r.value, "mine");
-  EXPECT_TRUE(engine_->commit(*tx).committed());
+  Transaction tx = db_->begin();
+  ASSERT_TRUE(tx.put("x", "mine").ok());
+  const auto r = tx.get("x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), "mine");
+  EXPECT_TRUE(tx.commit().ok());
 }
 
 TEST_P(EngineBasicTest, OverwriteInSameTransactionLastWins) {
-  auto tx = engine_->begin();
-  ASSERT_TRUE(engine_->write(*tx, "x", "first"));
-  ASSERT_TRUE(engine_->write(*tx, "x", "second"));
-  ASSERT_TRUE(engine_->commit(*tx).committed());
+  Transaction tx = db_->begin();
+  ASSERT_TRUE(tx.put("x", "first").ok());
+  ASSERT_TRUE(tx.put("x", "second").ok());
+  ASSERT_TRUE(tx.commit().ok());
 
-  auto tx2 = engine_->begin();
-  const ReadResult r = engine_->read(*tx2, "x");
-  ASSERT_TRUE(r.ok);
-  EXPECT_EQ(*r.value, "second");
+  Transaction tx2 = db_->begin();
+  const auto r = tx2.get("x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), "second");
 }
 
 TEST_P(EngineBasicTest, AbortedWritesInvisible) {
-  testutil::seed_value(*engine_, "x", "committed");
-  auto tx = engine_->begin();
-  ASSERT_TRUE(engine_->write(*tx, "x", "doomed"));
-  engine_->abort(*tx);
-  EXPECT_FALSE(tx->is_active());
+  testutil::seed_value(*db_, "x", "committed");
+  Transaction tx = db_->begin();
+  ASSERT_TRUE(tx.put("x", "doomed").ok());
+  tx.abort();
+  EXPECT_FALSE(tx.active());
 
-  auto tx2 = engine_->begin();
-  const ReadResult r = engine_->read(*tx2, "x");
-  ASSERT_TRUE(r.ok);
-  EXPECT_EQ(*r.value, "committed");
+  Transaction tx2 = db_->begin();
+  const auto r = tx2.get("x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), "committed");
 }
 
 TEST_P(EngineBasicTest, SequentialTransactionsAllCommit) {
@@ -78,72 +81,76 @@ TEST_P(EngineBasicTest, SequentialTransactionsAllCommit) {
   // timestamp-ordering family this needs a monotonic clock, which the
   // shared logical clock provides).
   for (int i = 0; i < 20; ++i) {
-    auto tx = engine_->begin();
-    const ReadResult r = engine_->read(*tx, "counter");
-    ASSERT_TRUE(r.ok) << "iteration " << i;
-    const int prev = r.value ? std::stoi(*r.value) : 0;
-    ASSERT_TRUE(engine_->write(*tx, "counter", std::to_string(prev + 1)));
-    ASSERT_TRUE(engine_->commit(*tx).committed()) << "iteration " << i;
+    Transaction tx = db_->begin();
+    const auto r = tx.get("counter");
+    ASSERT_TRUE(r.ok()) << "iteration " << i;
+    const int prev = r.value() ? std::stoi(*r.value()) : 0;
+    ASSERT_TRUE(tx.put("counter", std::to_string(prev + 1)).ok());
+    ASSERT_TRUE(tx.commit().ok()) << "iteration " << i;
   }
-  auto tx = engine_->begin();
-  const ReadResult r = engine_->read(*tx, "counter");
-  ASSERT_TRUE(r.ok);
-  EXPECT_EQ(*r.value, "20");
+  Transaction tx = db_->begin();
+  const auto r = tx.get("counter");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), "20");
 }
 
 TEST_P(EngineBasicTest, SnapshotOfTwoKeysIsConsistent) {
   // Seed x=1,y=1 then x=2,y=2 atomically; a reader must never see a mix.
   {
-    auto tx = engine_->begin();
-    ASSERT_TRUE(engine_->write(*tx, "x", "1"));
-    ASSERT_TRUE(engine_->write(*tx, "y", "1"));
-    ASSERT_TRUE(engine_->commit(*tx).committed());
+    Transaction tx = db_->begin();
+    ASSERT_TRUE(tx.put("x", "1").ok());
+    ASSERT_TRUE(tx.put("y", "1").ok());
+    ASSERT_TRUE(tx.commit().ok());
   }
   {
-    auto tx = engine_->begin();
-    ASSERT_TRUE(engine_->write(*tx, "x", "2"));
-    ASSERT_TRUE(engine_->write(*tx, "y", "2"));
-    ASSERT_TRUE(engine_->commit(*tx).committed());
+    Transaction tx = db_->begin();
+    ASSERT_TRUE(tx.put("x", "2").ok());
+    ASSERT_TRUE(tx.put("y", "2").ok());
+    ASSERT_TRUE(tx.commit().ok());
   }
-  auto tx = engine_->begin();
-  const ReadResult rx = engine_->read(*tx, "x");
-  const ReadResult ry = engine_->read(*tx, "y");
-  ASSERT_TRUE(rx.ok);
-  ASSERT_TRUE(ry.ok);
-  EXPECT_EQ(*rx.value, *ry.value);
+  Transaction tx = db_->begin();
+  const auto rx = tx.get("x");
+  const auto ry = tx.get("y");
+  ASSERT_TRUE(rx.ok());
+  ASSERT_TRUE(ry.ok());
+  EXPECT_EQ(*rx.value(), *ry.value());
 }
 
 TEST_P(EngineBasicTest, CommitReportsTimestamp) {
-  auto tx = engine_->begin();
-  ASSERT_TRUE(engine_->write(*tx, "x", "v"));
-  const CommitResult r = engine_->commit(*tx);
-  ASSERT_TRUE(r.committed());
-  EXPECT_GT(r.commit_ts, Timestamp::min());
+  Transaction tx = db_->begin();
+  ASSERT_TRUE(tx.put("x", "v").ok());
+  const Result<Timestamp> r = tx.commit();
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value(), Timestamp::min());
+  EXPECT_TRUE(tx.committed());
+  EXPECT_EQ(tx.commit_ts(), r.value());
 }
 
 TEST_P(EngineBasicTest, OperationsOnFinishedTxAreRejected) {
-  auto tx = engine_->begin();
-  ASSERT_TRUE(engine_->write(*tx, "x", "v"));
-  ASSERT_TRUE(engine_->commit(*tx).committed());
-  EXPECT_FALSE(tx->is_active());
-  EXPECT_FALSE(engine_->write(*tx, "y", "w"));
-  EXPECT_FALSE(engine_->read(*tx, "x").ok);
-  EXPECT_FALSE(engine_->commit(*tx).committed());
+  Transaction tx = db_->begin();
+  ASSERT_TRUE(tx.put("x", "v").ok());
+  ASSERT_TRUE(tx.commit().ok());
+  EXPECT_FALSE(tx.active());
+  const auto w = tx.put("y", "w");
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.error().code(), TxErrorCode::kInactiveHandle);
+  EXPECT_FALSE(tx.get("x").ok());
+  EXPECT_FALSE(tx.commit().ok());
 }
 
 TEST_P(EngineBasicTest, ManyKeysInOneTransaction) {
-  auto tx = engine_->begin();
+  Transaction tx = db_->begin();
   for (int i = 0; i < 50; ++i) {
-    ASSERT_TRUE(engine_->write(*tx, make_key(i), std::to_string(i)));
+    ASSERT_TRUE(tx.put(make_key(i), std::to_string(i)).ok());
   }
-  ASSERT_TRUE(engine_->commit(*tx).committed());
-  auto tx2 = engine_->begin();
+  ASSERT_TRUE(tx.commit().ok());
+  Transaction tx2 = db_->begin();
   for (int i = 0; i < 50; ++i) {
-    const ReadResult r = engine_->read(*tx2, make_key(i));
-    ASSERT_TRUE(r.ok);
-    EXPECT_EQ(*r.value, std::to_string(i));
+    const auto r = tx2.get(make_key(i));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r.value(), std::to_string(i));
   }
-  EXPECT_TRUE(engine_->commit(*tx2).committed());
+  EXPECT_TRUE(tx2.commit().ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(

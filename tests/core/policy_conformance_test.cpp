@@ -9,8 +9,12 @@
 namespace mvtl {
 namespace {
 
-MvtlEngineConfig config_with(std::shared_ptr<ClockSource> clock) {
-  return testutil::engine_config(std::move(clock), nullptr);
+Db open_db(Policy policy, std::shared_ptr<ClockSource> clock) {
+  return Options()
+      .policy(std::move(policy))
+      .clock(std::move(clock))
+      .lock_timeout(std::chrono::microseconds{10'000})
+      .open();
 }
 
 // ---------------------------------------------------------------------------
@@ -21,18 +25,18 @@ class EpsilonSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(EpsilonSweepTest, SerialChainCommitsForAnyEpsilon) {
   auto clock = std::make_shared<LogicalClock>(100'000);
-  MvtlEngine engine(make_eps_clock_policy(GetParam()), config_with(clock));
+  Db db = open_db(Policy::eps_clock(GetParam()), clock);
   for (int i = 0; i < 12; ++i) {
-    auto tx = engine.begin(TxOptions{.process = static_cast<ProcessId>(i % 3)});
-    const ReadResult r = engine.read(*tx, "chain");
-    ASSERT_TRUE(r.ok) << "eps=" << GetParam() << " i=" << i;
-    const int prev = r.value ? std::stoi(*r.value) : 0;
-    ASSERT_TRUE(engine.write(*tx, "chain", std::to_string(prev + 1)));
-    ASSERT_TRUE(engine.commit(*tx).committed())
-        << "eps=" << GetParam() << " i=" << i;
+    Transaction tx =
+        db.begin(TxOptions{.process = static_cast<ProcessId>(i % 3)});
+    const auto r = tx.get("chain");
+    ASSERT_TRUE(r.ok()) << "eps=" << GetParam() << " i=" << i;
+    const int prev = r.value() ? std::stoi(*r.value()) : 0;
+    ASSERT_TRUE(tx.put("chain", std::to_string(prev + 1)).ok());
+    ASSERT_TRUE(tx.commit().ok()) << "eps=" << GetParam() << " i=" << i;
   }
-  auto check = engine.begin(TxOptions{.process = 1});
-  EXPECT_EQ(*engine.read(*check, "chain").value, "12");
+  Transaction check = db.begin(TxOptions{.process = 1});
+  EXPECT_EQ(*check.get("chain").value(), "12");
 }
 
 INSTANTIATE_TEST_SUITE_P(Epsilons, EpsilonSweepTest,
@@ -51,16 +55,18 @@ class MvtilSweepTest : public ::testing::TestWithParam<MvtilSweepCase> {};
 
 TEST_P(MvtilSweepTest, SerialChainCommitsForAnyDelta) {
   auto clock = std::make_shared<LogicalClock>(100'000);
-  MvtlEngine engine(
-      make_mvtil_policy(GetParam().delta, GetParam().early, true),
-      config_with(clock));
+  Db db = open_db(
+      Policy::mvtil(GetParam().delta,
+                    GetParam().early ? Early::kYes : Early::kNo),
+      clock);
   for (int i = 0; i < 12; ++i) {
-    auto tx = engine.begin(TxOptions{.process = static_cast<ProcessId>(i % 3)});
-    const ReadResult r = engine.read(*tx, "chain");
-    ASSERT_TRUE(r.ok) << "delta=" << GetParam().delta << " i=" << i;
-    const int prev = r.value ? std::stoi(*r.value) : 0;
-    ASSERT_TRUE(engine.write(*tx, "chain", std::to_string(prev + 1)));
-    ASSERT_TRUE(engine.commit(*tx).committed())
+    Transaction tx =
+        db.begin(TxOptions{.process = static_cast<ProcessId>(i % 3)});
+    const auto r = tx.get("chain");
+    ASSERT_TRUE(r.ok()) << "delta=" << GetParam().delta << " i=" << i;
+    const int prev = r.value() ? std::stoi(*r.value()) : 0;
+    ASSERT_TRUE(tx.put("chain", std::to_string(prev + 1)).ok());
+    ASSERT_TRUE(tx.commit().ok())
         << "delta=" << GetParam().delta << " i=" << i;
   }
 }
@@ -89,25 +95,24 @@ class PrefBoundaryTest : public ::testing::TestWithParam<PrefBoundaryCase> {};
 
 TEST_P(PrefBoundaryTest, AlternativePlacementDecidesTheorem2Workload) {
   auto clock = std::make_shared<ManualClock>(1);
-  MvtlEngine engine(make_pref_policy({GetParam().offset}),
-                    config_with(clock));
+  Db db = open_db(Policy::pref({GetParam().offset}), clock);
 
   clock->set(100);  // t1
-  auto t1 = engine.begin(TxOptions{.process = 1});
-  ASSERT_TRUE(engine.write(*t1, "Y", "y1"));
-  ASSERT_TRUE(engine.commit(*t1).committed());
+  Transaction t1 = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(t1.put("Y", "y1").ok());
+  ASSERT_TRUE(t1.commit().ok());
 
   clock->set(200);  // t2
-  auto t2 = engine.begin(TxOptions{.process = 2});
-  ASSERT_TRUE(engine.read(*t2, "X").ok);
+  Transaction t2 = db.begin(TxOptions{.process = 2});
+  ASSERT_TRUE(t2.get("X").ok());
 
   clock->set(300);  // t3
-  auto t3 = engine.begin(TxOptions{.process = 3});
-  ASSERT_TRUE(engine.read(*t3, "Y").ok);
-  ASSERT_TRUE(engine.commit(*t3).committed());
+  Transaction t3 = db.begin(TxOptions{.process = 3});
+  ASSERT_TRUE(t3.get("Y").ok());
+  ASSERT_TRUE(t3.commit().ok());
 
-  ASSERT_TRUE(engine.write(*t2, "Y", "y2"));
-  EXPECT_EQ(engine.commit(*t2).committed(), GetParam().t2_should_commit)
+  ASSERT_TRUE(t2.put("Y", "y2").ok());
+  EXPECT_EQ(t2.commit().ok(), GetParam().t2_should_commit)
       << "offset " << GetParam().offset;
 }
 
@@ -136,20 +141,20 @@ class ValueRoundTripTest
 
 TEST_P(ValueRoundTripTest, ValuesOfVariousShapesRoundTrip) {
   auto clock = std::make_shared<LogicalClock>(1'000);
-  auto engine = GetParam().make(clock, nullptr);
+  Db db = testutil::make_db(GetParam(), clock);
   const std::vector<Value> values = {
       "", "x", std::string(8, 'a'), std::string(1024, 'z'),
       std::string("embedded\0null", 13)};
   for (std::size_t i = 0; i < values.size(); ++i) {
     const Key key = "vk" + std::to_string(i);
-    auto tx = engine->begin(TxOptions{.process = 1});
-    ASSERT_TRUE(engine->write(*tx, key, values[i]));
-    ASSERT_TRUE(engine->commit(*tx).committed());
-    auto check = engine->begin(TxOptions{.process = 2});
-    const ReadResult r = engine->read(*check, key);
-    ASSERT_TRUE(r.ok);
-    ASSERT_TRUE(r.value.has_value());
-    EXPECT_EQ(*r.value, values[i]);
+    Transaction tx = db.begin(TxOptions{.process = 1});
+    ASSERT_TRUE(tx.put(key, values[i]).ok());
+    ASSERT_TRUE(tx.commit().ok());
+    Transaction check = db.begin(TxOptions{.process = 2});
+    const auto r = check.get(key);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().has_value());
+    EXPECT_EQ(*r.value(), values[i]);
   }
 }
 

@@ -4,13 +4,21 @@
 
 #include <thread>
 
+#include "baselines/mvto_plus.hpp"
+#include "core/mvtl_engine.hpp"
 #include "test_util.hpp"
 
 namespace mvtl {
 namespace {
 
-MvtlEngineConfig config_with(std::shared_ptr<ClockSource> clock) {
-  return testutil::engine_config(std::move(clock), nullptr);
+Db open_db(Policy policy, std::shared_ptr<ClockSource> clock,
+           std::chrono::microseconds lock_timeout =
+               std::chrono::microseconds{10'000}) {
+  return Options()
+      .policy(std::move(policy))
+      .clock(std::move(clock))
+      .lock_timeout(lock_timeout)
+      .open();
 }
 
 // ---------------------------------------------------------------------------
@@ -19,19 +27,19 @@ MvtlEngineConfig config_with(std::shared_ptr<ClockSource> clock) {
 
 TEST(ToPersistenceTest, CommittedReaderStillBlocksLowerWriter) {
   auto clock = std::make_shared<ManualClock>(1);
-  MvtlEngine engine(make_to_policy(), config_with(clock));
+  Db db = open_db(Policy::to(), clock);
 
   clock->set(100);
-  auto reader = engine.begin(TxOptions{.process = 1});
-  ASSERT_TRUE(engine.read(*reader, "K").ok);
-  ASSERT_TRUE(engine.commit(*reader).committed());
+  Transaction reader = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(reader.get("K").ok());
+  ASSERT_TRUE(reader.commit().ok());
 
   // A later transaction with a smaller timestamp cannot write under the
   // committed read — exactly MVTO+'s read-timestamp rule.
   clock->set(50);
-  auto writer = engine.begin(TxOptions{.process = 2});
-  ASSERT_TRUE(engine.write(*writer, "K", "v"));
-  EXPECT_FALSE(engine.commit(*writer).committed());
+  Transaction writer = db.begin(TxOptions{.process = 2});
+  ASSERT_TRUE(writer.put("K", "v").ok());
+  EXPECT_FALSE(writer.commit().ok());
 }
 
 TEST(ToPersistenceTest, DeferredGcUnblocksLowerWriter) {
@@ -41,46 +49,46 @@ TEST(ToPersistenceTest, DeferredGcUnblocksLowerWriter) {
   // commit timestamp equals its read bound, so the write below it must
   // still fail; a write above it succeeds.
   auto clock = std::make_shared<ManualClock>(1);
-  MvtlEngine engine(make_to_policy(), config_with(clock));
+  Db db = open_db(Policy::to(), clock);
 
   clock->set(100);
-  auto reader = engine.begin(TxOptions{.process = 1});
-  ASSERT_TRUE(engine.read(*reader, "K").ok);
-  ASSERT_TRUE(engine.commit(*reader).committed());
-  engine.gc_finished(*reader);
+  Transaction reader = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(reader.get("K").ok());
+  ASSERT_TRUE(reader.commit().ok());
+  dynamic_cast<MvtlEngine&>(db.spi()).gc_finished(reader.raw());
 
   clock->set(50);
-  auto low_writer = engine.begin(TxOptions{.process = 2});
-  ASSERT_TRUE(engine.write(*low_writer, "K", "low"));
-  EXPECT_FALSE(engine.commit(*low_writer).committed());
+  Transaction low_writer = db.begin(TxOptions{.process = 2});
+  ASSERT_TRUE(low_writer.put("K", "low").ok());
+  EXPECT_FALSE(low_writer.commit().ok());
 
   clock->set(200);
-  auto high_writer = engine.begin(TxOptions{.process = 3});
-  ASSERT_TRUE(engine.write(*high_writer, "K", "high"));
-  EXPECT_TRUE(engine.commit(*high_writer).committed());
+  Transaction high_writer = db.begin(TxOptions{.process = 3});
+  ASSERT_TRUE(high_writer.put("K", "high").ok());
+  EXPECT_TRUE(high_writer.commit().ok());
 }
 
 TEST(ToPersistenceTest, AbortedWritersLocksAreReleased) {
   // An aborted transaction's *write* locks are always released: a second
   // writer at the same region must not be blocked by a ghost write lock.
   auto clock = std::make_shared<ManualClock>(1);
-  MvtlEngine engine(make_to_policy(), config_with(clock));
+  Db db = open_db(Policy::to(), clock);
 
   clock->set(100);
-  auto reader = engine.begin(TxOptions{.process = 1});
-  ASSERT_TRUE(engine.read(*reader, "K").ok);  // read locks [1, 100]
+  Transaction reader = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(reader.get("K").ok());  // read locks [1, 100]
 
   clock->set(60);
-  auto w1 = engine.begin(TxOptions{.process = 2});
-  ASSERT_TRUE(engine.write(*w1, "K", "a"));
-  ASSERT_FALSE(engine.commit(*w1).committed());  // blocked by the read
+  Transaction w1 = db.begin(TxOptions{.process = 2});
+  ASSERT_TRUE(w1.put("K", "a").ok());
+  ASSERT_FALSE(w1.commit().ok());  // blocked by the read
 
   // A writer above the read locks commits fine — w1 left nothing behind
   // that blocks it.
   clock->set(200);
-  auto w2 = engine.begin(TxOptions{.process = 3});
-  ASSERT_TRUE(engine.write(*w2, "K", "b"));
-  EXPECT_TRUE(engine.commit(*w2).committed());
+  Transaction w2 = db.begin(TxOptions{.process = 3});
+  ASSERT_TRUE(w2.put("K", "b").ok());
+  EXPECT_TRUE(w2.commit().ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -89,35 +97,35 @@ TEST(ToPersistenceTest, AbortedWritersLocksAreReleased) {
 
 TEST(EpsClockEdgeTest, WindowShrinksAroundCommittedPoints) {
   auto clock = std::make_shared<ManualClock>(1'000);
-  MvtlEngine engine(make_eps_clock_policy(100), config_with(clock));
+  Db db = open_db(Policy::eps_clock(100), clock);
 
   // Seed a version in the middle of the upcoming window.
-  auto seeder = engine.begin(TxOptions{.process = 9});
-  ASSERT_TRUE(engine.write(*seeder, "K", "mid"));
-  const CommitResult seeded = engine.commit(*seeder);
-  ASSERT_TRUE(seeded.committed());
+  Transaction seeder = db.begin(TxOptions{.process = 9});
+  ASSERT_TRUE(seeder.put("K", "mid").ok());
+  const Result<Timestamp> seeded = seeder.commit();
+  ASSERT_TRUE(seeded.ok());
 
   // A new transaction whose window covers the frozen point can still
   // write K (around it) and read the seeded value.
-  auto tx = engine.begin(TxOptions{.process = 1});
-  const ReadResult r = engine.read(*tx, "K");
-  ASSERT_TRUE(r.ok);
-  EXPECT_EQ(*r.value, "mid");
-  ASSERT_TRUE(engine.write(*tx, "K", "next"));
-  const CommitResult c = engine.commit(*tx);
-  ASSERT_TRUE(c.committed());
-  EXPECT_GT(c.commit_ts, seeded.commit_ts);
+  Transaction tx = db.begin(TxOptions{.process = 1});
+  const auto r = tx.get("K");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), "mid");
+  ASSERT_TRUE(tx.put("K", "next").ok());
+  const Result<Timestamp> c = tx.commit();
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(c.value(), seeded.value());
 }
 
 TEST(EpsClockEdgeTest, CommitsAtSmallestLockedTimestamp) {
   auto clock = std::make_shared<ManualClock>(1'000);
-  MvtlEngine engine(make_eps_clock_policy(50), config_with(clock));
-  auto tx = engine.begin(TxOptions{.process = 1});
-  ASSERT_TRUE(engine.write(*tx, "K", "v"));
-  const CommitResult r = engine.commit(*tx);
-  ASSERT_TRUE(r.committed());
+  Db db = open_db(Policy::eps_clock(50), clock);
+  Transaction tx = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(tx.put("K", "v").ok());
+  const Result<Timestamp> r = tx.commit();
+  ASSERT_TRUE(r.ok());
   // Window [950, 1050]: the smallest lockable point is (950, 0).
-  EXPECT_EQ(r.commit_ts, Timestamp::make(950, 0));
+  EXPECT_EQ(r.value(), Timestamp::make(950, 0));
 }
 
 // ---------------------------------------------------------------------------
@@ -128,32 +136,31 @@ TEST(MvtilEdgeTest, WritersToSameKeySplitTheTimeline) {
   // Two concurrent blind writers to one key must both commit (they take
   // disjoint runs of the interval) — the multiversion win over 2PL.
   auto clock = std::make_shared<ManualClock>(1'000);
-  MvtlEngine engine(make_mvtil_policy(512, true, true), config_with(clock));
-  auto t1 = engine.begin(TxOptions{.process = 1});
+  Db db = open_db(Policy::mvtil(512, Early::kYes), clock);
+  Transaction t1 = db.begin(TxOptions{.process = 1});
   clock->advance(50);  // overlapping but not identical intervals
-  auto t2 = engine.begin(TxOptions{.process = 2});
-  ASSERT_TRUE(engine.write(*t1, "K", "a"));
-  ASSERT_TRUE(engine.write(*t2, "K", "b"));
-  const CommitResult c1 = engine.commit(*t1);
-  const CommitResult c2 = engine.commit(*t2);
-  EXPECT_TRUE(c1.committed());
-  EXPECT_TRUE(c2.committed());
-  EXPECT_NE(c1.commit_ts, c2.commit_ts);
+  Transaction t2 = db.begin(TxOptions{.process = 2});
+  ASSERT_TRUE(t1.put("K", "a").ok());
+  ASSERT_TRUE(t2.put("K", "b").ok());
+  const Result<Timestamp> c1 = t1.commit();
+  const Result<Timestamp> c2 = t2.commit();
+  EXPECT_TRUE(c1.ok());
+  EXPECT_TRUE(c2.ok());
+  EXPECT_NE(c1.value(), c2.value());
 }
 
 TEST(MvtilEdgeTest, EarlyCommitsBelowLate) {
-  for (const bool early : {true, false}) {
+  for (const Early early : {Early::kYes, Early::kNo}) {
     auto clock = std::make_shared<ManualClock>(1'000);
-    MvtlEngine engine(make_mvtil_policy(512, early, true),
-                      config_with(clock));
-    auto tx = engine.begin(TxOptions{.process = 1});
-    ASSERT_TRUE(engine.write(*tx, "K", "v"));
-    const CommitResult r = engine.commit(*tx);
-    ASSERT_TRUE(r.committed());
-    if (early) {
-      EXPECT_EQ(r.commit_ts.tick(), 1'000u);
+    Db db = open_db(Policy::mvtil(512, early), clock);
+    Transaction tx = db.begin(TxOptions{.process = 1});
+    ASSERT_TRUE(tx.put("K", "v").ok());
+    const Result<Timestamp> r = tx.commit();
+    ASSERT_TRUE(r.ok());
+    if (early == Early::kYes) {
+      EXPECT_EQ(r.value().tick(), 1'000u);
     } else {
-      EXPECT_EQ(r.commit_ts.tick(), 1'512u);
+      EXPECT_EQ(r.value().tick(), 1'512u);
     }
   }
 }
@@ -164,19 +171,17 @@ TEST(MvtilEdgeTest, ReaderAndWriterOverlapOneSideSurvives) {
   // commit inconsistently (checked by the serializability suites); here
   // we check the system stays live and the data is sane.
   auto clock = std::make_shared<ManualClock>(1'000);
-  MvtlEngine engine(make_mvtil_policy(512, true, true), config_with(clock));
-  testutil::seed_value(engine, "K", "v0");
+  Db db = open_db(Policy::mvtil(512, Early::kYes), clock);
+  testutil::seed_value(db, "K", "v0");
 
-  auto reader = engine.begin(TxOptions{.process = 1});
-  const ReadResult r = engine.read(*reader, "K");
-  ASSERT_TRUE(r.ok);
+  Transaction reader = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(reader.get("K").ok());
 
-  auto writer = engine.begin(TxOptions{.process = 2});
-  const bool wrote = engine.write(*writer, "K", "v1");
-  if (wrote) {
-    (void)engine.commit(*writer);
+  Transaction writer = db.begin(TxOptions{.process = 2});
+  if (writer.put("K", "v1").ok()) {
+    (void)writer.commit();
   }
-  EXPECT_TRUE(engine.commit(*reader).committed());
+  EXPECT_TRUE(reader.commit().ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -188,24 +193,24 @@ TEST(PrefEdgeTest, AlternativesAbovePreferenceAreDropped) {
   // viable (PossTS ∩ [tr+1, pref]) — the transaction still commits at its
   // preferential timestamp.
   auto clock = std::make_shared<ManualClock>(500);
-  MvtlEngine engine(make_pref_policy({+100, -100}), config_with(clock));
-  auto tx = engine.begin(TxOptions{.process = 1});
-  ASSERT_TRUE(engine.read(*tx, "K").ok);
-  ASSERT_TRUE(engine.write(*tx, "K", "v"));
-  const CommitResult r = engine.commit(*tx);
-  ASSERT_TRUE(r.committed());
-  EXPECT_EQ(r.commit_ts, Timestamp::make(500, 1));
+  Db db = open_db(Policy::pref({+100, -100}), clock);
+  Transaction tx = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(tx.get("K").ok());
+  ASSERT_TRUE(tx.put("K", "v").ok());
+  const Result<Timestamp> r = tx.commit();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Timestamp::make(500, 1));
 }
 
 TEST(PrefEdgeTest, ReadOnlyCommitsAtPreference) {
   auto clock = std::make_shared<ManualClock>(500);
-  MvtlEngine engine(make_pref_policy({-50}), config_with(clock));
-  auto tx = engine.begin(TxOptions{.process = 1});
-  ASSERT_TRUE(engine.read(*tx, "A").ok);
-  ASSERT_TRUE(engine.read(*tx, "B").ok);
-  const CommitResult r = engine.commit(*tx);
-  ASSERT_TRUE(r.committed());
-  EXPECT_EQ(r.commit_ts, Timestamp::make(500, 1));
+  Db db = open_db(Policy::pref({-50}), clock);
+  Transaction tx = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(tx.get("A").ok());
+  ASSERT_TRUE(tx.get("B").ok());
+  const Result<Timestamp> r = tx.commit();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Timestamp::make(500, 1));
 }
 
 // ---------------------------------------------------------------------------
@@ -214,48 +219,48 @@ TEST(PrefEdgeTest, ReadOnlyCommitsAtPreference) {
 
 TEST(PurgeEngineTest, StaleTimestampAbortsAfterPurge) {
   auto clock = std::make_shared<ManualClock>(100);
-  MvtlEngine engine(make_to_policy(), config_with(clock));
+  Db db = open_db(Policy::to(), clock);
 
   for (int i = 0; i < 5; ++i) {
     clock->set(200 + static_cast<std::uint64_t>(i) * 100);
-    auto tx = engine.begin(TxOptions{.process = 1});
-    ASSERT_TRUE(engine.write(*tx, "K", std::to_string(i)));
-    ASSERT_TRUE(engine.commit(*tx).committed());
+    Transaction tx = db.begin(TxOptions{.process = 1});
+    ASSERT_TRUE(tx.put("K", std::to_string(i)).ok());
+    ASSERT_TRUE(tx.commit().ok());
   }
-  // Purge everything below tick 650 (versions at 200..500; survivor 500... wait
-  // versions at 200,300,400,500,600; horizon 650 keeps 600).
-  engine.store().purge_below(Timestamp::make(650, 0));
+  // Versions at ticks 200..600; horizon 650 keeps the survivor at 600.
+  db.purge_below(Timestamp::make(650, 0));
 
   // A transaction whose timestamp predates the surviving version aborts
   // with kVersionPurged when it tries to read.
   clock->set(300);
-  auto stale = engine.begin(TxOptions{.process = 2});
-  EXPECT_FALSE(engine.read(*stale, "K").ok);
+  Transaction stale = db.begin(TxOptions{.process = 2});
+  const auto r_stale = stale.get("K");
+  ASSERT_FALSE(r_stale.ok());
+  EXPECT_EQ(r_stale.error().code(), TxErrorCode::kStale);
+  EXPECT_EQ(r_stale.error().reason(), AbortReason::kVersionPurged);
 
   // A fresh transaction reads the survivor.
   clock->set(1'000);
-  auto fresh = engine.begin(TxOptions{.process = 3});
-  const ReadResult r = engine.read(*fresh, "K");
-  ASSERT_TRUE(r.ok);
-  EXPECT_EQ(*r.value, "4");
+  Transaction fresh = db.begin(TxOptions{.process = 3});
+  const auto r = fresh.get("K");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), "4");
 }
 
 TEST(PurgeEngineTest, PurgeBoundsStateCounts) {
   auto clock = std::make_shared<LogicalClock>(1'000);
-  MvtlEngineConfig config = config_with(clock);
-  MvtlEngine engine(make_mvtil_policy(64, true, true), config);
+  Db db = open_db(Policy::mvtil(64, Early::kYes), clock);
 
   for (int i = 0; i < 40; ++i) {
-    auto tx = engine.begin(TxOptions{.process = 1});
-    ASSERT_TRUE(engine.read(*tx, "K").ok);
-    ASSERT_TRUE(engine.write(*tx, "K", std::to_string(i)));
-    ASSERT_TRUE(engine.commit(*tx).committed());
+    Transaction tx = db.begin(TxOptions{.process = 1});
+    ASSERT_TRUE(tx.get("K").ok());
+    ASSERT_TRUE(tx.put("K", std::to_string(i)).ok());
+    ASSERT_TRUE(tx.commit().ok());
   }
-  const StoreStats before = engine.store().stats();
+  const StoreStats before = db.stats();
   EXPECT_GE(before.versions, 40u);
-  engine.store().purge_below(
-      Timestamp::make(clock->now(0) + 1'000'000, 0));
-  const StoreStats after = engine.store().stats();
+  db.purge_below(Timestamp::make(clock->now(0) + 1'000'000, 0));
+  const StoreStats after = db.stats();
   EXPECT_LE(after.versions, 1u);
   EXPECT_LT(after.lock_entries, before.lock_entries);
 }
@@ -270,17 +275,15 @@ TEST(MvtoEdgeTest, ReadersNeverSkipCommittingWriters) {
   // writer's value or a newer one — the wait-on-pending rule means staged
   // versions are never silently skipped.
   auto clock = std::make_shared<LogicalClock>(100);
-  MvtoConfig config;
-  config.clock = clock;
-  config.pending_wait_timeout = std::chrono::microseconds{200'000};
-  MvtoPlusEngine engine(std::move(config));
+  Db db = open_db(Policy::mvto_plus(), clock,
+                  std::chrono::microseconds{200'000});
 
   std::atomic<int> last_committed{-1};
   std::thread writer_thread([&] {
     for (int i = 0; i < 200; ++i) {
-      auto writer = engine.begin(TxOptions{.process = 1});
-      if (!engine.write(*writer, "K", std::to_string(i))) continue;
-      if (engine.commit(*writer).committed()) {
+      Transaction writer = db.begin(TxOptions{.process = 1});
+      if (!writer.put("K", std::to_string(i)).ok()) continue;
+      if (writer.commit().ok()) {
         last_committed.store(i, std::memory_order_release);
       }
     }
@@ -288,10 +291,10 @@ TEST(MvtoEdgeTest, ReadersNeverSkipCommittingWriters) {
   std::thread reader_thread([&] {
     for (int i = 0; i < 200; ++i) {
       const int floor = last_committed.load(std::memory_order_acquire);
-      auto reader = engine.begin(TxOptions{.process = 2});
-      const ReadResult r = engine.read(*reader, "K");
-      if (!r.ok) continue;
-      const int seen = r.value ? std::stoi(*r.value) : -1;
+      Transaction reader = db.begin(TxOptions{.process = 2});
+      const auto r = reader.get("K");
+      if (!r.ok()) continue;
+      const int seen = r.value() ? std::stoi(*r.value()) : -1;
       EXPECT_GE(seen, floor) << "reader skipped a committed version";
     }
   });
@@ -301,29 +304,30 @@ TEST(MvtoEdgeTest, ReadersNeverSkipCommittingWriters) {
 
 TEST(MvtoEdgeTest, PurgeKeepsNewestAndAbortsStale) {
   auto clock = std::make_shared<ManualClock>(100);
-  MvtoConfig config;
-  config.clock = clock;
-  MvtoPlusEngine engine(std::move(config));
+  Db db = open_db(Policy::mvto_plus(), clock);
+  auto& engine = dynamic_cast<MvtoPlusEngine&>(db.spi());
 
   for (int i = 0; i < 4; ++i) {
     clock->set(200 + static_cast<std::uint64_t>(i) * 100);
-    auto tx = engine.begin(TxOptions{.process = 1});
-    ASSERT_TRUE(engine.write(*tx, "K", std::to_string(i)));
-    ASSERT_TRUE(engine.commit(*tx).committed());
+    Transaction tx = db.begin(TxOptions{.process = 1});
+    ASSERT_TRUE(tx.put("K", std::to_string(i)).ok());
+    ASSERT_TRUE(tx.commit().ok());
   }
   EXPECT_EQ(engine.version_count(), 4u);
-  EXPECT_GT(engine.purge_below(Timestamp::make(450, 0)), 0u);
+  EXPECT_GT(db.purge_below(Timestamp::make(450, 0)), 0u);
   EXPECT_EQ(engine.version_count(), 2u);  // versions at 400, 500 remain
 
   clock->set(350);
-  auto stale = engine.begin(TxOptions{.process = 2});
-  EXPECT_FALSE(engine.read(*stale, "K").ok);
+  Transaction stale = db.begin(TxOptions{.process = 2});
+  const auto r_stale = stale.get("K");
+  ASSERT_FALSE(r_stale.ok());
+  EXPECT_EQ(r_stale.error().code(), TxErrorCode::kStale);
 
   clock->set(1'000);
-  auto fresh = engine.begin(TxOptions{.process = 3});
-  const ReadResult r = engine.read(*fresh, "K");
-  ASSERT_TRUE(r.ok);
-  EXPECT_EQ(*r.value, "3");
+  Transaction fresh = db.begin(TxOptions{.process = 3});
+  const auto r = fresh.get("K");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), "3");
 }
 
 // ---------------------------------------------------------------------------
@@ -332,54 +336,50 @@ TEST(MvtoEdgeTest, PurgeKeepsNewestAndAbortsStale) {
 
 TEST(TplEdgeTest, SharedToExclusiveUpgrade) {
   auto clock = std::make_shared<LogicalClock>(100);
-  TwoPlConfig config;
-  config.clock = clock;
-  TwoPhaseLockingEngine engine(std::move(config));
+  Db db = open_db(Policy::two_phase_locking(), clock);
 
-  auto tx = engine.begin(TxOptions{.process = 1});
-  ASSERT_TRUE(engine.read(*tx, "K").ok);           // shared
-  ASSERT_TRUE(engine.write(*tx, "K", "upgraded")); // sole reader upgrades
-  ASSERT_TRUE(engine.commit(*tx).committed());
+  Transaction tx = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(tx.get("K").ok());            // shared
+  ASSERT_TRUE(tx.put("K", "upgraded").ok());  // sole reader upgrades
+  ASSERT_TRUE(tx.commit().ok());
 }
 
 TEST(TplEdgeTest, UpgradeBlockedByOtherReaderTimesOut) {
   auto clock = std::make_shared<LogicalClock>(100);
-  TwoPlConfig config;
-  config.clock = clock;
-  config.lock_timeout = std::chrono::microseconds{3'000};
-  TwoPhaseLockingEngine engine(std::move(config));
+  Db db = open_db(Policy::two_phase_locking(), clock,
+                  std::chrono::microseconds{3'000});
 
-  auto other = engine.begin(TxOptions{.process = 1});
-  ASSERT_TRUE(engine.read(*other, "K").ok);
+  Transaction other = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(other.get("K").ok());
 
-  auto tx = engine.begin(TxOptions{.process = 2});
-  ASSERT_TRUE(engine.read(*tx, "K").ok);
-  EXPECT_FALSE(engine.write(*tx, "K", "v"));  // deadlock-prone upgrade: abort
-  EXPECT_FALSE(tx->is_active());
-  EXPECT_TRUE(engine.commit(*other).committed());
+  Transaction tx = db.begin(TxOptions{.process = 2});
+  ASSERT_TRUE(tx.get("K").ok());
+  const auto w = tx.put("K", "v");  // deadlock-prone upgrade: abort
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.error().code(), TxErrorCode::kTimeout);
+  EXPECT_FALSE(tx.active());
+  EXPECT_TRUE(other.commit().ok());
 }
 
 TEST(TplEdgeTest, WriterExcludesReaderUntilCommit) {
   auto clock = std::make_shared<LogicalClock>(100);
-  TwoPlConfig config;
-  config.clock = clock;
-  config.lock_timeout = std::chrono::microseconds{100'000};
-  TwoPhaseLockingEngine engine(std::move(config));
+  Db db = open_db(Policy::two_phase_locking(), clock,
+                  std::chrono::microseconds{100'000});
 
-  auto writer = engine.begin(TxOptions{.process = 1});
-  ASSERT_TRUE(engine.write(*writer, "K", "new"));
+  Transaction writer = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(writer.put("K", "new").ok());
 
   std::atomic<bool> read_done{false};
   std::thread reader_thread([&] {
-    auto reader = engine.begin(TxOptions{.process = 2});
-    const ReadResult r = engine.read(*reader, "K");
-    EXPECT_TRUE(r.ok);
-    EXPECT_EQ(*r.value, "new");  // sees the committed value, not a mix
+    Transaction reader = db.begin(TxOptions{.process = 2});
+    const auto r = reader.get("K");
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(*r.value(), "new");  // sees the committed value, not a mix
     read_done.store(true);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds{5});
   EXPECT_FALSE(read_done.load());
-  ASSERT_TRUE(engine.commit(*writer).committed());
+  ASSERT_TRUE(writer.commit().ok());
   reader_thread.join();
   EXPECT_TRUE(read_done.load());
 }

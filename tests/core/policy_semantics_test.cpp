@@ -13,8 +13,14 @@
 namespace mvtl {
 namespace {
 
-MvtlEngineConfig config_with(std::shared_ptr<ClockSource> clock) {
-  return testutil::engine_config(std::move(clock), nullptr);
+Db open_db(Policy policy, std::shared_ptr<ClockSource> clock,
+           std::chrono::microseconds lock_timeout =
+               std::chrono::microseconds{10'000}) {
+  return Options()
+      .policy(std::move(policy))
+      .clock(std::move(clock))
+      .lock_timeout(lock_timeout)
+      .open();
 }
 
 // ---------------------------------------------------------------------------
@@ -22,54 +28,47 @@ MvtlEngineConfig config_with(std::shared_ptr<ClockSource> clock) {
 // then T1 (timestamp 1 — its clock lags) writes X and tries to commit.
 // ---------------------------------------------------------------------------
 
-template <typename RunT2, typename RunT1>
-bool serial_schedule_t1_commits(TransactionalStore& store, ManualClock& clock,
-                                RunT2&& run_t2, RunT1&& run_t1) {
-  clock.set(200);
-  if (!run_t2(store)) return false;
-  clock.set(100);  // the next process's clock is behind
-  return run_t1(store);
-}
-
-bool default_run_t2(TransactionalStore& store) {
+bool run_t2(Db& db) {
   TxOptions o;
   o.process = 2;
-  auto t2 = store.begin(o);
-  if (!store.read(*t2, "X").ok) return false;
-  return store.commit(*t2).committed();
+  Transaction t2 = db.begin(o);
+  if (!t2.get("X").ok()) return false;
+  return t2.commit().ok();
 }
 
-bool default_run_t1(TransactionalStore& store) {
+bool run_t1(Db& db) {
   TxOptions o;
   o.process = 1;
-  auto t1 = store.begin(o);
-  if (!store.write(*t1, "X", "v")) return false;
-  return store.commit(*t1).committed();
+  Transaction t1 = db.begin(o);
+  if (!t1.put("X", "v").ok()) return false;
+  return t1.commit().ok();
+}
+
+bool serial_schedule_t1_commits(Db& db, ManualClock& clock) {
+  clock.set(200);
+  if (!run_t2(db)) return false;
+  clock.set(100);  // the next process's clock is behind
+  return run_t1(db);
 }
 
 TEST(SerialAbortsTest, MvtlToSuffersSerialAborts) {
   auto clock = std::make_shared<ManualClock>(1);
-  MvtlEngine engine(make_to_policy(), config_with(clock));
-  EXPECT_FALSE(serial_schedule_t1_commits(engine, *clock, default_run_t2,
-                                          default_run_t1));
+  Db db = open_db(Policy::to(), clock);
+  EXPECT_FALSE(serial_schedule_t1_commits(db, *clock));
 }
 
 TEST(SerialAbortsTest, MvtoPlusSuffersSerialAborts) {
   auto clock = std::make_shared<ManualClock>(1);
-  MvtoConfig config;
-  config.clock = clock;
-  MvtoPlusEngine engine(std::move(config));
-  EXPECT_FALSE(serial_schedule_t1_commits(engine, *clock, default_run_t2,
-                                          default_run_t1));
+  Db db = open_db(Policy::mvto_plus(), clock);
+  EXPECT_FALSE(serial_schedule_t1_commits(db, *clock));
 }
 
 TEST(SerialAbortsTest, EpsClockAvoidsSerialAborts) {
   // Theorem 4: with clocks within ε, the ε-clock policy commits every
   // serial execution. Skew here is 100 ticks < ε = 150.
   auto clock = std::make_shared<ManualClock>(1);
-  MvtlEngine engine(make_eps_clock_policy(150), config_with(clock));
-  EXPECT_TRUE(serial_schedule_t1_commits(engine, *clock, default_run_t2,
-                                         default_run_t1));
+  Db db = open_db(Policy::eps_clock(150), clock);
+  EXPECT_TRUE(serial_schedule_t1_commits(db, *clock));
 }
 
 TEST(SerialAbortsTest, EpsClockSerialChainUnderSkewedClock) {
@@ -79,14 +78,14 @@ TEST(SerialAbortsTest, EpsClockSerialChainUnderSkewedClock) {
   std::vector<std::int64_t> offsets;
   for (int p = 0; p < 16; ++p) offsets.push_back(p % 2 == 0 ? 0 : -200);
   auto clock = std::make_shared<SkewedClock>(base, offsets);
-  MvtlEngine engine(make_eps_clock_policy(400), config_with(clock));
+  Db db = open_db(Policy::eps_clock(400), clock);
   for (int i = 0; i < 30; ++i) {
     TxOptions o;
     o.process = static_cast<ProcessId>(i % 16);
-    auto tx = engine.begin(o);
-    ASSERT_TRUE(engine.read(*tx, "K").ok) << "iteration " << i;
-    ASSERT_TRUE(engine.write(*tx, "K", std::to_string(i)));
-    ASSERT_TRUE(engine.commit(*tx).committed()) << "iteration " << i;
+    Transaction tx = db.begin(o);
+    ASSERT_TRUE(tx.get("K").ok()) << "iteration " << i;
+    ASSERT_TRUE(tx.put("K", std::to_string(i)).ok());
+    ASSERT_TRUE(tx.commit().ok()) << "iteration " << i;
   }
 }
 
@@ -96,22 +95,21 @@ TEST(SerialAbortsTest, MvtlToSerialChainUnderSkewedClockAborts) {
   std::vector<std::int64_t> offsets;
   for (int p = 0; p < 16; ++p) offsets.push_back(p % 2 == 0 ? 0 : -200);
   auto clock = std::make_shared<SkewedClock>(base, offsets);
-  MvtlEngine engine(make_to_policy(), config_with(clock));
+  Db db = open_db(Policy::to(), clock);
   int aborted = 0;
   for (int i = 0; i < 30; ++i) {
     TxOptions o;
     o.process = static_cast<ProcessId>(i % 16);
-    auto tx = engine.begin(o);
-    const ReadResult r = engine.read(*tx, "K");
-    if (!r.ok) {
+    Transaction tx = db.begin(o);
+    if (!tx.get("K").ok()) {
       ++aborted;
       continue;
     }
-    if (!engine.write(*tx, "K", std::to_string(i))) {
+    if (!tx.put("K", std::to_string(i)).ok()) {
       ++aborted;
       continue;
     }
-    if (!engine.commit(*tx).committed()) ++aborted;
+    if (!tx.commit().ok()) ++aborted;
   }
   EXPECT_GT(aborted, 0);
 }
@@ -122,64 +120,47 @@ TEST(SerialAbortsTest, MvtlToSerialChainUnderSkewedClockAborts) {
 // T1's only conflict is with T2, which aborted before T1's write.
 // ---------------------------------------------------------------------------
 
-template <typename MakeEngine>
-bool ghost_schedule_t1_commits(MakeEngine&& make_engine) {
+bool ghost_schedule_t1_commits(Policy policy) {
   auto clock = std::make_shared<ManualClock>(1);
-  auto engine = make_engine(clock);
+  Db db = open_db(std::move(policy), clock);
 
   clock->set(10);
   TxOptions o1;
   o1.process = 1;
-  auto t1 = engine->begin(o1);
+  Transaction t1 = db.begin(o1);
   clock->set(20);
   TxOptions o2;
   o2.process = 2;
-  auto t2 = engine->begin(o2);
+  Transaction t2 = db.begin(o2);
   clock->set(30);
   TxOptions o3;
   o3.process = 3;
-  auto t3 = engine->begin(o3);
+  Transaction t3 = db.begin(o3);
 
   // T3: R(X) C.
-  EXPECT_TRUE(engine->read(*t3, "X").ok);
-  EXPECT_TRUE(engine->commit(*t3).committed());
+  EXPECT_TRUE(t3.get("X").ok());
+  EXPECT_TRUE(t3.commit().ok());
   // T2: R(Y) W(X) — aborts (T3 read X past T2's timestamp).
-  EXPECT_TRUE(engine->read(*t2, "Y").ok);
-  EXPECT_TRUE(engine->write(*t2, "X", "x2"));
-  EXPECT_FALSE(engine->commit(*t2).committed());
+  EXPECT_TRUE(t2.get("Y").ok());
+  EXPECT_TRUE(t2.put("X", "x2").ok());
+  EXPECT_FALSE(t2.commit().ok());
   // T1: W(Y) C?
-  EXPECT_TRUE(engine->write(*t1, "Y", "y1"));
-  return engine->commit(*t1).committed();
+  EXPECT_TRUE(t1.put("Y", "y1").ok());
+  return t1.commit().ok();
 }
 
 TEST(GhostAbortsTest, MvtlToSuffersGhostAborts) {
-  const bool committed = ghost_schedule_t1_commits(
-      [](std::shared_ptr<ClockSource> clock) {
-        return std::make_unique<MvtlEngine>(make_to_policy(),
-                                            config_with(std::move(clock)));
-      });
-  EXPECT_FALSE(committed);
+  EXPECT_FALSE(ghost_schedule_t1_commits(Policy::to()));
 }
 
 TEST(GhostAbortsTest, MvtoPlusSuffersGhostAborts) {
-  const bool committed = ghost_schedule_t1_commits(
-      [](std::shared_ptr<ClockSource> clock) {
-        MvtoConfig config;
-        config.clock = std::move(clock);
-        return std::make_unique<MvtoPlusEngine>(std::move(config));
-      });
-  EXPECT_FALSE(committed);
+  EXPECT_FALSE(ghost_schedule_t1_commits(Policy::mvto_plus()));
 }
 
 TEST(GhostAbortsTest, GhostbusterAvoidsGhostAborts) {
   // Theorem 7: T2's abort garbage collects its read locks on Y, so T1's
   // write has no conflict left.
-  const bool committed = ghost_schedule_t1_commits(
-      [](std::shared_ptr<ClockSource> clock) {
-        return std::make_unique<MvtlEngine>(make_ghostbuster_policy(),
-                                            config_with(std::move(clock)));
-      });
-  EXPECT_TRUE(committed);
+  EXPECT_TRUE(ghost_schedule_t1_commits(Policy::ghostbuster()));
 }
 
 // ---------------------------------------------------------------------------
@@ -188,73 +169,59 @@ TEST(GhostAbortsTest, GhostbusterAvoidsGhostAborts) {
 // aborts under MVTO+/MVTL-TO.
 // ---------------------------------------------------------------------------
 
-template <typename MakeEngine>
-bool pref_workload_t2_commits(MakeEngine&& make_engine) {
+bool pref_workload_t2_commits(Policy policy) {
   auto clock = std::make_shared<ManualClock>(1);
-  auto engine = make_engine(clock);
+  Db db = open_db(std::move(policy), clock);
 
   clock->set(100);  // t1
   TxOptions o1;
   o1.process = 1;
-  auto t1 = engine->begin(o1);
-  EXPECT_TRUE(engine->write(*t1, "Y", "y1"));
-  EXPECT_TRUE(engine->commit(*t1).committed());
+  Transaction t1 = db.begin(o1);
+  EXPECT_TRUE(t1.put("Y", "y1").ok());
+  EXPECT_TRUE(t1.commit().ok());
 
   clock->set(200);  // t2
   TxOptions o2;
   o2.process = 2;
-  auto t2 = engine->begin(o2);
-  EXPECT_TRUE(engine->read(*t2, "X").ok);
+  Transaction t2 = db.begin(o2);
+  EXPECT_TRUE(t2.get("X").ok());
 
   clock->set(300);  // t3
   TxOptions o3;
   o3.process = 3;
-  auto t3 = engine->begin(o3);
-  EXPECT_TRUE(engine->read(*t3, "Y").ok);
-  EXPECT_TRUE(engine->commit(*t3).committed());
+  Transaction t3 = db.begin(o3);
+  EXPECT_TRUE(t3.get("Y").ok());
+  EXPECT_TRUE(t3.commit().ok());
 
-  EXPECT_TRUE(engine->write(*t2, "Y", "y2"));
-  return engine->commit(*t2).committed();
+  EXPECT_TRUE(t2.put("Y", "y2").ok());
+  return t2.commit().ok();
 }
 
 TEST(PreferentialTest, MvtlToAbortsTheWorkload) {
-  EXPECT_FALSE(pref_workload_t2_commits(
-      [](std::shared_ptr<ClockSource> clock) {
-        return std::make_unique<MvtlEngine>(make_to_policy(),
-                                            config_with(std::move(clock)));
-      }));
+  EXPECT_FALSE(pref_workload_t2_commits(Policy::to()));
 }
 
 TEST(PreferentialTest, MvtoPlusAbortsTheWorkload) {
-  EXPECT_FALSE(pref_workload_t2_commits(
-      [](std::shared_ptr<ClockSource> clock) {
-        MvtoConfig config;
-        config.clock = std::move(clock);
-        return std::make_unique<MvtoPlusEngine>(std::move(config));
-      }));
+  EXPECT_FALSE(pref_workload_t2_commits(Policy::mvto_plus()));
 }
 
 TEST(PreferentialTest, MvtlPrefCommitsTheWorkload) {
   // A(t) = {t−150}: for t2 = 200 the alternative (tick 50) is below
   // t1 = 100, so T2 slides before T1's version of Y and commits.
-  EXPECT_TRUE(pref_workload_t2_commits(
-      [](std::shared_ptr<ClockSource> clock) {
-        return std::make_unique<MvtlEngine>(make_pref_policy({-150}),
-                                            config_with(std::move(clock)));
-      }));
+  EXPECT_TRUE(pref_workload_t2_commits(Policy::pref({-150})));
 }
 
 TEST(PreferentialTest, PrefFallsBackOnlyWhenNeeded) {
   // Without contention, Pref commits at its preferential timestamp.
   auto clock = std::make_shared<ManualClock>(500);
-  MvtlEngine engine(make_pref_policy({-100}), config_with(clock));
+  Db db = open_db(Policy::pref({-100}), clock);
   TxOptions o;
   o.process = 1;
-  auto tx = engine.begin(o);
-  ASSERT_TRUE(engine.write(*tx, "Z", "z"));
-  const CommitResult r = engine.commit(*tx);
-  ASSERT_TRUE(r.committed());
-  EXPECT_EQ(r.commit_ts, Timestamp::make(500, 1));
+  Transaction tx = db.begin(o);
+  ASSERT_TRUE(tx.put("Z", "z").ok());
+  const Result<Timestamp> r = tx.commit();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Timestamp::make(500, 1));
 }
 
 // ---------------------------------------------------------------------------
@@ -263,15 +230,14 @@ TEST(PreferentialTest, PrefFallsBackOnlyWhenNeeded) {
 
 TEST(PriorityTest, CriticalWriterSurvivesNormalReader) {
   auto clock = std::make_shared<LogicalClock>(1'000);
-  MvtlEngineConfig config = config_with(clock);
-  config.lock_timeout = std::chrono::microseconds{200'000};
-  MvtlEngine engine(make_prio_policy(), config);
+  Db db = open_db(Policy::prio(), clock,
+                  std::chrono::microseconds{200'000});
 
   // A normal transaction reads X and holds its read locks...
   TxOptions normal;
   normal.process = 1;
-  auto tn = engine.begin(normal);
-  ASSERT_TRUE(engine.read(*tn, "X").ok);
+  Transaction tn = db.begin(normal);
+  ASSERT_TRUE(tn.get("X").ok());
 
   // ... while a critical transaction writes X concurrently. It must wait
   // for the normal transaction, not abort.
@@ -280,33 +246,32 @@ TEST(PriorityTest, CriticalWriterSurvivesNormalReader) {
     TxOptions critical;
     critical.process = 2;
     critical.critical = true;
-    auto tc = engine.begin(critical);
-    if (!engine.write(*tc, "X", "critical")) return;
-    critical_committed.store(engine.commit(*tc).committed());
+    Transaction tc = db.begin(critical);
+    if (!tc.put("X", "critical").ok()) return;
+    critical_committed.store(tc.commit().ok());
   });
 
   std::this_thread::sleep_for(std::chrono::milliseconds{10});
-  ASSERT_TRUE(engine.commit(*tn).committed());
+  ASSERT_TRUE(tn.commit().ok());
   critical_thread.join();
   EXPECT_TRUE(critical_committed.load());
 }
 
 TEST(PriorityTest, CriticalReadAndWriteEndToEnd) {
   auto clock = std::make_shared<LogicalClock>(1'000);
-  MvtlEngine engine(make_prio_policy(), config_with(clock));
-  testutil::seed_value(engine, "acct", "100");
+  Db db = open_db(Policy::prio(), clock);
+  testutil::seed_value(db, "acct", "100");
 
   TxOptions critical;
   critical.process = 3;
   critical.critical = true;
-  auto tc = engine.begin(critical);
-  const ReadResult r = engine.read(*tc, "acct");
-  ASSERT_TRUE(r.ok);
-  ASSERT_TRUE(engine.write(*tc, "acct", "150"));
-  ASSERT_TRUE(engine.commit(*tc).committed());
+  Transaction tc = db.begin(critical);
+  ASSERT_TRUE(tc.get("acct").ok());
+  ASSERT_TRUE(tc.put("acct", "150").ok());
+  ASSERT_TRUE(tc.commit().ok());
 
-  auto check = engine.begin();
-  EXPECT_EQ(*engine.read(*check, "acct").value, "150");
+  Transaction check = db.begin();
+  EXPECT_EQ(*check.get("acct").value(), "150");
 }
 
 // ---------------------------------------------------------------------------
@@ -316,59 +281,42 @@ TEST(PriorityTest, CriticalReadAndWriteEndToEnd) {
 TEST(ToEquivalenceTest, ReadBlocksLaterLowerWriteInBoth) {
   // T_high reads K, then T_low (smaller timestamp) writes K: both engines
   // abort T_low and commit T_high.
-  for (const bool use_mvtl : {true, false}) {
+  for (const Policy& policy : {Policy::to(), Policy::mvto_plus()}) {
     auto clock = std::make_shared<ManualClock>(1);
-    std::unique_ptr<TransactionalStore> engine;
-    if (use_mvtl) {
-      engine = std::make_unique<MvtlEngine>(make_to_policy(),
-                                            config_with(clock));
-    } else {
-      MvtoConfig config;
-      config.clock = clock;
-      engine = std::make_unique<MvtoPlusEngine>(std::move(config));
-    }
-    testutil::seed_value(*engine, "K", "base");
+    Db db = open_db(policy, clock);
+    testutil::seed_value(db, "K", "base");
 
     clock->set(50);
     TxOptions olow;
     olow.process = 1;
-    auto tlow = engine->begin(olow);
+    Transaction tlow = db.begin(olow);
     clock->set(90);
     TxOptions ohigh;
     ohigh.process = 2;
-    auto thigh = engine->begin(ohigh);
+    Transaction thigh = db.begin(ohigh);
 
-    EXPECT_TRUE(engine->read(*thigh, "K").ok);
-    EXPECT_TRUE(engine->commit(*thigh).committed());
-    EXPECT_TRUE(engine->write(*tlow, "K", "low"));
-    EXPECT_FALSE(engine->commit(*tlow).committed())
-        << (use_mvtl ? "MVTL-TO" : "MVTO+");
+    EXPECT_TRUE(thigh.get("K").ok());
+    EXPECT_TRUE(thigh.commit().ok());
+    EXPECT_TRUE(tlow.put("K", "low").ok());
+    EXPECT_FALSE(tlow.commit().ok()) << policy.name();
   }
 }
 
 TEST(ToEquivalenceTest, BlindWritesNeverConflictInBoth) {
   // Multiversion protocols commit concurrent blind writes (§8.4.2).
-  for (const bool use_mvtl : {true, false}) {
+  for (const Policy& policy : {Policy::to(), Policy::mvto_plus()}) {
     auto clock = std::make_shared<LogicalClock>(100);
-    std::unique_ptr<TransactionalStore> engine;
-    if (use_mvtl) {
-      engine = std::make_unique<MvtlEngine>(make_to_policy(),
-                                            config_with(clock));
-    } else {
-      MvtoConfig config;
-      config.clock = clock;
-      engine = std::make_unique<MvtoPlusEngine>(std::move(config));
-    }
+    Db db = open_db(policy, clock);
     TxOptions o1;
     o1.process = 1;
     TxOptions o2;
     o2.process = 2;
-    auto ta = engine->begin(o1);
-    auto tb = engine->begin(o2);
-    EXPECT_TRUE(engine->write(*ta, "K", "a"));
-    EXPECT_TRUE(engine->write(*tb, "K", "b"));
-    EXPECT_TRUE(engine->commit(*ta).committed());
-    EXPECT_TRUE(engine->commit(*tb).committed());
+    Transaction ta = db.begin(o1);
+    Transaction tb = db.begin(o2);
+    EXPECT_TRUE(ta.put("K", "a").ok());
+    EXPECT_TRUE(tb.put("K", "b").ok());
+    EXPECT_TRUE(ta.commit().ok());
+    EXPECT_TRUE(tb.commit().ok());
   }
 }
 
@@ -378,41 +326,41 @@ TEST(ToEquivalenceTest, BlindWritesNeverConflictInBoth) {
 
 TEST(PessimisticTest, WriterExcludesWriterUntilCommit) {
   auto clock = std::make_shared<LogicalClock>(100);
-  MvtlEngineConfig config = config_with(clock);
-  config.lock_timeout = std::chrono::microseconds{200'000};
-  MvtlEngine engine(make_pessimistic_policy(), config);
+  Db db = open_db(Policy::pessimistic(), clock,
+                  std::chrono::microseconds{200'000});
 
-  auto t1 = engine.begin(TxOptions{.process = 1});
-  ASSERT_TRUE(engine.write(*t1, "K", "first"));
+  Transaction t1 = db.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(t1.put("K", "first").ok());
 
   std::atomic<bool> second_done{false};
   std::atomic<bool> second_committed{false};
   std::thread second([&] {
-    auto t2 = engine.begin(TxOptions{.process = 2});
-    const bool wrote = engine.write(*t2, "K", "second");
-    second_committed.store(wrote && engine.commit(*t2).committed());
+    Transaction t2 = db.begin(TxOptions{.process = 2});
+    const bool wrote = t2.put("K", "second").ok();
+    second_committed.store(wrote && t2.commit().ok());
     second_done.store(true);
   });
 
   std::this_thread::sleep_for(std::chrono::milliseconds{10});
   EXPECT_FALSE(second_done.load());  // writer blocked behind writer
-  ASSERT_TRUE(engine.commit(*t1).committed());
+  ASSERT_TRUE(t1.commit().ok());
   second.join();
   EXPECT_TRUE(second_committed.load());
 
-  auto check = engine.begin(TxOptions{.process = 3});
-  EXPECT_EQ(*engine.read(*check, "K").value, "second");
+  Transaction check = db.begin(TxOptions{.process = 3});
+  EXPECT_EQ(*check.get("K").value(), "second");
 }
 
 TEST(PessimisticTest, SerialMixNeverAborts) {
   auto clock = std::make_shared<LogicalClock>(100);
-  MvtlEngine engine(make_pessimistic_policy(), config_with(clock));
+  Db db = open_db(Policy::pessimistic(), clock);
   for (int i = 0; i < 20; ++i) {
-    auto tx = engine.begin(TxOptions{.process = static_cast<ProcessId>(i % 5)});
-    ASSERT_TRUE(engine.read(*tx, "A").ok);
-    ASSERT_TRUE(engine.write(*tx, "B", std::to_string(i)));
-    ASSERT_TRUE(engine.read(*tx, "B").ok);
-    ASSERT_TRUE(engine.commit(*tx).committed());
+    Transaction tx =
+        db.begin(TxOptions{.process = static_cast<ProcessId>(i % 5)});
+    ASSERT_TRUE(tx.get("A").ok());
+    ASSERT_TRUE(tx.put("B", std::to_string(i)).ok());
+    ASSERT_TRUE(tx.get("B").ok());
+    ASSERT_TRUE(tx.commit().ok());
   }
 }
 

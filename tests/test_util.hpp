@@ -1,100 +1,70 @@
-// Shared helpers for the test suite: engine factories covering every
-// algorithm in the repository, all wired to a shared logical clock and an
-// optional history recorder.
+// Shared helpers for the test suite: Policy specs covering every
+// algorithm in the repository, and Db factories wiring them to a shared
+// logical clock and an optional history recorder.
 #pragma once
 
-#include <functional>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "baselines/mvto_plus.hpp"
-#include "baselines/two_phase_locking.hpp"
-#include "core/mvtl_engine.hpp"
-#include "core/policy.hpp"
+#include "api/db.hpp"
 #include "sync/clock.hpp"
 #include "verify/history.hpp"
 
 namespace mvtl::testutil {
 
+/// One engine under test, identified by its facade Policy.
 struct EngineSpec {
   std::string name;
-  std::function<std::unique_ptr<TransactionalStore>(
-      std::shared_ptr<ClockSource>, HistoryRecorder*)>
-      make;
+  Policy policy;
 };
 
-inline MvtlEngineConfig engine_config(std::shared_ptr<ClockSource> clock,
-                                      HistoryRecorder* recorder) {
-  MvtlEngineConfig config;
-  config.clock = std::move(clock);
-  config.recorder = recorder;
-  config.lock_timeout = std::chrono::microseconds{10'000};
-  return config;
+/// Builds the engine for `spec` behind the Db facade, with the short lock
+/// timeout the concurrent suites rely on.
+inline Db make_db(const EngineSpec& spec, std::shared_ptr<ClockSource> clock,
+                  HistoryRecorder* recorder = nullptr) {
+  return Options()
+      .policy(spec.policy)
+      .clock(std::move(clock))
+      .recorder(recorder)
+      .lock_timeout(std::chrono::microseconds{10'000})
+      .open();
 }
 
 /// Every engine under test. MVTIL's Δ and ε-clock's ε are in logical
 /// ticks; the logical clock advances by one per begin(), so a window of a
 /// few hundred ticks spans plenty of concurrent transactions.
 inline std::vector<EngineSpec> all_engines() {
-  std::vector<EngineSpec> specs;
-  auto add_policy = [&](const std::string& name, auto factory) {
-    specs.push_back(EngineSpec{
-        name, [factory](std::shared_ptr<ClockSource> clock,
-                        HistoryRecorder* recorder)
-                  -> std::unique_ptr<TransactionalStore> {
-          return std::make_unique<MvtlEngine>(
-              factory(), engine_config(std::move(clock), recorder));
-        }});
+  return {
+      {"MVTL-TO", Policy::to()},
+      {"MVTL-Ghostbuster", Policy::ghostbuster()},
+      {"MVTL-Pessimistic", Policy::pessimistic()},
+      {"MVTL-eps-clock", Policy::eps_clock(64)},
+      {"MVTL-Pref", Policy::pref({-16, -32, -64})},
+      {"MVTL-Prio", Policy::prio()},
+      // MVTIL always garbage collects its own locks at completion (freeze
+      // the read range, release the rest); the paper's fig-6 "GC" toggle
+      // is the separate metadata-purging service, exercised by the
+      // fig6/fig7 benches.
+      {"MVTIL-early", Policy::mvtil(512, Early::kYes, true)},
+      {"MVTIL-late", Policy::mvtil(512, Early::kNo, true)},
+      {"MVTO+", Policy::mvto_plus()},
+      {"2PL", Policy::two_phase_locking()},
   };
-  add_policy("MVTL-TO", [] { return make_to_policy(); });
-  add_policy("MVTL-Ghostbuster", [] { return make_ghostbuster_policy(); });
-  add_policy("MVTL-Pessimistic", [] { return make_pessimistic_policy(); });
-  add_policy("MVTL-eps-clock", [] { return make_eps_clock_policy(64); });
-  add_policy("MVTL-Pref",
-             [] { return make_pref_policy({-16, -32, -64}); });
-  add_policy("MVTL-Prio", [] { return make_prio_policy(); });
-  // MVTIL always garbage collects its own locks at completion (freeze the
-  // read range, release the rest); the paper's fig-6 "GC" toggle is the
-  // separate metadata-purging service, exercised by the fig6/fig7 benches.
-  add_policy("MVTIL-early",
-             [] { return make_mvtil_policy(512, /*early=*/true, true); });
-  add_policy("MVTIL-late",
-             [] { return make_mvtil_policy(512, /*early=*/false, true); });
-
-  specs.push_back(EngineSpec{
-      "MVTO+",
-      [](std::shared_ptr<ClockSource> clock, HistoryRecorder* recorder)
-          -> std::unique_ptr<TransactionalStore> {
-        MvtoConfig config;
-        config.clock = std::move(clock);
-        config.recorder = recorder;
-        config.pending_wait_timeout = std::chrono::microseconds{10'000};
-        return std::make_unique<MvtoPlusEngine>(std::move(config));
-      }});
-  specs.push_back(EngineSpec{
-      "2PL",
-      [](std::shared_ptr<ClockSource> clock, HistoryRecorder* recorder)
-          -> std::unique_ptr<TransactionalStore> {
-        TwoPlConfig config;
-        config.clock = std::move(clock);
-        config.recorder = recorder;
-        config.lock_timeout = std::chrono::microseconds{10'000};
-        return std::make_unique<TwoPhaseLockingEngine>(std::move(config));
-      }});
-  return specs;
 }
 
 /// Convenience: commit a single write so a key has a committed version.
-inline Timestamp seed_value(TransactionalStore& store, const Key& key,
-                            const Value& value, ProcessId process = 100) {
+inline Timestamp seed_value(Db& db, const Key& key, const Value& value,
+                            ProcessId process = 100) {
   TxOptions options;
   options.process = process;
-  auto tx = store.begin(options);
-  EXPECT_TRUE(store.write(*tx, key, value));
-  const CommitResult r = store.commit(*tx);
-  EXPECT_TRUE(r.committed());
-  return r.commit_ts;
+  Transaction tx = db.begin(options);
+  EXPECT_TRUE(tx.put(key, value).ok());
+  const Result<Timestamp> r = tx.commit();
+  EXPECT_TRUE(r.ok());
+  return r.ok() ? r.value() : Timestamp::min();
 }
 
 }  // namespace mvtl::testutil
