@@ -3,11 +3,11 @@
 // throughput and commit rate in the paper's format (§8.3).
 //
 // Scale note: the paper measures 20 s windows on real test beds with up
-// to 600 client machines/VMs; we run hundreds-of-milliseconds windows
-// against in-process centralized engines so the whole suite finishes in
-// minutes. (The distributed test beds of Figures 2 and 5 return when
-// src/dist/ lands — see ROADMAP.md; the client will speak this same
-// facade.) Absolute tx/s are not comparable — the *relative* shape (who
+// to 600 client machines/VMs; we run hundreds-of-milliseconds windows —
+// against in-process centralized engines for the local bed, and against
+// a simulated cluster of weak servers (src/dist/ over net/simnet) for
+// the cloud beds of Figures 2 and 5 — so the whole suite finishes in
+// minutes. Absolute tx/s are not comparable — the *relative* shape (who
 // wins, where the crossovers are) is what these benches reproduce.
 #pragma once
 
@@ -53,14 +53,33 @@ inline Policy protocol_policy(Protocol p, std::uint64_t mvtil_delta_ticks) {
   return Policy::mvtil(mvtil_delta_ticks);
 }
 
-/// ≈ the paper's big-LAN test bed, compressed to one process: generous
-/// parallelism, a lock timeout tuned for throughput.
+/// Which machines run the store. local() is the paper's big-LAN bed
+/// compressed to one process (centralized engines, generous
+/// parallelism); cloud(n) is the shared-VM bed — n weak servers (small
+/// thread pool, per-request CPU cost ≈ a t2.micro vCPU) behind the
+/// jittery simulated cloud network, driven through the distributed
+/// client.
 struct TestBed {
   std::string name;
   std::chrono::microseconds lock_timeout;
+  std::size_t servers = 0;  // 0 ⇒ centralized in-process bed
+  std::size_t server_threads = 0;
+  std::chrono::microseconds server_task_cost{0};
+  NetProfile net = NetProfile::local();
+
+  bool distributed() const { return servers > 0; }
 
   static TestBed local() {
     return TestBed{"local", std::chrono::microseconds{10'000}};
+  }
+
+  static TestBed cloud(std::size_t n) {
+    TestBed bed{"cloud", std::chrono::microseconds{10'000}};
+    bed.servers = n;
+    bed.server_threads = 4;
+    bed.server_task_cost = std::chrono::microseconds{200};  // ≈ 1 weak vCPU
+    bed.net = NetProfile::cloud();
+    return bed;
   }
 };
 
@@ -76,7 +95,42 @@ struct RunSpec {
   std::uint64_t seed = 1;
 };
 
+/// The distributed run of each protocol: the MVTIL variants natively,
+/// the baselines through the MVTL unification (§5.4: MVTL-TO ≡ MVTO+,
+/// MVTL-Pessimistic ≡ 2PL), all over the same commitment machinery.
+inline DistProtocol dist_protocol_for(Protocol p) {
+  switch (p) {
+    case Protocol::kMvtoPlus:
+      return DistProtocol::kTo;
+    case Protocol::kTwoPl:
+      return DistProtocol::kPessimistic;
+    case Protocol::kMvtilEarly:
+      return DistProtocol::kMvtilEarly;
+    case Protocol::kMvtilLate:
+      return DistProtocol::kMvtilLate;
+  }
+  return DistProtocol::kMvtilEarly;
+}
+
 inline Db make_db(Protocol protocol, const RunSpec& spec) {
+  if (spec.bed.distributed()) {
+    ClusterConfig cluster;
+    cluster.servers = spec.bed.servers;
+    cluster.server_threads = spec.bed.server_threads;
+    cluster.server_task_cost = spec.bed.server_task_cost;
+    cluster.net = spec.bed.net;
+    cluster.mvtil_delta_ticks = spec.mvtil_delta_ticks;
+    cluster.lock_timeout = spec.bed.lock_timeout;
+    cluster.key_space = spec.key_space;
+    cluster.seed = spec.seed;
+    // Deep request queues on the weak cloud servers can keep a perfectly
+    // live transaction away from a shard for a long time; suspicion is
+    // for crashes, not congestion, so keep it far above queueing delays.
+    cluster.suspect_timeout = std::chrono::seconds{5};
+    return Options()
+        .policy(Policy::distributed(dist_protocol_for(protocol), cluster))
+        .open();
+  }
   return Options()
       .policy(protocol_policy(protocol, spec.mvtil_delta_ticks))
       .lock_timeout(spec.bed.lock_timeout)

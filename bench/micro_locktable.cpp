@@ -70,7 +70,8 @@ void BM_ProbeAgainstFrozenHistory(benchmark::State& state) {
     const TxId tx = 1'000 + i;
     const std::uint64_t t = 10 + i * 20;
     std::lock_guard guard(ks.mu);
-    ks.locks.grant(tx, LockMode::kWrite, IntervalSet{Interval::point(Timestamp{t})});
+    ks.locks.grant(tx, LockMode::kWrite,
+                   IntervalSet{Interval::point(Timestamp{t})});
     ks.locks.freeze(tx, LockMode::kWrite,
                     IntervalSet{Interval::point(Timestamp{t})});
   }

@@ -1,15 +1,17 @@
 // Distributed transactional store: the full client/server MVTIL system
 // (§7/§H) on a simulated network, including coordinator-failure handling.
 //
-// Spins up a cluster of MVTIL servers, runs a mixed workload from several
-// client threads, crashes some coordinators mid-transaction, and shows
-// the servers' suspicion machinery (commitment objects) cleaning up —
-// plus the timestamp service keeping metadata bounded.
+// Builds a cluster of MVTIL servers behind the ordinary Db facade, runs a
+// mixed workload from several client threads, crashes some coordinators
+// mid-transaction, and shows the servers' suspicion machinery (commitment
+// objects) cleaning up — plus the timestamp service keeping metadata
+// bounded.
 #include <atomic>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "api/db.hpp"
 #include "dist/cluster.hpp"
 #include "txbench/driver.hpp"
 
@@ -20,9 +22,15 @@ int main() {
   config.servers = 4;
   config.server_threads = 4;
   config.net = NetProfile::local();
-  config.mvtil_delta_ticks = 5'000;                       // Δ = 5 ms
-  config.suspect_timeout = std::chrono::milliseconds{50}; // server sweeper
-  Cluster cluster(DistProtocol::kMvtilEarly, config);
+  config.mvtil_delta_ticks = 5'000;                        // Δ = 5 ms
+  config.suspect_timeout = std::chrono::milliseconds{50};  // server sweeper
+  config.key_space = 2'000;  // range sharding splits this domain
+
+  // The whole cluster is just another engine behind the facade.
+  Db db = Options()
+              .policy(Policy::distributed(DistProtocol::kMvtilEarly, config))
+              .open();
+  Cluster& cluster = static_cast<ClusterStore&>(db.spi()).cluster();
   cluster.start_ts_service(std::chrono::milliseconds{500},
                            /*keep_ticks=*/250'000);  // K = 250 ms
 
@@ -52,7 +60,8 @@ int main() {
           auto tx = cluster.client().begin(TxOptions{.process = process});
           for (std::size_t k = 0; k < 3 && k < spec.size(); ++k) {
             if (spec[k].kind == Op::Kind::kWrite) {
-              if (!cluster.client().write(*tx, spec[k].key, spec[k].value)) break;
+              if (!cluster.client().write(*tx, spec[k].key, spec[k].value))
+                break;
             } else if (!cluster.client().read(*tx, spec[k].key).ok) {
               break;
             }
@@ -63,8 +72,7 @@ int main() {
             continue;
           }
         }
-        const CommitResult r =
-            execute_tx(cluster.client(), spec, process);
+        const CommitResult r = execute_tx(cluster.client(), spec, process);
         (r.committed() ? committed : aborted).fetch_add(1);
       }
     });
@@ -76,14 +84,19 @@ int main() {
   const StoreStats stats = cluster.stats();
   std::printf("workload: %d committed, %d aborted, %d crashed coordinators\n",
               committed.load(), aborted.load(), crashed.load());
-  std::printf("server state after GC: %zu keys, %zu lock records, %zu "
-              "versions\n",
-              stats.keys, stats.lock_entries, stats.versions);
+  std::printf(
+      "server state after GC: %zu keys, %zu lock records, %zu "
+      "versions\n",
+      stats.keys, stats.lock_entries, stats.versions);
 
-  // The store still works after all those crashes.
-  auto tx = cluster.client().begin(TxOptions{.process = 60});
-  bool ok = cluster.client().write(*tx, "final-check", "ok");
-  ok = ok && cluster.client().commit(*tx).committed();
-  std::printf("post-crash transaction: %s\n", ok ? "committed" : "failed");
-  return ok ? 0 : 1;
+  // The store still works after all those crashes — through the facade's
+  // retry combinator, like any other Db.
+  const auto final_check = db.transact(
+      [](Transaction& tx) -> Result<void> {
+        return tx.put("final-check", "ok");
+      },
+      TxOptions{.process = 60});
+  std::printf("post-crash transaction: %s\n",
+              final_check.ok() ? "committed" : "failed");
+  return final_check.ok() ? 0 : 1;
 }

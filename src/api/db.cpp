@@ -33,6 +33,8 @@ std::string Policy::name() const {
       return "MVTO+";
     case Kind::kTwoPhaseLocking:
       return "2PL";
+    case Kind::kDistributed:
+      return dist_store_name(dist_protocol_, cluster_.servers);
   }
   return "unknown";
 }
@@ -59,6 +61,7 @@ std::shared_ptr<MvtlPolicy> make_mvtl_policy(const Policy& policy) {
                                policy.gc_on_commit());
     case Policy::Kind::kMvtoPlus:
     case Policy::Kind::kTwoPhaseLocking:
+    case Policy::Kind::kDistributed:
       break;
   }
   return nullptr;
@@ -87,6 +90,16 @@ Db Options::open() const {
       config.shards = shards_;
       config.recorder = recorder_;
       engine = std::make_unique<TwoPhaseLockingEngine>(std::move(config));
+      break;
+    }
+    case Policy::Kind::kDistributed: {
+      // A whole cluster as the Db's engine. Facade-level knobs fill any
+      // the ClusterConfig left unset.
+      ClusterConfig config = policy_.cluster_config();
+      if (!config.clock) config.clock = clock;
+      if (config.recorder == nullptr) config.recorder = recorder_;
+      engine = std::make_unique<ClusterStore>(policy_.dist_protocol(),
+                                              std::move(config));
       break;
     }
     default: {

@@ -35,6 +35,7 @@
 #include "api/transaction.hpp"
 #include "api/tx_error.hpp"
 #include "core/transactional_store.hpp"
+#include "dist/cluster.hpp"
 #include "sync/clock.hpp"
 #include "verify/history.hpp"
 
@@ -60,6 +61,7 @@ class Policy {
     kMvtil,
     kMvtoPlus,
     kTwoPhaseLocking,
+    kDistributed,
   };
 
   /// MVTL-TO (§5.4): fixed clock timestamp, MVTO+-equivalent behaviour.
@@ -106,6 +108,17 @@ class Policy {
   /// Strict 2PL baseline.
   static Policy two_phase_locking() { return Policy(Kind::kTwoPhaseLocking); }
 
+  /// The distributed system of §7/§8: a whole MVTIL cluster — sharded
+  /// servers on a simulated network, Paxos-backed commitment and
+  /// configuration — behind the same facade. Options::open() builds the
+  /// Cluster and the Db speaks to it through the coordinator client.
+  static Policy distributed(DistProtocol protocol, ClusterConfig cluster) {
+    Policy p(Kind::kDistributed);
+    p.dist_protocol_ = protocol;
+    p.cluster_ = std::move(cluster);
+    return p;
+  }
+
   Kind kind() const { return kind_; }
   std::string name() const;
 
@@ -116,6 +129,8 @@ class Policy {
   const std::vector<std::int64_t>& pref_offsets() const {
     return pref_offsets_;
   }
+  DistProtocol dist_protocol() const { return dist_protocol_; }
+  const ClusterConfig& cluster_config() const { return cluster_; }
 
  private:
   explicit Policy(Kind kind) : kind_(kind) {}
@@ -126,6 +141,8 @@ class Policy {
   Early early_ = Early::kYes;
   bool gc_on_commit_ = true;
   std::vector<std::int64_t> pref_offsets_;
+  DistProtocol dist_protocol_ = DistProtocol::kMvtilEarly;
+  ClusterConfig cluster_;
 };
 
 /// Bounds for Db::transact's restart loop: at most `max_attempts` runs of

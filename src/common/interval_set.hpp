@@ -36,8 +36,9 @@ class IntervalSet {
   bool contains(Timestamp t) const;
   bool contains(const Interval& iv) const;
 
-  Timestamp min() const;  ///< Smallest covered timestamp; set must be non-empty.
-  Timestamp max() const;  ///< Largest covered timestamp; set must be non-empty.
+  /// Smallest / largest covered timestamp; the set must be non-empty.
+  Timestamp min() const;
+  Timestamp max() const;
 
   /// Adds an interval, coalescing with neighbours. No-op for empty input.
   void insert(Interval iv);

@@ -58,11 +58,11 @@ struct StoreStats {
 enum class AbortReason {
   kNone,
   kNoCommonTimestamp,   ///< Algorithm 1 line 14: T = ∅.
-  kLockTimeout,         ///< waited too long on an unfrozen lock (deadlock relief)
+  kLockTimeout,         ///< waited too long on an unfrozen lock (§4.3)
   kValidationConflict,  ///< MVTO+ read-timestamp rule / 2PL conflict
   kVersionPurged,       ///< needed a version the GC already purged
   kUserAbort,
-  kCoordinatorSuspected,  ///< distributed: commitment decided abort after timeout
+  kCoordinatorSuspected,  ///< distributed: suspicion decided abort (§7)
   kDeadlock,              ///< wait-for-graph cycle; this tx was the victim
 };
 

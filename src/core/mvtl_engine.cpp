@@ -20,7 +20,12 @@ MvtlEngine::MvtlEngine(std::shared_ptr<MvtlPolicy> policy,
 std::string MvtlEngine::name() const { return policy_->name(); }
 
 TransactionalStore::TxPtr MvtlEngine::begin(const TxOptions& options) {
-  const TxId id = next_tx_id_.fetch_add(1, std::memory_order_relaxed);
+  return begin_with_id(next_tx_id_.fetch_add(1, std::memory_order_relaxed),
+                       options);
+}
+
+TransactionalStore::TxPtr MvtlEngine::begin_with_id(TxId id,
+                                                    const TxOptions& options) {
   auto tx = std::make_unique<MvtlTx>(id, options);
   policy_->on_begin(ctx_, *tx);
   return tx;
@@ -101,24 +106,35 @@ IntervalSet MvtlEngine::commit_candidates(const MvtlTx& tx) const {
   return candidates;
 }
 
-CommitResult MvtlEngine::commit(Tx& tx_base) {
+MvtlEngine::Prepared MvtlEngine::prepare(Tx& tx_base) {
   auto& tx = static_cast<MvtlTx&>(tx_base);
-  CommitResult result;
-  if (!tx.is_active()) return result;
+  Prepared out;
+  if (!tx.is_active()) {
+    out.failure = tx.abort_reason();
+    return out;
+  }
 
   if (!policy_->commit_locks(ctx_, tx)) {
     do_abort(tx, AbortReason::kNoCommonTimestamp);
-    return result;
+    out.failure = AbortReason::kNoCommonTimestamp;
+    return out;
   }
 
-  const IntervalSet candidates = commit_candidates(tx);
-  if (candidates.is_empty()) {
+  out.candidates = commit_candidates(tx);
+  if (out.candidates.is_empty()) {
     do_abort(tx, AbortReason::kNoCommonTimestamp);
-    return result;
+    out.failure = AbortReason::kNoCommonTimestamp;
+    return out;
   }
+  out.ok = true;
+  return out;
+}
 
-  const Timestamp c = policy_->commit_ts(tx, candidates);
-  assert(candidates.contains(c));
+CommitResult MvtlEngine::finalize_commit(Tx& tx_base, Timestamp c) {
+  auto& tx = static_cast<MvtlTx&>(tx_base);
+  CommitResult result;
+  if (!tx.is_active()) return result;
+  assert(commit_candidates(tx).contains(c));
   tx.set_commit_ts(c);
 
   // Freeze the commit point and expose the written values (lines 17–19;
@@ -142,10 +158,24 @@ CommitResult MvtlEngine::commit(Tx& tx_base) {
   return result;
 }
 
+CommitResult MvtlEngine::commit(Tx& tx_base) {
+  auto& tx = static_cast<MvtlTx&>(tx_base);
+  const Prepared prepared = prepare(tx_base);
+  if (!prepared.ok) return {};
+
+  const Timestamp c = policy_->commit_ts(tx, prepared.candidates);
+  assert(prepared.candidates.contains(c));
+  return finalize_commit(tx_base, c);
+}
+
 void MvtlEngine::abort(Tx& tx_base) {
+  abort_with(tx_base, AbortReason::kUserAbort);
+}
+
+void MvtlEngine::abort_with(Tx& tx_base, AbortReason reason) {
   auto& tx = static_cast<MvtlTx&>(tx_base);
   if (!tx.is_active()) return;
-  do_abort(tx, AbortReason::kUserAbort);
+  do_abort(tx, reason);
 }
 
 void MvtlEngine::do_abort(MvtlTx& tx, AbortReason reason) {

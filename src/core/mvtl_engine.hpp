@@ -37,6 +37,15 @@ struct MvtlEngineConfig {
 
 class MvtlEngine final : public TransactionalStore {
  public:
+  /// Outcome of the local half of the distributed commit (§7): whether a
+  /// viable serialization point remains, and if so which timestamps this
+  /// engine has locked appropriately for the transaction.
+  struct Prepared {
+    bool ok = false;
+    AbortReason failure = AbortReason::kNone;
+    IntervalSet candidates;
+  };
+
   MvtlEngine(std::shared_ptr<MvtlPolicy> policy, MvtlEngineConfig config);
 
   TxPtr begin(const TxOptions& options = {}) override;
@@ -45,6 +54,29 @@ class MvtlEngine final : public TransactionalStore {
   CommitResult commit(Tx& tx) override;
   void abort(Tx& tx) override;
   std::string name() const override;
+
+  /// begin() with an externally assigned transaction id. The distributed
+  /// layer injects the cluster-wide transaction id so a sub-transaction's
+  /// versions, locks, and history events all carry the global identity.
+  /// Callers own the id space; do not mix with plain begin() on one engine.
+  TxPtr begin_with_id(TxId id, const TxOptions& options);
+
+  /// Runs commit-locks and computes the commit intersection T, leaving the
+  /// transaction active ("prepared"): its locks pin every returned
+  /// candidate until finalize_commit / abort. On failure the transaction
+  /// is aborted, as in commit(). Local commit() ≡ prepare + policy
+  /// commit-ts choice + finalize_commit.
+  Prepared prepare(Tx& tx);
+
+  /// Installs the transaction's writes at `c` and commits. `c` must be a
+  /// candidate returned by prepare() — in the distributed protocol the
+  /// coordinator picks it from the intersection of every participant's
+  /// candidate set, so it is one of ours by construction.
+  CommitResult finalize_commit(Tx& tx, Timestamp c);
+
+  /// abort() with an explicit reason (e.g. kCoordinatorSuspected when the
+  /// suspicion sweeper cleans up after a crashed coordinator).
+  void abort_with(Tx& tx, AbortReason reason);
 
   /// Background/deferred garbage collection for a finished transaction
   /// whose policy skipped commit-time GC (Algorithm 1: "garbage collection

@@ -26,13 +26,19 @@ class MvtlTx final : public TransactionalStore::Tx {
   enum class State { kActive, kCommitted, kAborted };
 
   MvtlTx(TxId id, const TxOptions& options)
-      : id_(id), process_(options.process), critical_(options.critical) {}
+      : id_(id),
+        process_(options.process),
+        critical_(options.critical),
+        begin_tick_(options.begin_tick) {}
 
   TxId id() const override { return id_; }
   bool is_active() const override { return state_ == State::kActive; }
 
   ProcessId process() const { return process_; }
   bool critical() const { return critical_; }
+
+  /// Coordinator-pinned anchor tick (0 ⇒ none; draw from the clock).
+  std::uint64_t begin_tick() const { return begin_tick_; }
 
   State state() const { return state_; }
   void set_state(State s) { state_ = s; }
@@ -83,6 +89,7 @@ class MvtlTx final : public TransactionalStore::Tx {
   TxId id_;
   ProcessId process_;
   bool critical_;
+  std::uint64_t begin_tick_;
   State state_ = State::kActive;
   AbortReason abort_reason_ = AbortReason::kNone;
   Timestamp commit_ts_;

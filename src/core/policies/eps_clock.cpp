@@ -23,7 +23,7 @@ class EpsClockPolicy : public MvtlPolicy {
   std::string name() const override { return "MVTL-eps-clock"; }
 
   void on_begin(PolicyContext& ctx, MvtlTx& tx) override {
-    const std::uint64_t now = ctx.clock().now(tx.process());
+    const std::uint64_t now = anchor_tick(ctx, tx);
     const std::uint64_t lo_tick = now > epsilon_ ? now - epsilon_ : 1;
     const Timestamp lo = Timestamp::make(lo_tick, 0);
     const Timestamp hi =

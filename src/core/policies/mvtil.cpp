@@ -26,7 +26,7 @@ class MvtilPolicy : public MvtlPolicy {
   }
 
   void on_begin(PolicyContext& ctx, MvtlTx& tx) override {
-    const std::uint64_t now = ctx.clock().now(tx.process());
+    const std::uint64_t now = anchor_tick(ctx, tx);
     tx.poss = IntervalSet{
         Interval{Timestamp::make(now, 0),
                  Timestamp::make(now + delta_, Timestamp::kProcessMask)}};

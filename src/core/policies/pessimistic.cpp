@@ -95,7 +95,7 @@ class PrioPolicy : public MvtlPolicy {
 
   void on_begin(PolicyContext& ctx, MvtlTx& tx) override {
     if (!tx.critical()) {
-      tx.point_ts = ctx.clock().timestamp(tx.process());
+      tx.point_ts = Timestamp::make(anchor_tick(ctx, tx), tx.process());
     }
   }
 

@@ -23,7 +23,8 @@ class PrefPolicy : public MvtlPolicy {
   std::string name() const override { return "MVTL-Pref"; }
 
   void on_begin(PolicyContext& ctx, MvtlTx& tx) override {
-    tx.point_ts = ctx.clock().timestamp(tx.process());  // preferential
+    tx.point_ts =
+        Timestamp::make(anchor_tick(ctx, tx), tx.process());  // preferential
     tx.poss = IntervalSet{Interval::point(tx.point_ts)};
     for (const std::int64_t off : offsets_) {
       if (off == 0) continue;

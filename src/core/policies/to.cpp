@@ -42,7 +42,7 @@ class TimestampOrderingPolicy : public MvtlPolicy {
   }
 
   void on_begin(PolicyContext& ctx, MvtlTx& tx) override {
-    tx.point_ts = ctx.clock().timestamp(tx.process());
+    tx.point_ts = Timestamp::make(anchor_tick(ctx, tx), tx.process());
   }
 
   bool write_locks(PolicyContext&, MvtlTx&, const Key&) override {

@@ -10,7 +10,8 @@ lock_ops::ReadAcquire PolicyContext::read_lock_upto(MvtlTx& tx,
   opts.wait = wait;
   opts.timeout = lock_timeout_;
   opts.wait_graph = wait_graph_;
-  lock_ops::ReadAcquire result = lock_ops::acquire_read_upto(ks, tx.id(), m, opts);
+  lock_ops::ReadAcquire result =
+      lock_ops::acquire_read_upto(ks, tx.id(), m, opts);
   if (result.outcome == lock_ops::Outcome::kAcquired ||
       result.outcome == lock_ops::Outcome::kPartial) {
     if (result.upper > result.tr) {

@@ -80,6 +80,14 @@ class PolicyContext {
   WaitForGraph* wait_graph_;
 };
 
+/// The clock tick a policy anchors its interval/timestamp at: the
+/// coordinator-pinned begin_tick when present (distributed sub-transactions
+/// must all anchor the same I, §8.1), else a fresh reading of the engine
+/// clock.
+inline std::uint64_t anchor_tick(PolicyContext& ctx, const MvtlTx& tx) {
+  return tx.begin_tick() != 0 ? tx.begin_tick() : ctx.clock().now(tx.process());
+}
+
 class MvtlPolicy {
  public:
   virtual ~MvtlPolicy() = default;

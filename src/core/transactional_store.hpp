@@ -20,6 +20,12 @@ struct TxOptions {
   ProcessId process = 0;
   /// MVTL-Prio: critical transactions are never aborted by normal ones.
   bool critical = false;
+  /// Clock tick the transaction's interval/timestamp is anchored at; 0 means
+  /// the policy draws one from the engine clock at begin(). The distributed
+  /// client pins the tick it chose at global begin so every server's
+  /// sub-transaction anchors the *same* interval I = [t, t+Δ] (§8.1: the
+  /// client associates one interval with the transaction and sends it).
+  std::uint64_t begin_tick = 0;
 };
 
 class TransactionalStore {

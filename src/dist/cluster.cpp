@@ -1,0 +1,366 @@
+#include "dist/cluster.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/policy.hpp"
+
+namespace mvtl {
+
+// ---------------------------------------------------------------------------
+// DistClient
+// ---------------------------------------------------------------------------
+
+/// Coordinator-side transaction state: the global id, the pinned anchor
+/// tick, and which servers this transaction has touched.
+class DistClient::DistTx final : public TransactionalStore::Tx {
+ public:
+  DistTx(TxId id, const TxOptions& options) : id_(id), options_(options) {}
+
+  TxId id() const override { return id_; }
+  bool is_active() const override { return state_ == State::kActive; }
+  AbortReason abort_reason() const override { return reason_; }
+
+ private:
+  friend class DistClient;
+  enum class State { kActive, kCommitted, kAborted };
+
+  TxId id_;
+  TxOptions options_;  // begin_tick pinned at global begin
+  State state_ = State::kActive;
+  AbortReason reason_ = AbortReason::kNone;
+  std::vector<std::size_t> participants_;  // server indices, first-touch order
+};
+
+DistClient::DistClient(Cluster& cluster) : cluster_(&cluster) {}
+
+TransactionalStore::TxPtr DistClient::begin(const TxOptions& options) {
+  const TxId gtx = next_gtx_.fetch_add(1, std::memory_order_relaxed);
+  TxOptions pinned = options;
+  if (pinned.begin_tick == 0) {
+    // The interval I = [t, t+Δ] (or point timestamp) is chosen once, here,
+    // and shipped with every operation (§8.1) — all sub-transactions
+    // anchor the same I.
+    pinned.begin_tick = cluster_->clock()->now(options.process);
+  }
+  return std::make_unique<DistTx>(gtx, pinned);
+}
+
+DistClient::Route DistClient::route(DistTx& tx, const Key& key) {
+  const std::size_t idx = cluster_->shard_map().shard_of(key);
+  Route r{&cluster_->server(idx), false};
+  if (std::find(tx.participants_.begin(), tx.participants_.end(), idx) ==
+      tx.participants_.end()) {
+    tx.participants_.push_back(idx);
+    r.first_contact = true;
+  }
+  return r;
+}
+
+ReadResult DistClient::read(Tx& tx_base, const Key& key) {
+  auto& tx = static_cast<DistTx&>(tx_base);
+  if (!tx.is_active()) return {};
+  const auto [server, first] = route(tx, key);
+  const DistReadReply reply = cluster_->net().call(
+      server->exec(),
+      [server, gtx = tx.id(), options = tx.options_, key, first] {
+        return server->handle_read(gtx, options, key, first);
+      });
+  if (!reply.result.ok) {
+    finish_abort(tx,
+                 reply.abort_reason == AbortReason::kNone
+                     ? AbortReason::kNoCommonTimestamp
+                     : reply.abort_reason,
+                 /*notify_servers=*/true);
+  }
+  return reply.result;
+}
+
+bool DistClient::write(Tx& tx_base, const Key& key, Value value) {
+  auto& tx = static_cast<DistTx&>(tx_base);
+  if (!tx.is_active()) return false;
+  const auto [server, first] = route(tx, key);
+  const DistWriteReply reply = cluster_->net().call(
+      server->exec(), [server, gtx = tx.id(), options = tx.options_, key,
+                       value = std::move(value), first] {
+        return server->handle_write(gtx, options, key, value, first);
+      });
+  if (!reply.ok) {
+    finish_abort(tx,
+                 reply.abort_reason == AbortReason::kNone
+                     ? AbortReason::kNoCommonTimestamp
+                     : reply.abort_reason,
+                 /*notify_servers=*/true);
+  }
+  return reply.ok;
+}
+
+CommitResult DistClient::commit(Tx& tx_base) {
+  auto& tx = static_cast<DistTx&>(tx_base);
+  CommitResult result;
+  if (!tx.is_active()) return result;
+
+  if (tx.participants_.empty()) {
+    // Never touched a server: nothing to decide.
+    tx.state_ = DistTx::State::kCommitted;
+    result.status = CommitStatus::kCommitted;
+    result.commit_ts = Timestamp::make(tx.options_.begin_tick,
+                                       tx.options_.process);
+    return result;
+  }
+
+  // Prepare round, in parallel: every participant reports the timestamps
+  // it has locked appropriately (Algorithm 1 line 13, per server).
+  std::vector<std::future<DistPrepareReply>> futures;
+  futures.reserve(tx.participants_.size());
+  for (const std::size_t idx : tx.participants_) {
+    ShardServer* server = &cluster_->server(idx);
+    futures.push_back(cluster_->net().call_async(
+        server->exec(),
+        [server, gtx = tx.id()] { return server->handle_prepare(gtx); }));
+  }
+  bool prepared = true;
+  AbortReason failure = AbortReason::kNoCommonTimestamp;
+  IntervalSet candidates = IntervalSet::all();
+  for (auto& f : futures) {
+    const DistPrepareReply reply = f.get();
+    if (!reply.ok) {
+      prepared = false;
+      if (reply.abort_reason != AbortReason::kNone) {
+        failure = reply.abort_reason;
+      }
+      continue;
+    }
+    if (prepared) candidates = candidates.intersect(reply.candidates);
+  }
+  if (!prepared || candidates.is_empty()) {
+    finish_abort(tx, prepared ? AbortReason::kNoCommonTimestamp : failure,
+                 /*notify_servers=*/true);
+    return result;
+  }
+
+  // The global T is non-empty: pick the commit timestamp (early/late,
+  // §8.1) and drive the commitment object. A suspecter may already have
+  // decided Abort; whatever the register holds is the truth.
+  Timestamp ts = cluster_->protocol() == DistProtocol::kMvtilLate
+                     ? candidates.max()
+                     : candidates.min();
+  if (ts.is_infinity()) ts = candidates.min();  // unbounded pessimistic sets
+  const CommitmentObject object(tx.id(), &cluster_->acceptors(),
+                                kCoordinatorProposer);
+  const CommitDecision decided = object.decide(CommitDecision::committed(ts));
+  broadcast_finalize(tx, decided, AbortReason::kCoordinatorSuspected);
+  if (!decided.commit) {
+    tx.state_ = DistTx::State::kAborted;
+    tx.reason_ = AbortReason::kCoordinatorSuspected;
+    return result;
+  }
+  tx.state_ = DistTx::State::kCommitted;
+  result.status = CommitStatus::kCommitted;
+  result.commit_ts = decided.ts;
+  return result;
+}
+
+void DistClient::abort(Tx& tx_base) {
+  auto& tx = static_cast<DistTx&>(tx_base);
+  if (!tx.is_active()) return;
+  finish_abort(tx, AbortReason::kUserAbort, /*notify_servers=*/true);
+}
+
+void DistClient::crash(Tx& tx_base) {
+  auto& tx = static_cast<DistTx&>(tx_base);
+  if (!tx.is_active()) return;
+  // Walk away: servers keep the locks until their suspicion sweepers
+  // notice the silence and drive the commitment object to Abort.
+  finish_abort(tx, AbortReason::kCoordinatorSuspected,
+               /*notify_servers=*/false);
+}
+
+void DistClient::finish_abort(DistTx& tx, AbortReason reason,
+                              bool notify_servers) {
+  tx.state_ = DistTx::State::kAborted;
+  tx.reason_ = reason;
+  // Coordinator-initiated aborts need no Paxos round: Commit is only ever
+  // proposed by the coordinator, so once it chooses Abort every decision
+  // path ends in Abort and a plain broadcast suffices.
+  if (notify_servers && !tx.participants_.empty()) {
+    broadcast_finalize(tx, CommitDecision::aborted(), reason);
+  }
+}
+
+void DistClient::broadcast_finalize(const DistTx& tx,
+                                    const CommitDecision& decision,
+                                    AbortReason abort_hint) {
+  std::vector<std::future<bool>> futures;
+  futures.reserve(tx.participants_.size());
+  for (const std::size_t idx : tx.participants_) {
+    ShardServer* server = &cluster_->server(idx);
+    futures.push_back(cluster_->net().call_async(
+        server->exec(), [server, gtx = tx.id(), decision, abort_hint] {
+          server->handle_finalize(gtx, decision, abort_hint);
+          return true;
+        }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+std::string DistClient::name() const {
+  return dist_store_name(cluster_->protocol(), cluster_->server_count());
+}
+
+StoreStats DistClient::stats() { return cluster_->stats(); }
+
+std::size_t DistClient::purge_below(Timestamp horizon) {
+  return cluster_->purge_below(horizon);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::shared_ptr<MvtlPolicy> engine_policy(DistProtocol protocol,
+                                          std::uint64_t delta_ticks) {
+  switch (protocol) {
+    case DistProtocol::kMvtilEarly:
+      return make_mvtil_policy(delta_ticks, /*early=*/true, true);
+    case DistProtocol::kMvtilLate:
+      return make_mvtil_policy(delta_ticks, /*early=*/false, true);
+    case DistProtocol::kTo:
+      return make_to_policy();
+    case DistProtocol::kPessimistic:
+      return make_pessimistic_policy();
+  }
+  return make_mvtil_policy(delta_ticks, true, true);
+}
+
+}  // namespace
+
+Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
+    : protocol_(protocol),
+      config_(std::move(config)),
+      clock_(config_.clock ? config_.clock : std::make_shared<SystemClock>()),
+      net_(config_.net, config_.seed, config_.net_lanes),
+      shard_map_(config_.servers, config_.key_space) {
+  servers_.reserve(config_.servers);
+  for (std::size_t i = 0; i < config_.servers; ++i) {
+    ShardServerConfig sc;
+    sc.index = i;
+    sc.threads = config_.server_threads;
+    sc.task_cost = config_.server_task_cost;
+    sc.policy = engine_policy(protocol_, config_.mvtil_delta_ticks);
+    sc.clock = clock_;
+    sc.lock_timeout = config_.lock_timeout;
+    sc.store_shards = config_.store_shards;
+    sc.recorder = config_.recorder;
+    sc.suspect_timeout = config_.suspect_timeout;
+    servers_.push_back(std::make_unique<ShardServer>(std::move(sc), net_));
+  }
+
+  acceptor_endpoints_.reserve(servers_.size());
+  for (auto& server : servers_) {
+    ShardServer* s = server.get();
+    AcceptorEndpoint ep;
+    ep.prepare = [this, s](const std::string& decision, std::uint64_t ballot) {
+      return net_.call_async(s->exec(), [s, decision, ballot] {
+        return s->handle_paxos_prepare(decision, ballot);
+      });
+    };
+    ep.accept = [this, s](const std::string& decision, std::uint64_t ballot,
+                          const PaxosValue& value) {
+      return net_.call_async(s->exec(), [s, decision, ballot, value] {
+        return s->handle_paxos_accept(decision, ballot, value);
+      });
+    };
+    acceptor_endpoints_.push_back(std::move(ep));
+  }
+  for (auto& server : servers_) {
+    server->connect(acceptor_endpoints_);
+  }
+
+  // Configuration epoch 0 goes through the same register machinery as
+  // every commitment decision: decided once, durable against races.
+  epochs_.push_back(paxos_propose("config/0", acceptor_endpoints_,
+                                  kCoordinatorProposer, encode_config(0)));
+
+  client_ = std::make_unique<DistClient>(*this);
+}
+
+Cluster::~Cluster() {
+  stop_ts_service();
+  // Stop every sweeper before any server dies: a sweeper mid-Paxos calls
+  // into its peers' executors.
+  for (auto& server : servers_) server->disconnect();
+}
+
+void Cluster::start_ts_service(std::chrono::milliseconds period,
+                               std::uint64_t keep_ticks) {
+  if (ts_service_) return;
+  ts_service_ = std::make_unique<PeriodicTask>(period, [this, keep_ticks] {
+    const std::uint64_t now = clock_->now(0);
+    const std::uint64_t horizon = now > keep_ticks ? now - keep_ticks : 0;
+    purge_below(Timestamp::make(horizon, 0));
+  });
+}
+
+void Cluster::stop_ts_service() { ts_service_.reset(); }
+
+StoreStats Cluster::stats() {
+  std::vector<std::future<StoreStats>> futures;
+  futures.reserve(servers_.size());
+  for (auto& server : servers_) {
+    ShardServer* s = server.get();
+    futures.push_back(
+        net_.call_async(s->exec(), [s] { return s->handle_stats(); }));
+  }
+  StoreStats total;
+  for (auto& f : futures) {
+    const StoreStats s = f.get();
+    total.keys += s.keys;
+    total.lock_entries += s.lock_entries;
+    total.versions += s.versions;
+  }
+  return total;
+}
+
+std::size_t Cluster::purge_below(Timestamp horizon) {
+  std::vector<std::future<std::size_t>> futures;
+  futures.reserve(servers_.size());
+  for (auto& server : servers_) {
+    ShardServer* s = server.get();
+    futures.push_back(net_.call_async(
+        s->exec(), [s, horizon] { return s->handle_purge(horizon); }));
+  }
+  std::size_t purged = 0;
+  for (auto& f : futures) purged += f.get();
+  return purged;
+}
+
+PaxosValue Cluster::encode_config(std::uint64_t epoch) const {
+  return "epoch=" + std::to_string(epoch) +
+         ";servers=" + std::to_string(config_.servers) +
+         ";suspect_ms=" + std::to_string(config_.suspect_timeout.count()) +
+         ";delta=" + std::to_string(config_.mvtil_delta_ticks);
+}
+
+std::uint64_t Cluster::epoch() const {
+  std::lock_guard guard(epoch_mu_);
+  return epochs_.size() - 1;
+}
+
+std::uint64_t Cluster::advance_epoch() {
+  std::lock_guard guard(epoch_mu_);
+  const std::uint64_t next = epochs_.size();
+  epochs_.push_back(
+      paxos_propose("config/" + std::to_string(next), acceptor_endpoints_,
+                    kCoordinatorProposer, encode_config(next)));
+  return next;
+}
+
+PaxosValue Cluster::config_value(std::uint64_t epoch) const {
+  std::lock_guard guard(epoch_mu_);
+  return epochs_.at(epoch);
+}
+
+}  // namespace mvtl

@@ -1,0 +1,210 @@
+// The distributed MVTIL cluster (§7/§8) on a simulated network.
+//
+// A Cluster owns N ShardServers behind one SimNetwork, a shared clock
+// (the paper's loosely synchronized clocks; MVTIL's interval Δ absorbs
+// the looseness), a Paxos-decided configuration epoch, and the timestamp
+// service of §8.1 that periodically broadcasts a purge horizon. The
+// DistClient is the coordinator-side library: it implements the internal
+// TransactionalStore SPI, so the distributed system slots in behind the
+// mvtl::Db facade — every example, bench, and test runs against it
+// unchanged.
+//
+// One transaction's life, distributed:
+//   begin      — pick a global id and pin the anchor tick (the interval
+//                I = [t, t+Δ] every server will use, §8.1);
+//   read/write — routed by key range to the owning server, which runs the
+//                operation on a lazily created sub-transaction carrying
+//                the same global id;
+//   commit     — prepare on every participant in parallel (each returns
+//                the timestamps it has locked appropriately), intersect,
+//                pick early/late, then drive the transaction's commitment
+//                object (a Paxos register) to Commit(ts) and broadcast
+//                the decision. A suspecting server may have raced us to
+//                Abort — whatever the register decided, everyone applies.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/transactional_store.hpp"
+#include "dist/commitment.hpp"
+#include "dist/shard.hpp"
+#include "net/simnet.hpp"
+#include "sync/clock.hpp"
+#include "verify/history.hpp"
+
+namespace mvtl {
+
+class Cluster;
+
+/// Display name of a cluster-backed store, e.g. "dist-MVTIL-early(4)".
+inline std::string dist_store_name(DistProtocol protocol,
+                                   std::size_t servers) {
+  return std::string("dist-") + dist_protocol_name(protocol) + "(" +
+         std::to_string(servers) + ")";
+}
+
+struct ClusterConfig {
+  std::size_t servers = 4;
+  /// Request threads per server; with `server_task_cost`, the server's
+  /// processing capacity (threads / task_cost requests per second).
+  std::size_t server_threads = 4;
+  std::chrono::microseconds server_task_cost{0};
+  NetProfile net = NetProfile::local();
+  std::size_t net_lanes = 8;
+  /// MVTIL interval width Δ, in clock ticks (µs under the default clock).
+  std::uint64_t mvtil_delta_ticks = 5'000;
+  /// Server-side suspicion: a coordinator silent this long is presumed
+  /// crashed and its transaction driven to Abort.
+  std::chrono::milliseconds suspect_timeout{50};
+  std::chrono::microseconds lock_timeout{20'000};
+  std::size_t store_shards = 64;
+  /// Key-domain size the range sharding splits (txbench keys).
+  std::uint64_t key_space = 10'000;
+  std::uint64_t seed = 1;
+  /// Shared cluster clock; default SystemClock (µs ticks).
+  std::shared_ptr<ClockSource> clock;
+  /// Optional history recorder, shared by every server's engine; events
+  /// carry global transaction ids, so the recorded history is the
+  /// cluster-wide one the MvsgChecker certifies.
+  HistoryRecorder* recorder = nullptr;
+};
+
+/// Coordinator-side client library: the distributed TransactionalStore.
+class DistClient final : public TransactionalStore {
+ public:
+  explicit DistClient(Cluster& cluster);
+
+  TxPtr begin(const TxOptions& options = {}) override;
+  ReadResult read(Tx& tx, const Key& key) override;
+  bool write(Tx& tx, const Key& key, Value value) override;
+  CommitResult commit(Tx& tx) override;
+  void abort(Tx& tx) override;
+  std::string name() const override;
+  StoreStats stats() override;
+  std::size_t purge_below(Timestamp horizon) override;
+
+  /// Test hook: the coordinator walks away mid-transaction without
+  /// telling anyone — locks stay held on the servers until their
+  /// suspicion sweepers drive the commitment object to Abort.
+  void crash(Tx& tx);
+
+ private:
+  class DistTx;
+
+  struct Route {
+    ShardServer* server;
+    bool first_contact;  ///< tx had not touched this server before
+  };
+
+  /// Resolves `key`'s owning server and registers it as a participant.
+  Route route(DistTx& tx, const Key& key);
+
+  void finish_abort(DistTx& tx, AbortReason reason, bool notify_servers);
+  void broadcast_finalize(const DistTx& tx, const CommitDecision& decision,
+                          AbortReason abort_hint);
+
+  Cluster* cluster_;
+  std::atomic<TxId> next_gtx_{1};
+};
+
+class Cluster {
+ public:
+  Cluster(DistProtocol protocol, ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// The coordinator library, as the uniform store interface. Safe for
+  /// concurrent use from many client threads.
+  TransactionalStore& client() { return *client_; }
+
+  /// The same client, with the distributed-only surface (crash hook).
+  DistClient* mvtil_client() { return client_.get(); }
+
+  /// Timestamp service (§8.1): every `period`, broadcasts a purge of
+  /// metadata below now − `keep_ticks` to all servers.
+  void start_ts_service(std::chrono::milliseconds period,
+                        std::uint64_t keep_ticks);
+  void stop_ts_service();
+
+  /// Aggregated metadata counts across all servers.
+  StoreStats stats();
+  std::size_t purge_below(Timestamp horizon);
+
+  // --- Paxos-backed configuration ----------------------------------------
+  /// Current configuration epoch (epoch 0 is decided at construction).
+  std::uint64_t epoch() const;
+  /// Decides the next configuration epoch through the config register
+  /// and returns it.
+  std::uint64_t advance_epoch();
+  /// The value the configuration register decided for `epoch`.
+  PaxosValue config_value(std::uint64_t epoch) const;
+
+  DistProtocol protocol() const { return protocol_; }
+  const ClusterConfig& config() const { return config_; }
+  const ShardMap& shard_map() const { return shard_map_; }
+  const std::shared_ptr<ClockSource>& clock() const { return clock_; }
+  SimNetwork& net() { return net_; }
+  std::size_t server_count() const { return servers_.size(); }
+  ShardServer& server(std::size_t i) { return *servers_[i]; }
+  const std::vector<AcceptorEndpoint>& acceptors() const {
+    return acceptor_endpoints_;
+  }
+
+ private:
+  PaxosValue encode_config(std::uint64_t epoch) const;
+
+  DistProtocol protocol_;
+  ClusterConfig config_;
+  std::shared_ptr<ClockSource> clock_;
+  SimNetwork net_;
+  ShardMap shard_map_;
+  std::vector<std::unique_ptr<ShardServer>> servers_;
+  std::vector<AcceptorEndpoint> acceptor_endpoints_;
+  std::unique_ptr<DistClient> client_;
+
+  mutable std::mutex epoch_mu_;
+  std::vector<PaxosValue> epochs_;  // decided configuration per epoch
+
+  std::unique_ptr<PeriodicTask> ts_service_;
+};
+
+/// A Cluster behind the plain store interface, so Options::open() can
+/// hand the whole distributed system to a Db as its engine.
+class ClusterStore final : public TransactionalStore {
+ public:
+  ClusterStore(DistProtocol protocol, ClusterConfig config)
+      : cluster_(protocol, std::move(config)) {}
+
+  Cluster& cluster() { return cluster_; }
+
+  TxPtr begin(const TxOptions& options = {}) override {
+    return cluster_.client().begin(options);
+  }
+  ReadResult read(Tx& tx, const Key& key) override {
+    return cluster_.client().read(tx, key);
+  }
+  bool write(Tx& tx, const Key& key, Value value) override {
+    return cluster_.client().write(tx, key, std::move(value));
+  }
+  CommitResult commit(Tx& tx) override { return cluster_.client().commit(tx); }
+  void abort(Tx& tx) override { cluster_.client().abort(tx); }
+  std::string name() const override {
+    return dist_store_name(cluster_.protocol(), cluster_.server_count());
+  }
+  StoreStats stats() override { return cluster_.stats(); }
+  std::size_t purge_below(Timestamp horizon) override {
+    return cluster_.purge_below(horizon);
+  }
+
+ private:
+  Cluster cluster_;
+};
+
+}  // namespace mvtl

@@ -1,0 +1,55 @@
+#include "dist/commitment.hpp"
+
+namespace mvtl {
+
+const char* dist_protocol_name(DistProtocol p) {
+  switch (p) {
+    case DistProtocol::kMvtilEarly:
+      return "MVTIL-early";
+    case DistProtocol::kMvtilLate:
+      return "MVTIL-late";
+    case DistProtocol::kTo:
+      return "TO";
+    case DistProtocol::kPessimistic:
+      return "Pessimistic";
+  }
+  return "?";
+}
+
+PaxosValue encode_decision(const CommitDecision& d) {
+  if (!d.commit) return "a";
+  return "c" + std::to_string(d.ts.raw());
+}
+
+CommitDecision decode_decision(const PaxosValue& v) {
+  if (v.empty() || v[0] != 'c') return CommitDecision::aborted();
+  return CommitDecision::committed(
+      Timestamp{std::stoull(v.substr(1))});
+}
+
+std::string commitment_decision_id(TxId gtx) {
+  return "commit/" + std::to_string(gtx);
+}
+
+PeriodicTask::PeriodicTask(std::chrono::milliseconds period,
+                           std::function<void()> tick)
+    : thread_([this, period, tick = std::move(tick)] {
+        std::unique_lock lock(mu_);
+        while (!stop_) {
+          if (cv_.wait_for(lock, period, [this] { return stop_; })) break;
+          lock.unlock();
+          tick();
+          lock.lock();
+        }
+      }) {}
+
+PeriodicTask::~PeriodicTask() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+}  // namespace mvtl

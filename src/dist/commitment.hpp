@@ -1,0 +1,108 @@
+// Per-transaction commitment objects (§7) — the atomic-commitment half
+// of distributed MVTIL.
+//
+// Every distributed transaction owns one logical commitment object: a
+// write-once cell deciding kCommit(ts) or kAbort, replicated as a
+// single-decree Paxos register across the cluster (dist/paxos.hpp). Two
+// kinds of proposer race for it:
+//
+//   * the coordinator (the client library), which proposes Commit(ts)
+//     after every participant prepared and their candidate intervals
+//     intersect — or Abort when they don't;
+//   * any participant server whose suspicion sweeper noticed the
+//     coordinator has been silent longer than suspect_timeout, which
+//     proposes Abort so the crashed coordinator's locks are released
+//     (Theorem 9: nobody is wedged forever).
+//
+// Whatever the register decides, everyone applies: a suspecter that loses
+// the race to a concurrent Commit(ts) finalizes the commit locally instead
+// of aborting. Coordinator-initiated aborts may skip the register: Commit
+// is only ever proposed by the coordinator, so once it chooses to abort,
+// every decision path ends in Abort and a plain broadcast is safe (the
+// paper's cheap-abort observation).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dist/paxos.hpp"
+
+namespace mvtl {
+
+/// Which distributed protocol a cluster runs. The MVTIL variants are the
+/// paper's §7/§8 system; kTo and kPessimistic run the same commitment
+/// machinery over the MVTL-unified baselines (§5.4: MVTL-TO ≡ MVTO+,
+/// MVTL-Pessimistic ≡ 2PL), giving the distributed test beds of
+/// Figures 2 and 5 all four protocols.
+enum class DistProtocol { kMvtilEarly, kMvtilLate, kTo, kPessimistic };
+
+const char* dist_protocol_name(DistProtocol p);
+
+/// The value a commitment object decides.
+struct CommitDecision {
+  bool commit = false;
+  Timestamp ts;  ///< serialization timestamp; meaningful when commit
+
+  static CommitDecision aborted() { return CommitDecision{}; }
+  static CommitDecision committed(Timestamp ts) {
+    return CommitDecision{true, ts};
+  }
+};
+
+PaxosValue encode_decision(const CommitDecision& d);
+CommitDecision decode_decision(const PaxosValue& v);
+
+/// Register name of transaction `gtx`'s commitment decision.
+std::string commitment_decision_id(TxId gtx);
+
+/// A handle on one transaction's commitment object, as seen by one
+/// proposer. decide() is idempotent and returns the unique decision.
+class CommitmentObject {
+ public:
+  CommitmentObject(TxId gtx, const std::vector<AcceptorEndpoint>* acceptors,
+                   std::uint16_t proposer)
+      : id_(commitment_decision_id(gtx)),
+        acceptors_(acceptors),
+        proposer_(proposer) {}
+
+  /// Proposes `wanted`; returns what the register actually decided.
+  CommitDecision decide(const CommitDecision& wanted) const {
+    return decode_decision(
+        paxos_propose(id_, *acceptors_, proposer_, encode_decision(wanted)));
+  }
+
+  const std::string& decision_id() const { return id_; }
+
+ private:
+  std::string id_;
+  const std::vector<AcceptorEndpoint>* acceptors_;
+  std::uint16_t proposer_;
+};
+
+/// Periodic background ticker: runs `tick` every `period` until
+/// destroyed (destruction joins the thread). Drives the servers'
+/// suspicion sweeps and the cluster's timestamp service.
+class PeriodicTask {
+ public:
+  PeriodicTask(std::chrono::milliseconds period, std::function<void()> tick);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mvtl

@@ -1,0 +1,156 @@
+#include "dist/paxos.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace mvtl {
+
+PaxosPrepareReply AcceptorTable::on_prepare(const std::string& decision,
+                                            std::uint64_t ballot) {
+  std::lock_guard guard(mu_);
+  State& s = states_[decision];
+  s.last_touch = std::chrono::steady_clock::now();
+  PaxosPrepareReply reply;
+  if (ballot > s.promised) {
+    s.promised = ballot;
+    reply.promised = true;
+    reply.accepted_ballot = s.accepted_ballot;
+    reply.accepted_value = s.accepted_value;
+  }
+  reply.promised_ballot = s.promised;
+  return reply;
+}
+
+PaxosAcceptReply AcceptorTable::on_accept(const std::string& decision,
+                                          std::uint64_t ballot,
+                                          const PaxosValue& value) {
+  std::lock_guard guard(mu_);
+  State& s = states_[decision];
+  s.last_touch = std::chrono::steady_clock::now();
+  PaxosAcceptReply reply;
+  if (ballot >= s.promised) {
+    s.promised = ballot;
+    s.accepted_ballot = std::max<std::uint64_t>(ballot, 1);  // round-0 marker
+    s.accepted_value = value;
+    reply.accepted = true;
+  }
+  reply.promised_ballot = s.promised;
+  return reply;
+}
+
+std::optional<PaxosValue> AcceptorTable::accepted(
+    const std::string& decision) const {
+  std::lock_guard guard(mu_);
+  auto it = states_.find(decision);
+  if (it == states_.end() || it->second.accepted_ballot == 0) {
+    return std::nullopt;
+  }
+  return it->second.accepted_value;
+}
+
+std::size_t AcceptorTable::expire_older_than(
+    std::chrono::steady_clock::time_point cutoff) {
+  std::lock_guard guard(mu_);
+  std::size_t dropped = 0;
+  for (auto it = states_.begin(); it != states_.end();) {
+    if (it->second.last_touch < cutoff) {
+      it = states_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::size_t AcceptorTable::size() const {
+  std::lock_guard guard(mu_);
+  return states_.size();
+}
+
+namespace {
+
+/// Jittered, capped backoff between dueling-proposer rounds.
+void proposer_backoff(std::size_t attempt) {
+  thread_local Rng rng(std::hash<std::thread::id>{}(
+      std::this_thread::get_id()));
+  const std::uint64_t cap = std::min<std::uint64_t>(
+      2'000, std::uint64_t{100} << std::min<std::size_t>(attempt, 5));
+  std::this_thread::sleep_for(
+      std::chrono::microseconds{50 + rng.next_below(cap)});
+}
+
+}  // namespace
+
+PaxosValue paxos_propose(const std::string& decision,
+                         const std::vector<AcceptorEndpoint>& acceptors,
+                         std::uint16_t proposer, const PaxosValue& value) {
+  const std::size_t majority = acceptors.size() / 2 + 1;
+  // Round 0 (no phase 1) is the designated coordinator's; everyone else
+  // starts at a classic two-phase round 1.
+  std::uint64_t round = proposer == kCoordinatorProposer ? 0 : 1;
+
+  for (std::size_t attempt = 0;; ++attempt) {
+    const std::uint64_t ballot = make_ballot(round, proposer);
+    std::uint64_t highest_seen_round = round;
+    PaxosValue candidate = value;
+
+    // Both phases await *every* acceptor's reply rather than returning at
+    // a bare majority. That costs max-over-servers latency instead of the
+    // majority quantile, but it preserves the invariant the whole
+    // simulation's teardown relies on: every RPC a proposer starts is
+    // awaited, so no in-flight message can outlive the cluster that owns
+    // the executors it targets. Simnet executors also cannot wedge
+    // permanently (handler times are bounded by lock_timeout), so the
+    // fault-tolerance cost is nil here; a real deployment would return at
+    // majority and drain stragglers asynchronously.
+    if (ballot != 0) {
+      // Phase 1: collect promises; adopt the highest accepted value.
+      std::vector<std::future<PaxosPrepareReply>> futures;
+      futures.reserve(acceptors.size());
+      for (const AcceptorEndpoint& a : acceptors) {
+        futures.push_back(a.prepare(decision, ballot));
+      }
+      std::size_t promised = 0;
+      std::uint64_t best_accepted = 0;
+      for (auto& f : futures) {
+        const PaxosPrepareReply reply = f.get();
+        highest_seen_round =
+            std::max(highest_seen_round, ballot_round(reply.promised_ballot));
+        if (!reply.promised) continue;
+        ++promised;
+        if (reply.accepted_ballot > best_accepted) {
+          best_accepted = reply.accepted_ballot;
+          candidate = reply.accepted_value;
+        }
+      }
+      if (promised < majority) {
+        round = highest_seen_round + 1;
+        proposer_backoff(attempt);
+        continue;
+      }
+    }
+
+    // Phase 2: the candidate is decided once a majority accepts it.
+    std::vector<std::future<PaxosAcceptReply>> futures;
+    futures.reserve(acceptors.size());
+    for (const AcceptorEndpoint& a : acceptors) {
+      futures.push_back(a.accept(decision, ballot, candidate));
+    }
+    std::size_t accepted = 0;
+    for (auto& f : futures) {
+      const PaxosAcceptReply reply = f.get();
+      highest_seen_round =
+          std::max(highest_seen_round, ballot_round(reply.promised_ballot));
+      if (reply.accepted) ++accepted;
+    }
+    if (accepted >= majority) return candidate;
+
+    round = highest_seen_round + 1;
+    proposer_backoff(attempt);
+  }
+}
+
+}  // namespace mvtl

@@ -1,0 +1,124 @@
+// Single-decree Paxos registers.
+//
+// The distributed MVTIL system needs exactly one thing to be fault
+// tolerant: each commit/abort decision (and each cluster-configuration
+// epoch) must be *unique and durable* even when the coordinator crashes
+// and several suspecting servers race to decide in its place (§7,
+// Theorem 9). A single-decree Paxos register provides precisely that: any
+// number of proposers may write, a majority of acceptors arbitrates, and
+// every proposer learns the same decided value.
+//
+// Acceptor state lives on the cluster's servers, one AcceptorTable per
+// server holding the register of every in-flight decision, keyed by a
+// decision id string ("commit/<tx>" or "config/<epoch>"). Values travel
+// as opaque strings so one register implementation serves both commitment
+// decisions and configuration blobs.
+//
+// Ballots pack (round, proposer) into one word, ordered by round first.
+// Round 0 is reserved for the decision's designated coordinator: nothing
+// can have been accepted below it, so the coordinator may skip phase 1
+// and go straight to accept — the common case costs a single round trip.
+// Suspecters (and the coordinator after a rejection) run classic two-phase
+// rounds >= 1.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mvtl {
+
+/// Opaque register payload (a serialized CommitDecision or cluster
+/// configuration).
+using PaxosValue = std::string;
+
+/// (round, proposer) packed so that plain integer comparison orders by
+/// round first; two proposers never share a ballot.
+constexpr std::uint64_t make_ballot(std::uint64_t round,
+                                    std::uint16_t proposer) {
+  return (round << 16) | proposer;
+}
+constexpr std::uint64_t ballot_round(std::uint64_t ballot) {
+  return ballot >> 16;
+}
+
+/// Proposer id reserved for a decision's designated coordinator; only it
+/// may use the phase-1-free round 0.
+constexpr std::uint16_t kCoordinatorProposer = 0;
+
+struct PaxosPrepareReply {
+  bool promised = false;
+  std::uint64_t promised_ballot = 0;  ///< acceptor's promise (on a nack)
+  std::uint64_t accepted_ballot = 0;  ///< 0 ⇒ nothing accepted yet
+  PaxosValue accepted_value;
+};
+
+struct PaxosAcceptReply {
+  bool accepted = false;
+  std::uint64_t promised_ballot = 0;  ///< acceptor's promise (on a nack)
+};
+
+/// One server's acceptor state for every decision it participates in.
+/// Thread-safe; handlers are cheap enough to run on a request executor.
+class AcceptorTable {
+ public:
+  PaxosPrepareReply on_prepare(const std::string& decision,
+                               std::uint64_t ballot);
+  PaxosAcceptReply on_accept(const std::string& decision, std::uint64_t ballot,
+                             const PaxosValue& value);
+
+  /// The value this acceptor has accepted for `decision`, if any
+  /// (diagnostics and the servers' fast already-decided check).
+  std::optional<PaxosValue> accepted(const std::string& decision) const;
+
+  /// Drops register state untouched since `cutoff`. Safe once every
+  /// potential proposer for those decisions is gone — the sweeper calls
+  /// this with a horizon many suspicion timeouts in the past, by which
+  /// time all participants have long applied (or locally decided) the
+  /// outcome and nobody will propose again.
+  std::size_t expire_older_than(std::chrono::steady_clock::time_point cutoff);
+
+  std::size_t size() const;
+
+ private:
+  struct State {
+    std::uint64_t promised = 0;
+    std::uint64_t accepted_ballot = 0;
+    PaxosValue accepted_value;
+    std::chrono::steady_clock::time_point last_touch;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, State> states_;
+};
+
+/// How a proposer reaches one acceptor. The functions are asynchronous so
+/// a round can be in flight to every acceptor at once; the cluster wires
+/// them to SimNetwork::call_async against each server's executor, unit
+/// tests to immediate in-memory calls.
+struct AcceptorEndpoint {
+  std::function<std::future<PaxosPrepareReply>(const std::string&,
+                                               std::uint64_t)>
+      prepare;
+  std::function<std::future<PaxosAcceptReply>(const std::string&,
+                                              std::uint64_t,
+                                              const PaxosValue&)>
+      accept;
+};
+
+/// Drives `decision` to a value: proposes `value`, adopting any
+/// previously accepted value a phase-1 quorum reveals, and returns the
+/// value actually decided (which may be another proposer's). Retries
+/// with growing jittered backoff until a majority accepts — with at
+/// least one live proposer the register terminates (Theorem 9's
+/// "nobody is wedged forever").
+PaxosValue paxos_propose(const std::string& decision,
+                         const std::vector<AcceptorEndpoint>& acceptors,
+                         std::uint16_t proposer, const PaxosValue& value);
+
+}  // namespace mvtl

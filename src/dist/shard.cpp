@@ -1,0 +1,261 @@
+#include "dist/shard.hpp"
+
+#include <algorithm>
+
+#include "txbench/workload.hpp"  // make_key: the canonical key encoding
+
+namespace mvtl {
+
+ShardMap::ShardMap(std::size_t servers, std::uint64_t key_space) {
+  if (servers == 0) servers = 1;
+  boundaries_.reserve(servers - 1);
+  for (std::size_t i = 1; i < servers; ++i) {
+    boundaries_.push_back(make_key(i * key_space / servers));
+  }
+}
+
+std::size_t ShardMap::shard_of(const Key& key) const {
+  // First range whose lower boundary exceeds `key`; keys outside the
+  // canonical domain land wherever lexicographic order puts them.
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), key);
+  return static_cast<std::size_t>(it - boundaries_.begin());
+}
+
+// ---------------------------------------------------------------------------
+// ShardServer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+MvtlEngineConfig engine_config(const ShardServerConfig& config) {
+  MvtlEngineConfig ec;
+  ec.clock = config.clock;
+  ec.lock_timeout = config.lock_timeout;
+  ec.shards = config.store_shards;
+  ec.recorder = config.recorder;
+  return ec;
+}
+
+}  // namespace
+
+ShardServer::ShardServer(ShardServerConfig config, SimNetwork& net)
+    : config_(std::move(config)),
+      engine_(config_.policy, engine_config(config_)),
+      exec_(config_.threads, "srv" + std::to_string(config_.index),
+            config_.task_cost) {
+  (void)net;  // servers are passive; only proposers dial out
+}
+
+ShardServer::~ShardServer() {
+  // Stop suspecting before the engine (and its store) go away.
+  sweeper_.reset();
+}
+
+void ShardServer::connect(std::vector<AcceptorEndpoint> acceptors) {
+  peers_ = std::move(acceptors);
+  const auto period = std::max<std::chrono::milliseconds>(
+      std::chrono::milliseconds{1}, config_.suspect_timeout / 4);
+  sweeper_ = std::make_unique<PeriodicTask>(period, [this] { sweep(); });
+}
+
+std::shared_ptr<ShardServer::TxEntry> ShardServer::entry_for(
+    TxId gtx, const TxOptions& options, bool allow_create) {
+  std::lock_guard guard(tx_mu_);
+  auto it = txs_.find(gtx);
+  if (it != txs_.end()) return it->second;
+  // A repeat contact with no entry means we already finished this
+  // transaction; a coordinator retrying after the sweeper decided its
+  // fate must not be handed a fresh sub-transaction (and fresh locks)
+  // for a dead one. The register check catches the same for first
+  // contacts that raced a suspecter.
+  if (!allow_create ||
+      acceptors_.accepted(commitment_decision_id(gtx)).has_value()) {
+    return nullptr;
+  }
+  auto entry = std::make_shared<TxEntry>();
+  entry->tx = engine_.begin_with_id(gtx, options);
+  entry->touch();
+  txs_.emplace(gtx, entry);
+  return entry;
+}
+
+std::shared_ptr<ShardServer::TxEntry> ShardServer::find_entry(
+    TxId gtx) const {
+  std::lock_guard guard(tx_mu_);
+  auto it = txs_.find(gtx);
+  return it == txs_.end() ? nullptr : it->second;
+}
+
+void ShardServer::erase_entry(TxId gtx) {
+  std::lock_guard guard(tx_mu_);
+  txs_.erase(gtx);
+}
+
+DistReadReply ShardServer::handle_read(TxId gtx, const TxOptions& options,
+                                       const Key& key, bool first_contact) {
+  DistReadReply reply;
+  auto entry = entry_for(gtx, options, first_contact);
+  if (!entry) {
+    reply.abort_reason = AbortReason::kCoordinatorSuspected;
+    return reply;
+  }
+  bool finished_now = false;
+  {
+    std::lock_guard guard(entry->mu);
+    if (entry->finished) {
+      reply.abort_reason = AbortReason::kCoordinatorSuspected;
+      return reply;
+    }
+    entry->touch();
+    reply.result = engine_.read(*entry->tx, key);
+    if (!reply.result.ok) {
+      reply.abort_reason = entry->tx->abort_reason();
+      entry->finished = true;  // engine already aborted and released locks
+      finished_now = true;
+    }
+  }
+  if (finished_now) erase_entry(gtx);
+  return reply;
+}
+
+DistWriteReply ShardServer::handle_write(TxId gtx, const TxOptions& options,
+                                         const Key& key, Value value,
+                                         bool first_contact) {
+  DistWriteReply reply;
+  auto entry = entry_for(gtx, options, first_contact);
+  if (!entry) {
+    reply.abort_reason = AbortReason::kCoordinatorSuspected;
+    return reply;
+  }
+  bool finished_now = false;
+  {
+    std::lock_guard guard(entry->mu);
+    if (entry->finished) {
+      reply.abort_reason = AbortReason::kCoordinatorSuspected;
+      return reply;
+    }
+    entry->touch();
+    reply.ok = engine_.write(*entry->tx, key, std::move(value));
+    if (!reply.ok) {
+      reply.abort_reason = entry->tx->abort_reason();
+      entry->finished = true;
+      finished_now = true;
+    }
+  }
+  if (finished_now) erase_entry(gtx);
+  return reply;
+}
+
+DistPrepareReply ShardServer::handle_prepare(TxId gtx) {
+  DistPrepareReply reply;
+  auto entry = find_entry(gtx);
+  if (!entry) {
+    reply.abort_reason = AbortReason::kCoordinatorSuspected;
+    return reply;
+  }
+  bool finished_now = false;
+  {
+    std::lock_guard guard(entry->mu);
+    if (entry->finished) {
+      reply.abort_reason = AbortReason::kCoordinatorSuspected;
+      return reply;
+    }
+    entry->touch();
+    const MvtlEngine::Prepared prepared = engine_.prepare(*entry->tx);
+    if (!prepared.ok) {
+      reply.abort_reason = prepared.failure;
+      entry->finished = true;
+      finished_now = true;
+    } else {
+      reply.ok = true;
+      reply.candidates = prepared.candidates;
+    }
+  }
+  if (finished_now) erase_entry(gtx);
+  return reply;
+}
+
+bool ShardServer::apply_decision(TxId gtx, TxEntry& entry,
+                                 const CommitDecision& decision,
+                                 AbortReason abort_hint) {
+  bool applied = false;
+  {
+    std::lock_guard guard(entry.mu);
+    if (!entry.finished) {
+      entry.finished = true;
+      applied = true;
+      if (entry.tx && entry.tx->is_active()) {
+        if (decision.commit) {
+          engine_.finalize_commit(*entry.tx, decision.ts);
+        } else {
+          engine_.abort_with(*entry.tx, abort_hint);
+        }
+      }
+    }
+  }
+  if (applied) erase_entry(gtx);
+  return applied;
+}
+
+void ShardServer::handle_finalize(TxId gtx, const CommitDecision& decision,
+                                  AbortReason abort_hint) {
+  auto entry = find_entry(gtx);
+  if (!entry) return;
+  apply_decision(gtx, *entry, decision, abort_hint);
+}
+
+StoreStats ShardServer::handle_stats() { return engine_.stats(); }
+
+std::size_t ShardServer::handle_purge(Timestamp horizon) {
+  return engine_.purge_below(horizon);
+}
+
+PaxosPrepareReply ShardServer::handle_paxos_prepare(
+    const std::string& decision, std::uint64_t ballot) {
+  return acceptors_.on_prepare(decision, ballot);
+}
+
+PaxosAcceptReply ShardServer::handle_paxos_accept(const std::string& decision,
+                                                  std::uint64_t ballot,
+                                                  const PaxosValue& value) {
+  return acceptors_.on_accept(decision, ballot, value);
+}
+
+std::size_t ShardServer::live_transactions() const {
+  std::lock_guard guard(tx_mu_);
+  return txs_.size();
+}
+
+void ShardServer::sweep() {
+  std::vector<std::pair<TxId, std::shared_ptr<TxEntry>>> stale;
+  {
+    std::lock_guard guard(tx_mu_);
+    for (const auto& [gtx, entry] : txs_) {
+      if (entry->silence() > config_.suspect_timeout) {
+        stale.emplace_back(gtx, entry);
+      }
+    }
+  }
+  for (const auto& [gtx, entry] : stale) {
+    {
+      std::lock_guard guard(entry->mu);
+      if (entry->finished) continue;
+    }
+    // Drive the commitment object: propose Abort, but honor whatever the
+    // register actually decided — a racing coordinator may have won with
+    // Commit(ts), in which case we finalize the commit instead.
+    const CommitmentObject object(
+        gtx, &peers_, static_cast<std::uint16_t>(config_.index + 1));
+    const CommitDecision decided = object.decide(CommitDecision::aborted());
+    if (apply_decision(gtx, *entry, decided,
+                       AbortReason::kCoordinatorSuspected) &&
+        !decided.commit) {
+      suspicion_aborts_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  acceptors_.expire_older_than(std::chrono::steady_clock::now() -
+                               20 * config_.suspect_timeout);
+}
+
+}  // namespace mvtl

@@ -1,0 +1,190 @@
+// Key-range sharding over N MVTIL servers (§7/§8: "objects are spread
+// over the servers").
+//
+// A ShardMap partitions the workload's key domain (fixed-width "k"-prefixed
+// decimal strings, txbench::make_key) into N contiguous lexicographic
+// ranges; arbitrary keys fall into whichever range contains them. A
+// ShardServer is one server of the cluster: an MvtlEngine behind a
+// bounded request Executor (the machine's capacity), a table of in-flight
+// sub-transactions with their liveness bookkeeping, a Paxos acceptor
+// table, and the suspicion sweeper that cleans up after crashed
+// coordinators through the commitment objects.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mvtl_engine.hpp"
+#include "dist/commitment.hpp"
+#include "dist/paxos.hpp"
+#include "net/simnet.hpp"
+
+namespace mvtl {
+
+/// Contiguous key-range partition of the key space across `servers`
+/// ranges, split uniformly over [0, key_space) of the canonical
+/// fixed-width key encoding.
+class ShardMap {
+ public:
+  ShardMap(std::size_t servers, std::uint64_t key_space);
+
+  std::size_t shard_of(const Key& key) const;
+  std::size_t servers() const { return boundaries_.size() + 1; }
+
+  /// boundaries()[i] is the first key of shard i+1.
+  const std::vector<Key>& boundaries() const { return boundaries_; }
+
+ private:
+  std::vector<Key> boundaries_;
+};
+
+// --- RPC reply shapes (what crosses the simulated network) ----------------
+
+struct DistReadReply {
+  ReadResult result;
+  AbortReason abort_reason = AbortReason::kNone;  ///< when !result.ok
+};
+
+struct DistWriteReply {
+  bool ok = false;
+  AbortReason abort_reason = AbortReason::kNone;
+};
+
+struct DistPrepareReply {
+  bool ok = false;
+  AbortReason abort_reason = AbortReason::kNone;
+  IntervalSet candidates;  ///< timestamps this server locked appropriately
+};
+
+struct ShardServerConfig {
+  std::size_t index = 0;
+  std::size_t threads = 4;
+  /// Per-request CPU cost, modeling a weak machine (simnet::Executor).
+  std::chrono::microseconds task_cost{0};
+  std::shared_ptr<MvtlPolicy> policy;
+  std::shared_ptr<ClockSource> clock;
+  std::chrono::microseconds lock_timeout{20'000};
+  std::size_t store_shards = 64;
+  HistoryRecorder* recorder = nullptr;
+  /// Coordinator silent this long ⇒ the sweeper suspects it and drives
+  /// the commitment object to Abort.
+  std::chrono::milliseconds suspect_timeout{50};
+};
+
+/// One server of the distributed MVTIL cluster. All handle_* methods run
+/// on exec() via SimNetwork::call; the sweeper runs on its own thread and
+/// talks to the other servers' acceptors over the network.
+class ShardServer {
+ public:
+  ShardServer(ShardServerConfig config, SimNetwork& net);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  Executor& exec() { return exec_; }
+  std::size_t index() const { return config_.index; }
+
+  /// Wires the cluster-wide acceptor endpoints (one per server, including
+  /// this one, reached over the network) and starts the suspicion
+  /// sweeper. Called once by the Cluster after every server exists.
+  void connect(std::vector<AcceptorEndpoint> acceptors);
+
+  /// Stops the sweeper. The Cluster disconnects *every* server before
+  /// destroying any of them: a live sweeper mid-Paxos may still be
+  /// calling into its peers' executors.
+  void disconnect() { sweeper_.reset(); }
+
+  // --- request handlers ---------------------------------------------------
+  /// `first_contact` is true when the coordinator has never touched this
+  /// server with this transaction before. Only a first contact may open a
+  /// sub-transaction: a missing entry on a repeat contact means this
+  /// server already finished the transaction (e.g. the sweeper aborted a
+  /// coordinator it presumed crashed) — handing out a fresh
+  /// sub-transaction then would let a stalled-but-alive coordinator
+  /// commit only its post-stall writes.
+  DistReadReply handle_read(TxId gtx, const TxOptions& options, const Key& key,
+                            bool first_contact);
+  DistWriteReply handle_write(TxId gtx, const TxOptions& options,
+                              const Key& key, Value value, bool first_contact);
+  DistPrepareReply handle_prepare(TxId gtx);
+  /// Applies the commitment decision to the local sub-transaction.
+  /// Idempotent: late/duplicate deliveries (coordinator vs. sweeper) are
+  /// no-ops. `abort_hint` names the abort cause for metrics/history.
+  void handle_finalize(TxId gtx, const CommitDecision& decision,
+                       AbortReason abort_hint);
+  StoreStats handle_stats();
+  std::size_t handle_purge(Timestamp horizon);
+  PaxosPrepareReply handle_paxos_prepare(const std::string& decision,
+                                         std::uint64_t ballot);
+  PaxosAcceptReply handle_paxos_accept(const std::string& decision,
+                                       std::uint64_t ballot,
+                                       const PaxosValue& value);
+
+  // --- diagnostics / test hooks -------------------------------------------
+  /// In-flight (not yet finalized) sub-transactions on this server.
+  std::size_t live_transactions() const;
+  /// Transactions this server's sweeper aborted on suspicion.
+  std::size_t suspicion_aborts() const {
+    return suspicion_aborts_.load(std::memory_order_relaxed);
+  }
+  /// Runs one suspicion sweep immediately (tests).
+  void sweep_now() { sweep(); }
+
+ private:
+  /// One in-flight distributed transaction's server-side state: the local
+  /// sub-transaction plus what the sweeper needs. Entry mutexes order
+  /// after the table mutex and never nest with each other.
+  struct TxEntry {
+    std::mutex mu;
+    TransactionalStore::TxPtr tx;  // created lazily under mu
+    bool finished = false;
+    std::atomic<std::chrono::steady_clock::rep> last_heard_ns{0};
+
+    void touch() {
+      last_heard_ns.store(
+          std::chrono::steady_clock::now().time_since_epoch().count(),
+          std::memory_order_relaxed);
+    }
+    std::chrono::steady_clock::duration silence() const {
+      return std::chrono::steady_clock::now().time_since_epoch() -
+             std::chrono::steady_clock::duration(
+                 last_heard_ns.load(std::memory_order_relaxed));
+    }
+  };
+
+  /// Finds the entry for `gtx`, creating it when absent and
+  /// `allow_create`. Returns nullptr for a finished/unknown transaction:
+  /// creation is refused on repeat contacts (see handle_read) and when
+  /// the local commitment register already shows a decision.
+  std::shared_ptr<TxEntry> entry_for(TxId gtx, const TxOptions& options,
+                                     bool allow_create);
+  std::shared_ptr<TxEntry> find_entry(TxId gtx) const;
+  void erase_entry(TxId gtx);
+
+  /// Applies `decision` under the entry lock; first applier wins. Returns
+  /// whether this call was the one that applied it.
+  bool apply_decision(TxId gtx, TxEntry& entry, const CommitDecision& decision,
+                      AbortReason abort_hint);
+
+  void sweep();
+
+  ShardServerConfig config_;
+  MvtlEngine engine_;
+  Executor exec_;
+  AcceptorTable acceptors_;
+  std::vector<AcceptorEndpoint> peers_;
+
+  mutable std::mutex tx_mu_;
+  std::unordered_map<TxId, std::shared_ptr<TxEntry>> txs_;
+
+  std::atomic<std::size_t> suspicion_aborts_{0};
+  std::unique_ptr<PeriodicTask> sweeper_;
+};
+
+}  // namespace mvtl

@@ -14,10 +14,10 @@
 //   HistoryRecorder + MvsgChecker    — machine-checked serializability
 // Workloads:
 //   WorkloadGenerator, run_closed_loop / run_fixed_count
-//
-// The distributed system of §7 (dist/cluster, dist/commitment, dist/paxos
-// over net/simnet) is not implemented yet — see ROADMAP.md; its client
-// will slot in behind the same Db facade.
+// Distributed system (§7/§8, behind the same Db facade):
+//   Cluster / ClusterConfig / DistClient — sharded MVTIL servers on
+//   net/simnet, Paxos-backed commitment objects with crash/suspicion
+//   recovery (Policy::distributed selects it)
 #pragma once
 
 #include "api/db.hpp"
@@ -32,6 +32,10 @@
 #include "core/mvtl_engine.hpp"
 #include "core/policy.hpp"
 #include "core/transactional_store.hpp"
+#include "dist/cluster.hpp"
+#include "dist/commitment.hpp"
+#include "dist/paxos.hpp"
+#include "dist/shard.hpp"
 #include "net/simnet.hpp"
 #include "sync/clock.hpp"
 #include "txbench/driver.hpp"

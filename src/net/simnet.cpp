@@ -83,8 +83,8 @@ std::chrono::microseconds SimNetwork::sample_latency() {
   std::int64_t extra = 0;
   if (jitter_us > 0) {
     std::lock_guard guard(rng_mu_);
-    extra = static_cast<std::int64_t>(rng_() %
-                                      static_cast<std::uint64_t>(jitter_us + 1));
+    extra = static_cast<std::int64_t>(
+        rng_() % static_cast<std::uint64_t>(jitter_us + 1));
   }
   return profile_.base + std::chrono::microseconds{extra};
 }
@@ -115,8 +115,9 @@ void SimNetwork::send(std::function<void()> fn) {
 void SimNetwork::send_to(Executor& target, std::function<void()> fn) {
   // Same destination ⇒ same lane: per-destination FIFO among equal
   // deadlines, like messages on one connection.
-  enqueue(lane_for_target(&target),
-          [&target, f = std::move(fn)]() mutable { target.post(std::move(f)); });
+  enqueue(lane_for_target(&target), [&target, f = std::move(fn)]() mutable {
+    target.post(std::move(f));
+  });
 }
 
 void SimNetwork::timer_loop(Lane& lane) {
@@ -130,8 +131,11 @@ void SimNetwork::timer_loop(Lane& lane) {
       continue;
     }
     const auto now = std::chrono::steady_clock::now();
-    if (lane.heap.top().due > now) {
-      lane.cv.wait_until(guard, lane.heap.top().due);
+    // Copy the deadline out of the heap: wait_until holds a reference to
+    // its argument across the unlocked wait, and a concurrent enqueue may
+    // reallocate the heap's storage under it.
+    if (const auto due = lane.heap.top().due; due > now) {
+      lane.cv.wait_until(guard, due);
       continue;
     }
     // Timed::fn is move-only in spirit; const_cast around priority_queue's

@@ -37,13 +37,22 @@ struct NetProfile {
   std::chrono::microseconds jitter{20};
 
   /// ≈ LAN with fast dedicated machines (paper's local test bed).
-  static NetProfile local() { return NetProfile{.base = std::chrono::microseconds{40}, .jitter = std::chrono::microseconds{20}}; }
+  static NetProfile local() {
+    return NetProfile{.base = std::chrono::microseconds{40},
+                      .jitter = std::chrono::microseconds{20}};
+  }
 
   /// ≈ shared cloud VMs with an unpredictable network (cloud test bed).
-  static NetProfile cloud() { return NetProfile{.base = std::chrono::microseconds{250}, .jitter = std::chrono::microseconds{500}}; }
+  static NetProfile cloud() {
+    return NetProfile{.base = std::chrono::microseconds{250},
+                      .jitter = std::chrono::microseconds{500}};
+  }
 
   /// Zero-latency (for unit tests of the distributed logic).
-  static NetProfile instant() { return NetProfile{.base = std::chrono::microseconds{0}, .jitter = std::chrono::microseconds{0}}; }
+  static NetProfile instant() {
+    return NetProfile{.base = std::chrono::microseconds{0},
+                      .jitter = std::chrono::microseconds{0}};
+  }
 };
 
 /// Bounded worker pool; models a server's request-handling threads.
@@ -111,6 +120,16 @@ class SimNetwork {
   template <typename Handler>
   auto call(Executor& server, Handler&& handler)
       -> decltype(handler()) {
+    return call_async(server, std::forward<Handler>(handler)).get();
+  }
+
+  /// Asynchronous RPC: like call(), but returns the future instead of
+  /// blocking on it, so a coordinator can fan a round of requests out to
+  /// many servers and collect the replies (the distributed commit's
+  /// prepare/finalize broadcasts and Paxos rounds).
+  template <typename Handler>
+  auto call_async(Executor& server, Handler&& handler)
+      -> std::future<decltype(handler())> {
     using Resp = decltype(handler());
     auto done = std::make_shared<std::promise<Resp>>();
     auto fut = done->get_future();
@@ -120,7 +139,7 @@ class SimNetwork {
         done->set_value(std::move(r));
       });
     });
-    return fut.get();
+    return fut;
   }
 
   /// One-way message ("without waiting for replies", §H): request latency

@@ -220,7 +220,8 @@ bool acquire_write_point(KeyState& ks, TxId tx, Timestamp t,
 void commit_key(KeyState& ks, TxId tx, Timestamp commit_ts, Value value) {
   std::lock_guard guard(ks.mu);
   assert(ks.locks.holds(tx, LockMode::kWrite, commit_ts));
-  ks.locks.freeze(tx, LockMode::kWrite, IntervalSet{Interval::point(commit_ts)});
+  ks.locks.freeze(tx, LockMode::kWrite,
+                  IntervalSet{Interval::point(commit_ts)});
   ks.versions.install(commit_ts, std::move(value), tx);
   ks.cv.notify_all();
 }

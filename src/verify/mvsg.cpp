@@ -67,7 +67,7 @@ std::vector<TxId> find_cycle(
       const TxId next = children.back();
       children.pop_back();
       auto cit = color.find(next);
-      if (cit == color.end()) continue;  // node with no record (shouldn't happen)
+      if (cit == color.end()) continue;  // node without a record
       if (cit->second == Color::kGray) {
         // The gray path from `next` to the top of the stack is the cycle.
         std::vector<TxId> cycle;

@@ -24,9 +24,10 @@ TEST_P(TransactRetryTest, ConvergesUnderContention) {
               .policy(GetParam().policy)
               .clock(clock)
               .lock_timeout(std::chrono::microseconds{10'000})
-              .retry(RetryPolicy{.max_attempts = 10'000,
-                                 .initial_backoff = std::chrono::microseconds{20},
-                                 .max_backoff = std::chrono::microseconds{2'000}})
+              .retry(RetryPolicy{
+                  .max_attempts = 10'000,
+                  .initial_backoff = std::chrono::microseconds{20},
+                  .max_backoff = std::chrono::microseconds{2'000}})
               .open();
 
   std::atomic<int> failures{0};

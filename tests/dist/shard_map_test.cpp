@@ -1,0 +1,60 @@
+// Key-range sharding: every key routes to exactly one server, workload
+// keys spread evenly across ranges, and arbitrary keys still route
+// deterministically.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dist/shard.hpp"
+#include "txbench/workload.hpp"
+
+namespace mvtl {
+namespace {
+
+TEST(ShardMapTest, SingleServerOwnsEverything) {
+  ShardMap map(1, 10'000);
+  EXPECT_EQ(map.servers(), 1u);
+  EXPECT_EQ(map.shard_of(make_key(0)), 0u);
+  EXPECT_EQ(map.shard_of(make_key(9'999)), 0u);
+  EXPECT_EQ(map.shard_of("zebra"), 0u);
+}
+
+TEST(ShardMapTest, RangesAreContiguousAndOrdered) {
+  const std::uint64_t key_space = 1'000;
+  ShardMap map(4, key_space);
+  EXPECT_EQ(map.servers(), 4u);
+  // Walking the key space in order never moves backwards across shards.
+  std::size_t prev = 0;
+  for (std::uint64_t i = 0; i < key_space; ++i) {
+    const std::size_t shard = map.shard_of(make_key(i));
+    ASSERT_LT(shard, 4u);
+    ASSERT_GE(shard, prev) << "key " << i << " jumped backwards";
+    prev = shard;
+  }
+  EXPECT_EQ(prev, 3u);  // the top of the space lands on the last server
+}
+
+TEST(ShardMapTest, WorkloadKeysBalanceAcrossServers) {
+  const std::uint64_t key_space = 10'000;
+  const std::size_t servers = 8;
+  ShardMap map(servers, key_space);
+  std::vector<std::size_t> counts(servers, 0);
+  for (std::uint64_t i = 0; i < key_space; ++i) {
+    ++counts[map.shard_of(make_key(i))];
+  }
+  for (std::size_t s = 0; s < servers; ++s) {
+    EXPECT_NEAR(static_cast<double>(counts[s]),
+                static_cast<double>(key_space) / servers, 1.0)
+        << "server " << s;
+  }
+}
+
+TEST(ShardMapTest, NonWorkloadKeysRouteDeterministically) {
+  ShardMap map(4, 1'000);
+  const std::size_t a = map.shard_of("final-check");
+  EXPECT_EQ(map.shard_of("final-check"), a);
+  EXPECT_LT(a, 4u);
+}
+
+}  // namespace
+}  // namespace mvtl

@@ -1,0 +1,136 @@
+// Crash/suspicion recovery: locks held by a crashed coordinator are
+// released once the servers' sweepers suspect it (Theorem 9 — nobody is
+// wedged forever), and the cluster stays fully available afterwards.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "dist/cluster.hpp"
+#include "sync/clock.hpp"
+#include "txbench/workload.hpp"
+#include "verify/history.hpp"
+
+namespace mvtl {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(SuspicionTest, CrashedCoordinatorLocksAreReleasedWithinTimeout) {
+  HistoryRecorder recorder;
+  ClusterConfig config;
+  config.servers = 2;
+  config.server_threads = 2;
+  config.net = NetProfile::instant();
+  config.mvtil_delta_ticks = 100'000;
+  config.suspect_timeout = 25ms;
+  config.key_space = 1'000;
+  config.clock = std::make_shared<LogicalClock>(1'000);
+  config.recorder = &recorder;
+  Cluster cluster(DistProtocol::kMvtilEarly, config);
+
+  // Write one key on each server, then vanish without a word.
+  auto tx = cluster.client().begin(TxOptions{.process = 1});
+  const TxId gtx = tx->id();
+  ASSERT_TRUE(cluster.client().write(*tx, make_key(1), "left"));
+  ASSERT_TRUE(cluster.client().write(*tx, make_key(900), "behind"));
+  ASSERT_GT(cluster.stats().lock_entries, 0u);
+  ASSERT_EQ(cluster.server(0).live_transactions() +
+                cluster.server(1).live_transactions(),
+            2u);
+  cluster.mvtil_client()->crash(*tx);
+  EXPECT_FALSE(tx->is_active());
+
+  // Within (a few) suspect_timeouts the sweepers must notice the silence,
+  // drive the commitment object to Abort, and release every lock.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline &&
+         (cluster.server(0).live_transactions() +
+              cluster.server(1).live_transactions() >
+          0)) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(cluster.server(0).live_transactions(), 0u);
+  EXPECT_EQ(cluster.server(1).live_transactions(), 0u);
+  EXPECT_EQ(cluster.stats().lock_entries, 0u);
+  EXPECT_EQ(cluster.stats().versions, 0u);  // nothing was committed
+  EXPECT_GE(cluster.server(0).suspicion_aborts() +
+                cluster.server(1).suspicion_aborts(),
+            1u);
+
+  // The abort is attributed to the suspicion machinery in the history.
+  bool found = false;
+  for (const TxRecord& rec : recorder.finished()) {
+    if (rec.id != gtx) continue;
+    found = true;
+    EXPECT_FALSE(rec.committed);
+    EXPECT_EQ(rec.abort_reason, AbortReason::kCoordinatorSuspected);
+  }
+  EXPECT_TRUE(found);
+
+  // The same keys are writable again: the crash wedged nothing.
+  auto retry = cluster.client().begin(TxOptions{.process = 2});
+  EXPECT_TRUE(cluster.client().write(*retry, make_key(1), "fresh"));
+  EXPECT_TRUE(cluster.client().write(*retry, make_key(900), "fresh"));
+  EXPECT_TRUE(cluster.client().commit(*retry).committed());
+}
+
+TEST(SuspicionTest, RepeatContactAfterServerForgotIsRefused) {
+  ClusterConfig config;
+  config.servers = 1;
+  config.net = NetProfile::instant();
+  config.suspect_timeout = std::chrono::seconds{60};  // sweeper stays out
+  config.key_space = 100;
+  config.clock = std::make_shared<LogicalClock>(1'000);
+  Cluster cluster(DistProtocol::kMvtilEarly, config);
+
+  // A non-first contact for a transaction this server has no entry for
+  // means the server already finished it (e.g. suspicion abort + register
+  // expiry). It must refuse rather than open a fresh sub-transaction —
+  // otherwise a stalled-but-alive coordinator could commit only its
+  // post-stall writes.
+  const DistReadReply refused = cluster.server(0).handle_read(
+      /*gtx=*/999, TxOptions{.process = 1}, make_key(1),
+      /*first_contact=*/false);
+  EXPECT_FALSE(refused.result.ok);
+  EXPECT_EQ(refused.abort_reason, AbortReason::kCoordinatorSuspected);
+  EXPECT_EQ(cluster.server(0).live_transactions(), 0u);
+
+  // A genuine first contact opens normally.
+  const DistReadReply opened = cluster.server(0).handle_read(
+      /*gtx=*/999, TxOptions{.process = 1}, make_key(1),
+      /*first_contact=*/true);
+  EXPECT_TRUE(opened.result.ok);
+  EXPECT_EQ(cluster.server(0).live_transactions(), 1u);
+  cluster.server(0).handle_finalize(999, CommitDecision::aborted(),
+                                    AbortReason::kUserAbort);
+}
+
+TEST(SuspicionTest, LiveCoordinatorIsNotSuspected) {
+  ClusterConfig config;
+  config.servers = 2;
+  config.server_threads = 2;
+  config.net = NetProfile::instant();
+  config.suspect_timeout = 50ms;
+  config.key_space = 1'000;
+  config.clock = std::make_shared<LogicalClock>(1'000);
+  Cluster cluster(DistProtocol::kMvtilEarly, config);
+
+  // Keep touching the transaction slower than the sweep period but
+  // faster than the suspicion timeout: it must survive to commit.
+  auto tx = cluster.client().begin(TxOptions{.process = 1});
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cluster.client()
+                    .write(*tx, make_key(static_cast<std::uint64_t>(i)),
+                           "beat")
+                    );
+    std::this_thread::sleep_for(20ms);
+  }
+  EXPECT_TRUE(cluster.client().commit(*tx).committed());
+  EXPECT_EQ(cluster.server(0).suspicion_aborts() +
+                cluster.server(1).suspicion_aborts(),
+            0u);
+}
+
+}  // namespace
+}  // namespace mvtl
