@@ -137,7 +137,14 @@ inline Db make_db(Protocol protocol, const RunSpec& spec) {
       .open();
 }
 
-inline DriverResult run_protocol(Protocol protocol, const RunSpec& spec) {
+/// One protocol's run plus its post-run store stats — the distributed
+/// beds report messages-per-committed-transaction from the latter.
+struct ProtocolRun {
+  DriverResult driver;
+  StoreStats stats;
+};
+
+inline ProtocolRun run_protocol(Protocol protocol, const RunSpec& spec) {
   Db db = make_db(protocol, spec);
 
   DriverConfig driver;
@@ -156,7 +163,9 @@ inline DriverResult run_protocol(Protocol protocol, const RunSpec& spec) {
     driver.retry_aborted = true;
     driver.max_restarts = 5;
   }
-  return run_closed_loop(db.spi(), driver);
+  ProtocolRun run{run_closed_loop(db.spi(), driver), {}};
+  run.stats = db.stats();
+  return run;
 }
 
 inline const std::vector<Protocol>& all_protocols() {
@@ -166,8 +175,11 @@ inline const std::vector<Protocol>& all_protocols() {
   return kProtocols;
 }
 
-/// Runs the x-axis sweep and prints two paper-style panels:
-/// (a) throughput (txs/s) and (b) commit rate.
+/// Runs the x-axis sweep and prints the paper-style panels:
+/// (a) throughput (txs/s) and (b) commit rate — plus, for distributed
+/// beds, (c) messages per committed transaction (client RPCs + register
+/// traffic over commits; the batching and read-only fast-path savings
+/// show up here).
 template <typename XValues, typename MakeSpec>
 void run_sweep(const std::string& figure, const std::string& x_label,
                const XValues& xs, MakeSpec&& make_spec,
@@ -177,23 +189,41 @@ void run_sweep(const std::string& figure, const std::string& x_label,
 
   Table throughput(columns);
   Table commit_rate(columns);
+  Table msgs_per_tx(columns);
+  bool distributed = false;
   for (const auto& x : xs) {
     std::vector<std::string> tput_row{std::to_string(x)};
     std::vector<std::string> rate_row{std::to_string(x)};
+    std::vector<std::string> msgs_row{std::to_string(x)};
     for (Protocol p : protocols) {
       const RunSpec spec = make_spec(x);
-      const DriverResult r = run_protocol(p, spec);
-      tput_row.push_back(fmt_double(r.throughput_tps, 0));
-      rate_row.push_back(fmt_double(r.commit_rate, 3));
+      distributed |= spec.bed.distributed();
+      const ProtocolRun run = run_protocol(p, spec);
+      tput_row.push_back(fmt_double(run.driver.throughput_tps, 0));
+      rate_row.push_back(fmt_double(run.driver.commit_rate, 3));
+      const double messages = static_cast<double>(run.stats.rpc_messages +
+                                                  run.stats.paxos_messages);
+      msgs_row.push_back(
+          run.stats.committed_txs == 0
+              ? "-"
+              : fmt_double(messages /
+                               static_cast<double>(run.stats.committed_txs),
+                           1));
     }
     throughput.add_row(std::move(tput_row));
     commit_rate.add_row(std::move(rate_row));
+    msgs_per_tx.add_row(std::move(msgs_row));
   }
 
   std::printf("=== %s (a) Throughput (txs/s) ===\n", figure.c_str());
   throughput.print();
   std::printf("\n=== %s (b) Commit rate ===\n", figure.c_str());
   commit_rate.print();
+  if (distributed) {
+    std::printf("\n=== %s (c) Messages per committed tx ===\n",
+                figure.c_str());
+    msgs_per_tx.print();
+  }
 }
 
 }  // namespace mvtl::bench

@@ -66,7 +66,9 @@ int main() {
               break;
             }
           }
-          if (tx->is_active()) {
+          // Ship the buffered writes first so the servers actually hold
+          // locks for the coordinator that is about to vanish.
+          if (tx->is_active() && cluster.mvtil_client()->flush(*tx)) {
             cluster.mvtil_client()->crash(*tx);
             crashed.fetch_add(1);
             continue;

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Checks that every relative link in the repo's documentation (README.md,
+# ROADMAP.md, CHANGES.md and everything under docs/) points at a file
+# that exists. External (http/https/mailto) links and pure anchors are
+# skipped, as are fenced code blocks (C++ lambdas look like markdown
+# links). Run from the repository root; exits non-zero if any link is
+# dangling. PAPERS.md / SNIPPETS.md are retrieval artifacts, not docs,
+# and are deliberately out of scope.
+set -u
+
+docs="README.md ROADMAP.md CHANGES.md"
+if [ -d docs ]; then
+  docs="$docs $(find docs -name '*.md')"
+fi
+
+fail=0
+for md in $docs; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Drop fenced code blocks, then extract every [text](target).
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://* | https://* | mailto:* | \#*) continue ;;
+    esac
+    # Strip a trailing #anchor from file links.
+    file=${target%%#*}
+    [ -z "$file" ] && continue
+    if [ ! -e "$dir/$file" ] && [ ! -e "$file" ]; then
+      echo "dangling link in $md: $target"
+      fail=1
+    fi
+  done < <(awk '/^[[:space:]]*```/ { fenced = !fenced; next } !fenced' "$md" |
+           grep -oE '\]\([^)]+\)' | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "markdown link check failed"
+  exit 1
+fi
+echo "markdown links OK"

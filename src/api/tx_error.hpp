@@ -33,7 +33,9 @@ enum class TxErrorCode {
   /// (kVersionPurged); a fresh timestamp sees live versions. Retryable.
   kStale,
   /// The distributed commitment protocol suspected the coordinator and
-  /// decided abort (kCoordinatorSuspected). Retryable.
+  /// decided abort (kCoordinatorSuspected), or the cluster moved to a new
+  /// configuration epoch under the transaction (kEpochChanged); a fresh
+  /// attempt routes against the new shard map. Retryable.
   kUnavailable,
   /// The application voluntarily aborted (kUserAbort). Terminal.
   kUserAbort,
@@ -66,6 +68,7 @@ class TxError {
       case AbortReason::kVersionPurged:
         return TxError(TxErrorCode::kStale, reason);
       case AbortReason::kCoordinatorSuspected:
+      case AbortReason::kEpochChanged:
         return TxError(TxErrorCode::kUnavailable, reason);
       case AbortReason::kUserAbort:
         return TxError(TxErrorCode::kUserAbort, reason);

@@ -20,6 +20,8 @@ const char* abort_reason_name(AbortReason r) {
       return "coordinator-suspected";
     case AbortReason::kDeadlock:
       return "deadlock";
+    case AbortReason::kEpochChanged:
+      return "epoch-changed";
   }
   return "unknown";
 }

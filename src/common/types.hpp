@@ -46,12 +46,27 @@ struct ReadResult {
   Timestamp version_ts;
 };
 
-/// Aggregated metadata sizes (Figure 6). Shared vocabulary so any engine
-/// can report them through the uniform store interface.
+/// Aggregated metadata sizes (Figure 6) plus message accounting for the
+/// distributed layer. Shared vocabulary so any engine can report them
+/// through the uniform store interface; centralized engines leave the
+/// message counters at zero.
 struct StoreStats {
   std::size_t keys = 0;
   std::size_t lock_entries = 0;
   std::size_t versions = 0;
+
+  /// Client→server RPC messages sent (op batches, prepares, finalizes).
+  std::size_t rpc_messages = 0;
+  /// Reads/writes that crossed the network inside a batch message; with
+  /// rpc_messages this yields the ops-per-message batching factor.
+  std::size_t batched_ops = 0;
+  /// Commitment/configuration register requests served (Paxos prepare +
+  /// accept). Zero register traffic for a workload means every commit
+  /// took a fast path.
+  std::size_t paxos_messages = 0;
+  /// Distributed transactions that committed; the denominator benches
+  /// use to report messages-per-transaction.
+  std::size_t committed_txs = 0;
 };
 
 /// Why a transaction aborted; used by metrics and tests.
@@ -64,6 +79,7 @@ enum class AbortReason {
   kUserAbort,
   kCoordinatorSuspected,  ///< distributed: suspicion decided abort (§7)
   kDeadlock,              ///< wait-for-graph cycle; this tx was the victim
+  kEpochChanged,          ///< distributed: shard map moved under the tx
 };
 
 const char* abort_reason_name(AbortReason r);

@@ -158,6 +158,25 @@ CommitResult MvtlEngine::finalize_commit(Tx& tx_base, Timestamp c) {
   return result;
 }
 
+CommitResult MvtlEngine::finalize_readonly(Tx& tx_base, Timestamp freeze_hi) {
+  auto& tx = static_cast<MvtlTx&>(tx_base);
+  CommitResult result;
+  if (!tx.is_active()) return result;
+  assert(tx.writeset().empty());
+  // Anchoring the commit point at the top of the candidate range makes
+  // gc_tx freeze [tr, freeze_hi] per read — a superset of [tr, c] for any
+  // coordinator choice c, which is safe (conservatively blocks writers)
+  // and never unsound. Policies without commit-time GC leave their read
+  // locks held instead, which protects the same range.
+  tx.set_commit_ts(freeze_hi);
+  tx.set_state(MvtlTx::State::kCommitted);
+  if (config_.deadlock_detection) wait_graph_.remove_tx(tx.id());
+  if (policy_->commit_gc(tx)) gc_tx(tx);
+  result.status = CommitStatus::kCommitted;
+  result.commit_ts = freeze_hi;
+  return result;
+}
+
 CommitResult MvtlEngine::commit(Tx& tx_base) {
   auto& tx = static_cast<MvtlTx&>(tx_base);
   const Prepared prepared = prepare(tx_base);

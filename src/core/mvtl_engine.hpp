@@ -74,6 +74,16 @@ class MvtlEngine final : public TransactionalStore {
   /// candidate set, so it is one of ours by construction.
   CommitResult finalize_commit(Tx& tx, Timestamp c);
 
+  /// Read-only half of the distributed fast path (§7, Algorithm 1's
+  /// read-only case): commits a *prepared* transaction with an empty
+  /// write set without learning the coordinator's timestamp choice. The
+  /// read locks are frozen all the way up to `freeze_hi` — the top of the
+  /// candidate set this engine reported — so every timestamp the
+  /// coordinator may pick from the global intersection stays protected
+  /// forever. Installs nothing and records no history event; the
+  /// coordinator records the single global commit.
+  CommitResult finalize_readonly(Tx& tx, Timestamp freeze_hi);
+
   /// abort() with an explicit reason (e.g. kCoordinatorSuspected when the
   /// suspicion sweeper cleans up after a crashed coordinator).
   void abort_with(Tx& tx, AbortReason reason);

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "core/policy.hpp"
 
@@ -12,10 +16,14 @@ namespace mvtl {
 // ---------------------------------------------------------------------------
 
 /// Coordinator-side transaction state: the global id, the pinned anchor
-/// tick, and which servers this transaction has touched.
+/// tick, the routing snapshot (shard map + epoch) the transaction runs
+/// against, and the per-participant op buffers that batch co-located
+/// reads/writes into single messages.
 class DistClient::DistTx final : public TransactionalStore::Tx {
  public:
-  DistTx(TxId id, const TxOptions& options) : id_(id), options_(options) {}
+  DistTx(TxId id, const TxOptions& options,
+         std::shared_ptr<const ClusterRouting> routing)
+      : id_(id), options_(options), routing_(std::move(routing)) {}
 
   TxId id() const override { return id_; }
   bool is_active() const override { return state_ == State::kActive; }
@@ -27,12 +35,30 @@ class DistClient::DistTx final : public TransactionalStore::Tx {
 
   TxId id_;
   TxOptions options_;  // begin_tick pinned at global begin
+  std::shared_ptr<const ClusterRouting> routing_;
   State state_ = State::kActive;
   AbortReason reason_ = AbortReason::kNone;
-  std::vector<std::size_t> participants_;  // server indices, first-touch order
+  std::vector<std::size_t> participants_;  // servers with ops, first-touch
+  std::vector<std::size_t> contacted_;     // servers actually messaged
+  /// Buffered ops not yet shipped, per participant. Writes accumulate
+  /// here; a read (whose result the client needs) or the commit flushes a
+  /// server's buffer as one op-batch message.
+  std::unordered_map<std::size_t, std::vector<DistOp>> pending_;
+  bool wrote_ = false;
 };
 
-DistClient::DistClient(Cluster& cluster) : cluster_(&cluster) {}
+DistClient::DistClient(Cluster& cluster)
+    : cluster_(&cluster), routing_(cluster.routing()) {}
+
+std::shared_ptr<const ClusterRouting> DistClient::routing_snapshot() {
+  std::lock_guard guard(routing_mu_);
+  return routing_;
+}
+
+void DistClient::refresh_routing() {
+  std::lock_guard guard(routing_mu_);
+  routing_ = cluster_->routing();
+}
 
 TransactionalStore::TxPtr DistClient::begin(const TxOptions& options) {
   const TxId gtx = next_gtx_.fetch_add(1, std::memory_order_relaxed);
@@ -43,56 +69,114 @@ TransactionalStore::TxPtr DistClient::begin(const TxOptions& options) {
     // anchor the same I.
     pinned.begin_tick = cluster_->clock()->now(options.process);
   }
-  return std::make_unique<DistTx>(gtx, pinned);
+  return std::make_unique<DistTx>(gtx, pinned, routing_snapshot());
 }
 
 DistClient::Route DistClient::route(DistTx& tx, const Key& key) {
-  const std::size_t idx = cluster_->shard_map().shard_of(key);
-  Route r{&cluster_->server(idx), false};
+  const std::size_t idx = tx.routing_->map.shard_of(key);
   if (std::find(tx.participants_.begin(), tx.participants_.end(), idx) ==
       tx.participants_.end()) {
     tx.participants_.push_back(idx);
-    r.first_contact = true;
   }
-  return r;
+  return Route{idx, &cluster_->server(idx)};
+}
+
+std::future<DistBatchReply> DistClient::send_batch_async(
+    DistTx& tx, std::size_t index, std::vector<DistOp> ops,
+    BatchFinish finish) {
+  ShardServer* server = &cluster_->server(index);
+  bool first = false;
+  if (std::find(tx.contacted_.begin(), tx.contacted_.end(), index) ==
+      tx.contacted_.end()) {
+    tx.contacted_.push_back(index);
+    first = true;
+  }
+  rpc_messages_.fetch_add(1, std::memory_order_relaxed);
+  batched_ops_.fetch_add(ops.size(), std::memory_order_relaxed);
+  return cluster_->net().call_async(
+      server->exec(),
+      [server, gtx = tx.id(), options = tx.options_,
+       epoch = tx.routing_->epoch, ops = std::move(ops), first, finish] {
+        return server->handle_op_batch(gtx, options, epoch, ops, first,
+                                       finish);
+      });
+}
+
+void DistClient::abort_on_batch_failure(DistTx& tx,
+                                        const DistBatchReply& reply) {
+  AbortReason reason = reply.abort_reason;
+  if (reply.wrong_epoch) {
+    reason = AbortReason::kEpochChanged;
+  } else if (reason == AbortReason::kNone) {
+    reason = AbortReason::kNoCommonTimestamp;
+  }
+  // Abort (and finalize server-side entries) BEFORE refreshing: the
+  // refresh blocks on the cluster's epoch lock for the duration of the
+  // migration, and the migration's drain is waiting for exactly these
+  // entries to finalize.
+  finish_abort(tx, reason, /*notify_servers=*/true);
+  if (reply.wrong_epoch) {
+    // The shard map moved under us: adopt the new routing so the caller's
+    // retry runs against the current epoch.
+    refresh_routing();
+  }
 }
 
 ReadResult DistClient::read(Tx& tx_base, const Key& key) {
   auto& tx = static_cast<DistTx&>(tx_base);
   if (!tx.is_active()) return {};
-  const auto [server, first] = route(tx, key);
-  const DistReadReply reply = cluster_->net().call(
-      server->exec(),
-      [server, gtx = tx.id(), options = tx.options_, key, first] {
-        return server->handle_read(gtx, options, key, first);
-      });
-  if (!reply.result.ok) {
-    finish_abort(tx,
-                 reply.abort_reason == AbortReason::kNone
-                     ? AbortReason::kNoCommonTimestamp
-                     : reply.abort_reason,
-                 /*notify_servers=*/true);
+  const Route r = route(tx, key);
+  // The read's result gates the client's next step, so this flushes the
+  // server's buffered writes and the read together as one message.
+  std::vector<DistOp> ops = std::move(tx.pending_[r.index]);
+  tx.pending_.erase(r.index);
+  ops.push_back(DistOp::read(key));
+  const DistBatchReply reply =
+      send_batch_async(tx, r.index, std::move(ops), BatchFinish::kNone).get();
+  if (!reply.ok) {
+    abort_on_batch_failure(tx, reply);
+    return {};
   }
-  return reply.result;
+  return reply.reads.back();
 }
 
 bool DistClient::write(Tx& tx_base, const Key& key, Value value) {
   auto& tx = static_cast<DistTx&>(tx_base);
   if (!tx.is_active()) return false;
-  const auto [server, first] = route(tx, key);
-  const DistWriteReply reply = cluster_->net().call(
-      server->exec(), [server, gtx = tx.id(), options = tx.options_, key,
-                       value = std::move(value), first] {
-        return server->handle_write(gtx, options, key, value, first);
-      });
-  if (!reply.ok) {
-    finish_abort(tx,
-                 reply.abort_reason == AbortReason::kNone
-                     ? AbortReason::kNoCommonTimestamp
-                     : reply.abort_reason,
-                 /*notify_servers=*/true);
+  // Writes are fire-and-forget from the client's perspective until
+  // something needs their outcome: buffer them per participant and ship
+  // whole buffers in single messages (a conflict surfaces at the next
+  // read or at commit, where it aborts the transaction exactly as an
+  // immediate refusal would have).
+  const Route r = route(tx, key);
+  tx.pending_[r.index].push_back(DistOp::write(key, std::move(value)));
+  tx.wrote_ = true;
+  return true;
+}
+
+bool DistClient::flush(Tx& tx_base) {
+  auto& tx = static_cast<DistTx&>(tx_base);
+  if (!tx.is_active()) return false;
+  std::vector<std::future<DistBatchReply>> futures;
+  for (const std::size_t idx : tx.participants_) {
+    auto it = tx.pending_.find(idx);
+    if (it == tx.pending_.end() || it->second.empty()) continue;
+    std::vector<DistOp> ops = std::move(it->second);
+    tx.pending_.erase(it);
+    futures.push_back(
+        send_batch_async(tx, idx, std::move(ops), BatchFinish::kNone));
   }
-  return reply.ok;
+  bool ok = true;
+  DistBatchReply first_failure;
+  for (auto& f : futures) {
+    const DistBatchReply reply = f.get();
+    if (!reply.ok && ok) {
+      ok = false;
+      first_failure = reply;
+    }
+  }
+  if (!ok) abort_on_batch_failure(tx, first_failure);
+  return ok;
 }
 
 CommitResult DistClient::commit(Tx& tx_base) {
@@ -106,26 +190,47 @@ CommitResult DistClient::commit(Tx& tx_base) {
     result.status = CommitStatus::kCommitted;
     result.commit_ts = Timestamp::make(tx.options_.begin_tick,
                                        tx.options_.process);
+    committed_txs_.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
 
-  // Prepare round, in parallel: every participant reports the timestamps
-  // it has locked appropriately (Algorithm 1 line 13, per server).
-  std::vector<std::future<DistPrepareReply>> futures;
+  // Read-only fast path (§7, Algorithm 1's read-only case): no writes ⇒
+  // the outcome is invisible to every other transaction, so no replicated
+  // commit decision is needed. Each participant commits locally at
+  // prepare time, freezing its whole candidate range; any point of the
+  // global intersection is then a valid serialization point — zero
+  // commitment-register rounds, zero finalize messages. Pessimistic locks
+  // every timestamp, which would freeze keys forever; it keeps the
+  // register path.
+  const bool read_only =
+      !tx.wrote_ && cluster_->protocol() != DistProtocol::kPessimistic;
+  const BatchFinish finish =
+      read_only ? BatchFinish::kReadOnlyCommit : BatchFinish::kPrepare;
+
+  // Final flush, in parallel: each participant gets its leftover buffered
+  // ops with the prepare folded into the same message (Algorithm 1
+  // line 13, per server — each returns the timestamps it has locked
+  // appropriately).
+  std::vector<std::future<DistBatchReply>> futures;
   futures.reserve(tx.participants_.size());
   for (const std::size_t idx : tx.participants_) {
-    ShardServer* server = &cluster_->server(idx);
-    futures.push_back(cluster_->net().call_async(
-        server->exec(),
-        [server, gtx = tx.id()] { return server->handle_prepare(gtx); }));
+    std::vector<DistOp> ops;
+    if (auto it = tx.pending_.find(idx); it != tx.pending_.end()) {
+      ops = std::move(it->second);
+    }
+    futures.push_back(send_batch_async(tx, idx, std::move(ops), finish));
   }
+  tx.pending_.clear();
+
   bool prepared = true;
+  bool wrong_epoch = false;
   AbortReason failure = AbortReason::kNoCommonTimestamp;
   IntervalSet candidates = IntervalSet::all();
   for (auto& f : futures) {
-    const DistPrepareReply reply = f.get();
+    const DistBatchReply reply = f.get();
     if (!reply.ok) {
       prepared = false;
+      wrong_epoch |= reply.wrong_epoch;
       if (reply.abort_reason != AbortReason::kNone) {
         failure = reply.abort_reason;
       }
@@ -133,19 +238,43 @@ CommitResult DistClient::commit(Tx& tx_base) {
     }
     if (prepared) candidates = candidates.intersect(reply.candidates);
   }
+  if (wrong_epoch) {
+    failure = AbortReason::kEpochChanged;
+    prepared = false;
+  }
   if (!prepared || candidates.is_empty()) {
     finish_abort(tx, prepared ? AbortReason::kNoCommonTimestamp : failure,
                  /*notify_servers=*/true);
+    // Refresh only after the abort finalized our server-side entries —
+    // the routing lock is held for the whole migration and its drain is
+    // waiting on those entries (see abort_on_batch_failure).
+    if (wrong_epoch) refresh_routing();
     return result;
   }
 
   // The global T is non-empty: pick the commit timestamp (early/late,
-  // §8.1) and drive the commitment object. A suspecter may already have
-  // decided Abort; whatever the register holds is the truth.
+  // §8.1).
   Timestamp ts = cluster_->protocol() == DistProtocol::kMvtilLate
                      ? candidates.max()
                      : candidates.min();
   if (ts.is_infinity()) ts = candidates.min();  // unbounded pessimistic sets
+
+  if (read_only) {
+    // Every participant already froze its candidate range and finished;
+    // ts is covered on all of them. The servers record no commit event
+    // for the fast path, so the single global one lands here.
+    tx.state_ = DistTx::State::kCommitted;
+    if (HistoryRecorder* recorder = cluster_->config().recorder) {
+      recorder->record_commit(tx.id(), ts);
+    }
+    committed_txs_.fetch_add(1, std::memory_order_relaxed);
+    result.status = CommitStatus::kCommitted;
+    result.commit_ts = ts;
+    return result;
+  }
+
+  // Write path: drive the commitment object. A suspecter may already
+  // have decided Abort; whatever the register holds is the truth.
   const CommitmentObject object(tx.id(), &cluster_->acceptors(),
                                 kCoordinatorProposer);
   const CommitDecision decided = object.decide(CommitDecision::committed(ts));
@@ -156,6 +285,7 @@ CommitResult DistClient::commit(Tx& tx_base) {
     return result;
   }
   tx.state_ = DistTx::State::kCommitted;
+  committed_txs_.fetch_add(1, std::memory_order_relaxed);
   result.status = CommitStatus::kCommitted;
   result.commit_ts = decided.ts;
   return result;
@@ -180,10 +310,12 @@ void DistClient::finish_abort(DistTx& tx, AbortReason reason,
                               bool notify_servers) {
   tx.state_ = DistTx::State::kAborted;
   tx.reason_ = reason;
+  tx.pending_.clear();  // buffered ops die with the transaction
   // Coordinator-initiated aborts need no Paxos round: Commit is only ever
   // proposed by the coordinator, so once it chooses Abort every decision
-  // path ends in Abort and a plain broadcast suffices.
-  if (notify_servers && !tx.participants_.empty()) {
+  // path ends in Abort and a plain broadcast suffices. Only servers that
+  // were actually messaged can hold a sub-transaction.
+  if (notify_servers && !tx.contacted_.empty()) {
     broadcast_finalize(tx, CommitDecision::aborted(), reason);
   }
 }
@@ -192,9 +324,10 @@ void DistClient::broadcast_finalize(const DistTx& tx,
                                     const CommitDecision& decision,
                                     AbortReason abort_hint) {
   std::vector<std::future<bool>> futures;
-  futures.reserve(tx.participants_.size());
-  for (const std::size_t idx : tx.participants_) {
+  futures.reserve(tx.contacted_.size());
+  for (const std::size_t idx : tx.contacted_) {
     ShardServer* server = &cluster_->server(idx);
+    rpc_messages_.fetch_add(1, std::memory_order_relaxed);
     futures.push_back(cluster_->net().call_async(
         server->exec(), [server, gtx = tx.id(), decision, abort_hint] {
           server->handle_finalize(gtx, decision, abort_hint);
@@ -208,7 +341,13 @@ std::string DistClient::name() const {
   return dist_store_name(cluster_->protocol(), cluster_->server_count());
 }
 
-StoreStats DistClient::stats() { return cluster_->stats(); }
+StoreStats DistClient::stats() {
+  StoreStats stats = cluster_->stats();
+  stats.rpc_messages += rpc_messages_.load(std::memory_order_relaxed);
+  stats.batched_ops += batched_ops_.load(std::memory_order_relaxed);
+  stats.committed_txs += committed_txs_.load(std::memory_order_relaxed);
+  return stats;
+}
 
 std::size_t DistClient::purge_below(Timestamp horizon) {
   return cluster_->purge_below(horizon);
@@ -241,8 +380,7 @@ Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
     : protocol_(protocol),
       config_(std::move(config)),
       clock_(config_.clock ? config_.clock : std::make_shared<SystemClock>()),
-      net_(config_.net, config_.seed, config_.net_lanes),
-      shard_map_(config_.servers, config_.key_space) {
+      net_(config_.net, config_.seed, config_.net_lanes) {
   servers_.reserve(config_.servers);
   for (std::size_t i = 0; i < config_.servers; ++i) {
     ShardServerConfig sc;
@@ -281,8 +419,12 @@ Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
 
   // Configuration epoch 0 goes through the same register machinery as
   // every commitment decision: decided once, durable against races.
+  ShardMap initial(config_.servers, config_.key_space);
   epochs_.push_back(paxos_propose("config/0", acceptor_endpoints_,
-                                  kCoordinatorProposer, encode_config(0)));
+                                  kCoordinatorProposer,
+                                  encode_config(0, initial)));
+  routing_ = std::make_shared<ClusterRouting>(
+      ClusterRouting{0, std::move(initial)});
 
   client_ = std::make_unique<DistClient>(*this);
 }
@@ -320,6 +462,7 @@ StoreStats Cluster::stats() {
     total.keys += s.keys;
     total.lock_entries += s.lock_entries;
     total.versions += s.versions;
+    total.paxos_messages += s.paxos_messages;
   }
   return total;
 }
@@ -337,24 +480,146 @@ std::size_t Cluster::purge_below(Timestamp horizon) {
   return purged;
 }
 
-PaxosValue Cluster::encode_config(std::uint64_t epoch) const {
+PaxosValue Cluster::encode_config(std::uint64_t epoch,
+                                  const ShardMap& map) const {
   return "epoch=" + std::to_string(epoch) +
-         ";servers=" + std::to_string(config_.servers) +
+         ";servers=" + std::to_string(map.servers()) +
          ";suspect_ms=" + std::to_string(config_.suspect_timeout.count()) +
-         ";delta=" + std::to_string(config_.mvtil_delta_ticks);
+         ";delta=" + std::to_string(config_.mvtil_delta_ticks) +
+         ";boundaries=" + map.encode();
 }
+
+namespace {
+
+/// Inverts encode_config's boundary field: the shard map the register
+/// actually decided for an epoch. `boundaries` is the final field, so it
+/// runs to the end of the value.
+ShardMap decode_config_map(const PaxosValue& config) {
+  const std::string tag = "boundaries=";
+  const std::size_t pos = config.find(tag);
+  return ShardMap::decode(
+      pos == std::string::npos ? std::string{}
+                               : config.substr(pos + tag.size()));
+}
+
+}  // namespace
 
 std::uint64_t Cluster::epoch() const {
   std::lock_guard guard(epoch_mu_);
   return epochs_.size() - 1;
 }
 
+std::shared_ptr<const ClusterRouting> Cluster::routing() const {
+  std::lock_guard guard(epoch_mu_);
+  return routing_;
+}
+
+void Cluster::drain_in_flight() {
+  using namespace std::chrono;
+  const auto start = steady_clock::now();
+  // Coordinators notice the freeze at their next op/prepare, abort
+  // (retryably) and finalize; after a full suspicion timeout of silence
+  // the sweepers are entitled to clean up whoever is left (crashed or
+  // wedged coordinators), so force sweeps from then on. The loop must
+  // not give up early: migrating while a sub-transaction is live would
+  // export its held locks as frozen and clear state its finalize still
+  // targets. Termination is Theorem 9's: the freeze stops new touches,
+  // silence grows past suspect_timeout, and every forced sweep drives
+  // the remaining registers to a decision.
+  const auto force_after = config_.suspect_timeout;
+  for (;;) {
+    std::size_t live = 0;
+    for (auto& server : servers_) live += server->live_transactions();
+    if (live == 0) return;
+    if (steady_clock::now() - start > force_after) {
+      for (auto& server : servers_) server->sweep_now();
+    }
+    std::this_thread::sleep_for(milliseconds{1});
+  }
+}
+
 std::uint64_t Cluster::advance_epoch() {
+  return advance_epoch(routing()->map);
+}
+
+std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
+  if (new_map.servers() > servers_.size()) {
+    throw std::invalid_argument(
+        "advance_epoch: shard map names more servers than the cluster has");
+  }
+  // epoch_mu_ serializes reconfigurations end to end; epoch()/routing()
+  // readers block only for the duration of the migration.
   std::lock_guard guard(epoch_mu_);
   const std::uint64_t next = epochs_.size();
-  epochs_.push_back(
+
+  // 1. Decide the new assignment through the configuration register —
+  //    the durable, unique record of who owns what in epoch `next`. The
+  //    migration below runs against the map the register DECIDED (decoded
+  //    from the value), not the one we proposed: with a single config
+  //    proposer they coincide, but the register is the source of truth.
+  const PaxosValue decided =
       paxos_propose("config/" + std::to_string(next), acceptor_endpoints_,
-                    kCoordinatorProposer, encode_config(next)));
+                    kCoordinatorProposer, encode_config(next, new_map));
+  ShardMap adopted = decode_config_map(decided);
+  if (adopted.servers() > servers_.size()) {
+    throw std::runtime_error(
+        "advance_epoch: register decided a map for more servers than the "
+        "cluster has");
+  }
+
+  // 2. Bar the door: every server refuses op batches (old epoch or new)
+  //    until the migration commits.
+  {
+    std::vector<std::future<bool>> futures;
+    for (auto& server : servers_) {
+      ShardServer* s = server.get();
+      futures.push_back(net_.call_async(s->exec(), [s, next] {
+        s->handle_epoch_freeze(next);
+        return true;
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  // 3. Drain in-flight transactions against the old epoch.
+  drain_in_flight();
+
+  // 4. Migrate: each server exports the key ranges it no longer owns;
+  //    the exports are regrouped by new owner and imported.
+  std::vector<std::vector<MigratedKey>> imports(servers_.size());
+  for (auto& server : servers_) {
+    ShardServer* s = server.get();
+    std::vector<MigratedKey> exported = net_.call(
+        s->exec(), [s, &adopted] { return s->handle_export_keys(adopted); });
+    for (MigratedKey& mk : exported) {
+      imports[adopted.shard_of(mk.key)].push_back(std::move(mk));
+    }
+  }
+  for (std::size_t j = 0; j < servers_.size(); ++j) {
+    if (imports[j].empty()) continue;
+    ShardServer* s = servers_[j].get();
+    net_.call(s->exec(), [s, batch = std::move(imports[j])] {
+      s->handle_import_keys(batch);
+      return true;
+    });
+  }
+
+  // 5. Reopen under the new epoch and publish the routing for clients
+  //    (existing clients adopt it on their first wrong_epoch reply).
+  {
+    std::vector<std::future<bool>> futures;
+    for (auto& server : servers_) {
+      ShardServer* s = server.get();
+      futures.push_back(net_.call_async(s->exec(), [s, next] {
+        s->handle_epoch_commit(next);
+        return true;
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  epochs_.push_back(decided);
+  routing_ = std::make_shared<ClusterRouting>(
+      ClusterRouting{next, std::move(adopted)});
   return next;
 }
 

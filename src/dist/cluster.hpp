@@ -10,23 +10,40 @@
 // unchanged.
 //
 // One transaction's life, distributed:
-//   begin      — pick a global id and pin the anchor tick (the interval
-//                I = [t, t+Δ] every server will use, §8.1);
-//   read/write — routed by key range to the owning server, which runs the
-//                operation on a lazily created sub-transaction carrying
-//                the same global id;
-//   commit     — prepare on every participant in parallel (each returns
-//                the timestamps it has locked appropriately), intersect,
-//                pick early/late, then drive the transaction's commitment
-//                object (a Paxos register) to Commit(ts) and broadcast
-//                the decision. A suspecting server may have raced us to
-//                Abort — whatever the register decided, everyone applies.
+//   begin      — pick a global id, pin the anchor tick (the interval
+//                I = [t, t+Δ] every server will use, §8.1) and snapshot
+//                the client's routing (shard map + configuration epoch);
+//   read/write — routed by key range to the owning server. Writes are
+//                *buffered* per participant; a read flushes that server's
+//                buffer and ships buffer+read as ONE op-batch message
+//                (the client needs the read's result, §8.1's batching).
+//   commit     — flush every participant's remaining buffer with the
+//                prepare folded into the same message; intersect the
+//                returned candidate sets, pick early/late, then drive the
+//                transaction's commitment object (a Paxos register) to
+//                Commit(ts) and broadcast the decision. A suspecting
+//                server may have raced us to Abort — whatever the
+//                register decided, everyone applies.
+//   read-only  — when the write set is empty the commitment register is
+//                skipped entirely: each participant commits locally at
+//                prepare time (freezing its whole candidate range), the
+//                client commits at any point of the intersection, and no
+//                finalize is sent. Sound because a transaction without
+//                writes is invisible to everyone else, so its atomic
+//                commit needs no replicated decision.
+//
+// Reconfiguration (advance_epoch): the new shard map is decided through
+// the configuration register, servers freeze and drain in-flight
+// transactions, moved key ranges migrate between servers, and clients
+// refresh their routing when a server answers `wrong_epoch`.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -74,6 +91,14 @@ struct ClusterConfig {
   HistoryRecorder* recorder = nullptr;
 };
 
+/// One epoch's client-side routing state: which shard map to route by
+/// and which epoch number to stamp on every op batch. Immutable once
+/// published; clients swap whole snapshots.
+struct ClusterRouting {
+  std::uint64_t epoch = 0;
+  ShardMap map;
+};
+
 /// Coordinator-side client library: the distributed TransactionalStore.
 class DistClient final : public TransactionalStore {
  public:
@@ -88,6 +113,13 @@ class DistClient final : public TransactionalStore {
   StoreStats stats() override;
   std::size_t purge_below(Timestamp horizon) override;
 
+  /// Ships any still-buffered writes of `tx` to their servers now (one
+  /// batch message per participant). Returns false iff a batch failed and
+  /// the transaction was aborted. Reads and commit flush implicitly; this
+  /// is for callers that need server-side effects to exist mid-flight
+  /// (e.g. the crash tests, which want locks held before walking away).
+  bool flush(Tx& tx);
+
   /// Test hook: the coordinator walks away mid-transaction without
   /// telling anyone — locks stay held on the servers until their
   /// suspicion sweepers drive the commitment object to Abort.
@@ -97,12 +129,28 @@ class DistClient final : public TransactionalStore {
   class DistTx;
 
   struct Route {
+    std::size_t index;
     ShardServer* server;
-    bool first_contact;  ///< tx had not touched this server before
   };
 
-  /// Resolves `key`'s owning server and registers it as a participant.
+  /// Resolves `key`'s owning server under the tx's pinned routing and
+  /// registers it as a participant.
   Route route(DistTx& tx, const Key& key);
+
+  /// Sends one op batch to participant `index`, maintaining the
+  /// first-contact bit and the message counters.
+  std::future<DistBatchReply> send_batch_async(DistTx& tx, std::size_t index,
+                                               std::vector<DistOp> ops,
+                                               BatchFinish finish);
+
+  /// Classifies a failed batch reply into the abort it implies; refreshes
+  /// the cached routing on an epoch mismatch.
+  void abort_on_batch_failure(DistTx& tx, const DistBatchReply& reply);
+
+  /// Re-reads the cluster's current routing snapshot (after a
+  /// `wrong_epoch` reply told us ours is stale).
+  void refresh_routing();
+  std::shared_ptr<const ClusterRouting> routing_snapshot();
 
   void finish_abort(DistTx& tx, AbortReason reason, bool notify_servers);
   void broadcast_finalize(const DistTx& tx, const CommitDecision& decision,
@@ -110,6 +158,14 @@ class DistClient final : public TransactionalStore {
 
   Cluster* cluster_;
   std::atomic<TxId> next_gtx_{1};
+
+  mutable std::mutex routing_mu_;
+  std::shared_ptr<const ClusterRouting> routing_;
+
+  // Message accounting, surfaced through StoreStats (messages-per-tx).
+  std::atomic<std::uint64_t> rpc_messages_{0};
+  std::atomic<std::uint64_t> batched_ops_{0};
+  std::atomic<std::uint64_t> committed_txs_{0};
 };
 
 class Cluster {
@@ -137,18 +193,28 @@ class Cluster {
   StoreStats stats();
   std::size_t purge_below(Timestamp horizon);
 
-  // --- Paxos-backed configuration ----------------------------------------
+  // --- Paxos-backed configuration & live reconfiguration ------------------
   /// Current configuration epoch (epoch 0 is decided at construction).
   std::uint64_t epoch() const;
-  /// Decides the next configuration epoch through the config register
-  /// and returns it.
+  /// Re-decides the *current* shard map as the next epoch (a membership
+  /// heartbeat: same assignment, fresh register decision). Runs the full
+  /// freeze/drain/commit sequence with an empty migration.
   std::uint64_t advance_epoch();
+  /// Live reconfiguration: decides `new_map` as the next epoch through
+  /// the configuration register, freezes the servers, drains in-flight
+  /// transactions (their coordinators abort retryably; crashed ones fall
+  /// to the suspicion sweepers), migrates the key ranges whose owner
+  /// changed, and reopens under the new epoch. Clients refresh their
+  /// routing on the first `wrong_epoch` reply. `new_map` must not name
+  /// more servers than the cluster has.
+  std::uint64_t advance_epoch(ShardMap new_map);
   /// The value the configuration register decided for `epoch`.
   PaxosValue config_value(std::uint64_t epoch) const;
+  /// Current routing snapshot (epoch + shard map) for clients.
+  std::shared_ptr<const ClusterRouting> routing() const;
 
   DistProtocol protocol() const { return protocol_; }
   const ClusterConfig& config() const { return config_; }
-  const ShardMap& shard_map() const { return shard_map_; }
   const std::shared_ptr<ClockSource>& clock() const { return clock_; }
   SimNetwork& net() { return net_; }
   std::size_t server_count() const { return servers_.size(); }
@@ -158,19 +224,22 @@ class Cluster {
   }
 
  private:
-  PaxosValue encode_config(std::uint64_t epoch) const;
+  PaxosValue encode_config(std::uint64_t epoch, const ShardMap& map) const;
+  /// Waits until no server holds an in-flight sub-transaction, forcing
+  /// suspicion sweeps once the configured timeout has passed.
+  void drain_in_flight();
 
   DistProtocol protocol_;
   ClusterConfig config_;
   std::shared_ptr<ClockSource> clock_;
   SimNetwork net_;
-  ShardMap shard_map_;
   std::vector<std::unique_ptr<ShardServer>> servers_;
   std::vector<AcceptorEndpoint> acceptor_endpoints_;
   std::unique_ptr<DistClient> client_;
 
   mutable std::mutex epoch_mu_;
   std::vector<PaxosValue> epochs_;  // decided configuration per epoch
+  std::shared_ptr<const ClusterRouting> routing_;  // guarded by epoch_mu_
 
   std::unique_ptr<PeriodicTask> ts_service_;
 };
@@ -198,7 +267,9 @@ class ClusterStore final : public TransactionalStore {
   std::string name() const override {
     return dist_store_name(cluster_.protocol(), cluster_.server_count());
   }
-  StoreStats stats() override { return cluster_.stats(); }
+  /// Through the client so the coordinator-side message counters are
+  /// included alongside the servers' metadata counts.
+  StoreStats stats() override { return cluster_.client().stats(); }
   std::size_t purge_below(Timestamp horizon) override {
     return cluster_.purge_below(horizon);
   }

@@ -20,6 +20,18 @@
 // is only ever proposed by the coordinator, so once it chooses to abort,
 // every decision path ends in Abort and a plain broadcast is safe (the
 // paper's cheap-abort observation).
+//
+// Proposer rights, summarized (the invariant every fast path leans on):
+//
+//   | proposal    | who may make it                | ballot round |
+//   |-------------|--------------------------------|--------------|
+//   | Commit(ts)  | the transaction's coordinator  | 0 (fast)     |
+//   | Abort       | any suspecting participant     | >= 1         |
+//   | Abort       | the coordinator                | none needed  |
+//
+// Read-only transactions skip the register altogether: with no writes,
+// their outcome is invisible to every other transaction, so there is
+// nothing for participants to agree on (dist/cluster.hpp fast path).
 #pragma once
 
 #include <atomic>

@@ -20,6 +20,15 @@
 // and go straight to accept — the common case costs a single round trip.
 // Suspecters (and the coordinator after a rejection) run classic two-phase
 // rounds >= 1.
+//
+// Wire messages: a proposer sends prepare(decision, ballot) and
+// accept(decision, ballot, value) to every acceptor (ShardServer's
+// handle_paxos_prepare / handle_paxos_accept); a majority of accepts
+// decides. Who proposes what is constrained one level up
+// (dist/commitment.hpp): Commit(ts) comes only from the transaction's
+// coordinator, Abort from any suspecting server. Read-only transactions
+// never reach this file at all — their fast path needs no register
+// (dist/cluster.hpp).
 #pragma once
 
 #include <chrono>

@@ -1,6 +1,7 @@
 #include "dist/shard.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "txbench/workload.hpp"  // make_key: the canonical key encoding
 
@@ -14,12 +15,38 @@ ShardMap::ShardMap(std::size_t servers, std::uint64_t key_space) {
   }
 }
 
+ShardMap::ShardMap(std::vector<Key> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  assert(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+}
+
 std::size_t ShardMap::shard_of(const Key& key) const {
   // First range whose lower boundary exceeds `key`; keys outside the
   // canonical domain land wherever lexicographic order puts them.
   const auto it =
       std::upper_bound(boundaries_.begin(), boundaries_.end(), key);
   return static_cast<std::size_t>(it - boundaries_.begin());
+}
+
+std::string ShardMap::encode() const {
+  std::string out;
+  for (const Key& b : boundaries_) {
+    if (!out.empty()) out += ',';
+    out += b;
+  }
+  return out;
+}
+
+ShardMap ShardMap::decode(const std::string& encoded) {
+  std::vector<Key> boundaries;
+  std::size_t start = 0;
+  while (start < encoded.size()) {
+    std::size_t comma = encoded.find(',', start);
+    if (comma == std::string::npos) comma = encoded.size();
+    boundaries.push_back(encoded.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return ShardMap(std::move(boundaries));
 }
 
 // ---------------------------------------------------------------------------
@@ -92,87 +119,99 @@ void ShardServer::erase_entry(TxId gtx) {
   txs_.erase(gtx);
 }
 
+DistBatchReply ShardServer::handle_op_batch(TxId gtx, const TxOptions& options,
+                                            std::uint64_t epoch,
+                                            const std::vector<DistOp>& ops,
+                                            bool first_contact,
+                                            BatchFinish finish) {
+  DistBatchReply reply;
+  // Epoch gate, before any state is touched: a frozen server is
+  // mid-migration and serves nobody; a stale client epoch means the
+  // shard map moved and this server may no longer own these keys.
+  if (epoch_frozen_.load(std::memory_order_acquire) ||
+      epoch != epoch_.load(std::memory_order_acquire)) {
+    reply.wrong_epoch = true;
+    reply.abort_reason = AbortReason::kEpochChanged;
+    return reply;
+  }
+  auto entry = entry_for(gtx, options, first_contact);
+  if (!entry) {
+    reply.abort_reason = AbortReason::kCoordinatorSuspected;
+    return reply;
+  }
+  // Re-check the freeze now that the entry is visible to the migration's
+  // drain: a handler that passed the gate just before the freeze landed
+  // would otherwise run ops on state the export is about to clear. The
+  // entry insertion and the drain's live_transactions() poll synchronize
+  // on tx_mu_, so one side always sees the other.
+  if (epoch_frozen_.load(std::memory_order_acquire)) {
+    apply_decision(gtx, *entry, CommitDecision::aborted(),
+                   AbortReason::kEpochChanged);
+    reply.wrong_epoch = true;
+    reply.abort_reason = AbortReason::kEpochChanged;
+    return reply;
+  }
+  bool finished_now = false;
+  {
+    std::lock_guard guard(entry->mu);
+    if (entry->finished) {
+      reply.abort_reason = AbortReason::kCoordinatorSuspected;
+      return reply;
+    }
+    entry->touch();
+    reply.ok = true;
+    for (const DistOp& op : ops) {
+      if (op.kind == DistOp::Kind::kRead) {
+        ReadResult r = engine_.read(*entry->tx, op.key);
+        const bool ok = r.ok;
+        reply.reads.push_back(std::move(r));
+        if (ok) continue;
+      } else if (engine_.write(*entry->tx, op.key, op.value)) {
+        continue;
+      }
+      // The engine aborted the sub-transaction (and released its locks);
+      // the rest of the batch is moot.
+      reply.ok = false;
+      reply.abort_reason = entry->tx->abort_reason();
+      entry->finished = true;
+      finished_now = true;
+      break;
+    }
+    if (reply.ok && finish != BatchFinish::kNone) {
+      const MvtlEngine::Prepared prepared = engine_.prepare(*entry->tx);
+      if (!prepared.ok) {
+        reply.ok = false;
+        reply.abort_reason = prepared.failure;
+        entry->finished = true;
+        finished_now = true;
+      } else {
+        reply.candidates = prepared.candidates;
+        if (finish == BatchFinish::kReadOnlyCommit) {
+          // §7 read-only fast path: freeze the whole candidate range and
+          // finish here — whichever timestamp the coordinator picks from
+          // the global intersection is covered, so no commitment-register
+          // round and no finalize message are needed. The outcome is
+          // invisible to other transactions either way (no writes), so
+          // atomicity needs no register.
+          engine_.finalize_readonly(*entry->tx, prepared.candidates.max());
+          entry->finished = true;
+          finished_now = true;
+        }
+      }
+    }
+  }
+  if (finished_now) erase_entry(gtx);
+  return reply;
+}
+
 DistReadReply ShardServer::handle_read(TxId gtx, const TxOptions& options,
                                        const Key& key, bool first_contact) {
+  const DistBatchReply batch =
+      handle_op_batch(gtx, options, epoch(), {DistOp::read(key)},
+                      first_contact, BatchFinish::kNone);
   DistReadReply reply;
-  auto entry = entry_for(gtx, options, first_contact);
-  if (!entry) {
-    reply.abort_reason = AbortReason::kCoordinatorSuspected;
-    return reply;
-  }
-  bool finished_now = false;
-  {
-    std::lock_guard guard(entry->mu);
-    if (entry->finished) {
-      reply.abort_reason = AbortReason::kCoordinatorSuspected;
-      return reply;
-    }
-    entry->touch();
-    reply.result = engine_.read(*entry->tx, key);
-    if (!reply.result.ok) {
-      reply.abort_reason = entry->tx->abort_reason();
-      entry->finished = true;  // engine already aborted and released locks
-      finished_now = true;
-    }
-  }
-  if (finished_now) erase_entry(gtx);
-  return reply;
-}
-
-DistWriteReply ShardServer::handle_write(TxId gtx, const TxOptions& options,
-                                         const Key& key, Value value,
-                                         bool first_contact) {
-  DistWriteReply reply;
-  auto entry = entry_for(gtx, options, first_contact);
-  if (!entry) {
-    reply.abort_reason = AbortReason::kCoordinatorSuspected;
-    return reply;
-  }
-  bool finished_now = false;
-  {
-    std::lock_guard guard(entry->mu);
-    if (entry->finished) {
-      reply.abort_reason = AbortReason::kCoordinatorSuspected;
-      return reply;
-    }
-    entry->touch();
-    reply.ok = engine_.write(*entry->tx, key, std::move(value));
-    if (!reply.ok) {
-      reply.abort_reason = entry->tx->abort_reason();
-      entry->finished = true;
-      finished_now = true;
-    }
-  }
-  if (finished_now) erase_entry(gtx);
-  return reply;
-}
-
-DistPrepareReply ShardServer::handle_prepare(TxId gtx) {
-  DistPrepareReply reply;
-  auto entry = find_entry(gtx);
-  if (!entry) {
-    reply.abort_reason = AbortReason::kCoordinatorSuspected;
-    return reply;
-  }
-  bool finished_now = false;
-  {
-    std::lock_guard guard(entry->mu);
-    if (entry->finished) {
-      reply.abort_reason = AbortReason::kCoordinatorSuspected;
-      return reply;
-    }
-    entry->touch();
-    const MvtlEngine::Prepared prepared = engine_.prepare(*entry->tx);
-    if (!prepared.ok) {
-      reply.abort_reason = prepared.failure;
-      entry->finished = true;
-      finished_now = true;
-    } else {
-      reply.ok = true;
-      reply.candidates = prepared.candidates;
-    }
-  }
-  if (finished_now) erase_entry(gtx);
+  reply.abort_reason = batch.abort_reason;
+  if (!batch.reads.empty()) reply.result = batch.reads.front();
   return reply;
 }
 
@@ -205,7 +244,11 @@ void ShardServer::handle_finalize(TxId gtx, const CommitDecision& decision,
   apply_decision(gtx, *entry, decision, abort_hint);
 }
 
-StoreStats ShardServer::handle_stats() { return engine_.stats(); }
+StoreStats ShardServer::handle_stats() {
+  StoreStats stats = engine_.stats();
+  stats.paxos_messages = paxos_requests_.load(std::memory_order_relaxed);
+  return stats;
+}
 
 std::size_t ShardServer::handle_purge(Timestamp horizon) {
   return engine_.purge_below(horizon);
@@ -213,13 +256,71 @@ std::size_t ShardServer::handle_purge(Timestamp horizon) {
 
 PaxosPrepareReply ShardServer::handle_paxos_prepare(
     const std::string& decision, std::uint64_t ballot) {
+  paxos_requests_.fetch_add(1, std::memory_order_relaxed);
   return acceptors_.on_prepare(decision, ballot);
 }
 
 PaxosAcceptReply ShardServer::handle_paxos_accept(const std::string& decision,
                                                   std::uint64_t ballot,
                                                   const PaxosValue& value) {
+  paxos_requests_.fetch_add(1, std::memory_order_relaxed);
   return acceptors_.on_accept(decision, ballot, value);
+}
+
+void ShardServer::handle_epoch_freeze(std::uint64_t next_epoch) {
+  (void)next_epoch;
+  epoch_frozen_.store(true, std::memory_order_release);
+}
+
+std::vector<MigratedKey> ShardServer::handle_export_keys(
+    const ShardMap& new_map) {
+  std::vector<MigratedKey> out;
+  engine_.store().for_each([&](const Key& key, KeyState& ks) {
+    if (new_map.shard_of(key) == config_.index) return;
+    std::lock_guard guard(ks.mu);
+    MigratedKey mk;
+    mk.key = key;
+    for (const VersionChain::Version& v : ks.versions.versions()) {
+      // Only the ⊥ sentinel carries nullopt and it never sits in the
+      // chain, so *v.value is always present here.
+      mk.versions.push_back({v.ts, *v.value, v.writer});
+    }
+    // Held locks of drained (finished, never-released) transactions ride
+    // along as frozen state — see LockState::migratable_read.
+    mk.frozen_read = ks.locks.migratable_read();
+    mk.frozen_write = ks.locks.migratable_write();
+    mk.purge_floor = ks.versions.purge_floor();
+    mk.lock_horizon = ks.locks.purge_horizon();
+    if (mk.versions.empty() && mk.frozen_read.is_empty() &&
+        mk.frozen_write.is_empty() && mk.purge_floor == Timestamp::min() &&
+        mk.lock_horizon == Timestamp::min()) {
+      return;  // nothing to hand over
+    }
+    ks.versions.clear();
+    ks.locks.clear_for_migration();
+    out.push_back(std::move(mk));
+  });
+  return out;
+}
+
+void ShardServer::handle_import_keys(const std::vector<MigratedKey>& keys) {
+  for (const MigratedKey& mk : keys) {
+    KeyState& ks = engine_.store().key_state(mk.key);
+    std::lock_guard guard(ks.mu);
+    for (const MigratedKey::Version& v : mk.versions) {
+      ks.versions.install(v.ts, v.value, v.writer);
+    }
+    ks.locks.adopt_frozen(mk.frozen_read, mk.frozen_write);
+    // The GC horizons travel with the key: what was unreadable/unwritable
+    // on the old owner stays so here.
+    ks.versions.adopt_purge_floor(mk.purge_floor);
+    ks.locks.purge_below(mk.lock_horizon);
+  }
+}
+
+void ShardServer::handle_epoch_commit(std::uint64_t next_epoch) {
+  epoch_.store(next_epoch, std::memory_order_release);
+  epoch_frozen_.store(false, std::memory_order_release);
 }
 
 std::size_t ShardServer::live_transactions() const {

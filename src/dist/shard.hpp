@@ -9,6 +9,25 @@
 // sub-transactions with their liveness bookkeeping, a Paxos acceptor
 // table, and the suspicion sweeper that cleans up after crashed
 // coordinators through the commitment objects.
+//
+// Wire messages (everything that crosses the simulated network):
+//
+//   * handle_op_batch  — the workhorse RPC: a transaction's buffered
+//     reads/writes for this server, shipped as ONE message, optionally
+//     ending in a fold-in prepare (Algorithm 1 line 13 — the reply then
+//     carries the candidate timestamps locked here) or a read-only local
+//     commit (the §7 fast path). Carries the client's configuration
+//     epoch; a stale epoch is refused with `wrong_epoch` so the client
+//     refreshes its routing.
+//   * handle_finalize  — applies a commitment-object decision. Never
+//     epoch-gated: cleanup of an old-epoch transaction must always land.
+//   * handle_paxos_prepare / handle_paxos_accept — this server's acceptor
+//     half of the commitment/configuration registers. Only the
+//     transaction's coordinator may drive a register to Commit(ts); any
+//     suspecting server may drive it to Abort (see dist/commitment.hpp).
+//   * handle_epoch_freeze / handle_export_keys / handle_import_keys /
+//     handle_epoch_commit — the reconfiguration sequence: bar the door,
+//     hand off the key ranges that moved, adopt the new epoch.
 #pragma once
 
 #include <atomic>
@@ -28,10 +47,15 @@ namespace mvtl {
 
 /// Contiguous key-range partition of the key space across `servers`
 /// ranges, split uniformly over [0, key_space) of the canonical
-/// fixed-width key encoding.
+/// fixed-width key encoding. An arbitrary boundary list (from a
+/// reconfiguration decision) is equally valid.
 class ShardMap {
  public:
   ShardMap(std::size_t servers, std::uint64_t key_space);
+
+  /// Builds the map directly from sorted range boundaries (the decoded
+  /// form of a configuration-register value).
+  explicit ShardMap(std::vector<Key> boundaries);
 
   std::size_t shard_of(const Key& key) const;
   std::size_t servers() const { return boundaries_.size() + 1; }
@@ -39,26 +63,70 @@ class ShardMap {
   /// boundaries()[i] is the first key of shard i+1.
   const std::vector<Key>& boundaries() const { return boundaries_; }
 
+  /// Comma-joined boundary list, the form embedded in a configuration
+  /// epoch's register value; decode() inverts it.
+  std::string encode() const;
+  static ShardMap decode(const std::string& encoded);
+
  private:
   std::vector<Key> boundaries_;
 };
 
-// --- RPC reply shapes (what crosses the simulated network) ----------------
+// --- RPC shapes (what crosses the simulated network) ----------------------
 
 struct DistReadReply {
   ReadResult result;
   AbortReason abort_reason = AbortReason::kNone;  ///< when !result.ok
 };
 
-struct DistWriteReply {
-  bool ok = false;
-  AbortReason abort_reason = AbortReason::kNone;
+/// One client operation carried inside an op batch.
+struct DistOp {
+  enum class Kind { kRead, kWrite };
+  Kind kind = Kind::kRead;
+  Key key;
+  Value value;  ///< writes only
+
+  static DistOp read(Key key) { return {Kind::kRead, std::move(key), {}}; }
+  static DistOp write(Key key, Value value) {
+    return {Kind::kWrite, std::move(key), std::move(value)};
+  }
 };
 
-struct DistPrepareReply {
+/// How an op batch ends. Write transactions fold their prepare into the
+/// final flush (one message carries the leftover ops AND the prepare);
+/// read-only transactions fold a local commit instead — the server
+/// freezes the reported candidate range and finishes the sub-transaction
+/// on the spot, so no finalize message ever follows (§7 fast path).
+enum class BatchFinish { kNone, kPrepare, kReadOnlyCommit };
+
+struct DistBatchReply {
   bool ok = false;
+  /// The client's routing is from an older configuration epoch; nothing
+  /// was executed. The client must refresh and restart the transaction.
+  bool wrong_epoch = false;
   AbortReason abort_reason = AbortReason::kNone;
-  IntervalSet candidates;  ///< timestamps this server locked appropriately
+  std::vector<ReadResult> reads;  ///< one per kRead op, in op order
+  IntervalSet candidates;         ///< when finish != kNone and ok
+};
+
+/// One key's migratable state: the committed versions, the frozen lock
+/// intervals that protect past commits, and the GC horizons (so reads
+/// that would have aborted kVersionPurged on the old owner abort on the
+/// new one too, and writes below the old horizon stay refused). Unfrozen
+/// (active) locks never migrate — the cluster drains in-flight
+/// transactions first.
+struct MigratedKey {
+  struct Version {
+    Timestamp ts;
+    Value value;
+    TxId writer = kInvalidTxId;
+  };
+  Key key;
+  std::vector<Version> versions;
+  IntervalSet frozen_read;
+  IntervalSet frozen_write;
+  Timestamp purge_floor;   ///< VersionChain::purge_floor()
+  Timestamp lock_horizon;  ///< LockState::purge_horizon()
 };
 
 struct ShardServerConfig {
@@ -101,6 +169,12 @@ class ShardServer {
   void disconnect() { sweeper_.reset(); }
 
   // --- request handlers ---------------------------------------------------
+  /// The batched op RPC: runs `ops` in order on the transaction's
+  /// sub-transaction, then optionally prepares (kPrepare) or prepares and
+  /// commits read-only (kReadOnlyCommit). `epoch` is the client's routing
+  /// epoch — a mismatch (or an in-progress migration) refuses the batch
+  /// with `wrong_epoch` before touching any state.
+  ///
   /// `first_contact` is true when the coordinator has never touched this
   /// server with this transaction before. Only a first contact may open a
   /// sub-transaction: a missing entry on a repeat contact means this
@@ -108,11 +182,15 @@ class ShardServer {
   /// coordinator it presumed crashed) — handing out a fresh
   /// sub-transaction then would let a stalled-but-alive coordinator
   /// commit only its post-stall writes.
+  DistBatchReply handle_op_batch(TxId gtx, const TxOptions& options,
+                                 std::uint64_t epoch,
+                                 const std::vector<DistOp>& ops,
+                                 bool first_contact, BatchFinish finish);
+
+  /// Single-op convenience over handle_op_batch (tests); runs against
+  /// the server's current epoch.
   DistReadReply handle_read(TxId gtx, const TxOptions& options, const Key& key,
                             bool first_contact);
-  DistWriteReply handle_write(TxId gtx, const TxOptions& options,
-                              const Key& key, Value value, bool first_contact);
-  DistPrepareReply handle_prepare(TxId gtx);
   /// Applies the commitment decision to the local sub-transaction.
   /// Idempotent: late/duplicate deliveries (coordinator vs. sweeper) are
   /// no-ops. `abort_hint` names the abort cause for metrics/history.
@@ -126,12 +204,39 @@ class ShardServer {
                                        std::uint64_t ballot,
                                        const PaxosValue& value);
 
+  // --- reconfiguration (§7 epochs, driven by Cluster::advance_epoch) ------
+  /// Bars the door for the migration to `next_epoch`: every op batch —
+  /// old epoch or new — is refused with `wrong_epoch` until
+  /// handle_epoch_commit, which drains in-flight transactions (their
+  /// coordinators abort on the refusal and finalize; crashed ones fall to
+  /// the sweeper). Finalize itself is never refused.
+  void handle_epoch_freeze(std::uint64_t next_epoch);
+  /// Extracts (and locally clears) every key this server owns whose new
+  /// owner under `new_map` is some other server. Only called after the
+  /// drain: no unfrozen locks remain, so versions + frozen intervals are
+  /// the key's entire transferable state.
+  std::vector<MigratedKey> handle_export_keys(const ShardMap& new_map);
+  /// Installs key state exported by the previous owners.
+  void handle_import_keys(const std::vector<MigratedKey>& keys);
+  /// Adopts `next_epoch` and reopens for op batches.
+  void handle_epoch_commit(std::uint64_t next_epoch);
+
+  /// Configuration epoch this server currently serves.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
   // --- diagnostics / test hooks -------------------------------------------
   /// In-flight (not yet finalized) sub-transactions on this server.
   std::size_t live_transactions() const;
   /// Transactions this server's sweeper aborted on suspicion.
   std::size_t suspicion_aborts() const {
     return suspicion_aborts_.load(std::memory_order_relaxed);
+  }
+  /// Commitment/configuration register requests this acceptor served —
+  /// the counter the read-only fast-path tests assert stays flat.
+  std::uint64_t paxos_requests() const {
+    return paxos_requests_.load(std::memory_order_relaxed);
   }
   /// Runs one suspicion sweep immediately (tests).
   void sweep_now() { sweep(); }
@@ -183,7 +288,11 @@ class ShardServer {
   mutable std::mutex tx_mu_;
   std::unordered_map<TxId, std::shared_ptr<TxEntry>> txs_;
 
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> epoch_frozen_{false};
+
   std::atomic<std::size_t> suspicion_aborts_{0};
+  std::atomic<std::uint64_t> paxos_requests_{0};
   std::unique_ptr<PeriodicTask> sweeper_;
 };
 

@@ -113,6 +113,7 @@ void SimNetwork::send(std::function<void()> fn) {
 }
 
 void SimNetwork::send_to(Executor& target, std::function<void()> fn) {
+  requests_sent_.fetch_add(1, std::memory_order_relaxed);
   // Same destination ⇒ same lane: per-destination FIFO among equal
   // deadlines, like messages on one connection.
   enqueue(lane_for_target(&target), [&target, f = std::move(fn)]() mutable {

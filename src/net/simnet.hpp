@@ -115,6 +115,14 @@ class SimNetwork {
 
   const NetProfile& profile() const { return profile_; }
 
+  /// Number of request messages delivered to executors so far (replies
+  /// and send() traffic are not counted). One op batch, however many
+  /// reads/writes it carries, is one message — the counter the batching
+  /// tests and the messages-per-transaction bench panels diff.
+  std::uint64_t requests_sent() const {
+    return requests_sent_.load(std::memory_order_relaxed);
+  }
+
   /// Synchronous RPC: request latency → handler on the server executor →
   /// reply latency → caller resumes. `handler` returns the response.
   template <typename Handler>
@@ -174,6 +182,7 @@ class SimNetwork {
   NetProfile profile_;
   std::mutex rng_mu_;
   std::mt19937_64 rng_;
+  std::atomic<std::uint64_t> requests_sent_{0};
   std::atomic<std::size_t> rr_{0};
   std::atomic<bool> stopping_{false};
   std::vector<std::unique_ptr<Lane>> lanes_;

@@ -39,14 +39,12 @@ ProbeResult LockState::probe(TxId tx, LockMode mode,
               .intersect(want));
     }
   }
-  // For reads, points below the horizon are auto-available: no writer can
-  // ever lock them, so the read is vacuously protected there.
-  if (mode == LockMode::kRead && horizon_ > Timestamp::min()) {
-    const Interval below{Timestamp::min(), horizon_.prev()};
-    blocked.subtract(below);
-    permanent.subtract(below);
-    if (permanent.is_empty()) result.hit_frozen_write = false;
-  }
+  // Reads need no horizon special-case: genuinely unlocked points below
+  // the horizon are available by default (no writer can ever newly lock
+  // there), purge_below strips stale frozen state atomically when the
+  // horizon rises, and what survives below the horizon — an active
+  // transaction's write lock, or the frozen write of one that committed
+  // just under a rising horizon — must keep its full conflict power.
 
   blocked.subtract(permanent);  // permanent refusal dominates waiting
   IntervalSet available = wanted;
@@ -110,6 +108,30 @@ bool LockState::holds(TxId tx, LockMode mode, Timestamp t) const {
   return mine.read.contains(t) || mine.write.contains(t);
 }
 
+void LockState::adopt_frozen(const IntervalSet& read,
+                             const IntervalSet& write) {
+  frozen_read_.insert(read);
+  frozen_write_.insert(write);
+}
+
+IntervalSet LockState::migratable_read() const {
+  IntervalSet out = frozen_read_;
+  for (const auto& [owner, locks] : owners_) out.insert(locks.read);
+  return out;
+}
+
+IntervalSet LockState::migratable_write() const {
+  IntervalSet out = frozen_write_;
+  for (const auto& [owner, locks] : owners_) out.insert(locks.write);
+  return out;
+}
+
+void LockState::clear_for_migration() {
+  owners_.clear();
+  frozen_read_ = IntervalSet{};
+  frozen_write_ = IntervalSet{};
+}
+
 void LockState::purge_below(Timestamp horizon) {
   if (horizon <= horizon_) return;
   horizon_ = horizon;
@@ -117,13 +139,17 @@ void LockState::purge_below(Timestamp horizon) {
   const Interval below{Timestamp::min(), horizon_.prev()};
   frozen_read_.subtract(below);
   frozen_write_.subtract(below);
-  // Unfrozen locks below the horizon are useless too — writes there are
-  // permanently refused and reads are vacuously protected — so they can
-  // be reclaimed even if their owner is still running (or crashed and
-  // will never release them).
+  // Unfrozen READ locks below the horizon are reclaimable even if their
+  // owner is still running: new write locks there are permanently
+  // refused, and a surviving old write lock never overlaps another
+  // owner's read at the same point, so the stripped reads stay
+  // vacuously protected. Unfrozen WRITE locks must survive — an active
+  // transaction prepared at a point just below a rising horizon still
+  // commits there (install + freeze), and stripping its lock would let
+  // a reader slip through the point first (seen as a commit_key assert
+  // under a slow, GC-churning cluster).
   for (auto it = owners_.begin(); it != owners_.end();) {
     it->second.read.subtract(below);
-    it->second.write.subtract(below);
     it = it->second.empty() ? owners_.erase(it) : std::next(it);
   }
 }

@@ -12,9 +12,12 @@
 // frozen sets. Merging frozen locks across owners is sound because frozen
 // locks are never released and conflict rules for frozen locks do not
 // depend on the owner. A per-key purge horizon implements the state
-// discarding of §6: below the horizon, versions and frozen locks have been
-// reclaimed; writes there are permanently refused and reads need no locks
-// (nothing can invalidate them, since no writer can ever lock there).
+// discarding of §6: below the horizon, versions, frozen locks, and active
+// owners' read locks have been reclaimed; *new* write locks there are
+// permanently refused (so the reclaimed reads stay vacuously protected),
+// while write locks acquired before the horizon rose survive and may
+// still commit — an in-flight prepared transaction is never stripped of
+// its commit point by a GC broadcast.
 //
 // Conflict matrix at a single timestamp t ("own" entries never conflict):
 //   request read : blocked by another owner's unfrozen WRITE (wait),
@@ -41,7 +44,8 @@ enum class LockMode { kRead, kWrite };
 struct ProbeResult {
   /// Points grantable right now (free, or already held by the requester —
   /// including, for read requests, points covered by the requester's own
-  /// write locks; for reads, also points below the purge horizon).
+  /// write locks; unlocked points below the purge horizon are free like
+  /// any others, since no writer can ever newly lock there).
   IntervalSet available;
   /// Points held (conflicting, unfrozen) by other transactions; a caller
   /// with blocking semantics may wait for these.
@@ -81,6 +85,26 @@ class LockState {
 
   /// True iff `tx` currently holds (unfrozen) a lock of `mode` at `t`.
   bool holds(TxId tx, LockMode mode, Timestamp t) const;
+
+  /// Shard migration: merges frozen lock state exported from the key's
+  /// previous owner. Sound because frozen locks are owner-independent and
+  /// never released (§4.2) — merging can only make the state more
+  /// conservative.
+  void adopt_frozen(const IntervalSet& read, const IntervalSet& write);
+
+  /// Shard migration: every read/write point currently locked, frozen or
+  /// held. Only meaningful after a drain, when the remaining owners are
+  /// finished transactions whose locks will never be released (no-GC
+  /// policies keep read timestamps alive this way, §5.5) — exporting held
+  /// locks as frozen is then sound: frozen locks permanently refuse
+  /// exactly what held locks would block.
+  IntervalSet migratable_read() const;
+  IntervalSet migratable_write() const;
+
+  /// Shard migration: drops this key's entire lock state after it has
+  /// been exported to the new owner. Only safe when no transaction is
+  /// active on the key (the cluster drains before migrating).
+  void clear_for_migration();
 
   /// Raises the purge horizon: frozen state strictly below `horizon` is
   /// discarded (the associated versions are being purged). Unfrozen locks

@@ -52,9 +52,15 @@ StoreStats Store::stats() {
   StoreStats s;
   for_each([&](const Key&, KeyState& ks) {
     std::lock_guard guard(ks.mu);
+    const std::size_t locks = ks.locks.entry_count();
+    const std::size_t versions = ks.versions.version_count();
+    // Key states are never removed from the map, but one whose state was
+    // fully reclaimed (or migrated to another shard server) carries no
+    // metadata and does not count.
+    if (locks == 0 && versions == 0 && ks.locks.owner_count() == 0) return;
     s.keys += 1;
-    s.lock_entries += ks.locks.entry_count();
-    s.versions += ks.versions.version_count();
+    s.lock_entries += locks;
+    s.versions += versions;
   });
   return s;
 }

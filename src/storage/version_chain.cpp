@@ -38,6 +38,13 @@ void VersionChain::install(Timestamp ts, Value value, TxId writer) {
   versions_.insert(it, Version{ts, std::move(value), writer});
 }
 
+std::size_t VersionChain::clear() {
+  const std::size_t dropped = versions_.size();
+  versions_.clear();
+  purge_floor_ = Timestamp::min();
+  return dropped;
+}
+
 std::size_t VersionChain::purge_below(Timestamp horizon) {
   // Find versions strictly below the horizon; keep the newest of them.
   auto below_end = std::lower_bound(

@@ -49,6 +49,21 @@ class VersionChain {
   /// versions will abort".
   bool is_safe_bound(Timestamp bound) const { return bound > purge_floor_; }
 
+  /// Shard migration: drops every committed version and resets the purge
+  /// floor; the key's history continues on the importing server. Returns
+  /// the number of versions removed.
+  std::size_t clear();
+
+  /// The newest timestamp whose history has been purged away (see
+  /// is_safe_bound); Timestamp::min() when nothing was purged.
+  Timestamp purge_floor() const { return purge_floor_; }
+
+  /// Shard migration: adopts the exporting server's purge floor so reads
+  /// that would have aborted with kVersionPurged there abort here too.
+  void adopt_purge_floor(Timestamp floor) {
+    purge_floor_ = max(purge_floor_, floor);
+  }
+
   /// Number of explicit committed versions (excludes the ⊥ sentinel).
   std::size_t version_count() const { return versions_.size(); }
 

@@ -1,0 +1,217 @@
+// Batched shard RPCs and the read-only fast path: a k-op co-located
+// transaction ships O(1) messages per server (not O(k)), reads flush
+// exactly the one server they touch, and a read-only commit performs
+// zero commitment-register rounds and sends no finalize.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dist/cluster.hpp"
+#include "sync/clock.hpp"
+#include "txbench/workload.hpp"
+#include "verify/history.hpp"
+#include "verify/mvsg.hpp"
+
+namespace mvtl {
+namespace {
+
+ClusterConfig two_server_config(HistoryRecorder* recorder = nullptr) {
+  ClusterConfig config;
+  config.servers = 2;
+  config.server_threads = 2;
+  config.net = NetProfile::instant();
+  config.mvtil_delta_ticks = 50'000;
+  config.suspect_timeout = std::chrono::seconds{60};  // sweeper stays out
+  config.key_space = 1'000;  // server 0 owns [0,500), server 1 [500,1000)
+  config.clock = std::make_shared<LogicalClock>(1'000);
+  config.recorder = recorder;
+  return config;
+}
+
+std::uint64_t total_paxos_requests(Cluster& cluster) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < cluster.server_count(); ++i) {
+    total += cluster.server(i).paxos_requests();
+  }
+  return total;
+}
+
+TEST(BatchingTest, ColocatedOpsShipAsOneMessagePerServer) {
+  Cluster cluster(DistProtocol::kMvtilEarly, two_server_config());
+  TransactionalStore& client = cluster.client();
+
+  auto tx = client.begin(TxOptions{.process = 1});
+  const std::uint64_t before = cluster.net().requests_sent();
+  // Ten writes, all landing on server 0's range: pure buffering, zero
+  // network traffic until something needs their outcome.
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(client.write(*tx, make_key(k), "v"));
+  }
+  EXPECT_EQ(cluster.net().requests_sent(), before);
+
+  // Commit folds the whole buffer AND the prepare into one op-batch
+  // message; after it, only the commitment register (one fast-round
+  // accept per acceptor) and one finalize cross the network.
+  const CommitResult r = client.commit(*tx);
+  ASSERT_TRUE(r.committed());
+  const std::uint64_t delta = cluster.net().requests_sent() - before;
+  // 1 batch+prepare, 2 paxos accepts (one per acceptor), 1 finalize.
+  EXPECT_EQ(delta, 4u);
+
+  const StoreStats stats = cluster.client().stats();
+  EXPECT_EQ(stats.batched_ops, 10u);   // all ten ops rode inside batches
+  EXPECT_EQ(stats.rpc_messages, 2u);   // batch+prepare, finalize
+  EXPECT_EQ(stats.committed_txs, 1u);
+}
+
+TEST(BatchingTest, MultiServerTransactionSendsOneBatchPerParticipant) {
+  Cluster cluster(DistProtocol::kMvtilEarly, two_server_config());
+  TransactionalStore& client = cluster.client();
+
+  auto tx = client.begin(TxOptions{.process = 1});
+  // Five writes per server, interleaved: buffers build per participant.
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(client.write(*tx, make_key(k), "a"));        // server 0
+    ASSERT_TRUE(client.write(*tx, make_key(900 + k), "b"));  // server 1
+  }
+  ASSERT_TRUE(client.commit(*tx).committed());
+
+  const StoreStats stats = cluster.client().stats();
+  // One folded batch+prepare per participant, one finalize each.
+  EXPECT_EQ(stats.rpc_messages, 4u);
+  EXPECT_EQ(stats.batched_ops, 10u);
+}
+
+TEST(BatchingTest, ReadFlushesOnlyItsOwnServer) {
+  Cluster cluster(DistProtocol::kMvtilEarly, two_server_config());
+  TransactionalStore& client = cluster.client();
+
+  auto tx = client.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(client.write(*tx, make_key(1), "zero"));    // server 0, buffered
+  ASSERT_TRUE(client.write(*tx, make_key(900), "one"));   // server 1, buffered
+
+  const std::uint64_t before = cluster.net().requests_sent();
+  // A read on server 0 flushes server 0's buffer (write + read in one
+  // message); server 1's buffer stays put.
+  const ReadResult r = client.read(*tx, make_key(2));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(cluster.net().requests_sent() - before, 1u);
+  EXPECT_EQ(cluster.server(0).live_transactions(), 1u);
+  EXPECT_EQ(cluster.server(1).live_transactions(), 0u);  // still buffered
+
+  // Read-own-write travels through the same batch path.
+  const ReadResult own = client.read(*tx, make_key(1));
+  ASSERT_TRUE(own.ok);
+  ASSERT_TRUE(own.value.has_value());
+  EXPECT_EQ(*own.value, "zero");
+
+  ASSERT_TRUE(client.commit(*tx).committed());
+}
+
+TEST(BatchingTest, ReadOnlyCommitSkipsTheCommitmentRegister) {
+  HistoryRecorder recorder;
+  Cluster cluster(DistProtocol::kMvtilEarly, two_server_config(&recorder));
+  TransactionalStore& client = cluster.client();
+
+  // Install data with a normal (register-driven) write transaction.
+  auto setup = client.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(client.write(*setup, make_key(1), "left"));
+  ASSERT_TRUE(client.write(*setup, make_key(900), "right"));
+  ASSERT_TRUE(client.commit(*setup).committed());
+
+  const std::uint64_t paxos_before = total_paxos_requests(cluster);
+  const StoreStats stats_before = cluster.client().stats();
+
+  // A read-only transaction spanning both servers: the prepare batches
+  // (one message per server) are the ONLY messages; no Paxos round, no
+  // finalize broadcast.
+  auto ro = client.begin(TxOptions{.process = 2});
+  const ReadResult left = client.read(*ro, make_key(1));
+  ASSERT_TRUE(left.ok);
+  EXPECT_EQ(left.value.value_or(""), "left");
+  const ReadResult right = client.read(*ro, make_key(900));
+  ASSERT_TRUE(right.ok);
+  EXPECT_EQ(right.value.value_or(""), "right");
+  const CommitResult r = client.commit(*ro);
+  ASSERT_TRUE(r.committed());
+
+  EXPECT_EQ(total_paxos_requests(cluster), paxos_before)
+      << "read-only commit must not touch the Paxos acceptors";
+  const StoreStats stats_after = cluster.client().stats();
+  // 2 read messages + 2 read-only prepare/commit messages, nothing else.
+  EXPECT_EQ(stats_after.rpc_messages - stats_before.rpc_messages, 4u);
+  // Both servers finished their sub-transactions without a finalize.
+  EXPECT_EQ(cluster.server(0).live_transactions(), 0u);
+  EXPECT_EQ(cluster.server(1).live_transactions(), 0u);
+
+  // The recorded history carries the coordinator's single global commit
+  // and stays serializable.
+  bool found = false;
+  for (const TxRecord& rec : recorder.finished()) {
+    if (rec.id != ro->id()) continue;
+    found = true;
+    EXPECT_TRUE(rec.committed);
+    EXPECT_EQ(rec.reads.size(), 2u);
+    EXPECT_TRUE(rec.writes.empty());
+  }
+  EXPECT_TRUE(found);
+  const CheckReport mvsg = MvsgChecker::check_acyclic(recorder.finished());
+  EXPECT_TRUE(mvsg.serializable) << mvsg.violation;
+  const CheckReport order =
+      MvsgChecker::check_timestamp_order(recorder.finished());
+  EXPECT_TRUE(order.serializable) << order.violation;
+}
+
+TEST(BatchingTest, ReadOnlyFastPathProtectsItsSerializationPoint) {
+  // After a read-only commit, a writer must not be able to install a
+  // version inside the frozen candidate range that would invalidate the
+  // read-only transaction's serialization point.
+  HistoryRecorder recorder;
+  Cluster cluster(DistProtocol::kMvtilEarly, two_server_config(&recorder));
+  TransactionalStore& client = cluster.client();
+
+  auto setup = client.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(client.write(*setup, make_key(1), "v1"));
+  ASSERT_TRUE(client.commit(*setup).committed());
+
+  auto ro = client.begin(TxOptions{.process = 2});
+  ASSERT_TRUE(client.read(*ro, make_key(1)).ok);
+  const CommitResult ro_commit = client.commit(*ro);
+  ASSERT_TRUE(ro_commit.committed());
+
+  // A later writer lands strictly above the read-only commit point.
+  auto w = client.begin(TxOptions{.process = 3});
+  ASSERT_TRUE(client.write(*w, make_key(1), "v2"));
+  const CommitResult w_commit = client.commit(*w);
+  ASSERT_TRUE(w_commit.committed());
+  EXPECT_GT(w_commit.commit_ts, ro_commit.commit_ts);
+
+  const CheckReport order =
+      MvsgChecker::check_timestamp_order(recorder.finished());
+  EXPECT_TRUE(order.serializable) << order.violation;
+}
+
+TEST(BatchingTest, PessimisticKeepsTheRegisterForReadOnly) {
+  // MVTL-Pessimistic locks every timestamp; a read-only fast-path freeze
+  // would fence keys forever, so it stays on the register path.
+  Cluster cluster(DistProtocol::kPessimistic, two_server_config());
+  TransactionalStore& client = cluster.client();
+
+  auto setup = client.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(client.write(*setup, make_key(1), "x"));
+  ASSERT_TRUE(client.commit(*setup).committed());
+
+  const std::uint64_t paxos_before = total_paxos_requests(cluster);
+  auto ro = client.begin(TxOptions{.process = 2});
+  ASSERT_TRUE(client.read(*ro, make_key(1)).ok);
+  ASSERT_TRUE(client.commit(*ro).committed());
+  EXPECT_GT(total_paxos_requests(cluster), paxos_before);
+
+  // And the key remains writable afterwards.
+  auto w = client.begin(TxOptions{.process = 3});
+  ASSERT_TRUE(client.write(*w, make_key(1), "y"));
+  EXPECT_TRUE(client.commit(*w).committed());
+}
+
+}  // namespace
+}  // namespace mvtl

@@ -1,0 +1,165 @@
+// Live reconfiguration across epochs: advance_epoch(ShardMap) decides the
+// new assignment through the configuration register, drains in-flight
+// transactions, migrates key-range state between servers, and clients
+// refresh their routing on the epoch-mismatch refusal — all while the
+// recorded history stays serializable.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "dist/cluster.hpp"
+#include "sync/clock.hpp"
+#include "txbench/workload.hpp"
+#include "verify/history.hpp"
+#include "verify/mvsg.hpp"
+
+namespace mvtl {
+namespace {
+
+using namespace std::chrono_literals;
+
+ClusterConfig three_server_config(HistoryRecorder* recorder) {
+  ClusterConfig config;
+  config.servers = 3;
+  config.server_threads = 2;
+  config.net = NetProfile::instant();
+  config.mvtil_delta_ticks = 50'000;
+  config.suspect_timeout = 100ms;  // keeps the drain's forced sweeps quick
+  config.key_space = 900;  // epoch 0: [0,300) / [300,600) / [600,900)
+  config.clock = std::make_shared<LogicalClock>(1'000);
+  config.recorder = recorder;
+  return config;
+}
+
+/// Runs `fn` under a fresh transaction, retrying on the one kEpochChanged
+/// abort a stale routing cache produces.
+template <typename Fn>
+void with_retries(TransactionalStore& client, ProcessId process, Fn&& fn) {
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto tx = client.begin(TxOptions{.process = process});
+    if (fn(*tx)) return;
+    ASSERT_EQ(tx->abort_reason(), AbortReason::kEpochChanged);
+  }
+  FAIL() << "transaction kept hitting epoch mismatches";
+}
+
+TEST(ReconfigTest, AdvanceEpochMigratesShardsAndServesOldKeys) {
+  HistoryRecorder recorder;
+  Cluster cluster(DistProtocol::kMvtilEarly, three_server_config(&recorder));
+  TransactionalStore& client = cluster.client();
+
+  // Seed one key per epoch-0 range.
+  const std::vector<std::uint64_t> seeded = {10, 450, 800};
+  auto setup = client.begin(TxOptions{.process = 1});
+  for (const std::uint64_t k : seeded) {
+    ASSERT_TRUE(client.write(*setup, make_key(k), "v" + std::to_string(k)));
+  }
+  ASSERT_TRUE(client.commit(*setup).committed());
+  ASSERT_GT(cluster.server(2).handle_stats().versions, 0u);
+
+  // New assignment: two ranges, [0,300) on server 0 and [300,∞) on
+  // server 1 — server 2 gives up everything it owns.
+  ShardMap new_map(std::vector<Key>{make_key(300)});
+  EXPECT_EQ(cluster.advance_epoch(new_map), 1u);
+  EXPECT_EQ(cluster.epoch(), 1u);
+  const PaxosValue decided = cluster.config_value(1);
+  EXPECT_NE(decided.find("epoch=1"), std::string::npos);
+  EXPECT_NE(decided.find("boundaries=" + make_key(300)), std::string::npos);
+
+  // Server 2's state moved out wholesale; the new owner has it.
+  const StoreStats drained = cluster.server(2).handle_stats();
+  EXPECT_EQ(drained.versions, 0u);
+  EXPECT_EQ(drained.keys, 0u);
+  EXPECT_GT(cluster.server(1).handle_stats().versions, 0u);
+
+  // Every pre-migration key reads back correctly through the client
+  // (whose cached routing refreshes on the first epoch-mismatch refusal).
+  for (const std::uint64_t k : seeded) {
+    with_retries(client, 2, [&](TransactionalStore::Tx& tx) {
+      const ReadResult r = client.read(tx, make_key(k));
+      if (!r.ok) return false;
+      EXPECT_EQ(r.value.value_or(""), "v" + std::to_string(k));
+      return client.commit(tx).committed();
+    });
+  }
+
+  // And the moved ranges are writable under the new epoch.
+  with_retries(client, 3, [&](TransactionalStore::Tx& tx) {
+    return client.write(tx, make_key(800), "post-migration") &&
+           client.commit(tx).committed();
+  });
+  with_retries(client, 4, [&](TransactionalStore::Tx& tx) {
+    const ReadResult r = client.read(tx, make_key(800));
+    if (!r.ok) return false;
+    EXPECT_EQ(r.value.value_or(""), "post-migration");
+    return client.commit(tx).committed();
+  });
+
+  // The cross-epoch history is still multiversion serializable.
+  const std::vector<TxRecord> records = recorder.finished();
+  const CheckReport mvsg = MvsgChecker::check_acyclic(records);
+  EXPECT_TRUE(mvsg.serializable) << mvsg.violation;
+  const CheckReport order = MvsgChecker::check_timestamp_order(records);
+  EXPECT_TRUE(order.serializable) << order.violation;
+}
+
+TEST(ReconfigTest, StaleRoutingIsRefusedOnceThenRefreshed) {
+  Cluster cluster(DistProtocol::kMvtilEarly, three_server_config(nullptr));
+  TransactionalStore& client = cluster.client();
+
+  ASSERT_EQ(cluster.advance_epoch(ShardMap(std::vector<Key>{make_key(300)})),
+            1u);
+
+  // The client still routes by its epoch-0 snapshot: the first op batch
+  // is refused with wrong_epoch, the transaction aborts retryably, and
+  // the refusal refreshes the cache.
+  auto stale = client.begin(TxOptions{.process = 1});
+  EXPECT_FALSE(client.read(*stale, make_key(10)).ok);
+  EXPECT_FALSE(stale->is_active());
+  EXPECT_EQ(stale->abort_reason(), AbortReason::kEpochChanged);
+
+  // The very next transaction runs against the refreshed routing.
+  auto fresh = client.begin(TxOptions{.process = 1});
+  EXPECT_TRUE(client.read(*fresh, make_key(10)).ok);
+  EXPECT_TRUE(client.write(*fresh, make_key(10), "new-epoch"));
+  EXPECT_TRUE(client.commit(*fresh).committed());
+}
+
+TEST(ReconfigTest, InFlightTransactionIsDrainedAndAborted) {
+  Cluster cluster(DistProtocol::kMvtilEarly, three_server_config(nullptr));
+  TransactionalStore& client = cluster.client();
+
+  // A transaction with locks actually held server-side (flushed), whose
+  // coordinator is silent while the migration runs: the drain's forced
+  // suspicion sweeps abort it so the epoch can turn over.
+  auto tx = client.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(client.write(*tx, make_key(10), "doomed"));
+  ASSERT_TRUE(cluster.mvtil_client()->flush(*tx));
+  ASSERT_EQ(cluster.server(0).live_transactions(), 1u);
+
+  ASSERT_EQ(cluster.advance_epoch(ShardMap(std::vector<Key>{make_key(300)})),
+            1u);
+  EXPECT_EQ(cluster.server(0).live_transactions(), 0u);
+
+  // Its commit can no longer succeed — the epoch moved underneath it.
+  EXPECT_FALSE(client.commit(*tx).committed());
+  EXPECT_FALSE(tx->is_active());
+
+  // The key it had locked is free again under the new epoch.
+  auto retry = client.begin(TxOptions{.process = 2});
+  EXPECT_TRUE(client.write(*retry, make_key(10), "alive"));
+  EXPECT_TRUE(client.commit(*retry).committed());
+}
+
+TEST(ReconfigTest, AdvanceEpochRejectsOversizedMaps) {
+  Cluster cluster(DistProtocol::kMvtilEarly, three_server_config(nullptr));
+  // Four ranges onto a three-server cluster: refused outright.
+  ShardMap too_big(4, 900);
+  EXPECT_THROW(cluster.advance_epoch(too_big), std::invalid_argument);
+  EXPECT_EQ(cluster.epoch(), 0u);
+}
+
+}  // namespace
+}  // namespace mvtl

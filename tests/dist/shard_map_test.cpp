@@ -56,5 +56,26 @@ TEST(ShardMapTest, NonWorkloadKeysRouteDeterministically) {
   EXPECT_LT(a, 4u);
 }
 
+TEST(ShardMapTest, EncodeDecodeRoundTrips) {
+  // The configuration register stores the encoded boundary list;
+  // advance_epoch adopts the DECODED map, so the round trip must be
+  // exact — including the single-server map with no boundaries.
+  const ShardMap original(4, 1'000);
+  const ShardMap back = ShardMap::decode(original.encode());
+  EXPECT_EQ(back.boundaries(), original.boundaries());
+  EXPECT_EQ(back.servers(), 4u);
+
+  const ShardMap single(1, 1'000);
+  EXPECT_EQ(single.encode(), "");
+  EXPECT_EQ(ShardMap::decode("").servers(), 1u);
+
+  const ShardMap custom(std::vector<Key>{make_key(300), make_key(700)});
+  const ShardMap custom_back = ShardMap::decode(custom.encode());
+  EXPECT_EQ(custom_back.boundaries(), custom.boundaries());
+  EXPECT_EQ(custom_back.shard_of(make_key(5)), 0u);
+  EXPECT_EQ(custom_back.shard_of(make_key(400)), 1u);
+  EXPECT_EQ(custom_back.shard_of(make_key(800)), 2u);
+}
+
 }  // namespace
 }  // namespace mvtl

@@ -29,11 +29,14 @@ TEST(SuspicionTest, CrashedCoordinatorLocksAreReleasedWithinTimeout) {
   config.recorder = &recorder;
   Cluster cluster(DistProtocol::kMvtilEarly, config);
 
-  // Write one key on each server, then vanish without a word.
+  // Write one key on each server, then vanish without a word. Writes are
+  // buffered client-side; the explicit flush ships them so the servers
+  // actually hold locks for the coordinator that is about to disappear.
   auto tx = cluster.client().begin(TxOptions{.process = 1});
   const TxId gtx = tx->id();
   ASSERT_TRUE(cluster.client().write(*tx, make_key(1), "left"));
   ASSERT_TRUE(cluster.client().write(*tx, make_key(900), "behind"));
+  ASSERT_TRUE(cluster.mvtil_client()->flush(*tx));
   ASSERT_GT(cluster.stats().lock_entries, 0u);
   ASSERT_EQ(cluster.server(0).live_transactions() +
                 cluster.server(1).live_transactions(),

@@ -158,6 +158,29 @@ TEST(LockStateTest, ReadsBelowHorizonAutoAvailable) {
   EXPECT_FALSE(pr.hit_frozen_write);
 }
 
+TEST(LockStateTest, ActiveWriteLocksSurviveThePurgeHorizon) {
+  // A prepared transaction's write lock must never be stripped by a GC
+  // broadcast: the owner may still commit at that point, so the lock
+  // keeps blocking readers even below the horizon. (Regression: the
+  // timestamp service racing a distributed finalize used to strip the
+  // lock and trip commit_key's holds() assert.)
+  LockState ls;
+  ls.grant(1, LockMode::kWrite, IntervalSet{iv(40, 45)});
+  ls.grant(1, LockMode::kRead, IntervalSet{iv(30, 39)});
+  ls.purge_below(ts(100));
+  EXPECT_TRUE(ls.holds(1, LockMode::kWrite, ts(42)));
+  EXPECT_FALSE(ls.holds(1, LockMode::kRead, ts(35)));  // reads reclaimed
+  const ProbeResult pr = ls.probe(2, LockMode::kRead, iv(1, 150));
+  EXPECT_TRUE(pr.blocked.contains(iv(40, 45)));
+  EXPECT_FALSE(pr.available.contains(ts(42)));
+  // Once the owner commits (freeze) the conflict turns permanent and the
+  // reader is told to re-resolve its version.
+  ls.freeze(1, LockMode::kWrite, IntervalSet{iv(40, 45)});
+  const ProbeResult after = ls.probe(2, LockMode::kRead, iv(1, 150));
+  EXPECT_TRUE(after.permanent.contains(iv(40, 45)));
+  EXPECT_TRUE(after.hit_frozen_write);
+}
+
 TEST(LockStateTest, EntryCountReflectsCompression) {
   LockState ls;
   ls.grant(1, LockMode::kRead, IntervalSet{iv(1, 5)});
