@@ -1,0 +1,101 @@
+// Ablation: leader-only vs follower-served read-only transactions.
+//
+// A read-mostly workload on a replicated cluster (2 shard groups × 3
+// replicas, cloud bed), with all-read transactions declared read-only so
+// they take the snapshot path (lock-free reads at the group's
+// closed-timestamp floor, zero commit messages). The knob under test is
+// ClusterConfig::follower_reads: off ⇒ the group leader serves every
+// snapshot read; on ⇒ follower replicas serve them. Expected shape: with
+// follower routing on, throughput rises and the leaders' executed-op
+// share drops — replicas bought for availability double as read
+// capacity — while the write path (and its messages) is untouched.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dist/cluster.hpp"
+#include "txbench/report.hpp"
+
+namespace {
+
+using namespace mvtl;
+using namespace mvtl::bench;
+
+struct AblRun {
+  DriverResult driver;
+  StoreStats stats;
+  std::uint64_t leader_ops = 0;
+  std::uint64_t total_ops = 0;
+};
+
+AblRun run_once(bool follower_reads) {
+  ClusterConfig cluster;
+  cluster.servers = 2;             // shard groups
+  cluster.replication_factor = 3;  // 6 physical servers
+  cluster.follower_reads = follower_reads;
+  cluster.server_threads = 4;
+  cluster.server_task_cost = std::chrono::microseconds{200};
+  cluster.net = NetProfile::cloud();
+  cluster.mvtil_delta_ticks = 5'000;
+  cluster.key_space = 20'000;
+  cluster.suspect_timeout = std::chrono::milliseconds{400};
+  cluster.floor_lag_ticks = 50'000;  // 50 ms of read staleness budget
+  Cluster c(DistProtocol::kMvtilEarly, cluster);
+
+  DriverConfig driver;
+  driver.clients = 120;
+  driver.workload.key_space = 20'000;
+  driver.workload.ops_per_tx = 8;
+  driver.workload.write_fraction = 0.05;  // read-mostly: many all-read txs
+  driver.workload.seed = 7;
+  driver.retry_aborted = true;
+  driver.max_restarts = 5;
+  driver.declare_read_only = true;
+  driver.warmup = std::chrono::milliseconds{500};
+  driver.measure = std::chrono::milliseconds{1'000};
+
+  AblRun run;
+  run.driver = run_closed_loop(c.client(), driver);
+  run.stats = c.client().stats();
+  for (std::size_t i = 0; i < c.server_count(); ++i) {
+    run.total_ops += c.server(i).served_ops();
+    if (c.server(i).group_info().leading) {
+      run.leader_ops += c.server(i).served_ops();
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  Table table({"snapshot reads served by", "txs/s", "commit rate",
+               "msgs/tx", "follower reads", "leader op share",
+               "max backlog"});
+  for (const bool follower_reads : {false, true}) {
+    const AblRun run = run_once(follower_reads);
+    const double messages = static_cast<double>(run.stats.rpc_messages +
+                                                run.stats.paxos_messages);
+    const double leader_share =
+        run.total_ops == 0
+            ? 0.0
+            : static_cast<double>(run.leader_ops) /
+                  static_cast<double>(run.total_ops);
+    table.add_row(
+        {follower_reads ? "followers" : "leader only",
+         fmt_double(run.driver.throughput_tps, 0),
+         fmt_double(run.driver.commit_rate, 3),
+         run.stats.committed_txs == 0
+             ? "-"
+             : fmt_double(messages / static_cast<double>(
+                                         run.stats.committed_txs),
+                          1),
+         std::to_string(run.stats.follower_reads),
+         fmt_double(leader_share, 2),
+         std::to_string(run.stats.max_backlog)});
+  }
+  std::printf(
+      "=== Ablation: follower-served read-only transactions (2 groups x 3 "
+      "replicas, 5%% writes) ===\n");
+  table.print();
+  return 0;
+}

@@ -93,6 +93,12 @@ struct RunSpec {
   std::chrono::milliseconds measure{300};
   std::uint64_t mvtil_delta_ticks = 5'000;  // Δ = 5 ms in µs ticks
   std::uint64_t seed = 1;
+  /// Distributed beds only: replicas per shard group (src/repl/).
+  std::size_t replication_factor = 1;
+  /// Route declared-read-only snapshot reads to follower replicas.
+  bool follower_reads = true;
+  /// Declare all-read transactions read-only (snapshot path).
+  bool declare_read_only = false;
 };
 
 /// The distributed run of each protocol: the MVTIL variants natively,
@@ -123,6 +129,8 @@ inline Db make_db(Protocol protocol, const RunSpec& spec) {
     cluster.lock_timeout = spec.bed.lock_timeout;
     cluster.key_space = spec.key_space;
     cluster.seed = spec.seed;
+    cluster.replication_factor = spec.replication_factor;
+    cluster.follower_reads = spec.follower_reads;
     // Deep request queues on the weak cloud servers can keep a perfectly
     // live transaction away from a shard for a long time; suspicion is
     // for crashes, not congestion, so keep it far above queueing delays.
@@ -163,6 +171,7 @@ inline ProtocolRun run_protocol(Protocol protocol, const RunSpec& spec) {
     driver.retry_aborted = true;
     driver.max_restarts = 5;
   }
+  driver.declare_read_only = spec.declare_read_only;
   ProtocolRun run{run_closed_loop(db.spi(), driver), {}};
   run.stats = db.stats();
   return run;
@@ -179,7 +188,9 @@ inline const std::vector<Protocol>& all_protocols() {
 /// (a) throughput (txs/s) and (b) commit rate — plus, for distributed
 /// beds, (c) messages per committed transaction (client RPCs + register
 /// traffic over commits; the batching and read-only fast-path savings
-/// show up here).
+/// show up here) and (d) the worst server-executor backlog high-water
+/// mark (the overload indicator: deep queues mean the servers, not the
+/// protocol, are the bottleneck).
 template <typename XValues, typename MakeSpec>
 void run_sweep(const std::string& figure, const std::string& x_label,
                const XValues& xs, MakeSpec&& make_spec,
@@ -190,11 +201,13 @@ void run_sweep(const std::string& figure, const std::string& x_label,
   Table throughput(columns);
   Table commit_rate(columns);
   Table msgs_per_tx(columns);
+  Table max_backlog(columns);
   bool distributed = false;
   for (const auto& x : xs) {
     std::vector<std::string> tput_row{std::to_string(x)};
     std::vector<std::string> rate_row{std::to_string(x)};
     std::vector<std::string> msgs_row{std::to_string(x)};
+    std::vector<std::string> backlog_row{std::to_string(x)};
     for (Protocol p : protocols) {
       const RunSpec spec = make_spec(x);
       distributed |= spec.bed.distributed();
@@ -209,10 +222,12 @@ void run_sweep(const std::string& figure, const std::string& x_label,
               : fmt_double(messages /
                                static_cast<double>(run.stats.committed_txs),
                            1));
+      backlog_row.push_back(std::to_string(run.stats.max_backlog));
     }
     throughput.add_row(std::move(tput_row));
     commit_rate.add_row(std::move(rate_row));
     msgs_per_tx.add_row(std::move(msgs_row));
+    max_backlog.add_row(std::move(backlog_row));
   }
 
   std::printf("=== %s (a) Throughput (txs/s) ===\n", figure.c_str());
@@ -223,6 +238,8 @@ void run_sweep(const std::string& figure, const std::string& x_label,
     std::printf("\n=== %s (c) Messages per committed tx ===\n",
                 figure.c_str());
     msgs_per_tx.print();
+    std::printf("\n=== %s (d) Max server backlog ===\n", figure.c_str());
+    max_backlog.print();
   }
 }
 

@@ -9,6 +9,13 @@
 // spread a transaction's ops over more participants, so the batching
 // factor shrinks and the per-tx message count grows — the scaling cost
 // the batched RPC layer keeps sublinear in ops_per_tx.
+//
+// The replication panel re-runs a reduced sweep at replication factor 3
+// (each shard a 3-replica group, src/repl/): throughput dips — every
+// commit additionally decides a group-log entry — and messages-per-tx
+// grows by the log's Paxos traffic. That is the price of surviving a
+// leader crash per group; the read side of the bargain is measured by
+// abl_follower_reads.
 #include "bench_common.hpp"
 
 int main() {
@@ -31,6 +38,27 @@ int main() {
       // Few servers under 400 clients = deep queues: transactions take
       // seconds, so the measurement window must be wide enough to catch
       // completions at all.
+      spec.warmup = std::chrono::milliseconds{400};
+      spec.measure = std::chrono::milliseconds{900};
+      return spec;
+    });
+  }
+
+  // Replication panel: same bed, shard groups swept at RF 1 vs 3 (RF 3
+  // triples the physical servers; the x axis stays "groups").
+  for (const std::size_t rf : {std::size_t{1}, std::size_t{3}}) {
+    const std::vector<std::size_t> groups = {1, 2, 4};
+    char title[96];
+    std::snprintf(title, sizeof(title),
+                  "Figure 5 (repl): 25%% writes, replication factor %zu", rf);
+    run_sweep(title, "groups", groups, [rf](std::size_t n) {
+      RunSpec spec;
+      spec.bed = TestBed::cloud(n);
+      spec.clients = 200;
+      spec.key_space = 100'000;
+      spec.ops_per_tx = 20;
+      spec.write_fraction = 0.25;
+      spec.replication_factor = rf;
       spec.warmup = std::chrono::milliseconds{400};
       spec.measure = std::chrono::milliseconds{900};
       return spec;

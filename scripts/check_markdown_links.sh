@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Checks that every relative link in the repo's documentation (README.md,
-# ROADMAP.md, CHANGES.md and everything under docs/) points at a file
-# that exists. External (http/https/mailto) links and pure anchors are
-# skipped, as are fenced code blocks (C++ lambdas look like markdown
-# links). Run from the repository root; exits non-zero if any link is
-# dangling. PAPERS.md / SNIPPETS.md are retrieval artifacts, not docs,
-# and are deliberately out of scope.
+# Checks that every relative link in the repo's documentation points at a
+# file that exists — every git-tracked markdown file is covered (so a new
+# docs section can never silently escape the check), falling back to the
+# old explicit list outside a git checkout. External (http/https/mailto)
+# links and pure anchors are skipped, as are fenced code blocks (C++
+# lambdas look like markdown links). Run from the repository root; exits
+# non-zero if any link is dangling. PAPER.md / PAPERS.md / SNIPPETS.md
+# are retrieval artifacts, not docs, and are deliberately out of scope.
 set -u
 
-docs="README.md ROADMAP.md CHANGES.md"
-if [ -d docs ]; then
-  docs="$docs $(find docs -name '*.md')"
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  docs=$(git ls-files '*.md' | grep -vE '^(PAPER|PAPERS|SNIPPETS)\.md$')
+else
+  docs="README.md ROADMAP.md CHANGES.md"
+  if [ -d docs ]; then
+    docs="$docs $(find docs -name '*.md')"
+  fi
 fi
 
 fail=0

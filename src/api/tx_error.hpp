@@ -33,9 +33,12 @@ enum class TxErrorCode {
   /// (kVersionPurged); a fresh timestamp sees live versions. Retryable.
   kStale,
   /// The distributed commitment protocol suspected the coordinator and
-  /// decided abort (kCoordinatorSuspected), or the cluster moved to a new
-  /// configuration epoch under the transaction (kEpochChanged); a fresh
-  /// attempt routes against the new shard map. Retryable.
+  /// decided abort (kCoordinatorSuspected), the cluster moved to a new
+  /// configuration epoch under the transaction (kEpochChanged), the
+  /// contacted replica lost its group's leadership (kNotLeader), or no
+  /// replica could serve the requested snapshot yet (kReplicaBehind); a
+  /// fresh attempt routes against the current shard map and leaders.
+  /// Retryable.
   kUnavailable,
   /// The application voluntarily aborted (kUserAbort). Terminal.
   kUserAbort,
@@ -69,6 +72,8 @@ class TxError {
         return TxError(TxErrorCode::kStale, reason);
       case AbortReason::kCoordinatorSuspected:
       case AbortReason::kEpochChanged:
+      case AbortReason::kNotLeader:
+      case AbortReason::kReplicaBehind:
         return TxError(TxErrorCode::kUnavailable, reason);
       case AbortReason::kUserAbort:
         return TxError(TxErrorCode::kUserAbort, reason);

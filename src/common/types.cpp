@@ -22,6 +22,10 @@ const char* abort_reason_name(AbortReason r) {
       return "deadlock";
     case AbortReason::kEpochChanged:
       return "epoch-changed";
+    case AbortReason::kNotLeader:
+      return "not-leader";
+    case AbortReason::kReplicaBehind:
+      return "replica-behind";
   }
   return "unknown";
 }

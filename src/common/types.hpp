@@ -67,6 +67,20 @@ struct StoreStats {
   /// Distributed transactions that committed; the denominator benches
   /// use to report messages-per-transaction.
   std::size_t committed_txs = 0;
+
+  /// Replicated-op-log entries a group leader decided (commit records
+  /// plus floor/term markers); zero at replication factor 1.
+  std::size_t log_appends = 0;
+  /// Snapshot reads served by a follower replica instead of the group
+  /// leader — the read capacity replication buys.
+  std::size_t follower_reads = 0;
+  /// Snapshot reads served by the group leader (declared read-only
+  /// transactions with follower routing off, or follower fallbacks).
+  std::size_t leader_snapshot_reads = 0;
+  /// High-water mark of any server executor's request backlog — the
+  /// server-overload indicator benches report alongside
+  /// messages-per-committed-tx.
+  std::size_t max_backlog = 0;
 };
 
 /// Why a transaction aborted; used by metrics and tests.
@@ -80,6 +94,8 @@ enum class AbortReason {
   kCoordinatorSuspected,  ///< distributed: suspicion decided abort (§7)
   kDeadlock,              ///< wait-for-graph cycle; this tx was the victim
   kEpochChanged,          ///< distributed: shard map moved under the tx
+  kNotLeader,             ///< replicated: contacted replica lost leadership
+  kReplicaBehind,  ///< replicated: no replica could serve the snapshot yet
 };
 
 const char* abort_reason_name(AbortReason r);

@@ -26,6 +26,13 @@ struct TxOptions {
   /// sub-transaction anchors the *same* interval I = [t, t+Δ] (§8.1: the
   /// client associates one interval with the transaction and sends it).
   std::uint64_t begin_tick = 0;
+  /// Declares the transaction read-only up front. The replicated
+  /// distributed client serves such transactions as lock-free snapshot
+  /// reads at a closed timestamp — routed to follower replicas when
+  /// available — and commits them with zero server messages. Writing
+  /// inside a declared read-only transaction aborts it. Centralized
+  /// engines ignore the flag.
+  bool read_only = false;
 };
 
 class TransactionalStore {

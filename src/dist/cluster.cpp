@@ -1,6 +1,7 @@
 #include "dist/cluster.hpp"
 
 #include <algorithm>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "core/policy.hpp"
+#include "repl/log.hpp"
 
 namespace mvtl {
 
@@ -16,9 +18,12 @@ namespace mvtl {
 // ---------------------------------------------------------------------------
 
 /// Coordinator-side transaction state: the global id, the pinned anchor
-/// tick, the routing snapshot (shard map + epoch) the transaction runs
-/// against, and the per-participant op buffers that batch co-located
-/// reads/writes into single messages.
+/// tick, the routing snapshot (shard map + epoch + group membership) the
+/// transaction runs against, and per-participant-*group* state — the op
+/// buffers that batch co-located reads/writes into single messages, the
+/// server the group was pinned to (its leader at first touch), and the
+/// effect log (writes + read versions) a commit replays against a new
+/// leader if the pinned one dies mid-finalize.
 class DistClient::DistTx final : public TransactionalStore::Tx {
  public:
   DistTx(TxId id, const TxOptions& options,
@@ -33,22 +38,43 @@ class DistClient::DistTx final : public TransactionalStore::Tx {
   friend class DistClient;
   enum class State { kActive, kCommitted, kAborted };
 
+  struct GroupPart {
+    std::size_t server = 0;  ///< pinned replica (the leader at first touch)
+    /// Buffered ops not yet shipped. Writes accumulate here; a read
+    /// (whose result the client needs) or the commit flushes the buffer
+    /// as one op-batch message.
+    std::vector<DistOp> pending;
+    /// Effect log for finalize re-drives: committed values (last write
+    /// wins, mirroring the server-side writeset)…
+    std::map<Key, Value> writes;
+    /// …and each read's version timestamp (first read wins; reads of the
+    /// transaction's own writes are excluded, as on the server).
+    std::map<Key, Timestamp> reads;
+  };
+
   TxId id_;
   TxOptions options_;  // begin_tick pinned at global begin
   std::shared_ptr<const ClusterRouting> routing_;
   State state_ = State::kActive;
   AbortReason reason_ = AbortReason::kNone;
-  std::vector<std::size_t> participants_;  // servers with ops, first-touch
-  std::vector<std::size_t> contacted_;     // servers actually messaged
-  /// Buffered ops not yet shipped, per participant. Writes accumulate
-  /// here; a read (whose result the client needs) or the commit flushes a
-  /// server's buffer as one op-batch message.
-  std::unordered_map<std::size_t, std::vector<DistOp>> pending_;
+  std::vector<std::size_t> participants_;       // group ids, first-touch order
+  std::map<std::size_t, GroupPart> parts_;      // keyed by group
+  std::vector<std::size_t> contacted_;          // server indices messaged
   bool wrote_ = false;
+  /// Declared-read-only: the snapshot every read is served at (the first
+  /// contacted replica's floor); min() until the first read.
+  Timestamp snapshot_;
 };
 
 DistClient::DistClient(Cluster& cluster)
-    : cluster_(&cluster), routing_(cluster.routing()) {}
+    : cluster_(&cluster),
+      track_effects_(cluster.replication_factor() > 1),
+      routing_(cluster.routing()) {
+  leaders_.reserve(routing_->groups.size());
+  for (const GroupView& view : routing_->groups) {
+    leaders_.push_back(view.leader);
+  }
+}
 
 std::shared_ptr<const ClusterRouting> DistClient::routing_snapshot() {
   std::lock_guard guard(routing_mu_);
@@ -58,6 +84,55 @@ std::shared_ptr<const ClusterRouting> DistClient::routing_snapshot() {
 void DistClient::refresh_routing() {
   std::lock_guard guard(routing_mu_);
   routing_ = cluster_->routing();
+  // Keep existing leader hints; (re)seed any groups the new map added.
+  for (std::size_t g = leaders_.size(); g < routing_->groups.size(); ++g) {
+    leaders_.push_back(routing_->groups[g].leader);
+  }
+}
+
+std::size_t DistClient::leader_for(std::size_t group) {
+  std::lock_guard guard(routing_mu_);
+  if (group < leaders_.size()) return leaders_[group];
+  return group < routing_->groups.size() ? routing_->groups[group].leader : 0;
+}
+
+void DistClient::set_leader(std::size_t group, std::size_t server) {
+  std::lock_guard guard(routing_mu_);
+  if (group < leaders_.size()) leaders_[group] = server;
+}
+
+void DistClient::refresh_group_leader(std::size_t group) {
+  const auto routing = routing_snapshot();
+  if (group >= routing->groups.size()) return;
+  const std::vector<std::size_t>& members = routing->groups[group].members;
+  std::vector<std::future<GroupInfo>> futures;
+  futures.reserve(members.size());
+  for (const std::size_t m : members) {
+    ShardServer* server = &cluster_->server(m);
+    rpc_messages_.fetch_add(1, std::memory_order_relaxed);
+    futures.push_back(cluster_->net().call_async(
+        server->exec(), [server] { return server->handle_group_info(); }));
+  }
+  std::uint64_t best_term = 0;
+  std::size_t best_rank = 0;
+  bool best_leading = false;
+  bool found = false;
+  for (auto& f : futures) {
+    const GroupInfo info = f.get();
+    if (!info.ok) continue;
+    const bool better = !found || info.term > best_term ||
+                        (info.term == best_term && info.leading &&
+                         !best_leading);
+    if (better) {
+      best_term = info.term;
+      best_rank = info.leader;
+      best_leading = info.leading;
+      found = true;
+    }
+  }
+  if (found && best_rank < members.size()) {
+    set_leader(group, members[best_rank]);
+  }
 }
 
 TransactionalStore::TxPtr DistClient::begin(const TxOptions& options) {
@@ -73,17 +148,23 @@ TransactionalStore::TxPtr DistClient::begin(const TxOptions& options) {
 }
 
 DistClient::Route DistClient::route(DistTx& tx, const Key& key) {
-  const std::size_t idx = tx.routing_->map.shard_of(key);
-  if (std::find(tx.participants_.begin(), tx.participants_.end(), idx) ==
-      tx.participants_.end()) {
-    tx.participants_.push_back(idx);
+  const std::size_t group = tx.routing_->map.shard_of(key);
+  auto [it, inserted] = tx.parts_.try_emplace(group);
+  if (inserted) {
+    // Pin the group's leader for the transaction's lifetime: if
+    // leadership moves mid-flight, the pinned replica refuses with
+    // `not_leader` and the transaction retries — it must never open a
+    // second sub-transaction on the new leader.
+    it->second.server = leader_for(group);
+    tx.participants_.push_back(group);
   }
-  return Route{idx, &cluster_->server(idx)};
+  return Route{group, it->second.server, &cluster_->server(it->second.server)};
 }
 
 std::future<DistBatchReply> DistClient::send_batch_async(
-    DistTx& tx, std::size_t index, std::vector<DistOp> ops,
+    DistTx& tx, std::size_t group, std::vector<DistOp> ops,
     BatchFinish finish) {
+  const std::size_t index = tx.parts_[group].server;
   ShardServer* server = &cluster_->server(index);
   bool first = false;
   if (std::find(tx.contacted_.begin(), tx.contacted_.end(), index) ==
@@ -103,12 +184,20 @@ std::future<DistBatchReply> DistClient::send_batch_async(
 }
 
 void DistClient::abort_on_batch_failure(DistTx& tx,
-                                        const DistBatchReply& reply) {
+                                        const DistBatchReply& reply,
+                                        std::size_t group) {
   AbortReason reason = reply.abort_reason;
+  bool refresh_leader = false;
   if (reply.wrong_epoch) {
     reason = AbortReason::kEpochChanged;
+  } else if (reply.not_leader || reply.down) {
+    reason = AbortReason::kNotLeader;
+    refresh_leader = true;
   } else if (reason == AbortReason::kNone) {
-    reason = AbortReason::kNoCommonTimestamp;
+    // A refusal with no stated cause (e.g. a fault-injected drop's
+    // default reply): treat it as the replica being unreachable.
+    reason = AbortReason::kNotLeader;
+    refresh_leader = true;
   }
   // Abort (and finalize server-side entries) BEFORE refreshing: the
   // refresh blocks on the cluster's epoch lock for the duration of the
@@ -119,37 +208,137 @@ void DistClient::abort_on_batch_failure(DistTx& tx,
     // The shard map moved under us: adopt the new routing so the caller's
     // retry runs against the current epoch.
     refresh_routing();
+  } else if (reply.not_leader) {
+    // Adopt the hinted leader directly; fall back to asking the group.
+    const auto routing = routing_snapshot();
+    if (group < routing->groups.size() &&
+        reply.leader_rank < routing->groups[group].members.size()) {
+      set_leader(group, routing->groups[group].members[reply.leader_rank]);
+    } else {
+      refresh_group_leader(group);
+    }
+  } else if (refresh_leader) {
+    refresh_group_leader(group);
   }
+}
+
+ReadResult DistClient::snapshot_read(DistTx& tx, const Key& key) {
+  using namespace std::chrono;
+  const std::size_t group = tx.routing_->map.shard_of(key);
+  if (group >= tx.routing_->groups.size()) return {};
+  const GroupView& view = tx.routing_->groups[group];
+  const auto deadline =
+      steady_clock::now() + 4 * cluster_->config().suspect_timeout;
+  for (;;) {
+    // Candidate order, rebuilt each round so leader refreshes take
+    // effect: followers first (rotated per transaction, spreading read
+    // load), the leader as fallback — or strictly leader-only when
+    // follower reads are off (the ablation's baseline must not leak
+    // reads onto followers through the fallback).
+    const std::size_t leader = leader_for(group);
+    std::vector<std::size_t> order;
+    if (cluster_->config().follower_reads && view.members.size() > 1) {
+      std::vector<std::size_t> followers;
+      for (const std::size_t m : view.members) {
+        if (m != leader) followers.push_back(m);
+      }
+      const std::size_t start = tx.id() % followers.size();
+      for (std::size_t i = 0; i < followers.size(); ++i) {
+        order.push_back(followers[(start + i) % followers.size()]);
+      }
+      order.push_back(leader);
+    } else {
+      order.push_back(leader);
+    }
+    bool leadership_in_doubt = false;
+    for (const std::size_t target : order) {
+      ShardServer* server = &cluster_->server(target);
+      rpc_messages_.fetch_add(1, std::memory_order_relaxed);
+      batched_ops_.fetch_add(1, std::memory_order_relaxed);
+      const SnapshotReadReply reply = cluster_->net().call(
+          server->exec(),
+          [server, gtx = tx.id(), epoch = tx.routing_->epoch, key,
+           want = tx.snapshot_] {
+            return server->handle_snapshot_read(gtx, epoch, key, want);
+          });
+      if (reply.ok) {
+        if (tx.snapshot_.is_min()) tx.snapshot_ = reply.snapshot;
+        return reply.result;
+      }
+      switch (reply.refuse) {
+        case SnapshotReadReply::Refuse::kWrongEpoch:
+          finish_abort(tx, AbortReason::kEpochChanged,
+                       /*notify_servers=*/false);
+          refresh_routing();
+          return {};
+        case SnapshotReadReply::Refuse::kPurged:
+          finish_abort(tx, AbortReason::kVersionPurged,
+                       /*notify_servers=*/false);
+          return {};
+        case SnapshotReadReply::Refuse::kDown:
+        case SnapshotReadReply::Refuse::kLeaseExpired:
+          leadership_in_doubt = true;
+          break;
+        default:
+          break;  // behind: the floor just has not caught up yet
+      }
+    }
+    if (steady_clock::now() > deadline) break;
+    // Floors advance with the group ticker — waiting costs one sleep.
+    // Only a down/lease-expired refusal hints at a leadership change
+    // worth the GroupInfo round; plain kBehind rounds must not spam it.
+    std::this_thread::sleep_for(milliseconds{1});
+    if (leadership_in_doubt) refresh_group_leader(group);
+  }
+  finish_abort(tx, AbortReason::kReplicaBehind, /*notify_servers=*/false);
+  return {};
 }
 
 ReadResult DistClient::read(Tx& tx_base, const Key& key) {
   auto& tx = static_cast<DistTx&>(tx_base);
   if (!tx.is_active()) return {};
+  if (tx.options_.read_only) return snapshot_read(tx, key);
   const Route r = route(tx, key);
   // The read's result gates the client's next step, so this flushes the
   // server's buffered writes and the read together as one message.
-  std::vector<DistOp> ops = std::move(tx.pending_[r.index]);
-  tx.pending_.erase(r.index);
+  std::vector<DistOp> ops = std::move(tx.parts_[r.group].pending);
+  tx.parts_[r.group].pending.clear();
   ops.push_back(DistOp::read(key));
   const DistBatchReply reply =
-      send_batch_async(tx, r.index, std::move(ops), BatchFinish::kNone).get();
+      send_batch_async(tx, r.group, std::move(ops), BatchFinish::kNone).get();
   if (!reply.ok) {
-    abort_on_batch_failure(tx, reply);
+    abort_on_batch_failure(tx, reply, r.group);
     return {};
   }
-  return reply.reads.back();
+  const ReadResult result = reply.reads.back();
+  // Effect log for finalize re-drives: reads of own writes carry no
+  // serialization constraint (the server records none either).
+  if (track_effects_ && result.ok) {
+    auto& part = tx.parts_[r.group];
+    if (part.writes.find(key) == part.writes.end()) {
+      part.reads.try_emplace(key, result.version_ts);
+    }
+  }
+  return result;
 }
 
 bool DistClient::write(Tx& tx_base, const Key& key, Value value) {
   auto& tx = static_cast<DistTx&>(tx_base);
   if (!tx.is_active()) return false;
+  if (tx.options_.read_only) {
+    // API misuse: the transaction promised to be read-only.
+    finish_abort(tx, AbortReason::kUserAbort, /*notify_servers=*/false);
+    return false;
+  }
   // Writes are fire-and-forget from the client's perspective until
   // something needs their outcome: buffer them per participant and ship
   // whole buffers in single messages (a conflict surfaces at the next
   // read or at commit, where it aborts the transaction exactly as an
   // immediate refusal would have).
   const Route r = route(tx, key);
-  tx.pending_[r.index].push_back(DistOp::write(key, std::move(value)));
+  auto& part = tx.parts_[r.group];
+  part.pending.push_back(DistOp::write(key, value));
+  if (track_effects_) part.writes[key] = std::move(value);
   tx.wrote_ = true;
   return true;
 }
@@ -157,32 +346,99 @@ bool DistClient::write(Tx& tx_base, const Key& key, Value value) {
 bool DistClient::flush(Tx& tx_base) {
   auto& tx = static_cast<DistTx&>(tx_base);
   if (!tx.is_active()) return false;
-  std::vector<std::future<DistBatchReply>> futures;
-  for (const std::size_t idx : tx.participants_) {
-    auto it = tx.pending_.find(idx);
-    if (it == tx.pending_.end() || it->second.empty()) continue;
-    std::vector<DistOp> ops = std::move(it->second);
-    tx.pending_.erase(it);
-    futures.push_back(
-        send_batch_async(tx, idx, std::move(ops), BatchFinish::kNone));
+  std::vector<std::pair<std::size_t, std::future<DistBatchReply>>> futures;
+  for (const std::size_t group : tx.participants_) {
+    auto& part = tx.parts_[group];
+    if (part.pending.empty()) continue;
+    std::vector<DistOp> ops = std::move(part.pending);
+    part.pending.clear();
+    futures.emplace_back(
+        group, send_batch_async(tx, group, std::move(ops), BatchFinish::kNone));
   }
   bool ok = true;
   DistBatchReply first_failure;
-  for (auto& f : futures) {
+  std::size_t failed_group = 0;
+  for (auto& [group, f] : futures) {
     const DistBatchReply reply = f.get();
     if (!reply.ok && ok) {
       ok = false;
       first_failure = reply;
+      failed_group = group;
     }
   }
-  if (!ok) abort_on_batch_failure(tx, first_failure);
+  if (!ok) abort_on_batch_failure(tx, first_failure, failed_group);
   return ok;
+}
+
+CommitRecord DistClient::commit_record_for(DistTx& tx, std::size_t group,
+                                           Timestamp ts) {
+  auto& part = tx.parts_[group];
+  CommitRecord rec;
+  rec.gtx = tx.id();
+  rec.ts = ts;
+  rec.writes.reserve(part.writes.size());
+  for (const auto& [key, value] : part.writes) {
+    rec.writes.emplace_back(key, value);
+  }
+  rec.reads.reserve(part.reads.size());
+  for (const auto& [key, tr] : part.reads) rec.reads.emplace_back(key, tr);
+  return rec;
+}
+
+std::future<bool> DistClient::send_finalize_async(
+    DistTx& tx, std::size_t target, const CommitDecision& decision,
+    CommitRecord rec) {
+  ShardServer* server = &cluster_->server(target);
+  rpc_messages_.fetch_add(1, std::memory_order_relaxed);
+  return cluster_->net().call_async(
+      server->exec(),
+      [server, gtx = tx.id(), decision, rec = std::move(rec)] {
+        return server->handle_finalize(
+            gtx, decision, AbortReason::kCoordinatorSuspected, &rec);
+      });
+}
+
+bool DistClient::finalize_commit_on_group(DistTx& tx, std::size_t group,
+                                          const CommitDecision& decision) {
+  using namespace std::chrono;
+  const CommitRecord rec = commit_record_for(tx, group, decision.ts);
+  const auto deadline =
+      steady_clock::now() + 8 * cluster_->config().suspect_timeout;
+  for (;;) {
+    // The pinned leader failed (that is why we are here): chase the
+    // group's current leader until the commit record lands in its log.
+    // The decision is already register-durable, so giving up is not an
+    // option short of the deadline.
+    std::this_thread::sleep_for(milliseconds{1});
+    refresh_group_leader(group);
+    if (send_finalize_async(tx, leader_for(group), decision, rec).get()) {
+      return true;
+    }
+    if (steady_clock::now() > deadline) return false;
+  }
 }
 
 CommitResult DistClient::commit(Tx& tx_base) {
   auto& tx = static_cast<DistTx&>(tx_base);
   CommitResult result;
   if (!tx.is_active()) return result;
+
+  if (tx.options_.read_only) {
+    // Declared read-only: every read was a lock-free snapshot read at
+    // tx.snapshot_; the commit is pure bookkeeping — zero messages.
+    tx.state_ = DistTx::State::kCommitted;
+    Timestamp ts = tx.snapshot_;
+    if (ts.is_min()) {
+      ts = Timestamp::make(tx.options_.begin_tick, tx.options_.process);
+    }
+    if (HistoryRecorder* recorder = cluster_->config().recorder) {
+      recorder->record_commit(tx.id(), ts);
+    }
+    committed_txs_.fetch_add(1, std::memory_order_relaxed);
+    result.status = CommitStatus::kCommitted;
+    result.commit_ts = ts;
+    return result;
+  }
 
   if (tx.participants_.empty()) {
     // Never touched a server: nothing to decide.
@@ -201,9 +457,15 @@ CommitResult DistClient::commit(Tx& tx_base) {
   // global intersection is then a valid serialization point — zero
   // commitment-register rounds, zero finalize messages. Pessimistic locks
   // every timestamp, which would freeze keys forever; it keeps the
-  // register path.
-  const bool read_only =
-      !tx.wrote_ && cluster_->protocol() != DistProtocol::kPessimistic;
+  // register path. So do *replicated* groups: the fast path's frozen
+  // candidate ranges live only in the leader's memory, and a failover
+  // that lost them could let a later writer commit inside a read-only
+  // transaction's serialization range. With replicas, a read-only commit
+  // is durable either through the log (this path, finish = kPrepare) or
+  // not needed at all (the declared-read-only snapshot path).
+  const bool read_only = !tx.wrote_ &&
+                         cluster_->protocol() != DistProtocol::kPessimistic &&
+                         cluster_->replication_factor() == 1;
   const BatchFinish finish =
       read_only ? BatchFinish::kReadOnlyCommit : BatchFinish::kPrepare;
 
@@ -211,26 +473,36 @@ CommitResult DistClient::commit(Tx& tx_base) {
   // ops with the prepare folded into the same message (Algorithm 1
   // line 13, per server — each returns the timestamps it has locked
   // appropriately).
-  std::vector<std::future<DistBatchReply>> futures;
+  std::vector<std::pair<std::size_t, std::future<DistBatchReply>>> futures;
   futures.reserve(tx.participants_.size());
-  for (const std::size_t idx : tx.participants_) {
-    std::vector<DistOp> ops;
-    if (auto it = tx.pending_.find(idx); it != tx.pending_.end()) {
-      ops = std::move(it->second);
-    }
-    futures.push_back(send_batch_async(tx, idx, std::move(ops), finish));
+  for (const std::size_t group : tx.participants_) {
+    std::vector<DistOp> ops = std::move(tx.parts_[group].pending);
+    tx.parts_[group].pending.clear();
+    futures.emplace_back(group,
+                         send_batch_async(tx, group, std::move(ops), finish));
   }
-  tx.pending_.clear();
 
   bool prepared = true;
   bool wrong_epoch = false;
+  bool not_leader = false;
+  std::size_t not_leader_group = 0;
   AbortReason failure = AbortReason::kNoCommonTimestamp;
   IntervalSet candidates = IntervalSet::all();
-  for (auto& f : futures) {
+  for (auto& [group, f] : futures) {
     const DistBatchReply reply = f.get();
     if (!reply.ok) {
       prepared = false;
       wrong_epoch |= reply.wrong_epoch;
+      // A refusal with no stated cause is a dropped/unreachable replica
+      // (same classification as abort_on_batch_failure): retryable, and
+      // the leader cache needs refreshing or every retry re-pins the
+      // same dead server.
+      if (reply.not_leader || reply.down ||
+          (!reply.wrong_epoch &&
+           reply.abort_reason == AbortReason::kNone)) {
+        not_leader = true;
+        not_leader_group = group;
+      }
       if (reply.abort_reason != AbortReason::kNone) {
         failure = reply.abort_reason;
       }
@@ -241,6 +513,9 @@ CommitResult DistClient::commit(Tx& tx_base) {
   if (wrong_epoch) {
     failure = AbortReason::kEpochChanged;
     prepared = false;
+  } else if (not_leader) {
+    failure = AbortReason::kNotLeader;
+    prepared = false;
   }
   if (!prepared || candidates.is_empty()) {
     finish_abort(tx, prepared ? AbortReason::kNoCommonTimestamp : failure,
@@ -249,6 +524,7 @@ CommitResult DistClient::commit(Tx& tx_base) {
     // the routing lock is held for the whole migration and its drain is
     // waiting on those entries (see abort_on_batch_failure).
     if (wrong_epoch) refresh_routing();
+    if (not_leader) refresh_group_leader(not_leader_group);
     return result;
   }
 
@@ -278,11 +554,30 @@ CommitResult DistClient::commit(Tx& tx_base) {
   const CommitmentObject object(tx.id(), &cluster_->acceptors(),
                                 kCoordinatorProposer);
   const CommitDecision decided = object.decide(CommitDecision::committed(ts));
-  broadcast_finalize(tx, decided, AbortReason::kCoordinatorSuspected);
   if (!decided.commit) {
+    broadcast_abort(tx, AbortReason::kCoordinatorSuspected);
     tx.state_ = DistTx::State::kAborted;
     tx.reason_ = AbortReason::kCoordinatorSuspected;
     return result;
+  }
+  // The decision is durable; now every participant group's effects must
+  // be too. Fan the finalizes out in parallel (the common case: every
+  // pinned leader is alive — one round of messages, as before
+  // replication); chase leadership changes only for the groups that
+  // failed, so a leader crash between the register round and here loses
+  // nothing. If a chase exhausts its deadline, the transaction is still
+  // committed — the register decided it and other groups have applied —
+  // but that group's effects hinge on the documented double-fault
+  // window (docs/ARCHITECTURE.md, "Known double-fault window").
+  std::vector<std::pair<std::size_t, std::future<bool>>> finalizes;
+  finalizes.reserve(tx.participants_.size());
+  for (const std::size_t group : tx.participants_) {
+    finalizes.emplace_back(
+        group, send_finalize_async(tx, tx.parts_[group].server, decided,
+                                   commit_record_for(tx, group, decided.ts)));
+  }
+  for (auto& [group, f] : finalizes) {
+    if (!f.get()) finalize_commit_on_group(tx, group, decided);
   }
   tx.state_ = DistTx::State::kCommitted;
   committed_txs_.fetch_add(1, std::memory_order_relaxed);
@@ -310,35 +605,34 @@ void DistClient::finish_abort(DistTx& tx, AbortReason reason,
                               bool notify_servers) {
   tx.state_ = DistTx::State::kAborted;
   tx.reason_ = reason;
-  tx.pending_.clear();  // buffered ops die with the transaction
+  for (auto& [group, part] : tx.parts_) part.pending.clear();
   // Coordinator-initiated aborts need no Paxos round: Commit is only ever
   // proposed by the coordinator, so once it chooses Abort every decision
   // path ends in Abort and a plain broadcast suffices. Only servers that
   // were actually messaged can hold a sub-transaction.
   if (notify_servers && !tx.contacted_.empty()) {
-    broadcast_finalize(tx, CommitDecision::aborted(), reason);
+    broadcast_abort(tx, reason);
   }
 }
 
-void DistClient::broadcast_finalize(const DistTx& tx,
-                                    const CommitDecision& decision,
-                                    AbortReason abort_hint) {
+void DistClient::broadcast_abort(const DistTx& tx, AbortReason reason) {
+  const CommitDecision decision = CommitDecision::aborted();
   std::vector<std::future<bool>> futures;
   futures.reserve(tx.contacted_.size());
   for (const std::size_t idx : tx.contacted_) {
     ShardServer* server = &cluster_->server(idx);
     rpc_messages_.fetch_add(1, std::memory_order_relaxed);
     futures.push_back(cluster_->net().call_async(
-        server->exec(), [server, gtx = tx.id(), decision, abort_hint] {
-          server->handle_finalize(gtx, decision, abort_hint);
-          return true;
+        server->exec(), [server, gtx = tx.id(), decision, reason] {
+          return server->handle_finalize(gtx, decision, reason);
         }));
   }
   for (auto& f : futures) f.get();
 }
 
 std::string DistClient::name() const {
-  return dist_store_name(cluster_->protocol(), cluster_->server_count());
+  return dist_store_name(cluster_->protocol(), cluster_->group_count(),
+                         cluster_->replication_factor());
 }
 
 StoreStats DistClient::stats() {
@@ -379,10 +673,13 @@ std::shared_ptr<MvtlPolicy> engine_policy(DistProtocol protocol,
 Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
     : protocol_(protocol),
       config_(std::move(config)),
+      groups_(config_.servers == 0 ? 1 : config_.servers),
+      rf_(config_.replication_factor == 0 ? 1 : config_.replication_factor),
       clock_(config_.clock ? config_.clock : std::make_shared<SystemClock>()),
       net_(config_.net, config_.seed, config_.net_lanes) {
-  servers_.reserve(config_.servers);
-  for (std::size_t i = 0; i < config_.servers; ++i) {
+  const std::size_t total = groups_ * rf_;
+  servers_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
     ShardServerConfig sc;
     sc.index = i;
     sc.threads = config_.server_threads;
@@ -393,6 +690,13 @@ Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
     sc.store_shards = config_.store_shards;
     sc.recorder = config_.recorder;
     sc.suspect_timeout = config_.suspect_timeout;
+    sc.group = i / rf_;
+    sc.rank = i % rf_;
+    sc.members.reserve(rf_);
+    for (std::size_t r = 0; r < rf_; ++r) {
+      sc.members.push_back((i / rf_) * rf_ + r);
+    }
+    sc.floor_lag_ticks = config_.floor_lag_ticks;
     servers_.push_back(std::make_unique<ShardServer>(std::move(sc), net_));
   }
 
@@ -414,26 +718,64 @@ Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
     acceptor_endpoints_.push_back(std::move(ep));
   }
   for (auto& server : servers_) {
-    server->connect(acceptor_endpoints_);
+    server->connect(acceptor_endpoints_, group_servers(server->group()));
   }
+  // Background activity (sweepers, group tickers) starts only after
+  // every server is wired: a ticker beating a peer mid-connect would
+  // race its group wiring.
+  for (auto& server : servers_) server->start();
 
   // Configuration epoch 0 goes through the same register machinery as
   // every commitment decision: decided once, durable against races.
-  ShardMap initial(config_.servers, config_.key_space);
+  ShardMap initial(groups_, config_.key_space);
   epochs_.push_back(paxos_propose("config/0", acceptor_endpoints_,
                                   kCoordinatorProposer,
                                   encode_config(0, initial)));
-  routing_ = std::make_shared<ClusterRouting>(
-      ClusterRouting{0, std::move(initial)});
+  routing_ = make_routing(0, std::move(initial));
 
   client_ = std::make_unique<DistClient>(*this);
 }
 
 Cluster::~Cluster() {
   stop_ts_service();
-  // Stop every sweeper before any server dies: a sweeper mid-Paxos calls
-  // into its peers' executors.
+  // Stop every sweeper and group ticker before any server dies: a
+  // sweeper or ticker mid-Paxos calls into its peers' executors.
   for (auto& server : servers_) server->disconnect();
+  // Then quiesce the network: net_ is declared before servers_ (so it is
+  // destroyed after them), and a live delivery lane posting into a
+  // half-destroyed Executor is a use-after-free. No caller is in flight
+  // by now — the background proposers above are joined, and clients must
+  // not outlive the cluster.
+  net_.shutdown();
+}
+
+std::vector<ShardServer*> Cluster::group_servers(std::size_t g) {
+  std::vector<ShardServer*> out;
+  out.reserve(rf_);
+  for (std::size_t r = 0; r < rf_; ++r) {
+    out.push_back(servers_[g * rf_ + r].get());
+  }
+  return out;
+}
+
+std::shared_ptr<const ClusterRouting> Cluster::make_routing(
+    std::uint64_t epoch, ShardMap map) const {
+  const std::size_t n = std::min(map.servers(), groups_);
+  auto routing = std::make_shared<ClusterRouting>(
+      ClusterRouting{epoch, std::move(map), {}});
+  routing->groups.reserve(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    GroupView view;
+    view.members.reserve(rf_);
+    for (std::size_t r = 0; r < rf_; ++r) {
+      view.members.push_back(g * rf_ + r);
+    }
+    const GroupInfo info = servers_[g * rf_]->group_info();
+    const std::size_t rank = info.ok && info.leader < rf_ ? info.leader : 0;
+    view.leader = view.members[rank];
+    routing->groups.push_back(std::move(view));
+  }
+  return routing;
 }
 
 void Cluster::start_ts_service(std::chrono::milliseconds period,
@@ -463,6 +805,10 @@ StoreStats Cluster::stats() {
     total.lock_entries += s.lock_entries;
     total.versions += s.versions;
     total.paxos_messages += s.paxos_messages;
+    total.log_appends += s.log_appends;
+    total.follower_reads += s.follower_reads;
+    total.leader_snapshot_reads += s.leader_snapshot_reads;
+    total.max_backlog = std::max(total.max_backlog, s.max_backlog);
   }
   return total;
 }
@@ -484,6 +830,7 @@ PaxosValue Cluster::encode_config(std::uint64_t epoch,
                                   const ShardMap& map) const {
   return "epoch=" + std::to_string(epoch) +
          ";servers=" + std::to_string(map.servers()) +
+         ";rf=" + std::to_string(rf_) +
          ";suspect_ms=" + std::to_string(config_.suspect_timeout.count()) +
          ";delta=" + std::to_string(config_.mvtil_delta_ticks) +
          ";boundaries=" + map.encode();
@@ -538,14 +885,51 @@ void Cluster::drain_in_flight() {
   }
 }
 
+void Cluster::replication_barrier() {
+  using namespace std::chrono;
+  if (rf_ <= 1) return;
+  // Every replica must hold its group's full log before keys migrate —
+  // syncing against a *dead* believed-leader reads as "caught up" (empty
+  // fetch), so the barrier insists on a live sealed leader per group
+  // (takeover produces one within the lease) and on every live member
+  // matching its log length. Best-effort past the deadline: a group
+  // without any live replica has nothing left to equalize.
+  const auto deadline = steady_clock::now() + 30 * config_.suspect_timeout;
+  for (std::size_t g = 0; g < groups_; ++g) {
+    const std::vector<ShardServer*> members = group_servers(g);
+    for (;;) {
+      ShardServer* leader = nullptr;
+      for (ShardServer* s : members) {
+        const GroupInfo info = s->group_info();
+        if (info.ok && info.leading) {
+          leader = s;
+          break;
+        }
+      }
+      if (leader != nullptr) {
+        const std::uint64_t len = leader->group_member()->log_length();
+        bool equal = true;
+        for (ShardServer* s : members) {
+          if (s == leader || s->crashed()) continue;
+          net_.call(s->exec(), [s] { return s->handle_repl_sync(); });
+          equal &= s->group_member()->log_length() >= len;
+        }
+        if (equal) break;
+      }
+      if (steady_clock::now() > deadline) break;
+      std::this_thread::sleep_for(milliseconds{1});
+    }
+  }
+}
+
 std::uint64_t Cluster::advance_epoch() {
   return advance_epoch(routing()->map);
 }
 
 std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
-  if (new_map.servers() > servers_.size()) {
+  if (new_map.servers() > groups_) {
     throw std::invalid_argument(
-        "advance_epoch: shard map names more servers than the cluster has");
+        "advance_epoch: shard map names more groups than the cluster has");
   }
   // epoch_mu_ serializes reconfigurations end to end; epoch()/routing()
   // readers block only for the duration of the migration.
@@ -561,9 +945,9 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
       paxos_propose("config/" + std::to_string(next), acceptor_endpoints_,
                     kCoordinatorProposer, encode_config(next, new_map));
   ShardMap adopted = decode_config_map(decided);
-  if (adopted.servers() > servers_.size()) {
+  if (adopted.servers() > groups_) {
     throw std::runtime_error(
-        "advance_epoch: register decided a map for more servers than the "
+        "advance_epoch: register decided a map for more groups than the "
         "cluster has");
   }
 
@@ -581,27 +965,70 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
     for (auto& f : futures) f.get();
   }
 
-  // 3. Drain in-flight transactions against the old epoch.
+  // 3. Drain in-flight transactions against the old epoch, then bring
+  //    every replica up to its group's full log: after the barrier all
+  //    replicas of a group hold identical state.
   drain_in_flight();
+  replication_barrier();
 
-  // 4. Migrate: each server exports the key ranges it no longer owns;
-  //    the exports are regrouped by new owner and imported.
-  std::vector<std::vector<MigratedKey>> imports(servers_.size());
-  for (auto& server : servers_) {
-    ShardServer* s = server.get();
+  // 4. Migrate: each group's *leader* exports the key ranges the group
+  //    no longer owns (its followers drop their copies); the exports are
+  //    regrouped by new owner and imported on *every* replica of the
+  //    owning group.
+  std::vector<std::vector<MigratedKey>> imports(groups_);
+  for (std::size_t g = 0; g < groups_; ++g) {
+    const std::vector<ShardServer*> members = group_servers(g);
+    // Export from the sealed leader; if the barrier could not produce
+    // one (crashes), fall back to the live replica with the longest
+    // applied log — never a crashed member or a blind rank 0.
+    std::size_t leader_rank = 0;
+    bool found = false;
+    for (std::size_t r = 0; r < members.size(); ++r) {
+      const GroupInfo info = members[r]->group_info();
+      if (info.ok && info.leading) {
+        leader_rank = r;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::uint64_t best_len = 0;
+      for (std::size_t r = 0; r < members.size(); ++r) {
+        if (members[r]->crashed() || members[r]->group_member() == nullptr) {
+          continue;
+        }
+        const std::uint64_t len = members[r]->group_member()->log_length();
+        if (!found || len > best_len) {
+          leader_rank = r;
+          best_len = len;
+          found = true;
+        }
+      }
+    }
+    ShardServer* leader = members[leader_rank];
     std::vector<MigratedKey> exported = net_.call(
-        s->exec(), [s, &adopted] { return s->handle_export_keys(adopted); });
+        leader->exec(),
+        [leader, &adopted] { return leader->handle_export_keys(adopted); });
+    for (std::size_t r = 0; r < members.size(); ++r) {
+      if (r == leader_rank) continue;
+      ShardServer* s = members[r];
+      net_.call(s->exec(), [s, &adopted] {
+        s->handle_drop_keys(adopted);
+        return true;
+      });
+    }
     for (MigratedKey& mk : exported) {
       imports[adopted.shard_of(mk.key)].push_back(std::move(mk));
     }
   }
-  for (std::size_t j = 0; j < servers_.size(); ++j) {
-    if (imports[j].empty()) continue;
-    ShardServer* s = servers_[j].get();
-    net_.call(s->exec(), [s, batch = std::move(imports[j])] {
-      s->handle_import_keys(batch);
-      return true;
-    });
+  for (std::size_t g = 0; g < groups_; ++g) {
+    if (imports[g].empty()) continue;
+    for (ShardServer* s : group_servers(g)) {
+      net_.call(s->exec(), [s, &batch = imports[g]] {
+        s->handle_import_keys(batch);
+        return true;
+      });
+    }
   }
 
   // 5. Reopen under the new epoch and publish the routing for clients
@@ -618,8 +1045,7 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
     for (auto& f : futures) f.get();
   }
   epochs_.push_back(decided);
-  routing_ = std::make_shared<ClusterRouting>(
-      ClusterRouting{next, std::move(adopted)});
+  routing_ = make_routing(next, std::move(adopted));
   return next;
 }
 

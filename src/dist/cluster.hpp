@@ -36,6 +36,13 @@
 // the configuration register, servers freeze and drain in-flight
 // transactions, moved key ranges migrate between servers, and clients
 // refresh their routing when a server answers `wrong_epoch`.
+//
+// Replication (ClusterConfig::replication_factor R > 1): each shard is
+// an R-replica *group* (src/repl/) — writes route to the group leader
+// and become durable through a replicated op log before they are
+// acknowledged, a leader crash fails over within the lease, and
+// transactions declared read-only are served as lock-free snapshot
+// reads at a closed timestamp, preferentially by follower replicas.
 #pragma once
 
 #include <atomic>
@@ -58,15 +65,34 @@ namespace mvtl {
 
 class Cluster;
 
-/// Display name of a cluster-backed store, e.g. "dist-MVTIL-early(4)".
-inline std::string dist_store_name(DistProtocol protocol,
-                                   std::size_t servers) {
-  return std::string("dist-") + dist_protocol_name(protocol) + "(" +
-         std::to_string(servers) + ")";
+/// Display name of a cluster-backed store, e.g. "dist-MVTIL-early(4)" —
+/// or "dist-MVTIL-early(4x3)" for 4 shard groups of 3 replicas each.
+inline std::string dist_store_name(DistProtocol protocol, std::size_t groups,
+                                   std::size_t replication_factor = 1) {
+  std::string name = std::string("dist-") + dist_protocol_name(protocol) +
+                     "(" + std::to_string(groups);
+  if (replication_factor > 1) {
+    name += "x" + std::to_string(replication_factor);
+  }
+  return name + ")";
 }
 
 struct ClusterConfig {
+  /// Number of shard groups the key space splits into. With
+  /// `replication_factor` R the cluster runs `servers × R` physical
+  /// ShardServers: group g's replicas are servers [gR, (g+1)R), rank 0
+  /// the initial leader.
   std::size_t servers = 4;
+  /// Replicas per shard group (1 = unreplicated, exactly the pre-repl
+  /// behaviour: no group log, no heartbeats, no extra messages).
+  std::size_t replication_factor = 1;
+  /// Route declared-read-only snapshot reads to follower replicas when
+  /// the group has any (off ⇒ the leader serves them).
+  bool follower_reads = true;
+  /// Closed-timestamp lag for snapshot reads, in clock ticks: floors
+  /// trail the clock by this much, bounding follower-read staleness and
+  /// keeping the floor clamp away from live commits.
+  std::uint64_t floor_lag_ticks = 20'000;
   /// Request threads per server; with `server_task_cost`, the server's
   /// processing capacity (threads / task_cost requests per second).
   std::size_t server_threads = 4;
@@ -91,12 +117,24 @@ struct ClusterConfig {
   HistoryRecorder* recorder = nullptr;
 };
 
-/// One epoch's client-side routing state: which shard map to route by
-/// and which epoch number to stamp on every op batch. Immutable once
-/// published; clients swap whole snapshots.
+/// One shard group's membership as clients see it: the replica servers
+/// (rank order) and a leader hint. Membership is fixed for the cluster's
+/// lifetime; leadership is dynamic — the hint is refreshed through
+/// `not_leader` replies and handle_group_info queries.
+struct GroupView {
+  std::vector<std::size_t> members;  ///< server indices, rank order
+  std::size_t leader = 0;            ///< server index (hint)
+};
+
+/// One epoch's client-side routing state: which shard map to route by,
+/// which epoch number to stamp on every op batch, and each group's
+/// replica membership. Immutable once published; clients swap whole
+/// snapshots (leader *hints* live in the DistClient's cache instead,
+/// since leadership changes without an epoch).
 struct ClusterRouting {
   std::uint64_t epoch = 0;
   ShardMap map;
+  std::vector<GroupView> groups;  ///< one per shard group of `map`
 };
 
 /// Coordinator-side client library: the distributed TransactionalStore.
@@ -129,38 +167,75 @@ class DistClient final : public TransactionalStore {
   class DistTx;
 
   struct Route {
-    std::size_t index;
+    std::size_t group;
+    std::size_t index;  ///< server index the group is pinned to
     ShardServer* server;
   };
 
-  /// Resolves `key`'s owning server under the tx's pinned routing and
-  /// registers it as a participant.
+  /// Resolves `key`'s owning group under the tx's pinned routing,
+  /// registers it as a participant, and pins the group's leader for the
+  /// transaction's lifetime (a leader change mid-transaction surfaces as
+  /// a retryable `not_leader` refusal, never as a second sub-transaction
+  /// on the new leader).
   Route route(DistTx& tx, const Key& key);
 
-  /// Sends one op batch to participant `index`, maintaining the
-  /// first-contact bit and the message counters.
-  std::future<DistBatchReply> send_batch_async(DistTx& tx, std::size_t index,
+  /// Sends one op batch to participant group `group`'s pinned server,
+  /// maintaining the first-contact bit and the message counters.
+  std::future<DistBatchReply> send_batch_async(DistTx& tx, std::size_t group,
                                                std::vector<DistOp> ops,
                                                BatchFinish finish);
 
   /// Classifies a failed batch reply into the abort it implies; refreshes
-  /// the cached routing on an epoch mismatch.
-  void abort_on_batch_failure(DistTx& tx, const DistBatchReply& reply);
+  /// the cached routing on an epoch mismatch and the leader cache on a
+  /// leadership refusal.
+  void abort_on_batch_failure(DistTx& tx, const DistBatchReply& reply,
+                              std::size_t group);
 
   /// Re-reads the cluster's current routing snapshot (after a
   /// `wrong_epoch` reply told us ours is stale).
   void refresh_routing();
   std::shared_ptr<const ClusterRouting> routing_snapshot();
 
+  // --- replica-group leadership cache -------------------------------------
+  std::size_t leader_for(std::size_t group);
+  void set_leader(std::size_t group, std::size_t server);
+  /// Asks every member of `group` who leads (highest term wins) and
+  /// updates the cache — the recovery path after a leader crash.
+  void refresh_group_leader(std::size_t group);
+
+  // --- declared-read-only snapshot path -----------------------------------
+  /// Serves a declared-read-only transaction's read as a lock-free
+  /// snapshot read: follower replicas first (when enabled), the leader
+  /// as fallback, retrying across replicas until the group's floor
+  /// catches up or the attempt budget runs out.
+  ReadResult snapshot_read(DistTx& tx, const Key& key);
+
+  /// The commit record a finalize carries to group `group`'s leader —
+  /// rebuilt from the client-side effect log, so it can be re-driven at
+  /// a *new* leader after the pinned one died mid-finalize.
+  CommitRecord commit_record_for(DistTx& tx, std::size_t group, Timestamp ts);
+  std::future<bool> send_finalize_async(DistTx& tx, std::size_t target,
+                                        const CommitDecision& decision,
+                                        CommitRecord rec);
+  /// Failure path of the finalize fan-out: chases the group's current
+  /// leader until the commit record lands in its log (the
+  /// no-lost-commits half of failover).
+  bool finalize_commit_on_group(DistTx& tx, std::size_t group,
+                                const CommitDecision& decision);
+
   void finish_abort(DistTx& tx, AbortReason reason, bool notify_servers);
-  void broadcast_finalize(const DistTx& tx, const CommitDecision& decision,
-                          AbortReason abort_hint);
+  void broadcast_abort(const DistTx& tx, AbortReason reason);
 
   Cluster* cluster_;
+  /// Client-side effect logs exist to re-drive finalizes at a group's
+  /// next leader — pointless at replication factor 1 (no failover
+  /// target), so the per-op bookkeeping is skipped entirely there.
+  bool track_effects_ = false;
   std::atomic<TxId> next_gtx_{1};
 
   mutable std::mutex routing_mu_;
   std::shared_ptr<const ClusterRouting> routing_;
+  std::vector<std::size_t> leaders_;  ///< per group; guarded by routing_mu_
 
   // Message accounting, surfaced through StoreStats (messages-per-tx).
   std::atomic<std::uint64_t> rpc_messages_{0};
@@ -217,8 +292,14 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   const std::shared_ptr<ClockSource>& clock() const { return clock_; }
   SimNetwork& net() { return net_; }
+  /// Physical servers (= group_count() × replication_factor()).
   std::size_t server_count() const { return servers_.size(); }
+  /// Shard groups (what the ShardMap partitions over).
+  std::size_t group_count() const { return groups_; }
+  std::size_t replication_factor() const { return rf_; }
   ShardServer& server(std::size_t i) { return *servers_[i]; }
+  /// Replicas of group `g`, rank order.
+  std::vector<ShardServer*> group_servers(std::size_t g);
   const std::vector<AcceptorEndpoint>& acceptors() const {
     return acceptor_endpoints_;
   }
@@ -228,9 +309,15 @@ class Cluster {
   /// Waits until no server holds an in-flight sub-transaction, forcing
   /// suspicion sweeps once the configured timeout has passed.
   void drain_in_flight();
+  /// Brings every follower up to its leader's log before keys migrate.
+  void replication_barrier();
+  std::shared_ptr<const ClusterRouting> make_routing(std::uint64_t epoch,
+                                                     ShardMap map) const;
 
   DistProtocol protocol_;
   ClusterConfig config_;
+  std::size_t groups_ = 0;
+  std::size_t rf_ = 1;
   std::shared_ptr<ClockSource> clock_;
   SimNetwork net_;
   std::vector<std::unique_ptr<ShardServer>> servers_;
@@ -265,7 +352,8 @@ class ClusterStore final : public TransactionalStore {
   CommitResult commit(Tx& tx) override { return cluster_.client().commit(tx); }
   void abort(Tx& tx) override { cluster_.client().abort(tx); }
   std::string name() const override {
-    return dist_store_name(cluster_.protocol(), cluster_.server_count());
+    return dist_store_name(cluster_.protocol(), cluster_.group_count(),
+                           cluster_.replication_factor());
   }
   /// Through the client so the coordinator-side message counters are
   /// included alongside the servers' metadata counts.

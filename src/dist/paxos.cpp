@@ -84,15 +84,20 @@ void proposer_backoff(std::size_t attempt) {
 
 }  // namespace
 
-PaxosValue paxos_propose(const std::string& decision,
-                         const std::vector<AcceptorEndpoint>& acceptors,
-                         std::uint16_t proposer, const PaxosValue& value) {
+namespace {
+
+/// Shared proposer loop; `max_attempts == 0` means retry forever.
+std::optional<PaxosValue> propose_impl(
+    const std::string& decision,
+    const std::vector<AcceptorEndpoint>& acceptors, std::uint16_t proposer,
+    const PaxosValue& value, std::size_t max_attempts) {
   const std::size_t majority = acceptors.size() / 2 + 1;
   // Round 0 (no phase 1) is the designated coordinator's; everyone else
   // starts at a classic two-phase round 1.
   std::uint64_t round = proposer == kCoordinatorProposer ? 0 : 1;
 
-  for (std::size_t attempt = 0;; ++attempt) {
+  for (std::size_t attempt = 0;
+       max_attempts == 0 || attempt < max_attempts; ++attempt) {
     const std::uint64_t ballot = make_ballot(round, proposer);
     std::uint64_t highest_seen_round = round;
     PaxosValue candidate = value;
@@ -151,6 +156,24 @@ PaxosValue paxos_propose(const std::string& decision,
     round = highest_seen_round + 1;
     proposer_backoff(attempt);
   }
+  return std::nullopt;
+}
+
+}  // namespace
+
+PaxosValue paxos_propose(const std::string& decision,
+                         const std::vector<AcceptorEndpoint>& acceptors,
+                         std::uint16_t proposer, const PaxosValue& value) {
+  return *propose_impl(decision, acceptors, proposer, value,
+                       /*max_attempts=*/0);
+}
+
+std::optional<PaxosValue> paxos_propose_bounded(
+    const std::string& decision,
+    const std::vector<AcceptorEndpoint>& acceptors, std::uint16_t proposer,
+    const PaxosValue& value, std::size_t max_attempts) {
+  return propose_impl(decision, acceptors, proposer, value,
+                      max_attempts == 0 ? 1 : max_attempts);
 }
 
 }  // namespace mvtl

@@ -130,4 +130,15 @@ PaxosValue paxos_propose(const std::string& decision,
                          const std::vector<AcceptorEndpoint>& acceptors,
                          std::uint16_t proposer, const PaxosValue& value);
 
+/// paxos_propose with a give-up bound: returns std::nullopt once
+/// `max_attempts` rounds failed to reach a majority (e.g. the proposer is
+/// partitioned into a minority, or most acceptors crashed). Used by the
+/// replication layer, whose proposers run on threads that must never
+/// wedge forever — a failed append is reported to the caller, who retries
+/// against the group's next leader.
+std::optional<PaxosValue> paxos_propose_bounded(
+    const std::string& decision,
+    const std::vector<AcceptorEndpoint>& acceptors, std::uint16_t proposer,
+    const PaxosValue& value, std::size_t max_attempts);
+
 }  // namespace mvtl

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
+#include "core/mvtl_tx.hpp"
 #include "txbench/workload.hpp"  // make_key: the canonical key encoding
 
 namespace mvtl {
@@ -64,23 +66,106 @@ MvtlEngineConfig engine_config(const ShardServerConfig& config) {
   return ec;
 }
 
+/// A future already holding `value` (direct in-memory acceptor calls).
+template <typename T>
+std::future<T> ready(T value) {
+  std::promise<T> p;
+  p.set_value(std::move(value));
+  return p.get_future();
+}
+
 }  // namespace
 
 ShardServer::ShardServer(ShardServerConfig config, SimNetwork& net)
     : config_(std::move(config)),
       engine_(config_.policy, engine_config(config_)),
       exec_(config_.threads, "srv" + std::to_string(config_.index),
-            config_.task_cost) {
-  (void)net;  // servers are passive; only proposers dial out
-}
+            config_.task_cost),
+      net_(&net) {}
 
 ShardServer::~ShardServer() {
-  // Stop suspecting before the engine (and its store) go away.
+  // Stop suspecting/replicating before the engine (and its store) go
+  // away, then drain and join the executor: tasks still queued on it
+  // (late beats, fetches) touch members — group_, txs_ — that are
+  // declared after exec_ and would otherwise be destroyed first. By now
+  // the Cluster has disconnected every server and quiesced the network,
+  // so the drained tasks are local-only and cannot block.
   sweeper_.reset();
+  if (group_) group_->stop();
+  exec_.shutdown();
 }
 
-void ShardServer::connect(std::vector<AcceptorEndpoint> acceptors) {
+void ShardServer::connect(std::vector<AcceptorEndpoint> acceptors,
+                          std::vector<ShardServer*> group_peers) {
   peers_ = std::move(acceptors);
+  group_peers_ = std::move(group_peers);
+  if (group_peers_.empty()) group_peers_ = {this};
+
+  GroupMemberConfig gc;
+  gc.group = config_.group;
+  gc.members = group_peers_.size();
+  gc.rank = config_.rank;
+  gc.suspect_timeout = config_.suspect_timeout;
+  gc.floor_lag_ticks = config_.floor_lag_ticks;
+  gc.clock = config_.clock;
+
+  GroupTransport transport;
+  transport.acceptors.reserve(group_peers_.size());
+  for (ShardServer* peer : group_peers_) {
+    AcceptorEndpoint ep;
+    if (peer == this) {
+      // The self acceptor is a direct in-memory call: an executor thread
+      // driving a log append must never wait on its own pool.
+      ep.prepare = [this](const std::string& d, std::uint64_t b) {
+        return ready(crashed() ? PaxosPrepareReply{}
+                               : acceptors_.on_prepare(d, b));
+      };
+      ep.accept = [this](const std::string& d, std::uint64_t b,
+                         const PaxosValue& v) {
+        return ready(crashed() ? PaxosAcceptReply{}
+                               : acceptors_.on_accept(d, b, v));
+      };
+    } else {
+      ep.prepare = [this, peer](const std::string& d, std::uint64_t b) {
+        return net_->call_async(
+            peer->exec(),
+            [peer, d, b] { return peer->handle_paxos_prepare(d, b); },
+            &exec_);
+      };
+      ep.accept = [this, peer](const std::string& d, std::uint64_t b,
+                               const PaxosValue& v) {
+        return net_->call_async(
+            peer->exec(),
+            [peer, d, b, v] { return peer->handle_paxos_accept(d, b, v); },
+            &exec_);
+      };
+    }
+    transport.acceptors.push_back(std::move(ep));
+  }
+  transport.send_beat = [this](std::size_t rank, const GroupBeat& beat) {
+    if (rank >= group_peers_.size()) return;
+    ShardServer* peer = group_peers_[rank];
+    if (peer == this) return;
+    net_->cast(
+        peer->exec(), [peer, beat] { peer->handle_group_beat(beat); }, &exec_);
+  };
+  transport.fetch = [this](std::size_t rank, std::uint64_t from) {
+    if (rank >= group_peers_.size()) return std::vector<PaxosValue>{};
+    ShardServer* peer = group_peers_[rank];
+    if (peer == this) return std::vector<PaxosValue>{};
+    return net_->call(
+        peer->exec(), [peer, from] { return peer->handle_log_fetch(from); },
+        &exec_);
+  };
+  transport.crashed = [this] { return crashed(); };
+
+  group_ = std::make_unique<GroupMember>(
+      std::move(gc), std::move(transport),
+      [this](const CommitRecord& rec) { replica_apply(rec); });
+}
+
+void ShardServer::start() {
+  if (group_) group_->start();
   const auto period = std::max<std::chrono::milliseconds>(
       std::chrono::milliseconds{1}, config_.suspect_timeout / 4);
   sweeper_ = std::make_unique<PeriodicTask>(period, [this] { sweep(); });
@@ -125,6 +210,11 @@ DistBatchReply ShardServer::handle_op_batch(TxId gtx, const TxOptions& options,
                                             bool first_contact,
                                             BatchFinish finish) {
   DistBatchReply reply;
+  if (crashed()) {
+    reply.down = true;
+    reply.abort_reason = AbortReason::kNotLeader;
+    return reply;
+  }
   // Epoch gate, before any state is touched: a frozen server is
   // mid-migration and serves nobody; a stale client epoch means the
   // shard map moved and this server may no longer own these keys.
@@ -132,6 +222,22 @@ DistBatchReply ShardServer::handle_op_batch(TxId gtx, const TxOptions& options,
       epoch != epoch_.load(std::memory_order_acquire)) {
     reply.wrong_epoch = true;
     reply.abort_reason = AbortReason::kEpochChanged;
+    return reply;
+  }
+  // Replica-group gate: only the sealed leader opens sub-transactions
+  // and takes locks; a deposed/follower replica redirects the client.
+  if (group_ && !group_->leads()) {
+    reply.not_leader = true;
+    reply.leader_rank = group_->info().leader;
+    reply.abort_reason = AbortReason::kNotLeader;
+    return reply;
+  }
+  // Takeover grace: register-decided commits of the previous term must
+  // land their frozen lock state (via re-driven finalizes) before any
+  // fresh locks are granted here — otherwise a new transaction could
+  // commit inside a decided commit's protected read range. Retryable.
+  if (group_ && !group_->accepting_new_work()) {
+    reply.abort_reason = AbortReason::kReplicaBehind;
     return reply;
   }
   auto entry = entry_for(gtx, options, first_contact);
@@ -151,6 +257,7 @@ DistBatchReply ShardServer::handle_op_batch(TxId gtx, const TxOptions& options,
     reply.abort_reason = AbortReason::kEpochChanged;
     return reply;
   }
+  served_ops_.fetch_add(ops.size(), std::memory_order_relaxed);
   bool finished_now = false;
   {
     std::lock_guard guard(entry->mu);
@@ -196,6 +303,22 @@ DistBatchReply ShardServer::handle_op_batch(TxId gtx, const TxOptions& options,
           engine_.finalize_readonly(*entry->tx, prepared.candidates.max());
           entry->finished = true;
           finished_now = true;
+        } else {
+          // Commit-fence clamp + floor pinning, in one atomic step:
+          // nothing commits at or below a published floor or a served
+          // snapshot, and until finalize the floor stays below these
+          // candidates (the coordinator may pick any of them).
+          if (group_) {
+            reply.candidates =
+                group_->admit_prepared(gtx, std::move(reply.candidates));
+          }
+          if (reply.candidates.is_empty()) {
+            engine_.abort_with(*entry->tx, AbortReason::kNoCommonTimestamp);
+            reply.ok = false;
+            reply.abort_reason = AbortReason::kNoCommonTimestamp;
+            entry->finished = true;
+            finished_now = true;
+          }
         }
       }
     }
@@ -233,29 +356,236 @@ bool ShardServer::apply_decision(TxId gtx, TxEntry& entry,
       }
     }
   }
-  if (applied) erase_entry(gtx);
+  if (applied) {
+    if (group_) group_->forget_prepared(gtx);
+    erase_entry(gtx);
+  }
   return applied;
 }
 
-void ShardServer::handle_finalize(TxId gtx, const CommitDecision& decision,
-                                  AbortReason abort_hint) {
-  auto entry = find_entry(gtx);
-  if (!entry) return;
-  apply_decision(gtx, *entry, decision, abort_hint);
+CommitRecord ShardServer::effects_from_subtx(TxId gtx, TxEntry& entry,
+                                             Timestamp ts) {
+  CommitRecord rec;
+  rec.gtx = gtx;
+  rec.ts = ts;
+  auto* tx = static_cast<MvtlTx*>(entry.tx.get());
+  if (tx == nullptr) return rec;
+  rec.writes.reserve(tx->writeset().size());
+  for (const auto& [key, value] : tx->writeset()) {
+    rec.writes.emplace_back(key, value);
+  }
+  rec.reads = tx->readset();
+  return rec;
+}
+
+void ShardServer::replica_apply(const CommitRecord& rec) {
+  for (const auto& [key, value] : rec.writes) {
+    KeyState& ks = engine_.store().key_state(key);
+    std::lock_guard guard(ks.mu);
+    if (!ks.versions.has_version_at(rec.ts)) {
+      ks.versions.install(rec.ts, value, rec.gtx);
+    }
+    // The committed version's frozen write point, exactly as
+    // lock_ops::commit_key leaves behind on the leader.
+    ks.locks.adopt_frozen(IntervalSet{},
+                          IntervalSet{Interval::point(rec.ts)});
+    ks.cv.notify_all();
+  }
+  for (const auto& [key, tr] : rec.reads) {
+    if (tr >= rec.ts) continue;
+    KeyState& ks = engine_.store().key_state(key);
+    std::lock_guard guard(ks.mu);
+    // The frozen [tr+1, ts] read range gc leaves on the leader: after a
+    // failover no writer may squeeze a version between what this
+    // transaction read and where it serialized.
+    ks.locks.adopt_frozen(IntervalSet{Interval{tr.next(), rec.ts}},
+                          IntervalSet{});
+    ks.cv.notify_all();
+  }
+  if (config_.recorder != nullptr) {
+    for (const auto& [key, value] : rec.writes) {
+      config_.recorder->record_write(rec.gtx, key);
+    }
+    config_.recorder->record_commit(rec.gtx, rec.ts);
+  }
+}
+
+bool ShardServer::finalize_decided(TxId gtx,
+                                   const std::shared_ptr<TxEntry>& entry,
+                                   const CommitDecision& decision,
+                                   AbortReason abort_hint,
+                                   const CommitRecord* effects) {
+  if (!decision.commit) {
+    if (entry) apply_decision(gtx, *entry, decision, abort_hint);
+    return true;
+  }
+  CommitRecord rec;
+  bool lock_backed = false;  // a live sub-tx's locks vouch for the record
+  if (entry) {
+    std::lock_guard guard(entry->mu);
+    if (entry->finished) {
+      // Settled here already; with no effects attached there is nothing
+      // further to re-drive.
+      if (effects == nullptr) return true;
+    } else {
+      rec = effects_from_subtx(gtx, *entry, decision.ts);
+      lock_backed = true;
+    }
+  }
+  if (!lock_backed) {
+    if (effects == nullptr) {
+      // No sub-transaction and no effects: this replica cannot make the
+      // commit durable; the coordinator retries with effects attached.
+      return false;
+    }
+    rec = *effects;
+    rec.gtx = gtx;
+    rec.ts = decision.ts;
+    // A re-driven record has no locks protecting it here: validate that
+    // its read ranges are still intact (a write that slipped into
+    // (tr, ts) after the old leader died makes the record
+    // unserializable — refusing is the documented double-fault outcome,
+    // applying would be a silent violation).
+    for (const auto& [key, tr] : rec.reads) {
+      KeyState& ks = engine_.store().key_state(key);
+      std::lock_guard guard(ks.mu);
+      const VersionChain::Version& latest = ks.versions.latest_before(rec.ts);
+      if (latest.ts > tr && latest.writer != gtx) return false;
+    }
+  }
+  const GroupMember::Append res =
+      group_ ? group_->append_commit(rec) : GroupMember::Append::kOk;
+  switch (res) {
+    case GroupMember::Append::kOk: {
+      // Durable. Prefer the engine path (the live sub-transaction's lock
+      // state converts precisely); fall back to the direct install when
+      // the sub-transaction is gone or was settled under us.
+      const bool via_engine =
+          entry && apply_decision(gtx, *entry, decision, abort_hint);
+      if (!via_engine) replica_apply(rec);
+      return true;
+    }
+    case GroupMember::Append::kAlreadyApplied:
+      // A replayed log entry already installed the effects; settle the
+      // local sub-transaction if one still lingers.
+      if (entry) apply_decision(gtx, *entry, decision, abort_hint);
+      return true;
+    case GroupMember::Append::kDeposed:
+    case GroupMember::Append::kUnavailable:
+      // Could not decide the entry here. Release the local locks — the
+      // effects will reach this replica through the log once the group's
+      // current leader applies the re-driven finalize.
+      if (entry) {
+        apply_decision(gtx, *entry, CommitDecision::aborted(),
+                       AbortReason::kNotLeader);
+      }
+      return false;
+  }
+  return false;
+}
+
+bool ShardServer::handle_finalize(TxId gtx, const CommitDecision& decision,
+                                  AbortReason abort_hint,
+                                  const CommitRecord* effects) {
+  if (crashed()) return false;
+  return finalize_decided(gtx, find_entry(gtx), decision, abort_hint,
+                          effects);
+}
+
+SnapshotReadReply ShardServer::handle_snapshot_read(TxId gtx,
+                                                    std::uint64_t epoch,
+                                                    const Key& key,
+                                                    Timestamp want) {
+  SnapshotReadReply reply;
+  if (crashed()) return reply;  // default refuse == kDown
+  if (epoch_frozen_.load(std::memory_order_acquire) ||
+      epoch != epoch_.load(std::memory_order_acquire)) {
+    reply.refuse = SnapshotReadReply::Refuse::kWrongEpoch;
+    return reply;
+  }
+  if (!group_) {
+    reply.refuse = SnapshotReadReply::Refuse::kBehind;
+    return reply;
+  }
+  Timestamp s;
+  switch (group_->snapshot_gate(want, &s)) {
+    case GroupMember::Serve::kBehind:
+      reply.refuse = SnapshotReadReply::Refuse::kBehind;
+      return reply;
+    case GroupMember::Serve::kLeaseExpired:
+      reply.refuse = SnapshotReadReply::Refuse::kLeaseExpired;
+      return reply;
+    case GroupMember::Serve::kOk:
+      break;
+  }
+  KeyState& ks = engine_.store().key_state(key);
+  {
+    std::lock_guard guard(ks.mu);
+    if (!ks.versions.is_safe_bound(s)) {
+      reply.refuse = SnapshotReadReply::Refuse::kPurged;
+      return reply;
+    }
+    const VersionChain::Version& v = ks.versions.latest_before(s);
+    reply.result.ok = true;
+    reply.result.value = v.value;
+    reply.result.version_ts = v.ts;
+    if (config_.recorder != nullptr) {
+      config_.recorder->record_read(gtx, key, v.ts, v.writer);
+    }
+  }
+  reply.ok = true;
+  reply.refuse = SnapshotReadReply::Refuse::kNone;
+  reply.snapshot = s;
+  served_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (group_->leads()) {
+    leader_snapshot_reads_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    follower_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return reply;
+}
+
+void ShardServer::handle_group_beat(const GroupBeat& beat) {
+  if (crashed() || !group_) return;
+  group_->on_beat(beat);
+}
+
+std::vector<PaxosValue> ShardServer::handle_log_fetch(std::uint64_t from) {
+  if (crashed() || !group_) return {};
+  return group_->encoded_entries(from);
+}
+
+GroupInfo ShardServer::handle_group_info() {
+  if (crashed() || !group_) return {};
+  return group_->info();
+}
+
+bool ShardServer::handle_repl_sync() {
+  if (crashed()) return false;
+  if (group_) group_->sync_with_leader();
+  return true;
 }
 
 StoreStats ShardServer::handle_stats() {
+  if (crashed()) return {};
   StoreStats stats = engine_.stats();
   stats.paxos_messages = paxos_requests_.load(std::memory_order_relaxed);
+  stats.log_appends = group_ ? group_->appends() : 0;
+  stats.follower_reads = follower_reads_.load(std::memory_order_relaxed);
+  stats.leader_snapshot_reads =
+      leader_snapshot_reads_.load(std::memory_order_relaxed);
+  stats.max_backlog = exec_.max_backlog();
   return stats;
 }
 
 std::size_t ShardServer::handle_purge(Timestamp horizon) {
+  if (crashed()) return 0;
   return engine_.purge_below(horizon);
 }
 
 PaxosPrepareReply ShardServer::handle_paxos_prepare(
     const std::string& decision, std::uint64_t ballot) {
+  if (crashed()) return {};  // nack: a dead acceptor promises nothing
   paxos_requests_.fetch_add(1, std::memory_order_relaxed);
   return acceptors_.on_prepare(decision, ballot);
 }
@@ -263,6 +593,7 @@ PaxosPrepareReply ShardServer::handle_paxos_prepare(
 PaxosAcceptReply ShardServer::handle_paxos_accept(const std::string& decision,
                                                   std::uint64_t ballot,
                                                   const PaxosValue& value) {
+  if (crashed()) return {};
   paxos_requests_.fetch_add(1, std::memory_order_relaxed);
   return acceptors_.on_accept(decision, ballot, value);
 }
@@ -275,8 +606,9 @@ void ShardServer::handle_epoch_freeze(std::uint64_t next_epoch) {
 std::vector<MigratedKey> ShardServer::handle_export_keys(
     const ShardMap& new_map) {
   std::vector<MigratedKey> out;
+  if (crashed()) return out;  // a dead machine hands nothing over
   engine_.store().for_each([&](const Key& key, KeyState& ks) {
-    if (new_map.shard_of(key) == config_.index) return;
+    if (new_map.shard_of(key) == config_.group) return;
     std::lock_guard guard(ks.mu);
     MigratedKey mk;
     mk.key = key;
@@ -303,7 +635,18 @@ std::vector<MigratedKey> ShardServer::handle_export_keys(
   return out;
 }
 
+void ShardServer::handle_drop_keys(const ShardMap& new_map) {
+  if (crashed()) return;
+  engine_.store().for_each([&](const Key& key, KeyState& ks) {
+    if (new_map.shard_of(key) == config_.group) return;
+    std::lock_guard guard(ks.mu);
+    ks.versions.clear();
+    ks.locks.clear_for_migration();
+  });
+}
+
 void ShardServer::handle_import_keys(const std::vector<MigratedKey>& keys) {
+  if (crashed()) return;
   for (const MigratedKey& mk : keys) {
     KeyState& ks = engine_.store().key_state(mk.key);
     std::lock_guard guard(ks.mu);
@@ -329,6 +672,7 @@ std::size_t ShardServer::live_transactions() const {
 }
 
 void ShardServer::sweep() {
+  if (crashed()) return;
   std::vector<std::pair<TxId, std::shared_ptr<TxEntry>>> stale;
   {
     std::lock_guard guard(tx_mu_);
@@ -345,13 +689,16 @@ void ShardServer::sweep() {
     }
     // Drive the commitment object: propose Abort, but honor whatever the
     // register actually decided — a racing coordinator may have won with
-    // Commit(ts), in which case we finalize the commit instead.
+    // Commit(ts), in which case we finalize the commit instead (through
+    // the group log, like any other commit).
     const CommitmentObject object(
         gtx, &peers_, static_cast<std::uint16_t>(config_.index + 1));
     const CommitDecision decided = object.decide(CommitDecision::aborted());
-    if (apply_decision(gtx, *entry, decided,
-                       AbortReason::kCoordinatorSuspected) &&
-        !decided.commit) {
+    if (decided.commit) {
+      finalize_decided(gtx, entry, decided, AbortReason::kCoordinatorSuspected,
+                       nullptr);
+    } else if (apply_decision(gtx, *entry, decided,
+                              AbortReason::kCoordinatorSuspected)) {
       suspicion_aborts_.fetch_add(1, std::memory_order_relaxed);
     }
   }

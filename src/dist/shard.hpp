@@ -28,6 +28,18 @@
 //   * handle_epoch_freeze / handle_export_keys / handle_import_keys /
 //     handle_epoch_commit — the reconfiguration sequence: bar the door,
 //     hand off the key ranges that moved, adopt the new epoch.
+//   * handle_snapshot_read / handle_group_beat / handle_log_fetch /
+//     handle_group_info — the replication layer (src/repl/): lock-free
+//     snapshot reads at the group's closed-timestamp floor, leader
+//     heartbeats, follower log catch-up, and leader discovery.
+//
+// Replication: with replication_factor > 1 each shard is a *replica
+// group* — this server is one member (ShardServerConfig names the group,
+// the member ranks, and this server's rank). Only the group's leader
+// serves op batches; a committed write is appended to the group's
+// replicated op log (repl/log.hpp) before it is acknowledged, followers
+// replay the log, and any replica may serve declared-read-only snapshot
+// reads at or below the group's floor (repl/group.hpp).
 #pragma once
 
 #include <atomic>
@@ -42,6 +54,8 @@
 #include "dist/commitment.hpp"
 #include "dist/paxos.hpp"
 #include "net/simnet.hpp"
+#include "repl/group.hpp"
+#include "repl/log.hpp"
 
 namespace mvtl {
 
@@ -104,9 +118,33 @@ struct DistBatchReply {
   /// The client's routing is from an older configuration epoch; nothing
   /// was executed. The client must refresh and restart the transaction.
   bool wrong_epoch = false;
+  /// This replica is not (or no longer) its group's leader; nothing was
+  /// executed. `leader_rank` hints where leadership went.
+  bool not_leader = false;
+  std::uint64_t leader_rank = 0;
+  /// The server is crashed (fail-stop test hook); nothing was executed.
+  bool down = false;
   AbortReason abort_reason = AbortReason::kNone;
   std::vector<ReadResult> reads;  ///< one per kRead op, in op order
   IntervalSet candidates;         ///< when finish != kNone and ok
+};
+
+/// Reply of the lock-free snapshot read any replica can serve.
+struct SnapshotReadReply {
+  enum class Refuse {
+    kNone,
+    kDown,          ///< server crashed
+    kWrongEpoch,    ///< routing stale / migration in progress
+    kBehind,        ///< floor below the requested snapshot — try another
+    kLeaseExpired,  ///< follower without a current lease
+    kPurged,        ///< snapshot below the GC purge floor
+  };
+  bool ok = false;
+  Refuse refuse = Refuse::kDown;  ///< default reads as "unreachable"
+  ReadResult result;
+  /// Snapshot actually served (the member's floor when the request let
+  /// the server choose).
+  Timestamp snapshot;
 };
 
 /// One key's migratable state: the committed versions, the frozen lock
@@ -140,8 +178,18 @@ struct ShardServerConfig {
   std::size_t store_shards = 64;
   HistoryRecorder* recorder = nullptr;
   /// Coordinator silent this long ⇒ the sweeper suspects it and drives
-  /// the commitment object to Abort.
+  /// the commitment object to Abort. Also the replica-group lease length.
   std::chrono::milliseconds suspect_timeout{50};
+
+  // --- replica group membership (src/repl/) -------------------------------
+  /// Which shard group this server replicates.
+  std::size_t group = 0;
+  /// Server indices of the group's members, rank order (includes self).
+  std::vector<std::size_t> members;
+  /// This server's rank within `members`.
+  std::size_t rank = 0;
+  /// Closed-timestamp lag for follower reads, in clock ticks.
+  std::uint64_t floor_lag_ticks = 20'000;
 };
 
 /// One server of the distributed MVTIL cluster. All handle_* methods run
@@ -157,16 +205,35 @@ class ShardServer {
 
   Executor& exec() { return exec_; }
   std::size_t index() const { return config_.index; }
+  std::size_t group() const { return config_.group; }
 
   /// Wires the cluster-wide acceptor endpoints (one per server, including
-  /// this one, reached over the network) and starts the suspicion
-  /// sweeper. Called once by the Cluster after every server exists.
-  void connect(std::vector<AcceptorEndpoint> acceptors);
+  /// this one, reached over the network) plus the replica group's peers
+  /// (rank order, aligned with config.members). Called once by the
+  /// Cluster after every server exists; starts nothing.
+  void connect(std::vector<AcceptorEndpoint> acceptors,
+               std::vector<ShardServer*> group_peers);
 
-  /// Stops the sweeper. The Cluster disconnects *every* server before
-  /// destroying any of them: a live sweeper mid-Paxos may still be
-  /// calling into its peers' executors.
-  void disconnect() { sweeper_.reset(); }
+  /// Starts the suspicion sweeper and the group ticker. Called by the
+  /// Cluster only after *every* server is connected — a ticker beating a
+  /// peer whose connect() is still running would race its wiring.
+  void start();
+
+  /// Stops the sweeper and the group ticker. The Cluster disconnects
+  /// *every* server before destroying any of them: a live sweeper or
+  /// ticker mid-Paxos may still be calling into its peers' executors.
+  void disconnect() {
+    sweeper_.reset();
+    if (group_) group_->stop();
+  }
+
+  /// Fail-stop test hook: the server goes silent. Handlers still run
+  /// (the simulated network must keep completing callers' futures) but
+  /// every reply reads as a refusal, the sweeper and group ticker stop
+  /// acting, and Paxos requests are nacked — the observable behaviour of
+  /// a dead machine behind connections that reset.
+  void crash() { crashed_.store(true, std::memory_order_release); }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
   // --- request handlers ---------------------------------------------------
   /// The batched op RPC: runs `ops` in order on the transaction's
@@ -191,11 +258,31 @@ class ShardServer {
   /// the server's current epoch.
   DistReadReply handle_read(TxId gtx, const TxOptions& options, const Key& key,
                             bool first_contact);
-  /// Applies the commitment decision to the local sub-transaction.
-  /// Idempotent: late/duplicate deliveries (coordinator vs. sweeper) are
-  /// no-ops. `abort_hint` names the abort cause for metrics/history.
-  void handle_finalize(TxId gtx, const CommitDecision& decision,
-                       AbortReason abort_hint);
+  /// Applies the commitment decision. For a commit, the record is first
+  /// decided in the replica group's op log (durability before
+  /// acknowledgement); `effects` lets a coordinator re-drive the commit
+  /// at a group's *new* leader after the old one died holding the only
+  /// sub-transaction (null ⇒ derive the record from the local sub-tx).
+  /// Aborts are idempotent no-ops when the transaction is unknown.
+  /// Returns false when the commit could not be made durable here (the
+  /// coordinator retries against the group's current leader).
+  bool handle_finalize(TxId gtx, const CommitDecision& decision,
+                       AbortReason abort_hint,
+                       const CommitRecord* effects = nullptr);
+  /// Lock-free snapshot read at `want` (min ⇒ serve at this member's
+  /// floor). Any replica may serve it — see repl/group.hpp for the
+  /// floor/lease safety argument.
+  SnapshotReadReply handle_snapshot_read(TxId gtx, std::uint64_t epoch,
+                                         const Key& key, Timestamp want);
+  /// Leader heartbeat (one-way).
+  void handle_group_beat(const GroupBeat& beat);
+  /// Log catch-up: encoded entries from slot `from`.
+  std::vector<PaxosValue> handle_log_fetch(std::uint64_t from);
+  /// Leader discovery for clients.
+  GroupInfo handle_group_info();
+  /// Follower: pull the log tail from the leader until caught up (the
+  /// reconfiguration barrier runs this on every follower).
+  bool handle_repl_sync();
   StoreStats handle_stats();
   std::size_t handle_purge(Timestamp horizon);
   PaxosPrepareReply handle_paxos_prepare(const std::string& decision,
@@ -211,12 +298,17 @@ class ShardServer {
   /// coordinators abort on the refusal and finalize; crashed ones fall to
   /// the sweeper). Finalize itself is never refused.
   void handle_epoch_freeze(std::uint64_t next_epoch);
-  /// Extracts (and locally clears) every key this server owns whose new
-  /// owner under `new_map` is some other server. Only called after the
-  /// drain: no unfrozen locks remain, so versions + frozen intervals are
-  /// the key's entire transferable state.
+  /// Extracts (and locally clears) every key this server's *group* owns
+  /// whose new owner under `new_map` is some other group. Called on the
+  /// group leader, after the drain AND the replication barrier: no
+  /// unfrozen locks remain and every replica applied the full log, so
+  /// versions + frozen intervals are the key's entire transferable state.
   std::vector<MigratedKey> handle_export_keys(const ShardMap& new_map);
-  /// Installs key state exported by the previous owners.
+  /// Follower half of the export: drops the same keys the leader
+  /// exported (each replica holds a copy of the group's state).
+  void handle_drop_keys(const ShardMap& new_map);
+  /// Installs key state exported by the previous owners; runs on every
+  /// replica of the new owner group.
   void handle_import_keys(const std::vector<MigratedKey>& keys);
   /// Adopts `next_epoch` and reopens for op batches.
   void handle_epoch_commit(std::uint64_t next_epoch);
@@ -238,6 +330,24 @@ class ShardServer {
   std::uint64_t paxos_requests() const {
     return paxos_requests_.load(std::memory_order_relaxed);
   }
+  /// Reads/writes this server executed (op batches + snapshot reads) —
+  /// the per-server load counter the follower-read tests diff.
+  std::uint64_t served_ops() const {
+    return served_ops_.load(std::memory_order_relaxed);
+  }
+  /// Snapshot reads this server served while a follower / while leading.
+  std::uint64_t follower_reads() const {
+    return follower_reads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t leader_snapshot_reads() const {
+    return leader_snapshot_reads_.load(std::memory_order_relaxed);
+  }
+  /// This member's replica-group view (direct, for the Cluster and
+  /// tests; clients use handle_group_info over the network).
+  GroupInfo group_info() const {
+    return group_ ? group_->info() : GroupInfo{};
+  }
+  GroupMember* group_member() { return group_.get(); }
   /// Runs one suspicion sweep immediately (tests).
   void sweep_now() { sweep(); }
 
@@ -277,22 +387,48 @@ class ShardServer {
   bool apply_decision(TxId gtx, TxEntry& entry, const CommitDecision& decision,
                       AbortReason abort_hint);
 
+  /// Shared commit-finalization: makes the record durable in the group
+  /// log, then applies it through the live sub-transaction (engine path)
+  /// or directly (replica path). See handle_finalize.
+  bool finalize_decided(TxId gtx, const std::shared_ptr<TxEntry>& entry,
+                        const CommitDecision& decision, AbortReason abort_hint,
+                        const CommitRecord* effects);
+
+  /// Installs a replicated commit record: versions at ts + frozen write
+  /// points + frozen read ranges — exactly the durable residue of
+  /// MvtlEngine::finalize_commit. Used by followers replaying the log
+  /// and by a new leader applying a re-driven finalize.
+  void replica_apply(const CommitRecord& rec);
+
+  /// Rebuilds a commit record from a live sub-transaction (sweeper path:
+  /// the register decided Commit but the coordinator is gone).
+  CommitRecord effects_from_subtx(TxId gtx, TxEntry& entry, Timestamp ts);
+
+  bool replicated() const { return config_.members.size() > 1; }
+
   void sweep();
 
   ShardServerConfig config_;
   MvtlEngine engine_;
   Executor exec_;
+  SimNetwork* net_;
   AcceptorTable acceptors_;
   std::vector<AcceptorEndpoint> peers_;
+  std::vector<ShardServer*> group_peers_;
+  std::unique_ptr<GroupMember> group_;
 
   mutable std::mutex tx_mu_;
   std::unordered_map<TxId, std::shared_ptr<TxEntry>> txs_;
 
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<bool> epoch_frozen_{false};
+  std::atomic<bool> crashed_{false};
 
   std::atomic<std::size_t> suspicion_aborts_{0};
   std::atomic<std::uint64_t> paxos_requests_{0};
+  std::atomic<std::uint64_t> served_ops_{0};
+  std::atomic<std::uint64_t> follower_reads_{0};
+  std::atomic<std::uint64_t> leader_snapshot_reads_{0};
   std::unique_ptr<PeriodicTask> sweeper_;
 };
 

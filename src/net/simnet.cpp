@@ -12,13 +12,17 @@ Executor::Executor(std::size_t threads, std::string name,
   }
 }
 
-Executor::~Executor() {
+Executor::~Executor() { shutdown(); }
+
+void Executor::shutdown() {
   {
     std::lock_guard guard(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void Executor::post(std::function<void()> fn) {
@@ -26,6 +30,7 @@ void Executor::post(std::function<void()> fn) {
     std::lock_guard guard(mu_);
     if (stopping_) return;
     queue_.push(std::move(fn));
+    if (queue_.size() > max_backlog_) max_backlog_ = queue_.size();
   }
   cv_.notify_one();
 }
@@ -33,6 +38,11 @@ void Executor::post(std::function<void()> fn) {
 std::size_t Executor::backlog() const {
   std::lock_guard guard(mu_);
   return queue_.size();
+}
+
+std::size_t Executor::max_backlog() const {
+  std::lock_guard guard(mu_);
+  return max_backlog_;
 }
 
 void Executor::worker_loop() {
@@ -67,14 +77,16 @@ SimNetwork::SimNetwork(NetProfile profile, std::uint64_t seed,
   }
 }
 
-SimNetwork::~SimNetwork() {
+SimNetwork::~SimNetwork() { shutdown(); }
+
+void SimNetwork::shutdown() {
   stopping_.store(true, std::memory_order_relaxed);
   for (auto& lane : lanes_) {
     {
       std::lock_guard guard(lane->mu);
     }
     lane->cv.notify_all();
-    lane->timer.join();
+    if (lane->timer.joinable()) lane->timer.join();
   }
 }
 
@@ -112,13 +124,70 @@ void SimNetwork::send(std::function<void()> fn) {
   enqueue(*lanes_[i], std::move(fn));
 }
 
-void SimNetwork::send_to(Executor& target, std::function<void()> fn) {
+void SimNetwork::send_to(Executor& target, std::function<void()> fn,
+                         const void* from) {
+  if (should_drop(from, &target)) return;
+  send_to_unchecked(target, std::move(fn));
+}
+
+void SimNetwork::send_to_unchecked(Executor& target,
+                                   std::function<void()> fn) {
   requests_sent_.fetch_add(1, std::memory_order_relaxed);
   // Same destination ⇒ same lane: per-destination FIFO among equal
   // deadlines, like messages on one connection.
   enqueue(lane_for_target(&target), [&target, f = std::move(fn)]() mutable {
     target.post(std::move(f));
   });
+}
+
+void SimNetwork::drop_next(std::size_t n) {
+  std::lock_guard guard(fault_mu_);
+  drop_budget_ += n;
+  faults_active_.store(true, std::memory_order_release);
+}
+
+void SimNetwork::partition(const void* a, const void* b) {
+  std::lock_guard guard(fault_mu_);
+  cut_links_.emplace_back(a, b);
+  faults_active_.store(true, std::memory_order_release);
+}
+
+void SimNetwork::isolate(const void* e) {
+  std::lock_guard guard(fault_mu_);
+  isolated_.push_back(e);
+  faults_active_.store(true, std::memory_order_release);
+}
+
+void SimNetwork::heal() {
+  std::lock_guard guard(fault_mu_);
+  drop_budget_ = 0;
+  cut_links_.clear();
+  isolated_.clear();
+  faults_active_.store(false, std::memory_order_release);
+}
+
+bool SimNetwork::should_drop(const void* from, const void* to) {
+  // Fast path: the healthy network never takes the fault lock.
+  if (!faults_active_.load(std::memory_order_acquire)) return false;
+  std::lock_guard guard(fault_mu_);
+  if (drop_budget_ > 0) {
+    --drop_budget_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  for (const void* e : isolated_) {
+    if (e == from || e == to) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (const auto& [a, b] : cut_links_) {
+    if ((a == from && b == to) || (a == to && b == from)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
 }
 
 void SimNetwork::timer_loop(Lane& lane) {

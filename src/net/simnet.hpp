@@ -17,6 +17,7 @@
 // client threads blocking on Thrift calls.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -26,6 +27,7 @@
 #include <queue>
 #include <random>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace mvtl {
@@ -72,8 +74,18 @@ class Executor {
 
   void post(std::function<void()> fn);
 
+  /// Stops the pool: the workers drain the queue, then join. Idempotent;
+  /// the destructor calls it. An owner whose *other* members are touched
+  /// by posted tasks must call this before those members die (see
+  /// ShardServer::~ShardServer).
+  void shutdown();
+
   /// Number of tasks waiting (diagnostics; server overload indicator).
   std::size_t backlog() const;
+
+  /// Largest backlog ever observed (the overload high-water mark the
+  /// benches report per server via StoreStats::max_backlog).
+  std::size_t max_backlog() const;
 
  private:
   void worker_loop();
@@ -81,6 +93,7 @@ class Executor {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::queue<std::function<void()>> queue_;
+  std::size_t max_backlog_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
   std::string name_;
@@ -93,6 +106,17 @@ class Executor {
 /// itself does not serialize the cluster: messages to the same executor
 /// always ride the same lane (per-destination FIFO among equal
 /// deadlines, like a TCP connection), while replies spread round-robin.
+///
+/// Fault injection: endpoints are identified by their Executor address
+/// (nullptr = the client side). `partition(a, b)` cuts the link between
+/// two endpoints in both directions; `drop_next(n)` drops the next n
+/// request messages regardless of link; `heal()` restores everything. A
+/// dropped one-way message (cast / send_to) simply vanishes. A dropped
+/// RPC (`call` / `call_async`) completes the caller's future with a
+/// *default-constructed* response after one reply latency — the moral
+/// equivalent of a connection refused — so no caller ever wedges on a
+/// cut link; response types are designed so their default value reads as
+/// a refusal (Paxos nack, failed batch, zero stats).
 class SimNetwork {
  public:
   explicit SimNetwork(NetProfile profile, std::uint64_t seed = 1,
@@ -102,18 +126,43 @@ class SimNetwork {
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;
 
+  /// Stops the delivery lanes and joins their threads, dropping every
+  /// undelivered message (a network partition at teardown). Idempotent;
+  /// the destructor calls it. Owners whose endpoints die before the
+  /// network member does (e.g. Cluster, whose servers are declared after
+  /// the net) MUST call this first — a live lane delivering into a
+  /// destroyed Executor is a use-after-free.
+  void shutdown();
+
   /// Runs `fn` on the scheduler thread after one sampled network latency.
   /// `fn` must be cheap (enqueue / promise completion); heavy work goes
   /// through an Executor.
   void send(std::function<void()> fn);
 
   /// send() that targets an executor: after the latency, `fn` is posted
-  /// to `target`'s queue.
-  void send_to(Executor& target, std::function<void()> fn);
+  /// to `target`'s queue. `from` names the sending endpoint for per-link
+  /// fault injection (nullptr = the client side). Dropped messages vanish.
+  void send_to(Executor& target, std::function<void()> fn,
+               const void* from = nullptr);
 
   std::chrono::microseconds sample_latency();
 
   const NetProfile& profile() const { return profile_; }
+
+  // --- fault injection ------------------------------------------------------
+  /// Drops the next `n` request messages (any link).
+  void drop_next(std::size_t n);
+  /// Cuts the link between endpoints `a` and `b`, both directions
+  /// (endpoint = Executor address; nullptr = the client side).
+  void partition(const void* a, const void* b);
+  /// Cuts every link touching endpoint `e` (a fail-stop at network level).
+  void isolate(const void* e);
+  /// Restores all cut links and cancels pending drop_next budget.
+  void heal();
+  /// Messages discarded by fault injection so far.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Number of request messages delivered to executors so far (replies
   /// and send() traffic are not counted). One op batch, however many
@@ -126,35 +175,43 @@ class SimNetwork {
   /// Synchronous RPC: request latency → handler on the server executor →
   /// reply latency → caller resumes. `handler` returns the response.
   template <typename Handler>
-  auto call(Executor& server, Handler&& handler)
+  auto call(Executor& server, Handler&& handler, const void* from = nullptr)
       -> decltype(handler()) {
-    return call_async(server, std::forward<Handler>(handler)).get();
+    return call_async(server, std::forward<Handler>(handler), from).get();
   }
 
   /// Asynchronous RPC: like call(), but returns the future instead of
   /// blocking on it, so a coordinator can fan a round of requests out to
   /// many servers and collect the replies (the distributed commit's
-  /// prepare/finalize broadcasts and Paxos rounds).
+  /// prepare/finalize broadcasts and Paxos rounds). On a cut link the
+  /// future completes with a default-constructed response (see class
+  /// comment) — callers never hang on a partition.
   template <typename Handler>
-  auto call_async(Executor& server, Handler&& handler)
+  auto call_async(Executor& server, Handler&& handler,
+                  const void* from = nullptr)
       -> std::future<decltype(handler())> {
     using Resp = decltype(handler());
     auto done = std::make_shared<std::promise<Resp>>();
     auto fut = done->get_future();
-    send_to(server, [this, done, h = std::forward<Handler>(handler)]() mutable {
-      Resp resp = h();
-      send([done, r = std::move(resp)]() mutable {
-        done->set_value(std::move(r));
-      });
-    });
+    if (should_drop(from, &server)) {
+      send([done] { done->set_value(Resp{}); });
+      return fut;
+    }
+    send_to_unchecked(
+        server, [this, done, h = std::forward<Handler>(handler)]() mutable {
+          Resp resp = h();
+          send([done, r = std::move(resp)]() mutable {
+            done->set_value(std::move(r));
+          });
+        });
     return fut;
   }
 
   /// One-way message ("without waiting for replies", §H): request latency
-  /// then handler on the server executor.
+  /// then handler on the server executor. Dropped messages vanish.
   template <typename Handler>
-  void cast(Executor& server, Handler&& handler) {
-    send_to(server, std::forward<Handler>(handler));
+  void cast(Executor& server, Handler&& handler, const void* from = nullptr) {
+    send_to(server, std::forward<Handler>(handler), from);
   }
 
  private:
@@ -179,12 +236,25 @@ class SimNetwork {
   void enqueue(Lane& lane, std::function<void()> fn);
   Lane& lane_for_target(const void* target);
 
+  /// Consumes drop budget / consults cut links; true ⇒ discard the
+  /// message (already counted in dropped()).
+  bool should_drop(const void* from, const void* to);
+  void send_to_unchecked(Executor& target, std::function<void()> fn);
+
   NetProfile profile_;
   std::mutex rng_mu_;
   std::mt19937_64 rng_;
   std::atomic<std::uint64_t> requests_sent_{0};
   std::atomic<std::size_t> rr_{0};
   std::atomic<bool> stopping_{false};
+
+  mutable std::mutex fault_mu_;
+  std::atomic<bool> faults_active_{false};
+  std::size_t drop_budget_ = 0;
+  std::vector<std::pair<const void*, const void*>> cut_links_;
+  std::vector<const void*> isolated_;
+  std::atomic<std::uint64_t> dropped_{0};
+
   std::vector<std::unique_ptr<Lane>> lanes_;
 };
 

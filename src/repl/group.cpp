@@ -1,0 +1,404 @@
+#include "repl/group.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace mvtl {
+
+GroupMember::GroupMember(GroupMemberConfig config, GroupTransport transport,
+                         std::function<void(const CommitRecord&)> apply_commit)
+    : config_(std::move(config)),
+      transport_(std::move(transport)),
+      apply_commit_(std::move(apply_commit)) {
+  // Every member boots agreeing on term 1, led by rank 0; rank 0 needs no
+  // seal (the log is empty, so there is no tail to replay).
+  sealed_term_ = config_.rank == 0 ? 1 : 0;
+  last_beat_ = std::chrono::steady_clock::now();
+  became_leader_ = last_beat_;
+}
+
+GroupMember::~GroupMember() { stop(); }
+
+void GroupMember::start() {
+  if (ticker_) return;
+  const auto period = std::max<std::chrono::milliseconds>(
+      std::chrono::milliseconds{1}, config_.suspect_timeout / 4);
+  ticker_ = std::make_unique<PeriodicTask>(period, [this] { tick(); });
+}
+
+void GroupMember::stop() { ticker_.reset(); }
+
+bool GroupMember::leads() const {
+  std::lock_guard guard(mu_);
+  return leader_ == config_.rank && sealed_term_ == term_ && !crashed();
+}
+
+bool GroupMember::accepting_new_work() const {
+  std::lock_guard guard(mu_);
+  if (leader_ != config_.rank || sealed_term_ != term_ || crashed()) {
+    return false;
+  }
+  return term_ == 1 ||
+         std::chrono::steady_clock::now() - became_leader_ >
+             std::chrono::milliseconds(config_.suspect_timeout);
+}
+
+GroupInfo GroupMember::info() const {
+  std::lock_guard guard(mu_);
+  GroupInfo out;
+  out.ok = !crashed();
+  out.term = term_;
+  out.leader = leader_;
+  out.floor = floor_;
+  out.leading = out.ok && leader_ == config_.rank && sealed_term_ == term_;
+  out.lease_ok =
+      out.leading || std::chrono::steady_clock::now() - last_beat_ <
+                         std::chrono::milliseconds(config_.suspect_timeout);
+  return out;
+}
+
+Timestamp GroupMember::floor() const {
+  std::lock_guard guard(mu_);
+  return floor_;
+}
+
+std::uint64_t GroupMember::log_length() const {
+  std::lock_guard guard(mu_);
+  return entries_.size();
+}
+
+GroupMember::Serve GroupMember::snapshot_gate(Timestamp s,
+                                              Timestamp* chosen) {
+  std::lock_guard guard(mu_);
+  const bool leading = leader_ == config_.rank && sealed_term_ == term_;
+  if (!leading && config_.members > 1) {
+    if (std::chrono::steady_clock::now() - last_beat_ >
+        std::chrono::milliseconds(config_.suspect_timeout)) {
+      // The group may have moved on without us; our floor could be
+      // arbitrarily stale. Still *safe* to serve below it (floors are
+      // decided log entries), but redirecting keeps reads fresh.
+      return Serve::kLeaseExpired;
+    }
+    // Followers serve purely from the applied log prefix.
+    if (s.is_min()) {
+      if (floor_.is_min()) return Serve::kBehind;
+      *chosen = floor_;
+      return Serve::kOk;
+    }
+    if (s > floor_) return Serve::kBehind;
+    *chosen = s;
+    return Serve::kOk;
+  }
+  // Leader (or sole replica): additionally stay below every prepared
+  // transaction's candidates — their commits may still land there — and
+  // raise the commit fence to the served point, so nothing can commit at
+  // or below a snapshot that has been handed out. Under this one lock,
+  // serving and admit_prepared cannot interleave.
+  Timestamp limit = floor_;
+  for (const auto& [gtx, lo] : prepared_) limit = min(limit, lo.prev());
+  if (limit.is_min()) return Serve::kBehind;
+  if (s.is_min()) {
+    s = limit;
+  } else if (s > limit) {
+    return Serve::kBehind;
+  }
+  clamp_bound_ = max(clamp_bound_, s);
+  *chosen = s;
+  return Serve::kOk;
+}
+
+IntervalSet GroupMember::admit_prepared(TxId gtx, IntervalSet candidates) {
+  std::lock_guard guard(mu_);
+  if (!clamp_bound_.is_min()) {
+    candidates.subtract(Interval{Timestamp::min(), clamp_bound_});
+  }
+  if (!candidates.is_empty()) prepared_.emplace(gtx, candidates.min());
+  return candidates;
+}
+
+void GroupMember::forget_prepared(TxId gtx) {
+  std::lock_guard guard(mu_);
+  prepared_.erase(gtx);
+}
+
+Timestamp GroupMember::clamp_bound() const {
+  std::lock_guard guard(mu_);
+  return clamp_bound_;
+}
+
+void GroupMember::apply_decided_locked(const LogEntry& entry) {
+  entries_.push_back(entry);
+  switch (entry.kind) {
+    case LogEntry::Kind::kTerm:
+      if (entry.term >= term_) {
+        term_ = entry.term;
+        leader_ = entry.leader;
+      }
+      break;
+    case LogEntry::Kind::kFloor:
+      floor_ = max(floor_, entry.floor);
+      if (entry.term > term_) term_ = entry.term;
+      break;
+    case LogEntry::Kind::kCommit:
+      if (entry.term > term_) term_ = entry.term;
+      if (applied_commits_.insert(entry.commit.gtx).second && apply_commit_) {
+        apply_commit_(entry.commit);
+      }
+      break;
+  }
+}
+
+GroupMember::Append GroupMember::append_entry(const LogEntry& entry) {
+  std::lock_guard append_guard(append_mu_);
+  const PaxosValue encoded = encode_log_entry(entry);
+  for (;;) {
+    std::uint64_t slot;
+    {
+      std::lock_guard guard(mu_);
+      if (entry.term < term_) return Append::kDeposed;
+      slot = entries_.size();
+    }
+    const auto decided = paxos_propose_bounded(
+        log_slot_id(config_.group, slot), transport_.acceptors,
+        static_cast<std::uint16_t>(config_.rank + 1), encoded,
+        config_.propose_attempts);
+    if (!decided) return Append::kUnavailable;
+    LogEntry applied;
+    if (!decode_log_entry(*decided, &applied)) return Append::kUnavailable;
+    {
+      std::lock_guard guard(mu_);
+      // A concurrent catch-up may already have applied this slot.
+      if (entries_.size() == slot) apply_decided_locked(applied);
+    }
+    if (*decided == encoded) {
+      appends_.fetch_add(1, std::memory_order_relaxed);
+      return Append::kOk;
+    }
+    if (applied.term > entry.term) return Append::kDeposed;
+    // Lost the slot to an entry our local view was missing; try the next.
+  }
+}
+
+GroupMember::Append GroupMember::append_commit(const CommitRecord& rec) {
+  std::uint64_t term;
+  {
+    std::lock_guard guard(mu_);
+    if (applied_commits_.count(rec.gtx) != 0) return Append::kAlreadyApplied;
+    // The commit fence: a record at or below a published floor / served
+    // snapshot must never be decided — refusing here turns an
+    // arbitrarily late re-driven finalize into a visible failure instead
+    // of a serializability violation.
+    if (rec.ts <= clamp_bound_) return Append::kUnavailable;
+    if (config_.members <= 1) {
+      applied_commits_.insert(rec.gtx);
+      return Append::kOk;
+    }
+    if (leader_ != config_.rank || sealed_term_ != term_) {
+      return Append::kDeposed;
+    }
+    term = term_;
+    // Pre-claim so the append loop's own replay does not double-apply;
+    // the caller installs the effects after kOk.
+    applied_commits_.insert(rec.gtx);
+  }
+  const Append res = append_entry(LogEntry::commit_entry(term, rec));
+  if (res != Append::kOk) {
+    std::lock_guard guard(mu_);
+    applied_commits_.erase(rec.gtx);
+  }
+  return res;
+}
+
+void GroupMember::on_beat(const GroupBeat& beat) {
+  std::lock_guard guard(mu_);
+  if (beat.term < term_) return;  // a deposed leader still beating
+  if (beat.term > term_) {
+    term_ = beat.term;
+    leader_ = beat.leader;
+  }
+  last_beat_ = std::chrono::steady_clock::now();
+  leader_len_hint_ = std::max(leader_len_hint_, beat.log_len);
+  // Note: beat.floor is deliberately NOT adopted — a floor only becomes
+  // servable here once the Floor entry (and every commit before it) has
+  // been applied from the log.
+}
+
+std::vector<PaxosValue> GroupMember::encoded_entries(
+    std::uint64_t from) const {
+  constexpr std::uint64_t kBatch = 256;
+  std::lock_guard guard(mu_);
+  std::vector<PaxosValue> out;
+  for (std::uint64_t i = from; i < entries_.size() && out.size() < kBatch;
+       ++i) {
+    out.push_back(encode_log_entry(entries_[i]));
+  }
+  return out;
+}
+
+void GroupMember::sync_with_leader() {
+  if (!transport_.fetch) return;
+  for (;;) {
+    std::uint64_t from;
+    std::uint64_t leader;
+    {
+      std::lock_guard guard(mu_);
+      from = entries_.size();
+      leader = leader_;
+    }
+    if (leader == config_.rank) return;
+    const std::vector<PaxosValue> batch = transport_.fetch(leader, from);
+    if (batch.empty()) return;
+    std::lock_guard guard(mu_);
+    for (const PaxosValue& enc : batch) {
+      if (entries_.size() != from) break;  // raced with another applier
+      LogEntry entry;
+      if (!decode_log_entry(enc, &entry)) return;
+      apply_decided_locked(entry);
+      ++from;
+    }
+  }
+}
+
+void GroupMember::tick() {
+  if (crashed()) return;
+  if (leads()) {
+    leader_tick();
+  } else if (config_.members > 1) {
+    follower_tick();
+  }
+}
+
+void GroupMember::leader_tick() {
+  Timestamp target;
+  std::uint64_t my_term;
+  bool publish = false;
+  {
+    std::lock_guard guard(mu_);
+    my_term = term_;
+    const std::uint64_t tick_now = config_.clock ? config_.clock->now(0) : 0;
+    Timestamp f = tick_now > config_.floor_lag_ticks
+                      ? Timestamp::make(tick_now - config_.floor_lag_ticks,
+                                        static_cast<ProcessId>(
+                                            Timestamp::kProcessMask))
+                      : Timestamp::min();
+    // Never climb into a prepared transaction's candidate set: the
+    // coordinator may still pick any candidate it was handed.
+    for (const auto& [gtx, lo] : prepared_) f = min(f, lo.prev());
+    // Hold the floor for one suspicion period after a takeover: a
+    // register-decided commit of the previous term may still be
+    // re-driven here and must not land at or below a published floor.
+    const bool grace =
+        term_ > 1 && std::chrono::steady_clock::now() - became_leader_ <
+                         std::chrono::milliseconds(config_.suspect_timeout);
+    if (!grace && f > floor_) {
+      target = f;
+      publish = true;
+      if (config_.members > 1) {
+        // Raise the commit fence BEFORE the append: a prepare admitted
+        // while the Floor entry is in flight must already clamp above
+        // it, or a follower could serve the applied floor while that
+        // prepare still commits below it.
+        clamp_bound_ = max(clamp_bound_, target);
+      }
+    }
+  }
+  if (publish) {
+    if (config_.members > 1) {
+      // floor_ advances when the decided Floor entry is applied.
+      append_entry(LogEntry::floor_entry(my_term, target));
+    } else {
+      // Sole replica: the floor is bookkeeping for snapshot reads; the
+      // fence rises only when a snapshot is actually served, so the
+      // unreplicated write path keeps its pre-replication behaviour.
+      std::lock_guard guard(mu_);
+      floor_ = max(floor_, target);
+    }
+  }
+  if (config_.members > 1 && transport_.send_beat) {
+    GroupBeat beat;
+    {
+      std::lock_guard guard(mu_);
+      beat.term = term_;
+      beat.leader = leader_;
+      beat.log_len = entries_.size();
+      beat.floor = floor_;
+    }
+    for (std::size_t r = 0; r < config_.members; ++r) {
+      if (r != config_.rank) transport_.send_beat(r, beat);
+    }
+  }
+}
+
+void GroupMember::follower_tick() {
+  bool behind;
+  bool lease_expired;
+  bool unsealed_self;
+  std::uint64_t my_term;
+  {
+    std::lock_guard guard(mu_);
+    my_term = term_;
+    unsealed_self = leader_ == config_.rank && sealed_term_ < term_;
+    behind = leader_len_hint_ > entries_.size();
+    lease_expired = std::chrono::steady_clock::now() - last_beat_ >
+                    std::chrono::milliseconds(config_.suspect_timeout);
+  }
+  if (unsealed_self) {
+    // We won a term but could not seal yet (no majority at the time);
+    // keep trying rather than escalating terms.
+    if (append_entry(LogEntry::term_entry(my_term, config_.rank)) ==
+        Append::kOk) {
+      std::lock_guard guard(mu_);
+      if (term_ == my_term) {
+        sealed_term_ = my_term;
+        became_leader_ = std::chrono::steady_clock::now();
+        prepared_.clear();
+      }
+    }
+    return;
+  }
+  if (behind) sync_with_leader();
+  if (lease_expired) take_over();
+}
+
+void GroupMember::take_over() {
+  std::uint64_t next;
+  {
+    std::lock_guard guard(mu_);
+    next = term_ + 1;
+  }
+  const auto decided = paxos_propose_bounded(
+      leadership_id(config_.group, next), transport_.acceptors,
+      static_cast<std::uint16_t>(config_.rank + 1),
+      std::to_string(config_.rank), config_.propose_attempts);
+  if (!decided) return;
+  std::uint64_t winner;
+  try {
+    winner = std::stoull(*decided);
+  } catch (const std::exception&) {
+    return;
+  }
+  {
+    std::lock_guard guard(mu_);
+    if (next < term_) return;  // the world moved on while we campaigned
+    term_ = next;
+    leader_ = winner;  // the register is authoritative for this term
+    // Grant the winner a fresh lease window to prove itself.
+    last_beat_ = std::chrono::steady_clock::now();
+    if (winner != config_.rank) return;
+  }
+  // We lead term `next`: replay the tail and seal the log. The append
+  // loop applies every already-decided entry it probes past, so by the
+  // time the Term marker decides, this replica holds the full log — no
+  // acknowledged commit of any earlier term is lost.
+  if (append_entry(LogEntry::term_entry(next, config_.rank)) == Append::kOk) {
+    std::lock_guard guard(mu_);
+    if (term_ == next) {
+      sealed_term_ = next;
+      became_leader_ = std::chrono::steady_clock::now();
+      prepared_.clear();
+    }
+  }
+}
+
+}  // namespace mvtl

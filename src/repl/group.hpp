@@ -1,0 +1,250 @@
+// Replica-group membership: leader leases, closed-timestamp floors, and
+// failover.
+//
+// A GroupMember is the per-server half of one replica group: every
+// ShardServer owns exactly one, wired to its group peers through a
+// GroupTransport. The member tracks the group's leadership term, drives
+// the replicated op log (repl/log.hpp), and runs one background ticker
+// (period suspect_timeout/4) that plays both roles:
+//
+//   leader   — advances the closed-timestamp floor (now − floor_lag,
+//              clamped below every prepared-but-unfinalized transaction's
+//              candidates, held still for one suspicion period after a
+//              takeover so straggling finalizes of the previous term can
+//              land) and appends it as a Floor entry, then heartbeats
+//              every follower with (term, log length, floor);
+//   follower — pulls the log tail from the leader when the last heartbeat
+//              announced more entries than it has applied, and starts a
+//              takeover once the leader has been silent for a full
+//              suspect_timeout (the lease).
+//
+// Takeover: the candidate wins the leadership register for term T+1 (any
+// number of suspecting followers may race; the register picks one), then
+// replays and seals the log by appending Term{T+1}: probing slots from
+// its applied length, each propose either returns an already-decided
+// entry (applied and skipped past) or decides the Term marker, at which
+// point the log is sealed — the old leader's next append loses its slot
+// to the marker, observes the higher term, and fails instead of
+// acknowledging. That is the whole no-lost-commits argument: an
+// acknowledged commit is a decided log entry, and every decided entry
+// precedes the seal, so the new leader replayed it.
+//
+// Follower reads: a replica may serve a lock-free snapshot read at s iff
+// it applied a Floor entry f >= s (all commits with ts <= f precede
+// Floor{f} in the log, so the replica's state below s is complete and
+// final) — and, as a freshness guard, only while its lease is current.
+// Safety never depends on the lease: floors are decided log entries, so
+// even a deposed replica's floor is a truthful immutability bound.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/interval_set.hpp"
+#include "common/types.hpp"
+#include "dist/commitment.hpp"
+#include "dist/paxos.hpp"
+#include "repl/log.hpp"
+#include "sync/clock.hpp"
+
+namespace mvtl {
+
+/// Leader → follower heartbeat payload (one-way cast).
+struct GroupBeat {
+  std::uint64_t term = 0;
+  std::uint64_t leader = 0;   ///< member rank
+  std::uint64_t log_len = 0;  ///< leader's decided log length
+  Timestamp floor;            ///< leader's latest decided floor
+};
+
+/// A member's view of its group, for routing and diagnostics.
+struct GroupInfo {
+  bool ok = false;  ///< false ⇒ the queried server is down
+  std::uint64_t term = 0;
+  std::uint64_t leader = 0;  ///< member rank of the believed leader
+  Timestamp floor;
+  bool leading = false;   ///< the queried member is the (sealed) leader
+  bool lease_ok = false;  ///< follower only: heartbeat within the lease
+};
+
+/// How a GroupMember reaches its peers. All functions are keyed by member
+/// rank; the host server wires them to SimNetwork calls from its own
+/// endpoint (so per-link fault injection sees real sources), except the
+/// self acceptor, which must be a direct in-memory call — an executor
+/// thread may drive an append and must never wait on its own pool.
+struct GroupTransport {
+  /// Acceptor endpoints for the group's log/leadership registers, rank
+  /// order (self included, wired directly).
+  std::vector<AcceptorEndpoint> acceptors;
+  /// One-way heartbeat to member `rank`.
+  std::function<void(std::size_t rank, const GroupBeat& beat)> send_beat;
+  /// Synchronous fetch of encoded log entries starting at `from` from
+  /// member `rank`; empty ⇒ caught up (or peer unavailable).
+  std::function<std::vector<PaxosValue>(std::size_t rank,
+                                        std::uint64_t from)>
+      fetch;
+  /// The host server's fail-stop flag; a crashed member goes silent.
+  std::function<bool()> crashed;
+};
+
+struct GroupMemberConfig {
+  std::size_t group = 0;
+  std::size_t members = 1;  ///< replication factor of this group
+  std::size_t rank = 0;     ///< this member's rank within the group
+  std::chrono::milliseconds suspect_timeout{50};
+  /// How far the closed-timestamp floor trails the clock, in ticks.
+  /// Larger = staler follower reads but fewer floor-clamped aborts.
+  std::uint64_t floor_lag_ticks = 20'000;
+  std::shared_ptr<ClockSource> clock;
+  /// Rounds a log/leadership propose runs before giving up (a minority
+  /// proposer must fail fast, not wedge its thread).
+  std::size_t propose_attempts = 8;
+};
+
+class GroupMember {
+ public:
+  enum class Append {
+    kOk,              ///< entry decided (and any tail entries applied)
+    kAlreadyApplied,  ///< commit record was already in the applied log
+    kDeposed,         ///< a higher term sealed the log; not decided
+    kUnavailable,     ///< no majority reachable; not decided
+  };
+
+  enum class Serve {
+    kOk,
+    kBehind,        ///< floor below the requested snapshot
+    kLeaseExpired,  ///< follower without a current lease
+  };
+
+  /// `apply_commit` installs a replicated commit record into the host
+  /// server's engine state (versions + frozen ranges).
+  GroupMember(GroupMemberConfig config, GroupTransport transport,
+              std::function<void(const CommitRecord&)> apply_commit);
+  ~GroupMember();
+
+  GroupMember(const GroupMember&) = delete;
+  GroupMember& operator=(const GroupMember&) = delete;
+
+  /// Starts the ticker (heartbeats / lease monitor). Idempotent.
+  void start();
+  /// Stops the ticker; must run before the host server's peers die.
+  void stop();
+
+  /// True iff this member is the current, *sealed* leader of its term.
+  bool leads() const;
+  /// leads(), minus the takeover grace: for one suspicion period after
+  /// winning a term, a new leader accepts finalizes (register-decided
+  /// commits of the previous term re-drive their effects here) but NOT
+  /// new op batches — the old leader's in-flight lock state died with
+  /// it, so granting fresh locks before those commits land their frozen
+  /// ranges could let a new transaction slip inside a decided commit's
+  /// protected read range.
+  bool accepting_new_work() const;
+  GroupInfo info() const;
+  Timestamp floor() const;
+  std::uint64_t log_length() const;
+  std::uint64_t appends() const {
+    return appends_.load(std::memory_order_relaxed);
+  }
+  std::size_t member_count() const { return config_.members; }
+
+  /// Gate for a snapshot read at `s` (Timestamp::min() ⇒ caller wants the
+  /// member's current floor; `chosen` reports the snapshot to use). On a
+  /// leader the snapshot is additionally bounded below every
+  /// prepared-but-unfinalized transaction's candidates, and serving
+  /// raises the commit fence (`clamp_bound`) to the served point — which
+  /// is why, at replication factor 1, the fence only exists once
+  /// snapshot reads are actually used and the unreplicated write path is
+  /// byte-for-byte the pre-replication one.
+  Serve snapshot_gate(Timestamp s, Timestamp* chosen);
+
+  /// Admits a prepared transaction: atomically clamps `candidates` above
+  /// the commit fence (published + in-flight floors, served snapshots)
+  /// and, when non-empty survives, registers the minimum so floors and
+  /// snapshots stay below it until forget_prepared. Returns the clamped
+  /// set (possibly empty ⇒ the caller aborts the prepare).
+  IntervalSet admit_prepared(TxId gtx, IntervalSet candidates);
+  void forget_prepared(TxId gtx);
+
+  /// Current commit fence: no commit may be decided at or below it.
+  Timestamp clamp_bound() const;
+
+  /// Appends a commit record to the group log and waits for the decision.
+  /// At replication factor 1 this is pure bookkeeping (no log exists, no
+  /// failover target): it deduplicates and returns kOk. The caller
+  /// applies the record to the engine after kOk; kAlreadyApplied means a
+  /// replayed log entry already did. A record at or below the commit
+  /// fence is refused (kUnavailable): applying it would put a commit
+  /// under an already-served snapshot — the mechanical enforcement of
+  /// the floor invariant against arbitrarily late re-driven finalizes.
+  Append append_commit(const CommitRecord& rec);
+
+  /// Follower side of a heartbeat (runs on the host's executor; only
+  /// records metadata — catch-up happens on the ticker thread).
+  void on_beat(const GroupBeat& beat);
+
+  /// Encoded log entries from `from` (serves peer catch-up; bounded
+  /// batch).
+  std::vector<PaxosValue> encoded_entries(std::uint64_t from) const;
+
+  /// Pulls the log tail from the current leader until caught up (used by
+  /// followers on the ticker, and by the reconfiguration barrier, which
+  /// must equalize every replica before keys migrate).
+  void sync_with_leader();
+
+  /// One ticker round, immediately (tests).
+  void tick_now() { tick(); }
+
+ private:
+  void tick();
+  void leader_tick();
+  void follower_tick();
+  void take_over();
+
+  /// Applies a decided entry at the next slot (requires slot ==
+  /// entries_.size()); updates term/floor/applied state. Caller holds
+  /// mu_.
+  void apply_decided_locked(const LogEntry& entry);
+
+  /// Drives `entry` into the log at the first free slot, applying any
+  /// already-decided entries it races past. Serialized by append_mu_.
+  Append append_entry(const LogEntry& entry);
+
+  bool crashed() const { return transport_.crashed && transport_.crashed(); }
+
+  GroupMemberConfig config_;
+  GroupTransport transport_;
+  std::function<void(const CommitRecord&)> apply_commit_;
+
+  mutable std::mutex mu_;
+  std::uint64_t term_ = 1;
+  std::uint64_t leader_ = 0;       // member rank
+  std::uint64_t sealed_term_ = 0;  // highest term this member sealed
+  Timestamp floor_;                // latest decided floor applied
+  /// The commit fence: max of every floor this leader has *started*
+  /// publishing (raised before the append, so a prepare racing the
+  /// publication cannot slip candidates under it) and every snapshot
+  /// actually served here. Commits at or below it are refused.
+  Timestamp clamp_bound_;
+  std::vector<LogEntry> entries_;  // applied log prefix (slot order)
+  std::unordered_set<TxId> applied_commits_;
+  std::unordered_map<TxId, Timestamp> prepared_;
+  std::uint64_t leader_len_hint_ = 0;
+  std::chrono::steady_clock::time_point last_beat_;
+  std::chrono::steady_clock::time_point became_leader_;
+
+  std::mutex append_mu_;  // serializes slot assignment
+  std::atomic<std::uint64_t> appends_{0};
+
+  std::unique_ptr<PeriodicTask> ticker_;
+};
+
+}  // namespace mvtl

@@ -1,0 +1,109 @@
+// The replicated op log — the durability backbone of a replica group.
+//
+// Each shard of the cluster is replicated as a *group*: one leader
+// ShardServer plus N−1 followers. Everything a failover must preserve is
+// funneled through one multi-decree log per group, built slot-by-slot on
+// the same single-decree Paxos registers that back commitment objects
+// (dist/paxos.hpp): slot `s` of group `g` is the register
+// "grouplog/<g>/<s>", and an entry is decided exactly when a majority of
+// the group's acceptors accepted it.
+//
+// Three entry kinds flow through the log:
+//
+//   * Commit{gtx, ts, writes, reads} — a committed write transaction's
+//     durable effects: the versions it installs (at ts) and the read
+//     ranges its serializability depends on (frozen [tr+1, ts] per read).
+//     A leader acknowledges a commit only after its Commit entry is
+//     decided; replicas replay entries in slot order, so every replica
+//     converges to the leader's committed state.
+//
+//   * Floor{f} — a closed-timestamp promise: every Commit entry appended
+//     *after* this entry has ts > f. Followers that applied the log up to
+//     a Floor{f} entry can therefore serve lock-free snapshot reads at
+//     any s <= f: the data below f is immutable history. Because floors
+//     are themselves log entries, the promise survives failover — a new
+//     leader replays the tail, learns every published floor, and never
+//     commits at or below one.
+//
+//   * Term{t, leader} — a leadership marker. A takeover seals the log by
+//     appending its Term entry; a deposed leader discovers the higher
+//     term when its own append loses a slot to it (or replays past it)
+//     and fails the append instead of acknowledging — which is exactly
+//     what makes "decided in the log" equivalent to "will survive".
+//
+// Entries travel as opaque register values; the length-prefixed binary
+// encoding here is the wire format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dist/paxos.hpp"
+
+namespace mvtl {
+
+/// A committed write transaction's durable effects on one replica group:
+/// what finalize installs (writes at ts) and what it must keep protected
+/// (each read's [tr+1, ts] range, frozen). The coordinator can rebuild
+/// this record from its own bookkeeping, so a commit can be re-driven
+/// against a group's *new* leader after the old one died mid-finalize.
+struct CommitRecord {
+  TxId gtx = kInvalidTxId;
+  Timestamp ts;
+  std::vector<std::pair<Key, Value>> writes;  ///< key → committed value
+  std::vector<std::pair<Key, Timestamp>> reads;  ///< key → version read (tr)
+};
+
+struct LogEntry {
+  enum class Kind : std::uint8_t { kCommit = 0, kFloor = 1, kTerm = 2 };
+
+  Kind kind = Kind::kTerm;
+  /// Leadership term the appender held. Replicas track the highest term
+  /// seen while replaying; a Term entry raises it.
+  std::uint64_t term = 0;
+
+  CommitRecord commit;        ///< kCommit only
+  Timestamp floor;            ///< kFloor only
+  std::uint64_t leader = 0;   ///< kTerm only: winning member rank
+
+  static LogEntry commit_entry(std::uint64_t term, CommitRecord rec) {
+    LogEntry e;
+    e.kind = Kind::kCommit;
+    e.term = term;
+    e.commit = std::move(rec);
+    return e;
+  }
+  static LogEntry floor_entry(std::uint64_t term, Timestamp floor) {
+    LogEntry e;
+    e.kind = Kind::kFloor;
+    e.term = term;
+    e.floor = floor;
+    return e;
+  }
+  static LogEntry term_entry(std::uint64_t term, std::uint64_t leader) {
+    LogEntry e;
+    e.kind = Kind::kTerm;
+    e.term = term;
+    e.leader = leader;
+    return e;
+  }
+};
+
+/// Length-prefixed binary encoding (register values are opaque strings;
+/// keys and values may contain any byte).
+PaxosValue encode_log_entry(const LogEntry& entry);
+
+/// Inverts encode_log_entry. Returns false on a malformed value.
+bool decode_log_entry(const PaxosValue& value, LogEntry* out);
+
+/// Register id of slot `slot` of group `group`'s log.
+std::string log_slot_id(std::size_t group, std::uint64_t slot);
+
+/// Register id of group `group`'s leadership election for `term`; the
+/// decided value is the winning member rank (decimal).
+std::string leadership_id(std::size_t group, std::uint64_t term);
+
+}  // namespace mvtl

@@ -14,10 +14,20 @@ enum class Phase : int { kWarmup = 0, kMeasure = 1, kDone = 2 };
 }  // namespace
 
 CommitResult execute_tx(TransactionalStore& store, const TxSpec& spec,
-                        ProcessId process, bool critical) {
+                        ProcessId process, bool critical,
+                        bool declare_read_only) {
   TxOptions options;
   options.process = process;
   options.critical = critical;
+  if (declare_read_only) {
+    options.read_only = true;
+    for (const Op& op : spec) {
+      if (op.kind == Op::Kind::kWrite) {
+        options.read_only = false;
+        break;
+      }
+    }
+  }
   TransactionalStore::TxPtr tx = store.begin(options);
   for (const Op& op : spec) {
     if (op.kind == Op::Kind::kRead) {
@@ -48,14 +58,16 @@ DriverResult run_closed_loop(TransactionalStore& store,
              static_cast<int>(Phase::kDone)) {
         const TxSpec spec = gen.next_tx();
         const auto started = std::chrono::steady_clock::now();
-        CommitResult result = execute_tx(store, spec, process);
+        CommitResult result = execute_tx(store, spec, process, false,
+                                          config.declare_read_only);
         std::size_t restarts = 0;
         while (!result.committed() && config.retry_aborted &&
                restarts < config.max_restarts &&
                phase.load(std::memory_order_relaxed) !=
                    static_cast<int>(Phase::kDone)) {
           ++restarts;
-          result = execute_tx(store, spec, process);
+          result = execute_tx(store, spec, process, false,
+                              config.declare_read_only);
         }
         if (phase.load(std::memory_order_relaxed) ==
             static_cast<int>(Phase::kMeasure)) {
@@ -104,7 +116,8 @@ DriverResult run_fixed_count(TransactionalStore& store,
       const auto process = static_cast<ProcessId>((c % 65'534) + 1);
       for (std::size_t i = 0; i < txs_per_client; ++i) {
         const TxSpec spec = gen.next_tx();
-        const CommitResult result = execute_tx(store, spec, process);
+        const CommitResult result = execute_tx(
+            store, spec, process, false, config.declare_read_only);
         if (result.committed()) {
           metrics.add_commit();
         } else {

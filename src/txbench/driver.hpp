@@ -25,6 +25,12 @@ struct DriverConfig {
   /// (clients "have the option of aborting or restarting", §8.1).
   bool retry_aborted = false;
   std::size_t max_restarts = 2;
+  /// Declare all-read transactions read-only at begin
+  /// (TxOptions::read_only): the replicated distributed client serves
+  /// them as lock-free snapshot reads at a closed timestamp, routed to
+  /// follower replicas. Off by default — declaring changes the read
+  /// semantics to bounded-staleness snapshots.
+  bool declare_read_only = false;
 };
 
 struct DriverResult {
@@ -51,8 +57,10 @@ DriverResult run_fixed_count(TransactionalStore& store,
                              std::size_t txs_per_client);
 
 /// Executes one transaction spec against `store`; returns the result.
-/// Aborts the transaction cleanly if any operation fails.
+/// Aborts the transaction cleanly if any operation fails. With
+/// `declare_read_only`, an all-read spec is declared read-only at begin.
 CommitResult execute_tx(TransactionalStore& store, const TxSpec& spec,
-                        ProcessId process, bool critical = false);
+                        ProcessId process, bool critical = false,
+                        bool declare_read_only = false);
 
 }  // namespace mvtl

@@ -1,0 +1,123 @@
+// SimNetwork fault injection: drop_next swallows messages, partition cuts
+// links between two endpoints (both directions), isolate fail-stops an
+// endpoint at network level, heal restores everything — and a dropped RPC
+// completes the caller's future with a default-constructed refusal
+// instead of hanging it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "net/simnet.hpp"
+
+namespace mvtl {
+namespace {
+
+using namespace std::chrono_literals;
+
+void wait_for(const std::atomic<int>& counter, int expected) {
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (counter.load() != expected &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+TEST(FaultInjectionTest, DropNextSwallowsExactlyNMessages) {
+  // Executors before the network: the lanes must die first, or a late
+  // delivery could land in a destroyed pool.
+  Executor exec(1, "t");
+  SimNetwork net(NetProfile::instant());
+  std::atomic<int> delivered{0};
+
+  net.drop_next(2);
+  for (int i = 0; i < 3; ++i) {
+    net.cast(exec, [&delivered] { delivered.fetch_add(1); });
+  }
+  wait_for(delivered, 1);
+  EXPECT_EQ(delivered.load(), 1);
+  EXPECT_EQ(net.dropped(), 2u);
+
+  // The budget is spent: traffic flows again without an explicit heal.
+  net.cast(exec, [&delivered] { delivered.fetch_add(1); });
+  wait_for(delivered, 2);
+  EXPECT_EQ(delivered.load(), 2);
+}
+
+TEST(FaultInjectionTest, PartitionCutsExactlyTheNamedLink) {
+  Executor a(1, "a");
+  Executor b(1, "b");
+  Executor c(1, "c");
+  SimNetwork net(NetProfile::instant());
+
+  net.partition(&a, &b);
+  // a → b: dropped; the RPC completes with the default-constructed value.
+  EXPECT_EQ(net.call(b, [] { return 7; }, &a), 0);
+  // b → a: the cut is bidirectional.
+  EXPECT_EQ(net.call(a, [] { return 7; }, &b), 0);
+  // c → b and client (nullptr) → b are unaffected.
+  EXPECT_EQ(net.call(b, [] { return 7; }, &c), 7);
+  EXPECT_EQ(net.call(b, [] { return 7; }), 7);
+  EXPECT_GE(net.dropped(), 2u);
+
+  net.heal();
+  EXPECT_EQ(net.call(b, [] { return 7; }, &a), 7);
+}
+
+TEST(FaultInjectionTest, IsolateFailStopsAnEndpoint) {
+  Executor a(1, "a");
+  Executor b(1, "b");
+  SimNetwork net(NetProfile::instant());
+
+  net.isolate(&b);
+  EXPECT_EQ(net.call(b, [] { return 3; }, &a), 0);   // inbound cut
+  EXPECT_EQ(net.call(b, [] { return 3; }), 0);       // from the client too
+  EXPECT_EQ(net.call(a, [] { return 3; }, &b), 0);   // outbound cut
+  EXPECT_EQ(net.call(a, [] { return 3; }), 3);       // a itself reachable
+
+  net.heal();
+  EXPECT_EQ(net.call(b, [] { return 3; }, &a), 3);
+}
+
+TEST(FaultInjectionTest, DroppedOneWayMessagesVanishSilently) {
+  Executor a(1, "a");
+  Executor b(1, "b");
+  SimNetwork net(NetProfile::instant());
+  std::atomic<int> delivered{0};
+
+  net.partition(&a, &b);
+  net.cast(b, [&delivered] { delivered.fetch_add(1); }, &a);
+  net.cast(b, [&delivered] { delivered.fetch_add(1); }, nullptr);
+  wait_for(delivered, 1);
+  EXPECT_EQ(delivered.load(), 1);  // only the un-cut sender got through
+}
+
+TEST(FaultInjectionTest, ExecutorTracksBacklogHighWaterMark) {
+  Executor exec(1, "hw");
+  EXPECT_EQ(exec.max_backlog(), 0u);
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  // One worker: the first task blocks, the rest pile up in the queue.
+  exec.post([&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    done.fetch_add(1);
+  });
+  for (int i = 0; i < 5; ++i) {
+    exec.post([&done] { done.fetch_add(1); });
+  }
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (exec.max_backlog() < 5 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GE(exec.max_backlog(), 5u);
+  release.store(true);
+  while (done.load() != 6 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(done.load(), 6);
+}
+
+}  // namespace
+}  // namespace mvtl

@@ -1,0 +1,240 @@
+// GroupMember semantics over an in-memory transport: append/replicate,
+// dedup, closed-timestamp floors (advance, prepared-transaction pinning,
+// snapshot gating), lease expiry, and takeover sealing the log against
+// the deposed leader.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dist/paxos.hpp"
+#include "repl/group.hpp"
+#include "repl/log.hpp"
+#include "sync/clock.hpp"
+
+namespace mvtl {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename T>
+std::future<T> ready(T value) {
+  std::promise<T> p;
+  p.set_value(std::move(value));
+  return p.get_future();
+}
+
+/// Three GroupMembers wired directly to each other's acceptor tables —
+/// no network, no tickers; every transition is driven by the test.
+struct TestGroup {
+  static constexpr std::size_t kN = 3;
+
+  explicit TestGroup(std::chrono::milliseconds suspect,
+                     std::uint64_t floor_lag = 8) {
+    applied.resize(kN);
+    for (std::size_t r = 0; r < kN; ++r) down[r].store(false);
+    for (std::size_t r = 0; r < kN; ++r) {
+      GroupMemberConfig gc;
+      gc.group = 0;
+      gc.members = kN;
+      gc.rank = r;
+      gc.suspect_timeout = suspect;
+      gc.floor_lag_ticks = floor_lag;
+      gc.clock = clock;
+      gc.propose_attempts = 4;
+
+      GroupTransport t;
+      for (std::size_t i = 0; i < kN; ++i) t.acceptors.push_back(endpoint(i));
+      t.fetch = [this](std::size_t rank, std::uint64_t from) {
+        return down[rank].load() ? std::vector<PaxosValue>{}
+                                 : members[rank]->encoded_entries(from);
+      };
+      t.send_beat = [this](std::size_t rank, const GroupBeat& beat) {
+        if (!down[rank].load()) members[rank]->on_beat(beat);
+      };
+      t.crashed = [this, r] { return down[r].load(); };
+
+      members.push_back(std::make_unique<GroupMember>(
+          std::move(gc), std::move(t),
+          [this, r](const CommitRecord& rec) { applied[r].push_back(rec); }));
+    }
+  }
+
+  AcceptorEndpoint endpoint(std::size_t i) {
+    AcceptorEndpoint ep;
+    ep.prepare = [this, i](const std::string& d, std::uint64_t b) {
+      return ready(down[i].load() ? PaxosPrepareReply{}
+                                  : tables[i].on_prepare(d, b));
+    };
+    ep.accept = [this, i](const std::string& d, std::uint64_t b,
+                          const PaxosValue& v) {
+      return ready(down[i].load() ? PaxosAcceptReply{}
+                                  : tables[i].on_accept(d, b, v));
+    };
+    return ep;
+  }
+
+  CommitRecord record(TxId gtx) {
+    CommitRecord rec;
+    rec.gtx = gtx;
+    rec.ts = Timestamp::make(clock->now(0), 1);
+    rec.writes.emplace_back("k", "v");
+    return rec;
+  }
+
+  std::shared_ptr<LogicalClock> clock = std::make_shared<LogicalClock>(1'000);
+  std::array<AcceptorTable, kN> tables;
+  std::array<std::atomic<bool>, kN> down;
+  std::vector<std::unique_ptr<GroupMember>> members;
+  std::vector<std::vector<CommitRecord>> applied;
+};
+
+TEST(GroupMemberTest, LeaderAppendsReplicateToFollowers) {
+  TestGroup g(1'000ms);
+  ASSERT_TRUE(g.members[0]->leads());
+  EXPECT_FALSE(g.members[1]->leads());
+
+  EXPECT_EQ(g.members[0]->append_commit(g.record(1)),
+            GroupMember::Append::kOk);
+  EXPECT_EQ(g.members[0]->log_length(), 1u);
+  // The leader's own apply is the caller's job (engine path), not the
+  // replay callback's.
+  EXPECT_TRUE(g.applied[0].empty());
+
+  // Heartbeat announces the log length; the followers' next tick pulls.
+  g.members[0]->tick_now();
+  g.members[1]->tick_now();
+  g.members[2]->tick_now();
+  ASSERT_EQ(g.applied[1].size(), 1u);
+  EXPECT_EQ(g.applied[1][0].gtx, 1u);
+  ASSERT_EQ(g.applied[2].size(), 1u);
+  EXPECT_EQ(g.members[1]->log_length(), g.members[0]->log_length());
+}
+
+TEST(GroupMemberTest, AppendCommitDeduplicates) {
+  TestGroup g(1'000ms);
+  EXPECT_EQ(g.members[0]->append_commit(g.record(7)),
+            GroupMember::Append::kOk);
+  EXPECT_EQ(g.members[0]->append_commit(g.record(7)),
+            GroupMember::Append::kAlreadyApplied);
+  EXPECT_EQ(g.members[0]->log_length(), 1u);
+  EXPECT_FALSE(g.members[1]->leads());
+  EXPECT_EQ(g.members[1]->append_commit(g.record(8)),
+            GroupMember::Append::kDeposed);
+}
+
+TEST(GroupMemberTest, FloorAdvancesAndGatesSnapshots) {
+  TestGroup g(1'000ms, /*floor_lag=*/8);
+  g.clock->advance_to(0, 5'000);
+  g.members[0]->tick_now();  // leader: appends a Floor entry + beats
+  const Timestamp leader_floor = g.members[0]->floor();
+  EXPECT_FALSE(leader_floor.is_min());
+  EXPECT_GE(leader_floor.tick(), 5'000u - 8u);
+
+  // Followers serve only once they applied the Floor entry.
+  Timestamp chosen;
+  EXPECT_EQ(g.members[1]->snapshot_gate(Timestamp::min(), &chosen),
+            GroupMember::Serve::kBehind);
+  g.members[1]->tick_now();  // pulls the log (beat already announced it)
+  ASSERT_EQ(g.members[1]->snapshot_gate(Timestamp::min(), &chosen),
+            GroupMember::Serve::kOk);
+  EXPECT_EQ(chosen, g.members[1]->floor());
+  // Explicit snapshots at or below the floor pass; above it refuse.
+  EXPECT_EQ(g.members[1]->snapshot_gate(chosen, &chosen),
+            GroupMember::Serve::kOk);
+  Timestamp above = leader_floor.next();
+  EXPECT_EQ(g.members[1]->snapshot_gate(above.next(), &above),
+            GroupMember::Serve::kBehind);
+}
+
+TEST(GroupMemberTest, PreparedTransactionsPinTheFloor) {
+  TestGroup g(1'000ms, /*floor_lag=*/8);
+  const Timestamp pin = Timestamp::make(2'000, 0);
+  const IntervalSet admitted = g.members[0]->admit_prepared(
+      42, IntervalSet{Interval{pin, pin.plus_ticks(100)}});
+  ASSERT_FALSE(admitted.is_empty());
+  EXPECT_EQ(admitted.min(), pin);
+  g.clock->advance_to(0, 50'000);
+  g.members[0]->tick_now();
+  EXPECT_LT(g.members[0]->floor(), pin);
+
+  g.members[0]->forget_prepared(42);
+  g.members[0]->tick_now();
+  EXPECT_GT(g.members[0]->floor(), pin);
+}
+
+TEST(GroupMemberTest, ServedSnapshotsFenceLaterCommits) {
+  TestGroup g(1'000ms, /*floor_lag=*/8);
+  // Nothing served yet: the fence is down and prepares pass untouched —
+  // the replication-factor-1 write path must be byte-identical to the
+  // unreplicated engine until snapshot reads are actually used.
+  EXPECT_TRUE(g.members[0]->clamp_bound().is_min());
+  const Timestamp lo = Timestamp::make(10, 0);
+  EXPECT_EQ(g.members[0]
+                ->admit_prepared(1, IntervalSet{Interval{lo, lo.plus_ticks(5)}})
+                .min(),
+            lo);
+  g.members[0]->forget_prepared(1);
+
+  g.clock->advance_to(0, 5'000);
+  g.members[0]->tick_now();
+  Timestamp served;
+  ASSERT_EQ(g.members[0]->snapshot_gate(Timestamp::min(), &served),
+            GroupMember::Serve::kOk);
+  EXPECT_EQ(g.members[0]->clamp_bound(), served);
+
+  // Post-serve, candidates at or below the snapshot are clamped away and
+  // a commit record below it is refused outright.
+  const IntervalSet clamped = g.members[0]->admit_prepared(
+      2, IntervalSet{Interval{lo, served.plus_ticks(5)}});
+  ASSERT_FALSE(clamped.is_empty());
+  EXPECT_GT(clamped.min(), served);
+  g.members[0]->forget_prepared(2);
+  CommitRecord below = g.record(99);
+  below.ts = served;
+  EXPECT_EQ(g.members[0]->append_commit(below),
+            GroupMember::Append::kUnavailable);
+}
+
+TEST(GroupMemberTest, StaleFollowerRefusesOnLeaseExpiry) {
+  TestGroup g(5ms);
+  std::this_thread::sleep_for(20ms);
+  Timestamp chosen;
+  EXPECT_EQ(g.members[1]->snapshot_gate(Timestamp::min(), &chosen),
+            GroupMember::Serve::kLeaseExpired);
+}
+
+TEST(GroupMemberTest, TakeoverReplaysSealsAndDeposesOldLeader) {
+  TestGroup g(5ms);
+  EXPECT_EQ(g.members[0]->append_commit(g.record(11)),
+            GroupMember::Append::kOk);
+
+  // The leader dies; follower 1's lease runs out and it takes over.
+  g.down[0].store(true);
+  std::this_thread::sleep_for(20ms);
+  g.members[1]->tick_now();
+  ASSERT_TRUE(g.members[1]->leads());
+  // The replayed tail delivered the old leader's commit.
+  ASSERT_EQ(g.applied[1].size(), 1u);
+  EXPECT_EQ(g.applied[1][0].gtx, 11u);
+  // Log = [commit, Term seal].
+  EXPECT_EQ(g.members[1]->log_length(), 2u);
+
+  // The old leader comes back, still believing in its term: its next
+  // append loses to the seal and reports deposed, never acknowledged.
+  g.down[0].store(false);
+  EXPECT_EQ(g.members[0]->append_commit(g.record(12)),
+            GroupMember::Append::kDeposed);
+  EXPECT_FALSE(g.members[0]->leads());
+  EXPECT_TRUE(g.applied[0].empty());  // gtx 12 never applied anywhere
+  EXPECT_EQ(g.members[1]->append_commit(g.record(13)),
+            GroupMember::Append::kOk);
+}
+
+}  // namespace
+}  // namespace mvtl
