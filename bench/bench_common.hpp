@@ -13,6 +13,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -99,6 +102,63 @@ struct RunSpec {
   bool follower_reads = true;
   /// Declare all-read transactions read-only (snapshot path).
   bool declare_read_only = false;
+  /// Distributed beds: which transport carries the wire messages
+  /// (kDefault = sim, or whatever MVTL_TRANSPORT says).
+  TransportKind transport = TransportKind::kDefault;
+  /// In-flight transactions per client (txbench pipelining window).
+  std::size_t window = 1;
+};
+
+/// Command-line overrides shared by the distributed figure benches:
+///   --transport=sim|tcp     transport selection (default: sim / env)
+///   --net-base-us=N         SimNetwork base latency override
+///   --net-jitter-us=N       SimNetwork jitter override
+///   --window=N              in-flight transactions per client
+struct BenchFlags {
+  TransportKind transport = TransportKind::kDefault;
+  std::optional<std::chrono::microseconds> net_base;
+  std::optional<std::chrono::microseconds> net_jitter;
+  std::size_t window = 1;
+
+  static BenchFlags parse(int argc, char** argv) {
+    BenchFlags flags;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--transport=", 12) == 0) {
+        const char* value = arg + 12;
+        if (std::strcmp(value, "tcp") == 0) {
+          flags.transport = TransportKind::kTcp;
+        } else if (std::strcmp(value, "sim") == 0) {
+          flags.transport = TransportKind::kSim;
+        } else {
+          std::fprintf(stderr, "--transport must be sim or tcp, got: %s\n",
+                       value);
+          std::exit(2);
+        }
+      } else if (std::strncmp(arg, "--net-base-us=", 14) == 0) {
+        flags.net_base = std::chrono::microseconds{std::atoll(arg + 14)};
+      } else if (std::strncmp(arg, "--net-jitter-us=", 16) == 0) {
+        flags.net_jitter = std::chrono::microseconds{std::atoll(arg + 16)};
+      } else if (std::strncmp(arg, "--window=", 9) == 0) {
+        const long long w = std::atoll(arg + 9);
+        flags.window = w > 0 ? static_cast<std::size_t>(w) : 1;
+      } else {
+        std::fprintf(stderr,
+                     "unknown flag: %s\nflags: --transport=sim|tcp "
+                     "--net-base-us=N --net-jitter-us=N --window=N\n",
+                     arg);
+        std::exit(2);
+      }
+    }
+    return flags;
+  }
+
+  void apply(RunSpec& spec) const {
+    spec.transport = transport;
+    spec.window = window;
+    if (net_base) spec.bed.net.base = *net_base;
+    if (net_jitter) spec.bed.net.jitter = *net_jitter;
+  }
 };
 
 /// The distributed run of each protocol: the MVTIL variants natively,
@@ -131,6 +191,7 @@ inline Db make_db(Protocol protocol, const RunSpec& spec) {
     cluster.seed = spec.seed;
     cluster.replication_factor = spec.replication_factor;
     cluster.follower_reads = spec.follower_reads;
+    cluster.transport = spec.transport;
     // Deep request queues on the weak cloud servers can keep a perfectly
     // live transaction away from a shard for a long time; suspicion is
     // for crashes, not congestion, so keep it far above queueing delays.
@@ -157,6 +218,7 @@ inline ProtocolRun run_protocol(Protocol protocol, const RunSpec& spec) {
 
   DriverConfig driver;
   driver.clients = spec.clients;
+  driver.window = spec.window;
   driver.workload.key_space = spec.key_space;
   driver.workload.ops_per_tx = spec.ops_per_tx;
   driver.workload.write_fraction = spec.write_fraction;
@@ -201,12 +263,14 @@ void run_sweep(const std::string& figure, const std::string& x_label,
   Table throughput(columns);
   Table commit_rate(columns);
   Table msgs_per_tx(columns);
+  Table bytes_per_tx(columns);
   Table max_backlog(columns);
   bool distributed = false;
   for (const auto& x : xs) {
     std::vector<std::string> tput_row{std::to_string(x)};
     std::vector<std::string> rate_row{std::to_string(x)};
     std::vector<std::string> msgs_row{std::to_string(x)};
+    std::vector<std::string> bytes_row{std::to_string(x)};
     std::vector<std::string> backlog_row{std::to_string(x)};
     for (Protocol p : protocols) {
       const RunSpec spec = make_spec(x);
@@ -216,17 +280,27 @@ void run_sweep(const std::string& figure, const std::string& x_label,
       rate_row.push_back(fmt_double(run.driver.commit_rate, 3));
       const double messages = static_cast<double>(run.stats.rpc_messages +
                                                   run.stats.paxos_messages);
+      const double wire_kb = static_cast<double>(run.stats.bytes_sent +
+                                                 run.stats.bytes_received) /
+                             1024.0;
       msgs_row.push_back(
           run.stats.committed_txs == 0
               ? "-"
               : fmt_double(messages /
                                static_cast<double>(run.stats.committed_txs),
                            1));
+      bytes_row.push_back(
+          run.stats.committed_txs == 0
+              ? "-"
+              : fmt_double(wire_kb /
+                               static_cast<double>(run.stats.committed_txs),
+                           2));
       backlog_row.push_back(std::to_string(run.stats.max_backlog));
     }
     throughput.add_row(std::move(tput_row));
     commit_rate.add_row(std::move(rate_row));
     msgs_per_tx.add_row(std::move(msgs_row));
+    bytes_per_tx.add_row(std::move(bytes_row));
     max_backlog.add_row(std::move(backlog_row));
   }
 
@@ -238,6 +312,9 @@ void run_sweep(const std::string& figure, const std::string& x_label,
     std::printf("\n=== %s (c) Messages per committed tx ===\n",
                 figure.c_str());
     msgs_per_tx.print();
+    std::printf("\n=== %s (c') Wire KB per committed tx ===\n",
+                figure.c_str());
+    bytes_per_tx.print();
     std::printf("\n=== %s (d) Max server backlog ===\n", figure.c_str());
     max_backlog.print();
   }

@@ -7,22 +7,30 @@
 //
 // Panel (c) reports messages per committed transaction: with per-server
 // op batching and the read-only fast path, a 20-op transaction costs a
-// handful of messages instead of 20+ round trips.
+// handful of messages instead of 20+ round trips. Panel (c') prices the
+// same traffic in wire KB (counted at the codec boundary, so the figure
+// is transport-independent).
+//
+// Flags (BenchFlags): --transport=sim|tcp --net-base-us=N
+// --net-jitter-us=N --window=N — e.g. run the sweep over real loopback
+// sockets, or widen the per-client pipeline instead of adding clients.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mvtl;
   using namespace mvtl::bench;
 
+  const BenchFlags flags = BenchFlags::parse(argc, argv);
   const std::vector<std::size_t> clients = {30, 100, 200, 400, 600};
   run_sweep("Figure 2: concurrency, cloud test bed", "clients", clients,
-            [](std::size_t c) {
+            [&flags](std::size_t c) {
               RunSpec spec;
               spec.bed = TestBed::cloud(8);
               spec.clients = c;
               spec.key_space = 50'000;
               spec.ops_per_tx = 20;
               spec.write_fraction = 0.25;
+              flags.apply(spec);
               return spec;
             });
   return 0;

@@ -16,19 +16,22 @@
 // grows by the log's Paxos traffic. That is the price of surviving a
 // leader crash per group; the read side of the bargain is measured by
 // abl_follower_reads.
+// Flags (BenchFlags): --transport=sim|tcp --net-base-us=N
+// --net-jitter-us=N --window=N.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mvtl;
   using namespace mvtl::bench;
 
+  const BenchFlags flags = BenchFlags::parse(argc, argv);
   for (const double writes : {0.25, 0.50}) {
     const int reads_pct = static_cast<int>((1.0 - writes) * 100);
     const std::vector<std::size_t> servers = {1, 2, 4, 8, 16};
     char title[96];
     std::snprintf(title, sizeof(title), "Figure 5: server scaling, %d%% reads",
                   reads_pct);
-    run_sweep(title, "servers", servers, [writes](std::size_t n) {
+    run_sweep(title, "servers", servers, [writes, &flags](std::size_t n) {
       RunSpec spec;
       spec.bed = TestBed::cloud(n);
       spec.clients = 400;
@@ -40,6 +43,7 @@ int main() {
       // completions at all.
       spec.warmup = std::chrono::milliseconds{400};
       spec.measure = std::chrono::milliseconds{900};
+      flags.apply(spec);
       return spec;
     });
   }
@@ -51,7 +55,7 @@ int main() {
     char title[96];
     std::snprintf(title, sizeof(title),
                   "Figure 5 (repl): 25%% writes, replication factor %zu", rf);
-    run_sweep(title, "groups", groups, [rf](std::size_t n) {
+    run_sweep(title, "groups", groups, [rf, &flags](std::size_t n) {
       RunSpec spec;
       spec.bed = TestBed::cloud(n);
       spec.clients = 200;
@@ -61,6 +65,7 @@ int main() {
       spec.replication_factor = rf;
       spec.warmup = std::chrono::milliseconds{400};
       spec.measure = std::chrono::milliseconds{900};
+      flags.apply(spec);
       return spec;
     });
   }

@@ -8,6 +8,7 @@
 // bounded.
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -15,7 +16,7 @@
 #include "dist/cluster.hpp"
 #include "txbench/driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mvtl;
 
   ClusterConfig config;
@@ -25,6 +26,22 @@ int main() {
   config.mvtil_delta_ticks = 5'000;                        // Δ = 5 ms
   config.suspect_timeout = std::chrono::milliseconds{50};  // server sweeper
   config.key_space = 2'000;  // range sharding splits this domain
+  // --transport=sim|tcp: run the cluster's wire messages over the
+  // simulated network or over real loopback TCP sockets.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      const char* value = argv[i] + 12;
+      if (std::strcmp(value, "tcp") == 0) {
+        config.transport = TransportKind::kTcp;
+      } else if (std::strcmp(value, "sim") == 0) {
+        config.transport = TransportKind::kSim;
+      } else {
+        std::fprintf(stderr, "--transport must be sim or tcp, got: %s\n",
+                     value);
+        return 2;
+      }
+    }
+  }
 
   // The whole cluster is just another engine behind the facade.
   Db db = Options()
@@ -34,7 +51,9 @@ int main() {
   cluster.start_ts_service(std::chrono::milliseconds{500},
                            /*keep_ticks=*/250'000);  // K = 250 ms
 
-  std::printf("cluster up: 4 MVTIL servers, Δ = 5 ms, suspicion = 50 ms\n");
+  std::printf("cluster up: 4 MVTIL servers, Δ = 5 ms, suspicion = 50 ms, "
+              "transport = %s\n",
+              transport_kind_name(config.transport));
 
   std::atomic<int> committed{0};
   std::atomic<int> aborted{0};

@@ -81,6 +81,13 @@ struct StoreStats {
   /// server-overload indicator benches report alongside
   /// messages-per-committed-tx.
   std::size_t max_backlog = 0;
+
+  /// Wire volume, counted at the codec boundary (encoded message bytes,
+  /// before transport framing) so the simulated and the TCP transport
+  /// report identical figures for identical traffic. Sent = requests and
+  /// one-way messages; received = replies.
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
 };
 
 /// Why a transaction aborted; used by metrics and tests.

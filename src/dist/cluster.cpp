@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "core/policy.hpp"
+#include "net/tcp.hpp"
+#include "net/wire.hpp"
 #include "repl/log.hpp"
 
 namespace mvtl {
@@ -105,13 +107,12 @@ void DistClient::refresh_group_leader(std::size_t group) {
   const auto routing = routing_snapshot();
   if (group >= routing->groups.size()) return;
   const std::vector<std::size_t>& members = routing->groups[group].members;
-  std::vector<std::future<GroupInfo>> futures;
+  std::vector<wire::ReplyFuture<wire::GroupInfoRequest>> futures;
   futures.reserve(members.size());
   for (const std::size_t m : members) {
-    ShardServer* server = &cluster_->server(m);
     rpc_messages_.fetch_add(1, std::memory_order_relaxed);
-    futures.push_back(cluster_->net().call_async(
-        server->exec(), [server] { return server->handle_group_info(); }));
+    futures.push_back(
+        wire::call(cluster_->net(), m, wire::GroupInfoRequest{}));
   }
   std::uint64_t best_term = 0;
   std::size_t best_rank = 0;
@@ -161,11 +162,10 @@ DistClient::Route DistClient::route(DistTx& tx, const Key& key) {
   return Route{group, it->second.server, &cluster_->server(it->second.server)};
 }
 
-std::future<DistBatchReply> DistClient::send_batch_async(
+wire::ReplyFuture<wire::OpBatchRequest> DistClient::send_batch_async(
     DistTx& tx, std::size_t group, std::vector<DistOp> ops,
     BatchFinish finish) {
   const std::size_t index = tx.parts_[group].server;
-  ShardServer* server = &cluster_->server(index);
   bool first = false;
   if (std::find(tx.contacted_.begin(), tx.contacted_.end(), index) ==
       tx.contacted_.end()) {
@@ -174,13 +174,14 @@ std::future<DistBatchReply> DistClient::send_batch_async(
   }
   rpc_messages_.fetch_add(1, std::memory_order_relaxed);
   batched_ops_.fetch_add(ops.size(), std::memory_order_relaxed);
-  return cluster_->net().call_async(
-      server->exec(),
-      [server, gtx = tx.id(), options = tx.options_,
-       epoch = tx.routing_->epoch, ops = std::move(ops), first, finish] {
-        return server->handle_op_batch(gtx, options, epoch, ops, first,
-                                       finish);
-      });
+  wire::OpBatchRequest req;
+  req.gtx = tx.id();
+  req.options = tx.options_;
+  req.epoch = tx.routing_->epoch;
+  req.ops = std::move(ops);
+  req.first_contact = first;
+  req.finish = finish;
+  return wire::call(cluster_->net(), index, req);
 }
 
 void DistClient::abort_on_batch_failure(DistTx& tx,
@@ -252,15 +253,13 @@ ReadResult DistClient::snapshot_read(DistTx& tx, const Key& key) {
     }
     bool leadership_in_doubt = false;
     for (const std::size_t target : order) {
-      ShardServer* server = &cluster_->server(target);
       rpc_messages_.fetch_add(1, std::memory_order_relaxed);
       batched_ops_.fetch_add(1, std::memory_order_relaxed);
-      const SnapshotReadReply reply = cluster_->net().call(
-          server->exec(),
-          [server, gtx = tx.id(), epoch = tx.routing_->epoch, key,
-           want = tx.snapshot_] {
-            return server->handle_snapshot_read(gtx, epoch, key, want);
-          });
+      const SnapshotReadReply reply =
+          wire::call(cluster_->net(), target,
+                     wire::SnapshotReadRequest{tx.id(), tx.routing_->epoch,
+                                               key, tx.snapshot_})
+              .get();
       if (reply.ok) {
         if (tx.snapshot_.is_min()) tx.snapshot_ = reply.snapshot;
         return reply.result;
@@ -346,7 +345,8 @@ bool DistClient::write(Tx& tx_base, const Key& key, Value value) {
 bool DistClient::flush(Tx& tx_base) {
   auto& tx = static_cast<DistTx&>(tx_base);
   if (!tx.is_active()) return false;
-  std::vector<std::pair<std::size_t, std::future<DistBatchReply>>> futures;
+  std::vector<std::pair<std::size_t, wire::ReplyFuture<wire::OpBatchRequest>>>
+      futures;
   for (const std::size_t group : tx.participants_) {
     auto& part = tx.parts_[group];
     if (part.pending.empty()) continue;
@@ -385,17 +385,17 @@ CommitRecord DistClient::commit_record_for(DistTx& tx, std::size_t group,
   return rec;
 }
 
-std::future<bool> DistClient::send_finalize_async(
+wire::ReplyFuture<wire::FinalizeRequest> DistClient::send_finalize_async(
     DistTx& tx, std::size_t target, const CommitDecision& decision,
     CommitRecord rec) {
-  ShardServer* server = &cluster_->server(target);
   rpc_messages_.fetch_add(1, std::memory_order_relaxed);
-  return cluster_->net().call_async(
-      server->exec(),
-      [server, gtx = tx.id(), decision, rec = std::move(rec)] {
-        return server->handle_finalize(
-            gtx, decision, AbortReason::kCoordinatorSuspected, &rec);
-      });
+  wire::FinalizeRequest req;
+  req.gtx = tx.id();
+  req.decision = decision;
+  req.abort_hint = AbortReason::kCoordinatorSuspected;
+  req.has_effects = true;
+  req.effects = std::move(rec);
+  return wire::call(cluster_->net(), target, req);
 }
 
 bool DistClient::finalize_commit_on_group(DistTx& tx, std::size_t group,
@@ -411,7 +411,7 @@ bool DistClient::finalize_commit_on_group(DistTx& tx, std::size_t group,
     // option short of the deadline.
     std::this_thread::sleep_for(milliseconds{1});
     refresh_group_leader(group);
-    if (send_finalize_async(tx, leader_for(group), decision, rec).get()) {
+    if (send_finalize_async(tx, leader_for(group), decision, rec).get().ok) {
       return true;
     }
     if (steady_clock::now() > deadline) return false;
@@ -473,7 +473,8 @@ CommitResult DistClient::commit(Tx& tx_base) {
   // ops with the prepare folded into the same message (Algorithm 1
   // line 13, per server — each returns the timestamps it has locked
   // appropriately).
-  std::vector<std::pair<std::size_t, std::future<DistBatchReply>>> futures;
+  std::vector<std::pair<std::size_t, wire::ReplyFuture<wire::OpBatchRequest>>>
+      futures;
   futures.reserve(tx.participants_.size());
   for (const std::size_t group : tx.participants_) {
     std::vector<DistOp> ops = std::move(tx.parts_[group].pending);
@@ -569,7 +570,8 @@ CommitResult DistClient::commit(Tx& tx_base) {
   // committed — the register decided it and other groups have applied —
   // but that group's effects hinge on the documented double-fault
   // window (docs/ARCHITECTURE.md, "Known double-fault window").
-  std::vector<std::pair<std::size_t, std::future<bool>>> finalizes;
+  std::vector<std::pair<std::size_t, wire::ReplyFuture<wire::FinalizeRequest>>>
+      finalizes;
   finalizes.reserve(tx.participants_.size());
   for (const std::size_t group : tx.participants_) {
     finalizes.emplace_back(
@@ -577,7 +579,7 @@ CommitResult DistClient::commit(Tx& tx_base) {
                                    commit_record_for(tx, group, decided.ts)));
   }
   for (auto& [group, f] : finalizes) {
-    if (!f.get()) finalize_commit_on_group(tx, group, decided);
+    if (!f.get().ok) finalize_commit_on_group(tx, group, decided);
   }
   tx.state_ = DistTx::State::kCommitted;
   committed_txs_.fetch_add(1, std::memory_order_relaxed);
@@ -616,16 +618,15 @@ void DistClient::finish_abort(DistTx& tx, AbortReason reason,
 }
 
 void DistClient::broadcast_abort(const DistTx& tx, AbortReason reason) {
-  const CommitDecision decision = CommitDecision::aborted();
-  std::vector<std::future<bool>> futures;
+  wire::FinalizeRequest req;
+  req.gtx = tx.id();
+  req.decision = CommitDecision::aborted();
+  req.abort_hint = reason;
+  std::vector<wire::ReplyFuture<wire::FinalizeRequest>> futures;
   futures.reserve(tx.contacted_.size());
   for (const std::size_t idx : tx.contacted_) {
-    ShardServer* server = &cluster_->server(idx);
     rpc_messages_.fetch_add(1, std::memory_order_relaxed);
-    futures.push_back(cluster_->net().call_async(
-        server->exec(), [server, gtx = tx.id(), decision, reason] {
-          return server->handle_finalize(gtx, decision, reason);
-        }));
+    futures.push_back(wire::call(cluster_->net(), idx, req));
   }
   for (auto& f : futures) f.get();
 }
@@ -675,8 +676,15 @@ Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
       config_(std::move(config)),
       groups_(config_.servers == 0 ? 1 : config_.servers),
       rf_(config_.replication_factor == 0 ? 1 : config_.replication_factor),
-      clock_(config_.clock ? config_.clock : std::make_shared<SystemClock>()),
-      net_(config_.net, config_.seed, config_.net_lanes) {
+      clock_(config_.clock ? config_.clock : std::make_shared<SystemClock>()) {
+  TransportKind kind = config_.transport;
+  if (kind == TransportKind::kDefault) kind = transport_kind_from_env();
+  if (kind == TransportKind::kTcp) {
+    transport_ = std::make_unique<TcpTransport>();
+  } else {
+    transport_ = std::make_unique<SimTransport>(config_.net, config_.seed,
+                                                config_.net_lanes);
+  }
   const std::size_t total = groups_ * rf_;
   servers_.reserve(total);
   for (std::size_t i = 0; i < total; ++i) {
@@ -697,29 +705,35 @@ Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
       sc.members.push_back((i / rf_) * rf_ + r);
     }
     sc.floor_lag_ticks = config_.floor_lag_ticks;
-    servers_.push_back(std::make_unique<ShardServer>(std::move(sc), net_));
+    servers_.push_back(
+        std::make_unique<ShardServer>(std::move(sc), *transport_));
   }
 
+  // Bind every server to the transport (the frame → typed-handler seam),
+  // then open it for traffic — TCP binds its listeners here.
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    ShardServer* s = servers_[i].get();
+    transport_->bind(i, &s->exec(), [s](const std::string& frame) {
+      return s->handle_frame(frame);
+    });
+  }
+  transport_->start();
+
   acceptor_endpoints_.reserve(servers_.size());
-  for (auto& server : servers_) {
-    ShardServer* s = server.get();
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
     AcceptorEndpoint ep;
-    ep.prepare = [this, s](const std::string& decision, std::uint64_t ballot) {
-      return net_.call_async(s->exec(), [s, decision, ballot] {
-        return s->handle_paxos_prepare(decision, ballot);
-      });
+    ep.prepare = [this, i](const std::string& decision, std::uint64_t ballot) {
+      return wire::call_future(*transport_, i,
+                               wire::PaxosPrepareRequest{decision, ballot});
     };
-    ep.accept = [this, s](const std::string& decision, std::uint64_t ballot,
+    ep.accept = [this, i](const std::string& decision, std::uint64_t ballot,
                           const PaxosValue& value) {
-      return net_.call_async(s->exec(), [s, decision, ballot, value] {
-        return s->handle_paxos_accept(decision, ballot, value);
-      });
+      return wire::call_future(
+          *transport_, i, wire::PaxosAcceptRequest{decision, ballot, value});
     };
     acceptor_endpoints_.push_back(std::move(ep));
   }
-  for (auto& server : servers_) {
-    server->connect(acceptor_endpoints_, group_servers(server->group()));
-  }
+  for (auto& server : servers_) server->connect(acceptor_endpoints_);
   // Background activity (sweepers, group tickers) starts only after
   // every server is wired: a ticker beating a peer mid-connect would
   // race its group wiring.
@@ -741,12 +755,12 @@ Cluster::~Cluster() {
   // Stop every sweeper and group ticker before any server dies: a
   // sweeper or ticker mid-Paxos calls into its peers' executors.
   for (auto& server : servers_) server->disconnect();
-  // Then quiesce the network: net_ is declared before servers_ (so it is
-  // destroyed after them), and a live delivery lane posting into a
+  // Then quiesce the transport: it is declared before servers_ (so it is
+  // destroyed after them), and a live delivery thread posting into a
   // half-destroyed Executor is a use-after-free. No caller is in flight
   // by now — the background proposers above are joined, and clients must
   // not outlive the cluster.
-  net_.shutdown();
+  transport_->shutdown();
 }
 
 std::vector<ShardServer*> Cluster::group_servers(std::size_t g) {
@@ -791,12 +805,10 @@ void Cluster::start_ts_service(std::chrono::milliseconds period,
 void Cluster::stop_ts_service() { ts_service_.reset(); }
 
 StoreStats Cluster::stats() {
-  std::vector<std::future<StoreStats>> futures;
+  std::vector<wire::ReplyFuture<wire::StatsRequest>> futures;
   futures.reserve(servers_.size());
-  for (auto& server : servers_) {
-    ShardServer* s = server.get();
-    futures.push_back(
-        net_.call_async(s->exec(), [s] { return s->handle_stats(); }));
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    futures.push_back(wire::call(*transport_, i, wire::StatsRequest{}));
   }
   StoreStats total;
   for (auto& f : futures) {
@@ -810,19 +822,22 @@ StoreStats Cluster::stats() {
     total.leader_snapshot_reads += s.leader_snapshot_reads;
     total.max_backlog = std::max(total.max_backlog, s.max_backlog);
   }
+  // Wire volume is accounted centrally at the codec boundary — one pair
+  // of counters for all client→server and server→server traffic.
+  total.bytes_sent = transport_->bytes_sent();
+  total.bytes_received = transport_->bytes_received();
   return total;
 }
 
 std::size_t Cluster::purge_below(Timestamp horizon) {
-  std::vector<std::future<std::size_t>> futures;
+  std::vector<wire::ReplyFuture<wire::PurgeRequest>> futures;
   futures.reserve(servers_.size());
-  for (auto& server : servers_) {
-    ShardServer* s = server.get();
-    futures.push_back(net_.call_async(
-        s->exec(), [s, horizon] { return s->handle_purge(horizon); }));
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    futures.push_back(
+        wire::call(*transport_, i, wire::PurgeRequest{horizon}));
   }
   std::size_t purged = 0;
-  for (auto& f : futures) purged += f.get();
+  for (auto& f : futures) purged += f.get().purged;
   return purged;
 }
 
@@ -911,7 +926,7 @@ void Cluster::replication_barrier() {
         bool equal = true;
         for (ShardServer* s : members) {
           if (s == leader || s->crashed()) continue;
-          net_.call(s->exec(), [s] { return s->handle_repl_sync(); });
+          wire::call(*transport_, s->index(), wire::ReplSyncRequest{}).get();
           equal &= s->group_member()->log_length() >= len;
         }
         if (equal) break;
@@ -936,6 +951,27 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
   std::lock_guard guard(epoch_mu_);
   const std::uint64_t next = epochs_.size();
 
+  // A transport-level refusal (empty reply, reply.ok == false) must
+  // NEVER read as success inside a migration: a dropped export would
+  // otherwise be indistinguishable from "nothing to hand over" and the
+  // subsequent drop would discard the range for good. Retry briefly
+  // (the TCP transport reconnects on the next call), then fail the
+  // migration loudly — a frozen cluster is recoverable, lost keys are
+  // not. Crash-flagged servers still ack (fail-stop is handled inside
+  // the handlers), so this only trips on a genuinely dead wire.
+  const auto must_ack = [](auto&& rpc, const char* what) {
+    for (int attempt = 0;; ++attempt) {
+      auto reply = rpc();
+      if (reply.ok) return reply;
+      if (attempt >= 10) {
+        throw std::runtime_error(
+            std::string("advance_epoch: ") + what +
+            " kept failing at the transport; migration aborted");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    }
+  };
+
   // 1. Decide the new assignment through the configuration register —
   //    the durable, unique record of who owns what in epoch `next`. The
   //    migration below runs against the map the register DECIDED (decoded
@@ -952,17 +988,15 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
   }
 
   // 2. Bar the door: every server refuses op batches (old epoch or new)
-  //    until the migration commits.
-  {
-    std::vector<std::future<bool>> futures;
-    for (auto& server : servers_) {
-      ShardServer* s = server.get();
-      futures.push_back(net_.call_async(s->exec(), [s, next] {
-        s->handle_epoch_freeze(next);
-        return true;
-      }));
-    }
-    for (auto& f : futures) f.get();
+  //    until the migration commits. Every freeze must actually land —
+  //    an unfrozen server would keep serving the old epoch mid-move.
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    must_ack(
+        [&] {
+          return wire::call(*transport_, i, wire::EpochFreezeRequest{next})
+              .get();
+        },
+        "epoch freeze");
   }
 
   // 3. Drain in-flight transactions against the old epoch, then bring
@@ -1006,16 +1040,24 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
       }
     }
     ShardServer* leader = members[leader_rank];
-    std::vector<MigratedKey> exported = net_.call(
-        leader->exec(),
-        [leader, &adopted] { return leader->handle_export_keys(adopted); });
+    std::vector<MigratedKey> exported =
+        must_ack(
+            [&] {
+              return wire::call(*transport_, leader->index(),
+                                wire::ExportKeysRequest{adopted.boundaries()})
+                  .get();
+            },
+            "key export")
+            .keys;
     for (std::size_t r = 0; r < members.size(); ++r) {
       if (r == leader_rank) continue;
-      ShardServer* s = members[r];
-      net_.call(s->exec(), [s, &adopted] {
-        s->handle_drop_keys(adopted);
-        return true;
-      });
+      must_ack(
+          [&] {
+            return wire::call(*transport_, members[r]->index(),
+                              wire::DropKeysRequest{adopted.boundaries()})
+                .get();
+          },
+          "follower key drop");
     }
     for (MigratedKey& mk : exported) {
       imports[adopted.shard_of(mk.key)].push_back(std::move(mk));
@@ -1024,25 +1066,25 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
   for (std::size_t g = 0; g < groups_; ++g) {
     if (imports[g].empty()) continue;
     for (ShardServer* s : group_servers(g)) {
-      net_.call(s->exec(), [s, &batch = imports[g]] {
-        s->handle_import_keys(batch);
-        return true;
-      });
+      must_ack(
+          [&] {
+            return wire::call(*transport_, s->index(),
+                              wire::ImportKeysRequest{imports[g]})
+                .get();
+          },
+          "key import");
     }
   }
 
   // 5. Reopen under the new epoch and publish the routing for clients
   //    (existing clients adopt it on their first wrong_epoch reply).
-  {
-    std::vector<std::future<bool>> futures;
-    for (auto& server : servers_) {
-      ShardServer* s = server.get();
-      futures.push_back(net_.call_async(s->exec(), [s, next] {
-        s->handle_epoch_commit(next);
-        return true;
-      }));
-    }
-    for (auto& f : futures) f.get();
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    must_ack(
+        [&] {
+          return wire::call(*transport_, i, wire::EpochCommitRequest{next})
+              .get();
+        },
+        "epoch commit");
   }
   epochs_.push_back(decided);
   routing_ = make_routing(next, std::move(adopted));

@@ -57,7 +57,8 @@
 #include "core/transactional_store.hpp"
 #include "dist/commitment.hpp"
 #include "dist/shard.hpp"
-#include "net/simnet.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
 #include "sync/clock.hpp"
 #include "verify/history.hpp"
 
@@ -97,6 +98,13 @@ struct ClusterConfig {
   /// processing capacity (threads / task_cost requests per second).
   std::size_t server_threads = 4;
   std::chrono::microseconds server_task_cost{0};
+  /// Which transport carries the cluster's wire messages: the simulated
+  /// network (latency model + fault injection) or real loopback TCP
+  /// sockets (net/tcp.hpp). kDefault defers to the MVTL_TRANSPORT
+  /// environment variable, which is how CI re-runs the distributed
+  /// suites over sockets.
+  TransportKind transport = TransportKind::kDefault;
+  /// Simulated transport only: latency profile and delivery lanes.
   NetProfile net = NetProfile::local();
   std::size_t net_lanes = 8;
   /// MVTIL interval width Δ, in clock ticks (µs under the default clock).
@@ -181,9 +189,9 @@ class DistClient final : public TransactionalStore {
 
   /// Sends one op batch to participant group `group`'s pinned server,
   /// maintaining the first-contact bit and the message counters.
-  std::future<DistBatchReply> send_batch_async(DistTx& tx, std::size_t group,
-                                               std::vector<DistOp> ops,
-                                               BatchFinish finish);
+  wire::ReplyFuture<wire::OpBatchRequest> send_batch_async(
+      DistTx& tx, std::size_t group, std::vector<DistOp> ops,
+      BatchFinish finish);
 
   /// Classifies a failed batch reply into the abort it implies; refreshes
   /// the cached routing on an epoch mismatch and the leader cache on a
@@ -214,9 +222,9 @@ class DistClient final : public TransactionalStore {
   /// rebuilt from the client-side effect log, so it can be re-driven at
   /// a *new* leader after the pinned one died mid-finalize.
   CommitRecord commit_record_for(DistTx& tx, std::size_t group, Timestamp ts);
-  std::future<bool> send_finalize_async(DistTx& tx, std::size_t target,
-                                        const CommitDecision& decision,
-                                        CommitRecord rec);
+  wire::ReplyFuture<wire::FinalizeRequest> send_finalize_async(
+      DistTx& tx, std::size_t target, const CommitDecision& decision,
+      CommitRecord rec);
   /// Failure path of the finalize fan-out: chases the group's current
   /// leader until the commit record lands in its log (the
   /// no-lost-commits half of failover).
@@ -291,7 +299,9 @@ class Cluster {
   DistProtocol protocol() const { return protocol_; }
   const ClusterConfig& config() const { return config_; }
   const std::shared_ptr<ClockSource>& clock() const { return clock_; }
-  SimNetwork& net() { return net_; }
+  /// The transport carrying the cluster's wire messages (message/byte
+  /// counters; SimTransport additionally exposes fault injection).
+  Transport& net() { return *transport_; }
   /// Physical servers (= group_count() × replication_factor()).
   std::size_t server_count() const { return servers_.size(); }
   /// Shard groups (what the ShardMap partitions over).
@@ -319,7 +329,9 @@ class Cluster {
   std::size_t groups_ = 0;
   std::size_t rf_ = 1;
   std::shared_ptr<ClockSource> clock_;
-  SimNetwork net_;
+  /// Declared before servers_: endpoints must outlive no transport
+  /// thread, so the transport is shut down first and destroyed last.
+  std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<ShardServer>> servers_;
   std::vector<AcceptorEndpoint> acceptor_endpoints_;
   std::unique_ptr<DistClient> client_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/mvtl_tx.hpp"
+#include "net/wire.hpp"
 #include "txbench/workload.hpp"  // make_key: the canonical key encoding
 
 namespace mvtl {
@@ -76,12 +77,12 @@ std::future<T> ready(T value) {
 
 }  // namespace
 
-ShardServer::ShardServer(ShardServerConfig config, SimNetwork& net)
+ShardServer::ShardServer(ShardServerConfig config, Transport& transport)
     : config_(std::move(config)),
       engine_(config_.policy, engine_config(config_)),
       exec_(config_.threads, "srv" + std::to_string(config_.index),
             config_.task_cost),
-      net_(&net) {}
+      transport_(&transport) {}
 
 ShardServer::~ShardServer() {
   // Stop suspecting/replicating before the engine (and its store) go
@@ -95,25 +96,25 @@ ShardServer::~ShardServer() {
   exec_.shutdown();
 }
 
-void ShardServer::connect(std::vector<AcceptorEndpoint> acceptors,
-                          std::vector<ShardServer*> group_peers) {
+void ShardServer::connect(std::vector<AcceptorEndpoint> acceptors) {
   peers_ = std::move(acceptors);
-  group_peers_ = std::move(group_peers);
-  if (group_peers_.empty()) group_peers_ = {this};
+  std::vector<std::size_t> members = config_.members;
+  if (members.empty()) members = {config_.index};
 
   GroupMemberConfig gc;
   gc.group = config_.group;
-  gc.members = group_peers_.size();
+  gc.members = members.size();
   gc.rank = config_.rank;
   gc.suspect_timeout = config_.suspect_timeout;
   gc.floor_lag_ticks = config_.floor_lag_ticks;
   gc.clock = config_.clock;
 
   GroupTransport transport;
-  transport.acceptors.reserve(group_peers_.size());
-  for (ShardServer* peer : group_peers_) {
+  transport.acceptors.reserve(members.size());
+  for (std::size_t rank = 0; rank < members.size(); ++rank) {
+    const std::size_t peer = members[rank];
     AcceptorEndpoint ep;
-    if (peer == this) {
+    if (rank == config_.rank) {
       // The self acceptor is a direct in-memory call: an executor thread
       // driving a log append must never wait on its own pool.
       ep.prepare = [this](const std::string& d, std::uint64_t b) {
@@ -127,35 +128,31 @@ void ShardServer::connect(std::vector<AcceptorEndpoint> acceptors,
       };
     } else {
       ep.prepare = [this, peer](const std::string& d, std::uint64_t b) {
-        return net_->call_async(
-            peer->exec(),
-            [peer, d, b] { return peer->handle_paxos_prepare(d, b); },
-            &exec_);
+        return wire::call_future(*transport_, peer,
+                                 wire::PaxosPrepareRequest{d, b}, &exec_);
       };
       ep.accept = [this, peer](const std::string& d, std::uint64_t b,
                                const PaxosValue& v) {
-        return net_->call_async(
-            peer->exec(),
-            [peer, d, b, v] { return peer->handle_paxos_accept(d, b, v); },
-            &exec_);
+        return wire::call_future(*transport_, peer,
+                                 wire::PaxosAcceptRequest{d, b, v}, &exec_);
       };
     }
     transport.acceptors.push_back(std::move(ep));
   }
-  transport.send_beat = [this](std::size_t rank, const GroupBeat& beat) {
-    if (rank >= group_peers_.size()) return;
-    ShardServer* peer = group_peers_[rank];
-    if (peer == this) return;
-    net_->cast(
-        peer->exec(), [peer, beat] { peer->handle_group_beat(beat); }, &exec_);
+  transport.send_beat = [this, members](std::size_t rank,
+                                        const GroupBeat& beat) {
+    if (rank >= members.size() || rank == config_.rank) return;
+    wire::send_msg(*transport_, members[rank], wire::GroupBeatMsg{beat},
+                   &exec_);
   };
-  transport.fetch = [this](std::size_t rank, std::uint64_t from) {
-    if (rank >= group_peers_.size()) return std::vector<PaxosValue>{};
-    ShardServer* peer = group_peers_[rank];
-    if (peer == this) return std::vector<PaxosValue>{};
-    return net_->call(
-        peer->exec(), [peer, from] { return peer->handle_log_fetch(from); },
-        &exec_);
+  transport.fetch = [this, members](std::size_t rank, std::uint64_t from) {
+    if (rank >= members.size() || rank == config_.rank) {
+      return std::vector<PaxosValue>{};
+    }
+    return wire::call(*transport_, members[rank],
+                      wire::LogFetchRequest{from}, &exec_)
+        .get()
+        .entries;
   };
   transport.crashed = [this] { return crashed(); };
 
@@ -202,6 +199,105 @@ std::shared_ptr<ShardServer::TxEntry> ShardServer::find_entry(
 void ShardServer::erase_entry(TxId gtx) {
   std::lock_guard guard(tx_mu_);
   txs_.erase(gtx);
+}
+
+std::string ShardServer::handle_frame(const std::string& frame) {
+  using namespace wire;
+  switch (peek_type(frame)) {
+    case MsgType::kOpBatch: {
+      OpBatchRequest req;
+      if (!decode(frame, &req)) return {};
+      return encode_reply(handle_op_batch(req.gtx, req.options, req.epoch,
+                                          req.ops, req.first_contact,
+                                          req.finish));
+    }
+    case MsgType::kFinalize: {
+      FinalizeRequest req;
+      if (!decode(frame, &req)) return {};
+      return encode_reply(AckReply{handle_finalize(
+          req.gtx, req.decision, req.abort_hint,
+          req.has_effects ? &req.effects : nullptr)});
+    }
+    case MsgType::kSnapshotRead: {
+      SnapshotReadRequest req;
+      if (!decode(frame, &req)) return {};
+      return encode_reply(
+          handle_snapshot_read(req.gtx, req.epoch, req.key, req.want));
+    }
+    case MsgType::kGroupBeat: {
+      GroupBeatMsg msg;
+      if (decode(frame, &msg)) handle_group_beat(msg.beat);
+      return {};  // one-way
+    }
+    case MsgType::kLogFetch: {
+      LogFetchRequest req;
+      if (!decode(frame, &req)) return {};
+      return encode_reply(LogEntriesReply{handle_log_fetch(req.from)});
+    }
+    case MsgType::kGroupInfo: {
+      GroupInfoRequest req;
+      if (!decode(frame, &req)) return {};
+      return encode_reply(handle_group_info());
+    }
+    case MsgType::kReplSync: {
+      ReplSyncRequest req;
+      if (!decode(frame, &req)) return {};
+      return encode_reply(AckReply{handle_repl_sync()});
+    }
+    case MsgType::kStats: {
+      StatsRequest req;
+      if (!decode(frame, &req)) return {};
+      return encode_reply(handle_stats());
+    }
+    case MsgType::kPurge: {
+      PurgeRequest req;
+      if (!decode(frame, &req)) return {};
+      return encode_reply(PurgeReply{handle_purge(req.horizon)});
+    }
+    case MsgType::kPaxosPrepare: {
+      PaxosPrepareRequest req;
+      if (!decode(frame, &req)) return {};
+      return encode_reply(handle_paxos_prepare(req.decision, req.ballot));
+    }
+    case MsgType::kPaxosAccept: {
+      PaxosAcceptRequest req;
+      if (!decode(frame, &req)) return {};
+      return encode_reply(
+          handle_paxos_accept(req.decision, req.ballot, req.value));
+    }
+    case MsgType::kEpochFreeze: {
+      EpochFreezeRequest req;
+      if (!decode(frame, &req)) return {};
+      handle_epoch_freeze(req.next_epoch);
+      return encode_reply(AckReply{true});
+    }
+    case MsgType::kExportKeys: {
+      ExportKeysRequest req;
+      if (!decode(frame, &req)) return {};
+      return encode_reply(MigratedKeysReply{
+          true, handle_export_keys(ShardMap(std::move(req.boundaries)))});
+    }
+    case MsgType::kDropKeys: {
+      DropKeysRequest req;
+      if (!decode(frame, &req)) return {};
+      handle_drop_keys(ShardMap(std::move(req.boundaries)));
+      return encode_reply(AckReply{true});
+    }
+    case MsgType::kImportKeys: {
+      ImportKeysRequest req;
+      if (!decode(frame, &req)) return {};
+      handle_import_keys(req.keys);
+      return encode_reply(AckReply{true});
+    }
+    case MsgType::kEpochCommit: {
+      EpochCommitRequest req;
+      if (!decode(frame, &req)) return {};
+      handle_epoch_commit(req.next_epoch);
+      return encode_reply(AckReply{true});
+    }
+    default:
+      return {};
+  }
 }
 
 DistBatchReply ShardServer::handle_op_batch(TxId gtx, const TxOptions& options,

@@ -10,7 +10,10 @@
 // table, and the suspicion sweeper that cleans up after crashed
 // coordinators through the commitment objects.
 //
-// Wire messages (everything that crosses the simulated network):
+// Wire messages (everything that crosses the network — each of these is
+// a typed request struct in net/wire.hpp, serialized by the shared
+// binary codec and carried by whichever Transport the cluster runs,
+// simulated or TCP; handle_frame() is the decode-and-dispatch entry):
 //
 //   * handle_op_batch  — the workhorse RPC: a transaction's buffered
 //     reads/writes for this server, shipped as ONE message, optionally
@@ -53,7 +56,7 @@
 #include "core/mvtl_engine.hpp"
 #include "dist/commitment.hpp"
 #include "dist/paxos.hpp"
-#include "net/simnet.hpp"
+#include "net/transport.hpp"
 #include "repl/group.hpp"
 #include "repl/log.hpp"
 
@@ -193,11 +196,12 @@ struct ShardServerConfig {
 };
 
 /// One server of the distributed MVTIL cluster. All handle_* methods run
-/// on exec() via SimNetwork::call; the sweeper runs on its own thread and
-/// talks to the other servers' acceptors over the network.
+/// on exec(), reached through handle_frame() when a request arrives over
+/// the transport (tests may call them directly); the sweeper runs on its
+/// own thread and talks to the other servers' acceptors over the network.
 class ShardServer {
  public:
-  ShardServer(ShardServerConfig config, SimNetwork& net);
+  ShardServer(ShardServerConfig config, Transport& transport);
   ~ShardServer();
 
   ShardServer(const ShardServer&) = delete;
@@ -208,11 +212,11 @@ class ShardServer {
   std::size_t group() const { return config_.group; }
 
   /// Wires the cluster-wide acceptor endpoints (one per server, including
-  /// this one, reached over the network) plus the replica group's peers
-  /// (rank order, aligned with config.members). Called once by the
-  /// Cluster after every server exists; starts nothing.
-  void connect(std::vector<AcceptorEndpoint> acceptors,
-               std::vector<ShardServer*> group_peers);
+  /// this one, reached over the network); the replica group's peers are
+  /// reached through the transport by the server indices in
+  /// config.members. Called once by the Cluster after every server is
+  /// bound to the transport; starts nothing.
+  void connect(std::vector<AcceptorEndpoint> acceptors);
 
   /// Starts the suspicion sweeper and the group ticker. Called by the
   /// Cluster only after *every* server is connected — a ticker beating a
@@ -234,6 +238,12 @@ class ShardServer {
   /// a dead machine behind connections that reset.
   void crash() { crashed_.store(true, std::memory_order_release); }
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  /// The transport-facing entry: decodes a wire frame, dispatches to the
+  /// matching typed handler below, returns the encoded reply (empty for
+  /// one-way messages and undecodable frames — the caller reads that as
+  /// a refusal).
+  std::string handle_frame(const std::string& frame);
 
   // --- request handlers ---------------------------------------------------
   /// The batched op RPC: runs `ops` in order on the transaction's
@@ -411,10 +421,9 @@ class ShardServer {
   ShardServerConfig config_;
   MvtlEngine engine_;
   Executor exec_;
-  SimNetwork* net_;
+  Transport* transport_;
   AcceptorTable acceptors_;
   std::vector<AcceptorEndpoint> peers_;
-  std::vector<ShardServer*> group_peers_;
   std::unique_ptr<GroupMember> group_;
 
   mutable std::mutex tx_mu_;

@@ -1,0 +1,469 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mvtl {
+namespace {
+
+constexpr std::uint8_t kFrameRequest = 0;
+constexpr std::uint8_t kFrameReply = 1;
+constexpr std::uint8_t kFrameOneWay = 2;
+
+/// kind + request id; the u32 length prefix counts from here.
+constexpr std::size_t kFrameHeader = 1 + 8;
+/// Backstop against malformed length prefixes (no real frame is close).
+constexpr std::uint32_t kMaxFrameLen = 256u << 20;
+/// Largest payload a sender accepts — anything bigger would be killed
+/// by the receiver's kMaxFrameLen check (and past 2^32 the u32 length
+/// prefix would wrap and desync the stream), so refuse it here, per
+/// call, without poisoning the shared connection.
+constexpr std::size_t kMaxPayload = kMaxFrameLen - (1 + 8);
+
+void put_u32_le(char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+std::uint32_t get_u32_le(const char* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void put_u64_le(char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+std::uint64_t get_u64_le(const char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::future<std::string> refused_future() {
+  std::promise<std::string> p;
+  p.set_value({});
+  return p.get_future();
+}
+
+}  // namespace
+
+/// One TCP connection (either direction). Sockets are non-blocking; only
+/// the reactor reads, any thread may write (under write_mu). The fd is
+/// closed by the destructor only — everyone else just ::shutdown()s it —
+/// so an executor task holding the Conn can never write into a recycled
+/// descriptor.
+struct TcpTransport::Conn {
+  explicit Conn(int fd_in) : fd(fd_in) {}
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  int fd = -1;
+  /// Local endpoint an accepted connection serves requests for; npos on
+  /// outbound connections.
+  std::size_t endpoint = static_cast<std::size_t>(-1);
+  std::atomic<bool> dead{false};
+
+  std::mutex write_mu;
+  std::string rbuf;  // reactor-only
+
+  std::mutex pending_mu;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<std::promise<std::string>>>
+      pending;
+};
+
+TcpTransport::TcpTransport(TcpTransportConfig config)
+    : config_(std::move(config)) {}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::bind(std::size_t index, Executor* exec,
+                        WireHandler handler) {
+  std::lock_guard guard(mu_);
+  if (started_) return;  // endpoints are fixed once traffic starts
+  if (index >= endpoints_.size()) endpoints_.resize(index + 1);
+  endpoints_[index].exec = exec;
+  endpoints_[index].handler = std::move(handler);
+}
+
+void TcpTransport::peer_address(std::size_t index, const std::string& host,
+                                std::uint16_t port) {
+  std::lock_guard guard(mu_);
+  remote_[index] = {host, port};
+}
+
+void TcpTransport::start() {
+  std::lock_guard guard(mu_);
+  if (started_ || shut_down_) return;
+  started_ = true;
+  for (Endpoint& ep : endpoints_) {
+    if (ep.exec == nullptr) continue;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;  // ephemeral
+    ::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 128) != 0) {
+      ::close(fd);
+      continue;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    set_nonblocking(fd);
+    ep.listen_fd = fd;
+    ep.port = ntohs(addr.sin_port);
+  }
+  if (::pipe(wake_pipe_) == 0) {
+    set_nonblocking(wake_pipe_[0]);
+    set_nonblocking(wake_pipe_[1]);
+  }
+  reactor_ = std::thread([this] { reactor_loop(); });
+}
+
+std::uint16_t TcpTransport::endpoint_port(std::size_t index) const {
+  std::lock_guard guard(mu_);
+  return index < endpoints_.size() ? endpoints_[index].port : 0;
+}
+
+void TcpTransport::wake() {
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+std::shared_ptr<TcpTransport::Conn> TcpTransport::connect_to(
+    const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  return std::make_shared<Conn>(fd);
+}
+
+std::shared_ptr<TcpTransport::Conn> TcpTransport::outbound(std::size_t to) {
+  std::string host = config_.host;
+  std::uint16_t port = 0;
+  {
+    std::lock_guard guard(mu_);
+    if (!started_ || shut_down_ ||
+        stopping_.load(std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    auto it = outbound_.find(to);
+    if (it != outbound_.end() &&
+        !it->second->dead.load(std::memory_order_acquire)) {
+      return it->second;
+    }
+    if (auto remote = remote_.find(to); remote != remote_.end()) {
+      host = remote->second.first;
+      port = remote->second.second;
+    } else if (to < endpoints_.size()) {
+      port = endpoints_[to].port;
+    }
+  }
+  if (port == 0) return nullptr;
+  // Connect WITHOUT the transport lock: a blocking connect to an
+  // unreachable remote peer may stall for the kernel's SYN timeout, and
+  // the reactor (and every caller to every other endpoint) takes mu_.
+  std::shared_ptr<Conn> conn = connect_to(host, port);
+  if (conn == nullptr) return nullptr;
+  {
+    std::lock_guard guard(mu_);
+    if (shut_down_ || stopping_.load(std::memory_order_relaxed)) {
+      return nullptr;  // conn's destructor closes the socket
+    }
+    auto it = outbound_.find(to);
+    if (it != outbound_.end() &&
+        !it->second->dead.load(std::memory_order_acquire)) {
+      return it->second;  // raced another caller: use theirs, drop ours
+    }
+    outbound_[to] = conn;
+    conns_.push_back(conn);
+  }
+  wake();
+  return conn;
+}
+
+bool TcpTransport::write_frame(Conn& conn, std::uint8_t kind,
+                               std::uint64_t id, const std::string& payload) {
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(kFrameHeader + payload.size());
+  std::string buf(4 + kFrameHeader, '\0');
+  put_u32_le(buf.data(), len);
+  buf[4] = static_cast<char>(kind);
+  put_u64_le(buf.data() + 5, id);
+  buf += payload;
+
+  std::lock_guard guard(conn.write_mu);
+  if (conn.dead.load(std::memory_order_acquire)) return false;
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const auto n =
+        ::send(conn.fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Backpressure on a non-blocking socket: wait for writability.
+      pollfd pfd{conn.fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, 5'000) <= 0) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void TcpTransport::fail_conn(const std::shared_ptr<Conn>& conn) {
+  if (conn->dead.exchange(true, std::memory_order_acq_rel)) return;
+  ::shutdown(conn->fd, SHUT_RDWR);
+  std::unordered_map<std::uint64_t, std::shared_ptr<std::promise<std::string>>>
+      pending;
+  {
+    std::lock_guard guard(conn->pending_mu);
+    pending.swap(conn->pending);
+  }
+  for (auto& [id, promise] : pending) promise->set_value({});
+  {
+    std::lock_guard guard(mu_);
+    for (auto it = outbound_.begin(); it != outbound_.end(); ++it) {
+      if (it->second == conn) {
+        outbound_.erase(it);
+        break;
+      }
+    }
+  }
+  wake();
+}
+
+std::future<std::string> TcpTransport::call_async(std::size_t to,
+                                                  std::string frame,
+                                                  const void* from) {
+  (void)from;  // connections identify senders
+  if (frame.size() > kMaxPayload) return refused_future();
+  const std::shared_ptr<Conn> conn = outbound(to);
+  if (conn == nullptr) return refused_future();
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> fut = promise->get_future();
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard guard(conn->pending_mu);
+    if (conn->dead.load(std::memory_order_acquire)) {
+      promise->set_value({});
+      return fut;
+    }
+    conn->pending.emplace(id, promise);
+  }
+  requests_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (!write_frame(*conn, kFrameRequest, id, frame)) fail_conn(conn);
+  return fut;
+}
+
+void TcpTransport::send(std::size_t to, std::string frame, const void* from) {
+  (void)from;
+  if (frame.size() > kMaxPayload) return;
+  const std::shared_ptr<Conn> conn = outbound(to);
+  if (conn == nullptr) return;
+  requests_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (!write_frame(*conn, kFrameOneWay, 0, frame)) fail_conn(conn);
+}
+
+void TcpTransport::dispatch(const std::shared_ptr<Conn>& conn,
+                            std::uint8_t kind, std::uint64_t id,
+                            std::string payload) {
+  if (kind == kFrameReply) {
+    std::shared_ptr<std::promise<std::string>> promise;
+    {
+      std::lock_guard guard(conn->pending_mu);
+      auto it = conn->pending.find(id);
+      if (it != conn->pending.end()) {
+        promise = std::move(it->second);
+        conn->pending.erase(it);
+      }
+    }
+    if (promise != nullptr) promise->set_value(std::move(payload));
+    return;
+  }
+  // Request / one-way: run the endpoint's handler on its executor and
+  // (for requests) write the reply back on this connection. endpoints_
+  // is immutable after start(), so the handler address is stable.
+  Endpoint* ep = conn->endpoint < endpoints_.size()
+                     ? &endpoints_[conn->endpoint]
+                     : nullptr;
+  if (ep == nullptr || ep->exec == nullptr) {
+    if (kind == kFrameRequest) write_frame(*conn, kFrameReply, id, {});
+    return;
+  }
+  ep->exec->post([conn, handler = &ep->handler, kind, id,
+                  payload = std::move(payload)] {
+    std::string reply = (*handler)(payload);
+    if (kind == kFrameRequest) {
+      write_frame(*conn, kFrameReply, id, reply);
+    }
+  });
+}
+
+void TcpTransport::on_readable(const std::shared_ptr<Conn>& conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    const auto n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->rbuf.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    fail_conn(conn);  // EOF or error: the peer is gone
+    return;
+  }
+  std::size_t pos = 0;
+  while (conn->rbuf.size() - pos >= 4) {
+    const std::uint32_t len = get_u32_le(conn->rbuf.data() + pos);
+    if (len < kFrameHeader || len > kMaxFrameLen) {
+      fail_conn(conn);
+      return;
+    }
+    if (conn->rbuf.size() - pos < 4 + len) break;
+    const char* frame = conn->rbuf.data() + pos + 4;
+    const auto kind = static_cast<std::uint8_t>(frame[0]);
+    const std::uint64_t id = get_u64_le(frame + 1);
+    std::string payload(frame + kFrameHeader, len - kFrameHeader);
+    dispatch(conn, kind, id, std::move(payload));
+    pos += 4 + len;
+  }
+  if (pos > 0) conn->rbuf.erase(0, pos);
+}
+
+void TcpTransport::reactor_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> listener_of;  // endpoint index per listener pfd
+    std::vector<std::shared_ptr<Conn>> live;
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    {
+      std::lock_guard guard(mu_);
+      for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+        if (endpoints_[i].listen_fd < 0) continue;
+        pfds.push_back({endpoints_[i].listen_fd, POLLIN, 0});
+        listener_of.push_back(i);
+      }
+      // Sweep dead connections out while we hold the lock; their fds
+      // close when the last task holding them lets go.
+      std::vector<std::shared_ptr<Conn>> kept;
+      kept.reserve(conns_.size());
+      for (auto& conn : conns_) {
+        if (conn->dead.load(std::memory_order_acquire)) continue;
+        kept.push_back(conn);
+      }
+      conns_.swap(kept);
+      live = conns_;
+    }
+    for (const auto& conn : live) pfds.push_back({conn->fd, POLLIN, 0});
+
+    if (::poll(pfds.data(), pfds.size(), 50) < 0 && errno != EINTR) break;
+
+    std::size_t idx = 0;
+    if (pfds[idx].revents & POLLIN) {
+      char drain[256];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    ++idx;
+    for (std::size_t l = 0; l < listener_of.size(); ++l, ++idx) {
+      if (!(pfds[idx].revents & POLLIN)) continue;
+      for (;;) {
+        const int fd = ::accept(pfds[idx].fd, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        set_nodelay(fd);
+        auto conn = std::make_shared<Conn>(fd);
+        conn->endpoint = listener_of[l];
+        std::lock_guard guard(mu_);
+        conns_.push_back(std::move(conn));
+      }
+    }
+    for (std::size_t c = 0; c < live.size(); ++c, ++idx) {
+      const auto& conn = live[c];
+      if (conn->dead.load(std::memory_order_acquire)) continue;
+      if (pfds[idx].revents & (POLLIN | POLLHUP | POLLERR)) {
+        on_readable(conn);
+      }
+    }
+  }
+}
+
+void TcpTransport::shutdown() {
+  {
+    std::lock_guard guard(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  wake();
+  if (reactor_.joinable()) reactor_.join();
+
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard guard(mu_);
+    conns.swap(conns_);
+    outbound_.clear();
+    for (Endpoint& ep : endpoints_) {
+      if (ep.listen_fd >= 0) {
+        ::close(ep.listen_fd);
+        ep.listen_fd = -1;
+      }
+      ep.port = 0;
+    }
+  }
+  for (const auto& conn : conns) fail_conn(conn);
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) {
+      ::close(wake_pipe_[i]);
+      wake_pipe_[i] = -1;
+    }
+  }
+}
+
+}  // namespace mvtl

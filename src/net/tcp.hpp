@@ -1,0 +1,125 @@
+// Real-socket transport: loopback/LAN TCP behind the Transport seam.
+//
+// Frames are length-prefixed on the wire:
+//
+//   [u32 frame length][u8 kind][u64 request id][payload]
+//
+// with kind ∈ {request, reply, one-way} and the payload an encoded wire
+// message (net/wire.hpp). Each local endpoint listens on its own
+// 127.0.0.1 socket (ephemeral port by default); outbound traffic uses
+// one connection per target endpoint, shared by every caller, with
+// request ids multiplexing any number of pipelined in-flight RPCs. A
+// single poll() reactor thread accepts, reads and dispatches for every
+// socket; handlers run on the endpoint's Executor and write their reply
+// frame back on the connection the request arrived on.
+//
+// Failure mapping: a dead/unreachable peer (connect refused, connection
+// reset, transport shut down) completes every affected caller's future
+// with an EMPTY frame — decoded by the wire layer as a default-
+// constructed refusal, the same path a SimNetwork drop takes — and the
+// connection is forgotten, so the next call attempts a fresh connect
+// (reconnect). Nothing ever wedges on a dead peer.
+//
+// Endpoints hosted by *another* TcpTransport (another process, another
+// machine) are reached through peer_address(): the cluster stays
+// single-transport today, but the seam — and the tests — exercise the
+// cross-instance path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace mvtl {
+
+struct TcpTransportConfig {
+  /// Address local endpoints bind (and peers connect) to.
+  std::string host = "127.0.0.1";
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportConfig config = {});
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  void bind(std::size_t index, Executor* exec, WireHandler handler) override;
+
+  /// Names a remote endpoint served by another TcpTransport instance.
+  /// Local endpoints need no entry; a remote entry wins over a local
+  /// endpoint of the same index. Call before start().
+  void peer_address(std::size_t index, const std::string& host,
+                    std::uint16_t port);
+
+  /// Binds one listener per local endpoint and starts the reactor.
+  void start() override;
+
+  std::future<std::string> call_async(std::size_t to, std::string frame,
+                                      const void* from) override;
+  void send(std::size_t to, std::string frame, const void* from) override;
+
+  /// Closes every socket, fails pending calls with an empty frame and
+  /// joins the reactor. Idempotent.
+  void shutdown() override;
+
+  std::uint64_t requests_sent() const override {
+    return requests_sent_.load(std::memory_order_relaxed);
+  }
+
+  /// Listening port of local endpoint `index` (0 = not bound/started).
+  std::uint16_t endpoint_port(std::size_t index) const;
+
+ private:
+  struct Conn;
+  struct Endpoint {
+    Executor* exec = nullptr;
+    WireHandler handler;
+    int listen_fd = -1;
+    std::uint16_t port = 0;
+  };
+
+  void reactor_loop();
+  void wake();
+  /// Outbound connection to `to`, connecting (or reconnecting) if
+  /// needed; nullptr when the peer is unreachable.
+  std::shared_ptr<Conn> outbound(std::size_t to);
+  std::shared_ptr<Conn> connect_to(const std::string& host,
+                                   std::uint16_t port);
+  /// Marks `conn` dead: closes the socket, completes every pending call
+  /// with an empty frame, forgets it as an outbound route.
+  void fail_conn(const std::shared_ptr<Conn>& conn);
+  /// Drains readable bytes and dispatches every complete frame.
+  void on_readable(const std::shared_ptr<Conn>& conn);
+  void dispatch(const std::shared_ptr<Conn>& conn, std::uint8_t kind,
+                std::uint64_t id, std::string payload);
+  static bool write_frame(Conn& conn, std::uint8_t kind, std::uint64_t id,
+                          const std::string& payload);
+
+  TcpTransportConfig config_;
+
+  mutable std::mutex mu_;
+  std::vector<Endpoint> endpoints_;
+  std::unordered_map<std::size_t, std::pair<std::string, std::uint16_t>>
+      remote_;
+  std::unordered_map<std::size_t, std::shared_ptr<Conn>> outbound_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  bool started_ = false;
+  bool shut_down_ = false;
+
+  int wake_pipe_[2] = {-1, -1};
+  std::thread reactor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_sent_{0};
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+}  // namespace mvtl

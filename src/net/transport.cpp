@@ -1,0 +1,28 @@
+#include "net/transport.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mvtl {
+
+const char* transport_kind_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kDefault:
+      return "default";
+    case TransportKind::kSim:
+      return "sim";
+    case TransportKind::kTcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+TransportKind transport_kind_from_env() {
+  const char* env = std::getenv("MVTL_TRANSPORT");
+  if (env != nullptr && std::strcmp(env, "tcp") == 0) {
+    return TransportKind::kTcp;
+  }
+  return TransportKind::kSim;
+}
+
+}  // namespace mvtl

@@ -1,0 +1,172 @@
+// The pluggable transport seam of the distributed layer.
+//
+// Everything that crosses "the network" in dist/ and repl/ is a typed
+// wire message (net/wire.hpp) serialized to an opaque frame; a Transport
+// moves frames between endpoints. Two implementations exist:
+//
+//   * SimTransport — the simulated network (net/simnet.hpp) behind the
+//     seam: sampled latencies, delivery lanes, fault injection and the
+//     message counters, byte-for-byte the pre-seam behaviour. Frames are
+//     still encoded/decoded, so wire costs are measured identically to
+//     the socket transport.
+//   * TcpTransport (net/tcp.hpp) — real loopback/LAN TCP sockets:
+//     length-prefixed frames, per-peer connections with reconnect, a
+//     small poll() reactor thread. Peer death completes callers' futures
+//     with an empty frame, which decodes as a default-constructed
+//     refusal — the same path SimNetwork's drop_next takes.
+//
+// Endpoints are small integers (the cluster's server indices). A request
+// addressed to endpoint `i` runs that endpoint's WireHandler on its
+// Executor and the encoded reply travels back; an unreachable endpoint
+// yields an empty reply frame. `from` names the sending endpoint for the
+// simulator's per-link fault injection (nullptr = the client side); the
+// socket transport ignores it (connections identify senders).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <string>
+
+#include "net/simnet.hpp"
+
+namespace mvtl {
+
+/// Which Transport a Cluster runs its wire messages over.
+enum class TransportKind {
+  kDefault,  ///< sim, unless the MVTL_TRANSPORT env var says otherwise
+  kSim,      ///< SimNetwork (latency model + fault injection)
+  kTcp,      ///< real TCP sockets on loopback/LAN (net/tcp.hpp)
+};
+
+const char* transport_kind_name(TransportKind kind);
+
+/// Resolves kDefault: the MVTL_TRANSPORT environment variable ("tcp" or
+/// "sim"; unset/anything else = sim). This is how CI runs the dist/repl
+/// suites a second time over real sockets without touching the tests.
+TransportKind transport_kind_from_env();
+
+/// One endpoint's serialized request handler: decodes the frame,
+/// dispatches to the typed handler, returns the encoded reply (empty for
+/// one-way messages and undecodable frames).
+using WireHandler = std::function<std::string(const std::string&)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers endpoint `index`: request frames addressed to it run
+  /// `handler` on `exec`. All endpoints are bound before start().
+  virtual void bind(std::size_t index, Executor* exec,
+                    WireHandler handler) = 0;
+
+  /// Opens the transport for traffic (TCP: listeners + reactor thread).
+  virtual void start() {}
+
+  /// Asynchronous RPC: ships `frame` to endpoint `to`, completes the
+  /// future with the encoded reply — or with an empty frame when the
+  /// endpoint is unreachable (dropped message, dead peer, unbound
+  /// index), which every reply decoder reads as a default-constructed
+  /// refusal. Callers never wedge on a dead peer.
+  virtual std::future<std::string> call_async(std::size_t to,
+                                              std::string frame,
+                                              const void* from) = 0;
+
+  /// One-way message; dropped frames vanish.
+  virtual void send(std::size_t to, std::string frame, const void* from) = 0;
+
+  /// Stops delivery and joins the transport's threads, completing every
+  /// pending call with an empty frame. Idempotent; destructors call it.
+  virtual void shutdown() = 0;
+
+  /// Request/one-way frames shipped so far (replies are not counted) —
+  /// the counter the batching tests and the messages-per-committed-tx
+  /// bench panels diff. Identical across transports by construction.
+  virtual std::uint64_t requests_sent() const = 0;
+
+  /// Messages discarded by fault injection (sim only).
+  virtual std::uint64_t dropped() const { return 0; }
+
+  // --- codec-boundary byte accounting ------------------------------------
+  // Counted by the typed wire helpers on the *encoded message* bytes —
+  // before any transport-level framing — so SimTransport and TcpTransport
+  // report identical figures for identical traffic.
+  void note_sent(std::size_t bytes) {
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void note_received(std::size_t bytes) {
+    bytes_received_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+};
+
+/// The simulated network behind the Transport seam. Latency profiles,
+/// delivery lanes, fault injection and message counters are SimNetwork's,
+/// unchanged; this class only maps endpoint indices to executors and runs
+/// each endpoint's WireHandler where the closure used to run.
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(NetProfile profile, std::uint64_t seed = 1,
+                        std::size_t lanes = 16)
+      : net_(profile, seed, lanes) {}
+
+  /// The underlying simulator (fault injection, latency sampling).
+  SimNetwork& net() { return net_; }
+
+  void bind(std::size_t index, Executor* exec, WireHandler handler) override {
+    if (index >= endpoints_.size()) endpoints_.resize(index + 1);
+    endpoints_[index] = Endpoint{exec, std::move(handler)};
+  }
+
+  std::future<std::string> call_async(std::size_t to, std::string frame,
+                                      const void* from) override {
+    if (to >= endpoints_.size() || endpoints_[to].exec == nullptr) {
+      std::promise<std::string> p;
+      p.set_value({});
+      return p.get_future();
+    }
+    Endpoint& ep = endpoints_[to];
+    return net_.call_async(
+        *ep.exec, [h = &ep.handler, f = std::move(frame)] { return (*h)(f); },
+        from);
+  }
+
+  void send(std::size_t to, std::string frame, const void* from) override {
+    if (to >= endpoints_.size() || endpoints_[to].exec == nullptr) return;
+    Endpoint& ep = endpoints_[to];
+    net_.send_to(
+        *ep.exec, [h = &ep.handler, f = std::move(frame)] { (*h)(f); }, from);
+  }
+
+  void shutdown() override { net_.shutdown(); }
+
+  std::uint64_t requests_sent() const override {
+    return net_.requests_sent();
+  }
+  std::uint64_t dropped() const override { return net_.dropped(); }
+
+ private:
+  struct Endpoint {
+    Executor* exec = nullptr;
+    WireHandler handler;
+  };
+
+  SimNetwork net_;
+  /// Index-addressed; populated by bind() before traffic starts, then
+  /// read-only (handler addresses are captured by in-flight closures, so
+  /// a deque keeps them stable).
+  std::deque<Endpoint> endpoints_;
+};
+
+}  // namespace mvtl

@@ -1,0 +1,693 @@
+#include "net/wire.hpp"
+
+namespace mvtl::wire {
+
+// --- primitives ------------------------------------------------------------
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Writer::str(const std::string& s) {
+  u64(s.size());
+  out_ += s;
+}
+
+bool Reader::u8(std::uint8_t* v) {
+  if (pos_ + 1 > in_->size()) return false;
+  *v = static_cast<std::uint8_t>((*in_)[pos_]);
+  pos_ += 1;
+  return true;
+}
+
+bool Reader::b(bool* v) {
+  std::uint8_t byte = 0;
+  if (!u8(&byte) || byte > 1) return false;
+  *v = byte == 1;
+  return true;
+}
+
+bool Reader::u64(std::uint64_t* v) {
+  if (pos_ + 8 > in_->size()) return false;
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>((*in_)[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool Reader::ts(Timestamp* t) {
+  std::uint64_t raw = 0;
+  if (!u64(&raw)) return false;
+  *t = Timestamp{raw};
+  return true;
+}
+
+bool Reader::str(std::string* s) {
+  std::uint64_t len = 0;
+  if (!u64(&len)) return false;
+  if (len > in_->size() - pos_) return false;
+  s->assign(*in_, pos_, len);
+  pos_ += len;
+  return true;
+}
+
+namespace {
+
+// Enum fields travel as u8 and are range-checked on decode; garbage
+// frames must be refused, never reinterpreted.
+
+bool get_abort_reason(Reader& r, AbortReason* out) {
+  std::uint8_t v = 0;
+  if (!r.u8(&v) ||
+      v > static_cast<std::uint8_t>(AbortReason::kReplicaBehind)) {
+    return false;
+  }
+  *out = static_cast<AbortReason>(v);
+  return true;
+}
+
+void put_tx_options(Writer& w, const TxOptions& o) {
+  w.u64(o.process);
+  w.b(o.critical);
+  w.u64(o.begin_tick);
+  w.b(o.read_only);
+}
+
+bool get_tx_options(Reader& r, TxOptions* o) {
+  std::uint64_t process = 0;
+  if (!r.u64(&process) || process > 0xFFFF) return false;
+  o->process = static_cast<ProcessId>(process);
+  return r.b(&o->critical) && r.u64(&o->begin_tick) && r.b(&o->read_only);
+}
+
+void put_read_result(Writer& w, const ReadResult& res) {
+  w.b(res.ok);
+  w.b(res.value.has_value());
+  if (res.value.has_value()) w.str(*res.value);
+  w.ts(res.version_ts);
+}
+
+bool get_read_result(Reader& r, ReadResult* res) {
+  bool has_value = false;
+  if (!r.b(&res->ok) || !r.b(&has_value)) return false;
+  if (has_value) {
+    Value v;
+    if (!r.str(&v)) return false;
+    res->value = std::move(v);
+  } else {
+    res->value.reset();
+  }
+  return r.ts(&res->version_ts);
+}
+
+void put_decision(Writer& w, const CommitDecision& d) {
+  w.b(d.commit);
+  w.ts(d.ts);
+}
+
+bool get_decision(Reader& r, CommitDecision* d) {
+  return r.b(&d->commit) && r.ts(&d->ts);
+}
+
+void put_migrated_key(Writer& w, const MigratedKey& mk) {
+  w.str(mk.key);
+  w.u64(mk.versions.size());
+  for (const MigratedKey::Version& v : mk.versions) {
+    w.ts(v.ts);
+    w.str(v.value);
+    w.u64(v.writer);
+  }
+  put_interval_set(w, mk.frozen_read);
+  put_interval_set(w, mk.frozen_write);
+  w.ts(mk.purge_floor);
+  w.ts(mk.lock_horizon);
+}
+
+bool get_migrated_key(Reader& r, MigratedKey* mk) {
+  std::uint64_t n = 0;
+  if (!r.str(&mk->key) || !r.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    MigratedKey::Version v;
+    if (!r.ts(&v.ts) || !r.str(&v.value) || !r.u64(&v.writer)) return false;
+    mk->versions.push_back(std::move(v));
+  }
+  return get_interval_set(r, &mk->frozen_read) &&
+         get_interval_set(r, &mk->frozen_write) && r.ts(&mk->purge_floor) &&
+         r.ts(&mk->lock_horizon);
+}
+
+void put_boundaries(Writer& w, const std::vector<Key>& boundaries) {
+  w.u64(boundaries.size());
+  for (const Key& b : boundaries) w.str(b);
+}
+
+bool get_boundaries(Reader& r, std::vector<Key>* boundaries) {
+  std::uint64_t n = 0;
+  if (!r.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Key b;
+    if (!r.str(&b)) return false;
+    // A shard map's boundary list is strictly sorted; refuse anything
+    // else so ShardMap's invariant cannot be violated from the wire.
+    if (!boundaries->empty() && b <= boundaries->back()) return false;
+    boundaries->push_back(std::move(b));
+  }
+  return true;
+}
+
+void put_group_beat(Writer& w, const GroupBeat& beat) {
+  w.u64(beat.term);
+  w.u64(beat.leader);
+  w.u64(beat.log_len);
+  w.ts(beat.floor);
+}
+
+bool get_group_beat(Reader& r, GroupBeat* beat) {
+  return r.u64(&beat->term) && r.u64(&beat->leader) &&
+         r.u64(&beat->log_len) && r.ts(&beat->floor);
+}
+
+/// Frame prologue/epilogue shared by every decoder.
+bool open_frame(Reader& r, MsgType expected) {
+  std::uint8_t tag = 0;
+  return r.u8(&tag) && tag == static_cast<std::uint8_t>(expected);
+}
+
+Writer begin_frame(MsgType type) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  return w;
+}
+
+}  // namespace
+
+void put_commit_record(Writer& w, const CommitRecord& rec) {
+  w.u64(rec.gtx);
+  w.ts(rec.ts);
+  w.u64(rec.writes.size());
+  for (const auto& [key, value] : rec.writes) {
+    w.str(key);
+    w.str(value);
+  }
+  w.u64(rec.reads.size());
+  for (const auto& [key, tr] : rec.reads) {
+    w.str(key);
+    w.ts(tr);
+  }
+}
+
+bool get_commit_record(Reader& r, CommitRecord* rec) {
+  std::uint64_t n = 0;
+  if (!r.u64(&rec->gtx) || !r.ts(&rec->ts) || !r.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Key key;
+    Value value;
+    if (!r.str(&key) || !r.str(&value)) return false;
+    rec->writes.emplace_back(std::move(key), std::move(value));
+  }
+  if (!r.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Key key;
+    Timestamp tr;
+    if (!r.str(&key) || !r.ts(&tr)) return false;
+    rec->reads.emplace_back(std::move(key), tr);
+  }
+  return true;
+}
+
+void put_interval_set(Writer& w, const IntervalSet& set) {
+  w.u64(set.intervals().size());
+  for (const Interval& iv : set.intervals()) {
+    w.ts(iv.lo());
+    w.ts(iv.hi());
+  }
+}
+
+bool get_interval_set(Reader& r, IntervalSet* set) {
+  std::uint64_t n = 0;
+  if (!r.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Timestamp lo, hi;
+    if (!r.ts(&lo) || !r.ts(&hi)) return false;
+    if (hi < lo) return false;  // only valid intervals travel
+    set->insert(Interval{lo, hi});
+  }
+  return true;
+}
+
+MsgType peek_type(const std::string& frame) {
+  if (frame.empty()) return kInvalidMsgType;
+  const auto tag = static_cast<std::uint8_t>(frame[0]);
+  if (tag < static_cast<std::uint8_t>(MsgType::kOpBatch) ||
+      tag > static_cast<std::uint8_t>(MsgType::kEpochCommit)) {
+    return kInvalidMsgType;
+  }
+  return static_cast<MsgType>(tag);
+}
+
+// --- requests --------------------------------------------------------------
+
+std::string encode(const OpBatchRequest& m) {
+  Writer w = begin_frame(m.kType);
+  w.u64(m.gtx);
+  put_tx_options(w, m.options);
+  w.u64(m.epoch);
+  w.u64(m.ops.size());
+  for (const DistOp& op : m.ops) {
+    w.u8(static_cast<std::uint8_t>(op.kind));
+    w.str(op.key);
+    if (op.kind == DistOp::Kind::kWrite) w.str(op.value);
+  }
+  w.b(m.first_contact);
+  w.u8(static_cast<std::uint8_t>(m.finish));
+  return w.take();
+}
+
+bool decode(const std::string& frame, OpBatchRequest* m) {
+  Reader r(frame);
+  if (!open_frame(r, m->kType)) return false;
+  std::uint64_t n = 0;
+  if (!r.u64(&m->gtx) || !get_tx_options(r, &m->options) ||
+      !r.u64(&m->epoch) || !r.u64(&n)) {
+    return false;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint8_t kind = 0;
+    DistOp op;
+    if (!r.u8(&kind) ||
+        kind > static_cast<std::uint8_t>(DistOp::Kind::kWrite) ||
+        !r.str(&op.key)) {
+      return false;
+    }
+    op.kind = static_cast<DistOp::Kind>(kind);
+    if (op.kind == DistOp::Kind::kWrite && !r.str(&op.value)) return false;
+    m->ops.push_back(std::move(op));
+  }
+  std::uint8_t finish = 0;
+  if (!r.b(&m->first_contact) || !r.u8(&finish) ||
+      finish > static_cast<std::uint8_t>(BatchFinish::kReadOnlyCommit)) {
+    return false;
+  }
+  m->finish = static_cast<BatchFinish>(finish);
+  return r.done();
+}
+
+std::string encode(const FinalizeRequest& m) {
+  Writer w = begin_frame(m.kType);
+  w.u64(m.gtx);
+  put_decision(w, m.decision);
+  w.u8(static_cast<std::uint8_t>(m.abort_hint));
+  w.b(m.has_effects);
+  if (m.has_effects) put_commit_record(w, m.effects);
+  return w.take();
+}
+
+bool decode(const std::string& frame, FinalizeRequest* m) {
+  Reader r(frame);
+  if (!open_frame(r, m->kType) || !r.u64(&m->gtx) ||
+      !get_decision(r, &m->decision) || !get_abort_reason(r, &m->abort_hint) ||
+      !r.b(&m->has_effects)) {
+    return false;
+  }
+  if (m->has_effects && !get_commit_record(r, &m->effects)) return false;
+  return r.done();
+}
+
+std::string encode(const SnapshotReadRequest& m) {
+  Writer w = begin_frame(m.kType);
+  w.u64(m.gtx);
+  w.u64(m.epoch);
+  w.str(m.key);
+  w.ts(m.want);
+  return w.take();
+}
+
+bool decode(const std::string& frame, SnapshotReadRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && r.u64(&m->gtx) && r.u64(&m->epoch) &&
+         r.str(&m->key) && r.ts(&m->want) && r.done();
+}
+
+std::string encode(const GroupBeatMsg& m) {
+  Writer w = begin_frame(m.kType);
+  put_group_beat(w, m.beat);
+  return w.take();
+}
+
+bool decode(const std::string& frame, GroupBeatMsg* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && get_group_beat(r, &m->beat) && r.done();
+}
+
+std::string encode(const LogFetchRequest& m) {
+  Writer w = begin_frame(m.kType);
+  w.u64(m.from);
+  return w.take();
+}
+
+bool decode(const std::string& frame, LogFetchRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && r.u64(&m->from) && r.done();
+}
+
+std::string encode(const GroupInfoRequest& m) {
+  return begin_frame(m.kType).take();
+}
+
+bool decode(const std::string& frame, GroupInfoRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && r.done();
+}
+
+std::string encode(const ReplSyncRequest& m) {
+  return begin_frame(m.kType).take();
+}
+
+bool decode(const std::string& frame, ReplSyncRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && r.done();
+}
+
+std::string encode(const StatsRequest& m) {
+  return begin_frame(m.kType).take();
+}
+
+bool decode(const std::string& frame, StatsRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && r.done();
+}
+
+std::string encode(const PurgeRequest& m) {
+  Writer w = begin_frame(m.kType);
+  w.ts(m.horizon);
+  return w.take();
+}
+
+bool decode(const std::string& frame, PurgeRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && r.ts(&m->horizon) && r.done();
+}
+
+std::string encode(const PaxosPrepareRequest& m) {
+  Writer w = begin_frame(m.kType);
+  w.str(m.decision);
+  w.u64(m.ballot);
+  return w.take();
+}
+
+bool decode(const std::string& frame, PaxosPrepareRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && r.str(&m->decision) && r.u64(&m->ballot) &&
+         r.done();
+}
+
+std::string encode(const PaxosAcceptRequest& m) {
+  Writer w = begin_frame(m.kType);
+  w.str(m.decision);
+  w.u64(m.ballot);
+  w.str(m.value);
+  return w.take();
+}
+
+bool decode(const std::string& frame, PaxosAcceptRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && r.str(&m->decision) && r.u64(&m->ballot) &&
+         r.str(&m->value) && r.done();
+}
+
+std::string encode(const EpochFreezeRequest& m) {
+  Writer w = begin_frame(m.kType);
+  w.u64(m.next_epoch);
+  return w.take();
+}
+
+bool decode(const std::string& frame, EpochFreezeRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && r.u64(&m->next_epoch) && r.done();
+}
+
+std::string encode(const ExportKeysRequest& m) {
+  Writer w = begin_frame(m.kType);
+  put_boundaries(w, m.boundaries);
+  return w.take();
+}
+
+bool decode(const std::string& frame, ExportKeysRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && get_boundaries(r, &m->boundaries) &&
+         r.done();
+}
+
+std::string encode(const DropKeysRequest& m) {
+  Writer w = begin_frame(m.kType);
+  put_boundaries(w, m.boundaries);
+  return w.take();
+}
+
+bool decode(const std::string& frame, DropKeysRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && get_boundaries(r, &m->boundaries) &&
+         r.done();
+}
+
+std::string encode(const ImportKeysRequest& m) {
+  Writer w = begin_frame(m.kType);
+  w.u64(m.keys.size());
+  for (const MigratedKey& mk : m.keys) put_migrated_key(w, mk);
+  return w.take();
+}
+
+bool decode(const std::string& frame, ImportKeysRequest* m) {
+  Reader r(frame);
+  std::uint64_t n = 0;
+  if (!open_frame(r, m->kType) || !r.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    MigratedKey mk;
+    if (!get_migrated_key(r, &mk)) return false;
+    m->keys.push_back(std::move(mk));
+  }
+  return r.done();
+}
+
+std::string encode(const EpochCommitRequest& m) {
+  Writer w = begin_frame(m.kType);
+  w.u64(m.next_epoch);
+  return w.take();
+}
+
+bool decode(const std::string& frame, EpochCommitRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && r.u64(&m->next_epoch) && r.done();
+}
+
+// --- replies ---------------------------------------------------------------
+// Replies carry no type tag (the caller knows what it asked for), but an
+// empty frame must always decode false — so every reply has at least one
+// byte.
+
+std::string encode_reply(const AckReply& r) {
+  Writer w;
+  w.b(r.ok);
+  return w.take();
+}
+
+bool decode_reply(const std::string& frame, AckReply* r) {
+  Reader rd(frame);
+  return rd.b(&r->ok) && rd.done();
+}
+
+std::string encode_reply(const DistBatchReply& r) {
+  Writer w;
+  w.b(r.ok);
+  w.b(r.wrong_epoch);
+  w.b(r.not_leader);
+  w.u64(r.leader_rank);
+  w.b(r.down);
+  w.u8(static_cast<std::uint8_t>(r.abort_reason));
+  w.u64(r.reads.size());
+  for (const ReadResult& res : r.reads) put_read_result(w, res);
+  put_interval_set(w, r.candidates);
+  return w.take();
+}
+
+bool decode_reply(const std::string& frame, DistBatchReply* r) {
+  Reader rd(frame);
+  std::uint64_t n = 0;
+  if (!rd.b(&r->ok) || !rd.b(&r->wrong_epoch) || !rd.b(&r->not_leader) ||
+      !rd.u64(&r->leader_rank) || !rd.b(&r->down) ||
+      !get_abort_reason(rd, &r->abort_reason) || !rd.u64(&n)) {
+    return false;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ReadResult res;
+    if (!get_read_result(rd, &res)) return false;
+    r->reads.push_back(std::move(res));
+  }
+  return get_interval_set(rd, &r->candidates) && rd.done();
+}
+
+std::string encode_reply(const SnapshotReadReply& r) {
+  Writer w;
+  w.b(r.ok);
+  w.u8(static_cast<std::uint8_t>(r.refuse));
+  put_read_result(w, r.result);
+  w.ts(r.snapshot);
+  return w.take();
+}
+
+bool decode_reply(const std::string& frame, SnapshotReadReply* r) {
+  Reader rd(frame);
+  std::uint8_t refuse = 0;
+  if (!rd.b(&r->ok) || !rd.u8(&refuse) ||
+      refuse > static_cast<std::uint8_t>(SnapshotReadReply::Refuse::kPurged)) {
+    return false;
+  }
+  r->refuse = static_cast<SnapshotReadReply::Refuse>(refuse);
+  return get_read_result(rd, &r->result) && rd.ts(&r->snapshot) && rd.done();
+}
+
+std::string encode_reply(const LogEntriesReply& r) {
+  Writer w;
+  w.u64(r.entries.size());
+  for (const PaxosValue& e : r.entries) w.str(e);
+  return w.take();
+}
+
+bool decode_reply(const std::string& frame, LogEntriesReply* r) {
+  Reader rd(frame);
+  std::uint64_t n = 0;
+  if (!rd.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PaxosValue e;
+    if (!rd.str(&e)) return false;
+    r->entries.push_back(std::move(e));
+  }
+  return rd.done();
+}
+
+std::string encode_reply(const GroupInfo& r) {
+  Writer w;
+  w.b(r.ok);
+  w.u64(r.term);
+  w.u64(r.leader);
+  w.ts(r.floor);
+  w.b(r.leading);
+  w.b(r.lease_ok);
+  return w.take();
+}
+
+bool decode_reply(const std::string& frame, GroupInfo* r) {
+  Reader rd(frame);
+  return rd.b(&r->ok) && rd.u64(&r->term) && rd.u64(&r->leader) &&
+         rd.ts(&r->floor) && rd.b(&r->leading) && rd.b(&r->lease_ok) &&
+         rd.done();
+}
+
+std::string encode_reply(const StoreStats& r) {
+  Writer w;
+  w.u64(r.keys);
+  w.u64(r.lock_entries);
+  w.u64(r.versions);
+  w.u64(r.rpc_messages);
+  w.u64(r.batched_ops);
+  w.u64(r.paxos_messages);
+  w.u64(r.committed_txs);
+  w.u64(r.log_appends);
+  w.u64(r.follower_reads);
+  w.u64(r.leader_snapshot_reads);
+  w.u64(r.max_backlog);
+  w.u64(r.bytes_sent);
+  w.u64(r.bytes_received);
+  return w.take();
+}
+
+bool decode_reply(const std::string& frame, StoreStats* r) {
+  Reader rd(frame);
+  std::uint64_t v[13];
+  for (auto& field : v) {
+    if (!rd.u64(&field)) return false;
+  }
+  if (!rd.done()) return false;
+  r->keys = v[0];
+  r->lock_entries = v[1];
+  r->versions = v[2];
+  r->rpc_messages = v[3];
+  r->batched_ops = v[4];
+  r->paxos_messages = v[5];
+  r->committed_txs = v[6];
+  r->log_appends = v[7];
+  r->follower_reads = v[8];
+  r->leader_snapshot_reads = v[9];
+  r->max_backlog = v[10];
+  r->bytes_sent = v[11];
+  r->bytes_received = v[12];
+  return true;
+}
+
+std::string encode_reply(const PurgeReply& r) {
+  Writer w;
+  w.u64(r.purged);
+  return w.take();
+}
+
+bool decode_reply(const std::string& frame, PurgeReply* r) {
+  Reader rd(frame);
+  return rd.u64(&r->purged) && rd.done();
+}
+
+std::string encode_reply(const PaxosPrepareReply& r) {
+  Writer w;
+  w.b(r.promised);
+  w.u64(r.promised_ballot);
+  w.u64(r.accepted_ballot);
+  w.str(r.accepted_value);
+  return w.take();
+}
+
+bool decode_reply(const std::string& frame, PaxosPrepareReply* r) {
+  Reader rd(frame);
+  return rd.b(&r->promised) && rd.u64(&r->promised_ballot) &&
+         rd.u64(&r->accepted_ballot) && rd.str(&r->accepted_value) &&
+         rd.done();
+}
+
+std::string encode_reply(const PaxosAcceptReply& r) {
+  Writer w;
+  w.b(r.accepted);
+  w.u64(r.promised_ballot);
+  return w.take();
+}
+
+bool decode_reply(const std::string& frame, PaxosAcceptReply* r) {
+  Reader rd(frame);
+  return rd.b(&r->accepted) && rd.u64(&r->promised_ballot) && rd.done();
+}
+
+std::string encode_reply(const MigratedKeysReply& r) {
+  Writer w;
+  w.b(r.ok);
+  w.u64(r.keys.size());
+  for (const MigratedKey& mk : r.keys) put_migrated_key(w, mk);
+  return w.take();
+}
+
+bool decode_reply(const std::string& frame, MigratedKeysReply* r) {
+  Reader rd(frame);
+  std::uint64_t n = 0;
+  if (!rd.b(&r->ok) || !rd.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    MigratedKey mk;
+    if (!get_migrated_key(rd, &mk)) return false;
+    r->keys.push_back(std::move(mk));
+  }
+  return rd.done();
+}
+
+}  // namespace mvtl::wire

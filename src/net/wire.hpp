@@ -1,0 +1,369 @@
+// Typed wire messages + the shared binary codec of the distributed layer.
+//
+// Every RPC in dist/ and repl/ is one of the request structs below; the
+// length-prefixed binary codec here (grown out of repl/log.*'s original
+// log-entry encoding, which now rides the same primitives) turns them
+// into opaque frames a Transport (net/transport.hpp) can carry — over
+// the simulated network or over real TCP sockets, identically.
+//
+// Conventions:
+//   * a frame is [u8 message type][fields]; integers are fixed-width
+//     little-endian, strings and vectors carry a u64 length/count prefix
+//     (keys and values may contain any byte);
+//   * decode() returns false on a malformed frame — wrong type tag,
+//     truncated field, out-of-range enum, trailing garbage — and never
+//     reads out of bounds; a refused decode surfaces to callers as the
+//     default-constructed reply, i.e. a refusal;
+//   * an EMPTY reply frame always decodes as false. That is the
+//     unreachable-peer convention: a dropped message (sim) or a dead
+//     connection (tcp) completes the caller's future with "" and the
+//     caller proceeds on the default reply, exactly as before the seam.
+//
+// The typed helpers at the bottom (wire::call / wire::call_future /
+// wire::send_msg) are the only place frames meet the Transport: they do
+// the encode/decode and count the byte volume at the codec boundary, so
+// SimTransport and TcpTransport report identical bytes for identical
+// traffic (StoreStats::bytes_sent / bytes_received).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interval_set.hpp"
+#include "common/types.hpp"
+#include "core/transactional_store.hpp"
+#include "dist/commitment.hpp"
+#include "dist/paxos.hpp"
+#include "dist/shard.hpp"
+#include "net/transport.hpp"
+#include "repl/group.hpp"
+#include "repl/log.hpp"
+
+namespace mvtl::wire {
+
+// --- codec primitives ------------------------------------------------------
+
+/// Appends fixed-width little-endian fields to a growing buffer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void u64(std::uint64_t v);
+  void ts(Timestamp t) { u64(t.raw()); }
+  void str(const std::string& s);
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reads; every getter returns false on truncation and
+/// leaves the cursor where the failure happened.
+class Reader {
+ public:
+  explicit Reader(const std::string& in) : in_(&in) {}
+
+  bool u8(std::uint8_t* v);
+  bool b(bool* v);
+  bool u64(std::uint64_t* v);
+  bool ts(Timestamp* t);
+  bool str(std::string* s);
+
+  /// True iff every byte was consumed — decoders require this, so a
+  /// frame with trailing garbage is refused.
+  bool done() const { return pos_ == in_->size(); }
+
+ private:
+  const std::string* in_;
+  std::size_t pos_ = 0;
+};
+
+// Composite fields shared by several messages (and by the replicated op
+// log's entry codec in repl/log.cpp).
+void put_commit_record(Writer& w, const CommitRecord& rec);
+bool get_commit_record(Reader& r, CommitRecord* rec);
+void put_interval_set(Writer& w, const IntervalSet& set);
+bool get_interval_set(Reader& r, IntervalSet* set);
+
+// --- message types ---------------------------------------------------------
+
+enum class MsgType : std::uint8_t {
+  kOpBatch = 1,
+  kFinalize = 2,
+  kSnapshotRead = 3,
+  kGroupBeat = 4,
+  kLogFetch = 5,
+  kGroupInfo = 6,
+  kReplSync = 7,
+  kStats = 8,
+  kPurge = 9,
+  kPaxosPrepare = 10,
+  kPaxosAccept = 11,
+  kEpochFreeze = 12,
+  kExportKeys = 13,
+  kDropKeys = 14,
+  kImportKeys = 15,
+  kEpochCommit = 16,
+};
+
+/// Type tag of a frame; kInvalid (0) for an empty frame.
+constexpr MsgType kInvalidMsgType = static_cast<MsgType>(0);
+MsgType peek_type(const std::string& frame);
+
+// --- reply shapes without a struct of their own ----------------------------
+
+/// Boolean acknowledgement (finalize, repl-sync, the reconfiguration
+/// steps). Default-constructed = refused, matching the dead-peer path.
+struct AckReply {
+  bool ok = false;
+};
+
+struct LogEntriesReply {
+  std::vector<PaxosValue> entries;
+};
+
+struct PurgeReply {
+  std::uint64_t purged = 0;
+};
+
+struct MigratedKeysReply {
+  /// False only on the default-constructed (refused) reply: an export
+  /// that genuinely found nothing still answers ok=true, so a dropped
+  /// message can never masquerade as "nothing to hand over" (the caller
+  /// would otherwise drop the range and lose it).
+  bool ok = false;
+  std::vector<MigratedKey> keys;
+};
+
+// --- request structs (one per RPC) -----------------------------------------
+
+struct OpBatchRequest {
+  static constexpr MsgType kType = MsgType::kOpBatch;
+  using Reply = DistBatchReply;
+  TxId gtx = kInvalidTxId;
+  TxOptions options;
+  std::uint64_t epoch = 0;
+  std::vector<DistOp> ops;
+  bool first_contact = false;
+  BatchFinish finish = BatchFinish::kNone;
+};
+
+struct FinalizeRequest {
+  static constexpr MsgType kType = MsgType::kFinalize;
+  using Reply = AckReply;
+  TxId gtx = kInvalidTxId;
+  CommitDecision decision;
+  AbortReason abort_hint = AbortReason::kNone;
+  bool has_effects = false;
+  CommitRecord effects;  ///< meaningful when has_effects
+};
+
+struct SnapshotReadRequest {
+  static constexpr MsgType kType = MsgType::kSnapshotRead;
+  using Reply = SnapshotReadReply;
+  TxId gtx = kInvalidTxId;
+  std::uint64_t epoch = 0;
+  Key key;
+  Timestamp want;
+};
+
+/// One-way heartbeat (no reply travels back).
+struct GroupBeatMsg {
+  static constexpr MsgType kType = MsgType::kGroupBeat;
+  using Reply = AckReply;
+  GroupBeat beat;
+};
+
+struct LogFetchRequest {
+  static constexpr MsgType kType = MsgType::kLogFetch;
+  using Reply = LogEntriesReply;
+  std::uint64_t from = 0;
+};
+
+struct GroupInfoRequest {
+  static constexpr MsgType kType = MsgType::kGroupInfo;
+  using Reply = GroupInfo;
+};
+
+struct ReplSyncRequest {
+  static constexpr MsgType kType = MsgType::kReplSync;
+  using Reply = AckReply;
+};
+
+struct StatsRequest {
+  static constexpr MsgType kType = MsgType::kStats;
+  using Reply = StoreStats;
+};
+
+struct PurgeRequest {
+  static constexpr MsgType kType = MsgType::kPurge;
+  using Reply = PurgeReply;
+  Timestamp horizon;
+};
+
+struct PaxosPrepareRequest {
+  static constexpr MsgType kType = MsgType::kPaxosPrepare;
+  using Reply = PaxosPrepareReply;
+  std::string decision;
+  std::uint64_t ballot = 0;
+};
+
+struct PaxosAcceptRequest {
+  static constexpr MsgType kType = MsgType::kPaxosAccept;
+  using Reply = PaxosAcceptReply;
+  std::string decision;
+  std::uint64_t ballot = 0;
+  PaxosValue value;
+};
+
+struct EpochFreezeRequest {
+  static constexpr MsgType kType = MsgType::kEpochFreeze;
+  using Reply = AckReply;
+  std::uint64_t next_epoch = 0;
+};
+
+struct ExportKeysRequest {
+  static constexpr MsgType kType = MsgType::kExportKeys;
+  using Reply = MigratedKeysReply;
+  std::vector<Key> boundaries;  ///< the new ShardMap's sorted boundaries
+};
+
+struct DropKeysRequest {
+  static constexpr MsgType kType = MsgType::kDropKeys;
+  using Reply = AckReply;
+  std::vector<Key> boundaries;
+};
+
+struct ImportKeysRequest {
+  static constexpr MsgType kType = MsgType::kImportKeys;
+  using Reply = AckReply;
+  std::vector<MigratedKey> keys;
+};
+
+struct EpochCommitRequest {
+  static constexpr MsgType kType = MsgType::kEpochCommit;
+  using Reply = AckReply;
+  std::uint64_t next_epoch = 0;
+};
+
+// --- encode / decode -------------------------------------------------------
+
+std::string encode(const OpBatchRequest& m);
+std::string encode(const FinalizeRequest& m);
+std::string encode(const SnapshotReadRequest& m);
+std::string encode(const GroupBeatMsg& m);
+std::string encode(const LogFetchRequest& m);
+std::string encode(const GroupInfoRequest& m);
+std::string encode(const ReplSyncRequest& m);
+std::string encode(const StatsRequest& m);
+std::string encode(const PurgeRequest& m);
+std::string encode(const PaxosPrepareRequest& m);
+std::string encode(const PaxosAcceptRequest& m);
+std::string encode(const EpochFreezeRequest& m);
+std::string encode(const ExportKeysRequest& m);
+std::string encode(const DropKeysRequest& m);
+std::string encode(const ImportKeysRequest& m);
+std::string encode(const EpochCommitRequest& m);
+
+bool decode(const std::string& frame, OpBatchRequest* m);
+bool decode(const std::string& frame, FinalizeRequest* m);
+bool decode(const std::string& frame, SnapshotReadRequest* m);
+bool decode(const std::string& frame, GroupBeatMsg* m);
+bool decode(const std::string& frame, LogFetchRequest* m);
+bool decode(const std::string& frame, GroupInfoRequest* m);
+bool decode(const std::string& frame, ReplSyncRequest* m);
+bool decode(const std::string& frame, StatsRequest* m);
+bool decode(const std::string& frame, PurgeRequest* m);
+bool decode(const std::string& frame, PaxosPrepareRequest* m);
+bool decode(const std::string& frame, PaxosAcceptRequest* m);
+bool decode(const std::string& frame, EpochFreezeRequest* m);
+bool decode(const std::string& frame, ExportKeysRequest* m);
+bool decode(const std::string& frame, DropKeysRequest* m);
+bool decode(const std::string& frame, ImportKeysRequest* m);
+bool decode(const std::string& frame, EpochCommitRequest* m);
+
+std::string encode_reply(const AckReply& r);
+std::string encode_reply(const DistBatchReply& r);
+std::string encode_reply(const SnapshotReadReply& r);
+std::string encode_reply(const LogEntriesReply& r);
+std::string encode_reply(const GroupInfo& r);
+std::string encode_reply(const StoreStats& r);
+std::string encode_reply(const PurgeReply& r);
+std::string encode_reply(const PaxosPrepareReply& r);
+std::string encode_reply(const PaxosAcceptReply& r);
+std::string encode_reply(const MigratedKeysReply& r);
+
+bool decode_reply(const std::string& frame, AckReply* r);
+bool decode_reply(const std::string& frame, DistBatchReply* r);
+bool decode_reply(const std::string& frame, SnapshotReadReply* r);
+bool decode_reply(const std::string& frame, LogEntriesReply* r);
+bool decode_reply(const std::string& frame, GroupInfo* r);
+bool decode_reply(const std::string& frame, StoreStats* r);
+bool decode_reply(const std::string& frame, PurgeReply* r);
+bool decode_reply(const std::string& frame, PaxosPrepareReply* r);
+bool decode_reply(const std::string& frame, PaxosAcceptReply* r);
+bool decode_reply(const std::string& frame, MigratedKeysReply* r);
+
+// --- typed RPC helpers -----------------------------------------------------
+
+/// A pending typed RPC: wraps the transport's frame future; get()
+/// decodes, falling back to the default-constructed (refusal) reply on
+/// an empty or malformed frame, and counts the received bytes.
+template <typename Req>
+class ReplyFuture {
+ public:
+  ReplyFuture() = default;
+  ReplyFuture(std::future<std::string> fut, Transport* transport)
+      : fut_(std::move(fut)), transport_(transport) {}
+
+  typename Req::Reply get() {
+    typename Req::Reply reply{};
+    if (!fut_.valid()) return reply;
+    const std::string frame = fut_.get();
+    if (transport_ != nullptr) transport_->note_received(frame.size());
+    if (!decode_reply(frame, &reply)) reply = {};
+    return reply;
+  }
+
+ private:
+  std::future<std::string> fut_;
+  Transport* transport_ = nullptr;
+};
+
+/// Encodes `req`, ships it to endpoint `to`, returns the typed future.
+template <typename Req>
+ReplyFuture<Req> call(Transport& transport, std::size_t to, const Req& req,
+                      const void* from = nullptr) {
+  std::string frame = encode(req);
+  transport.note_sent(frame.size());
+  return ReplyFuture<Req>(transport.call_async(to, std::move(frame), from),
+                          &transport);
+}
+
+/// call() adapted to std::future for the function-shaped endpoints
+/// (AcceptorEndpoint): the RPC is in flight immediately; only the decode
+/// is deferred into get().
+template <typename Req>
+std::future<typename Req::Reply> call_future(Transport& transport,
+                                             std::size_t to, const Req& req,
+                                             const void* from = nullptr) {
+  return std::async(std::launch::deferred,
+                    [rf = call(transport, to, req, from)]() mutable {
+                      return rf.get();
+                    });
+}
+
+/// One-way typed message.
+template <typename Req>
+void send_msg(Transport& transport, std::size_t to, const Req& req,
+              const void* from = nullptr) {
+  std::string frame = encode(req);
+  transport.note_sent(frame.size());
+  transport.send(to, std::move(frame), from);
+}
+
+}  // namespace mvtl::wire

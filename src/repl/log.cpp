@@ -1,121 +1,53 @@
 #include "repl/log.hpp"
 
+#include "net/wire.hpp"
+
 namespace mvtl {
-namespace {
 
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-bool get_u64(const std::string& in, std::size_t& pos, std::uint64_t* out) {
-  if (pos + 8 > in.size()) return false;
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[pos + i]))
-         << (8 * i);
-  }
-  pos += 8;
-  *out = v;
-  return true;
-}
-
-void put_str(std::string& out, const std::string& s) {
-  put_u64(out, s.size());
-  out += s;
-}
-
-bool get_str(const std::string& in, std::size_t& pos, std::string* out) {
-  std::uint64_t len = 0;
-  if (!get_u64(in, pos, &len)) return false;
-  if (pos + len > in.size()) return false;
-  out->assign(in, pos, len);
-  pos += len;
-  return true;
-}
-
-}  // namespace
+// The entry codec rides the shared wire primitives (net/wire.hpp) — the
+// log's original length-prefixed encoding is where they grew out of, and
+// the byte layout is unchanged.
 
 PaxosValue encode_log_entry(const LogEntry& entry) {
-  std::string out;
-  out.push_back(static_cast<char>(entry.kind));
-  put_u64(out, entry.term);
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(entry.kind));
+  w.u64(entry.term);
   switch (entry.kind) {
-    case LogEntry::Kind::kCommit: {
-      put_u64(out, entry.commit.gtx);
-      put_u64(out, entry.commit.ts.raw());
-      put_u64(out, entry.commit.writes.size());
-      for (const auto& [key, value] : entry.commit.writes) {
-        put_str(out, key);
-        put_str(out, value);
-      }
-      put_u64(out, entry.commit.reads.size());
-      for (const auto& [key, tr] : entry.commit.reads) {
-        put_str(out, key);
-        put_u64(out, tr.raw());
-      }
+    case LogEntry::Kind::kCommit:
+      wire::put_commit_record(w, entry.commit);
       break;
-    }
     case LogEntry::Kind::kFloor:
-      put_u64(out, entry.floor.raw());
+      w.ts(entry.floor);
       break;
     case LogEntry::Kind::kTerm:
-      put_u64(out, entry.leader);
+      w.u64(entry.leader);
       break;
   }
-  return out;
+  return w.take();
 }
 
 bool decode_log_entry(const PaxosValue& value, LogEntry* out) {
-  if (value.empty()) return false;
-  const auto kind_byte = static_cast<unsigned char>(value[0]);
-  if (kind_byte > static_cast<unsigned char>(LogEntry::Kind::kTerm)) {
+  wire::Reader r(value);
+  std::uint8_t kind_byte = 0;
+  if (!r.u8(&kind_byte) ||
+      kind_byte > static_cast<std::uint8_t>(LogEntry::Kind::kTerm)) {
     return false;
   }
   LogEntry entry;
   entry.kind = static_cast<LogEntry::Kind>(kind_byte);
-  std::size_t pos = 1;
-  if (!get_u64(value, pos, &entry.term)) return false;
+  if (!r.u64(&entry.term)) return false;
   switch (entry.kind) {
-    case LogEntry::Kind::kCommit: {
-      std::uint64_t raw = 0;
-      if (!get_u64(value, pos, &entry.commit.gtx)) return false;
-      if (!get_u64(value, pos, &raw)) return false;
-      entry.commit.ts = Timestamp{raw};
-      std::uint64_t n = 0;
-      if (!get_u64(value, pos, &n)) return false;
-      entry.commit.writes.reserve(n);
-      for (std::uint64_t i = 0; i < n; ++i) {
-        Key key;
-        Value val;
-        if (!get_str(value, pos, &key) || !get_str(value, pos, &val)) {
-          return false;
-        }
-        entry.commit.writes.emplace_back(std::move(key), std::move(val));
-      }
-      if (!get_u64(value, pos, &n)) return false;
-      entry.commit.reads.reserve(n);
-      for (std::uint64_t i = 0; i < n; ++i) {
-        Key key;
-        if (!get_str(value, pos, &key) || !get_u64(value, pos, &raw)) {
-          return false;
-        }
-        entry.commit.reads.emplace_back(std::move(key), Timestamp{raw});
-      }
+    case LogEntry::Kind::kCommit:
+      if (!wire::get_commit_record(r, &entry.commit)) return false;
       break;
-    }
-    case LogEntry::Kind::kFloor: {
-      std::uint64_t raw = 0;
-      if (!get_u64(value, pos, &raw)) return false;
-      entry.floor = Timestamp{raw};
+    case LogEntry::Kind::kFloor:
+      if (!r.ts(&entry.floor)) return false;
       break;
-    }
     case LogEntry::Kind::kTerm:
-      if (!get_u64(value, pos, &entry.leader)) return false;
+      if (!r.u64(&entry.leader)) return false;
       break;
   }
-  if (pos != value.size()) return false;
+  if (!r.done()) return false;
   *out = std::move(entry);
   return true;
 }

@@ -1,6 +1,9 @@
 #include "txbench/driver.hpp"
 
 #include <atomic>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -10,6 +13,123 @@ namespace mvtl {
 namespace {
 
 enum class Phase : int { kWarmup = 0, kMeasure = 1, kDone = 2 };
+
+/// One logical client: a single deterministic transaction stream and a
+/// single process id, shared by the client's `window` in-flight lanes.
+/// The stream is pulled under a mutex so pipelining widens concurrency
+/// without changing which transactions the client issues.
+struct ClientState {
+  ClientState(const DriverConfig& config, std::size_t index,
+              std::uint64_t budget)
+      : gen([&] {
+          WorkloadConfig wl = config.workload;
+          wl.seed = config.workload.seed * 1'000'003 + index;
+          return wl;
+        }()),
+        process(static_cast<ProcessId>((index % 65'534) + 1)),
+        remaining(budget) {}
+
+  std::mutex mu;
+  WorkloadGenerator gen;
+  ProcessId process;
+  /// Transactions this client may still launch (fixed-count mode);
+  /// effectively unbounded in timed mode.
+  std::uint64_t remaining;
+
+  /// Claims the next transaction of the stream; false when the client's
+  /// budget is exhausted.
+  bool next(TxSpec* spec) {
+    std::lock_guard guard(mu);
+    if (remaining == 0) return false;
+    --remaining;
+    *spec = gen.next_tx();
+    return true;
+  }
+};
+
+/// Shared pipelined run: `clients × window` lanes, each completion
+/// immediately launching its client's next transaction until the phase
+/// flips to done (timed mode) or every budget is spent (fixed mode).
+DriverResult run_driver(TransactionalStore& store, const DriverConfig& config,
+                        std::uint64_t txs_per_client, bool timed) {
+  Metrics metrics;
+  LatencyHistogram latency;
+  std::atomic<int> phase{
+      static_cast<int>(timed ? Phase::kWarmup : Phase::kMeasure)};
+
+  const std::size_t window = config.window == 0 ? 1 : config.window;
+  std::vector<std::unique_ptr<ClientState>> states;
+  states.reserve(config.clients);
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    states.push_back(std::make_unique<ClientState>(
+        config, c,
+        timed ? std::numeric_limits<std::uint64_t>::max() : txs_per_client));
+  }
+
+  // Fixed-count mode measures from before the lanes spawn: the first
+  // lanes commit while later ones are still being created, and those
+  // commits are counted, so their time must be too.
+  auto measure_start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> lanes;
+  lanes.reserve(config.clients * window);
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    for (std::size_t w = 0; w < window; ++w) {
+      lanes.emplace_back([&, state = states[c].get()] {
+        TxSpec spec;
+        while (phase.load(std::memory_order_relaxed) !=
+               static_cast<int>(Phase::kDone)) {
+          if (!state->next(&spec)) break;  // budget spent (fixed mode)
+          const auto started = std::chrono::steady_clock::now();
+          CommitResult result = execute_tx(store, spec, state->process, false,
+                                           config.declare_read_only);
+          std::size_t restarts = 0;
+          while (!result.committed() && config.retry_aborted &&
+                 restarts < config.max_restarts &&
+                 phase.load(std::memory_order_relaxed) !=
+                     static_cast<int>(Phase::kDone)) {
+            ++restarts;
+            result = execute_tx(store, spec, state->process, false,
+                                config.declare_read_only);
+          }
+          if (phase.load(std::memory_order_relaxed) ==
+              static_cast<int>(Phase::kMeasure)) {
+            if (result.committed()) {
+              metrics.add_commit();
+              latency.record(std::chrono::steady_clock::now() - started);
+            } else {
+              metrics.add_abort(AbortReason::kNone);
+            }
+          }
+        }
+      });
+    }
+  }
+
+  auto measure_end = measure_start;
+  if (timed) {
+    std::this_thread::sleep_for(config.warmup);
+    measure_start = std::chrono::steady_clock::now();
+    phase.store(static_cast<int>(Phase::kMeasure), std::memory_order_relaxed);
+    std::this_thread::sleep_for(config.measure);
+    phase.store(static_cast<int>(Phase::kDone), std::memory_order_relaxed);
+    measure_end = std::chrono::steady_clock::now();
+    for (auto& t : lanes) t.join();
+  } else {
+    for (auto& t : lanes) t.join();
+    measure_end = std::chrono::steady_clock::now();
+  }
+
+  DriverResult out;
+  out.window = measure_end - measure_start;
+  out.committed = metrics.committed();
+  out.aborted = metrics.aborted();
+  out.commit_rate = metrics.commit_rate();
+  out.throughput_tps = metrics.throughput_tps(out.window);
+  out.p50_us = latency.quantile_us(0.50);
+  out.p99_us = latency.quantile_us(0.99);
+  return out;
+}
 
 }  // namespace
 
@@ -42,100 +162,13 @@ CommitResult execute_tx(TransactionalStore& store, const TxSpec& spec,
 
 DriverResult run_closed_loop(TransactionalStore& store,
                              const DriverConfig& config) {
-  Metrics metrics;
-  LatencyHistogram latency;
-  std::atomic<int> phase{static_cast<int>(Phase::kWarmup)};
-
-  std::vector<std::thread> threads;
-  threads.reserve(config.clients);
-  for (std::size_t c = 0; c < config.clients; ++c) {
-    threads.emplace_back([&, c] {
-      WorkloadConfig wl = config.workload;
-      wl.seed = config.workload.seed * 1'000'003 + c;
-      WorkloadGenerator gen(wl);
-      const auto process = static_cast<ProcessId>((c % 65'534) + 1);
-      while (phase.load(std::memory_order_relaxed) !=
-             static_cast<int>(Phase::kDone)) {
-        const TxSpec spec = gen.next_tx();
-        const auto started = std::chrono::steady_clock::now();
-        CommitResult result = execute_tx(store, spec, process, false,
-                                          config.declare_read_only);
-        std::size_t restarts = 0;
-        while (!result.committed() && config.retry_aborted &&
-               restarts < config.max_restarts &&
-               phase.load(std::memory_order_relaxed) !=
-                   static_cast<int>(Phase::kDone)) {
-          ++restarts;
-          result = execute_tx(store, spec, process, false,
-                              config.declare_read_only);
-        }
-        if (phase.load(std::memory_order_relaxed) ==
-            static_cast<int>(Phase::kMeasure)) {
-          if (result.committed()) {
-            metrics.add_commit();
-            latency.record(std::chrono::steady_clock::now() - started);
-          } else {
-            metrics.add_abort(AbortReason::kNone);
-          }
-        }
-      }
-    });
-  }
-
-  std::this_thread::sleep_for(config.warmup);
-  const auto measure_start = std::chrono::steady_clock::now();
-  phase.store(static_cast<int>(Phase::kMeasure), std::memory_order_relaxed);
-  std::this_thread::sleep_for(config.measure);
-  phase.store(static_cast<int>(Phase::kDone), std::memory_order_relaxed);
-  const auto measure_end = std::chrono::steady_clock::now();
-  for (auto& t : threads) t.join();
-
-  DriverResult out;
-  out.window = measure_end - measure_start;
-  out.committed = metrics.committed();
-  out.aborted = metrics.aborted();
-  out.commit_rate = metrics.commit_rate();
-  out.throughput_tps = metrics.throughput_tps(out.window);
-  out.p50_us = latency.quantile_us(0.50);
-  out.p99_us = latency.quantile_us(0.99);
-  return out;
+  return run_driver(store, config, 0, /*timed=*/true);
 }
 
 DriverResult run_fixed_count(TransactionalStore& store,
                              const DriverConfig& config,
                              std::size_t txs_per_client) {
-  Metrics metrics;
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<std::thread> threads;
-  threads.reserve(config.clients);
-  for (std::size_t c = 0; c < config.clients; ++c) {
-    threads.emplace_back([&, c] {
-      WorkloadConfig wl = config.workload;
-      wl.seed = config.workload.seed * 1'000'003 + c;
-      WorkloadGenerator gen(wl);
-      const auto process = static_cast<ProcessId>((c % 65'534) + 1);
-      for (std::size_t i = 0; i < txs_per_client; ++i) {
-        const TxSpec spec = gen.next_tx();
-        const CommitResult result = execute_tx(
-            store, spec, process, false, config.declare_read_only);
-        if (result.committed()) {
-          metrics.add_commit();
-        } else {
-          metrics.add_abort(AbortReason::kNone);
-        }
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  const auto end = std::chrono::steady_clock::now();
-
-  DriverResult out;
-  out.window = end - start;
-  out.committed = metrics.committed();
-  out.aborted = metrics.aborted();
-  out.commit_rate = metrics.commit_rate();
-  out.throughput_tps = metrics.throughput_tps(out.window);
-  return out;
+  return run_driver(store, config, txs_per_client, /*timed=*/false);
 }
 
 }  // namespace mvtl

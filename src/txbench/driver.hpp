@@ -1,8 +1,21 @@
-// Closed-loop multi-threaded workload driver (paper §8.3).
+// Pipelined workload driver (paper §8.3, asynchronous clients).
 //
-// Clients submit transactions repeatedly in a closed loop; we measure the
-// aggregate throughput of committed transactions and the commit rate over
-// a measurement window preceded by a warm-up. A fixed-count mode runs a
+// A *client* is a logical workload source: one deterministic transaction
+// stream (seeded per client) issued under one process id. The driver
+// keeps up to `window` of each client's transactions in flight at once —
+// a transaction's completion immediately launches the client's next one
+// (completion-driven), so a fixed client population can hold
+// clients × window transactions against the store and saturate a
+// latency-bound transport instead of being bottlenecked on the client
+// count. window = 1 is the classic closed loop the paper's client
+// machines run (threads blocking on Thrift calls).
+//
+// Each in-flight slot is backed by a worker thread today, because the
+// store SPI is synchronous; the seam is the per-client stream + window
+// accounting, which an asynchronous SPI can slot under unchanged.
+//
+// We measure aggregate committed throughput and the commit rate over a
+// measurement window preceded by a warm-up. A fixed-count mode runs a
 // deterministic number of transactions per client for the property tests
 // (which then verify the recorded history's serializability).
 #pragma once
@@ -18,6 +31,11 @@ namespace mvtl {
 
 struct DriverConfig {
   std::size_t clients = 8;
+  /// In-flight transactions per client (the pipelining window); 1 =
+  /// closed loop. The workload stream, seed, and process id stay
+  /// per-client whatever the window — widening it adds concurrency, not
+  /// clients.
+  std::size_t window = 1;
   WorkloadConfig workload;
   std::chrono::milliseconds warmup{50};
   std::chrono::milliseconds measure{300};
@@ -45,12 +63,13 @@ struct DriverResult {
   double p99_us = 0.0;
 };
 
-/// Timed closed-loop run (benchmarks).
+/// Timed pipelined run (benchmarks): clients × window transactions in
+/// flight for warmup + measure.
 DriverResult run_closed_loop(TransactionalStore& store,
                              const DriverConfig& config);
 
-/// Deterministic run: each of `clients` threads executes exactly
-/// `txs_per_client` transactions; every attempt is counted.
+/// Deterministic run: each client executes exactly `txs_per_client`
+/// transactions (spread over its window); every attempt is counted.
 /// Used by the concurrency property tests.
 DriverResult run_fixed_count(TransactionalStore& store,
                              const DriverConfig& config,

@@ -1,0 +1,264 @@
+// Wire codec: every message type round-trips; truncated and mutated
+// frames are refused (or at least decoded without crashing — a mutation
+// may leave a frame valid), and an empty reply always decodes false.
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace mvtl::wire {
+namespace {
+
+OpBatchRequest sample_op_batch() {
+  OpBatchRequest m;
+  m.gtx = 42;
+  m.options.process = 7;
+  m.options.critical = true;
+  m.options.begin_tick = 123'456;
+  m.options.read_only = false;
+  m.epoch = 3;
+  m.ops.push_back(DistOp::read("k0001"));
+  m.ops.push_back(DistOp::write("k0002", std::string("v\0x", 3)));
+  m.first_contact = true;
+  m.finish = BatchFinish::kPrepare;
+  return m;
+}
+
+CommitRecord sample_record() {
+  CommitRecord rec;
+  rec.gtx = 9;
+  rec.ts = Timestamp::make(100, 2);
+  rec.writes.emplace_back("ka", "va");
+  rec.writes.emplace_back("kb", std::string("\0\xff", 2));
+  rec.reads.emplace_back("kc", Timestamp::make(50, 1));
+  return rec;
+}
+
+MigratedKey sample_migrated_key() {
+  MigratedKey mk;
+  mk.key = "k0042";
+  mk.versions.push_back({Timestamp::make(10, 1), "v1", 3});
+  mk.versions.push_back({Timestamp::make(20, 2), "v2", 4});
+  mk.frozen_read.insert(
+      Interval{Timestamp::make(5, 0), Timestamp::make(9, 0)});
+  mk.frozen_write.insert(Interval::point(Timestamp::make(10, 1)));
+  mk.purge_floor = Timestamp::make(2, 0);
+  mk.lock_horizon = Timestamp::make(3, 0);
+  return mk;
+}
+
+/// Round-trip helper: encode, decode, re-encode, compare bytes (the
+/// codec is canonical, so byte equality is semantic equality).
+template <typename Msg>
+void expect_request_roundtrip(const Msg& msg) {
+  const std::string frame = encode(msg);
+  ASSERT_FALSE(frame.empty());
+  EXPECT_EQ(peek_type(frame), Msg::kType);
+  Msg decoded;
+  ASSERT_TRUE(decode(frame, &decoded));
+  EXPECT_EQ(encode(decoded), frame);
+}
+
+template <typename Reply>
+void expect_reply_roundtrip(const Reply& reply) {
+  const std::string frame = encode_reply(reply);
+  ASSERT_FALSE(frame.empty());
+  Reply decoded;
+  ASSERT_TRUE(decode_reply(frame, &decoded));
+  EXPECT_EQ(encode_reply(decoded), frame);
+}
+
+/// Every strict prefix of a frame must be refused: truncation can never
+/// silently decode. Mutated bytes must never crash the decoder.
+template <typename Msg>
+void fuzz_request(const Msg& msg) {
+  const std::string frame = encode(msg);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    Msg out;
+    EXPECT_FALSE(decode(frame.substr(0, len), &out))
+        << "prefix of length " << len << " decoded";
+  }
+  std::mt19937_64 rng(1234);
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = frame;
+    mutated[rng() % mutated.size()] ^= static_cast<char>(1 + rng() % 255);
+    Msg out;
+    decode(mutated, &out);  // must not crash / overrun; result free
+  }
+  // Trailing garbage is refused too.
+  Msg out;
+  EXPECT_FALSE(decode(frame + "x", &out));
+}
+
+template <typename Reply>
+void fuzz_reply(const Reply& reply) {
+  const std::string frame = encode_reply(reply);
+  Reply empty_out;
+  EXPECT_FALSE(decode_reply(std::string{}, &empty_out))
+      << "empty frame must read as a refusal";
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    Reply out;
+    EXPECT_FALSE(decode_reply(frame.substr(0, len), &out))
+        << "prefix of length " << len << " decoded";
+  }
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = frame;
+    mutated[rng() % mutated.size()] ^= static_cast<char>(1 + rng() % 255);
+    Reply out;
+    decode_reply(mutated, &out);
+  }
+  Reply out;
+  EXPECT_FALSE(decode_reply(frame + "x", &out));
+}
+
+TEST(WireCodecTest, EveryRequestTypeRoundTrips) {
+  expect_request_roundtrip(sample_op_batch());
+
+  FinalizeRequest fin;
+  fin.gtx = 9;
+  fin.decision = CommitDecision::committed(Timestamp::make(100, 2));
+  fin.abort_hint = AbortReason::kCoordinatorSuspected;
+  fin.has_effects = true;
+  fin.effects = sample_record();
+  expect_request_roundtrip(fin);
+  fin.has_effects = false;
+  fin.effects = {};
+  expect_request_roundtrip(fin);
+
+  expect_request_roundtrip(
+      SnapshotReadRequest{11, 2, "k0010", Timestamp::make(77, 1)});
+  expect_request_roundtrip(
+      GroupBeatMsg{GroupBeat{3, 1, 12, Timestamp::make(60, 0)}});
+  expect_request_roundtrip(LogFetchRequest{5});
+  expect_request_roundtrip(GroupInfoRequest{});
+  expect_request_roundtrip(ReplSyncRequest{});
+  expect_request_roundtrip(StatsRequest{});
+  expect_request_roundtrip(PurgeRequest{Timestamp::make(1'000, 0)});
+  expect_request_roundtrip(PaxosPrepareRequest{"commit/9", 17});
+  expect_request_roundtrip(PaxosAcceptRequest{"commit/9", 17, "value"});
+  expect_request_roundtrip(EpochFreezeRequest{4});
+  expect_request_roundtrip(ExportKeysRequest{{"k0100", "k0200"}});
+  expect_request_roundtrip(DropKeysRequest{{"k0100", "k0200"}});
+  expect_request_roundtrip(
+      ImportKeysRequest{{sample_migrated_key(), sample_migrated_key()}});
+  expect_request_roundtrip(EpochCommitRequest{4});
+}
+
+TEST(WireCodecTest, EveryReplyTypeRoundTrips) {
+  expect_reply_roundtrip(AckReply{true});
+  expect_reply_roundtrip(AckReply{false});
+
+  DistBatchReply batch;
+  batch.ok = true;
+  batch.leader_rank = 2;
+  batch.abort_reason = AbortReason::kNone;
+  batch.reads.push_back(
+      ReadResult{true, std::string("v"), Timestamp::make(10, 1)});
+  batch.reads.push_back(ReadResult{true, std::nullopt, Timestamp::min()});
+  batch.candidates.insert(
+      Interval{Timestamp::make(10, 0), Timestamp::make(20, 0)});
+  expect_reply_roundtrip(batch);
+
+  SnapshotReadReply snap;
+  snap.ok = true;
+  snap.refuse = SnapshotReadReply::Refuse::kNone;
+  snap.result = ReadResult{true, std::string("x"), Timestamp::make(9, 1)};
+  snap.snapshot = Timestamp::make(50, 0);
+  expect_reply_roundtrip(snap);
+
+  expect_reply_roundtrip(LogEntriesReply{{"entry1", std::string("\0", 1)}});
+  expect_reply_roundtrip(
+      GroupInfo{true, 4, 1, Timestamp::make(44, 0), true, false});
+
+  StoreStats stats;
+  stats.keys = 1;
+  stats.versions = 3;
+  stats.rpc_messages = 10;
+  stats.bytes_sent = 1'000;
+  stats.bytes_received = 2'000;
+  expect_reply_roundtrip(stats);
+
+  expect_reply_roundtrip(PurgeReply{7});
+  expect_reply_roundtrip(PaxosPrepareReply{true, 17, 3, "adopted"});
+  expect_reply_roundtrip(PaxosAcceptReply{true, 17});
+  expect_reply_roundtrip(MigratedKeysReply{true, {sample_migrated_key()}});
+  // An export that found nothing still acks — distinguishable from the
+  // refused (default) reply, which is what keeps a dropped export from
+  // reading as "nothing to hand over".
+  MigratedKeysReply empty_ok{true, {}};
+  const std::string empty_frame = encode_reply(empty_ok);
+  MigratedKeysReply decoded_empty;
+  ASSERT_TRUE(decode_reply(empty_frame, &decoded_empty));
+  EXPECT_TRUE(decoded_empty.ok);
+  EXPECT_FALSE(MigratedKeysReply{}.ok);
+}
+
+TEST(WireCodecTest, TruncationAndMutationAreRefusedSafely) {
+  fuzz_request(sample_op_batch());
+
+  FinalizeRequest fin;
+  fin.gtx = 9;
+  fin.decision = CommitDecision::committed(Timestamp::make(100, 2));
+  fin.has_effects = true;
+  fin.effects = sample_record();
+  fuzz_request(fin);
+  fuzz_request(SnapshotReadRequest{11, 2, "k0010", Timestamp::make(77, 1)});
+  fuzz_request(GroupBeatMsg{GroupBeat{3, 1, 12, Timestamp::make(60, 0)}});
+  fuzz_request(LogFetchRequest{5});
+  fuzz_request(PurgeRequest{Timestamp::make(1'000, 0)});
+  fuzz_request(PaxosAcceptRequest{"commit/9", 17, "value"});
+  fuzz_request(ExportKeysRequest{{"k0100", "k0200"}});
+  fuzz_request(ImportKeysRequest{{sample_migrated_key()}});
+
+  DistBatchReply batch;
+  batch.ok = true;
+  batch.reads.push_back(
+      ReadResult{true, std::string("v"), Timestamp::make(10, 1)});
+  batch.candidates.insert(
+      Interval{Timestamp::make(10, 0), Timestamp::make(20, 0)});
+  fuzz_reply(batch);
+
+  SnapshotReadReply snap;
+  snap.ok = true;
+  snap.result = ReadResult{true, std::string("x"), Timestamp::make(9, 1)};
+  fuzz_reply(snap);
+  fuzz_reply(PaxosPrepareReply{true, 17, 3, "adopted"});
+  fuzz_reply(MigratedKeysReply{true, {sample_migrated_key()}});
+  fuzz_reply(LogEntriesReply{{"entry1"}});
+
+  StoreStats stats;
+  stats.keys = 1;
+  fuzz_reply(stats);
+}
+
+TEST(WireCodecTest, WrongTypeTagIsRefused) {
+  const std::string frame = encode(LogFetchRequest{5});
+  GroupInfoRequest wrong;
+  EXPECT_FALSE(decode(frame, &wrong));
+  EXPECT_EQ(peek_type(std::string{}), kInvalidMsgType);
+  EXPECT_EQ(peek_type(std::string("\x7f", 1)), kInvalidMsgType);
+}
+
+TEST(WireCodecTest, UnsortedBoundariesAreRefused) {
+  // ShardMap requires sorted boundaries; the decoder enforces it so the
+  // invariant cannot be violated from the wire.
+  ExportKeysRequest msg;
+  msg.boundaries = {"k0100", "k0200"};
+  std::string frame = encode(msg);
+  ExportKeysRequest bad;
+  bad.boundaries = {"k0200", "k0100"};
+  // encode() does not validate (trusted caller); build the bad frame by
+  // hand to prove decode refuses it.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kExportKeys));
+  w.u64(2);
+  w.str("k0200");
+  w.str("k0100");
+  ExportKeysRequest out;
+  EXPECT_FALSE(decode(w.take(), &out));
+}
+
+}  // namespace
+}  // namespace mvtl::wire
