@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 
@@ -957,8 +958,14 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
   // subsequent drop would discard the range for good. Retry briefly
   // (the TCP transport reconnects on the next call), then fail the
   // migration loudly — a frozen cluster is recoverable, lost keys are
-  // not. Crash-flagged servers still ack (fail-stop is handled inside
-  // the handlers), so this only trips on a genuinely dead wire.
+  // not. Retrying is only sound because every migration RPC is
+  // idempotent: over TCP a refusal can also mean "request executed,
+  // reply lost" (fail_conn refuses every call pending on the shared
+  // connection), so each handler must tolerate re-execution — export
+  // is read-only, import rebuilds the key, freeze/drop/commit are
+  // naturally repeatable. Crash-flagged servers still ack (fail-stop
+  // is handled inside the handlers), so this only trips on a genuinely
+  // dead wire.
   const auto must_ack = [](auto&& rpc, const char* what) {
     for (int attempt = 0;; ++attempt) {
       auto reply = rpc();
@@ -969,6 +976,23 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
             " kept failing at the transport; migration aborted");
       }
       std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    }
+  };
+
+  // Fan out one idempotent RPC to `count` targets: issue every call up
+  // front (the whole step costs one round trip when nothing fails),
+  // then ack the replies, falling back to must_ack's retry loop for
+  // stragglers only — otherwise advance_epoch's freeze window would
+  // grow by one RTT per server on a real network.
+  const auto must_ack_all = [&must_ack](std::size_t count, auto&& make_call,
+                                        const char* what) {
+    using Future = std::decay_t<decltype(make_call(std::size_t{0}))>;
+    std::vector<Future> pending;
+    pending.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) pending.push_back(make_call(i));
+    for (std::size_t i = 0; i < count; ++i) {
+      if (pending[i].get().ok) continue;
+      must_ack([&] { return make_call(i).get(); }, what);
     }
   };
 
@@ -990,14 +1014,12 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
   // 2. Bar the door: every server refuses op batches (old epoch or new)
   //    until the migration commits. Every freeze must actually land —
   //    an unfrozen server would keep serving the old epoch mid-move.
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
-    must_ack(
-        [&] {
-          return wire::call(*transport_, i, wire::EpochFreezeRequest{next})
-              .get();
-        },
-        "epoch freeze");
-  }
+  must_ack_all(
+      servers_.size(),
+      [&](std::size_t i) {
+        return wire::call(*transport_, i, wire::EpochFreezeRequest{next});
+      },
+      "epoch freeze");
 
   // 3. Drain in-flight transactions against the old epoch, then bring
   //    every replica up to its group's full log: after the barrier all
@@ -1005,11 +1027,15 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
   drain_in_flight();
   replication_barrier();
 
-  // 4. Migrate: each group's *leader* exports the key ranges the group
-  //    no longer owns (its followers drop their copies); the exports are
-  //    regrouped by new owner and imported on *every* replica of the
-  //    owning group.
+  // 4. Migrate: each group's *leader* exports (read-only) the key
+  //    ranges the group no longer owns; the exports are regrouped by
+  //    new owner and imported on *every* replica of the owning group.
+  //    Only after every import is acked do the old owners — leader and
+  //    followers alike — drop their copies, so a retried export
+  //    re-collects the same keys instead of finding them cleared by a
+  //    first execution whose reply was lost.
   std::vector<std::vector<MigratedKey>> imports(groups_);
+  std::vector<ShardServer*> export_leader(groups_, nullptr);
   for (std::size_t g = 0; g < groups_; ++g) {
     const std::vector<ShardServer*> members = group_servers(g);
     // Export from the sealed leader; if the barrier could not produce
@@ -1039,53 +1065,65 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
         }
       }
     }
-    ShardServer* leader = members[leader_rank];
-    std::vector<MigratedKey> exported =
-        must_ack(
-            [&] {
-              return wire::call(*transport_, leader->index(),
-                                wire::ExportKeysRequest{adopted.boundaries()})
-                  .get();
-            },
-            "key export")
-            .keys;
-    for (std::size_t r = 0; r < members.size(); ++r) {
-      if (r == leader_rank) continue;
-      must_ack(
+    export_leader[g] = members[leader_rank];
+  }
+  std::vector<wire::ReplyFuture<wire::ExportKeysRequest>> export_calls;
+  export_calls.reserve(groups_);
+  for (std::size_t g = 0; g < groups_; ++g) {
+    export_calls.push_back(
+        wire::call(*transport_, export_leader[g]->index(),
+                   wire::ExportKeysRequest{adopted.boundaries()}));
+  }
+  for (std::size_t g = 0; g < groups_; ++g) {
+    auto reply = export_calls[g].get();
+    if (!reply.ok) {
+      // Safe to re-issue: export is read-only, so a "request executed,
+      // reply lost" refusal re-collects the same keys.
+      reply = must_ack(
           [&] {
-            return wire::call(*transport_, members[r]->index(),
-                              wire::DropKeysRequest{adopted.boundaries()})
+            return wire::call(*transport_, export_leader[g]->index(),
+                              wire::ExportKeysRequest{adopted.boundaries()})
                 .get();
           },
-          "follower key drop");
+          "key export");
     }
-    for (MigratedKey& mk : exported) {
+    for (MigratedKey& mk : reply.keys) {
       imports[adopted.shard_of(mk.key)].push_back(std::move(mk));
     }
   }
+  std::vector<std::pair<std::size_t, std::size_t>> import_to;  // server, group
   for (std::size_t g = 0; g < groups_; ++g) {
     if (imports[g].empty()) continue;
     for (ShardServer* s : group_servers(g)) {
-      must_ack(
-          [&] {
-            return wire::call(*transport_, s->index(),
-                              wire::ImportKeysRequest{imports[g]})
-                .get();
-          },
-          "key import");
+      import_to.emplace_back(s->index(), g);
     }
   }
+  must_ack_all(
+      import_to.size(),
+      [&](std::size_t i) {
+        return wire::call(*transport_, import_to[i].first,
+                          wire::ImportKeysRequest{imports[import_to[i].second]});
+      },
+      "key import");
+  // Every import landed; now every server sheds the ranges it no
+  // longer owns (on the new owners the imported keys are owned and
+  // untouched, so a blanket drop is safe and idempotent).
+  must_ack_all(
+      servers_.size(),
+      [&](std::size_t i) {
+        return wire::call(*transport_, i,
+                          wire::DropKeysRequest{adopted.boundaries()});
+      },
+      "key drop");
 
   // 5. Reopen under the new epoch and publish the routing for clients
   //    (existing clients adopt it on their first wrong_epoch reply).
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
-    must_ack(
-        [&] {
-          return wire::call(*transport_, i, wire::EpochCommitRequest{next})
-              .get();
-        },
-        "epoch commit");
-  }
+  must_ack_all(
+      servers_.size(),
+      [&](std::size_t i) {
+        return wire::call(*transport_, i, wire::EpochCommitRequest{next});
+      },
+      "epoch commit");
   epochs_.push_back(decided);
   routing_ = make_routing(next, std::move(adopted));
   return next;

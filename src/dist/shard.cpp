@@ -724,8 +724,10 @@ std::vector<MigratedKey> ShardServer::handle_export_keys(
         mk.lock_horizon == Timestamp::min()) {
       return;  // nothing to hand over
     }
-    ks.versions.clear();
-    ks.locks.clear_for_migration();
+    // Read-only: the clear happens in handle_drop_keys once the
+    // coordinator has acked every import. Over TCP a lost reply makes
+    // the coordinator retry this RPC, and a destructive first execution
+    // would make the retry return the keys as already gone.
     out.push_back(std::move(mk));
   });
   return out;
@@ -746,6 +748,12 @@ void ShardServer::handle_import_keys(const std::vector<MigratedKey>& keys) {
   for (const MigratedKey& mk : keys) {
     KeyState& ks = engine_.store().key_state(mk.key);
     std::lock_guard guard(ks.mu);
+    // The coordinator retries imports whose reply was lost on the wire,
+    // so a batch may be applied twice: rebuild the key from scratch so
+    // the second delivery lands identically (install() rejects
+    // duplicate timestamps).
+    ks.versions.clear();
+    ks.locks.clear_for_migration();
     for (const MigratedKey::Version& v : mk.versions) {
       ks.versions.install(v.ts, v.value, v.writer);
     }

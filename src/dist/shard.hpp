@@ -308,17 +308,21 @@ class ShardServer {
   /// coordinators abort on the refusal and finalize; crashed ones fall to
   /// the sweeper). Finalize itself is never refused.
   void handle_epoch_freeze(std::uint64_t next_epoch);
-  /// Extracts (and locally clears) every key this server's *group* owns
-  /// whose new owner under `new_map` is some other group. Called on the
-  /// group leader, after the drain AND the replication barrier: no
-  /// unfrozen locks remain and every replica applied the full log, so
-  /// versions + frozen intervals are the key's entire transferable state.
+  /// Collects every key this server's *group* owns whose new owner
+  /// under `new_map` is some other group. Called on the group leader,
+  /// after the drain AND the replication barrier: no unfrozen locks
+  /// remain and every replica applied the full log, so versions +
+  /// frozen intervals are the key's entire transferable state.
+  /// Read-only — the clear is handle_drop_keys, issued only after every
+  /// import is acked — so the coordinator may retry it after a lost
+  /// reply and collect the same keys.
   std::vector<MigratedKey> handle_export_keys(const ShardMap& new_map);
-  /// Follower half of the export: drops the same keys the leader
-  /// exported (each replica holds a copy of the group's state).
+  /// Clears the keys that moved away; runs on every replica of the old
+  /// owner group (leader included) once the imports landed. Idempotent.
   void handle_drop_keys(const ShardMap& new_map);
   /// Installs key state exported by the previous owners; runs on every
-  /// replica of the new owner group.
+  /// replica of the new owner group. Idempotent: a retried batch
+  /// rebuilds the key instead of installing on top of itself.
   void handle_import_keys(const std::vector<MigratedKey>& keys);
   /// Adopts `next_epoch` and reopens for op batches.
   void handle_epoch_commit(std::uint64_t next_epoch);

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -102,7 +103,15 @@ struct TcpTransport::Conn {
 TcpTransport::TcpTransport(TcpTransportConfig config)
     : config_(std::move(config)) {}
 
-TcpTransport::~TcpTransport() { shutdown(); }
+TcpTransport::~TcpTransport() {
+  shutdown();
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) {
+      ::close(wake_pipe_[i]);
+      wake_pipe_[i] = -1;
+    }
+  }
+}
 
 void TcpTransport::bind(std::size_t index, Executor* exec,
                         WireHandler handler) {
@@ -123,10 +132,18 @@ void TcpTransport::start() {
   std::lock_guard guard(mu_);
   if (started_ || shut_down_) return;
   started_ = true;
-  for (Endpoint& ep : endpoints_) {
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    Endpoint& ep = endpoints_[i];
     if (ep.exec == nullptr) continue;
+    // A bound endpoint that cannot get a listener would otherwise turn
+    // every call to it into an indistinguishable refusal, so make the
+    // cause (fd exhaustion, host misconfig, ...) visible.
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      std::fprintf(stderr, "mvtl: tcp endpoint %zu: socket() failed: %s\n",
+                   i, std::strerror(errno));
+      continue;
+    }
     int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
@@ -135,6 +152,9 @@ void TcpTransport::start() {
     ::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr);
     if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
         ::listen(fd, 128) != 0) {
+      std::fprintf(stderr,
+                   "mvtl: tcp endpoint %zu: bind/listen on %s failed: %s\n",
+                   i, config_.host.c_str(), std::strerror(errno));
       ::close(fd);
       continue;
     }
@@ -333,19 +353,33 @@ void TcpTransport::dispatch(const std::shared_ptr<Conn>& conn,
                      ? &endpoints_[conn->endpoint]
                      : nullptr;
   if (ep == nullptr || ep->exec == nullptr) {
-    if (kind == kFrameRequest) write_frame(*conn, kFrameReply, id, {});
+    if (kind == kFrameRequest && !write_frame(*conn, kFrameReply, id, {})) {
+      fail_conn(conn);
+    }
     return;
   }
-  ep->exec->post([conn, handler = &ep->handler, kind, id,
+  ep->exec->post([this, conn, handler = &ep->handler, kind, id,
                   payload = std::move(payload)] {
     std::string reply = (*handler)(payload);
-    if (kind == kFrameRequest) {
-      write_frame(*conn, kFrameReply, id, reply);
+    if (kind != kFrameRequest) return;
+    if (reply.size() > kMaxPayload) {
+      // Same guard as the request side: an oversized frame would be
+      // killed by the receiver's kMaxFrameLen check (and past 2^32 the
+      // length prefix would wrap and desync the stream), so map it to
+      // the default refusal the caller already knows how to handle.
+      reply.clear();
+    }
+    if (!write_frame(*conn, kFrameReply, id, reply)) {
+      // A failed reply write may have left a partial frame on the
+      // stream; the connection is desynced and must die, or the peer's
+      // pending calls on it would wedge until it fails by chance.
+      fail_conn(conn);
     }
   });
 }
 
 void TcpTransport::on_readable(const std::shared_ptr<Conn>& conn) {
+  bool peer_gone = false;
   char buf[64 * 1024];
   for (;;) {
     const auto n = ::recv(conn->fd, buf, sizeof(buf), 0);
@@ -355,8 +389,11 @@ void TcpTransport::on_readable(const std::shared_ptr<Conn>& conn) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    fail_conn(conn);  // EOF or error: the peer is gone
-    return;
+    // EOF or error: the peer is gone, but complete frames already in
+    // rbuf (a reply written right before the peer went down) must still
+    // be delivered — otherwise an ack that arrived reads as a refusal.
+    peer_gone = true;
+    break;
   }
   std::size_t pos = 0;
   while (conn->rbuf.size() - pos >= 4) {
@@ -374,6 +411,7 @@ void TcpTransport::on_readable(const std::shared_ptr<Conn>& conn) {
     pos += 4 + len;
   }
   if (pos > 0) conn->rbuf.erase(0, pos);
+  if (peer_gone) fail_conn(conn);
 }
 
 void TcpTransport::reactor_loop() {
@@ -458,12 +496,10 @@ void TcpTransport::shutdown() {
     }
   }
   for (const auto& conn : conns) fail_conn(conn);
-  for (int i = 0; i < 2; ++i) {
-    if (wake_pipe_[i] >= 0) {
-      ::close(wake_pipe_[i]);
-      wake_pipe_[i] = -1;
-    }
-  }
+  // The wake pipe stays open until destruction: executor tasks that
+  // race shutdown (a reply write failing on a torn-down conn) still
+  // call fail_conn → wake(), and closing the write end here would let
+  // that stray ::write land in a recycled descriptor.
 }
 
 }  // namespace mvtl

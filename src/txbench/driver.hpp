@@ -69,8 +69,11 @@ DriverResult run_closed_loop(TransactionalStore& store,
                              const DriverConfig& config);
 
 /// Deterministic run: each client executes exactly `txs_per_client`
-/// transactions (spread over its window); every attempt is counted.
-/// Used by the concurrency property tests.
+/// transactions (spread over its window). With the default
+/// `retry_aborted == false` every attempt is counted; with it set,
+/// this mode now honors the retry loop like the timed driver, so a
+/// transaction's restarts collapse into one counted result (commit or
+/// final abort). Used by the concurrency property tests.
 DriverResult run_fixed_count(TransactionalStore& store,
                              const DriverConfig& config,
                              std::size_t txs_per_client);

@@ -153,6 +153,37 @@ TEST(ReconfigTest, InFlightTransactionIsDrainedAndAborted) {
   EXPECT_TRUE(client.commit(*retry).committed());
 }
 
+TEST(ReconfigTest, MigrationExportAndImportTolerateRetries) {
+  // Over TCP a transport refusal can also mean "request executed, reply
+  // lost", and advance_epoch retries every migration RPC it drives. A
+  // re-executed export must collect the same keys (not find them cleared
+  // by the first execution), and a re-delivered import must land
+  // identically instead of double-installing versions.
+  Cluster cluster(DistProtocol::kMvtilEarly, three_server_config(nullptr));
+  TransactionalStore& client = cluster.client();
+
+  auto setup = client.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(client.write(*setup, make_key(800), "v800"));
+  ASSERT_TRUE(client.write(*setup, make_key(850), "v850"));
+  ASSERT_TRUE(client.commit(*setup).committed());
+
+  // Under the new map server 2's group gives up everything it owns.
+  const ShardMap new_map(std::vector<Key>{make_key(300)});
+  const std::vector<MigratedKey> first =
+      cluster.server(2).handle_export_keys(new_map);
+  const std::vector<MigratedKey> second =
+      cluster.server(2).handle_export_keys(new_map);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(second.size(), first.size());
+
+  cluster.server(1).handle_import_keys(first);
+  const StoreStats once = cluster.server(1).handle_stats();
+  cluster.server(1).handle_import_keys(second);
+  const StoreStats twice = cluster.server(1).handle_stats();
+  EXPECT_EQ(twice.keys, once.keys);
+  EXPECT_EQ(twice.versions, once.versions);
+}
+
 TEST(ReconfigTest, AdvanceEpochRejectsOversizedMaps) {
   Cluster cluster(DistProtocol::kMvtilEarly, three_server_config(nullptr));
   // Four ranges onto a three-server cluster: refused outright.
