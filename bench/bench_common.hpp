@@ -15,11 +15,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/db.hpp"
+#include "server/deploy.hpp"
 #include "txbench/driver.hpp"
 #include "txbench/report.hpp"
 
@@ -107,18 +110,43 @@ struct RunSpec {
   TransportKind transport = TransportKind::kDefault;
   /// In-flight transactions per client (txbench pipelining window).
   std::size_t window = 1;
+  /// Non-empty: attach to an already-running multi-process cluster
+  /// described by this deploy-config file instead of spawning servers
+  /// (the cluster's own protocol/layout win over this spec's).
+  std::string connect_config;
 };
+
+/// Machine-readable results, accumulated across every run_sweep of the
+/// process and rewritten to one JSON file after each data point (so a
+/// partial run still leaves valid JSON behind). Enabled by --json=PATH.
+struct JsonSink {
+  std::string path;
+  std::vector<std::string> rows;  // serialized objects, one per run
+};
+
+inline JsonSink& json_sink() {
+  static JsonSink sink;
+  return sink;
+}
 
 /// Command-line overrides shared by the distributed figure benches:
 ///   --transport=sim|tcp     transport selection (default: sim / env)
 ///   --net-base-us=N         SimNetwork base latency override
 ///   --net-jitter-us=N       SimNetwork jitter override
 ///   --window=N              in-flight transactions per client
+///   --json=PATH             also write results as a JSON array
+///   --quick                 reduced sweeps (CI smoke: shape, not data)
+///   --connect=FILE          measure a RUNNING multi-process cluster
+///                           (scripts/mvtl_cluster.sh) instead of the
+///                           simulated bed; only the cluster's own
+///                           protocol is swept
 struct BenchFlags {
   TransportKind transport = TransportKind::kDefault;
   std::optional<std::chrono::microseconds> net_base;
   std::optional<std::chrono::microseconds> net_jitter;
   std::size_t window = 1;
+  bool quick = false;
+  std::string connect;
 
   static BenchFlags parse(int argc, char** argv) {
     BenchFlags flags;
@@ -142,10 +170,17 @@ struct BenchFlags {
       } else if (std::strncmp(arg, "--window=", 9) == 0) {
         const long long w = std::atoll(arg + 9);
         flags.window = w > 0 ? static_cast<std::size_t>(w) : 1;
+      } else if (std::strncmp(arg, "--json=", 7) == 0) {
+        json_sink().path = arg + 7;
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        flags.quick = true;
+      } else if (std::strncmp(arg, "--connect=", 10) == 0) {
+        flags.connect = arg + 10;
       } else {
         std::fprintf(stderr,
                      "unknown flag: %s\nflags: --transport=sim|tcp "
-                     "--net-base-us=N --net-jitter-us=N --window=N\n",
+                     "--net-base-us=N --net-jitter-us=N --window=N "
+                     "--json=PATH --quick --connect=FILE\n",
                      arg);
         std::exit(2);
       }
@@ -156,8 +191,30 @@ struct BenchFlags {
   void apply(RunSpec& spec) const {
     spec.transport = transport;
     spec.window = window;
+    spec.connect_config = connect;
+    // The remote cluster's range sharding covers ITS key space; the
+    // workload must not generate keys outside it.
+    if (!connect.empty()) {
+      spec.key_space = load_deploy_config(connect).key_space;
+    }
     if (net_base) spec.bed.net.base = *net_base;
     if (net_jitter) spec.bed.net.jitter = *net_jitter;
+  }
+
+  /// --connect mode sweeps only the protocol the running cluster was
+  /// deployed with (a client must speak its cluster's protocol).
+  std::vector<Protocol> connected_protocols() const {
+    switch (load_deploy_config(connect).protocol) {
+      case DistProtocol::kTo:
+        return {Protocol::kMvtoPlus};
+      case DistProtocol::kPessimistic:
+        return {Protocol::kTwoPl};
+      case DistProtocol::kMvtilEarly:
+        return {Protocol::kMvtilEarly};
+      case DistProtocol::kMvtilLate:
+        return {Protocol::kMvtilLate};
+    }
+    return {Protocol::kMvtilEarly};
   }
 };
 
@@ -179,6 +236,16 @@ inline DistProtocol dist_protocol_for(Protocol p) {
 }
 
 inline Db make_db(Protocol protocol, const RunSpec& spec) {
+  if (!spec.connect_config.empty()) {
+    // Remote client against a running multi-process deployment: the
+    // cluster's file dictates protocol and layout; this spec only
+    // shapes the client-side workload.
+    const DeployConfig deploy = load_deploy_config(spec.connect_config);
+    return Options()
+        .policy(Policy::distributed(deploy.protocol,
+                                    deploy.to_cluster_config(/*local=*/{})))
+        .open();
+  }
   if (spec.bed.distributed()) {
     ClusterConfig cluster;
     cluster.servers = spec.bed.servers;
@@ -239,6 +306,58 @@ inline ProtocolRun run_protocol(Protocol protocol, const RunSpec& spec) {
   return run;
 }
 
+/// Escapes `s` for a JSON string literal (figure titles carry quotes-
+/// free prose, but stay defensive).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Appends one (x, protocol) data point to the --json sink and rewrites
+/// the whole file, keeping it valid JSON at every point of the run.
+inline void json_record(const std::string& figure, const std::string& x_label,
+                        std::uint64_t x, Protocol protocol,
+                        const ProtocolRun& run) {
+  JsonSink& sink = json_sink();
+  if (sink.path.empty()) return;
+  const double committed = static_cast<double>(run.stats.committed_txs);
+  const double messages = static_cast<double>(run.stats.rpc_messages +
+                                              run.stats.paxos_messages);
+  const double wire_kb =
+      static_cast<double>(run.stats.bytes_sent + run.stats.bytes_received) /
+      1024.0;
+  std::ostringstream row;
+  row << "  {\"figure\": \"" << json_escape(figure) << "\", "
+      << "\"x_label\": \"" << json_escape(x_label) << "\", "
+      << "\"x\": " << x << ", "
+      << "\"protocol\": \"" << protocol_name(protocol) << "\", "
+      << "\"tps\": " << run.driver.throughput_tps << ", "
+      << "\"commit_rate\": " << run.driver.commit_rate << ", "
+      << "\"committed\": " << run.driver.committed << ", "
+      << "\"aborted\": " << run.driver.aborted << ", "
+      << "\"p50_us\": " << run.driver.p50_us << ", "
+      << "\"p99_us\": " << run.driver.p99_us << ", "
+      << "\"msgs_per_tx\": " << (committed > 0 ? messages / committed : 0.0)
+      << ", "
+      << "\"wire_kb_per_tx\": " << (committed > 0 ? wire_kb / committed : 0.0)
+      << ", "
+      << "\"max_backlog\": " << run.stats.max_backlog << "}";
+  sink.rows.push_back(row.str());
+
+  std::ofstream out(sink.path);
+  out << "[\n";
+  for (std::size_t i = 0; i < sink.rows.size(); ++i) {
+    out << sink.rows[i] << (i + 1 < sink.rows.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+}
+
 inline const std::vector<Protocol>& all_protocols() {
   static const std::vector<Protocol> kProtocols = {
       Protocol::kMvtoPlus, Protocol::kTwoPl, Protocol::kMvtilEarly,
@@ -274,8 +393,9 @@ void run_sweep(const std::string& figure, const std::string& x_label,
     std::vector<std::string> backlog_row{std::to_string(x)};
     for (Protocol p : protocols) {
       const RunSpec spec = make_spec(x);
-      distributed |= spec.bed.distributed();
+      distributed |= spec.bed.distributed() || !spec.connect_config.empty();
       const ProtocolRun run = run_protocol(p, spec);
+      json_record(figure, x_label, static_cast<std::uint64_t>(x), p, run);
       tput_row.push_back(fmt_double(run.driver.throughput_tps, 0));
       rate_row.push_back(fmt_double(run.driver.commit_rate, 3));
       const double messages = static_cast<double>(run.stats.rpc_messages +

@@ -5,13 +5,18 @@
 // shape: MVTIL-early/late sustain the highest throughput and a commit
 // rate near 1.0 as concurrency grows; MVTO+'s commit rate decays with
 // conflicts; 2PL pays lock waiting.
+// Flags (BenchFlags): --json=PATH --quick (the network/transport flags
+// parse but are inert on the centralized local bed).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mvtl;
   using namespace mvtl::bench;
 
-  const std::vector<std::size_t> clients = {30, 100, 200, 400, 600};
+  const BenchFlags flags = BenchFlags::parse(argc, argv);
+  const std::vector<std::size_t> clients =
+      flags.quick ? std::vector<std::size_t>{30, 100}
+                  : std::vector<std::size_t>{30, 100, 200, 400, 600};
   run_sweep("Figure 1: concurrency, local test bed", "clients", clients,
             [](std::size_t c) {
               RunSpec spec;

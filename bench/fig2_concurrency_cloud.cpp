@@ -21,17 +21,25 @@ int main(int argc, char** argv) {
   using namespace mvtl::bench;
 
   const BenchFlags flags = BenchFlags::parse(argc, argv);
-  const std::vector<std::size_t> clients = {30, 100, 200, 400, 600};
-  run_sweep("Figure 2: concurrency, cloud test bed", "clients", clients,
-            [&flags](std::size_t c) {
-              RunSpec spec;
-              spec.bed = TestBed::cloud(8);
-              spec.clients = c;
-              spec.key_space = 50'000;
-              spec.ops_per_tx = 20;
-              spec.write_fraction = 0.25;
-              flags.apply(spec);
-              return spec;
-            });
+  const std::vector<std::size_t> clients =
+      flags.quick ? std::vector<std::size_t>{30, 100}
+                  : std::vector<std::size_t>{30, 100, 200, 400, 600};
+  // --connect: same client sweep, but against the RUNNING multi-process
+  // cluster (its own protocol only) instead of the simulated bed.
+  const std::vector<Protocol> protocols =
+      flags.connect.empty() ? all_protocols() : flags.connected_protocols();
+  run_sweep(
+      "Figure 2: concurrency, cloud test bed", "clients", clients,
+      [&flags](std::size_t c) {
+        RunSpec spec;
+        spec.bed = TestBed::cloud(8);
+        spec.clients = c;
+        spec.key_space = 50'000;
+        spec.ops_per_tx = 20;
+        spec.write_fraction = 0.25;
+        flags.apply(spec);
+        return spec;
+      },
+      protocols);
   return 0;
 }

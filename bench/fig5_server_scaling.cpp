@@ -25,9 +25,40 @@ int main(int argc, char** argv) {
   using namespace mvtl::bench;
 
   const BenchFlags flags = BenchFlags::parse(argc, argv);
+
+  // --connect: the server count is whatever the running cluster has, so
+  // the x axis collapses to that one point (both write mixes, the
+  // cluster's own protocol only) and the in-process panels are skipped.
+  if (!flags.connect.empty()) {
+    const std::size_t groups = load_deploy_config(flags.connect).groups();
+    for (const double writes : {0.25, 0.50}) {
+      const int reads_pct = static_cast<int>((1.0 - writes) * 100);
+      char title[96];
+      std::snprintf(title, sizeof(title),
+                    "Figure 5 (connected cluster), %d%% reads", reads_pct);
+      run_sweep(
+          title, "servers", std::vector<std::size_t>{groups},
+          [writes, &flags](std::size_t) {
+            RunSpec spec;
+            spec.clients = flags.quick ? 50 : 400;
+            spec.key_space = 100'000;
+            spec.ops_per_tx = 20;
+            spec.write_fraction = writes;
+            spec.warmup = std::chrono::milliseconds{400};
+            spec.measure = std::chrono::milliseconds{900};
+            flags.apply(spec);
+            return spec;
+          },
+          flags.connected_protocols());
+    }
+    return 0;
+  }
+
   for (const double writes : {0.25, 0.50}) {
     const int reads_pct = static_cast<int>((1.0 - writes) * 100);
-    const std::vector<std::size_t> servers = {1, 2, 4, 8, 16};
+    const std::vector<std::size_t> servers =
+        flags.quick ? std::vector<std::size_t>{1, 4}
+                    : std::vector<std::size_t>{1, 2, 4, 8, 16};
     char title[96];
     std::snprintf(title, sizeof(title), "Figure 5: server scaling, %d%% reads",
                   reads_pct);
@@ -51,7 +82,9 @@ int main(int argc, char** argv) {
   // Replication panel: same bed, shard groups swept at RF 1 vs 3 (RF 3
   // triples the physical servers; the x axis stays "groups").
   for (const std::size_t rf : {std::size_t{1}, std::size_t{3}}) {
-    const std::vector<std::size_t> groups = {1, 2, 4};
+    const std::vector<std::size_t> groups =
+        flags.quick ? std::vector<std::size_t>{1, 2}
+                    : std::vector<std::size_t>{1, 2, 4};
     char title[96];
     std::snprintf(title, sizeof(title),
                   "Figure 5 (repl): 25%% writes, replication factor %zu", rf);

@@ -6,18 +6,134 @@
 // mid-transaction, and shows the servers' suspicion machinery (commitment
 // objects) cleaning up — plus the timestamp service keeping metadata
 // bounded.
+//
+// With --connect=CONFIG it instead attaches to an already-running
+// multi-process cluster (scripts/mvtl_cluster.sh) as a remote client:
+// same workload shape, but timed (--seconds=N), resilient to server
+// kills mid-run, and optionally certified serializable from the
+// client-side history (--verify). The failover integration test drives
+// this mode while kill -9ing a group leader.
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "api/db.hpp"
 #include "dist/cluster.hpp"
+#include "server/deploy.hpp"
 #include "txbench/driver.hpp"
+#include "verify/mvsg.hpp"
+
+namespace {
+
+/// --connect mode: remote client against a running cluster. Returns the
+/// process exit code. The workload must keep committing through leader
+/// kills — commits in the final quarter of the run prove the cluster
+/// recovered, and the recorded history must be MVSG-acyclic.
+int run_connected(const std::string& config_path, int seconds, bool verify) {
+  using namespace mvtl;
+  using Clock = std::chrono::steady_clock;
+
+  const DeployConfig deploy = load_deploy_config(config_path);
+  HistoryRecorder recorder;
+  ClusterConfig cc = deploy.to_cluster_config(/*local=*/{});
+  if (verify) cc.recorder = &recorder;
+
+  // Client-only Cluster: no servers spawned here; construction blocks
+  // until the remote cluster's configuration quorum answers.
+  Cluster cluster(deploy.protocol, cc);
+  std::printf("connected: %zu groups x rf %zu, protocol %s\n",
+              cluster.group_count(), cluster.replication_factor(),
+              dist_protocol_name(cluster.protocol()));
+
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::seconds{seconds};
+  std::atomic<int> committed{0};
+  std::atomic<int> aborted{0};
+  // Commit count in the last quarter of the run: nonzero proves the
+  // cluster serves commits AFTER any mid-run leader kill.
+  std::atomic<int> late_committed{0};
+  const auto late_from =
+      start + std::chrono::milliseconds{seconds * 750};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      WorkloadConfig wl;
+      wl.key_space = deploy.key_space;
+      wl.ops_per_tx = 8;
+      wl.write_fraction = 0.3;
+      wl.seed = 70 + static_cast<std::uint64_t>(c);
+      WorkloadGenerator gen(wl);
+      const auto process = static_cast<ProcessId>(c + 1);
+      while (Clock::now() < deadline) {
+        const CommitResult r =
+            execute_tx(cluster.client(), gen.next_tx(), process);
+        if (r.committed()) {
+          committed.fetch_add(1);
+          if (Clock::now() >= late_from) late_committed.fetch_add(1);
+        } else {
+          aborted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  std::printf("workload: %d committed (%d in final quarter), %d aborted\n",
+              committed.load(), late_committed.load(), aborted.load());
+  if (committed.load() == 0) {
+    std::fprintf(stderr, "FAIL: no transaction committed\n");
+    return 1;
+  }
+  if (late_committed.load() == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no commits in the final quarter — the cluster did "
+                 "not recover\n");
+    return 1;
+  }
+  if (verify) {
+    const CheckReport report =
+        MvsgChecker::check_acyclic(recorder.finished());
+    std::printf("MVSG check over %zu finished transactions: %s\n",
+                recorder.finished().size(),
+                report.serializable ? "acyclic (serializable)" : "CYCLE");
+    if (!report.serializable) {
+      std::fprintf(stderr, "FAIL: %s\n", report.violation.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mvtl;
+
+  std::string connect_path;
+  int seconds = 5;
+  bool verify = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      connect_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    }
+  }
+  if (!connect_path.empty()) {
+    try {
+      return run_connected(connect_path, seconds < 1 ? 1 : seconds, verify);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "distributed_store: %s\n", e.what());
+      return 1;
+    }
+  }
 
   ClusterConfig config;
   config.servers = 4;

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Launch/stop/inspect a local multi-process MVTIL cluster.
+#
+#   scripts/mvtl_cluster.sh start  CONFIG BUILD_DIR RUN_DIR
+#   scripts/mvtl_cluster.sh status CONFIG BUILD_DIR RUN_DIR
+#   scripts/mvtl_cluster.sh kill-leader CONFIG BUILD_DIR RUN_DIR GROUP
+#   scripts/mvtl_cluster.sh stop   CONFIG BUILD_DIR RUN_DIR
+#
+# `start` spawns one mvtl_shard_server process per endpoint in CONFIG
+# (pidfiles and logs under RUN_DIR) and blocks until every server
+# answers — the processes themselves block in the epoch-0 register
+# until a quorum is up, so a successful start means the configuration
+# is decided cluster-wide. `kill-leader` asks mvtl_ctl who leads GROUP
+# and kill -9s that process: the failover path, not a clean shutdown.
+set -euo pipefail
+
+usage() {
+  sed -n '2,8p' "$0" >&2
+  exit 2
+}
+
+[ $# -ge 4 ] || usage
+cmd=$1
+config=$2
+build_dir=$3
+run_dir=$4
+
+server_bin="$build_dir/tools/mvtl_shard_server"
+ctl_bin="$build_dir/tools/mvtl_ctl"
+[ -f "$config" ] || { echo "config not found: $config" >&2; exit 2; }
+[ -x "$server_bin" ] || { echo "not built: $server_bin" >&2; exit 2; }
+[ -x "$ctl_bin" ] || { echo "not built: $ctl_bin" >&2; exit 2; }
+
+# Server count = endpoint lines in the config (comments stripped).
+count=$(sed 's/#.*//' "$config" |
+  grep -c '^[[:space:]]*endpoint[[:space:]]*=' || true)
+[ "$count" -gt 0 ] || { echo "no endpoints in $config" >&2; exit 2; }
+
+pidfile() { echo "$run_dir/server$1.pid"; }
+logfile() { echo "$run_dir/server$1.log"; }
+
+alive() {  # alive PID
+  kill -0 "$1" 2>/dev/null
+}
+
+case "$cmd" in
+  start)
+    mkdir -p "$run_dir"
+    for i in $(seq 0 $((count - 1))); do
+      if [ -f "$(pidfile "$i")" ] && alive "$(cat "$(pidfile "$i")")"; then
+        echo "server $i already running (pid $(cat "$(pidfile "$i")"))" >&2
+        exit 1
+      fi
+      "$server_bin" --config="$config" --serve="$i" \
+        > "$(logfile "$i")" 2>&1 &
+      echo $! > "$(pidfile "$i")"
+    done
+    # The servers gate on the configuration quorum; wait until every one
+    # answers a group-info probe (or a process died / we time out).
+    deadline=$(( $(date +%s) + 60 ))
+    while true; do
+      if "$ctl_bin" --config="$config" status > /dev/null 2>&1; then
+        echo "cluster up: $count servers"
+        exit 0
+      fi
+      for i in $(seq 0 $((count - 1))); do
+        if ! alive "$(cat "$(pidfile "$i")")"; then
+          echo "server $i exited during start; log follows:" >&2
+          cat "$(logfile "$i")" >&2
+          "$0" stop "$config" "$build_dir" "$run_dir" || true
+          exit 1
+        fi
+      done
+      if [ "$(date +%s)" -ge "$deadline" ]; then
+        echo "cluster did not come up within 60s; logs in $run_dir" >&2
+        "$0" stop "$config" "$build_dir" "$run_dir" || true
+        exit 1
+      fi
+      sleep 0.2
+    done
+    ;;
+
+  status)
+    "$ctl_bin" --config="$config" status
+    ;;
+
+  kill-leader)
+    [ $# -ge 5 ] || usage
+    group=$5
+    # Replication factor, for the rank-0 fallback below.
+    rf=$(sed 's/#.*//' "$config" \
+      | sed -n 's/^[[:space:]]*replication_factor[[:space:]]*=[[:space:]]*//p' \
+      | tr -d '[:space:]')
+    rf=${rf:-1}
+    if ! idx=$("$ctl_bin" --config="$config" leader "$group"); then
+      idx=$((group * rf))  # nobody answered: kill the initial leader
+    fi
+    pid=$(cat "$(pidfile "$idx")")
+    echo "kill -9 group $group leader: server $idx (pid $pid)"
+    kill -9 "$pid"
+    ;;
+
+  stop)
+    for i in $(seq 0 $((count - 1))); do
+      f=$(pidfile "$i")
+      [ -f "$f" ] || continue
+      pid=$(cat "$f")
+      if alive "$pid"; then
+        kill "$pid" 2>/dev/null || true
+      fi
+    done
+    for i in $(seq 0 $((count - 1))); do
+      f=$(pidfile "$i")
+      [ -f "$f" ] || continue
+      pid=$(cat "$f")
+      for _ in $(seq 1 50); do
+        alive "$pid" || break
+        sleep 0.1
+      done
+      if alive "$pid"; then
+        kill -9 "$pid" 2>/dev/null || true
+      fi
+      rm -f "$f"
+    done
+    echo "cluster stopped"
+    ;;
+
+  *)
+    usage
+    ;;
+esac

@@ -94,12 +94,20 @@ Db Options::open() const {
     }
     case Policy::Kind::kDistributed: {
       // A whole cluster as the Db's engine. Facade-level knobs fill any
-      // the ClusterConfig left unset.
+      // the ClusterConfig left unset — except the clock, where only an
+      // *explicit* Options clock is forwarded: the Cluster must stay
+      // free to pick WallClock when the config names remote endpoints
+      // (a facade-default SystemClock ticks from a per-process origin,
+      // so its timestamps land far below a running cluster's history).
       ClusterConfig config = policy_.cluster_config();
-      if (!config.clock) config.clock = clock;
+      if (!config.clock && clock_) config.clock = clock_;
       if (config.recorder == nullptr) config.recorder = recorder_;
-      engine = std::make_unique<ClusterStore>(policy_.dist_protocol(),
-                                              std::move(config));
+      auto store = std::make_unique<ClusterStore>(policy_.dist_protocol(),
+                                                  std::move(config));
+      // The Db's own services (GC, retry pacing) must read the same
+      // clock the cluster resolved, whichever default it chose.
+      clock = store->cluster().clock();
+      engine = std::move(store);
       break;
     }
     default: {

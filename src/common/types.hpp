@@ -44,6 +44,11 @@ struct ReadResult {
   bool ok = false;  ///< false ⇒ the read failed and the tx must abort.
   std::optional<Value> value;
   Timestamp version_ts;
+  /// Transaction that installed the version read (kInvalidTxId for ⊥, or
+  /// when the engine does not track writers). Lets a *remote* client
+  /// record reads-from edges for the serializability checker without any
+  /// server-side recorder.
+  TxId version_writer = kInvalidTxId;
 };
 
 /// Aggregated metadata sizes (Figure 6) plus message accounting for the

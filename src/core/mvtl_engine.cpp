@@ -62,6 +62,7 @@ ReadResult MvtlEngine::read(Tx& tx_base, const Key& key) {
   out.ok = true;
   out.value = std::move(r.value);
   out.version_ts = r.tr;
+  out.version_writer = r.writer;
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "dist/cluster.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <map>
 #include <mutex>
@@ -71,8 +73,19 @@ class DistClient::DistTx final : public TransactionalStore::Tx {
 
 DistClient::DistClient(Cluster& cluster)
     : cluster_(&cluster),
-      track_effects_(cluster.replication_factor() > 1),
+      client_recording_(cluster.client_only() &&
+                        cluster.config().recorder != nullptr),
       routing_(cluster.routing()) {
+  track_effects_ = cluster.replication_factor() > 1 || client_recording_;
+  if (cluster.client_only()) {
+    // Remote clients in separate processes must not collide on global
+    // transaction ids (commitment registers are keyed "commit/<gtx>"):
+    // salt the counter with the pid and the wall clock. In-process
+    // clusters keep the deterministic 1, 2, 3, ... ids tests rely on.
+    std::uint64_t salt = static_cast<std::uint64_t>(::getpid()) << 40;
+    salt ^= cluster.clock()->now(0) << 16;
+    next_gtx_.store(salt | 1, std::memory_order_relaxed);
+  }
   leaders_.reserve(routing_->groups.size());
   for (const GroupView& view : routing_->groups) {
     leaders_.push_back(view.leader);
@@ -160,7 +173,7 @@ DistClient::Route DistClient::route(DistTx& tx, const Key& key) {
     it->second.server = leader_for(group);
     tx.participants_.push_back(group);
   }
-  return Route{group, it->second.server, &cluster_->server(it->second.server)};
+  return Route{group, it->second.server};
 }
 
 wire::ReplyFuture<wire::OpBatchRequest> DistClient::send_batch_async(
@@ -263,6 +276,11 @@ ReadResult DistClient::snapshot_read(DistTx& tx, const Key& key) {
               .get();
       if (reply.ok) {
         if (tx.snapshot_.is_min()) tx.snapshot_ = reply.snapshot;
+        if (client_recording_) {
+          cluster_->config().recorder->record_read(
+              tx.id(), key, reply.result.version_ts,
+              reply.result.version_writer);
+        }
         return reply.result;
       }
       switch (reply.refuse) {
@@ -317,6 +335,10 @@ ReadResult DistClient::read(Tx& tx_base, const Key& key) {
     auto& part = tx.parts_[r.group];
     if (part.writes.find(key) == part.writes.end()) {
       part.reads.try_emplace(key, result.version_ts);
+      if (client_recording_) {
+        cluster_->config().recorder->record_read(
+            tx.id(), key, result.version_ts, result.version_writer);
+      }
     }
   }
   return result;
@@ -583,6 +605,18 @@ CommitResult DistClient::commit(Tx& tx_base) {
     if (!f.get().ok) finalize_commit_on_group(tx, group, decided);
   }
   tx.state_ = DistTx::State::kCommitted;
+  if (client_recording_) {
+    // Remote cluster: the servers cannot reach this process's recorder,
+    // so the write set and the commit land here, from the effect log.
+    HistoryRecorder* recorder = cluster_->config().recorder;
+    for (const auto& [group, part] : tx.parts_) {
+      for (const auto& [key, value] : part.writes) {
+        (void)value;
+        recorder->record_write(tx.id(), key);
+      }
+    }
+    recorder->record_commit(tx.id(), decided.ts);
+  }
   committed_txs_.fetch_add(1, std::memory_order_relaxed);
   result.status = CommitStatus::kCommitted;
   result.commit_ts = decided.ts;
@@ -608,6 +642,9 @@ void DistClient::finish_abort(DistTx& tx, AbortReason reason,
                               bool notify_servers) {
   tx.state_ = DistTx::State::kAborted;
   tx.reason_ = reason;
+  if (client_recording_) {
+    cluster_->config().recorder->record_abort(tx.id(), reason);
+  }
   for (auto& [group, part] : tx.parts_) part.pending.clear();
   // Coordinator-initiated aborts need no Paxos round: Commit is only ever
   // proposed by the coordinator, so once it chooses Abort every decision
@@ -676,19 +713,60 @@ Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
     : protocol_(protocol),
       config_(std::move(config)),
       groups_(config_.servers == 0 ? 1 : config_.servers),
-      rf_(config_.replication_factor == 0 ? 1 : config_.replication_factor),
-      clock_(config_.clock ? config_.clock : std::make_shared<SystemClock>()) {
+      rf_(config_.replication_factor == 0 ? 1 : config_.replication_factor) {
+  const std::size_t total = groups_ * rf_;
+  const bool multi_process = !config_.endpoints.empty();
+  if (multi_process && config_.endpoints.size() != total) {
+    throw std::invalid_argument(
+        "Cluster: config names " + std::to_string(config_.endpoints.size()) +
+        " endpoints but servers x replication_factor = " +
+        std::to_string(total));
+  }
+  for (const std::size_t i : config_.local_servers) {
+    if (i >= total) {
+      throw std::invalid_argument("Cluster: local server index " +
+                                  std::to_string(i) + " out of range");
+    }
+  }
+  // Separate processes must draw ticks from a shared epoch (see
+  // ClusterConfig::clock); in-process clusters keep the deterministic
+  // steady-clock behaviour every existing test depends on.
+  clock_ = config_.clock ? config_.clock
+           : multi_process
+               ? std::shared_ptr<ClockSource>(std::make_shared<WallClock>())
+               : std::shared_ptr<ClockSource>(std::make_shared<SystemClock>());
   TransportKind kind = config_.transport;
   if (kind == TransportKind::kDefault) kind = transport_kind_from_env();
+  if (multi_process) kind = TransportKind::kTcp;  // endpoints are sockets
   if (kind == TransportKind::kTcp) {
-    transport_ = std::make_unique<TcpTransport>();
+    auto tcp = std::make_unique<TcpTransport>();
+    if (multi_process) {
+      const auto is_local = [&](std::size_t i) {
+        return std::find(config_.local_servers.begin(),
+                         config_.local_servers.end(),
+                         i) != config_.local_servers.end();
+      };
+      for (std::size_t i = 0; i < total; ++i) {
+        const NodeAddress& addr = config_.endpoints[i];
+        if (is_local(i)) {
+          tcp->listen_address(i, addr.host, addr.port);
+        } else {
+          tcp->peer_address(i, addr.host, addr.port);
+        }
+      }
+    }
+    transport_ = std::move(tcp);
   } else {
     transport_ = std::make_unique<SimTransport>(config_.net, config_.seed,
                                                 config_.net_lanes);
   }
-  const std::size_t total = groups_ * rf_;
-  servers_.reserve(total);
+  servers_.resize(total);  // remote indices stay null
   for (std::size_t i = 0; i < total; ++i) {
+    if (multi_process &&
+        std::find(config_.local_servers.begin(), config_.local_servers.end(),
+                  i) == config_.local_servers.end()) {
+      continue;
+    }
     ShardServerConfig sc;
     sc.index = i;
     sc.threads = config_.server_threads;
@@ -706,13 +784,14 @@ Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
       sc.members.push_back((i / rf_) * rf_ + r);
     }
     sc.floor_lag_ticks = config_.floor_lag_ticks;
-    servers_.push_back(
-        std::make_unique<ShardServer>(std::move(sc), *transport_));
+    servers_[i] = std::make_unique<ShardServer>(std::move(sc), *transport_);
   }
 
-  // Bind every server to the transport (the frame → typed-handler seam),
-  // then open it for traffic — TCP binds its listeners here.
+  // Bind every local server to the transport (the frame → typed-handler
+  // seam), then open it for traffic — TCP binds its listeners here (and
+  // throws if a configured port cannot be taken).
   for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i] == nullptr) continue;
     ShardServer* s = servers_[i].get();
     transport_->bind(i, &s->exec(), [s](const std::string& frame) {
       return s->handle_frame(frame);
@@ -720,6 +799,10 @@ Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
   }
   transport_->start();
 
+  // Acceptor endpoints cover ALL servers, local and remote: commitment
+  // and configuration registers take a majority of the whole cluster,
+  // and the wire calls below reach a remote acceptor exactly like a
+  // local one.
   acceptor_endpoints_.reserve(servers_.size());
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     AcceptorEndpoint ep;
@@ -734,18 +817,37 @@ Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
     };
     acceptor_endpoints_.push_back(std::move(ep));
   }
-  for (auto& server : servers_) server->connect(acceptor_endpoints_);
+  for (auto& server : servers_) {
+    if (server != nullptr) server->connect(acceptor_endpoints_);
+  }
   // Background activity (sweepers, group tickers) starts only after
   // every server is wired: a ticker beating a peer mid-connect would
   // race its group wiring.
-  for (auto& server : servers_) server->start();
+  for (auto& server : servers_) {
+    if (server != nullptr) server->start();
+  }
 
   // Configuration epoch 0 goes through the same register machinery as
   // every commitment decision: decided once, durable against races.
+  // In a multi-process deployment every process proposes the SAME value
+  // (encode_config is deterministic in the shared config file), and
+  // paxos_propose retries until a majority of acceptors answers — so
+  // this doubles as the boot barrier: no process serves traffic before
+  // a quorum of the cluster is up and epoch 0 is decided.
   ShardMap initial(groups_, config_.key_space);
-  epochs_.push_back(paxos_propose("config/0", acceptor_endpoints_,
-                                  kCoordinatorProposer,
-                                  encode_config(0, initial)));
+  const PaxosValue decided =
+      paxos_propose("config/0", acceptor_endpoints_, kCoordinatorProposer,
+                    encode_config(0, initial));
+  if (decided != encode_config(0, initial)) {
+    // A process whose config file disagrees with what the cluster
+    // decided (different key space, layout, Δ, ...) must not serve: its
+    // routing and engine parameters would silently diverge.
+    throw std::runtime_error(
+        "Cluster: configuration register decided \"" + decided +
+        "\" but this process's config encodes \"" +
+        encode_config(0, initial) + "\" — config files disagree");
+  }
+  epochs_.push_back(decided);
   routing_ = make_routing(0, std::move(initial));
 
   client_ = std::make_unique<DistClient>(*this);
@@ -755,7 +857,9 @@ Cluster::~Cluster() {
   stop_ts_service();
   // Stop every sweeper and group ticker before any server dies: a
   // sweeper or ticker mid-Paxos calls into its peers' executors.
-  for (auto& server : servers_) server->disconnect();
+  for (auto& server : servers_) {
+    if (server != nullptr) server->disconnect();
+  }
   // Then quiesce the transport: it is declared before servers_ (so it is
   // destroyed after them), and a live delivery thread posting into a
   // half-destroyed Executor is a use-after-free. No caller is in flight
@@ -764,11 +868,33 @@ Cluster::~Cluster() {
   transport_->shutdown();
 }
 
+bool Cluster::hosts_all_servers() const {
+  for (const auto& server : servers_) {
+    if (server == nullptr) return false;
+  }
+  return true;
+}
+
+bool Cluster::client_only() const {
+  for (const auto& server : servers_) {
+    if (server != nullptr) return false;
+  }
+  return true;
+}
+
+ShardServer& Cluster::server(std::size_t i) {
+  if (i >= servers_.size() || servers_[i] == nullptr) {
+    throw std::logic_error("Cluster::server(" + std::to_string(i) +
+                           "): not hosted by this process");
+  }
+  return *servers_[i];
+}
+
 std::vector<ShardServer*> Cluster::group_servers(std::size_t g) {
   std::vector<ShardServer*> out;
   out.reserve(rf_);
   for (std::size_t r = 0; r < rf_; ++r) {
-    out.push_back(servers_[g * rf_ + r].get());
+    out.push_back(&server(g * rf_ + r));
   }
   return out;
 }
@@ -785,7 +911,17 @@ std::shared_ptr<const ClusterRouting> Cluster::make_routing(
     for (std::size_t r = 0; r < rf_; ++r) {
       view.members.push_back(g * rf_ + r);
     }
-    const GroupInfo info = servers_[g * rf_]->group_info();
+    // Leader hint: ask the group's rank-0 member — directly when it is
+    // in-process, over the wire otherwise. A refusal (remote peer not up
+    // yet, or crashed) defaults the hint to rank 0; clients self-correct
+    // through not_leader replies and refresh_group_leader.
+    GroupInfo info;
+    if (servers_[g * rf_] != nullptr) {
+      info = servers_[g * rf_]->group_info();
+    } else {
+      info =
+          wire::call(*transport_, g * rf_, wire::GroupInfoRequest{}).get();
+    }
     const std::size_t rank = info.ok && info.leader < rf_ ? info.leader : 0;
     view.leader = view.members[rank];
     routing->groups.push_back(std::move(view));
@@ -947,6 +1083,11 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
     throw std::invalid_argument(
         "advance_epoch: shard map names more groups than the cluster has");
   }
+  if (!hosts_all_servers()) {
+    throw std::logic_error(
+        "advance_epoch: reconfiguration requires every server in-process "
+        "(the drain/migration driver is not wire-complete yet)");
+  }
   // epoch_mu_ serializes reconfigurations end to end; epoch()/routing()
   // readers block only for the duration of the migration.
   std::lock_guard guard(epoch_mu_);
@@ -1101,8 +1242,9 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
   must_ack_all(
       import_to.size(),
       [&](std::size_t i) {
-        return wire::call(*transport_, import_to[i].first,
-                          wire::ImportKeysRequest{imports[import_to[i].second]});
+        return wire::call(
+            *transport_, import_to[i].first,
+            wire::ImportKeysRequest{imports[import_to[i].second]});
       },
       "key import");
   // Every import landed; now every server sheds the ranges it no

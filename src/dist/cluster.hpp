@@ -78,6 +78,12 @@ inline std::string dist_store_name(DistProtocol protocol, std::size_t groups,
   return name + ")";
 }
 
+/// One physical server's TCP address in a multi-process deployment.
+struct NodeAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
 struct ClusterConfig {
   /// Number of shard groups the key space splits into. With
   /// `replication_factor` R the cluster runs `servers × R` physical
@@ -117,7 +123,22 @@ struct ClusterConfig {
   /// Key-domain size the range sharding splits (txbench keys).
   std::uint64_t key_space = 10'000;
   std::uint64_t seed = 1;
-  /// Shared cluster clock; default SystemClock (µs ticks).
+  /// Multi-process deployment (src/server/, tools/mvtl_shard_server):
+  /// one TCP address per physical server — servers × replication_factor
+  /// entries, indexed by server index. Empty ⇒ the classic all-in-one-
+  /// process cluster. Non-empty forces the TCP transport; the indices in
+  /// `local_servers` are instantiated and bound in this process, every
+  /// other index is dialed via TcpTransport::peer_address.
+  std::vector<NodeAddress> endpoints;
+  /// Server indices this process hosts. Meaningful only with `endpoints`
+  /// set; empty there means CLIENT-ONLY — the Cluster attaches to an
+  /// already-running remote cluster (the examples' --connect mode) and
+  /// spawns no servers at all.
+  std::vector<std::size_t> local_servers;
+  /// Shared cluster clock; default SystemClock (µs ticks) in-process, or
+  /// WallClock when `endpoints` is set — separate processes must draw
+  /// ticks from a common epoch or the replication floor clamp (leader
+  /// clock vs client anchor ticks) rejects every commit.
   std::shared_ptr<ClockSource> clock;
   /// Optional history recorder, shared by every server's engine; events
   /// carry global transaction ids, so the recorded history is the
@@ -177,7 +198,6 @@ class DistClient final : public TransactionalStore {
   struct Route {
     std::size_t group;
     std::size_t index;  ///< server index the group is pinned to
-    ShardServer* server;
   };
 
   /// Resolves `key`'s owning group under the tx's pinned routing,
@@ -238,7 +258,14 @@ class DistClient final : public TransactionalStore {
   /// Client-side effect logs exist to re-drive finalizes at a group's
   /// next leader — pointless at replication factor 1 (no failover
   /// target), so the per-op bookkeeping is skipped entirely there.
+  /// Client-side history recording reuses the same write log, so it
+  /// forces tracking on too.
   bool track_effects_ = false;
+  /// Client-only clusters record the history HERE, from the replies'
+  /// version metadata: the remote server processes have no access to
+  /// this process's HistoryRecorder. In-process clusters record on the
+  /// servers (as before), and this stays false to avoid double events.
+  bool client_recording_ = false;
   std::atomic<TxId> next_gtx_{1};
 
   mutable std::mutex routing_mu_;
@@ -289,7 +316,9 @@ class Cluster {
   /// to the suspicion sweepers), migrates the key ranges whose owner
   /// changed, and reopens under the new epoch. Clients refresh their
   /// routing on the first `wrong_epoch` reply. `new_map` must not name
-  /// more servers than the cluster has.
+  /// more servers than the cluster has. Requires an all-in-process
+  /// cluster (throws std::logic_error otherwise): the migration driver
+  /// inspects server internals the wire does not expose yet.
   std::uint64_t advance_epoch(ShardMap new_map);
   /// The value the configuration register decided for `epoch`.
   PaxosValue config_value(std::uint64_t epoch) const;
@@ -302,13 +331,26 @@ class Cluster {
   /// The transport carrying the cluster's wire messages (message/byte
   /// counters; SimTransport additionally exposes fault injection).
   Transport& net() { return *transport_; }
-  /// Physical servers (= group_count() × replication_factor()).
+  /// Physical servers (= group_count() × replication_factor()), local
+  /// AND remote.
   std::size_t server_count() const { return servers_.size(); }
   /// Shard groups (what the ShardMap partitions over).
   std::size_t group_count() const { return groups_; }
   std::size_t replication_factor() const { return rf_; }
-  ShardServer& server(std::size_t i) { return *servers_[i]; }
-  /// Replicas of group `g`, rank order.
+  /// True when server `i` runs inside this process (always, unless the
+  /// config named remote endpoints).
+  bool hosts_server(std::size_t i) const {
+    return i < servers_.size() && servers_[i] != nullptr;
+  }
+  /// True when every server is in-process — the precondition for the
+  /// direct-pointer surfaces (server(), group_servers(), advance_epoch).
+  bool hosts_all_servers() const;
+  /// True when this Cluster spawned no servers at all: it is a remote
+  /// client attached to a cluster of other processes.
+  bool client_only() const;
+  /// In-process server `i`; throws std::logic_error for a remote index.
+  ShardServer& server(std::size_t i);
+  /// Replicas of group `g`, rank order. All-in-process clusters only.
   std::vector<ShardServer*> group_servers(std::size_t g);
   const std::vector<AcceptorEndpoint>& acceptors() const {
     return acceptor_endpoints_;

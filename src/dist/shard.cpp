@@ -625,6 +625,7 @@ SnapshotReadReply ShardServer::handle_snapshot_read(TxId gtx,
     reply.result.ok = true;
     reply.result.value = v.value;
     reply.result.version_ts = v.ts;
+    reply.result.version_writer = v.writer;
     if (config_.recorder != nullptr) {
       config_.recorder->record_read(gtx, key, v.ts, v.writer);
     }

@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <utility>
 
 namespace mvtl {
@@ -128,6 +129,15 @@ void TcpTransport::peer_address(std::size_t index, const std::string& host,
   remote_[index] = {host, port};
 }
 
+void TcpTransport::listen_address(std::size_t index, const std::string& host,
+                                  std::uint16_t port) {
+  std::lock_guard guard(mu_);
+  if (started_) return;
+  if (index >= endpoints_.size()) endpoints_.resize(index + 1);
+  endpoints_[index].listen_host = host;
+  endpoints_[index].listen_port = port;
+}
+
 void TcpTransport::start() {
   std::lock_guard guard(mu_);
   if (started_ || shut_down_) return;
@@ -135,28 +145,37 @@ void TcpTransport::start() {
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
     Endpoint& ep = endpoints_[i];
     if (ep.exec == nullptr) continue;
-    // A bound endpoint that cannot get a listener would otherwise turn
-    // every call to it into an indistinguishable refusal, so make the
-    // cause (fd exhaustion, host misconfig, ...) visible.
+    // Any listener failure is fatal: a bound endpoint without a listener
+    // would turn every call to it into an indistinguishable refusal —
+    // the cause (port taken, fd exhaustion, host misconfig, ...) must
+    // surface to the caller, not rot in a log line.
+    const std::string& host =
+        ep.listen_host.empty() ? config_.host : ep.listen_host;
+    const auto fail = [&](const char* what) {
+      const int err = errno;
+      throw std::runtime_error(
+          "mvtl: tcp endpoint " + std::to_string(i) + ": " + what + " on " +
+          host + ":" + std::to_string(ep.listen_port) + " failed: " +
+          std::strerror(err));
+    };
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-      std::fprintf(stderr, "mvtl: tcp endpoint %zu: socket() failed: %s\n",
-                   i, std::strerror(errno));
-      continue;
-    }
+    if (fd < 0) fail("socket()");
     int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_port = 0;  // ephemeral
-    ::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr);
+    addr.sin_port = htons(ep.listen_port);  // 0 = ephemeral
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      errno = EINVAL;
+      fail("inet_pton()");
+    }
     if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
         ::listen(fd, 128) != 0) {
-      std::fprintf(stderr,
-                   "mvtl: tcp endpoint %zu: bind/listen on %s failed: %s\n",
-                   i, config_.host.c_str(), std::strerror(errno));
+      const int err = errno;
       ::close(fd);
-      continue;
+      errno = err;
+      fail("bind/listen");
     }
     socklen_t len = sizeof(addr);
     ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);

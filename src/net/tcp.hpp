@@ -60,7 +60,19 @@ class TcpTransport final : public Transport {
   void peer_address(std::size_t index, const std::string& host,
                     std::uint16_t port);
 
+  /// Fixes the address local endpoint `index` will listen on (default:
+  /// config host, ephemeral port). Multi-process deployments pin each
+  /// server to its configured port here so peers can dial it. Call
+  /// before start().
+  void listen_address(std::size_t index, const std::string& host,
+                      std::uint16_t port);
+
   /// Binds one listener per local endpoint and starts the reactor.
+  /// Throws std::runtime_error if any listener cannot be established
+  /// (port taken, fd exhaustion, bad host): a bound endpoint without a
+  /// listener would turn every call to it into an indistinguishable
+  /// refusal, and a server process that silently serves nothing must
+  /// instead die loudly (tools/mvtl_shard_server exits non-zero).
   void start() override;
 
   std::future<std::string> call_async(std::size_t to, std::string frame,
@@ -85,6 +97,10 @@ class TcpTransport final : public Transport {
     WireHandler handler;
     int listen_fd = -1;
     std::uint16_t port = 0;
+    /// Fixed listen address (listen_address()); empty host = config
+    /// default, port 0 = ephemeral.
+    std::string listen_host;
+    std::uint16_t listen_port = 0;
   };
 
   void reactor_loop();

@@ -92,6 +92,7 @@ void put_read_result(Writer& w, const ReadResult& res) {
   w.b(res.value.has_value());
   if (res.value.has_value()) w.str(*res.value);
   w.ts(res.version_ts);
+  w.u64(res.version_writer);
 }
 
 bool get_read_result(Reader& r, ReadResult* res) {
@@ -104,7 +105,7 @@ bool get_read_result(Reader& r, ReadResult* res) {
   } else {
     res->value.reset();
   }
-  return r.ts(&res->version_ts);
+  return r.ts(&res->version_ts) && r.u64(&res->version_writer);
 }
 
 void put_decision(Writer& w, const CommitDecision& d) {

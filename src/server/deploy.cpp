@@ -1,0 +1,255 @@
+#include "server/deploy.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mvtl {
+namespace {
+
+constexpr const char* kKnownKeys =
+    "protocol, replication_factor, key_space, delta_ticks, "
+    "suspect_timeout_ms, lock_timeout_us, server_threads, follower_reads, "
+    "floor_lag_ticks, store_shards, endpoint";
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(const std::string& where, const std::string& what) {
+  throw std::invalid_argument(where.empty() ? what : where + ": " + what);
+}
+
+std::uint64_t parse_u64(const std::string& where, const std::string& key,
+                        const std::string& value) {
+  if (value.empty()) fail(where, "'" + key + "' needs a number");
+  std::uint64_t out = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') {
+      fail(where, "'" + key + "' must be a non-negative integer, got '" +
+                      value + "'");
+    }
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return out;
+}
+
+bool parse_bool(const std::string& where, const std::string& key,
+                const std::string& value) {
+  if (value == "true" || value == "1" || value == "on") return true;
+  if (value == "false" || value == "0" || value == "off") return false;
+  fail(where, "'" + key + "' must be true/false, got '" + value + "'");
+}
+
+DistProtocol parse_protocol(const std::string& where,
+                            const std::string& value) {
+  if (value == "mvtil-early") return DistProtocol::kMvtilEarly;
+  if (value == "mvtil-late") return DistProtocol::kMvtilLate;
+  if (value == "to") return DistProtocol::kTo;
+  if (value == "pessimistic") return DistProtocol::kPessimistic;
+  fail(where, "unknown protocol '" + value +
+                  "' (one of: mvtil-early, mvtil-late, to, pessimistic)");
+}
+
+NodeAddress parse_endpoint(const std::string& where,
+                           const std::string& value) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= value.size()) {
+    fail(where, "endpoint must be host:port, got '" + value + "'");
+  }
+  NodeAddress addr;
+  addr.host = value.substr(0, colon);
+  const std::uint64_t port =
+      parse_u64(where, "endpoint port", value.substr(colon + 1));
+  if (port == 0 || port > 65'535) {
+    fail(where, "endpoint port must be in [1, 65535], got '" +
+                    value.substr(colon + 1) + "'");
+  }
+  addr.port = static_cast<std::uint16_t>(port);
+  return addr;
+}
+
+/// One `key = value` assignment, shared by the file parser and --set
+/// overrides; `where` prefixes error messages ("line 4", "--set ...").
+void apply_assignment(DeployConfig& config, const std::string& where,
+                      const std::string& key, const std::string& value,
+                      bool allow_endpoint) {
+  if (key == "protocol") {
+    config.protocol = parse_protocol(where, value);
+  } else if (key == "replication_factor") {
+    config.replication_factor =
+        static_cast<std::size_t>(parse_u64(where, key, value));
+  } else if (key == "key_space") {
+    config.key_space = parse_u64(where, key, value);
+  } else if (key == "delta_ticks") {
+    config.delta_ticks = parse_u64(where, key, value);
+  } else if (key == "suspect_timeout_ms") {
+    config.suspect_timeout = std::chrono::milliseconds{
+        static_cast<std::int64_t>(parse_u64(where, key, value))};
+  } else if (key == "lock_timeout_us") {
+    config.lock_timeout = std::chrono::microseconds{
+        static_cast<std::int64_t>(parse_u64(where, key, value))};
+  } else if (key == "server_threads") {
+    config.server_threads =
+        static_cast<std::size_t>(parse_u64(where, key, value));
+  } else if (key == "follower_reads") {
+    config.follower_reads = parse_bool(where, key, value);
+  } else if (key == "floor_lag_ticks") {
+    config.floor_lag_ticks = parse_u64(where, key, value);
+  } else if (key == "store_shards") {
+    config.store_shards =
+        static_cast<std::size_t>(parse_u64(where, key, value));
+  } else if (key == "endpoint") {
+    if (!allow_endpoint) {
+      fail(where,
+           "'endpoint' cannot be overridden per-process; edit the config "
+           "file every process reads");
+    }
+    config.endpoints.push_back(parse_endpoint(where, value));
+  } else {
+    fail(where,
+         "unknown key '" + key + "' (known keys: " + kKnownKeys + ")");
+  }
+}
+
+/// Inverse of parse_protocol (dist_protocol_name's display forms are
+/// not valid config values).
+const char* protocol_key(DistProtocol p) {
+  switch (p) {
+    case DistProtocol::kMvtilEarly:
+      return "mvtil-early";
+    case DistProtocol::kMvtilLate:
+      return "mvtil-late";
+    case DistProtocol::kTo:
+      return "to";
+    case DistProtocol::kPessimistic:
+      return "pessimistic";
+  }
+  return "mvtil-early";
+}
+
+}  // namespace
+
+void validate_deploy_config(const DeployConfig& config) {
+  if (config.replication_factor == 0) {
+    fail("", "replication_factor must be >= 1");
+  }
+  if (config.endpoints.empty()) {
+    fail("",
+         "config names no endpoints; add one 'endpoint = host:port' line "
+         "per server");
+  }
+  if (config.endpoints.size() % config.replication_factor != 0) {
+    fail("", "replication_factor " +
+                 std::to_string(config.replication_factor) +
+                 " does not divide the endpoint count " +
+                 std::to_string(config.endpoints.size()) +
+                 " (a cluster is groups x replication_factor servers)");
+  }
+  if (config.server_threads == 0) fail("", "server_threads must be >= 1");
+  if (config.key_space == 0) fail("", "key_space must be >= 1");
+  for (std::size_t i = 0; i < config.endpoints.size(); ++i) {
+    for (std::size_t j = i + 1; j < config.endpoints.size(); ++j) {
+      if (config.endpoints[i].host == config.endpoints[j].host &&
+          config.endpoints[i].port == config.endpoints[j].port) {
+        fail("", "duplicate endpoint " + config.endpoints[i].host + ":" +
+                     std::to_string(config.endpoints[i].port) +
+                     " (server indices " + std::to_string(i) + " and " +
+                     std::to_string(j) + ")");
+      }
+    }
+  }
+}
+
+DeployConfig parse_deploy_config(const std::string& text) {
+  DeployConfig config;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string where = "line " + std::to_string(lineno);
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail(where, "expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) fail(where, "empty key");
+    apply_assignment(config, where, key, value, /*allow_endpoint=*/true);
+  }
+  validate_deploy_config(config);
+  return config;
+}
+
+DeployConfig load_deploy_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read cluster config: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse_deploy_config(text.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+void apply_deploy_override(DeployConfig& config, const std::string& key,
+                           const std::string& value) {
+  apply_assignment(config, "--set " + key, trim(key), trim(value),
+                   /*allow_endpoint=*/false);
+}
+
+std::string DeployConfig::encode() const {
+  std::ostringstream out;
+  out << "protocol = " << protocol_key(protocol) << "\n"
+      << "replication_factor = " << replication_factor << "\n"
+      << "key_space = " << key_space << "\n"
+      << "delta_ticks = " << delta_ticks << "\n"
+      << "suspect_timeout_ms = " << suspect_timeout.count() << "\n"
+      << "lock_timeout_us = " << lock_timeout.count() << "\n"
+      << "server_threads = " << server_threads << "\n"
+      << "follower_reads = " << (follower_reads ? "true" : "false") << "\n"
+      << "floor_lag_ticks = " << floor_lag_ticks << "\n"
+      << "store_shards = " << store_shards << "\n";
+  for (const NodeAddress& ep : endpoints) {
+    out << "endpoint = " << ep.host << ":" << ep.port << "\n";
+  }
+  return out.str();
+}
+
+ClusterConfig DeployConfig::to_cluster_config(
+    std::vector<std::size_t> local) const {
+  ClusterConfig cluster;
+  cluster.servers = groups();
+  cluster.replication_factor = replication_factor;
+  cluster.endpoints = endpoints;
+  cluster.local_servers = std::move(local);
+  cluster.transport = TransportKind::kTcp;
+  cluster.key_space = key_space;
+  cluster.mvtil_delta_ticks = delta_ticks;
+  cluster.suspect_timeout = suspect_timeout;
+  cluster.lock_timeout = lock_timeout;
+  cluster.server_threads = server_threads;
+  cluster.follower_reads = follower_reads;
+  cluster.floor_lag_ticks = floor_lag_ticks;
+  cluster.store_shards = store_shards;
+  return cluster;
+}
+
+}  // namespace mvtl

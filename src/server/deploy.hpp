@@ -1,0 +1,93 @@
+// Cluster deployment configuration for the standalone multi-process
+// deployment (tools/mvtl_shard_server, scripts/mvtl_cluster.sh).
+//
+// One INI-style file describes the whole cluster — every process
+// (servers and connecting clients) reads the SAME file, so the layout,
+// protocol and timeouts cannot diverge between processes; the Cluster
+// additionally cross-checks its encoded configuration against what the
+// epoch-0 register decided and refuses to serve on a mismatch.
+//
+// Format: `key = value` lines, `#` comments, blank lines ignored. The
+// `endpoint` key repeats — one line per physical server, in server-index
+// order; with `replication_factor` R, endpoints [gR, (g+1)R) form shard
+// group g (rank 0 the initial leader), exactly the in-process layout.
+//
+//   # 2 groups x 3 replicas = 6 server processes
+//   protocol = mvtil-early
+//   replication_factor = 3
+//   key_space = 2000
+//   suspect_timeout_ms = 250
+//   endpoint = 127.0.0.1:7701
+//   endpoint = 127.0.0.1:7702
+//   ...
+//
+// Parsing is strict: unknown keys, malformed values, duplicate
+// endpoints, or a replication factor that does not divide the endpoint
+// count are rejected with messages that name the offending line.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/cluster.hpp"
+
+namespace mvtl {
+
+struct DeployConfig {
+  DistProtocol protocol = DistProtocol::kMvtilEarly;
+  /// Replicas per shard group; must divide endpoints.size().
+  std::size_t replication_factor = 1;
+  /// Physical servers, server-index order: host:port each.
+  std::vector<NodeAddress> endpoints;
+  std::uint64_t key_space = 10'000;
+  /// MVTIL interval width Δ, in clock ticks (µs).
+  std::uint64_t delta_ticks = 5'000;
+  /// Coordinator suspicion AND replica lease length. Real processes pause
+  /// for scheduling and page faults, so the default is far above the
+  /// in-process tests' 50 ms.
+  std::chrono::milliseconds suspect_timeout{250};
+  std::chrono::microseconds lock_timeout{20'000};
+  std::size_t server_threads = 4;
+  bool follower_reads = true;
+  std::uint64_t floor_lag_ticks = 20'000;
+  std::size_t store_shards = 64;
+
+  /// Shard groups = endpoints / replication_factor.
+  std::size_t groups() const {
+    return replication_factor == 0 ? 0
+                                   : endpoints.size() / replication_factor;
+  }
+
+  /// Serializes back to parseable file content (round-trips through
+  /// parse_deploy_config).
+  std::string encode() const;
+
+  /// The ClusterConfig a process built from this file uses. `local` is
+  /// the server indices THIS process hosts — empty for a client-only
+  /// Cluster that attaches to the running deployment.
+  ClusterConfig to_cluster_config(std::vector<std::size_t> local) const;
+};
+
+/// Parses config-file content. Throws std::invalid_argument with a
+/// line-numbered message on any malformed or unknown input, and runs
+/// validate_deploy_config on the result.
+DeployConfig parse_deploy_config(const std::string& text);
+
+/// Reads and parses `path`. Throws std::invalid_argument (parse errors,
+/// naming the file) or std::runtime_error (unreadable file).
+DeployConfig load_deploy_config(const std::string& path);
+
+/// Applies one `key=value` override (the tools' --set flag); same keys
+/// and value syntax as the file, except `endpoint` (the layout is not
+/// overridable per-process — edit the file every process reads).
+void apply_deploy_override(DeployConfig& config, const std::string& key,
+                           const std::string& value);
+
+/// Cross-field checks: endpoints non-empty and unique, ports valid,
+/// replication factor divides the server count. Throws
+/// std::invalid_argument with an actionable message.
+void validate_deploy_config(const DeployConfig& config);
+
+}  // namespace mvtl

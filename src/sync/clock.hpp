@@ -8,6 +8,8 @@
 //
 //   LogicalClock      — atomic counter; perfectly monotonic; deterministic.
 //   SystemClock       — steady_clock in microsecond ticks.
+//   WallClock         — system_clock µs since a fixed recent epoch; the
+//                       only source whose ticks agree ACROSS PROCESSES.
 //   SkewedClock       — wraps another source and applies a per-process
 //                       offset, bounded by ±ε ("ε-synchronized") or not.
 //   ManualClock       — test-controlled.
@@ -101,6 +103,52 @@ class SystemClock final : public ClockSource {
 
  private:
   std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> last_{0};
+};
+
+/// Wall-clock microseconds since a fixed recent epoch — the one clock
+/// whose ticks are comparable between separate OS processes (they all
+/// read the same CLOCK_REALTIME), which the multi-process deployment
+/// requires: SystemClock counts from its own construction, so two
+/// processes disagree by their start-time difference — far beyond what
+/// MVTIL's interval Δ or the replication floor lag can absorb. The epoch
+/// is recent (not 1970) because Timestamp packs ticks into 48 bits; this
+/// epoch overflows in roughly 8.9 years. On one machine the skew between
+/// processes is negligible; across machines it is NTP's, which must stay
+/// under the configured floor lag.
+class WallClock final : public ClockSource {
+ public:
+  /// 2026-01-01T00:00:00Z in Unix seconds.
+  static constexpr std::uint64_t kEpochSeconds = 1'767'225'600;
+
+  std::uint64_t now(ProcessId) override {
+    const auto since_unix =
+        std::chrono::system_clock::now().time_since_epoch();
+    const auto us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(since_unix)
+            .count());
+    const std::uint64_t offset = kEpochSeconds * 1'000'000;
+    const std::uint64_t base = us > offset ? us - offset : 1;
+    // Same monotonic floor as SystemClock: never backwards, never reused
+    // within this process (realtime clocks may step).
+    std::uint64_t prev = last_.load(std::memory_order_relaxed);
+    std::uint64_t next = base > prev ? base : prev + 1;
+    while (!last_.compare_exchange_weak(prev, next,
+                                        std::memory_order_relaxed)) {
+      next = base > prev ? base : prev + 1;
+    }
+    return next;
+  }
+
+  void advance_to(ProcessId, std::uint64_t tick) override {
+    std::uint64_t cur = last_.load(std::memory_order_relaxed);
+    while (cur < tick &&
+           !last_.compare_exchange_weak(cur, tick,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
   std::atomic<std::uint64_t> last_{0};
 };
 

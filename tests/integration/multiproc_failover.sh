@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Multi-process failover integration test.
+#
+# Starts a 2-group x RF=3 cluster as 6 real OS processes through
+# scripts/mvtl_cluster.sh, runs the distributed_store workload against
+# it from a separate client process (--connect), kill -9s one group
+# leader mid-run, and requires the client to exit 0 — which it only
+# does when commits RESUME after the kill (final-quarter commit check)
+# and the recorded history is MVSG-acyclic (--verify).
+#
+# Usage: multiproc_failover.sh BUILD_DIR SOURCE_DIR
+set -euo pipefail
+
+build_dir=$1
+source_dir=$2
+launcher="$source_dir/scripts/mvtl_cluster.sh"
+
+run_dir=$(mktemp -d)
+trap '"$launcher" stop "$run_dir/cluster.conf" "$build_dir" "$run_dir" \
+  > /dev/null 2>&1 || true; rm -rf "$run_dir"' EXIT
+
+# Ports are picked pseudo-randomly; on a bind conflict with another
+# process on the machine, retry with a different base.
+for attempt in 1 2 3; do
+  base=$(( 20000 + (RANDOM % 400) * 100 ))
+  {
+    echo "protocol = mvtil-early"
+    echo "replication_factor = 3"
+    echo "key_space = 2000"
+    echo "suspect_timeout_ms = 250"
+    for i in 0 1 2 3 4 5; do
+      echo "endpoint = 127.0.0.1:$((base + i))"
+    done
+  } > "$run_dir/cluster.conf"
+  if "$launcher" start "$run_dir/cluster.conf" "$build_dir" "$run_dir"; then
+    break
+  fi
+  echo "start attempt $attempt failed (port conflict?), retrying" >&2
+  [ "$attempt" -lt 3 ] || { echo "could not start cluster" >&2; exit 1; }
+done
+
+pgrep -f "mvtl_shard_server --config=$run_dir/cluster.conf" > /dev/null \
+  || { echo "no server processes found" >&2; exit 1; }
+nprocs=$(pgrep -fc "mvtl_shard_server --config=$run_dir/cluster.conf")
+echo "cluster is $nprocs OS processes"
+[ "$nprocs" -eq 6 ] || { echo "expected 6 server processes" >&2; exit 1; }
+
+"$build_dir/examples/distributed_store" \
+  --connect="$run_dir/cluster.conf" --seconds=6 --verify &
+client=$!
+
+sleep 2.5
+"$launcher" kill-leader "$run_dir/cluster.conf" "$build_dir" "$run_dir" 0
+
+if ! wait "$client"; then
+  echo "client failed; server logs follow:" >&2
+  tail -n 20 "$run_dir"/server*.log >&2 || true
+  exit 1
+fi
+echo "multiproc failover: OK"

@@ -1,0 +1,165 @@
+// Cluster deployment config parser (src/server/deploy.hpp): round-trip,
+// strict rejection of malformed input with actionable messages, and the
+// mapping into ClusterConfig.
+#include "server/deploy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mvtl {
+namespace {
+
+constexpr const char* kGood = R"(
+# 2 groups x 3 replicas
+protocol = mvtil-late
+replication_factor = 3
+key_space = 2000          # trailing comment
+delta_ticks = 7000
+suspect_timeout_ms = 300
+lock_timeout_us = 15000
+server_threads = 2
+follower_reads = false
+floor_lag_ticks = 30000
+store_shards = 32
+endpoint = 127.0.0.1:7001
+endpoint = 127.0.0.1:7002
+endpoint = 127.0.0.1:7003
+endpoint = 10.0.0.5:7001
+endpoint = 10.0.0.5:7002
+endpoint = 10.0.0.5:7003
+)";
+
+/// The invalid_argument message a parse produces, "" when it succeeds.
+std::string parse_error(const std::string& text) {
+  try {
+    parse_deploy_config(text);
+    return {};
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+}
+
+TEST(DeployConfig, ParsesEveryKey) {
+  const DeployConfig c = parse_deploy_config(kGood);
+  EXPECT_EQ(c.protocol, DistProtocol::kMvtilLate);
+  EXPECT_EQ(c.replication_factor, 3u);
+  EXPECT_EQ(c.key_space, 2'000u);
+  EXPECT_EQ(c.delta_ticks, 7'000u);
+  EXPECT_EQ(c.suspect_timeout.count(), 300);
+  EXPECT_EQ(c.lock_timeout.count(), 15'000);
+  EXPECT_EQ(c.server_threads, 2u);
+  EXPECT_FALSE(c.follower_reads);
+  EXPECT_EQ(c.floor_lag_ticks, 30'000u);
+  EXPECT_EQ(c.store_shards, 32u);
+  ASSERT_EQ(c.endpoints.size(), 6u);
+  EXPECT_EQ(c.groups(), 2u);
+  EXPECT_EQ(c.endpoints[0].host, "127.0.0.1");
+  EXPECT_EQ(c.endpoints[0].port, 7'001);
+  EXPECT_EQ(c.endpoints[3].host, "10.0.0.5");
+}
+
+TEST(DeployConfig, EncodeRoundTrips) {
+  const DeployConfig a = parse_deploy_config(kGood);
+  const DeployConfig b = parse_deploy_config(a.encode());
+  EXPECT_EQ(a.encode(), b.encode());
+  EXPECT_EQ(b.protocol, DistProtocol::kMvtilLate);
+  EXPECT_EQ(b.endpoints.size(), 6u);
+  EXPECT_EQ(b.endpoints[5].port, 7'003);
+}
+
+TEST(DeployConfig, RejectsUnknownKeyNamingLineAndKnownKeys) {
+  const std::string err = parse_error(
+      "replication_factor = 1\n"
+      "sus_timeout = 10\n"
+      "endpoint = 127.0.0.1:7001\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("unknown key 'sus_timeout'"), std::string::npos) << err;
+  EXPECT_NE(err.find("suspect_timeout_ms"), std::string::npos)
+      << "should list the known keys: " << err;
+}
+
+TEST(DeployConfig, RejectsReplicationFactorNotDividingEndpointCount) {
+  const std::string err = parse_error(
+      "replication_factor = 3\n"
+      "endpoint = 127.0.0.1:7001\n"
+      "endpoint = 127.0.0.1:7002\n"
+      "endpoint = 127.0.0.1:7003\n"
+      "endpoint = 127.0.0.1:7004\n");
+  EXPECT_NE(err.find("replication_factor 3"), std::string::npos) << err;
+  EXPECT_NE(err.find("does not divide the endpoint count 4"),
+            std::string::npos)
+      << err;
+}
+
+TEST(DeployConfig, RejectsDuplicateEndpointNamingBothIndices) {
+  const std::string err = parse_error(
+      "replication_factor = 1\n"
+      "endpoint = 127.0.0.1:7001\n"
+      "endpoint = 127.0.0.1:7002\n"
+      "endpoint = 127.0.0.1:7001\n");
+  EXPECT_NE(err.find("duplicate endpoint 127.0.0.1:7001"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("indices 0 and 2"), std::string::npos) << err;
+}
+
+TEST(DeployConfig, RejectsMalformedValues) {
+  EXPECT_NE(parse_error("endpoint = 127.0.0.1\n").find("host:port"),
+            std::string::npos);
+  EXPECT_NE(parse_error("endpoint = 127.0.0.1:0\n").find("[1, 65535]"),
+            std::string::npos);
+  EXPECT_NE(parse_error("endpoint = 127.0.0.1:99999\n").find("[1, 65535]"),
+            std::string::npos);
+  EXPECT_NE(parse_error("protocol = paxos\nendpoint = 127.0.0.1:7001\n")
+                .find("unknown protocol 'paxos'"),
+            std::string::npos);
+  EXPECT_NE(parse_error("key_space = -4\nendpoint = 127.0.0.1:7001\n")
+                .find("non-negative integer"),
+            std::string::npos);
+  EXPECT_NE(parse_error("follower_reads = yes\nendpoint = 127.0.0.1:7001\n")
+                .find("true/false"),
+            std::string::npos);
+  EXPECT_NE(parse_error("just some words\n").find("expected 'key = value'"),
+            std::string::npos);
+  EXPECT_NE(parse_error("").find("no endpoints"), std::string::npos);
+  EXPECT_NE(parse_error("replication_factor = 0\n"
+                        "endpoint = 127.0.0.1:7001\n")
+                .find("replication_factor must be >= 1"),
+            std::string::npos);
+}
+
+TEST(DeployConfig, OverridesApplyButCannotTouchLayout) {
+  DeployConfig c = parse_deploy_config(
+      "replication_factor = 1\nendpoint = 127.0.0.1:7001\n");
+  apply_deploy_override(c, "key_space", "555");
+  apply_deploy_override(c, "protocol", "to");
+  EXPECT_EQ(c.key_space, 555u);
+  EXPECT_EQ(c.protocol, DistProtocol::kTo);
+  EXPECT_THROW(apply_deploy_override(c, "endpoint", "127.0.0.1:9999"),
+               std::invalid_argument);
+  EXPECT_THROW(apply_deploy_override(c, "bogus", "1"), std::invalid_argument);
+}
+
+TEST(DeployConfig, MapsIntoClusterConfig) {
+  const DeployConfig d = parse_deploy_config(kGood);
+  const ClusterConfig server = d.to_cluster_config({0, 1});
+  EXPECT_EQ(server.servers, 2u);  // shard groups, not processes
+  EXPECT_EQ(server.replication_factor, 3u);
+  EXPECT_EQ(server.endpoints.size(), 6u);
+  EXPECT_EQ(server.local_servers, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(server.transport, TransportKind::kTcp);
+  EXPECT_EQ(server.key_space, 2'000u);
+  EXPECT_EQ(server.suspect_timeout.count(), 300);
+
+  const ClusterConfig client = d.to_cluster_config({});
+  EXPECT_TRUE(client.local_servers.empty());
+  EXPECT_EQ(client.endpoints.size(), 6u);
+}
+
+TEST(DeployConfig, LoadNamesTheFileOnParseErrors) {
+  EXPECT_THROW(load_deploy_config("/nonexistent/cluster.conf"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mvtl

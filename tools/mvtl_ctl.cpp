@@ -1,0 +1,125 @@
+// Cluster control/introspection tool for multi-process deployments.
+//
+//   mvtl_ctl --config=cluster.conf status     # exit 0 iff every server up
+//   mvtl_ctl --config=cluster.conf leader G   # print group G's leader index
+//
+// Dials the configured endpoints as a pure client (binds nothing) and
+// asks each server for its replica-group view. The launcher script uses
+// `status` to wait for cluster boot and `leader` to pick a kill -9
+// victim for the failover test.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "net/wire.hpp"
+#include "server/deploy.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --config=FILE status\n"
+               "       %s --config=FILE leader GROUP\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mvtl;
+
+  std::string config_path;
+  std::vector<std::string> words;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--config=", 9) == 0) {
+      config_path = argv[i] + 9;
+    } else {
+      words.emplace_back(argv[i]);
+    }
+  }
+  if (config_path.empty() || words.empty()) return usage(argv[0]);
+
+  try {
+    const DeployConfig deploy = load_deploy_config(config_path);
+    const std::size_t total = deploy.endpoints.size();
+    const std::size_t rf = deploy.replication_factor;
+
+    TcpTransport net;
+    for (std::size_t i = 0; i < total; ++i) {
+      net.peer_address(i, deploy.endpoints[i].host, deploy.endpoints[i].port);
+    }
+    net.start();  // no local listeners; outbound dialing only
+
+    // One query per server; a dead or unreachable server answers with
+    // the transport's default refusal (ok = false).
+    std::vector<GroupInfo> infos(total);
+    {
+      std::vector<wire::ReplyFuture<wire::GroupInfoRequest>> futures;
+      futures.reserve(total);
+      for (std::size_t i = 0; i < total; ++i) {
+        futures.push_back(wire::call(net, i, wire::GroupInfoRequest{}));
+      }
+      for (std::size_t i = 0; i < total; ++i) infos[i] = futures[i].get();
+    }
+
+    if (words[0] == "status") {
+      std::size_t up = 0;
+      for (std::size_t i = 0; i < total; ++i) {
+        const GroupInfo& info = infos[i];
+        up += info.ok ? 1 : 0;
+        std::printf("server %zu  group %zu  %s:%u  %s", i, i / rf,
+                    deploy.endpoints[i].host.c_str(),
+                    deploy.endpoints[i].port, info.ok ? "up" : "DOWN");
+        if (info.ok && rf > 1) {
+          std::printf("  term %llu  %s",
+                      static_cast<unsigned long long>(info.term),
+                      info.leading ? "leader" : "follower");
+        }
+        std::printf("\n");
+      }
+      std::printf("%zu/%zu up\n", up, total);
+      net.shutdown();
+      return up == total ? 0 : 1;
+    }
+
+    if (words[0] == "leader") {
+      if (words.size() < 2) return usage(argv[0]);
+      const std::size_t group = std::stoul(words[1]);
+      if (group >= total / rf) {
+        std::fprintf(stderr, "group %zu out of range (cluster has %zu)\n",
+                     group, total / rf);
+        net.shutdown();
+        return 2;
+      }
+      // Same rule as the client's refresh_group_leader: among the
+      // replicas that answered, believe the highest term's leader rank.
+      std::size_t best = rf;  // sentinel: nobody answered
+      std::uint64_t best_term = 0;
+      for (std::size_t r = 0; r < rf; ++r) {
+        const GroupInfo& info = infos[group * rf + r];
+        if (!info.ok) continue;
+        if (best == rf || info.term > best_term) {
+          best_term = info.term;
+          best = info.leader < rf ? info.leader : 0;
+        }
+      }
+      net.shutdown();
+      if (best == rf) {
+        std::fprintf(stderr, "group %zu: no replica answered\n", group);
+        return 1;
+      }
+      std::printf("%zu\n", group * rf + best);
+      return 0;
+    }
+
+    net.shutdown();
+    std::fprintf(stderr, "unknown command '%s'\n", words[0].c_str());
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mvtl_ctl: %s\n", e.what());
+    return 1;
+  }
+}

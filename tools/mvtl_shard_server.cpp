@@ -1,0 +1,174 @@
+// Standalone shard-server process: hosts one slice of an MVTIL cluster
+// over real TCP sockets, as described by a shared cluster config file
+// (src/server/deploy.hpp).
+//
+//   mvtl_shard_server --config=cluster.conf --serve=2
+//   mvtl_shard_server --config=cluster.conf --serve=0-2 --set key_space=5000
+//
+// The process binds the listed server indices' endpoints locally and
+// dials every other index remotely; construction blocks until a quorum
+// of the cluster is up and configuration epoch 0 is decided through the
+// register, then prints "ready" (the launcher waits for it). Runs until
+// SIGTERM/SIGINT, then tears the servers down cleanly. Exits non-zero
+// when a configured port cannot be bound (TcpTransport::start throws),
+// when the config is invalid, or when the epoch-0 register decided a
+// configuration that disagrees with this process's file.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/cluster.hpp"
+#include "server/deploy.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --config=FILE --serve=IDX[,IDX|A-B]... [--set k=v]...\n"
+      "           [--ts-service] [--print-config]\n"
+      "  --config=FILE   cluster config (see src/server/deploy.hpp)\n"
+      "  --serve=LIST    server indices this process hosts, e.g. 0 or 0-2\n"
+      "  --set k=v       override a config key (same keys as the file)\n"
+      "  --ts-service    run the timestamp service (metadata GC broadcast)\n"
+      "                  from this process; default: only the process\n"
+      "                  serving index 0\n"
+      "  --print-config  print the effective config and exit\n",
+      argv0);
+  return 2;
+}
+
+/// "--serve=0,2-4" → {0, 2, 3, 4}; empty on malformed input.
+std::vector<std::size_t> parse_serve_list(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t dash = item.find('-');
+    try {
+      if (dash == std::string::npos) {
+        out.push_back(std::stoul(item));
+      } else {
+        const std::size_t lo = std::stoul(item.substr(0, dash));
+        const std::size_t hi = std::stoul(item.substr(dash + 1));
+        if (hi < lo) return {};
+        for (std::size_t i = lo; i <= hi; ++i) out.push_back(i);
+      }
+    } catch (const std::exception&) {
+      return {};
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mvtl;
+
+  std::string config_path;
+  std::string serve_spec;
+  std::vector<std::pair<std::string, std::string>> overrides;
+  bool print_config = false;
+  bool force_ts_service = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--config=", 9) == 0) {
+      config_path = arg + 9;
+    } else if (std::strncmp(arg, "--serve=", 8) == 0) {
+      serve_spec = arg + 8;
+    } else if (std::strncmp(arg, "--set", 5) == 0 && arg[5] == '\0') {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const std::string kv = argv[++i];
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) return usage(argv[0]);
+      overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (std::strcmp(arg, "--ts-service") == 0) {
+      force_ts_service = true;
+    } else if (std::strcmp(arg, "--print-config") == 0) {
+      print_config = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return usage(argv[0]);
+    }
+  }
+  if (config_path.empty()) return usage(argv[0]);
+
+  try {
+    DeployConfig deploy = load_deploy_config(config_path);
+    for (const auto& [key, value] : overrides) {
+      apply_deploy_override(deploy, key, value);
+    }
+    validate_deploy_config(deploy);
+    if (print_config) {
+      std::fputs(deploy.encode().c_str(), stdout);
+      return 0;
+    }
+
+    if (serve_spec.empty()) {
+      std::fprintf(stderr, "--serve is required (which indices to host)\n");
+      return usage(argv[0]);
+    }
+    const std::vector<std::size_t> serve = parse_serve_list(serve_spec);
+    if (serve.empty()) {
+      std::fprintf(stderr, "--serve: malformed index list '%s'\n",
+                   serve_spec.c_str());
+      return 2;
+    }
+    for (const std::size_t i : serve) {
+      if (i >= deploy.endpoints.size()) {
+        std::fprintf(stderr,
+                     "--serve names index %zu but the config has only %zu "
+                     "endpoints\n",
+                     i, deploy.endpoints.size());
+        return 2;
+      }
+    }
+
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+
+    std::printf("mvtl_shard_server: hosting %zu of %zu servers "
+                "(%zu groups x rf %zu), protocol %s\n",
+                serve.size(), deploy.endpoints.size(), deploy.groups(),
+                deploy.replication_factor,
+                dist_protocol_name(deploy.protocol));
+    std::fflush(stdout);
+
+    // Blocks until a quorum of the cluster's acceptors is reachable and
+    // epoch 0 is decided; throws if a local port is taken.
+    Cluster cluster(deploy.protocol, deploy.to_cluster_config(serve));
+
+    // Exactly one process should broadcast the purge horizon (§8.1);
+    // by convention the one hosting index 0, unless overridden.
+    bool hosts_index0 = false;
+    for (const std::size_t i : serve) hosts_index0 |= i == 0;
+    if (force_ts_service || hosts_index0) {
+      cluster.start_ts_service(std::chrono::milliseconds{500},
+                               /*keep_ticks=*/2'000'000);  // K = 2 s
+    }
+
+    std::printf("ready\n");
+    std::fflush(stdout);
+
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{100});
+    }
+    std::printf("mvtl_shard_server: signal received, shutting down\n");
+    std::fflush(stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mvtl_shard_server: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
