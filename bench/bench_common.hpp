@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "api/db.hpp"
+#include "obs/metrics.hpp"
 #include "server/deploy.hpp"
 #include "txbench/driver.hpp"
 #include "txbench/report.hpp"
@@ -274,10 +275,14 @@ inline Db make_db(Protocol protocol, const RunSpec& spec) {
 }
 
 /// One protocol's run plus its post-run store stats — the distributed
-/// beds report messages-per-committed-transaction from the latter.
+/// beds report messages-per-committed-transaction from the latter —
+/// and, for distributed beds, the servers' merged metrics registries
+/// (per-RPC server-side latency histograms for the JSON rows).
 struct ProtocolRun {
   DriverResult driver;
   StoreStats stats;
+  obs::MetricsSnapshot server_metrics;
+  bool has_server_metrics = false;
 };
 
 inline ProtocolRun run_protocol(Protocol protocol, const RunSpec& spec) {
@@ -303,6 +308,10 @@ inline ProtocolRun run_protocol(Protocol protocol, const RunSpec& spec) {
   driver.declare_read_only = spec.declare_read_only;
   ProtocolRun run{run_closed_loop(db.spi(), driver), {}};
   run.stats = db.stats();
+  if (auto* store = dynamic_cast<ClusterStore*>(&db.spi())) {
+    run.server_metrics = store->cluster().merged_metrics();
+    run.has_server_metrics = true;
+  }
   return run;
 }
 
@@ -347,7 +356,44 @@ inline void json_record(const std::string& figure, const std::string& x_label,
       << ", "
       << "\"wire_kb_per_tx\": " << (committed > 0 ? wire_kb / committed : 0.0)
       << ", "
-      << "\"max_backlog\": " << run.stats.max_backlog << "}";
+      << "\"max_backlog\": " << run.stats.max_backlog;
+  row << ", \"aborts_by_reason\": {";
+  bool first = true;
+  for (std::size_t i = 0; i < kAbortReasonCount; ++i) {
+    if (run.driver.aborts_by_reason[i] == 0) continue;
+    if (!first) row << ", ";
+    first = false;
+    row << "\"" << abort_reason_name(static_cast<AbortReason>(i))
+        << "\": " << run.driver.aborts_by_reason[i];
+  }
+  row << "}";
+  if (run.has_server_metrics) {
+    // Server-side per-RPC latency quantiles (µs), merged over all
+    // servers — the gap to the client-observed p50/p99 above is
+    // transport + queueing.
+    row << ", \"rpc_server_us\": {";
+    first = true;
+    for (const auto& [name, h] : run.server_metrics.histograms) {
+      constexpr const char* kPrefix = "rpc.";
+      constexpr const char* kSuffix = ".latency_us";
+      if (h.count == 0 || name.rfind(kPrefix, 0) != 0 ||
+          name.size() <= std::strlen(kSuffix) ||
+          name.compare(name.size() - std::strlen(kSuffix),
+                       std::strlen(kSuffix), kSuffix) != 0) {
+        continue;
+      }
+      if (!first) row << ", ";
+      first = false;
+      const std::string rpc = name.substr(
+          std::strlen(kPrefix),
+          name.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+      row << "\"" << json_escape(rpc) << "\": {\"count\": " << h.count
+          << ", \"p50\": " << h.quantile(0.50)
+          << ", \"p99\": " << h.quantile(0.99) << "}";
+    }
+    row << "}";
+  }
+  row << "}";
   sink.rows.push_back(row.str());
 
   std::ofstream out(sink.path);

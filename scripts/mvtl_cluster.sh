@@ -51,7 +51,11 @@ case "$cmd" in
         echo "server $i already running (pid $(cat "$(pidfile "$i")"))" >&2
         exit 1
       fi
-      "$server_bin" --config="$config" --serve="$i" \
+      # Default the servers to structured info logging so the per-server
+      # log files are machine-parseable JSON lines; callers can override
+      # (MVTL_LOG=debug/off) through the environment.
+      MVTL_LOG="${MVTL_LOG:-info}" \
+        "$server_bin" --config="$config" --serve="$i" \
         > "$(logfile "$i")" 2>&1 &
       echo $! > "$(pidfile "$i")"
     done

@@ -29,10 +29,34 @@ enum class CommitStatus {
   kAborted,
 };
 
+/// Why a transaction aborted; used by metrics and tests.
+enum class AbortReason {
+  kNone,
+  kNoCommonTimestamp,   ///< Algorithm 1 line 14: T = ∅.
+  kLockTimeout,         ///< waited too long on an unfrozen lock (§4.3)
+  kValidationConflict,  ///< MVTO+ read-timestamp rule / 2PL conflict
+  kVersionPurged,       ///< needed a version the GC already purged
+  kUserAbort,
+  kCoordinatorSuspected,  ///< distributed: suspicion decided abort (§7)
+  kDeadlock,              ///< wait-for-graph cycle; this tx was the victim
+  kEpochChanged,          ///< distributed: shard map moved under the tx
+  kNotLeader,             ///< replicated: contacted replica lost leadership
+  kReplicaBehind,  ///< replicated: no replica could serve the snapshot yet
+};
+
+/// Number of AbortReason enumerators (kNone through kReplicaBehind) —
+/// the size any per-reason accounting array must have.
+constexpr std::size_t kAbortReasonCount = 11;
+
+const char* abort_reason_name(AbortReason r);
+
 struct CommitResult {
   CommitStatus status = CommitStatus::kAborted;
   /// Serialization timestamp; only meaningful when committed.
   Timestamp commit_ts;
+  /// Why the attempt aborted; kNone when committed (or when the engine
+  /// could not attribute the abort).
+  AbortReason abort_reason = AbortReason::kNone;
 
   bool committed() const { return status == CommitStatus::kCommitted; }
 };
@@ -94,22 +118,5 @@ struct StoreStats {
   std::size_t bytes_sent = 0;
   std::size_t bytes_received = 0;
 };
-
-/// Why a transaction aborted; used by metrics and tests.
-enum class AbortReason {
-  kNone,
-  kNoCommonTimestamp,   ///< Algorithm 1 line 14: T = ∅.
-  kLockTimeout,         ///< waited too long on an unfrozen lock (§4.3)
-  kValidationConflict,  ///< MVTO+ read-timestamp rule / 2PL conflict
-  kVersionPurged,       ///< needed a version the GC already purged
-  kUserAbort,
-  kCoordinatorSuspected,  ///< distributed: suspicion decided abort (§7)
-  kDeadlock,              ///< wait-for-graph cycle; this tx was the victim
-  kEpochChanged,          ///< distributed: shard map moved under the tx
-  kNotLeader,             ///< replicated: contacted replica lost leadership
-  kReplicaBehind,  ///< replicated: no replica could serve the snapshot yet
-};
-
-const char* abort_reason_name(AbortReason r);
 
 }  // namespace mvtl

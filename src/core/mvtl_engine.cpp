@@ -11,9 +11,22 @@ MvtlEngine::MvtlEngine(std::shared_ptr<MvtlPolicy> policy,
       config_(std::move(config)),
       store_(config_.shards),
       ctx_(store_, *config_.clock, config_.lock_timeout,
-           config_.deadlock_detection ? &wait_graph_ : nullptr) {
+           config_.deadlock_detection ? &wait_graph_ : nullptr,
+           config_.metrics != nullptr
+               ? &config_.metrics->counter("engine.lock_waits")
+               : nullptr) {
   if (!config_.clock) {
     throw std::invalid_argument("MvtlEngineConfig.clock must be set");
+  }
+  if (config_.metrics != nullptr) {
+    for (std::size_t i = 0; i < kAbortReasonCount; ++i) {
+      abort_counters_[i] = &config_.metrics->counter(
+          std::string("engine.aborts.") +
+          abort_reason_name(static_cast<AbortReason>(i)));
+    }
+    gc_purged_ = &config_.metrics->counter("engine.gc_purged");
+    version_chain_len_ =
+        &config_.metrics->histogram("engine.version_chain_len");
   }
 }
 
@@ -141,7 +154,9 @@ CommitResult MvtlEngine::finalize_commit(Tx& tx_base, Timestamp c) {
   // Freeze the commit point and expose the written values (lines 17–19;
   // per-key atomicity under the key latch, see §6).
   for (const auto& [key, value] : tx.writeset()) {
-    lock_ops::commit_key(store_.key_state(key), tx.id(), c, value);
+    const std::size_t chain_len =
+        lock_ops::commit_key(store_.key_state(key), tx.id(), c, value);
+    if (version_chain_len_ != nullptr) version_chain_len_->record(chain_len);
   }
   tx.set_state(MvtlTx::State::kCommitted);
   if (config_.recorder != nullptr) {
@@ -181,7 +196,11 @@ CommitResult MvtlEngine::finalize_readonly(Tx& tx_base, Timestamp freeze_hi) {
 CommitResult MvtlEngine::commit(Tx& tx_base) {
   auto& tx = static_cast<MvtlTx&>(tx_base);
   const Prepared prepared = prepare(tx_base);
-  if (!prepared.ok) return {};
+  if (!prepared.ok) {
+    CommitResult aborted;
+    aborted.abort_reason = prepared.failure;
+    return aborted;
+  }
 
   const Timestamp c = policy_->commit_ts(tx, prepared.candidates);
   assert(prepared.candidates.contains(c));
@@ -201,6 +220,10 @@ void MvtlEngine::abort_with(Tx& tx_base, AbortReason reason) {
 void MvtlEngine::do_abort(MvtlTx& tx, AbortReason reason) {
   tx.set_state(MvtlTx::State::kAborted);
   tx.set_abort_reason(reason);
+  if (const auto idx = static_cast<std::size_t>(reason);
+      idx < abort_counters_.size() && abort_counters_[idx] != nullptr) {
+    abort_counters_[idx]->add();
+  }
   if (config_.deadlock_detection) wait_graph_.remove_tx(tx.id());
   // An aborted transaction exposes no data: its write locks serve no
   // purpose and are always released. Its read locks persist under no-GC

@@ -7,6 +7,7 @@
 // not depend on the policy; liveness and abort behaviour do.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -14,6 +15,7 @@
 #include "core/mvtl_tx.hpp"
 #include "core/policy.hpp"
 #include "core/transactional_store.hpp"
+#include "obs/metrics.hpp"
 #include "storage/store.hpp"
 #include "sync/clock.hpp"
 #include "sync/wait_for_graph.hpp"
@@ -33,6 +35,10 @@ struct MvtlEngineConfig {
   /// Precise deadlock detection via a wait-for graph (§4.3). When off,
   /// bounded waits (lock_timeout) provide deadlock relief instead.
   bool deadlock_detection = false;
+  /// Optional metrics registry. When set, the engine publishes
+  /// engine.lock_waits, engine.aborts.<reason>, engine.gc_purged and the
+  /// engine.version_chain_len histogram into it.
+  obs::Registry* metrics = nullptr;
 };
 
 class MvtlEngine final : public TransactionalStore {
@@ -95,7 +101,9 @@ class MvtlEngine final : public TransactionalStore {
 
   StoreStats stats() override { return store_.stats(); }
   std::size_t purge_below(Timestamp horizon) override {
-    return store_.purge_below(horizon);
+    const std::size_t purged = store_.purge_below(horizon);
+    if (gc_purged_ != nullptr && purged != 0) gc_purged_->add(purged);
+    return purged;
   }
 
   Store& store() { return store_; }
@@ -115,6 +123,11 @@ class MvtlEngine final : public TransactionalStore {
   WaitForGraph wait_graph_;
   PolicyContext ctx_;
   std::atomic<TxId> next_tx_id_{1};
+  // Cached instrument pointers (stable for the registry's lifetime); all
+  // null when config_.metrics is unset.
+  std::array<obs::Counter*, kAbortReasonCount> abort_counters_{};
+  obs::Counter* gc_purged_ = nullptr;
+  obs::Histogram* version_chain_len_ = nullptr;
 };
 
 }  // namespace mvtl

@@ -10,6 +10,7 @@ lock_ops::ReadAcquire PolicyContext::read_lock_upto(MvtlTx& tx,
   opts.wait = wait;
   opts.timeout = lock_timeout_;
   opts.wait_graph = wait_graph_;
+  opts.wait_counter = lock_waits_;
   lock_ops::ReadAcquire result =
       lock_ops::acquire_read_upto(ks, tx.id(), m, opts);
   if (result.outcome == lock_ops::Outcome::kAcquired ||
@@ -30,6 +31,7 @@ lock_ops::WriteAcquire PolicyContext::write_lock_set(MvtlTx& tx,
   opts.wait = wait;
   opts.timeout = lock_timeout_;
   opts.wait_graph = wait_graph_;
+  opts.wait_counter = lock_waits_;
   lock_ops::WriteAcquire result =
       lock_ops::acquire_write_set(ks, tx.id(), want, opts);
   if (!result.acquired.is_empty()) {
@@ -42,7 +44,8 @@ bool PolicyContext::write_lock_point(MvtlTx& tx, const Key& key, Timestamp t,
                                      bool wait_on_conflicts) {
   KeyState& ks = store_.key_state(key);
   const bool ok = lock_ops::acquire_write_point(
-      ks, tx.id(), t, wait_on_conflicts, lock_timeout_, wait_graph_);
+      ks, tx.id(), t, wait_on_conflicts, lock_timeout_, wait_graph_,
+      lock_waits_);
   if (ok) {
     tx.holdings()[key].write.insert(Interval::point(t));
   }

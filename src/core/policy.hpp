@@ -38,11 +38,13 @@ class PolicyContext {
  public:
   PolicyContext(Store& store, ClockSource& clock,
                 std::chrono::microseconds lock_timeout,
-                WaitForGraph* wait_graph = nullptr)
+                WaitForGraph* wait_graph = nullptr,
+                obs::Counter* lock_waits = nullptr)
       : store_(store),
         clock_(clock),
         lock_timeout_(lock_timeout),
-        wait_graph_(wait_graph) {}
+        wait_graph_(wait_graph),
+        lock_waits_(lock_waits) {}
 
   Store& store() { return store_; }
   ClockSource& clock() { return clock_; }
@@ -78,6 +80,7 @@ class PolicyContext {
   ClockSource& clock_;
   std::chrono::microseconds lock_timeout_;
   WaitForGraph* wait_graph_;
+  obs::Counter* lock_waits_;  ///< blocked-acquire counter; may be null
 };
 
 /// The clock tick a policy anchors its interval/timestamp at: the

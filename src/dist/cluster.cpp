@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -14,6 +15,8 @@
 #include "core/policy.hpp"
 #include "net/tcp.hpp"
 #include "net/wire.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "repl/log.hpp"
 
 namespace mvtl {
@@ -66,6 +69,9 @@ class DistClient::DistTx final : public TransactionalStore::Tx {
   std::map<std::size_t, GroupPart> parts_;      // keyed by group
   std::vector<std::size_t> contacted_;          // server indices messaged
   bool wrote_ = false;
+  /// Sampled for tracing: every request this transaction sends travels
+  /// in a kTraced envelope carrying the global id as trace id.
+  bool traced_ = false;
   /// Declared-read-only: the snapshot every read is served at (the first
   /// contacted replica's floor); min() until the first read.
   Timestamp snapshot_;
@@ -159,7 +165,10 @@ TransactionalStore::TxPtr DistClient::begin(const TxOptions& options) {
     // anchor the same I.
     pinned.begin_tick = cluster_->clock()->now(options.process);
   }
-  return std::make_unique<DistTx>(gtx, pinned, routing_snapshot());
+  auto tx = std::make_unique<DistTx>(gtx, pinned, routing_snapshot());
+  const std::uint64_t every = cluster_->config().trace_sample_every;
+  tx->traced_ = every != 0 && gtx % every == 0;
+  return tx;
 }
 
 DistClient::Route DistClient::route(DistTx& tx, const Key& key) {
@@ -315,6 +324,9 @@ ReadResult DistClient::snapshot_read(DistTx& tx, const Key& key) {
 ReadResult DistClient::read(Tx& tx_base, const Key& key) {
   auto& tx = static_cast<DistTx&>(tx_base);
   if (!tx.is_active()) return {};
+  // Requests sent under this scope travel in kTraced envelopes; the
+  // servers append matching span events to their trace rings.
+  obs::TraceScope trace_scope(tx.traced_ ? tx.id() : 0);
   if (tx.options_.read_only) return snapshot_read(tx, key);
   const Route r = route(tx, key);
   // The read's result gates the client's next step, so this flushes the
@@ -368,6 +380,7 @@ bool DistClient::write(Tx& tx_base, const Key& key, Value value) {
 bool DistClient::flush(Tx& tx_base) {
   auto& tx = static_cast<DistTx&>(tx_base);
   if (!tx.is_active()) return false;
+  obs::TraceScope trace_scope(tx.traced_ ? tx.id() : 0);
   std::vector<std::pair<std::size_t, wire::ReplyFuture<wire::OpBatchRequest>>>
       futures;
   for (const std::size_t group : tx.participants_) {
@@ -445,6 +458,7 @@ CommitResult DistClient::commit(Tx& tx_base) {
   auto& tx = static_cast<DistTx&>(tx_base);
   CommitResult result;
   if (!tx.is_active()) return result;
+  obs::TraceScope trace_scope(tx.traced_ ? tx.id() : 0);
 
   if (tx.options_.read_only) {
     // Declared read-only: every read was a lock-free snapshot read at
@@ -549,6 +563,7 @@ CommitResult DistClient::commit(Tx& tx_base) {
     // waiting on those entries (see abort_on_batch_failure).
     if (wrong_epoch) refresh_routing();
     if (not_leader) refresh_group_leader(not_leader_group);
+    result.abort_reason = tx.reason_;
     return result;
   }
 
@@ -582,6 +597,7 @@ CommitResult DistClient::commit(Tx& tx_base) {
     broadcast_abort(tx, AbortReason::kCoordinatorSuspected);
     tx.state_ = DistTx::State::kAborted;
     tx.reason_ = AbortReason::kCoordinatorSuspected;
+    result.abort_reason = tx.reason_;
     return result;
   }
   // The decision is durable; now every participant group's effects must
@@ -626,6 +642,7 @@ CommitResult DistClient::commit(Tx& tx_base) {
 void DistClient::abort(Tx& tx_base) {
   auto& tx = static_cast<DistTx&>(tx_base);
   if (!tx.is_active()) return;
+  obs::TraceScope trace_scope(tx.traced_ ? tx.id() : 0);
   finish_abort(tx, AbortReason::kUserAbort, /*notify_servers=*/true);
 }
 
@@ -851,6 +868,12 @@ Cluster::Cluster(DistProtocol protocol, ClusterConfig config)
   routing_ = make_routing(0, std::move(initial));
 
   client_ = std::make_unique<DistClient>(*this);
+
+  obs::log_info("cluster", "boot",
+                {{"groups", std::to_string(groups_)},
+                 {"replication_factor", std::to_string(rf_)},
+                 {"local_servers", std::to_string(config_.local_servers.size())},
+                 {"transport", kind == TransportKind::kTcp ? "tcp" : "sim"}});
 }
 
 Cluster::~Cluster() {
@@ -964,6 +987,52 @@ StoreStats Cluster::stats() {
   total.bytes_sent = transport_->bytes_sent();
   total.bytes_received = transport_->bytes_received();
   return total;
+}
+
+std::vector<Cluster::ServerMetrics> Cluster::scrape_metrics() {
+  std::vector<wire::ReplyFuture<wire::MetricsRequest>> futures;
+  futures.reserve(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    futures.push_back(wire::call(*transport_, i, wire::MetricsRequest{}));
+  }
+  std::vector<ServerMetrics> out;
+  out.reserve(servers_.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    wire::MetricsReply reply = futures[i].get();
+    out.push_back(
+        ServerMetrics{i, reply.ok, std::move(reply.metrics)});
+  }
+  return out;
+}
+
+obs::MetricsSnapshot Cluster::merged_metrics() {
+  obs::MetricsSnapshot merged;
+  for (ServerMetrics& sm : scrape_metrics()) {
+    if (sm.ok) merged.merge(sm.metrics);
+  }
+  return merged;
+}
+
+std::vector<obs::SpanEvent> Cluster::fetch_trace(TxId gtx) {
+  std::vector<wire::ReplyFuture<wire::TraceFetchRequest>> futures;
+  futures.reserve(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    futures.push_back(
+        wire::call(*transport_, i, wire::TraceFetchRequest{gtx}));
+  }
+  std::vector<obs::SpanEvent> events;
+  for (auto& f : futures) {
+    wire::TraceReply reply = f.get();
+    if (!reply.ok) continue;
+    events.insert(events.end(),
+                  std::make_move_iterator(reply.events.begin()),
+                  std::make_move_iterator(reply.events.end()));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const obs::SpanEvent& a, const obs::SpanEvent& b) {
+                     return a.at_ticks < b.at_ticks;
+                   });
+  return events;
 }
 
 std::size_t Cluster::purge_below(Timestamp horizon) {
@@ -1151,6 +1220,8 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
         "advance_epoch: register decided a map for more groups than the "
         "cluster has");
   }
+  obs::log_info("cluster", "epoch_advance_start",
+                {{"epoch", std::to_string(next)}});
 
   // 2. Bar the door: every server refuses op batches (old epoch or new)
   //    until the migration commits. Every freeze must actually land —
@@ -1268,6 +1339,8 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
       "epoch commit");
   epochs_.push_back(decided);
   routing_ = make_routing(next, std::move(adopted));
+  obs::log_info("cluster", "epoch_advance_done",
+                {{"epoch", std::to_string(next)}});
   return next;
 }
 

@@ -115,6 +115,11 @@ struct ClusterConfig {
   std::size_t net_lanes = 8;
   /// MVTIL interval width Δ, in clock ticks (µs under the default clock).
   std::uint64_t mvtil_delta_ticks = 5'000;
+  /// Transaction tracing sample rate: every Nth transaction this client
+  /// begins is traced (its global id becomes the trace id, carried in a
+  /// kTraced envelope on every request). 0 = tracing off — the wire
+  /// traffic is byte-identical to an untraced cluster.
+  std::uint64_t trace_sample_every = 0;
   /// Server-side suspicion: a coordinator silent this long is presumed
   /// crashed and its transaction driven to Abort.
   std::chrono::milliseconds suspect_timeout{50};
@@ -302,6 +307,22 @@ class Cluster {
   /// Aggregated metadata counts across all servers.
   StoreStats stats();
   std::size_t purge_below(Timestamp horizon);
+
+  /// One server's answer to a metrics scrape.
+  struct ServerMetrics {
+    std::size_t server = 0;
+    bool ok = false;  ///< false ⇒ the server refused (crashed/unreachable)
+    obs::MetricsSnapshot metrics;
+  };
+  /// Scrapes every server's metrics registry over the wire (MetricsRequest
+  /// fan-out), local and remote alike.
+  std::vector<ServerMetrics> scrape_metrics();
+  /// The scrape, merged cluster-wide: counters and histograms sum,
+  /// gauges take the max.
+  obs::MetricsSnapshot merged_metrics();
+  /// Fetches the buffered span events for `gtx` (0 ⇒ everything) from
+  /// every server and returns them merged, ordered by tick.
+  std::vector<obs::SpanEvent> fetch_trace(TxId gtx);
 
   // --- Paxos-backed configuration & live reconfiguration ------------------
   /// Current configuration epoch (epoch 0 is decided at construction).

@@ -58,12 +58,14 @@ ShardMap ShardMap::decode(const std::string& encoded) {
 
 namespace {
 
-MvtlEngineConfig engine_config(const ShardServerConfig& config) {
+MvtlEngineConfig engine_config(const ShardServerConfig& config,
+                               obs::Registry* metrics) {
   MvtlEngineConfig ec;
   ec.clock = config.clock;
   ec.lock_timeout = config.lock_timeout;
   ec.shards = config.store_shards;
   ec.recorder = config.recorder;
+  ec.metrics = metrics;
   return ec;
 }
 
@@ -79,10 +81,24 @@ std::future<T> ready(T value) {
 
 ShardServer::ShardServer(ShardServerConfig config, Transport& transport)
     : config_(std::move(config)),
-      engine_(config_.policy, engine_config(config_)),
+      trace_ring_(config_.trace_ring_capacity),
+      engine_(config_.policy, engine_config(config_, &metrics_)),
       exec_(config_.threads, "srv" + std::to_string(config_.index),
             config_.task_cost),
-      transport_(&transport) {}
+      transport_(&transport) {
+  // Pre-resolve the per-RPC instruments so the hot path indexes an array
+  // instead of taking the registry mutex per frame.
+  rpc_instruments_.resize(wire::kMsgTypeCount);
+  for (std::size_t tag = 1; tag < wire::kMsgTypeCount; ++tag) {
+    const auto type = static_cast<wire::MsgType>(tag);
+    if (type == wire::MsgType::kTraced) continue;  // envelope, not an RPC
+    const std::string base = std::string("rpc.") + wire::msg_type_name(type);
+    rpc_instruments_[tag].latency_us =
+        &metrics_.histogram(base + ".latency_us");
+    rpc_instruments_[tag].request_bytes =
+        &metrics_.histogram(base + ".request_bytes");
+  }
+}
 
 ShardServer::~ShardServer() {
   // Stop suspecting/replicating before the engine (and its store) go
@@ -108,6 +124,7 @@ void ShardServer::connect(std::vector<AcceptorEndpoint> acceptors) {
   gc.suspect_timeout = config_.suspect_timeout;
   gc.floor_lag_ticks = config_.floor_lag_ticks;
   gc.clock = config_.clock;
+  gc.metrics = &metrics_;
 
   GroupTransport transport;
   transport.acceptors.reserve(members.size());
@@ -203,6 +220,47 @@ void ShardServer::erase_entry(TxId gtx) {
 
 std::string ShardServer::handle_frame(const std::string& frame) {
   using namespace wire;
+  // Strip the trace envelope (if any) and re-establish the trace scope,
+  // so the handler and every nested server→server call it makes carry
+  // the id onward.
+  std::uint64_t trace_id = 0;
+  std::string inner;
+  const std::string* body = &frame;
+  if (peek_type(frame) == MsgType::kTraced) {
+    if (!unwrap_traced(frame, &trace_id, &inner)) return {};
+    body = &inner;
+  }
+  obs::TraceScope scope(trace_id);
+
+  const auto tag = static_cast<std::size_t>(peek_type(*body));
+  const auto started = std::chrono::steady_clock::now();
+  std::string reply = dispatch_frame(*body);
+  const auto dur_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+
+  if (tag != 0 && tag < rpc_instruments_.size() &&
+      rpc_instruments_[tag].latency_us != nullptr) {
+    rpc_instruments_[tag].latency_us->record(dur_us);
+    rpc_instruments_[tag].request_bytes->record(body->size());
+  }
+  if (trace_id != 0) {
+    obs::SpanEvent span;
+    span.trace_id = trace_id;
+    span.at_ticks =
+        config_.clock->now(static_cast<ProcessId>(config_.index));
+    span.dur_us = dur_us;
+    span.server = "srv" + std::to_string(config_.index);
+    span.name = std::string("rpc.") +
+                msg_type_name(static_cast<MsgType>(tag));
+    trace_ring_.append(span);
+  }
+  return reply;
+}
+
+std::string ShardServer::dispatch_frame(const std::string& frame) {
+  using namespace wire;
   switch (peek_type(frame)) {
     case MsgType::kOpBatch: {
       OpBatchRequest req;
@@ -294,6 +352,26 @@ std::string ShardServer::handle_frame(const std::string& frame) {
       if (!decode(frame, &req)) return {};
       handle_epoch_commit(req.next_epoch);
       return encode_reply(AckReply{true});
+    }
+    case MsgType::kMetrics: {
+      MetricsRequest req;
+      if (!decode(frame, &req)) return {};
+      MetricsReply reply;  // ok=false reads as a dead-peer refusal
+      if (!crashed()) {
+        reply.ok = true;
+        reply.metrics = handle_metrics();
+      }
+      return encode_reply(reply);
+    }
+    case MsgType::kTraceFetch: {
+      TraceFetchRequest req;
+      if (!decode(frame, &req)) return {};
+      TraceReply reply;
+      if (!crashed()) {
+        reply.ok = true;
+        reply.events = handle_trace_fetch(req.gtx);
+      }
+      return encode_reply(reply);
     }
     default:
       return {};
@@ -678,6 +756,52 @@ StoreStats ShardServer::handle_stats() {
 std::size_t ShardServer::handle_purge(Timestamp horizon) {
   if (crashed()) return 0;
   return engine_.purge_below(horizon);
+}
+
+obs::MetricsSnapshot ShardServer::handle_metrics() {
+  // Point-in-time state is published as gauges refreshed at scrape time —
+  // the steady-state hot path pays nothing for them.
+  const GroupInfo info = group_info();
+  metrics_.gauge("repl.term").set(static_cast<std::int64_t>(info.term));
+  metrics_.gauge("repl.leader_rank")
+      .set(static_cast<std::int64_t>(info.leader));
+  metrics_.gauge("repl.leading").set(info.leading ? 1 : 0);
+  metrics_.gauge("repl.lease_ok").set(info.lease_ok ? 1 : 0);
+  if (group_) {
+    metrics_.gauge("repl.applied_slot")
+        .set(static_cast<std::int64_t>(group_->log_length()));
+    // How far the closed-timestamp floor trails this member's clock, in
+    // ticks: staleness bound of its snapshot reads.
+    const std::uint64_t now =
+        config_.clock->now(static_cast<ProcessId>(config_.index));
+    const std::uint64_t floor_tick = group_->floor().tick();
+    metrics_.gauge("repl.floor_lag_ticks")
+        .set(static_cast<std::int64_t>(now > floor_tick ? now - floor_tick
+                                                        : 0));
+  }
+
+  const StoreStats stats = engine_.stats();
+  metrics_.gauge("store.keys").set(static_cast<std::int64_t>(stats.keys));
+  metrics_.gauge("store.versions")
+      .set(static_cast<std::int64_t>(stats.versions));
+  metrics_.gauge("store.lock_entries")
+      .set(static_cast<std::int64_t>(stats.lock_entries));
+  metrics_.gauge("server.live_txs")
+      .set(static_cast<std::int64_t>(live_transactions()));
+  metrics_.gauge("server.epoch").set(static_cast<std::int64_t>(epoch()));
+  metrics_.gauge("server.served_ops")
+      .set(static_cast<std::int64_t>(
+          served_ops_.load(std::memory_order_relaxed)));
+  metrics_.gauge("server.suspicion_aborts")
+      .set(static_cast<std::int64_t>(
+          suspicion_aborts_.load(std::memory_order_relaxed)));
+  metrics_.gauge("server.max_backlog")
+      .set(static_cast<std::int64_t>(stats.max_backlog));
+  return metrics_.snapshot();
+}
+
+std::vector<obs::SpanEvent> ShardServer::handle_trace_fetch(TxId gtx) {
+  return trace_ring_.events_for(gtx);
 }
 
 PaxosPrepareReply ShardServer::handle_paxos_prepare(

@@ -57,6 +57,8 @@
 #include "dist/commitment.hpp"
 #include "dist/paxos.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "repl/group.hpp"
 #include "repl/log.hpp"
 
@@ -193,6 +195,9 @@ struct ShardServerConfig {
   std::size_t rank = 0;
   /// Closed-timestamp lag for follower reads, in clock ticks.
   std::uint64_t floor_lag_ticks = 20'000;
+  /// Span events the server buffers for `mvtl_ctl trace` (per server;
+  /// oldest overwritten first).
+  std::size_t trace_ring_capacity = 4096;
 };
 
 /// One server of the distributed MVTIL cluster. All handle_* methods run
@@ -239,10 +244,13 @@ class ShardServer {
   void crash() { crashed_.store(true, std::memory_order_release); }
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
-  /// The transport-facing entry: decodes a wire frame, dispatches to the
-  /// matching typed handler below, returns the encoded reply (empty for
-  /// one-way messages and undecodable frames — the caller reads that as
-  /// a refusal).
+  /// The transport-facing entry: unwraps a kTraced envelope if present
+  /// (re-establishing the trace scope for the handler, so nested
+  /// server→server calls propagate the id), decodes the frame, dispatches
+  /// to the matching typed handler below, and returns the encoded reply
+  /// (empty for one-way messages and undecodable frames — the caller
+  /// reads that as a refusal). Records per-RPC latency/size histograms
+  /// and, when traced, a span event in the trace ring.
   std::string handle_frame(const std::string& frame);
 
   // --- request handlers ---------------------------------------------------
@@ -295,6 +303,11 @@ class ShardServer {
   bool handle_repl_sync();
   StoreStats handle_stats();
   std::size_t handle_purge(Timestamp horizon);
+  /// Snapshot of this server's metrics registry, with the lazily-scraped
+  /// gauges (repl.*, store.*, server.*) refreshed first.
+  obs::MetricsSnapshot handle_metrics();
+  /// Buffered span events for `gtx` (0 ⇒ every buffered span).
+  std::vector<obs::SpanEvent> handle_trace_fetch(TxId gtx);
   PaxosPrepareReply handle_paxos_prepare(const std::string& decision,
                                          std::uint64_t ballot);
   PaxosAcceptReply handle_paxos_accept(const std::string& decision,
@@ -362,6 +375,10 @@ class ShardServer {
     return group_ ? group_->info() : GroupInfo{};
   }
   GroupMember* group_member() { return group_.get(); }
+  /// This server's metrics registry / trace ring (tests, in-process
+  /// scraping; remote callers use MetricsRequest / TraceFetchRequest).
+  obs::Registry& metrics() { return metrics_; }
+  obs::TraceRing& trace_ring() { return trace_ring_; }
   /// Runs one suspicion sweep immediately (tests).
   void sweep_now() { sweep(); }
 
@@ -422,7 +439,15 @@ class ShardServer {
 
   void sweep();
 
+  /// The decode-and-dispatch half of handle_frame, after the trace
+  /// envelope has been stripped and the trace scope established.
+  std::string dispatch_frame(const std::string& frame);
+
   ShardServerConfig config_;
+  /// Declared before engine_: the engine caches instrument pointers into
+  /// this registry during construction.
+  obs::Registry metrics_;
+  obs::TraceRing trace_ring_;
   MvtlEngine engine_;
   Executor exec_;
   Transport* transport_;
@@ -442,6 +467,15 @@ class ShardServer {
   std::atomic<std::uint64_t> served_ops_{0};
   std::atomic<std::uint64_t> follower_reads_{0};
   std::atomic<std::uint64_t> leader_snapshot_reads_{0};
+
+  /// Per-RPC-type instruments, indexed by the raw wire tag; filled at
+  /// construction so handle_frame never takes the registry mutex.
+  struct RpcInstruments {
+    obs::Histogram* latency_us = nullptr;
+    obs::Histogram* request_bytes = nullptr;
+  };
+  std::vector<RpcInstruments> rpc_instruments_;
+
   std::unique_ptr<PeriodicTask> sweeper_;
 };
 

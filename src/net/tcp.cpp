@@ -14,6 +14,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/log.hpp"
+
 namespace mvtl {
 namespace {
 
@@ -182,6 +184,10 @@ void TcpTransport::start() {
     set_nonblocking(fd);
     ep.listen_fd = fd;
     ep.port = ntohs(addr.sin_port);
+    obs::log_info("tcp", "listening",
+                  {{"endpoint", std::to_string(i)},
+                   {"host", host},
+                   {"port", std::to_string(ep.port)}});
   }
   if (::pipe(wake_pipe_) == 0) {
     set_nonblocking(wake_pipe_[0]);
@@ -211,7 +217,12 @@ std::shared_ptr<TcpTransport::Conn> TcpTransport::connect_to(
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
       ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
     ::close(fd);
+    obs::log_debug("tcp", "connect_failed",
+                   {{"host", host},
+                    {"port", std::to_string(port)},
+                    {"error", std::strerror(err)}});
     return nullptr;
   }
   set_nonblocking(fd);
@@ -303,6 +314,12 @@ void TcpTransport::fail_conn(const std::shared_ptr<Conn>& conn) {
   {
     std::lock_guard guard(conn->pending_mu);
     pending.swap(conn->pending);
+  }
+  if (!pending.empty()) {
+    // Dropping in-flight calls is the signature of a peer dying mid-RPC
+    // (kill -9 failover); an idle connection closing is unremarkable.
+    obs::log_warn("tcp", "conn_failed",
+                  {{"dropped_calls", std::to_string(pending.size())}});
   }
   for (auto& [id, promise] : pending) promise->set_value({});
   {

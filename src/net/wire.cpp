@@ -243,14 +243,79 @@ bool get_interval_set(Reader& r, IntervalSet* set) {
   return true;
 }
 
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kOpBatch:
+      return "op_batch";
+    case MsgType::kFinalize:
+      return "finalize";
+    case MsgType::kSnapshotRead:
+      return "snapshot_read";
+    case MsgType::kGroupBeat:
+      return "group_beat";
+    case MsgType::kLogFetch:
+      return "log_fetch";
+    case MsgType::kGroupInfo:
+      return "group_info";
+    case MsgType::kReplSync:
+      return "repl_sync";
+    case MsgType::kStats:
+      return "stats";
+    case MsgType::kPurge:
+      return "purge";
+    case MsgType::kPaxosPrepare:
+      return "paxos_prepare";
+    case MsgType::kPaxosAccept:
+      return "paxos_accept";
+    case MsgType::kEpochFreeze:
+      return "epoch_freeze";
+    case MsgType::kExportKeys:
+      return "export_keys";
+    case MsgType::kDropKeys:
+      return "drop_keys";
+    case MsgType::kImportKeys:
+      return "import_keys";
+    case MsgType::kEpochCommit:
+      return "epoch_commit";
+    case MsgType::kMetrics:
+      return "metrics";
+    case MsgType::kTraceFetch:
+      return "trace_fetch";
+    case MsgType::kTraced:
+      return "traced";
+  }
+  return "unknown";
+}
+
 MsgType peek_type(const std::string& frame) {
   if (frame.empty()) return kInvalidMsgType;
   const auto tag = static_cast<std::uint8_t>(frame[0]);
   if (tag < static_cast<std::uint8_t>(MsgType::kOpBatch) ||
-      tag > static_cast<std::uint8_t>(MsgType::kEpochCommit)) {
+      tag > static_cast<std::uint8_t>(MsgType::kTraced)) {
     return kInvalidMsgType;
   }
   return static_cast<MsgType>(tag);
+}
+
+std::string wrap_traced(std::uint64_t trace_id, const std::string& inner) {
+  Writer w = begin_frame(MsgType::kTraced);
+  w.u64(trace_id);
+  std::string out = w.take();
+  out += inner;
+  return out;
+}
+
+bool unwrap_traced(const std::string& frame, std::uint64_t* trace_id,
+                   std::string* inner) {
+  Reader r(frame);
+  if (!open_frame(r, MsgType::kTraced) || !r.u64(trace_id)) return false;
+  if (*trace_id == 0) return false;
+  // The rest of the frame is the inner frame, verbatim (1 tag byte +
+  // 8 id bytes precede it); an empty inner frame is refused like any
+  // empty frame.
+  if (frame.size() <= 9) return false;
+  inner->assign(frame, 9, frame.size() - 9);
+  return true;
 }
 
 // --- requests --------------------------------------------------------------
@@ -488,6 +553,26 @@ bool decode(const std::string& frame, EpochCommitRequest* m) {
   return open_frame(r, m->kType) && r.u64(&m->next_epoch) && r.done();
 }
 
+std::string encode(const MetricsRequest& m) {
+  return begin_frame(m.kType).take();
+}
+
+bool decode(const std::string& frame, MetricsRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && r.done();
+}
+
+std::string encode(const TraceFetchRequest& m) {
+  Writer w = begin_frame(m.kType);
+  w.u64(m.gtx);
+  return w.take();
+}
+
+bool decode(const std::string& frame, TraceFetchRequest* m) {
+  Reader r(frame);
+  return open_frame(r, m->kType) && r.u64(&m->gtx) && r.done();
+}
+
 // --- replies ---------------------------------------------------------------
 // Replies carry no type tag (the caller knows what it asked for), but an
 // empty frame must always decode false — so every reply has at least one
@@ -687,6 +772,107 @@ bool decode_reply(const std::string& frame, MigratedKeysReply* r) {
     MigratedKey mk;
     if (!get_migrated_key(rd, &mk)) return false;
     r->keys.push_back(std::move(mk));
+  }
+  return rd.done();
+}
+
+std::string encode_reply(const MetricsReply& r) {
+  Writer w;
+  w.b(r.ok);
+  w.u64(r.metrics.counters.size());
+  for (const auto& [name, v] : r.metrics.counters) {
+    w.str(name);
+    w.u64(v);
+  }
+  w.u64(r.metrics.gauges.size());
+  for (const auto& [name, v] : r.metrics.gauges) {
+    w.str(name);
+    w.u64(static_cast<std::uint64_t>(v));  // two's complement
+  }
+  w.u64(r.metrics.histograms.size());
+  for (const auto& [name, h] : r.metrics.histograms) {
+    w.str(name);
+    w.u64(h.count);
+    w.u64(h.sum);
+    w.u64(h.buckets.size());
+    for (const auto& [index, count] : h.buckets) {
+      w.u8(static_cast<std::uint8_t>(index));  // kBuckets = 252 fits
+      w.u64(count);
+    }
+  }
+  return w.take();
+}
+
+bool decode_reply(const std::string& frame, MetricsReply* r) {
+  Reader rd(frame);
+  std::uint64_t n = 0;
+  if (!rd.b(&r->ok) || !rd.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t v = 0;
+    if (!rd.str(&name) || !rd.u64(&v)) return false;
+    r->metrics.counters[std::move(name)] = v;
+  }
+  if (!rd.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t v = 0;
+    if (!rd.str(&name) || !rd.u64(&v)) return false;
+    r->metrics.gauges[std::move(name)] = static_cast<std::int64_t>(v);
+  }
+  if (!rd.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    obs::HistogramSnapshot h;
+    std::uint64_t nbuckets = 0;
+    if (!rd.str(&name) || !rd.u64(&h.count) || !rd.u64(&h.sum) ||
+        !rd.u64(&nbuckets)) {
+      return false;
+    }
+    for (std::uint64_t b = 0; b < nbuckets; ++b) {
+      std::uint8_t index = 0;
+      std::uint64_t count = 0;
+      if (!rd.u8(&index) || index >= obs::Histogram::kBuckets ||
+          !rd.u64(&count)) {
+        return false;
+      }
+      // Sparse bucket lists travel index-sorted; refuse anything else
+      // so HistogramSnapshot::merge's invariant holds off the wire.
+      if (!h.buckets.empty() && index <= h.buckets.back().first) {
+        return false;
+      }
+      h.buckets.emplace_back(index, count);
+    }
+    r->metrics.histograms[std::move(name)] = std::move(h);
+  }
+  return rd.done();
+}
+
+std::string encode_reply(const TraceReply& r) {
+  Writer w;
+  w.b(r.ok);
+  w.u64(r.events.size());
+  for (const obs::SpanEvent& e : r.events) {
+    w.u64(e.trace_id);
+    w.u64(e.at_ticks);
+    w.u64(e.dur_us);
+    w.str(e.server);
+    w.str(e.name);
+  }
+  return w.take();
+}
+
+bool decode_reply(const std::string& frame, TraceReply* r) {
+  Reader rd(frame);
+  std::uint64_t n = 0;
+  if (!rd.b(&r->ok) || !rd.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    obs::SpanEvent e;
+    if (!rd.u64(&e.trace_id) || !rd.u64(&e.at_ticks) || !rd.u64(&e.dur_us) ||
+        !rd.str(&e.server) || !rd.str(&e.name)) {
+      return false;
+    }
+    r->events.push_back(std::move(e));
   }
   return rd.done();
 }

@@ -39,6 +39,8 @@
 #include "dist/paxos.hpp"
 #include "dist/shard.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "repl/group.hpp"
 #include "repl/log.hpp"
 
@@ -108,11 +110,28 @@ enum class MsgType : std::uint8_t {
   kDropKeys = 14,
   kImportKeys = 15,
   kEpochCommit = 16,
+  kMetrics = 17,
+  kTraceFetch = 18,
+  /// Envelope, not a request: [u8 kTraced][u64 trace id][inner frame].
+  /// Wraps any request frame when the issuing thread has a nonzero
+  /// obs::current_trace_id(); the receiving server unwraps, records a
+  /// span, re-establishes the trace scope, and dispatches the inner
+  /// frame. Untraced traffic never carries it (byte-identical wire).
+  kTraced = 19,
 };
 
 /// Type tag of a frame; kInvalid (0) for an empty frame.
 constexpr MsgType kInvalidMsgType = static_cast<MsgType>(0);
 MsgType peek_type(const std::string& frame);
+
+/// Stable lowercase name for a message type ("op_batch", "finalize", ...)
+/// — the `<name>` in the per-RPC metric scheme rpc.<name>.latency_us.
+/// "unknown" for tags outside the enum.
+const char* msg_type_name(MsgType type);
+
+/// One past the highest message tag; sizes per-RPC instrument tables.
+constexpr std::size_t kMsgTypeCount =
+    static_cast<std::size_t>(MsgType::kTraced) + 1;
 
 // --- reply shapes without a struct of their own ----------------------------
 
@@ -137,6 +156,16 @@ struct MigratedKeysReply {
   /// would otherwise drop the range and lose it).
   bool ok = false;
   std::vector<MigratedKey> keys;
+};
+
+struct MetricsReply {
+  bool ok = false;  ///< false only on the refused/dead-peer reply
+  obs::MetricsSnapshot metrics;
+};
+
+struct TraceReply {
+  bool ok = false;
+  std::vector<obs::SpanEvent> events;
 };
 
 // --- request structs (one per RPC) -----------------------------------------
@@ -250,6 +279,28 @@ struct EpochCommitRequest {
   std::uint64_t next_epoch = 0;
 };
 
+struct MetricsRequest {
+  static constexpr MsgType kType = MsgType::kMetrics;
+  using Reply = MetricsReply;
+};
+
+struct TraceFetchRequest {
+  static constexpr MsgType kType = MsgType::kTraceFetch;
+  using Reply = TraceReply;
+  TxId gtx = kInvalidTxId;  ///< 0 = return every buffered span
+};
+
+// --- trace envelope --------------------------------------------------------
+
+/// [u8 kTraced][u64 trace_id][inner frame bytes].
+std::string wrap_traced(std::uint64_t trace_id, const std::string& inner);
+
+/// Splits a kTraced envelope into the trace id and a copy of the inner
+/// frame; false if `frame` is not one or is malformed (id 0, truncated
+/// header, empty inner).
+bool unwrap_traced(const std::string& frame, std::uint64_t* trace_id,
+                   std::string* inner);
+
 // --- encode / decode -------------------------------------------------------
 
 std::string encode(const OpBatchRequest& m);
@@ -268,6 +319,8 @@ std::string encode(const ExportKeysRequest& m);
 std::string encode(const DropKeysRequest& m);
 std::string encode(const ImportKeysRequest& m);
 std::string encode(const EpochCommitRequest& m);
+std::string encode(const MetricsRequest& m);
+std::string encode(const TraceFetchRequest& m);
 
 bool decode(const std::string& frame, OpBatchRequest* m);
 bool decode(const std::string& frame, FinalizeRequest* m);
@@ -285,6 +338,8 @@ bool decode(const std::string& frame, ExportKeysRequest* m);
 bool decode(const std::string& frame, DropKeysRequest* m);
 bool decode(const std::string& frame, ImportKeysRequest* m);
 bool decode(const std::string& frame, EpochCommitRequest* m);
+bool decode(const std::string& frame, MetricsRequest* m);
+bool decode(const std::string& frame, TraceFetchRequest* m);
 
 std::string encode_reply(const AckReply& r);
 std::string encode_reply(const DistBatchReply& r);
@@ -296,6 +351,8 @@ std::string encode_reply(const PurgeReply& r);
 std::string encode_reply(const PaxosPrepareReply& r);
 std::string encode_reply(const PaxosAcceptReply& r);
 std::string encode_reply(const MigratedKeysReply& r);
+std::string encode_reply(const MetricsReply& r);
+std::string encode_reply(const TraceReply& r);
 
 bool decode_reply(const std::string& frame, AckReply* r);
 bool decode_reply(const std::string& frame, DistBatchReply* r);
@@ -307,6 +364,8 @@ bool decode_reply(const std::string& frame, PurgeReply* r);
 bool decode_reply(const std::string& frame, PaxosPrepareReply* r);
 bool decode_reply(const std::string& frame, PaxosAcceptReply* r);
 bool decode_reply(const std::string& frame, MigratedKeysReply* r);
+bool decode_reply(const std::string& frame, MetricsReply* r);
+bool decode_reply(const std::string& frame, TraceReply* r);
 
 // --- typed RPC helpers -----------------------------------------------------
 
@@ -335,10 +394,16 @@ class ReplyFuture {
 };
 
 /// Encodes `req`, ships it to endpoint `to`, returns the typed future.
+/// When the calling thread is inside a traced transaction
+/// (obs::current_trace_id() != 0) the frame travels inside a kTraced
+/// envelope so the receiving server can attribute a span to the trace.
 template <typename Req>
 ReplyFuture<Req> call(Transport& transport, std::size_t to, const Req& req,
                       const void* from = nullptr) {
   std::string frame = encode(req);
+  if (const std::uint64_t id = obs::current_trace_id(); id != 0) {
+    frame = wrap_traced(id, frame);
+  }
   transport.note_sent(frame.size());
   return ReplyFuture<Req>(transport.call_async(to, std::move(frame), from),
                           &transport);
@@ -357,11 +422,14 @@ std::future<typename Req::Reply> call_future(Transport& transport,
                     });
 }
 
-/// One-way typed message.
+/// One-way typed message (heartbeats); traced like call().
 template <typename Req>
 void send_msg(Transport& transport, std::size_t to, const Req& req,
               const void* from = nullptr) {
   std::string frame = encode(req);
+  if (const std::uint64_t id = obs::current_trace_id(); id != 0) {
+    frame = wrap_traced(id, frame);
+  }
   transport.note_sent(frame.size());
   transport.send(to, std::move(frame), from);
 }

@@ -1,0 +1,114 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mvtl::obs {
+
+namespace {
+
+LogLevel parse_level(const char* s) {
+  if (s == nullptr || *s == '\0') return LogLevel::kError;
+  if (std::strcmp(s, "off") == 0 || std::strcmp(s, "none") == 0) {
+    return LogLevel::kOff;
+  }
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kError;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "off";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "?";
+}
+
+std::mutex& emit_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  static const LogLevel level = parse_level(std::getenv("MVTL_LOG"));
+  return level;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void log(LogLevel level, const char* component, const char* event,
+         std::initializer_list<LogField> fields) {
+  if (!log_enabled(level)) return;
+  const auto now = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  std::string line = "{\"ts_ms\":" + std::to_string(now);
+  line += ",\"level\":\"";
+  line += level_name(level);
+  line += "\",\"component\":\"";
+  line += json_escape(component);
+  line += "\",\"event\":\"";
+  line += json_escape(event);
+  line += "\"";
+  for (const auto& [key, value] : fields) {
+    line += ",\"";
+    line += key;
+    line += "\":\"";
+    line += json_escape(value);
+    line += "\"";
+  }
+  line += "}\n";
+  const std::lock_guard<std::mutex> lock(emit_mutex());
+  std::fputs(line.c_str(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace mvtl::obs

@@ -1,0 +1,65 @@
+// Leveled structured logger: one JSON object per line on stderr, so the
+// per-server log files scripts/mvtl_cluster.sh collects are machine
+// parseable.
+//
+//   MVTL_LOG=info ./tools/mvtl_shard_server ...
+//   {"ts_ms":181233,"level":"info","component":"server","event":"ready",
+//    "serve":"0"}
+//
+// The level is read from $MVTL_LOG once (off|error|warn|info|debug;
+// unset = error, so failures always surface). Emission takes a mutex —
+// logging is for rare control-plane events (connection failures,
+// takeovers, epoch changes, lifecycle), never the per-op hot path; use
+// obs::Registry for anything high-rate.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+namespace mvtl::obs {
+
+enum class LogLevel {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+/// Effective level (parsed from $MVTL_LOG on first use).
+LogLevel log_level();
+
+/// Cheap guard for callers that build fields eagerly.
+inline bool log_enabled(LogLevel level) {
+  return level != LogLevel::kOff && level <= log_level();
+}
+
+using LogField = std::pair<const char*, std::string>;
+
+/// Emit one JSON line: {"ts_ms":…,"level":…,"component":…,"event":…,
+/// <fields>…}. Values are JSON-escaped; keys must be plain identifiers.
+void log(LogLevel level, const char* component, const char* event,
+         std::initializer_list<LogField> fields = {});
+
+inline void log_error(const char* component, const char* event,
+                      std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kError, component, event, fields);
+}
+inline void log_warn(const char* component, const char* event,
+                     std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kWarn, component, event, fields);
+}
+inline void log_info(const char* component, const char* event,
+                     std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kInfo, component, event, fields);
+}
+inline void log_debug(const char* component, const char* event,
+                      std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kDebug, component, event, fields);
+}
+
+/// JSON string-escape (quotes, backslash, control bytes → \uXXXX).
+std::string json_escape(const std::string& s);
+
+}  // namespace mvtl::obs

@@ -1,0 +1,152 @@
+// Metrics registry: lock-cheap counters, gauges, and log-bucket latency
+// histograms, registered by name.
+//
+// Hot-path cost is one relaxed atomic RMW per event; Histogram::record
+// is allocation- and floating-point-free (bucket index via bit_width),
+// so engine- and RPC-level instrumentation can stay on even in release
+// benchmarks. Registration (Registry::counter/gauge/histogram) takes a
+// mutex and is meant for startup or first-touch; callers on hot paths
+// cache the returned reference — objects live as long as the Registry
+// and never move.
+//
+// A MetricsSnapshot is the serializable view: plain maps of name→value
+// plus sparse histogram buckets. Snapshots merge (sum counters, sum
+// histogram buckets, max gauges) so a cluster-wide aggregate is just a
+// fold over per-server snapshots.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mvtl::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time signed value (term, applied slot, lag).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void max_of(std::int64_t v) {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed histogram over the full u64 range (generalizes
+/// txbench/latency.hpp without its 128-bucket cap, log() calls, or unit
+/// assumptions — callers pick the unit; RPC latencies record µs).
+///
+/// Bucketing: values 0..7 get exact buckets 0..7; above that each
+/// power-of-two decade splits into 4 sub-buckets (the top two mantissa
+/// bits below the leading bit), giving ≤ ~19% relative quantile error:
+///   e = floor(log2 v), sub = (v >> (e-2)) & 3, bucket = 8 + (e-3)*4 + sub
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 8 + (63 - 3 + 1) * 4;  // 252
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    if (v < 8) return static_cast<std::size_t>(v);
+    const unsigned e = static_cast<unsigned>(std::bit_width(v)) - 1;  // ≥ 3
+    const std::uint64_t sub = (v >> (e - 2)) & 3;
+    return 8 + (static_cast<std::size_t>(e) - 3) * 4 +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Inclusive upper bound of a bucket (what quantiles report).
+  static std::uint64_t bucket_upper(std::size_t b) {
+    if (b < 8) return b;
+    const unsigned e = 3 + static_cast<unsigned>(b - 8) / 4;
+    const std::uint64_t sub = (b - 8) % 4;
+    if (e == 63 && sub == 3) return ~std::uint64_t{0};
+    return ((5 + sub) << (e - 2)) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Serializable histogram view; buckets are sparse (index, count) pairs
+/// sorted by index so empty histograms cost nothing on the wire.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket where
+  /// the cumulative count crosses q·count (0 when empty).
+  std::uint64_t quantile(double q) const;
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  void merge(const HistogramSnapshot& other);
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Cluster aggregation: counters and histograms sum; gauges keep the
+  /// max (per-server gauges do not add — scrape servers individually
+  /// when the distinction matters).
+  void merge(const MetricsSnapshot& other);
+};
+
+/// Named metric registry. One per server (plus one per bench process);
+/// instruments are created on first lookup and never destroyed or moved,
+/// so cached references stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mvtl::obs

@@ -1,0 +1,39 @@
+#include "obs/trace.hpp"
+
+namespace mvtl::obs {
+
+namespace {
+thread_local std::uint64_t t_trace_id = 0;
+}  // namespace
+
+void TraceRing::append(SpanEvent e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else if (capacity_ != 0) {
+    ring_[next_] = std::move(e);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<SpanEvent> TraceRing::events_for(std::uint64_t trace_id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanEvent> out;
+  // Oldest-first: the slice from the overwrite cursor wrapped around.
+  const std::size_t n = ring_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const SpanEvent& e = ring_[(next_ + i) % n];
+    if (trace_id == 0 || e.trace_id == trace_id) out.push_back(e);
+  }
+  return out;
+}
+
+std::uint64_t current_trace_id() { return t_trace_id; }
+
+TraceScope::TraceScope(std::uint64_t id) : prev_(t_trace_id) {
+  t_trace_id = id;
+}
+
+TraceScope::~TraceScope() { t_trace_id = prev_; }
+
+}  // namespace mvtl::obs

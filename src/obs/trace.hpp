@@ -1,0 +1,71 @@
+// Cross-process transaction tracing.
+//
+// A sampled transaction carries its global transaction id as a trace id
+// in a wire envelope (wire::MsgType::kTraced wraps the real request
+// frame); every server that handles a traced frame appends a timestamped
+// SpanEvent to its bounded in-memory TraceRing. `mvtl_ctl trace <gtx>`
+// fetches the rings from all servers and reconstructs the cross-process
+// timeline of one commit.
+//
+// Propagation is a thread-local current trace id (TraceScope): the
+// client sets it around a traced transaction's RPCs, and a server
+// handling a traced frame re-establishes it on the executor thread, so
+// nested server→server calls issued while handling the request (Paxos
+// rounds, replication appends, finalize fan-out) inherit the id with no
+// per-call plumbing. Untraced traffic is byte-identical to a build
+// without tracing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mvtl::obs {
+
+/// One timestamped step of a traced transaction on one process.
+struct SpanEvent {
+  std::uint64_t trace_id = 0;  ///< == the transaction's gtx
+  std::uint64_t at_ticks = 0;  ///< config clock (WallClock across procs)
+  std::uint64_t dur_us = 0;    ///< span duration; 0 for point events
+  std::string server;          ///< origin, e.g. "server2" or "client"
+  std::string name;            ///< e.g. "op_batch", "paxos_accept"
+};
+
+/// Bounded ring of span events; old events are overwritten.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void append(SpanEvent e);
+
+  /// Events for one trace id in append order; id 0 returns everything
+  /// (lets `mvtl_ctl trace latest` work without knowing gtx values).
+  std::vector<SpanEvent> events_for(std::uint64_t trace_id) const;
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> ring_;  ///< grows to capacity_, then wraps
+  std::size_t next_ = 0;         ///< overwrite cursor once full
+};
+
+/// Trace id attached to RPCs issued from this thread; 0 = untraced.
+std::uint64_t current_trace_id();
+
+/// RAII: set the thread's trace id for a scope, restore on exit.
+class TraceScope {
+ public:
+  explicit TraceScope(std::uint64_t id);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+}  // namespace mvtl::obs

@@ -16,6 +16,9 @@ GroupMember::GroupMember(GroupMemberConfig config, GroupTransport transport,
   sealed_term_ = config_.rank == 0 ? 1 : 0;
   last_beat_ = std::chrono::steady_clock::now();
   became_leader_ = last_beat_;
+  if (config_.metrics != nullptr) {
+    takeovers_ = &config_.metrics->counter("repl.takeovers");
+  }
 }
 
 GroupMember::~GroupMember() { stop(); }
@@ -353,6 +356,7 @@ void GroupMember::follower_tick() {
         sealed_term_ = my_term;
         became_leader_ = std::chrono::steady_clock::now();
         prepared_.clear();
+        if (takeovers_ != nullptr) takeovers_->add();
       }
     }
     return;
@@ -397,6 +401,7 @@ void GroupMember::take_over() {
       sealed_term_ = next;
       became_leader_ = std::chrono::steady_clock::now();
       prepared_.clear();
+      if (takeovers_ != nullptr) takeovers_->add();
     }
   }
 }

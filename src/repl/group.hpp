@@ -52,6 +52,7 @@
 #include "common/types.hpp"
 #include "dist/commitment.hpp"
 #include "dist/paxos.hpp"
+#include "obs/metrics.hpp"
 #include "repl/log.hpp"
 #include "sync/clock.hpp"
 
@@ -107,6 +108,8 @@ struct GroupMemberConfig {
   /// Rounds a log/leadership propose runs before giving up (a minority
   /// proposer must fail fast, not wedge its thread).
   std::size_t propose_attempts = 8;
+  /// Optional metrics registry (repl.takeovers counter).
+  obs::Registry* metrics = nullptr;
 };
 
 class GroupMember {
@@ -243,6 +246,7 @@ class GroupMember {
 
   std::mutex append_mu_;  // serializes slot assignment
   std::atomic<std::uint64_t> appends_{0};
+  obs::Counter* takeovers_ = nullptr;  // sealed leadership changes won here
 
   std::unique_ptr<PeriodicTask> ticker_;
 };

@@ -11,7 +11,7 @@ namespace {
 constexpr const char* kKnownKeys =
     "protocol, replication_factor, key_space, delta_ticks, "
     "suspect_timeout_ms, lock_timeout_us, server_threads, follower_reads, "
-    "floor_lag_ticks, store_shards, endpoint";
+    "floor_lag_ticks, store_shards, trace_sample, endpoint";
 
 std::string trim(const std::string& s) {
   std::size_t b = 0;
@@ -107,6 +107,8 @@ void apply_assignment(DeployConfig& config, const std::string& where,
   } else if (key == "store_shards") {
     config.store_shards =
         static_cast<std::size_t>(parse_u64(where, key, value));
+  } else if (key == "trace_sample") {
+    config.trace_sample = parse_u64(where, key, value);
   } else if (key == "endpoint") {
     if (!allow_endpoint) {
       fail(where,
@@ -226,7 +228,8 @@ std::string DeployConfig::encode() const {
       << "server_threads = " << server_threads << "\n"
       << "follower_reads = " << (follower_reads ? "true" : "false") << "\n"
       << "floor_lag_ticks = " << floor_lag_ticks << "\n"
-      << "store_shards = " << store_shards << "\n";
+      << "store_shards = " << store_shards << "\n"
+      << "trace_sample = " << trace_sample << "\n";
   for (const NodeAddress& ep : endpoints) {
     out << "endpoint = " << ep.host << ":" << ep.port << "\n";
   }
@@ -249,6 +252,7 @@ ClusterConfig DeployConfig::to_cluster_config(
   cluster.follower_reads = follower_reads;
   cluster.floor_lag_ticks = floor_lag_ticks;
   cluster.store_shards = store_shards;
+  cluster.trace_sample_every = trace_sample;
   return cluster;
 }
 

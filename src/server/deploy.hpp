@@ -53,6 +53,8 @@ struct DeployConfig {
   bool follower_reads = true;
   std::uint64_t floor_lag_ticks = 20'000;
   std::size_t store_shards = 64;
+  /// Trace every Nth transaction (`trace_sample` key); 0 = tracing off.
+  std::uint64_t trace_sample = 0;
 
   /// Shard groups = endpoints / replication_factor.
   std::size_t groups() const {

@@ -93,6 +93,7 @@ ReadAcquire acquire_read_upto(KeyState& ks, TxId tx, Timestamp m,
         m = upper;  // strictly decreases; next probe has no frozen points
         continue;
       }
+      if (opts.wait_counter != nullptr) opts.wait_counter->add();
       ks.cv.wait_for(guard, kInstallWait);
       if (Clock::now() >= deadline) {
         ks.locks.release(tx, LockMode::kRead, held);
@@ -128,6 +129,7 @@ ReadAcquire acquire_read_upto(KeyState& ks, TxId tx, Timestamp m,
         out.outcome = Outcome::kDeadlock;
         return out;
       }
+      if (opts.wait_counter != nullptr) opts.wait_counter->add();
       if (ks.cv.wait_until(guard, deadline) == std::cv_status::timeout ||
           Clock::now() >= deadline) {
         ks.locks.release(tx, LockMode::kRead, held);
@@ -186,6 +188,7 @@ WriteAcquire acquire_write_set(KeyState& ks, TxId tx, const IntervalSet& want,
       out.outcome = Outcome::kDeadlock;
       return out;
     }
+    if (opts.wait_counter != nullptr) opts.wait_counter->add();
     if (ks.cv.wait_until(guard, deadline) == std::cv_status::timeout ||
         Clock::now() >= deadline) {
       out.outcome = Outcome::kTimeout;
@@ -197,7 +200,8 @@ WriteAcquire acquire_write_set(KeyState& ks, TxId tx, const IntervalSet& want,
 bool acquire_write_point(KeyState& ks, TxId tx, Timestamp t,
                          bool wait_on_conflicts,
                          std::chrono::microseconds timeout,
-                         WaitForGraph* wait_graph) {
+                         WaitForGraph* wait_graph,
+                         obs::Counter* wait_counter) {
   std::unique_lock guard(ks.mu);
   WaitScope wait_scope(wait_graph, tx);
   const auto deadline = Clock::now() + timeout;
@@ -210,6 +214,7 @@ bool acquire_write_point(KeyState& ks, TxId tx, Timestamp t,
     }
     if (!probe.permanent.is_empty() || !wait_on_conflicts) return false;
     if (!wait_scope.register_edges(probe.blockers)) return false;
+    if (wait_counter != nullptr) wait_counter->add();
     if (ks.cv.wait_until(guard, deadline) == std::cv_status::timeout ||
         Clock::now() >= deadline) {
       return false;
@@ -217,13 +222,15 @@ bool acquire_write_point(KeyState& ks, TxId tx, Timestamp t,
   }
 }
 
-void commit_key(KeyState& ks, TxId tx, Timestamp commit_ts, Value value) {
+std::size_t commit_key(KeyState& ks, TxId tx, Timestamp commit_ts,
+                       Value value) {
   std::lock_guard guard(ks.mu);
   assert(ks.locks.holds(tx, LockMode::kWrite, commit_ts));
   ks.locks.freeze(tx, LockMode::kWrite,
                   IntervalSet{Interval::point(commit_ts)});
   ks.versions.install(commit_ts, std::move(value), tx);
   ks.cv.notify_all();
+  return ks.versions.versions().size();
 }
 
 void freeze_read_range(KeyState& ks, TxId tx, Timestamp tr,

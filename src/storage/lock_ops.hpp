@@ -21,6 +21,7 @@
 #include <chrono>
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "storage/store.hpp"
 #include "sync/wait_for_graph.hpp"
 
@@ -40,6 +41,9 @@ struct Options {
   /// lock holders; an edge that would close a cycle aborts the waiter
   /// immediately (kDeadlock) instead of letting the timeout fire.
   WaitForGraph* wait_graph = nullptr;
+  /// Incremented each time the acquire actually blocks on a conflicting
+  /// lock (engine.lock_waits); null = uninstrumented.
+  obs::Counter* wait_counter = nullptr;
 };
 
 enum class Outcome {
@@ -94,12 +98,15 @@ WriteAcquire acquire_write_set(KeyState& ks, TxId tx, const IntervalSet& want,
 bool acquire_write_point(KeyState& ks, TxId tx, Timestamp t,
                          bool wait_on_conflicts,
                          std::chrono::microseconds timeout,
-                         WaitForGraph* wait_graph = nullptr);
+                         WaitForGraph* wait_graph = nullptr,
+                         obs::Counter* wait_counter = nullptr);
 
 /// Commits one key: freezes tx's write lock at `commit_ts` and installs
 /// the new version, atomically under the key latch (the paper's lines
-/// 17–19 atomic block, realized per key; see §6).
-void commit_key(KeyState& ks, TxId tx, Timestamp commit_ts, Value value);
+/// 17–19 atomic block, realized per key; see §6). Returns the version
+/// chain's length after the install (feeds the chain-length histogram).
+std::size_t commit_key(KeyState& ks, TxId tx, Timestamp commit_ts,
+                       Value value);
 
 /// Garbage collection for one read-set entry of a *committed* tx: freezes
 /// the read locks on [tr+1, commit_ts] (Algorithm 1, gc()).

@@ -98,7 +98,7 @@ DriverResult run_driver(TransactionalStore& store, const DriverConfig& config,
               metrics.add_commit();
               latency.record(std::chrono::steady_clock::now() - started);
             } else {
-              metrics.add_abort(AbortReason::kNone);
+              metrics.add_abort(result.abort_reason);
             }
           }
         }
@@ -128,6 +128,9 @@ DriverResult run_driver(TransactionalStore& store, const DriverConfig& config,
   out.throughput_tps = metrics.throughput_tps(out.window);
   out.p50_us = latency.quantile_us(0.50);
   out.p99_us = latency.quantile_us(0.99);
+  for (std::size_t i = 0; i < kAbortReasonCount; ++i) {
+    out.aborts_by_reason[i] = metrics.aborts_for(static_cast<AbortReason>(i));
+  }
   return out;
 }
 
@@ -149,12 +152,20 @@ CommitResult execute_tx(TransactionalStore& store, const TxSpec& spec,
     }
   }
   TransactionalStore::TxPtr tx = store.begin(options);
+  // An op failure means the engine already aborted the transaction; carry
+  // its reason out so drivers attribute the abort to the real cause
+  // instead of lumping every failure under kNone.
+  const auto aborted = [&tx] {
+    CommitResult out;
+    out.abort_reason = tx->abort_reason();
+    return out;
+  };
   for (const Op& op : spec) {
     if (op.kind == Op::Kind::kRead) {
       const ReadResult r = store.read(*tx, op.key);
-      if (!r.ok) return CommitResult{};  // engine aborted the tx
+      if (!r.ok) return aborted();
     } else {
-      if (!store.write(*tx, op.key, op.value)) return CommitResult{};
+      if (!store.write(*tx, op.key, op.value)) return aborted();
     }
   }
   return store.commit(*tx);

@@ -20,6 +20,7 @@
 // (which then verify the recorded history's serializability).
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 
@@ -61,6 +62,9 @@ struct DriverResult {
   /// including restarts; 0 when nothing committed in the window.
   double p50_us = 0.0;
   double p99_us = 0.0;
+  /// Aborts in the measurement window by AbortReason, indexed by the
+  /// enum's numeric value (sums to `aborted`).
+  std::array<std::uint64_t, kAbortReasonCount> aborts_by_reason{};
 };
 
 /// Timed pipelined run (benchmarks): clients × window transactions in

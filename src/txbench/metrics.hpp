@@ -61,7 +61,7 @@ class Metrics {
  private:
   std::atomic<std::uint64_t> committed_{0};
   std::atomic<std::uint64_t> aborted_{0};
-  std::array<std::atomic<std::uint64_t>, 8> by_reason_{};
+  std::array<std::atomic<std::uint64_t>, kAbortReasonCount> by_reason_{};
 };
 
 }  // namespace mvtl

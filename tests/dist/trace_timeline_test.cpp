@@ -1,0 +1,127 @@
+// End-to-end observability over a live cluster: a traced cross-shard
+// transaction leaves span events on every server it touched, and
+// Cluster::fetch_trace reassembles them into one causally ordered
+// timeline; the servers' metrics registries report non-zero per-RPC
+// histograms after traffic; untraced clusters buffer no spans (the
+// envelope never goes on the wire when sampling is off).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "dist/cluster.hpp"
+#include "sync/clock.hpp"
+#include "txbench/workload.hpp"
+
+namespace mvtl {
+namespace {
+
+ClusterConfig two_server_config() {
+  ClusterConfig config;
+  config.servers = 2;
+  config.server_threads = 2;
+  config.net = NetProfile::instant();
+  config.mvtil_delta_ticks = 50'000;
+  config.suspect_timeout = std::chrono::seconds{60};  // sweeper stays out
+  config.key_space = 1'000;  // server 0 owns [0,500), server 1 [500,1000)
+  config.clock = std::make_shared<LogicalClock>(1'000);
+  return config;
+}
+
+TEST(TraceTimelineTest, TracedCommitLeavesCausallyOrderedSpansOnBothServers) {
+  ClusterConfig config = two_server_config();
+  config.trace_sample_every = 1;  // trace every transaction
+  Cluster cluster(DistProtocol::kMvtilEarly, config);
+  TransactionalStore& client = cluster.client();
+
+  auto tx = client.begin(TxOptions{.process = 1});
+  const TxId gtx = tx->id();
+  ASSERT_TRUE(client.write(*tx, make_key(10), "a"));   // server 0
+  ASSERT_TRUE(client.write(*tx, make_key(900), "b"));  // server 1
+  ASSERT_TRUE(client.commit(*tx).committed());
+
+  const std::vector<obs::SpanEvent> spans = cluster.fetch_trace(gtx);
+  ASSERT_FALSE(spans.empty());
+  std::set<std::string> servers;
+  for (const obs::SpanEvent& span : spans) {
+    EXPECT_EQ(span.trace_id, gtx);
+    servers.insert(span.server);
+  }
+  // A cross-shard commit touches both shard servers.
+  EXPECT_GE(servers.size(), 2u);
+  // fetch_trace returns one merged timeline ordered by the shared
+  // clock's ticks — causal order across processes.
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].at_ticks, spans[i].at_ticks);
+  }
+  // The commit's op batches appear as named RPC spans.
+  bool saw_op_batch = false;
+  for (const obs::SpanEvent& span : spans) {
+    saw_op_batch |= span.name == "rpc.op_batch";
+  }
+  EXPECT_TRUE(saw_op_batch);
+}
+
+TEST(TraceTimelineTest, SamplingPicksEveryNthTransaction) {
+  ClusterConfig config = two_server_config();
+  config.trace_sample_every = 2;  // gtx parity decides
+  Cluster cluster(DistProtocol::kMvtilEarly, config);
+  TransactionalStore& client = cluster.client();
+
+  // A gtx is a packed timestamp whose low bits are the process id, so
+  // alternating process parity guarantees both sampled and unsampled
+  // transactions appear.
+  std::size_t traced = 0;
+  std::size_t untraced = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto tx =
+        client.begin(TxOptions{.process = static_cast<ProcessId>(1 + i % 2)});
+    const TxId gtx = tx->id();
+    ASSERT_TRUE(client.write(*tx, make_key(10), "v"));
+    ASSERT_TRUE(client.commit(*tx).committed());
+    const bool has_spans = !cluster.fetch_trace(gtx).empty();
+    EXPECT_EQ(has_spans, gtx % 2 == 0) << "gtx " << gtx;
+    (has_spans ? traced : untraced) += 1;
+  }
+  EXPECT_GT(traced, 0u);
+  EXPECT_GT(untraced, 0u);
+}
+
+TEST(TraceTimelineTest, UntracedClusterBuffersNoSpans) {
+  Cluster cluster(DistProtocol::kMvtilEarly, two_server_config());
+  TransactionalStore& client = cluster.client();
+  auto tx = client.begin(TxOptions{.process = 1});
+  ASSERT_TRUE(client.write(*tx, make_key(10), "v"));
+  ASSERT_TRUE(client.commit(*tx).committed());
+  EXPECT_TRUE(cluster.fetch_trace(0).empty());  // 0 = every buffered span
+}
+
+TEST(TraceTimelineTest, MetricsScrapeReportsPerRpcHistograms) {
+  Cluster cluster(DistProtocol::kMvtilEarly, two_server_config());
+  TransactionalStore& client = cluster.client();
+  for (int i = 0; i < 5; ++i) {
+    auto tx = client.begin(TxOptions{.process = 1});
+    ASSERT_TRUE(client.write(*tx, make_key(10), "a"));   // server 0
+    ASSERT_TRUE(client.write(*tx, make_key(900), "b"));  // server 1
+    ASSERT_TRUE(client.commit(*tx).committed());
+  }
+
+  const std::vector<Cluster::ServerMetrics> per = cluster.scrape_metrics();
+  ASSERT_EQ(per.size(), 2u);
+  for (const Cluster::ServerMetrics& server : per) {
+    EXPECT_TRUE(server.ok);
+    const auto it = server.metrics.histograms.find("rpc.op_batch.latency_us");
+    ASSERT_NE(it, server.metrics.histograms.end());
+    EXPECT_GT(it->second.count, 0u) << "server " << server.server;
+  }
+
+  const obs::MetricsSnapshot merged = cluster.merged_metrics();
+  // Both servers handled op batches; the merged histogram sums them.
+  EXPECT_GE(merged.histograms.at("rpc.op_batch.latency_us").count,
+            per[0].metrics.histograms.at("rpc.op_batch.latency_us").count);
+  // The gauge refresh at scrape time reports the stores' key counts.
+  EXPECT_GE(merged.gauges.at("store.keys"), 1);
+}
+
+}  // namespace
+}  // namespace mvtl

@@ -28,6 +28,7 @@ for attempt in 1 2 3; do
     echo "replication_factor = 3"
     echo "key_space = 2000"
     echo "suspect_timeout_ms = 250"
+    echo "trace_sample = 50"  # every 50th client tx carries a trace id
     for i in 0 1 2 3 4 5; do
       echo "endpoint = 127.0.0.1:$((base + i))"
     done
@@ -57,4 +58,29 @@ if ! wait "$client"; then
   tail -n 20 "$run_dir"/server*.log >&2 || true
   exit 1
 fi
-echo "multiproc failover: OK"
+
+# Observability over the post-failover cluster. The metrics scrape lands
+# in the build dir so CI can upload it next to the bench JSON artifacts.
+ctl="$build_dir/tools/mvtl_ctl"
+metrics_json="$build_dir/MULTIPROC_metrics.json"
+"$ctl" --config="$run_dir/cluster.conf" metrics --json > "$metrics_json"
+
+# The kill -9ed leader must have been replaced: the merged (last
+# occurrence = cluster-wide sum) takeover counter moved off zero.
+takeovers=$(grep -o '"repl.takeovers":[0-9]*' "$metrics_json" \
+  | tail -1 | cut -d: -f2)
+[ -n "${takeovers:-}" ] && [ "$takeovers" -gt 0 ] \
+  || { echo "expected repl.takeovers > 0, got '${takeovers:-}'" >&2; exit 1; }
+
+# Per-RPC server-side histograms recorded real traffic.
+grep -q '"rpc.op_batch.latency_us":{"count":[1-9]' "$metrics_json" \
+  || { echo "no op_batch latency recorded in $metrics_json" >&2; exit 1; }
+
+# A sampled transaction's trace reconstructs across processes: spans
+# from at least two of the surviving server processes.
+trace_out=$("$ctl" --config="$run_dir/cluster.conf" trace latest)
+echo "$trace_out" | head -5
+echo "$trace_out" | grep -Eq 'across ([2-9]|[0-9]{2,}) servers' \
+  || { echo "trace did not span multiple servers" >&2; exit 1; }
+
+echo "multiproc failover: OK (takeovers=$takeovers)"

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <set>
 
 namespace mvtl::wire {
 namespace {
@@ -46,6 +47,28 @@ MigratedKey sample_migrated_key() {
   mk.purge_floor = Timestamp::make(2, 0);
   mk.lock_horizon = Timestamp::make(3, 0);
   return mk;
+}
+
+obs::MetricsSnapshot sample_metrics() {
+  obs::MetricsSnapshot m;
+  m.counters["engine.lock_waits"] = 7;
+  m.counters["repl.takeovers"] = 1;
+  m.gauges["repl.term"] = 3;
+  m.gauges["repl.floor_lag_ticks"] = -1;  // signed survives the trip
+  obs::HistogramSnapshot h;
+  h.count = 4;
+  h.sum = 1'000;
+  h.buckets = {{0, 1}, {17, 2}, {251, 1}};
+  m.histograms["rpc.op_batch.latency_us"] = h;
+  m.histograms["empty.histogram"] = obs::HistogramSnapshot{};
+  return m;
+}
+
+std::vector<obs::SpanEvent> sample_spans() {
+  return {
+      {42, 1'000, 15, "srv0", "rpc.op_batch"},
+      {42, 1'010, 0, "srv1", std::string("na\0me", 5)},
+  };
 }
 
 /// Round-trip helper: encode, decode, re-encode, compare bytes (the
@@ -144,6 +167,9 @@ TEST(WireCodecTest, EveryRequestTypeRoundTrips) {
   expect_request_roundtrip(
       ImportKeysRequest{{sample_migrated_key(), sample_migrated_key()}});
   expect_request_roundtrip(EpochCommitRequest{4});
+  expect_request_roundtrip(MetricsRequest{});
+  expect_request_roundtrip(TraceFetchRequest{42});
+  expect_request_roundtrip(TraceFetchRequest{0});  // 0 = fetch everything
 }
 
 TEST(WireCodecTest, EveryReplyTypeRoundTrips) {
@@ -193,6 +219,64 @@ TEST(WireCodecTest, EveryReplyTypeRoundTrips) {
   ASSERT_TRUE(decode_reply(empty_frame, &decoded_empty));
   EXPECT_TRUE(decoded_empty.ok);
   EXPECT_FALSE(MigratedKeysReply{}.ok);
+
+  expect_reply_roundtrip(MetricsReply{true, sample_metrics()});
+  expect_reply_roundtrip(MetricsReply{true, {}});  // empty registry acks
+  expect_reply_roundtrip(TraceReply{true, sample_spans()});
+  expect_reply_roundtrip(TraceReply{true, {}});
+  EXPECT_FALSE(MetricsReply{}.ok);
+  EXPECT_FALSE(TraceReply{}.ok);
+}
+
+TEST(WireCodecTest, MetricsReplyCarriesSnapshotExactly) {
+  const obs::MetricsSnapshot sent = sample_metrics();
+  MetricsReply decoded;
+  ASSERT_TRUE(decode_reply(encode_reply(MetricsReply{true, sent}), &decoded));
+  EXPECT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.metrics.counters, sent.counters);
+  EXPECT_EQ(decoded.metrics.gauges, sent.gauges);
+  ASSERT_EQ(decoded.metrics.histograms.size(), sent.histograms.size());
+  const obs::HistogramSnapshot& h =
+      decoded.metrics.histograms.at("rpc.op_batch.latency_us");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 1'000u);
+  EXPECT_EQ(h.buckets,
+            (std::vector<std::pair<std::uint32_t, std::uint64_t>>{
+                {0, 1}, {17, 2}, {251, 1}}));
+}
+
+TEST(WireCodecTest, TracedEnvelopeWrapsAndUnwraps) {
+  const std::string inner = encode(LogFetchRequest{5});
+  const std::string wrapped = wrap_traced(42, inner);
+  EXPECT_EQ(peek_type(wrapped), MsgType::kTraced);
+
+  std::uint64_t trace_id = 0;
+  std::string out;
+  ASSERT_TRUE(unwrap_traced(wrapped, &trace_id, &out));
+  EXPECT_EQ(trace_id, 42u);
+  EXPECT_EQ(out, inner);
+
+  // Truncated headers, id 0, an empty inner frame, and non-envelope
+  // frames are all refused.
+  for (std::size_t len = 0; len < wrapped.size() && len <= 9; ++len) {
+    EXPECT_FALSE(unwrap_traced(wrapped.substr(0, len), &trace_id, &out))
+        << "prefix of length " << len << " unwrapped";
+  }
+  EXPECT_FALSE(unwrap_traced(wrap_traced(0, inner), &trace_id, &out));
+  EXPECT_FALSE(unwrap_traced(wrapped.substr(0, 9), &trace_id, &out));
+  EXPECT_FALSE(unwrap_traced(inner, &trace_id, &out));
+}
+
+TEST(WireCodecTest, MsgTypeNamesAreStableAndUnique) {
+  std::set<std::string> seen;
+  for (std::size_t tag = 1; tag < kMsgTypeCount; ++tag) {
+    const char* name = msg_type_name(static_cast<MsgType>(tag));
+    ASSERT_NE(name, nullptr);
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(std::string(msg_type_name(MsgType::kOpBatch)), "op_batch");
+  EXPECT_EQ(std::string(msg_type_name(MsgType::kMetrics)), "metrics");
+  EXPECT_EQ(std::string(msg_type_name(MsgType::kTraced)), "traced");
 }
 
 TEST(WireCodecTest, TruncationAndMutationAreRefusedSafely) {
@@ -231,6 +315,10 @@ TEST(WireCodecTest, TruncationAndMutationAreRefusedSafely) {
   StoreStats stats;
   stats.keys = 1;
   fuzz_reply(stats);
+
+  fuzz_request(TraceFetchRequest{42});
+  fuzz_reply(MetricsReply{true, sample_metrics()});
+  fuzz_reply(TraceReply{true, sample_spans()});
 }
 
 TEST(WireCodecTest, WrongTypeTagIsRefused) {

@@ -1,0 +1,183 @@
+// Metrics registry: counters survive concurrent increments exactly,
+// histogram bucketing brackets every value (bucket_upper is a true
+// inclusive upper bound, including at the u64 extremes), snapshots are
+// internally consistent under concurrent recording, and snapshot merge
+// follows the cluster-aggregation rules (sum counters and histograms,
+// max gauges). Plus the trace ring's bounds and the thread-local trace
+// scope the wire envelope rides on.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mvtl::obs {
+namespace {
+
+TEST(MetricsRegistryTest, ConcurrentCounterIncrementsAreExact) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // First-touch registration races on purpose: every thread must get
+      // the same instrument.
+      Counter& c = registry.counter("test.hits");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("test.hits").value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SameNameResolvesToSameInstrument) {
+  Registry registry;
+  EXPECT_EQ(&registry.counter("a"), &registry.counter("a"));
+  EXPECT_NE(&registry.counter("a"), &registry.counter("b"));
+  EXPECT_EQ(&registry.gauge("g"), &registry.gauge("g"));
+  EXPECT_EQ(&registry.histogram("h"), &registry.histogram("h"));
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndMaxOf) {
+  Gauge g;
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+  g.max_of(10);
+  EXPECT_EQ(g.value(), 10);
+  g.max_of(3);  // smaller value loses
+  EXPECT_EQ(g.value(), 10);
+}
+
+TEST(HistogramTest, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(Histogram::bucket_of(v), v);
+    EXPECT_EQ(Histogram::bucket_upper(v), v);
+  }
+}
+
+TEST(HistogramTest, BucketEdgesBracketEveryValue) {
+  const std::uint64_t samples[] = {
+      8,          9,          15,         16,          17,
+      1'000,      4'095,      4'096,      1u << 20,    (1u << 20) + 1,
+      std::uint64_t{1} << 40, (std::uint64_t{1} << 63) - 1,
+      std::uint64_t{1} << 63, ~std::uint64_t{0} - 1,   ~std::uint64_t{0}};
+  for (const std::uint64_t v : samples) {
+    const std::size_t b = Histogram::bucket_of(v);
+    ASSERT_LT(b, Histogram::kBuckets) << "value " << v;
+    // The bucket's range contains v: upper bound at or above it, and the
+    // previous bucket's upper bound strictly below it.
+    EXPECT_GE(Histogram::bucket_upper(b), v) << "value " << v;
+    if (b > 0) {
+      EXPECT_LT(Histogram::bucket_upper(b - 1), v) << "value " << v;
+    }
+  }
+  // Upper bounds are strictly increasing across the whole bucket array.
+  for (std::size_t b = 1; b < Histogram::kBuckets; ++b) {
+    EXPECT_GT(Histogram::bucket_upper(b), Histogram::bucket_upper(b - 1));
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordingYieldsConsistentSnapshot) {
+  Registry registry;
+  Histogram& h = registry.histogram("test.latency");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 1; i <= kPerThread; ++i) h.record(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const MetricsSnapshot snap = registry.snapshot();
+  const HistogramSnapshot& hs = snap.histograms.at("test.latency");
+  EXPECT_EQ(hs.count, kThreads * kPerThread);
+  EXPECT_EQ(hs.sum, kThreads * (kPerThread * (kPerThread + 1) / 2));
+  std::uint64_t bucket_total = 0;
+  for (const auto& [index, count] : hs.buckets) {
+    EXPECT_LT(index, Histogram::kBuckets);
+    bucket_total += count;
+  }
+  EXPECT_EQ(bucket_total, hs.count);
+  // Log-bucket quantiles have ≤ ~19% relative error: the true medians
+  // of 1..10000 land well inside these brackets.
+  EXPECT_GE(hs.quantile(0.50), 4'000u);
+  EXPECT_LE(hs.quantile(0.50), 6'500u);
+  EXPECT_GE(hs.quantile(0.99), 8'000u);
+  EXPECT_LE(hs.quantile(0.99), 13'000u);
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.50), 0u);
+}
+
+TEST(MetricsSnapshotTest, MergeSumsCountersAndHistogramsMaxesGauges) {
+  Registry a;
+  Registry b;
+  a.counter("c").add(3);
+  b.counter("c").add(4);
+  b.counter("only_b").add(1);
+  a.gauge("g").set(10);
+  b.gauge("g").set(7);
+  a.histogram("h").record(5);
+  a.histogram("h").record(100);
+  b.histogram("h").record(5);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counters.at("c"), 7u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_EQ(merged.gauges.at("g"), 10);  // max, not sum
+  const HistogramSnapshot& h = merged.histograms.at("h");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 110u);
+  std::uint64_t in_bucket_5 = 0;
+  for (const auto& [index, count] : h.buckets) {
+    if (index == Histogram::bucket_of(5)) in_bucket_5 = count;
+  }
+  EXPECT_EQ(in_bucket_5, 2u);  // both sides' records of 5 summed
+}
+
+TEST(TraceRingTest, RingIsBoundedAndKeepsTheNewestEvents) {
+  TraceRing ring(4);
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    ring.append(SpanEvent{id, id * 10, 1, "srv0", "ev"});
+  }
+  const std::vector<SpanEvent> all = ring.events_for(0);
+  ASSERT_EQ(all.size(), 4u);  // capacity bounds it; 1 and 2 overwritten
+  for (const SpanEvent& e : all) {
+    EXPECT_GE(e.trace_id, 3u);
+    EXPECT_LE(e.trace_id, 6u);
+  }
+  const std::vector<SpanEvent> one = ring.events_for(5);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].at_ticks, 50u);
+  EXPECT_TRUE(ring.events_for(2).empty());  // overwritten
+}
+
+TEST(TraceScopeTest, ScopesNestAndRestore) {
+  EXPECT_EQ(current_trace_id(), 0u);
+  {
+    TraceScope outer(7);
+    EXPECT_EQ(current_trace_id(), 7u);
+    {
+      TraceScope inner(9);
+      EXPECT_EQ(current_trace_id(), 9u);
+    }
+    EXPECT_EQ(current_trace_id(), 7u);
+    {
+      TraceScope untraced(0);  // id 0 clears the scope
+      EXPECT_EQ(current_trace_id(), 0u);
+    }
+    EXPECT_EQ(current_trace_id(), 7u);
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
+}
+
+}  // namespace
+}  // namespace mvtl::obs

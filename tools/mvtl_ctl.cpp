@@ -1,12 +1,18 @@
 // Cluster control/introspection tool for multi-process deployments.
 //
-//   mvtl_ctl --config=cluster.conf status     # exit 0 iff every server up
-//   mvtl_ctl --config=cluster.conf leader G   # print group G's leader index
+//   mvtl_ctl --config=cluster.conf status           # exit 0 iff every server up
+//   mvtl_ctl --config=cluster.conf leader G         # print group G's leader index
+//   mvtl_ctl --config=cluster.conf metrics [--json] # scrape every server's registry
+//   mvtl_ctl --config=cluster.conf trace GTX|latest # cross-process span timeline
 //
 // Dials the configured endpoints as a pure client (binds nothing) and
-// asks each server for its replica-group view. The launcher script uses
-// `status` to wait for cluster boot and `leader` to pick a kill -9
-// victim for the failover test.
+// asks each server for its replica-group view, metrics snapshot, or
+// trace-ring contents. The launcher script uses `status` to wait for
+// cluster boot and `leader` to pick a kill -9 victim for the failover
+// test; CI scrapes `metrics --json` after the kill to assert takeover
+// counters moved.
+#include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -14,28 +20,98 @@
 
 #include "net/tcp.hpp"
 #include "net/wire.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/deploy.hpp"
 
 namespace {
 
+using namespace mvtl;
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --config=FILE status\n"
-               "       %s --config=FILE leader GROUP\n",
-               argv0, argv0);
+               "       %s --config=FILE leader GROUP\n"
+               "       %s --config=FILE metrics [--json]\n"
+               "       %s --config=FILE trace GTX|latest\n",
+               argv0, argv0, argv0, argv0);
   return 2;
+}
+
+/// One MetricsRequest per server; dead servers answer ok = false.
+std::vector<wire::MetricsReply> scrape_all(Transport& net, std::size_t total) {
+  std::vector<wire::ReplyFuture<wire::MetricsRequest>> futures;
+  futures.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    futures.push_back(wire::call(net, i, wire::MetricsRequest{}));
+  }
+  std::vector<wire::MetricsReply> out(total);
+  for (std::size_t i = 0; i < total; ++i) out[i] = futures[i].get();
+  return out;
+}
+
+std::int64_t gauge_or(const obs::MetricsSnapshot& m, const char* name,
+                      std::int64_t fallback) {
+  const auto it = m.gauges.find(name);
+  return it == m.gauges.end() ? fallback : it->second;
+}
+
+void print_snapshot(const obs::MetricsSnapshot& m, const char* indent) {
+  for (const auto& [name, value] : m.counters) {
+    std::printf("%s%-36s %" PRIu64 "\n", indent, name.c_str(), value);
+  }
+  for (const auto& [name, value] : m.gauges) {
+    std::printf("%s%-36s %" PRId64 "\n", indent, name.c_str(), value);
+  }
+  for (const auto& [name, h] : m.histograms) {
+    if (h.count == 0) continue;
+    std::printf("%s%-36s count %" PRIu64 "  mean %.1f  p50 %" PRIu64
+                "  p99 %" PRIu64 "\n",
+                indent, name.c_str(), h.count, h.mean(), h.quantile(0.50),
+                h.quantile(0.99));
+  }
+}
+
+void json_snapshot(std::string& out, const obs::MetricsSnapshot& m) {
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : m.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json_escape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : m.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json_escape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : m.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json_escape(name) + "\":{\"count\":" +
+           std::to_string(h.count) + ",\"sum\":" + std::to_string(h.sum) +
+           ",\"p50\":" + std::to_string(h.quantile(0.50)) +
+           ",\"p99\":" + std::to_string(h.quantile(0.99)) + "}";
+  }
+  out += "}}";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace mvtl;
-
   std::string config_path;
   std::vector<std::string> words;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--config=", 9) == 0) {
       config_path = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else {
       words.emplace_back(argv[i]);
     }
@@ -53,19 +129,20 @@ int main(int argc, char** argv) {
     }
     net.start();  // no local listeners; outbound dialing only
 
-    // One query per server; a dead or unreachable server answers with
-    // the transport's default refusal (ok = false).
-    std::vector<GroupInfo> infos(total);
-    {
-      std::vector<wire::ReplyFuture<wire::GroupInfoRequest>> futures;
-      futures.reserve(total);
-      for (std::size_t i = 0; i < total; ++i) {
-        futures.push_back(wire::call(net, i, wire::GroupInfoRequest{}));
-      }
-      for (std::size_t i = 0; i < total; ++i) infos[i] = futures[i].get();
-    }
-
     if (words[0] == "status") {
+      // One group query per server; a dead or unreachable server answers
+      // with the transport's default refusal (ok = false).
+      std::vector<GroupInfo> infos(total);
+      {
+        std::vector<wire::ReplyFuture<wire::GroupInfoRequest>> futures;
+        futures.reserve(total);
+        for (std::size_t i = 0; i < total; ++i) {
+          futures.push_back(wire::call(net, i, wire::GroupInfoRequest{}));
+        }
+        for (std::size_t i = 0; i < total; ++i) infos[i] = futures[i].get();
+      }
+      const std::vector<wire::MetricsReply> metrics = scrape_all(net, total);
+
       std::size_t up = 0;
       for (std::size_t i = 0; i < total; ++i) {
         const GroupInfo& info = infos[i];
@@ -74,11 +151,37 @@ int main(int argc, char** argv) {
                     deploy.endpoints[i].host.c_str(),
                     deploy.endpoints[i].port, info.ok ? "up" : "DOWN");
         if (info.ok && rf > 1) {
-          std::printf("  term %llu  %s",
-                      static_cast<unsigned long long>(info.term),
+          std::printf("  term %" PRIu64 "  %s", info.term,
                       info.leading ? "leader" : "follower");
         }
         std::printf("\n");
+      }
+      // Per-group replication progress: each replica's applied log slot
+      // and closed-timestamp floor lag, slash-separated in rank order
+      // ("-" = replica down). A replica whose applied slot trails its
+      // peers is behind on the op log; a large floor lag bounds how
+      // stale that replica's follower reads are.
+      for (std::size_t g = 0; g < total / rf; ++g) {
+        std::string applied;
+        std::string lag;
+        for (std::size_t r = 0; r < rf; ++r) {
+          if (r != 0) {
+            applied += "/";
+            lag += "/";
+          }
+          const wire::MetricsReply& reply = metrics[g * rf + r];
+          if (!reply.ok) {
+            applied += "-";
+            lag += "-";
+            continue;
+          }
+          applied +=
+              std::to_string(gauge_or(reply.metrics, "repl.applied_slot", 0));
+          lag += std::to_string(
+              gauge_or(reply.metrics, "repl.floor_lag_ticks", 0));
+        }
+        std::printf("group %zu  applied %s  floor_lag_ticks %s\n", g,
+                    applied.c_str(), lag.c_str());
       }
       std::printf("%zu/%zu up\n", up, total);
       net.shutdown();
@@ -87,6 +190,15 @@ int main(int argc, char** argv) {
 
     if (words[0] == "leader") {
       if (words.size() < 2) return usage(argv[0]);
+      std::vector<GroupInfo> infos(total);
+      {
+        std::vector<wire::ReplyFuture<wire::GroupInfoRequest>> futures;
+        futures.reserve(total);
+        for (std::size_t i = 0; i < total; ++i) {
+          futures.push_back(wire::call(net, i, wire::GroupInfoRequest{}));
+        }
+        for (std::size_t i = 0; i < total; ++i) infos[i] = futures[i].get();
+      }
       const std::size_t group = std::stoul(words[1]);
       if (group >= total / rf) {
         std::fprintf(stderr, "group %zu out of range (cluster has %zu)\n",
@@ -112,6 +224,100 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("%zu\n", group * rf + best);
+      return 0;
+    }
+
+    if (words[0] == "metrics") {
+      const std::vector<wire::MetricsReply> replies = scrape_all(net, total);
+      net.shutdown();
+      obs::MetricsSnapshot merged;
+      std::size_t answered = 0;
+      for (const wire::MetricsReply& reply : replies) {
+        if (!reply.ok) continue;
+        ++answered;
+        merged.merge(reply.metrics);
+      }
+      if (json) {
+        std::string out = "{\"servers\":[";
+        for (std::size_t i = 0; i < total; ++i) {
+          if (i != 0) out += ",";
+          out += "{\"server\":" + std::to_string(i) +
+                 ",\"ok\":" + (replies[i].ok ? "true" : "false") +
+                 ",\"metrics\":";
+          json_snapshot(out, replies[i].metrics);
+          out += "}";
+        }
+        out += "],\"merged\":";
+        json_snapshot(out, merged);
+        out += "}";
+        std::printf("%s\n", out.c_str());
+      } else {
+        for (std::size_t i = 0; i < total; ++i) {
+          std::printf("server %zu  %s\n", i, replies[i].ok ? "up" : "DOWN");
+          if (replies[i].ok) print_snapshot(replies[i].metrics, "  ");
+        }
+        std::printf("merged (%zu/%zu servers)\n", answered, total);
+        print_snapshot(merged, "  ");
+      }
+      return answered > 0 ? 0 : 1;
+    }
+
+    if (words[0] == "trace") {
+      if (words.size() < 2) return usage(argv[0]);
+      const bool latest = words[1] == "latest";
+      const TxId want = latest ? 0 : std::stoull(words[1]);
+      std::vector<wire::ReplyFuture<wire::TraceFetchRequest>> futures;
+      futures.reserve(total);
+      for (std::size_t i = 0; i < total; ++i) {
+        wire::TraceFetchRequest req;
+        req.gtx = want;
+        futures.push_back(wire::call(net, i, req));
+      }
+      std::vector<obs::SpanEvent> spans;
+      for (std::size_t i = 0; i < total; ++i) {
+        wire::TraceReply reply = futures[i].get();
+        if (!reply.ok) continue;
+        spans.insert(spans.end(), reply.events.begin(), reply.events.end());
+      }
+      net.shutdown();
+      if (latest) {
+        // "latest" = the largest trace id buffered anywhere (gtx values
+        // are begin-timestamps, so the largest is the most recent).
+        std::uint64_t max_id = 0;
+        for (const obs::SpanEvent& s : spans) max_id = std::max(max_id, s.trace_id);
+        std::vector<obs::SpanEvent> picked;
+        for (obs::SpanEvent& s : spans) {
+          if (s.trace_id == max_id) picked.push_back(std::move(s));
+        }
+        spans.swap(picked);
+      }
+      if (spans.empty()) {
+        std::fprintf(stderr, "no spans found%s\n",
+                     latest ? "" : " for that gtx (is trace_sample set?)");
+        return 1;
+      }
+      // Cross-process timeline: WallClock ticks are comparable across
+      // processes (up to NTP skew), so sort by start tick; stable to
+      // keep each server's append order for ties.
+      std::stable_sort(spans.begin(), spans.end(),
+                       [](const obs::SpanEvent& a, const obs::SpanEvent& b) {
+                         return a.at_ticks < b.at_ticks;
+                       });
+      std::vector<std::string> servers;
+      for (const obs::SpanEvent& s : spans) {
+        if (std::find(servers.begin(), servers.end(), s.server) ==
+            servers.end()) {
+          servers.push_back(s.server);
+        }
+      }
+      std::printf("trace %" PRIu64 ": %zu spans across %zu servers\n",
+                  spans[0].trace_id, spans.size(), servers.size());
+      const std::uint64_t t0 = spans[0].at_ticks;
+      for (const obs::SpanEvent& s : spans) {
+        std::printf("  +%-10" PRIu64 " %-8s %-24s %" PRIu64 " us\n",
+                    s.at_ticks - t0, s.server.c_str(), s.name.c_str(),
+                    s.dur_us);
+      }
       return 0;
     }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dist/cluster.hpp"
+#include "obs/log.hpp"
 #include "server/deploy.hpp"
 
 namespace {
@@ -144,6 +145,12 @@ int main(int argc, char** argv) {
                 deploy.replication_factor,
                 dist_protocol_name(deploy.protocol));
     std::fflush(stdout);
+    obs::log_info("shard_server", "starting",
+                  {{"serve", serve_spec},
+                   {"servers", std::to_string(deploy.endpoints.size())},
+                   {"groups", std::to_string(deploy.groups())},
+                   {"rf", std::to_string(deploy.replication_factor)},
+                   {"protocol", dist_protocol_name(deploy.protocol)}});
 
     // Blocks until a quorum of the cluster's acceptors is reachable and
     // epoch 0 is decided; throws if a local port is taken.
@@ -160,14 +167,17 @@ int main(int argc, char** argv) {
 
     std::printf("ready\n");
     std::fflush(stdout);
+    obs::log_info("shard_server", "ready", {{"serve", serve_spec}});
 
     while (g_stop == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds{100});
     }
     std::printf("mvtl_shard_server: signal received, shutting down\n");
     std::fflush(stdout);
+    obs::log_info("shard_server", "shutdown", {{"serve", serve_spec}});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mvtl_shard_server: %s\n", e.what());
+    obs::log_error("shard_server", "fatal", {{"error", e.what()}});
     return 1;
   }
   return 0;
