@@ -1119,19 +1119,26 @@ void Cluster::replication_barrier() {
   for (std::size_t g = 0; g < groups_; ++g) {
     const std::vector<ShardServer*> members = group_servers(g);
     for (;;) {
-      ShardServer* leader = nullptr;
+      // A deposed leader restored mid-heal may still claim leadership
+      // against its stale term — with a log missing everything decided
+      // while it was down. Taking the first claimant as the reference
+      // would make every member trivially "caught up" to a truncated
+      // log, so equalize against the longest live log instead; the
+      // stale claimant demotes itself on the real leader's next beat
+      // and then syncs like any other follower.
+      bool any_leader = false;
+      std::uint64_t len = 0;
       for (ShardServer* s : members) {
         const GroupInfo info = s->group_info();
-        if (info.ok && info.leading) {
-          leader = s;
-          break;
+        if (info.ok && info.leading) any_leader = true;
+        if (!s->crashed() && s->group_member() != nullptr) {
+          len = std::max(len, s->group_member()->log_length());
         }
       }
-      if (leader != nullptr) {
-        const std::uint64_t len = leader->group_member()->log_length();
+      if (any_leader) {
         bool equal = true;
         for (ShardServer* s : members) {
-          if (s == leader || s->crashed()) continue;
+          if (s->crashed() || s->group_member() == nullptr) continue;
           wire::call(*transport_, s->index(), wire::ReplSyncRequest{}).get();
           equal &= s->group_member()->log_length() >= len;
         }
@@ -1250,31 +1257,31 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
   std::vector<ShardServer*> export_leader(groups_, nullptr);
   for (std::size_t g = 0; g < groups_; ++g) {
     const std::vector<ShardServer*> members = group_servers(g);
-    // Export from the sealed leader; if the barrier could not produce
-    // one (crashes), fall back to the live replica with the longest
-    // applied log — never a crashed member or a blind rank 0.
+    // Export from the live replica with the longest applied log,
+    // preferring a sealed leader among equals. "First leadership
+    // claimant" is NOT safe here: a deposed leader restored mid-heal
+    // still claims leading against its stale term while its log (and
+    // store) miss everything decided during its outage — exporting from
+    // it would re-seed the new owner's replicas with a truncated
+    // version chain, silently erasing committed writes. The longest
+    // log is the completeness criterion an export actually needs.
     std::size_t leader_rank = 0;
     bool found = false;
+    std::uint64_t best_len = 0;
+    bool best_leading = false;
     for (std::size_t r = 0; r < members.size(); ++r) {
-      const GroupInfo info = members[r]->group_info();
-      if (info.ok && info.leading) {
-        leader_rank = r;
-        found = true;
-        break;
+      if (members[r]->crashed() || members[r]->group_member() == nullptr) {
+        continue;
       }
-    }
-    if (!found) {
-      std::uint64_t best_len = 0;
-      for (std::size_t r = 0; r < members.size(); ++r) {
-        if (members[r]->crashed() || members[r]->group_member() == nullptr) {
-          continue;
-        }
-        const std::uint64_t len = members[r]->group_member()->log_length();
-        if (!found || len > best_len) {
-          leader_rank = r;
-          best_len = len;
-          found = true;
-        }
+      const GroupInfo info = members[r]->group_info();
+      const std::uint64_t len = members[r]->group_member()->log_length();
+      const bool leading = info.ok && info.leading;
+      if (!found || len > best_len ||
+          (len == best_len && leading && !best_leading)) {
+        leader_rank = r;
+        best_len = len;
+        best_leading = leading;
+        found = true;
       }
     }
     export_leader[g] = members[leader_rank];
@@ -1331,10 +1338,29 @@ std::uint64_t Cluster::advance_epoch(ShardMap new_map) {
 
   // 5. Reopen under the new epoch and publish the routing for clients
   //    (existing clients adopt it on their first wrong_epoch reply).
+  //    The commit carries the cluster-wide serving fence: every snapshot
+  //    any group ever served sits at or below some group's decided
+  //    floor, and a migrated key's NEW owner group may have a lower
+  //    floor than its old one — without the fence it could admit a
+  //    commit below a snapshot the old owner already handed out (a
+  //    write into the past, i.e. a serializability violation).
+  Timestamp fence = Timestamp::min();
+  {
+    std::vector<wire::ReplyFuture<wire::GroupInfoRequest>> infos;
+    infos.reserve(servers_.size());
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      infos.push_back(wire::call(*transport_, i, wire::GroupInfoRequest{}));
+    }
+    for (auto& f : infos) {
+      const GroupInfo info = f.get();
+      if (info.ok) fence = max(fence, info.floor);
+    }
+  }
   must_ack_all(
       servers_.size(),
       [&](std::size_t i) {
-        return wire::call(*transport_, i, wire::EpochCommitRequest{next});
+        return wire::call(*transport_, i,
+                          wire::EpochCommitRequest{next, fence});
       },
       "epoch commit");
   epochs_.push_back(decided);

@@ -350,7 +350,7 @@ std::string ShardServer::dispatch_frame(const std::string& frame) {
     case MsgType::kEpochCommit: {
       EpochCommitRequest req;
       if (!decode(frame, &req)) return {};
-      handle_epoch_commit(req.next_epoch);
+      handle_epoch_commit(req.next_epoch, req.fence);
       return encode_reply(AckReply{true});
     }
     case MsgType::kMetrics: {
@@ -890,7 +890,11 @@ void ShardServer::handle_import_keys(const std::vector<MigratedKey>& keys) {
   }
 }
 
-void ShardServer::handle_epoch_commit(std::uint64_t next_epoch) {
+void ShardServer::handle_epoch_commit(std::uint64_t next_epoch,
+                                      Timestamp fence) {
+  // Raise the floor BEFORE reopening: once op batches flow again, no
+  // prepare may be admitted below the cluster-wide serving fence.
+  if (group_ && !crashed()) group_->raise_floor(fence);
   epoch_.store(next_epoch, std::memory_order_release);
   epoch_frozen_.store(false, std::memory_order_release);
 }

@@ -242,6 +242,12 @@ class ShardServer {
   /// acting, and Paxos requests are nacked — the observable behaviour of
   /// a dead machine behind connections that reset.
   void crash() { crashed_.store(true, std::memory_order_release); }
+  /// Undoes crash(): the machine comes back with its state intact (the
+  /// chaos harness's heal action). Safe by the log-seal argument: if a
+  /// crashed leader was deposed while silent, its next append observes
+  /// the higher term and fails instead of acknowledging, and the group
+  /// ticker re-joins it as a follower that catches up from the log.
+  void restore() { crashed_.store(false, std::memory_order_release); }
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
   /// The transport-facing entry: unwraps a kTraced envelope if present
@@ -337,8 +343,12 @@ class ShardServer {
   /// replica of the new owner group. Idempotent: a retried batch
   /// rebuilds the key instead of installing on top of itself.
   void handle_import_keys(const std::vector<MigratedKey>& keys);
-  /// Adopts `next_epoch` and reopens for op batches.
-  void handle_epoch_commit(std::uint64_t next_epoch);
+  /// Adopts `next_epoch` and reopens for op batches, after raising the
+  /// group floor to `fence` (the cluster-wide max floor at migration
+  /// time): migrated keys must not take writes below snapshots their
+  /// previous owner group already served.
+  void handle_epoch_commit(std::uint64_t next_epoch,
+                           Timestamp fence = Timestamp::min());
 
   /// Configuration epoch this server currently serves.
   std::uint64_t epoch() const {

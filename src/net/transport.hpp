@@ -89,6 +89,36 @@ class Transport {
   /// Messages discarded by fault injection (sim only).
   virtual std::uint64_t dropped() const { return 0; }
 
+  // --- fault-plan seam ----------------------------------------------------
+  // Transport-agnostic fault injection, keyed by endpoint index, so a
+  // nemesis schedule (txbench/nemesis.hpp) is written once and runs over
+  // any transport. Each injector returns true iff this transport can
+  // express the fault; the default (false) tells the nemesis to degrade
+  // the action to a crash/heal equivalent it applies at the server layer
+  // instead. SimTransport maps these onto SimNetwork's per-link cuts and
+  // drop budgets; TcpTransport supports none of them (a real socket has
+  // no drop dial), so chaos schedules over TCP exercise the fail-stop
+  // paths only — by design, the schedule itself stays byte-identical.
+
+  /// Drops the next `n` request messages on any link.
+  virtual bool inject_drop_next(std::size_t n) {
+    (void)n;
+    return false;
+  }
+  /// Cuts the link between endpoints `a` and `b`, both directions.
+  virtual bool inject_partition(std::size_t a, std::size_t b) {
+    (void)a;
+    (void)b;
+    return false;
+  }
+  /// Cuts every link touching endpoint `server` (network fail-stop).
+  virtual bool inject_isolate(std::size_t server) {
+    (void)server;
+    return false;
+  }
+  /// Restores all cut links and cancels pending drop budget.
+  virtual bool inject_heal() { return false; }
+
   // --- codec-boundary byte accounting ------------------------------------
   // Counted by the typed wire helpers on the *encoded message* bytes —
   // before any transport-level framing — so SimTransport and TcpTransport
@@ -156,7 +186,35 @@ class SimTransport final : public Transport {
   }
   std::uint64_t dropped() const override { return net_.dropped(); }
 
+  // Fault-plan seam: endpoint indices resolve to the bound executors,
+  // which are SimNetwork's endpoint identities (nullptr = client side).
+  bool inject_drop_next(std::size_t n) override {
+    net_.drop_next(n);
+    return true;
+  }
+  bool inject_partition(std::size_t a, std::size_t b) override {
+    const Executor* ea = endpoint_exec(a);
+    const Executor* eb = endpoint_exec(b);
+    if (ea == nullptr || eb == nullptr) return false;
+    net_.partition(ea, eb);
+    return true;
+  }
+  bool inject_isolate(std::size_t server) override {
+    const Executor* e = endpoint_exec(server);
+    if (e == nullptr) return false;
+    net_.isolate(e);
+    return true;
+  }
+  bool inject_heal() override {
+    net_.heal();
+    return true;
+  }
+
  private:
+  const Executor* endpoint_exec(std::size_t index) const {
+    return index < endpoints_.size() ? endpoints_[index].exec : nullptr;
+  }
+
   struct Endpoint {
     Executor* exec = nullptr;
     WireHandler handler;

@@ -545,12 +545,14 @@ bool decode(const std::string& frame, ImportKeysRequest* m) {
 std::string encode(const EpochCommitRequest& m) {
   Writer w = begin_frame(m.kType);
   w.u64(m.next_epoch);
+  w.ts(m.fence);
   return w.take();
 }
 
 bool decode(const std::string& frame, EpochCommitRequest* m) {
   Reader r(frame);
-  return open_frame(r, m->kType) && r.u64(&m->next_epoch) && r.done();
+  return open_frame(r, m->kType) && r.u64(&m->next_epoch) &&
+         r.ts(&m->fence) && r.done();
 }
 
 std::string encode(const MetricsRequest& m) {

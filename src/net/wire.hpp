@@ -277,6 +277,11 @@ struct EpochCommitRequest {
   static constexpr MsgType kType = MsgType::kEpochCommit;
   using Reply = AckReply;
   std::uint64_t next_epoch = 0;
+  /// Cluster-wide serving fence: the max closed-timestamp floor across
+  /// every group at migration time. Each group raises its own floor to
+  /// this before reopening, so a key that changed owners can never take
+  /// a write below a snapshot its previous owner already served.
+  Timestamp fence;
 };
 
 struct MetricsRequest {

@@ -125,6 +125,28 @@ void GroupMember::forget_prepared(TxId gtx) {
   prepared_.erase(gtx);
 }
 
+void GroupMember::raise_floor(Timestamp fence) {
+  if (fence.is_min()) return;
+  std::uint64_t my_term = 0;
+  bool append = false;
+  {
+    std::lock_guard guard(mu_);
+    for (const auto& [gtx, lo] : prepared_) fence = min(fence, lo.prev());
+    if (fence <= floor_) return;
+    // Fence before the append, as in leader_tick: a prepare admitted
+    // while the Floor entry is in flight must already clamp above it.
+    clamp_bound_ = max(clamp_bound_, fence);
+    if (config_.members > 1) {
+      if (leader_ != config_.rank || sealed_term_ != term_) return;
+      my_term = term_;
+      append = true;
+    } else {
+      floor_ = max(floor_, fence);
+    }
+  }
+  if (append) append_entry(LogEntry::floor_entry(my_term, fence));
+}
+
 Timestamp GroupMember::clamp_bound() const {
   std::lock_guard guard(mu_);
   return clamp_bound_;

@@ -180,6 +180,16 @@ class GroupMember {
   /// Current commit fence: no commit may be decided at or below it.
   Timestamp clamp_bound() const;
 
+  /// Raises this group's floor (and the commit fence) to `fence`, as a
+  /// decided Floor entry when replicated — so the raise survives
+  /// takeovers. Called on epoch commit with the cluster-wide maximum
+  /// floor: a migrated key's new group must never admit a commit below
+  /// a snapshot the old owner already served. Leaders append; followers
+  /// only raise their fence and adopt the leader's entry when it
+  /// applies. The epoch drain emptied prepared_, but any stragglers
+  /// still bound the raise (never climb into live candidates).
+  void raise_floor(Timestamp fence);
+
   /// Appends a commit record to the group log and waits for the decision.
   /// At replication factor 1 this is pure bookkeeping (no log exists, no
   /// failover target): it deduplicates and returns kOk. The caller

@@ -1,0 +1,316 @@
+#include "txbench/nemesis.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "dist/cluster.hpp"
+#include "dist/shard.hpp"
+#include "txbench/workload.hpp"
+
+namespace mvtl {
+namespace {
+
+/// Relative draw weights per kind; zero-weight kinds are never drawn.
+struct KindWeight {
+  FaultKind kind;
+  std::uint32_t weight;
+};
+
+std::vector<KindWeight> kind_weights(const NemesisOptions& options,
+                                     const NemesisTopology& topology) {
+  const std::size_t servers = topology.groups * topology.replication_factor;
+  const bool can_crash = topology.replication_factor >= 3;
+  const bool can_migrate = options.reconfig && topology.groups > 1 &&
+                           topology.key_space >= 8 * topology.groups;
+  return {
+      {FaultKind::kDropNext, 3},
+      {FaultKind::kPartition, servers >= 2 ? 3u : 0u},
+      {FaultKind::kIsolate, 2},
+      {FaultKind::kCrashLeader, can_crash ? 4u : 0u},
+      {FaultKind::kSuspicionSweep, 2},
+      {FaultKind::kEpochBump, options.reconfig ? 1u : 0u},
+      {FaultKind::kMigrate, can_migrate ? 2u : 0u},
+      {FaultKind::kHeal, 3},
+  };
+}
+
+FaultKind draw_kind(Rng& rng, const std::vector<KindWeight>& weights) {
+  std::uint32_t total = 0;
+  for (const KindWeight& w : weights) total += w.weight;
+  std::uint64_t pick = rng.next_below(total);
+  for (const KindWeight& w : weights) {
+    if (pick < w.weight) return w.kind;
+    pick -= w.weight;
+  }
+  return FaultKind::kHeal;  // unreachable
+}
+
+FaultAction draw_action(Rng& rng, const NemesisOptions& options,
+                        const NemesisTopology& topology, FaultKind kind) {
+  const std::size_t servers =
+      topology.groups * topology.replication_factor;
+  FaultAction action;
+  action.kind = kind;
+  switch (kind) {
+    case FaultKind::kDropNext:
+      action.a = 2 + rng.next_below(9);  // 2..10 messages
+      break;
+    case FaultKind::kPartition:
+      action.a = rng.next_below(servers);
+      action.b = rng.next_below(servers - 1);
+      if (action.b >= action.a) ++action.b;  // distinct endpoints
+      break;
+    case FaultKind::kIsolate:
+      action.a = rng.next_below(servers);
+      break;
+    case FaultKind::kCrashLeader:
+      action.a = rng.next_below(topology.groups);
+      break;
+    case FaultKind::kMigrate:
+      // Boundary shift in key indices: small enough that every shifted
+      // boundary stays sorted and inside the key space.
+      action.a = 1 + rng.next_below(std::max<std::uint64_t>(
+                         1, topology.key_space / (4 * topology.groups)));
+      break;
+    case FaultKind::kSuspicionSweep:
+    case FaultKind::kEpochBump:
+    case FaultKind::kHeal:
+      break;
+  }
+  action.pause_ms =
+      options.min_pause_ms +
+      static_cast<std::uint32_t>(rng.next_below(
+          options.max_pause_ms - options.min_pause_ms + 1));
+  if (kind == FaultKind::kCrashLeader) {
+    action.pause_ms += options.crash_pause_ms;
+  }
+  return action;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropNext:
+      return "drop_next";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kIsolate:
+      return "isolate";
+    case FaultKind::kCrashLeader:
+      return "crash_leader";
+    case FaultKind::kSuspicionSweep:
+      return "suspicion_sweep";
+    case FaultKind::kEpochBump:
+      return "epoch_bump";
+    case FaultKind::kMigrate:
+      return "migrate";
+    case FaultKind::kHeal:
+      return "heal";
+  }
+  return "?";
+}
+
+std::string FaultSchedule::describe() const {
+  std::string out = "schedule seed=" + std::to_string(seed) +
+                    " actions=" + std::to_string(actions.size()) + "\n";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const FaultAction& action = actions[i];
+    out += "  " + std::to_string(i) + ": " + fault_kind_name(action.kind);
+    out += " a=" + std::to_string(action.a) + " b=" + std::to_string(action.b);
+    out += " pause=" + std::to_string(action.pause_ms) + "ms\n";
+  }
+  return out;
+}
+
+FaultSchedule generate_schedule(const NemesisOptions& options,
+                                const NemesisTopology& topology) {
+  FaultSchedule schedule;
+  schedule.seed = options.seed;
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 1);
+  const std::vector<KindWeight> weights = kind_weights(options, topology);
+
+  // Guaranteed opener: a drop burst, so every sim run provably injects
+  // network faults (the chaos tests assert the drop counter moved).
+  schedule.actions.push_back(
+      draw_action(rng, options, topology, FaultKind::kDropNext));
+
+  bool crashed_once = false;
+  for (std::size_t i = 0; i < options.steps; ++i) {
+    const FaultKind kind = draw_kind(rng, weights);
+    crashed_once |= kind == FaultKind::kCrashLeader;
+    schedule.actions.push_back(draw_action(rng, options, topology, kind));
+  }
+
+  // Guaranteed leader crash when the topology can fail one over, so
+  // every schedule provably exercises takeover (repl.takeovers > 0).
+  if (topology.replication_factor >= 3 && !crashed_once) {
+    schedule.actions.insert(
+        schedule.actions.begin() + 1,
+        draw_action(rng, options, topology, FaultKind::kCrashLeader));
+  }
+
+  // Always end healed: the oracle phase needs a reachable cluster.
+  schedule.actions.push_back(
+      draw_action(rng, options, topology, FaultKind::kHeal));
+  return schedule;
+}
+
+Nemesis::Nemesis(Cluster& cluster, FaultSchedule schedule)
+    : cluster_(&cluster), schedule_(std::move(schedule)) {}
+
+std::size_t Nemesis::leader_of(std::size_t group) const {
+  const std::size_t rf = cluster_->replication_factor();
+  for (std::size_t r = 0; r < rf; ++r) {
+    const std::size_t idx = group * rf + r;
+    if (cluster_->server(idx).group_info().leading) return idx;
+  }
+  return group * rf;  // nobody sealed: the initial leader
+}
+
+bool Nemesis::crash_if_safe(std::size_t server, NemesisReport* report) {
+  const std::size_t rf = cluster_->replication_factor();
+  const std::size_t group = server / rf;
+  if (cluster_->server(server).crashed()) return false;
+  std::size_t alive = 0;
+  for (std::size_t r = 0; r < rf; ++r) {
+    if (!cluster_->server(group * rf + r).crashed()) ++alive;
+  }
+  // The group must keep a strict majority after this crash, or takeover
+  // (and the oracle phase) could never complete.
+  if (alive - 1 < rf / 2 + 1) return false;
+  cluster_->server(server).crash();
+  ++report->crashes;
+  return true;
+}
+
+void Nemesis::heal_all(Cluster& cluster) {
+  cluster.net().inject_heal();
+  for (std::size_t i = 0; i < cluster.server_count(); ++i) {
+    if (cluster.hosts_server(i) && cluster.server(i).crashed()) {
+      cluster.server(i).restore();
+    }
+  }
+}
+
+bool Nemesis::await_leaders(Cluster& cluster,
+                            std::chrono::milliseconds timeout) {
+  const std::size_t rf = cluster.replication_factor();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (std::size_t g = 0; g < cluster.group_count(); ++g) {
+    while (true) {
+      bool led = rf == 1 && !cluster.server(g).crashed();
+      for (std::size_t r = 0; !led && r < rf; ++r) {
+        const ShardServer& server = cluster.server(g * rf + r);
+        led = !server.crashed() && server.group_info().leading;
+      }
+      if (led) break;
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds{2});
+    }
+  }
+  return true;
+}
+
+void Nemesis::apply(const FaultAction& action, NemesisReport* report) {
+  Transport& net = cluster_->net();
+  std::string note;
+  switch (action.kind) {
+    case FaultKind::kDropNext:
+      if (net.inject_drop_next(static_cast<std::size_t>(action.a))) {
+        ++report->applied;
+      } else {
+        // No drop dial on this transport; a drop burst has no fail-stop
+        // equivalent worth a permanent crash, so it degrades to nothing.
+        ++report->degraded;
+        note = " (degraded: no-op)";
+      }
+      break;
+    case FaultKind::kPartition:
+      if (net.inject_partition(static_cast<std::size_t>(action.a),
+                               static_cast<std::size_t>(action.b))) {
+        ++report->applied;
+      } else {
+        ++report->degraded;
+        note = crash_if_safe(static_cast<std::size_t>(action.a), report)
+                   ? " (degraded: crash a)"
+                   : " (degraded: skipped, majority)";
+      }
+      break;
+    case FaultKind::kIsolate:
+      if (net.inject_isolate(static_cast<std::size_t>(action.a))) {
+        ++report->applied;
+      } else {
+        ++report->degraded;
+        note = crash_if_safe(static_cast<std::size_t>(action.a), report)
+                   ? " (degraded: crash)"
+                   : " (degraded: skipped, majority)";
+      }
+      break;
+    case FaultKind::kCrashLeader: {
+      const std::size_t leader =
+          leader_of(static_cast<std::size_t>(action.a));
+      if (crash_if_safe(leader, report)) {
+        ++report->applied;
+        note = " (server " + std::to_string(leader) + ")";
+      } else {
+        ++report->skipped;
+        note = " (skipped: majority)";
+      }
+      break;
+    }
+    case FaultKind::kSuspicionSweep:
+      for (std::size_t i = 0; i < cluster_->server_count(); ++i) {
+        if (!cluster_->server(i).crashed()) cluster_->server(i).sweep_now();
+      }
+      ++report->applied;
+      ++report->sweeps;
+      break;
+    case FaultKind::kEpochBump:
+    case FaultKind::kMigrate: {
+      // Reconfiguration needs a healthy cluster with sealed leaders —
+      // against a leaderless group the migration driver would wedge the
+      // harness, which is a harness bug, not a system bug.
+      heal_all(*cluster_);
+      if (!await_leaders(*cluster_, std::chrono::seconds{10})) {
+        ++report->skipped;
+        note = " (skipped: no leader)";
+        break;
+      }
+      if (action.kind == FaultKind::kEpochBump) {
+        cluster_->advance_epoch();
+      } else {
+        // Shift every shard boundary by `a` key indices: every group
+        // hands a slice of its range to its neighbour, live.
+        const std::uint64_t key_space = cluster_->config().key_space;
+        const std::size_t groups = cluster_->group_count();
+        std::vector<Key> boundaries;
+        for (std::size_t g = 1; g < groups; ++g) {
+          boundaries.push_back(make_key(key_space * g / groups + action.a));
+        }
+        cluster_->advance_epoch(ShardMap(std::move(boundaries)));
+      }
+      ++report->applied;
+      ++report->epochs_advanced;
+      break;
+    }
+    case FaultKind::kHeal:
+      heal_all(*cluster_);
+      ++report->applied;
+      break;
+  }
+  report->log += std::string(fault_kind_name(action.kind)) + note + "\n";
+}
+
+NemesisReport Nemesis::run() {
+  NemesisReport report;
+  for (const FaultAction& action : schedule_.actions) {
+    apply(action, &report);
+    std::this_thread::sleep_for(std::chrono::milliseconds{action.pause_ms});
+  }
+  heal_all(*cluster_);
+  return report;
+}
+
+}  // namespace mvtl

@@ -1,0 +1,141 @@
+// Deterministic chaos harness (the "nemesis", after Jepsen's fault
+// injector — but seeded and replayable).
+//
+// A FaultSchedule is a pure function of (seed, topology): a fixed list
+// of fault actions — message drops, link partitions, endpoint isolation,
+// leader crashes, forced suspicion sweeps, configuration-epoch bumps and
+// live shard migrations — each followed by a pause that lets the
+// concurrent workload run against the degraded cluster. The Nemesis
+// applies a schedule to a live Cluster through two seams:
+//
+//   * the Transport fault-plan seam (net/transport.hpp inject_*) for the
+//     network-level faults. SimTransport expresses them natively; a
+//     transport that cannot (TCP) makes the nemesis DEGRADE the action
+//     to its crash/heal equivalent at the server layer, so the same
+//     schedule — byte-identical text, same seed — runs over every
+//     transport and still injects real faults;
+//   * the Cluster/ShardServer surface (crash/restore, sweep_now,
+//     advance_epoch) for the fail-stop and control-plane faults.
+//
+// Safety of the harness itself: crashes never take a group below its
+// majority (the schedule may ask; the runner refuses and logs), and
+// reconfiguration actions heal + restore everything first and wait for
+// every group to elect a sealed leader — a migration against a
+// leaderless group would wedge the run, not find a bug.
+//
+// The determinism contract chaos tests rely on: the schedule text and
+// the oracle semantics are exact functions of the seed; thread
+// interleaving under the schedule is not. A correct system therefore
+// passes the oracle for EVERY interleaving, and a failing seed is a
+// genuine repro — same faults, same workload stream, same checks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvtl {
+
+class Cluster;
+
+enum class FaultKind : std::uint8_t {
+  kDropNext,        ///< a: number of request messages to drop
+  kPartition,       ///< a, b: server indices to cut apart
+  kIsolate,         ///< a: server index to cut off the network
+  kCrashLeader,     ///< a: group whose current leader fail-stops
+  kSuspicionSweep,  ///< force one suspicion sweep on every live server
+  kEpochBump,       ///< re-decide the current shard map as a new epoch
+  kMigrate,         ///< a: boundary offset — live-migrate shard ranges
+  kHeal,            ///< restore all links and crashed servers
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultAction {
+  FaultKind kind = FaultKind::kHeal;
+  std::uint64_t a = 0;  ///< kind-specific (see FaultKind)
+  std::uint64_t b = 0;  ///< kind-specific (see FaultKind)
+  /// Workload time to let pass after applying, before the next action.
+  std::uint32_t pause_ms = 0;
+};
+
+struct FaultSchedule {
+  std::uint64_t seed = 0;
+  std::vector<FaultAction> actions;
+
+  /// Canonical one-line-per-action text. Two schedules are the same
+  /// fault plan iff their describe() strings are byte-identical — the
+  /// form the determinism tests compare and CI artifacts record.
+  std::string describe() const;
+};
+
+/// What the schedule generator needs to know about the cluster: enough
+/// to draw valid parameters, nothing it could not learn from config.
+struct NemesisTopology {
+  std::size_t groups = 1;
+  std::size_t replication_factor = 1;
+  std::uint64_t key_space = 0;
+};
+
+struct NemesisOptions {
+  std::uint64_t seed = 1;
+  /// Random actions drawn (the guaranteed drop-next opener, the
+  /// guaranteed crash-leader at replication factor >= 3, and the closing
+  /// heal are added on top).
+  std::size_t steps = 10;
+  std::uint32_t min_pause_ms = 30;
+  std::uint32_t max_pause_ms = 90;
+  /// Extra dwell after a leader crash, on top of the drawn pause: the
+  /// crash must outlive the suspicion window or no follower ever takes
+  /// over before the next heal revives the leader.
+  std::uint32_t crash_pause_ms = 400;
+  /// Allow kEpochBump / kMigrate (requires an all-in-process cluster).
+  bool reconfig = true;
+};
+
+/// Deterministic: the same (options, topology) always yields the same
+/// schedule, on every platform (the generator draws from mvtl::Rng only).
+FaultSchedule generate_schedule(const NemesisOptions& options,
+                                const NemesisTopology& topology);
+
+struct NemesisReport {
+  std::size_t applied = 0;   ///< actions expressed natively
+  std::size_t degraded = 0;  ///< sim-only faults degraded to crash/skip
+  std::size_t skipped = 0;   ///< refused (e.g. crash would kill a majority)
+  std::size_t crashes = 0;   ///< ShardServer::crash() calls, native + degraded
+  std::size_t sweeps = 0;    ///< forced suspicion-sweep rounds
+  std::size_t epochs_advanced = 0;
+  /// Human-readable application trace (one line per action), for CI logs.
+  std::string log;
+};
+
+/// Applies a schedule to a live cluster, pacing by each action's pause.
+/// Run it from one controller thread while workload threads hammer the
+/// cluster; it leaves faults in place between actions on purpose and
+/// always finishes with heal_all().
+class Nemesis {
+ public:
+  Nemesis(Cluster& cluster, FaultSchedule schedule);
+
+  NemesisReport run();
+
+  /// Restores every crashed server and heals every link. Idempotent.
+  static void heal_all(Cluster& cluster);
+
+  /// Waits until every group reports a live, sealed leader (at
+  /// replication factor 1: until every server is up). False on timeout.
+  static bool await_leaders(Cluster& cluster,
+                            std::chrono::milliseconds timeout);
+
+ private:
+  void apply(const FaultAction& action, NemesisReport* report);
+  /// Crashes `server` iff its group keeps a majority alive afterwards.
+  bool crash_if_safe(std::size_t server, NemesisReport* report);
+  std::size_t leader_of(std::size_t group) const;
+
+  Cluster* cluster_;
+  FaultSchedule schedule_;
+};
+
+}  // namespace mvtl

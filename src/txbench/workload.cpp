@@ -40,9 +40,19 @@ TxSpec WorkloadGenerator::next_tx() {
                                         ? zipf_->next(rng_)
                                         : rng_.next_below(config_.key_space);
     op.key = make_key(key_index);
-    if (rng_.next_bool(config_.write_fraction)) {
+    // One draw decides the slot kind, so rmw_fraction == 0 leaves the
+    // classic read/write stream byte-identical per seed.
+    const double u = rng_.next_double();
+    if (u < config_.write_fraction) {
       op.kind = Op::Kind::kWrite;
       op.value = random_value();
+    } else if (u < config_.write_fraction + config_.rmw_fraction) {
+      Op write;
+      write.kind = Op::Kind::kWrite;
+      write.key = op.key;
+      write.value = random_value();
+      ops.push_back(std::move(op));  // the read half of the RMW pair
+      op = std::move(write);
     }
     ops.push_back(std::move(op));
   }

@@ -22,6 +22,13 @@ struct WorkloadConfig {
   std::uint64_t key_space = 10'000;
   std::size_t ops_per_tx = 20;
   double write_fraction = 0.25;
+  /// Probability that an op slot is a read-modify-write — a read of the
+  /// key immediately followed by a write of the same key (YCSB workload
+  /// F's op); the read slot probability is what remains after writes and
+  /// RMWs. An RMW slot emits TWO ops, so transactions grow beyond
+  /// ops_per_tx when this is set; 0 keeps the classic read/write stream
+  /// byte-identical.
+  double rmw_fraction = 0.0;
   /// 0 ⇒ uniform key choice; otherwise zipfian skew parameter.
   double zipf_theta = 0.0;
   /// Length of generated values (paper: 8-character strings).

@@ -1,0 +1,440 @@
+// Deterministic chaos suite: a seeded nemesis schedule (drops,
+// partitions, isolation, leader crashes, forced suspicion sweeps, epoch
+// bumps, live migrations) runs against a replicated cluster while a
+// skewed multi-client workload — YCSB-style read/write/RMW mixes plus a
+// long-running declared-read-only scanner on the follower-read path —
+// hammers it. Afterwards the harness heals everything and certifies the
+// run: every key still readable (a lost acknowledged commit surfaces as
+// a timestamp-order violation), no key duplicated or dropped by
+// migration, the full recorded history MVSG-serializable, and the
+// faults provably injected (drop and takeover counters moved).
+//
+// Every scenario is replayable: the schedule is a pure function of the
+// seed, and a failure prints the exact repro command
+//   chaos_test --seed=N --transport=sim|tcp
+// which this binary's main() accepts to re-run that one scenario.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/cluster.hpp"
+#include "sync/clock.hpp"
+#include "txbench/driver.hpp"
+#include "txbench/nemesis.hpp"
+#include "txbench/workload.hpp"
+#include "verify/mvsg_oracle.hpp"
+
+namespace mvtl {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::uint64_t kKeySpace = 96;
+constexpr std::size_t kGroups = 2;
+constexpr std::size_t kReplicationFactor = 3;
+constexpr std::size_t kRwClients = 3;
+
+struct ChaosParams {
+  std::uint64_t seed = 1;
+  TransportKind transport = TransportKind::kSim;
+  std::size_t steps = 8;
+};
+
+struct ChaosOutcome {
+  bool ok = true;
+  std::string failure;   ///< first failed probe, empty when ok
+  std::string schedule;  ///< canonical schedule text (describe())
+  NemesisReport report;
+  std::uint64_t committed = 0;     ///< read-write workload commits
+  std::uint64_t ro_committed = 0;  ///< read-only scanner commits
+  std::uint64_t dropped = 0;       ///< transport-level dropped messages
+  std::uint64_t takeovers = 0;     ///< sealed leadership changes
+};
+
+std::string repro_command(const ChaosParams& params) {
+  return std::string("chaos_test --seed=") + std::to_string(params.seed) +
+         " --transport=" + transport_kind_name(params.transport);
+}
+
+ClusterConfig chaos_config(TransportKind transport,
+                           HistoryRecorder* recorder) {
+  ClusterConfig config;
+  config.servers = kGroups;
+  config.replication_factor = kReplicationFactor;  // 6 physical servers
+  config.transport = transport;
+  config.server_threads = 2;
+  config.net = NetProfile::instant();
+  config.follower_reads = true;
+  config.mvtil_delta_ticks = 50'000;
+  config.lock_timeout = std::chrono::microseconds{5'000};
+  // Short suspicion window: takeovers complete inside one pause slot.
+  config.suspect_timeout = std::chrono::milliseconds{150};
+  config.floor_lag_ticks = 64;  // follower reads stay fresh
+  config.key_space = kKeySpace;
+  config.clock = std::make_shared<LogicalClock>(1'000);
+  config.recorder = recorder;
+  return config;
+}
+
+/// First live server of group `g` that believes it leads (after
+/// await_leaders there is one).
+ShardServer* leader_of(Cluster& cluster, std::size_t g) {
+  const std::size_t rf = cluster.replication_factor();
+  for (std::size_t r = 0; r < rf; ++r) {
+    ShardServer& server = cluster.server(g * rf + r);
+    if (!server.crashed() && server.group_info().leading) return &server;
+  }
+  return nullptr;
+}
+
+/// Writes every key of [0, key_space) once, so the end-state key-count
+/// probe has an exact expectation and every read hits a real version.
+bool preload(TransactionalStore& client, std::uint64_t key_space) {
+  for (std::uint64_t k = 0; k < key_space; k += 8) {
+    TxSpec spec;
+    for (std::uint64_t i = k; i < k + 8 && i < key_space; ++i) {
+      spec.push_back(Op{Op::Kind::kWrite, make_key(i),
+                        "init-" + std::to_string(i)});
+    }
+    bool ok = false;
+    for (int attempt = 0; attempt < 50 && !ok; ++attempt) {
+      ok = execute_tx(client, spec, /*process=*/90).committed();
+      if (!ok) std::this_thread::sleep_for(2ms);
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Duplicate/lost-key probe: after migrations the per-group leaders'
+/// key counts must sum to exactly key_space — a key duplicated across
+/// groups pushes the sum over, a dropped range under. Polls briefly so
+/// a just-sealed leader can finish replaying its log.
+::testing::AssertionResult leaders_hold_exactly(Cluster& cluster,
+                                                std::uint64_t key_space) {
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  std::uint64_t sum = 0;
+  while (true) {
+    sum = 0;
+    bool all_led = true;
+    for (std::size_t g = 0; g < cluster.group_count(); ++g) {
+      ShardServer* leader = leader_of(cluster, g);
+      if (leader == nullptr) {
+        all_led = false;
+        break;
+      }
+      sum += leader->handle_stats().keys;
+    }
+    if (all_led && sum == key_space) return ::testing::AssertionSuccess();
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(5ms);
+  }
+  return ::testing::AssertionFailure()
+         << "group leaders hold " << sum << " keys, expected " << key_space
+         << " (duplicate or dropped keys after migration)";
+}
+
+/// Runs one full chaos scenario: preload, concurrent workload, nemesis
+/// schedule, heal, then the oracle + invariant probes.
+ChaosOutcome run_chaos(const ChaosParams& params) {
+  ChaosOutcome outcome;
+  const NemesisTopology topology{kGroups, kReplicationFactor, kKeySpace};
+  NemesisOptions options;
+  options.seed = params.seed;
+  options.steps = params.steps;
+  FaultSchedule schedule = generate_schedule(options, topology);
+  outcome.schedule = schedule.describe();
+
+  auto fail = [&outcome](std::string why) {
+    outcome.ok = false;
+    if (outcome.failure.empty()) outcome.failure = std::move(why);
+  };
+
+  HistoryRecorder recorder;
+  Cluster cluster(DistProtocol::kMvtilEarly,
+                  chaos_config(params.transport, &recorder));
+  TransactionalStore& client = cluster.client();
+
+  if (!preload(client, kKeySpace)) {
+    fail("preload never committed");
+    return outcome;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> committed{0};
+  std::atomic<std::uint64_t> ro_committed{0};
+  std::vector<std::thread> workers;
+  // Skewed read/write/RMW clients: the workload stream is a pure
+  // function of (params.seed, c), so a repro replays the same ops.
+  for (std::size_t c = 0; c < kRwClients; ++c) {
+    workers.emplace_back([&, c] {
+      WorkloadConfig wl;
+      wl.key_space = kKeySpace;
+      wl.ops_per_tx = 4;
+      wl.write_fraction = 0.4;
+      wl.rmw_fraction = 0.2;
+      wl.zipf_theta = 0.8;  // contended hot keys
+      wl.seed = params.seed * 1'000'003 + c;
+      WorkloadGenerator gen(wl);
+      const auto process = static_cast<ProcessId>(c + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const TxSpec spec = gen.next_tx();
+        for (int attempt = 0;
+             attempt < 8 && !stop.load(std::memory_order_relaxed);
+             ++attempt) {
+          if (execute_tx(client, spec, process).committed()) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          std::this_thread::sleep_for(1ms);
+        }
+      }
+    });
+  }
+  // Long-running declared-read-only scanner: snapshot reads on the
+  // follower-read path, racing every fault in the schedule.
+  workers.emplace_back([&] {
+    std::uint64_t offset = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      TxSpec spec;
+      for (std::uint64_t i = 0; i < 16; ++i) {
+        spec.push_back(
+            Op{Op::Kind::kRead, make_key((offset + i) % kKeySpace), {}});
+      }
+      offset += 16;
+      if (execute_tx(client, spec, /*process=*/40, /*critical=*/false,
+                     /*declare_read_only=*/true)
+              .committed()) {
+        ro_committed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::this_thread::sleep_for(1ms);
+      }
+    }
+  });
+
+  // The workload must be established before faults land, or "commits
+  // resumed" after the schedule proves nothing.
+  const auto warmup_deadline = std::chrono::steady_clock::now() + 5s;
+  while (committed.load() == 0 &&
+         std::chrono::steady_clock::now() < warmup_deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  if (committed.load() == 0) fail("workload never got going");
+
+  Nemesis nemesis(cluster, schedule);
+  outcome.report = nemesis.run();
+
+  // Healed now: commits must resume, proving the cluster survived.
+  if (!Nemesis::await_leaders(cluster, 10s)) {
+    fail("no sealed leader after heal");
+  }
+  const std::uint64_t at_heal = committed.load();
+  const auto resume_deadline = std::chrono::steady_clock::now() + 15s;
+  while (committed.load() < at_heal + 20 &&
+         std::chrono::steady_clock::now() < resume_deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  if (committed.load() < at_heal + 20) {
+    fail("commits did not resume after the final heal");
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  outcome.committed = committed.load();
+  outcome.ro_committed = ro_committed.load();
+
+  // Invariant probes + the MVSG oracle over the whole recorded history.
+  const ::testing::AssertionResult durable =
+      oracle::read_everything(client, kKeySpace, /*process=*/91);
+  if (!durable) fail(durable.message());
+  const ::testing::AssertionResult exact =
+      leaders_hold_exactly(cluster, kKeySpace);
+  if (!exact) fail(exact.message());
+  const std::vector<TxRecord> history = recorder.finished();
+  const ::testing::AssertionResult serializable = oracle::check_serializable(
+      history, dist_store_name(DistProtocol::kMvtilEarly, kGroups,
+                               kReplicationFactor));
+  if (!serializable) {
+    fail(serializable.message());
+    // Post-mortem aid: MVTL_CHAOS_DUMP=/path dumps the full recorded
+    // history, so a cycle's transactions can be inspected record by
+    // record.
+    if (const char* path = std::getenv("MVTL_CHAOS_DUMP")) {
+      if (std::FILE* f = std::fopen(path, "w")) {
+        for (const TxRecord& r : history) {
+          std::fprintf(f, "tx %llu %s @%s |",
+                       static_cast<unsigned long long>(r.id),
+                       r.committed ? "committed" : "aborted",
+                       r.commit_ts.to_string().c_str());
+          for (const ReadEvent& e : r.reads) {
+            std::fprintf(f, " r(%s@%s by %llu)", e.key.c_str(),
+                         e.version_ts.to_string().c_str(),
+                         static_cast<unsigned long long>(e.version_writer));
+          }
+          for (const Key& k : r.writes) std::fprintf(f, " w(%s)", k.c_str());
+          std::fprintf(f, "\n");
+        }
+        std::fclose(f);
+      }
+    }
+  }
+
+  // Fault-injection evidence: the run must have actually hurt.
+  outcome.dropped = cluster.net().dropped();
+  const obs::MetricsSnapshot metrics = cluster.merged_metrics();
+  const auto takeovers = metrics.counters.find("repl.takeovers");
+  outcome.takeovers =
+      takeovers == metrics.counters.end() ? 0 : takeovers->second;
+  if (params.transport == TransportKind::kSim && outcome.dropped == 0) {
+    fail("no messages dropped — sim fault injection did not happen");
+  }
+  if (outcome.report.crashes > 0 && outcome.takeovers == 0) {
+    fail("leaders crashed but no takeover was recorded");
+  }
+  return outcome;
+}
+
+/// Scenario wrapper shared by the gtest cases: asserts the outcome and
+/// prints the repro command + schedule on failure.
+void expect_chaos_passes(const ChaosParams& params) {
+  const ChaosOutcome outcome = run_chaos(params);
+  EXPECT_TRUE(outcome.ok)
+      << outcome.failure << "\nrepro: " << repro_command(params) << "\n"
+      << outcome.schedule << "nemesis log:\n"
+      << outcome.report.log;
+}
+
+TEST(ChaosScheduleTest, SameSeedSameSchedule) {
+  const NemesisTopology topology{kGroups, kReplicationFactor, kKeySpace};
+  NemesisOptions options;
+  options.seed = 42;
+  const FaultSchedule a = generate_schedule(options, topology);
+  const FaultSchedule b = generate_schedule(options, topology);
+  EXPECT_EQ(a.describe(), b.describe());  // byte-identical
+  options.seed = 43;
+  EXPECT_NE(a.describe(), generate_schedule(options, topology).describe());
+}
+
+TEST(ChaosScheduleTest, GuaranteedInjectionActions) {
+  const NemesisTopology topology{kGroups, kReplicationFactor, kKeySpace};
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    NemesisOptions options;
+    options.seed = seed;
+    const FaultSchedule schedule = generate_schedule(options, topology);
+    ASSERT_GE(schedule.actions.size(), 3u);
+    EXPECT_EQ(schedule.actions.front().kind, FaultKind::kDropNext);
+    EXPECT_EQ(schedule.actions.back().kind, FaultKind::kHeal);
+    bool crash = false;
+    for (const FaultAction& action : schedule.actions) {
+      crash |= action.kind == FaultKind::kCrashLeader;
+    }
+    EXPECT_TRUE(crash) << "seed " << seed << " schedules no leader crash";
+  }
+}
+
+TEST(ChaosScheduleTest, DegenerateTopologiesStayValid) {
+  // rf 1, one group, tiny key space: no partitions between one server's
+  // endpoints, no crashes (majority rule), no migrations — but still a
+  // valid drop/heal schedule.
+  NemesisOptions options;
+  options.seed = 7;
+  const FaultSchedule schedule =
+      generate_schedule(options, NemesisTopology{1, 1, 4});
+  EXPECT_EQ(schedule.actions.front().kind, FaultKind::kDropNext);
+  for (const FaultAction& action : schedule.actions) {
+    EXPECT_NE(action.kind, FaultKind::kCrashLeader);
+    EXPECT_NE(action.kind, FaultKind::kMigrate);
+    EXPECT_NE(action.kind, FaultKind::kPartition);
+  }
+}
+
+class ChaosSimTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSimTest, SeedSurvivesAndCertifies) {
+  ChaosParams params;
+  params.seed = GetParam();
+  params.transport = TransportKind::kSim;
+  expect_chaos_passes(params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSimTest, ::testing::Values(1, 2, 3));
+
+TEST(ChaosTcpTest, SeedOneSurvivesOverTcp) {
+  // Same schedule bytes as sim seed 1; sim-only faults degrade to their
+  // crash/heal equivalents, so the run still injects real faults.
+  ChaosParams params;
+  params.seed = 1;
+  params.transport = TransportKind::kTcp;
+  expect_chaos_passes(params);
+}
+
+TEST(ChaosDeterminismTest, SameSeedSameScheduleAndVerdict) {
+  ChaosParams params;
+  params.seed = 5;
+  const ChaosOutcome first = run_chaos(params);
+  const ChaosOutcome second = run_chaos(params);
+  EXPECT_EQ(first.schedule, second.schedule);  // byte-identical plan
+  EXPECT_EQ(first.ok, second.ok) << first.failure << second.failure;
+  EXPECT_TRUE(first.ok) << first.failure << "\nrepro: "
+                        << repro_command(params) << "\n" << first.schedule;
+}
+
+}  // namespace
+
+/// Repro mode: `chaos_test --seed=N [--transport=sim|tcp] [--steps=K]`
+/// runs exactly one scenario and prints the schedule, the nemesis log
+/// and the verdict. Exit 0 iff the oracle passed. Without --seed, the
+/// binary is a normal gtest runner.
+int chaos_repro_main(const ChaosParams& params) {
+  const ChaosOutcome outcome = run_chaos(params);
+  std::printf("%s\n%s", repro_command(params).c_str(),
+              outcome.schedule.c_str());
+  std::printf("nemesis log:\n%scommitted=%llu ro_committed=%llu "
+              "dropped=%llu takeovers=%llu crashes=%zu applied=%zu "
+              "degraded=%zu skipped=%zu epochs=%zu\n",
+              outcome.report.log.c_str(),
+              static_cast<unsigned long long>(outcome.committed),
+              static_cast<unsigned long long>(outcome.ro_committed),
+              static_cast<unsigned long long>(outcome.dropped),
+              static_cast<unsigned long long>(outcome.takeovers),
+              outcome.report.crashes, outcome.report.applied,
+              outcome.report.degraded, outcome.report.skipped,
+              outcome.report.epochs_advanced);
+  if (!outcome.ok) {
+    std::printf("FAIL: %s\nrepro: %s\n", outcome.failure.c_str(),
+                repro_command(params).c_str());
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
+}  // namespace mvtl
+
+int main(int argc, char** argv) {
+  mvtl::ChaosParams params;
+  bool repro = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      params.seed = std::strtoull(arg + 7, nullptr, 10);
+      repro = true;
+    } else if (std::strcmp(arg, "--transport=tcp") == 0) {
+      params.transport = mvtl::TransportKind::kTcp;
+    } else if (std::strcmp(arg, "--transport=sim") == 0) {
+      params.transport = mvtl::TransportKind::kSim;
+    } else if (std::strncmp(arg, "--steps=", 8) == 0) {
+      params.steps = std::strtoull(arg + 8, nullptr, 10);
+    }
+  }
+  if (repro) return mvtl::chaos_repro_main(params);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -11,7 +11,7 @@
 #include "dist/cluster.hpp"
 #include "sync/clock.hpp"
 #include "txbench/driver.hpp"
-#include "verify/mvsg.hpp"
+#include "verify/mvsg_oracle.hpp"
 
 namespace mvtl {
 namespace {
@@ -55,13 +55,8 @@ TEST_P(ClusterSerializabilityTest, HistoryIsSerializable) {
 
   EXPECT_GT(result.committed, 0u);
 
-  const std::vector<TxRecord> records = recorder.finished();
-  const CheckReport mvsg = MvsgChecker::check_acyclic(records);
-  EXPECT_TRUE(mvsg.serializable)
-      << dist_store_name(protocol, 3) << ": " << mvsg.violation;
-  const CheckReport order = MvsgChecker::check_timestamp_order(records);
-  EXPECT_TRUE(order.serializable)
-      << dist_store_name(protocol, 3) << ": " << order.violation;
+  EXPECT_TRUE(oracle::check_serializable(recorder.finished(),
+                                         dist_store_name(protocol, 3)));
 }
 
 INSTANTIATE_TEST_SUITE_P(

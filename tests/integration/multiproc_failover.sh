@@ -46,11 +46,27 @@ nprocs=$(pgrep -fc "mvtl_shard_server --config=$run_dir/cluster.conf")
 echo "cluster is $nprocs OS processes"
 [ "$nprocs" -eq 6 ] || { echo "expected 6 server processes" >&2; exit 1; }
 
+ctl="$build_dir/tools/mvtl_ctl"
+
 "$build_dir/examples/distributed_store" \
   --connect="$run_dir/cluster.conf" --seconds=6 --verify &
 client=$!
 
-sleep 2.5
+# Kill the leader only once client traffic is provably flowing — at
+# least 100 op batches served — instead of sleeping a fixed amount:
+# a fixed sleep undershoots on loaded CI machines (kill lands after the
+# client already finished) and overshoots on fast ones. Bounded: after
+# 20s the kill proceeds regardless so a wedged client still fails the
+# final-quarter commit check rather than hanging the test.
+SECONDS=0
+until "$ctl" --config="$run_dir/cluster.conf" metrics --json 2>/dev/null \
+    | grep -Eq '"rpc\.op_batch\.latency_us":\{"count":[1-9][0-9]{2,}'; do
+  if [ "$SECONDS" -ge 20 ]; then
+    echo "no sustained client traffic within ${SECONDS}s; killing anyway" >&2
+    break
+  fi
+  sleep 0.1
+done
 "$launcher" kill-leader "$run_dir/cluster.conf" "$build_dir" "$run_dir" 0
 
 if ! wait "$client"; then
@@ -61,7 +77,6 @@ fi
 
 # Observability over the post-failover cluster. The metrics scrape lands
 # in the build dir so CI can upload it next to the bench JSON artifacts.
-ctl="$build_dir/tools/mvtl_ctl"
 metrics_json="$build_dir/MULTIPROC_metrics.json"
 "$ctl" --config="$run_dir/cluster.conf" metrics --json > "$metrics_json"
 

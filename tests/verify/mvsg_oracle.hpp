@@ -1,0 +1,83 @@
+// The MVSG serializability oracle, as reusable test helpers.
+//
+// Every end-to-end suite that hammers a store and then certifies the
+// recorded history (cluster serializability, failover, chaos) runs the
+// same two checks — MVSG acyclicity and direct timestamp order — and the
+// fault suites add the same durability probe (read every key through
+// fresh transactions, so a lost acknowledged commit surfaces as a
+// timestamp-order violation). This header is that shared oracle; the
+// hand-built-history unit tests (mvsg_test.cpp) use its record builders.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/transactional_store.hpp"
+#include "txbench/driver.hpp"
+#include "txbench/workload.hpp"
+#include "verify/mvsg.hpp"
+
+namespace mvtl::oracle {
+
+/// A committed TxRecord skeleton (id + commit timestamp); tests attach
+/// reads/writes to taste.
+inline TxRecord committed(TxId id, Timestamp commit_ts) {
+  TxRecord rec;
+  rec.id = id;
+  rec.committed = true;
+  rec.commit_ts = commit_ts;
+  return rec;
+}
+
+/// Runs both serializability checks over a recorded history: MVSG
+/// acyclicity (Theorem 1's machine-checkable form) and the stricter
+/// direct timestamp order. `label` names the store in the failure text.
+inline ::testing::AssertionResult check_serializable(
+    const std::vector<TxRecord>& records, const std::string& label) {
+  const CheckReport mvsg = MvsgChecker::check_acyclic(records);
+  if (!mvsg.serializable) {
+    return ::testing::AssertionFailure()
+           << label << ": MVSG cycle: " << mvsg.violation;
+  }
+  const CheckReport order = MvsgChecker::check_timestamp_order(records);
+  if (!order.serializable) {
+    return ::testing::AssertionFailure()
+           << label << ": timestamp order: " << order.violation;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Durability probe: reads every key of [0, key_space) through fresh
+/// committed transactions, in batches, retrying each batch until it
+/// commits or `attempts` runs out. After a failover/migration, a lost
+/// acknowledged commit makes these reads return an older version with
+/// the lost commit recorded in between — a timestamp-order violation
+/// check_serializable then reports. Returns false iff a batch never
+/// committed (the cluster did not recover).
+inline ::testing::AssertionResult read_everything(
+    TransactionalStore& client, std::uint64_t key_space, ProcessId process,
+    std::uint64_t batch = 8, int attempts = 50) {
+  for (std::uint64_t k = 0; k < key_space; k += batch) {
+    TxSpec spec;
+    for (std::uint64_t i = k; i < k + batch && i < key_space; ++i) {
+      spec.push_back(Op{Op::Kind::kRead, make_key(i), {}});
+    }
+    bool ok = false;
+    for (int attempt = 0; attempt < attempts && !ok; ++attempt) {
+      ok = execute_tx(client, spec, process).committed();
+      if (!ok) std::this_thread::sleep_for(std::chrono::milliseconds{2});
+    }
+    if (!ok) {
+      return ::testing::AssertionFailure()
+             << "verification read of keys [" << k << "," << k + batch
+             << ") never committed";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace mvtl::oracle

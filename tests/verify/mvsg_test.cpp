@@ -5,18 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include "verify/mvsg_oracle.hpp"
+
 namespace mvtl {
 namespace {
 
-Timestamp ts(std::uint64_t raw) { return Timestamp{raw}; }
+using oracle::committed;
 
-TxRecord committed(TxId id, Timestamp commit_ts) {
-  TxRecord rec;
-  rec.id = id;
-  rec.committed = true;
-  rec.commit_ts = commit_ts;
-  return rec;
-}
+Timestamp ts(std::uint64_t raw) { return Timestamp{raw}; }
 
 TEST(MvsgCheckerTest, EmptyHistoryIsSerializable) {
   EXPECT_TRUE(MvsgChecker::check_acyclic({}).serializable);
@@ -154,6 +150,27 @@ TEST(HistoryRecorderTest, CountsAndSnapshot) {
       EXPECT_EQ(r.abort_reason, AbortReason::kLockTimeout);
     }
   }
+}
+
+TEST(MvsgOracleTest, CheckSerializableFlagsPlantedViolations) {
+  // The combined oracle entry the end-to-end suites call must catch both
+  // check classes, or green chaos runs would mean nothing.
+  TxRecord t1 = committed(1, ts(10));
+  t1.writes = {"x"};
+  TxRecord t2 = committed(2, ts(20));
+  t2.writes = {"x"};
+  TxRecord stale = committed(3, ts(30));
+  stale.reads = {ReadEvent{"x", ts(10), 1}};  // skipped t2's version
+  EXPECT_FALSE(oracle::check_serializable({t1, t2, stale}, "planted"));
+  EXPECT_TRUE(oracle::check_serializable({t1, t2}, "clean"));
+
+  TxRecord a = committed(4, ts(40));
+  a.reads = {ReadEvent{"b", ts(50), 5}};
+  a.writes = {"a"};
+  TxRecord b = committed(5, ts(50));
+  b.reads = {ReadEvent{"a", ts(40), 4}};
+  b.writes = {"b"};
+  EXPECT_FALSE(oracle::check_serializable({a, b}, "cycle"));
 }
 
 TEST(AbortReasonTest, NamesAreStable) {
