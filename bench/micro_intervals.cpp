@@ -3,6 +3,8 @@
 // intersection (Algorithm 1 line 13).
 #include <benchmark/benchmark.h>
 
+#include "micro_main.hpp"
+
 #include "common/interval_set.hpp"
 #include "common/rng.hpp"
 
@@ -88,4 +90,4 @@ BENCHMARK(BM_CommitIntersection)->Arg(8)->Arg(20)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MVTL_MICRO_MAIN("micro_intervals")

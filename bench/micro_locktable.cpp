@@ -3,6 +3,8 @@
 // policy.
 #include <benchmark/benchmark.h>
 
+#include "micro_main.hpp"
+
 #include "storage/lock_ops.hpp"
 #include "storage/store.hpp"
 
@@ -106,6 +108,24 @@ void BM_ConcurrentReaders(benchmark::State& state) {
 }
 BENCHMARK(BM_ConcurrentReaders)->Threads(1)->Threads(4)->Threads(8);
 
+void BM_StoreKeyState(benchmark::State& state) {
+  // Hot-key lookup through the RCU-published store index: one hash,
+  // no locks, shared by all threads.
+  static Store* store = nullptr;
+  if (state.thread_index() == 0) {
+    store = new Store();
+    for (int i = 0; i < 1024; ++i) {
+      store->key_state("key-" + std::to_string(i));
+    }
+  }
+  std::uint64_t i = static_cast<std::uint64_t>(state.thread_index()) * 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store->key_state("key-" + std::to_string(i++ % 1024)));
+  }
+}
+BENCHMARK(BM_StoreKeyState)->Threads(1)->Threads(4)->Threads(8);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+MVTL_MICRO_MAIN("micro_locktable")

@@ -1,0 +1,121 @@
+// Shared main() for the micro_* benchmarks.
+//
+// Adds a `--json=PATH` flag on top of the stock google-benchmark
+// driver: besides the usual console table, every per-iteration run is
+// appended to PATH as one JSON object per row, in the flat schema the
+// committed BENCH_micro.json baseline and scripts/perf_smoke consume:
+//
+//   [
+//     {"bench": "micro_versions", "name": "BM_LatestBefore/64",
+//      "ns_per_op": 49.1, "items_per_second": 0.0},
+//     ...
+//   ]
+//
+// Include this header once, at the end of the benchmark TU, in place
+// of BENCHMARK_MAIN().
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace mvtl::bench {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Console output as usual, plus one flat JSON row per run.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  JsonTeeReporter(std::string bench_name, std::ostream& json_out)
+      : bench_name_(std::move(bench_name)), json_(json_out) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      // GetAdjustedRealTime is per-iteration in the run's time unit;
+      // normalize to nanoseconds so every row is comparable.
+      double ns = run.GetAdjustedRealTime();
+      switch (run.time_unit) {
+        case benchmark::kSecond:
+          ns *= 1e9;
+          break;
+        case benchmark::kMillisecond:
+          ns *= 1e6;
+          break;
+        case benchmark::kMicrosecond:
+          ns *= 1e3;
+          break;
+        default:
+          break;
+      }
+      double items_per_second = 0.0;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) items_per_second = it->second.value;
+      json_ << (first_ ? "" : ",\n") << "  {\"bench\": \""
+            << json_escape(bench_name_) << "\", \"name\": \""
+            << json_escape(run.benchmark_name()) << "\", \"threads\": "
+            << run.threads << ", \"ns_per_op\": " << ns
+            << ", \"items_per_second\": " << items_per_second << "}";
+      first_ = false;
+    }
+  }
+
+ private:
+  const std::string bench_name_;
+  std::ostream& json_;
+  bool first_ = true;
+};
+
+inline int micro_main(const char* bench_name, int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    json << "[\n";
+    JsonTeeReporter reporter(bench_name, json);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    json << "\n]\n";
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mvtl::bench
+
+#define MVTL_MICRO_MAIN(bench_name)                        \
+  int main(int argc, char** argv) {                        \
+    return mvtl::bench::micro_main(bench_name, argc, argv); \
+  }

@@ -1,34 +1,69 @@
 // Microbenchmark: per-key version chains — resolution and purge costs.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "common/rng.hpp"
+#include "micro_main.hpp"
 #include "storage/version_chain.hpp"
 
 namespace {
 
 using namespace mvtl;
 
-VersionChain make_chain(std::size_t versions) {
-  VersionChain chain;
+void fill_chain(VersionChain& chain, std::size_t versions) {
   for (std::size_t i = 0; i < versions; ++i) {
     chain.install(Timestamp{10 + i * 10}, "value", i + 1);
   }
-  return chain;
 }
 
 void BM_LatestBefore(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  const VersionChain chain = make_chain(n);
+  VersionChain chain;
+  fill_chain(chain, n);
   Rng rng(3);
+  ebr::Guard g;
   for (auto _ : state) {
     const Timestamp bound{rng.next_below(n * 10 + 20)};
-    benchmark::DoNotOptimize(chain.latest_before(bound));
+    benchmark::DoNotOptimize(chain.latest_before(bound, g));
   }
 }
 BENCHMARK(BM_LatestBefore)->Arg(4)->Arg(64)->Arg(4096);
 
+void BM_ResolveAt(benchmark::State& state) {
+  // The snapshot-read hot path: purge-safety check + resolution in one
+  // seqlock read section.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VersionChain chain;
+  fill_chain(chain, n);
+  Rng rng(3);
+  ebr::Guard g;
+  for (auto _ : state) {
+    const Timestamp bound{rng.next_below(n * 10 + 20) + 1};
+    benchmark::DoNotOptimize(chain.resolve_at(bound, g));
+  }
+}
+BENCHMARK(BM_ResolveAt)->Arg(4)->Arg(64)->Arg(4096);
+
+void BM_ConcurrentResolve(benchmark::State& state) {
+  // Shared readers resolving against one chain — seqlock reads write no
+  // shared cache line, so this should scale near-linearly.
+  static VersionChain* chain = nullptr;
+  if (state.thread_index() == 0) {
+    chain = new VersionChain();
+    fill_chain(*chain, 64);
+  }
+  Rng rng(3 + static_cast<std::uint64_t>(state.thread_index()));
+  ebr::Guard g;
+  for (auto _ : state) {
+    const Timestamp bound{rng.next_below(64 * 10 + 20) + 1};
+    benchmark::DoNotOptimize(chain->resolve_at(bound, g));
+  }
+}
+BENCHMARK(BM_ConcurrentResolve)->Threads(1)->Threads(4)->Threads(8);
+
 void BM_InstallAppend(benchmark::State& state) {
-  // The common case: versions arrive in timestamp order.
+  // The common case: versions arrive in timestamp order and fit inline.
   for (auto _ : state) {
     state.PauseTiming();
     VersionChain chain;
@@ -36,17 +71,34 @@ void BM_InstallAppend(benchmark::State& state) {
     for (std::uint64_t i = 0; i < 256; ++i) {
       chain.install(Timestamp{10 + i * 10}, "v", i + 1);
     }
-    benchmark::DoNotOptimize(chain);
+    benchmark::DoNotOptimize(chain.version_count());
   }
   state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_InstallAppend);
 
+void BM_InstallAppendLargeValue(benchmark::State& state) {
+  // Values past the inline cap exercise the pooled heap path.
+  const std::string value(120, 'x');
+  for (auto _ : state) {
+    state.PauseTiming();
+    VersionChain chain;
+    state.ResumeTiming();
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      chain.install(Timestamp{10 + i * 10}, value, i + 1);
+    }
+    benchmark::DoNotOptimize(chain.version_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_InstallAppendLargeValue);
+
 void BM_PurgeBelow(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     state.PauseTiming();
-    VersionChain chain = make_chain(n);
+    VersionChain chain;
+    fill_chain(chain, n);
     state.ResumeTiming();
     benchmark::DoNotOptimize(chain.purge_below(Timestamp{n * 10}));
   }
@@ -55,4 +107,4 @@ BENCHMARK(BM_PurgeBelow)->Arg(64)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MVTL_MICRO_MAIN("micro_versions")

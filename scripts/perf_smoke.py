@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against the committed baseline.
+
+Warns (GitHub ::warning:: annotations) on >20% regressions and always
+exits 0 — CI runners are too noisy for a hard perf gate, but the
+warning keeps regressions visible in the checks UI.
+
+Two row schemas are auto-detected:
+  * micro rows ({"bench", "name", "threads", "ns_per_op", ...}):
+    regression = fresh ns_per_op more than 1.2x the baseline.
+  * figure rows ({"figure", "protocol", "x", "tps", ...}):
+    regression = fresh tps below 0.8x the baseline.
+
+Committed baselines may tag rows with "phase" ("pre"/"post"); only
+"post" rows — the tuned numbers — are compared. Fresh CI output has no
+phase tag and is used as-is.
+
+Usage: perf_smoke.py --baseline FILE --fresh FILE [--label NAME]
+"""
+
+import argparse
+import json
+import sys
+
+THRESHOLD = 0.20
+
+
+def row_key_and_metric(row):
+    """Returns ((identity...), metric_name, value, higher_is_better)."""
+    if "ns_per_op" in row:
+        key = (row.get("bench", ""), row["name"], row.get("threads", 1))
+        return key, "ns_per_op", float(row["ns_per_op"]), False
+    if "tps" in row:
+        key = (row.get("figure", ""), row.get("protocol", ""), row.get("x"))
+        return key, "tps", float(row["tps"]), True
+    return None, None, None, None
+
+
+def load(path, baseline):
+    rows = {}
+    with open(path) as f:
+        data = json.load(f)
+    for row in data:
+        if baseline and row.get("phase", "post") != "post":
+            continue
+        key, metric, value, higher = row_key_and_metric(row)
+        if key is not None:
+            rows[key] = (metric, value, higher)
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--fresh", required=True)
+    ap.add_argument("--label", default="")
+    args = ap.parse_args()
+
+    base = load(args.baseline, baseline=True)
+    fresh = load(args.fresh, baseline=False)
+    label = args.label or args.fresh
+
+    regressions = 0
+    compared = 0
+    for key, (metric, base_val, higher) in sorted(base.items()):
+        if key not in fresh or base_val <= 0:
+            continue
+        compared += 1
+        fresh_val = fresh[key][1]
+        ratio = fresh_val / base_val
+        regressed = (
+            ratio < 1 - THRESHOLD if higher else ratio > 1 + THRESHOLD
+        )
+        name = "/".join(str(k) for k in key if k not in ("", None))
+        direction = "down" if higher else "up"
+        if regressed:
+            regressions += 1
+            print(
+                f"::warning title=perf regression ({label})::{name} "
+                f"{metric} {direction} {abs(ratio - 1):.0%} "
+                f"({base_val:.4g} -> {fresh_val:.4g})"
+            )
+        else:
+            print(f"ok   {name}: {metric} {base_val:.4g} -> {fresh_val:.4g}")
+
+    print(
+        f"perf_smoke [{label}]: {compared} rows compared, "
+        f"{regressions} regressed > {THRESHOLD:.0%} (advisory only)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

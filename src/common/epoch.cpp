@@ -1,0 +1,157 @@
+#include "common/epoch.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/spinlock.hpp"
+
+namespace mvtl::ebr {
+
+/// Thread-local collector handle. Claims a slot lazily; on thread exit
+/// the destructor unpins, orphans leftover garbage, and frees the slot.
+struct LocalState {
+  Collector::Slot* slot = nullptr;
+  int depth = 0;
+  std::vector<Collector::Retired> retired;
+
+  ~LocalState() {
+    if (slot != nullptr) {
+      Collector::instance().unregister_thread(*this);
+    }
+  }
+};
+
+Collector& Collector::instance() {
+  // Leaky: constructed on first use, never destroyed.
+  static Collector* c = new Collector();
+  return *c;
+}
+
+LocalState& Collector::local() {
+  thread_local LocalState ls;
+  if (ls.slot == nullptr) register_thread(ls);
+  return ls;
+}
+
+void Collector::register_thread(LocalState& ls) {
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (slots_[i].claimed.compare_exchange_strong(expected, true,
+                                                  std::memory_order_acq_rel)) {
+      ls.slot = &slots_[i];
+      std::size_t hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_acq_rel)) {
+      }
+      return;
+    }
+  }
+  std::fprintf(stderr, "ebr: more than %zu concurrent threads\n", kMaxThreads);
+  std::abort();
+}
+
+void Collector::unregister_thread(LocalState& ls) {
+  ls.slot->state.store(0, std::memory_order_release);
+  if (!ls.retired.empty()) {
+    std::lock_guard guard(orphans_mu_);
+    orphans_.insert(orphans_.end(), ls.retired.begin(), ls.retired.end());
+    ls.retired.clear();
+  }
+  ls.slot->claimed.store(false, std::memory_order_release);
+  ls.slot = nullptr;
+}
+
+void Collector::pin(LocalState& ls) {
+  std::uint64_t e = global_.load(std::memory_order_relaxed);
+  for (;;) {
+    ls.slot->state.store((e << 1) | 1, std::memory_order_relaxed);
+    // Publish our pin before re-reading the global epoch: either the
+    // epoch did not move (we are pinned at the current epoch), or we
+    // retry at the newer one. Paired with the fence in try_advance().
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::uint64_t g = global_.load(std::memory_order_relaxed);
+    if (g == e) return;
+    e = g;
+  }
+}
+
+void Collector::unpin(LocalState& ls) {
+  ls.slot->state.store(0, std::memory_order_release);
+}
+
+bool Collector::try_advance() {
+  const std::uint64_t g = global_.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::size_t n = high_water_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Acquire: reading an UNPINNED state must synchronize with that
+    // reader's release-store in unpin(), so everything the reader did
+    // inside its critical section happens-before the frees this advance
+    // enables. (crossbeam places an acquire fence after this scan; an
+    // acquire load per slot is the fence-free equivalent.)
+    const std::uint64_t s = slots_[i].state.load(std::memory_order_acquire);
+    if ((s & 1) != 0 && (s >> 1) != g) return false;
+  }
+  std::uint64_t expected = g;
+  global_.compare_exchange_strong(expected, g + 1,
+                                  std::memory_order_acq_rel);
+  return true;  // advanced, or someone else advanced concurrently
+}
+
+void Collector::collect_list(std::vector<Retired>& list) {
+  if (list.empty()) return;
+  const std::uint64_t g = global_.load(std::memory_order_acquire);
+  std::size_t kept = 0;
+  for (Retired& r : list) {
+    if (r.epoch + 2 <= g) {
+      r.deleter(r.p);
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      list[kept++] = r;
+    }
+  }
+  list.resize(kept);
+}
+
+void Collector::collect(LocalState& ls) {
+  try_advance();
+  collect_list(ls.retired);
+  // Opportunistically drain orphaned garbage from exited threads.
+  if (orphans_mu_.try_lock()) {
+    collect_list(orphans_);
+    orphans_mu_.unlock();
+  }
+}
+
+void Collector::retire(void* p, void (*deleter)(void*)) {
+  LocalState& ls = local();
+  ls.retired.push_back(
+      Retired{p, deleter, global_.load(std::memory_order_acquire)});
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (ls.retired.size() >= kCollectThreshold) collect(ls);
+}
+
+bool Collector::drain_for_testing(int max_rounds) {
+  LocalState& ls = local();
+  for (int i = 0; i < max_rounds; ++i) {
+    try_advance();
+    collect_list(ls.retired);
+    {
+      std::lock_guard guard(orphans_mu_);
+      collect_list(orphans_);
+    }
+    if (approx_pending() == 0) return true;
+  }
+  return approx_pending() == 0;
+}
+
+Guard::Guard() : ls_(Collector::instance().local()) {
+  if (ls_.depth++ == 0) Collector::instance().pin(ls_);
+}
+
+Guard::~Guard() {
+  if (--ls_.depth == 0) Collector::instance().unpin(ls_);
+}
+
+}  // namespace mvtl::ebr

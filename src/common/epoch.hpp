@@ -1,0 +1,137 @@
+// Epoch-based reclamation (EBR) for the lock-free storage hot path.
+//
+// The store index and version chains publish immutable snapshots through
+// atomic pointers; readers dereference them without taking any lock.
+// Replacing a snapshot therefore cannot free the old one immediately — a
+// reader may still be walking it. Instead the writer *retires* it here,
+// and the collector frees it two epoch advances later, once every thread
+// that could have observed the old pointer has exited its read-side
+// critical section.
+//
+// Protocol (the classic three-epoch scheme, cf. crossbeam/folly):
+//   * Readers wrap lock-free accesses in an `ebr::Guard`, which pins the
+//     thread to the current global epoch (slot store + seq_cst fence).
+//   * `retire(p)` stamps `p` with the current global epoch `e` and queues
+//     it on a per-thread list.
+//   * The global epoch advances from `g` to `g+1` only when every pinned
+//     thread is pinned at `g`, so pinned threads always sit at `g` or
+//     `g-1`. An object retired at `e` was unlinked no later than `e`;
+//     once the global epoch reaches `e + 2`, no thread pinned at `e` or
+//     earlier remains, so nobody can still hold a reference. Free it.
+//
+// Threads that exit hand their unreclaimed retirements to a global
+// orphan list drained by later collections. The collector itself is a
+// leaky singleton: it is never destroyed, so thread exit during static
+// destruction stays safe and everything remains reachable for LSan.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mvtl::ebr {
+
+class Guard;
+struct LocalState;
+
+class Collector {
+ public:
+  /// Maximum concurrently registered threads (slots are claimed on a
+  /// thread's first Guard/retire and released at thread exit).
+  static constexpr std::size_t kMaxThreads = 512;
+
+  /// Per-thread retirements accumulated before a collection attempt.
+  static constexpr std::size_t kCollectThreshold = 64;
+
+  static Collector& instance();
+
+  /// Queues `p` for deletion after a grace period. Thread-safe.
+  void retire(void* p, void (*deleter)(void*));
+
+  std::uint64_t global_epoch() const {
+    return global_.load(std::memory_order_acquire);
+  }
+
+  /// Retired-but-not-yet-freed objects (approximate; for tests/metrics).
+  std::size_t approx_pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+  /// Repeatedly advances the epoch and collects until nothing is pending
+  /// or `max_rounds` passes. Only meaningful when no other thread holds a
+  /// Guard. Returns true when all garbage was reclaimed.
+  bool drain_for_testing(int max_rounds = 64);
+
+ private:
+  friend class Guard;
+  friend struct LocalState;
+
+  struct alignas(64) Slot {
+    /// 0 = unpinned, else (epoch << 1) | 1.
+    std::atomic<std::uint64_t> state{0};
+    std::atomic<bool> claimed{false};
+  };
+
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  Collector() = default;
+  ~Collector() = delete;  // leaky singleton
+
+  LocalState& local();
+  void register_thread(LocalState& ls);
+  void unregister_thread(LocalState& ls);
+  void pin(LocalState& ls);
+  void unpin(LocalState& ls);
+
+  /// Advances the global epoch if every pinned thread sits at it.
+  bool try_advance();
+
+  /// Frees entries of `list` whose epoch + 2 <= global; keeps the rest.
+  void collect_list(std::vector<Retired>& list);
+
+  /// Threshold-triggered: advance, then collect local + some orphans.
+  void collect(LocalState& ls);
+
+  std::atomic<std::uint64_t> global_{1};
+  Slot slots_[kMaxThreads];
+  std::atomic<std::size_t> high_water_{0};  // max claimed slot index + 1
+  std::atomic<std::size_t> pending_{0};
+
+  std::mutex orphans_mu_;
+  std::vector<Retired> orphans_;
+};
+
+/// RAII read-side critical section. Reentrant (nested guards share the
+/// outermost pin). While any Guard is live on a thread, every pointer
+/// loaded from an RCU-published structure stays valid.
+class Guard {
+ public:
+  Guard();
+  ~Guard();
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  LocalState& ls_;
+};
+
+/// Retires `p` for deletion via `delete` after the grace period.
+template <typename T>
+void retire(T* p) {
+  if (p == nullptr) return;
+  Collector::instance().retire(p, [](void* q) { delete static_cast<T*>(q); });
+}
+
+/// Retires `p` with an explicit deleter (for pool-allocated blocks).
+inline void retire(void* p, void (*deleter)(void*)) {
+  if (p == nullptr) return;
+  Collector::instance().retire(p, deleter);
+}
+
+}  // namespace mvtl::ebr

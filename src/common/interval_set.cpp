@@ -66,7 +66,7 @@ void IntervalSet::insert(Interval iv) {
 
 void IntervalSet::subtract(Interval iv) {
   if (iv.is_empty() || intervals_.empty()) return;
-  std::vector<Interval> out;
+  Storage out;
   out.reserve(intervals_.size() + 1);
   for (const Interval& cur : intervals_) {
     if (!cur.overlaps(iv)) {
@@ -104,8 +104,24 @@ IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
 }
 
 IntervalSet IntervalSet::intersect(const Interval& iv) const {
-  IntervalSet other(iv);
-  return intersect(other);
+  // O(log n + k): binary-search the first overlap candidate instead of
+  // scanning the whole set — probes against a long frozen history (the
+  // no-GC policies grow one frozen interval per commit) are on the
+  // per-operation hot path.
+  IntervalSet out;
+  if (iv.is_empty() || intervals_.empty()) return out;
+  for (std::size_t i = lower_bound_index(iv.lo());
+       i < intervals_.size() && intervals_[i].lo() <= iv.hi(); ++i) {
+    const Interval meet = intervals_[i].intersect(iv);
+    if (!meet.is_empty()) out.intervals_.push_back(meet);
+  }
+  return out;
+}
+
+bool IntervalSet::intersects(const Interval& iv) const {
+  if (iv.is_empty() || intervals_.empty()) return false;
+  const std::size_t i = lower_bound_index(iv.lo());
+  return i < intervals_.size() && intervals_[i].lo() <= iv.hi();
 }
 
 IntervalSet IntervalSet::unite(const IntervalSet& other) const {

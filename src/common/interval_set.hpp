@@ -9,9 +9,9 @@
 
 #include <optional>
 #include <string>
-#include <vector>
 
 #include "common/interval.hpp"
+#include "common/small_vec.hpp"
 
 namespace mvtl {
 
@@ -31,7 +31,11 @@ class IntervalSet {
   /// Total number of discrete timestamps covered (saturating).
   Timestamp::Rep cardinality() const;
 
-  const std::vector<Interval>& intervals() const { return intervals_; }
+  /// Inline storage for two intervals: most holdings stay compressed
+  /// to one or two runs (§6), so typical sets never touch the heap.
+  using Storage = SmallVec<Interval, 2>;
+
+  const Storage& intervals() const { return intervals_; }
 
   bool contains(Timestamp t) const;
   bool contains(const Interval& iv) const;
@@ -39,6 +43,9 @@ class IntervalSet {
   /// Smallest / largest covered timestamp; the set must be non-empty.
   Timestamp min() const;
   Timestamp max() const;
+
+  /// Empties the set; retains any heap capacity already acquired.
+  void clear() { intervals_.clear(); }
 
   /// Adds an interval, coalescing with neighbours. No-op for empty input.
   void insert(Interval iv);
@@ -51,6 +58,10 @@ class IntervalSet {
 
   IntervalSet intersect(const IntervalSet& other) const;
   IntervalSet intersect(const Interval& iv) const;
+
+  /// True iff the set shares at least one timestamp with `iv`
+  /// (O(log n); avoids materializing the intersection).
+  bool intersects(const Interval& iv) const;
 
   /// Union of the two sets, as a new value.
   IntervalSet unite(const IntervalSet& other) const;
@@ -74,7 +85,7 @@ class IntervalSet {
   // Index of the first interval whose hi >= t (candidates for containing t).
   std::size_t lower_bound_index(Timestamp t) const;
 
-  std::vector<Interval> intervals_;  // sorted by lo, disjoint, non-adjacent
+  Storage intervals_;  // sorted by lo, disjoint, non-adjacent
 };
 
 }  // namespace mvtl

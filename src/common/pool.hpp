@@ -1,0 +1,95 @@
+// Size-classed block pool for version-chain arrays and large values.
+//
+// Version chains allocate flat slot arrays that are replaced wholesale
+// (grow, purge, migration import) and freed through epoch reclamation.
+// Routing those blocks through power-of-two free lists keeps the
+// malloc/free pair off the install path's steady state: a purge retires a
+// block that the next grow reuses. The pool is deliberately modest —
+// spinlock-guarded free lists with a bounded depth, falling back to the
+// global allocator for oversized or overflowing requests.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/spinlock.hpp"
+
+namespace mvtl::pool {
+
+namespace detail {
+
+constexpr std::size_t kMinClassBytes = 64;
+constexpr std::size_t kMaxClassBytes = 64 * 1024;
+constexpr std::size_t kNumClasses = 11;      // 64B .. 64KiB, powers of two
+constexpr std::size_t kMaxFreePerClass = 256;
+
+struct FreeList {
+  SpinLock mu;
+  std::vector<void*> blocks;
+};
+
+inline FreeList& free_list(std::size_t cls) {
+  // Leaky: never destroyed, so thread-exit and static-destruction order
+  // cannot invalidate it.
+  static std::vector<FreeList>* lists = new std::vector<FreeList>(kNumClasses);
+  return (*lists)[cls];
+}
+
+/// Smallest class index whose block size holds `bytes`, or kNumClasses
+/// when the request is oversized and served by the global allocator.
+inline std::size_t class_for(std::size_t bytes) {
+  std::size_t size = kMinClassBytes;
+  std::size_t cls = 0;
+  while (size < bytes && cls < kNumClasses) {
+    size <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+inline std::size_t class_bytes(std::size_t cls) {
+  return kMinClassBytes << cls;
+}
+
+}  // namespace detail
+
+/// Returns a block of at least `bytes` (suitably aligned for any object).
+inline void* alloc(std::size_t bytes) {
+  const std::size_t cls = detail::class_for(bytes);
+  if (cls >= detail::kNumClasses) {
+    return ::operator new(bytes);
+  }
+  detail::FreeList& fl = detail::free_list(cls);
+  fl.mu.lock();
+  if (!fl.blocks.empty()) {
+    void* p = fl.blocks.back();
+    fl.blocks.pop_back();
+    fl.mu.unlock();
+    return p;
+  }
+  fl.mu.unlock();
+  return ::operator new(detail::class_bytes(cls));
+}
+
+/// Returns a block obtained from alloc(bytes) with the same `bytes`.
+inline void dealloc(void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  const std::size_t cls = detail::class_for(bytes);
+  if (cls >= detail::kNumClasses) {
+    ::operator delete(p);
+    return;
+  }
+  detail::FreeList& fl = detail::free_list(cls);
+  fl.mu.lock();
+  if (fl.blocks.size() < detail::kMaxFreePerClass) {
+    fl.blocks.push_back(p);
+    fl.mu.unlock();
+    return;
+  }
+  fl.mu.unlock();
+  ::operator delete(p);
+}
+
+}  // namespace mvtl::pool

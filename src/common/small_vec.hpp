@@ -1,0 +1,157 @@
+// A vector with inline storage for the first N elements.
+//
+// Interval sets on the lock-table hot path almost always hold one or
+// two intervals (interval compression, §6, keeps holdings dense); a
+// std::vector pays a heap round-trip for every probe result, grant and
+// release. SmallVec keeps small sets entirely inside the owning object
+// and only spills to the heap past N elements.
+//
+// Restricted to trivially copyable element types so growth and
+// insert/erase can memcpy/memmove without destructor bookkeeping.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mvtl {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(N > 0);
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& other) { assign_from(other); }
+
+  SmallVec(SmallVec&& other) noexcept { steal_from(other); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      size_ = 0;
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release_heap();
+      steal_from(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { release_heap(); }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  /// Drops all elements; keeps whatever capacity has been acquired.
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_++] = v;
+  }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    push_back(T(std::forward<Args>(args)...));
+  }
+
+  /// Inserts `v` before `pos`; returns the iterator to the new element.
+  T* insert(const T* pos, const T& v) {
+    const std::size_t idx = static_cast<std::size_t>(pos - data_);
+    if (size_ == capacity_) grow(size_ + 1);
+    std::memmove(data_ + idx + 1, data_ + idx, (size_ - idx) * sizeof(T));
+    data_[idx] = v;
+    ++size_;
+    return data_ + idx;
+  }
+
+  /// Erases [first, last); returns the iterator to the element after.
+  T* erase(const T* first, const T* last) {
+    const std::size_t b = static_cast<std::size_t>(first - data_);
+    const std::size_t e = static_cast<std::size_t>(last - data_);
+    std::memmove(data_ + b, data_ + e, (size_ - e) * sizeof(T));
+    size_ -= e - b;
+    return data_ + b;
+  }
+
+  bool operator==(const SmallVec& other) const {
+    return size_ == other.size_ &&
+           std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  void assign_from(const SmallVec& other) {
+    reserve(other.size_);
+    std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  // Leaves `other` empty and inline. Only valid on a fresh/released
+  // *this (data_ must point at inline_).
+  void steal_from(SmallVec& other) {
+    if (other.data_ != other.inline_storage()) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+    } else {
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    }
+    size_ = other.size_;
+    other.data_ = other.inline_storage();
+    other.capacity_ = N;
+    other.size_ = 0;
+  }
+
+  T* inline_storage() { return reinterpret_cast<T*>(inline_); }
+
+  void release_heap() {
+    if (data_ != inline_storage()) ::operator delete(data_);
+    data_ = inline_storage();
+    capacity_ = N;
+  }
+
+  void grow(std::size_t min_capacity) {
+    const std::size_t new_capacity = std::max(capacity_ * 2, min_capacity);
+    T* bigger = static_cast<T*>(::operator new(new_capacity * sizeof(T)));
+    std::memcpy(bigger, data_, size_ * sizeof(T));
+    if (data_ != inline_storage()) ::operator delete(data_);
+    data_ = bigger;
+    capacity_ = new_capacity;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = inline_storage();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace mvtl

@@ -1,0 +1,34 @@
+// A tiny test-and-set spin lock for leaf critical sections.
+//
+// Used where a full std::mutex is too heavy and the critical section is
+// a handful of instructions: the version-chain writer section and the
+// frozen-lock-state mutation path. Never held across blocking calls.
+#pragma once
+
+#include <atomic>
+
+namespace mvtl {
+
+/// Pause hint for spin loops (PAUSE on x86, YIELD on arm, no-op else).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      cpu_relax();
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace mvtl

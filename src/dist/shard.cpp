@@ -623,7 +623,8 @@ bool ShardServer::finalize_decided(TxId gtx,
     for (const auto& [key, tr] : rec.reads) {
       KeyState& ks = engine_.store().key_state(key);
       std::lock_guard guard(ks.mu);
-      const VersionChain::Version& latest = ks.versions.latest_before(rec.ts);
+      ebr::Guard eg;
+      const VersionView latest = ks.versions.latest_before(rec.ts, eg);
       if (latest.ts > tr && latest.writer != gtx) return false;
     }
   }
@@ -694,18 +695,24 @@ SnapshotReadReply ShardServer::handle_snapshot_read(TxId gtx,
   }
   KeyState& ks = engine_.store().key_state(key);
   {
-    std::lock_guard guard(ks.mu);
-    if (!ks.versions.is_safe_bound(s)) {
+    // Latch-free: a closed-timestamp read needs no per-key latch. The
+    // closed floor guarantees every commit below `s` is already
+    // installed (the floor is published only after applying, with
+    // release/acquire ordering through the group state), and
+    // resolve_at() gives a purge-floor verdict and a version from one
+    // consistent seqlock section.
+    ebr::Guard eg;
+    const VersionChain::Resolved r = ks.versions.resolve_at(s, eg);
+    if (!r.safe) {
       reply.refuse = SnapshotReadReply::Refuse::kPurged;
       return reply;
     }
-    const VersionChain::Version& v = ks.versions.latest_before(s);
     reply.result.ok = true;
-    reply.result.value = v.value;
-    reply.result.version_ts = v.ts;
-    reply.result.version_writer = v.writer;
+    reply.result.value = r.view.to_optional();
+    reply.result.version_ts = r.view.ts;
+    reply.result.version_writer = r.view.writer;
     if (config_.recorder != nullptr) {
-      config_.recorder->record_read(gtx, key, v.ts, v.writer);
+      config_.recorder->record_read(gtx, key, r.view.ts, r.view.writer);
     }
   }
   reply.ok = true;
@@ -833,10 +840,8 @@ std::vector<MigratedKey> ShardServer::handle_export_keys(
     std::lock_guard guard(ks.mu);
     MigratedKey mk;
     mk.key = key;
-    for (const VersionChain::Version& v : ks.versions.versions()) {
-      // Only the ⊥ sentinel carries nullopt and it never sits in the
-      // chain, so *v.value is always present here.
-      mk.versions.push_back({v.ts, *v.value, v.writer});
+    for (VersionChain::Record& v : ks.versions.snapshot()) {
+      mk.versions.push_back({v.ts, std::move(v.value), v.writer});
     }
     // Held locks of drained (finished, never-released) transactions ride
     // along as frozen state — see LockState::migratable_read.

@@ -33,13 +33,34 @@ class WaitScope {
   bool used_ = false;
 };
 
+/// Deadline computed on first use: the uncontended paths never wait, so
+/// they should not pay for Clock::now().
+class LazyDeadline {
+ public:
+  explicit LazyDeadline(std::chrono::microseconds timeout)
+      : timeout_(timeout) {}
+  Clock::time_point get() {
+    if (!armed_) {
+      deadline_ = Clock::now() + timeout_;
+      armed_ = true;
+    }
+    return deadline_;
+  }
+  bool passed() { return Clock::now() >= get(); }
+
+ private:
+  const std::chrono::microseconds timeout_;
+  Clock::time_point deadline_{};
+  bool armed_ = false;
+};
+
 }  // namespace
 
 ReadAcquire acquire_read_upto(KeyState& ks, TxId tx, Timestamp m,
                               const Options& opts) {
   assert(m > Timestamp::min());
   std::unique_lock guard(ks.mu);
-  const auto deadline = Clock::now() + opts.timeout;
+  LazyDeadline deadline(opts.timeout);
 
   ReadAcquire out;
   WaitScope wait_scope(opts.wait_graph, tx);
@@ -48,21 +69,33 @@ ReadAcquire acquire_read_upto(KeyState& ks, TxId tx, Timestamp m,
   bool have_tr = false;
 
   for (;;) {
-    if (!ks.versions.is_safe_bound(m)) {
-      ks.locks.release(tx, LockMode::kRead, held);
-      ks.cv.notify_all();
-      out.outcome = Outcome::kPurged;
-      return out;
+    // The epoch guard pins the chain's published array only for the
+    // resolution itself (views are copied out); it must never be held
+    // across the cv waits below.
+    Timestamp ver_ts;
+    std::optional<Value> ver_value;
+    TxId ver_writer = kInvalidTxId;
+    {
+      ebr::Guard eg;
+      const VersionChain::Resolved r = ks.versions.resolve_at(m, eg);
+      if (!r.safe) {
+        ks.locks.release(tx, LockMode::kRead, held);
+        ks.cv.notify_all();
+        out.outcome = Outcome::kPurged;
+        return out;
+      }
+      ver_ts = r.view.ts;
+      ver_value = r.view.to_optional();
+      ver_writer = r.view.writer;
     }
-    const VersionChain::Version& ver = ks.versions.latest_before(m);
-    if (have_tr && ver.ts != cur_tr) {
+    if (have_tr && ver_ts != cur_tr) {
       // A newer version committed below m: the paper's "release read-locks
       // acquired above" restart.
       ks.locks.release(tx, LockMode::kRead, held);
       ks.cv.notify_all();
       held = IntervalSet{};
     }
-    cur_tr = ver.ts;
+    cur_tr = ver_ts;
     have_tr = true;
 
     const Interval want{cur_tr.next(), m};
@@ -70,7 +103,12 @@ ReadAcquire acquire_read_upto(KeyState& ks, TxId tx, Timestamp m,
     const ProbeResult probe = ks.locks.probe(tx, LockMode::kRead, want);
 
     if (probe.hit_frozen_write) {
-      if (ks.versions.latest_before(m).ts > cur_tr) {
+      bool newer_version_visible;
+      {
+        ebr::Guard eg;
+        newer_version_visible = ks.versions.latest_before(m, eg).ts > cur_tr;
+      }
+      if (newer_version_visible) {
         continue;  // a new version is visible below m; restart resolves it
       }
       // Frozen write(s) in (tr, m] but no version visible between: either
@@ -85,8 +123,8 @@ ReadAcquire acquire_read_upto(KeyState& ks, TxId tx, Timestamp m,
           // read lock can be taken at all.
           out.outcome = Outcome::kPartial;
           out.tr = cur_tr;
-          out.value = ver.value;
-          out.writer = ver.writer;
+          out.value = std::move(ver_value);
+          out.writer = ver_writer;
           out.upper = cur_tr;
           return out;
         }
@@ -95,7 +133,7 @@ ReadAcquire acquire_read_upto(KeyState& ks, TxId tx, Timestamp m,
       }
       if (opts.wait_counter != nullptr) opts.wait_counter->add();
       ks.cv.wait_for(guard, kInstallWait);
-      if (Clock::now() >= deadline) {
+      if (deadline.passed()) {
         ks.locks.release(tx, LockMode::kRead, held);
         ks.cv.notify_all();
         out.outcome = Outcome::kTimeout;
@@ -118,8 +156,8 @@ ReadAcquire acquire_read_upto(KeyState& ks, TxId tx, Timestamp m,
       if (!opts.wait) {
         out.outcome = Outcome::kPartial;
         out.tr = cur_tr;
-        out.value = ver.value;
-        out.writer = ver.writer;
+        out.value = std::move(ver_value);
+        out.writer = ver_writer;
         out.upper = first_block > want.lo() ? first_block.prev() : cur_tr;
         return out;
       }
@@ -130,8 +168,9 @@ ReadAcquire acquire_read_upto(KeyState& ks, TxId tx, Timestamp m,
         return out;
       }
       if (opts.wait_counter != nullptr) opts.wait_counter->add();
-      if (ks.cv.wait_until(guard, deadline) == std::cv_status::timeout ||
-          Clock::now() >= deadline) {
+      if (ks.cv.wait_until(guard, deadline.get()) ==
+              std::cv_status::timeout ||
+          deadline.passed()) {
         ks.locks.release(tx, LockMode::kRead, held);
         ks.cv.notify_all();
         out.outcome = Outcome::kTimeout;
@@ -144,8 +183,8 @@ ReadAcquire acquire_read_upto(KeyState& ks, TxId tx, Timestamp m,
     ks.locks.grant(tx, LockMode::kRead, probe.available);
     out.outcome = Outcome::kAcquired;
     out.tr = cur_tr;
-    out.value = ver.value;
-    out.writer = ver.writer;
+    out.value = std::move(ver_value);
+    out.writer = ver_writer;
     out.upper = m;
     return out;
   }
@@ -160,7 +199,7 @@ WriteAcquire acquire_write_set(KeyState& ks, TxId tx, const IntervalSet& want,
   }
   std::unique_lock guard(ks.mu);
   WaitScope wait_scope(opts.wait_graph, tx);
-  const auto deadline = Clock::now() + opts.timeout;
+  LazyDeadline deadline(opts.timeout);
 
   for (;;) {
     IntervalSet available;
@@ -189,8 +228,8 @@ WriteAcquire acquire_write_set(KeyState& ks, TxId tx, const IntervalSet& want,
       return out;
     }
     if (opts.wait_counter != nullptr) opts.wait_counter->add();
-    if (ks.cv.wait_until(guard, deadline) == std::cv_status::timeout ||
-        Clock::now() >= deadline) {
+    if (ks.cv.wait_until(guard, deadline.get()) == std::cv_status::timeout ||
+        deadline.passed()) {
       out.outcome = Outcome::kTimeout;
       return out;
     }
@@ -204,7 +243,7 @@ bool acquire_write_point(KeyState& ks, TxId tx, Timestamp t,
                          obs::Counter* wait_counter) {
   std::unique_lock guard(ks.mu);
   WaitScope wait_scope(wait_graph, tx);
-  const auto deadline = Clock::now() + timeout;
+  LazyDeadline deadline(timeout);
   const Interval point = Interval::point(t);
   for (;;) {
     const ProbeResult probe = ks.locks.probe(tx, LockMode::kWrite, point);
@@ -215,22 +254,32 @@ bool acquire_write_point(KeyState& ks, TxId tx, Timestamp t,
     if (!probe.permanent.is_empty() || !wait_on_conflicts) return false;
     if (!wait_scope.register_edges(probe.blockers)) return false;
     if (wait_counter != nullptr) wait_counter->add();
-    if (ks.cv.wait_until(guard, deadline) == std::cv_status::timeout ||
-        Clock::now() >= deadline) {
+    if (ks.cv.wait_until(guard, deadline.get()) == std::cv_status::timeout ||
+        deadline.passed()) {
       return false;
     }
   }
 }
 
 std::size_t commit_key(KeyState& ks, TxId tx, Timestamp commit_ts,
-                       Value value) {
+                       std::string_view value) {
   std::lock_guard guard(ks.mu);
   assert(ks.locks.holds(tx, LockMode::kWrite, commit_ts));
   ks.locks.freeze(tx, LockMode::kWrite,
                   IntervalSet{Interval::point(commit_ts)});
-  ks.versions.install(commit_ts, std::move(value), tx);
+  // Idempotent under failover, like ShardServer::replica_apply: a commit
+  // re-driven through the group log can install this transaction's
+  // effects while a retried sub-transaction still holds the write lock
+  // (the lock predates the log apply, so the frozen point could not
+  // refuse it). That lock also guarantees no OTHER writer owns
+  // commit_ts, so an existing version there is this transaction's own —
+  // keep the durable one instead of installing a duplicate.
+  const std::size_t chain_len =
+      ks.versions.has_version_at(commit_ts)
+          ? ks.versions.version_count()
+          : ks.versions.install(commit_ts, value, tx);
   ks.cv.notify_all();
-  return ks.versions.versions().size();
+  return chain_len;
 }
 
 void freeze_read_range(KeyState& ks, TxId tx, Timestamp tr,

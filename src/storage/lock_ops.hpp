@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <optional>
+#include <string_view>
 
 #include "obs/metrics.hpp"
 #include "storage/store.hpp"
@@ -106,7 +107,7 @@ bool acquire_write_point(KeyState& ks, TxId tx, Timestamp t,
 /// 17–19 atomic block, realized per key; see §6). Returns the version
 /// chain's length after the install (feeds the chain-length histogram).
 std::size_t commit_key(KeyState& ks, TxId tx, Timestamp commit_ts,
-                       Value value);
+                       std::string_view value);
 
 /// Garbage collection for one read-set entry of a *committed* tx: freezes
 /// the read locks on [tr+1, commit_ts] (Algorithm 1, gc()).

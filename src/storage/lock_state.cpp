@@ -1,42 +1,104 @@
 #include "storage/lock_state.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 namespace mvtl {
+
+Interval LockState::below_horizon(Timestamp horizon) {
+  if (horizon == Timestamp::min()) return Interval::empty();
+  return Interval{Timestamp::min(), horizon.prev()};
+}
+
+LockState::OwnerEntry* LockState::find_owner(TxId tx) {
+  for (OwnerEntry& e : owners_) {
+    if (e.tx == tx) return &e;
+  }
+  return nullptr;
+}
+
+const LockState::OwnerEntry* LockState::find_owner(TxId tx) const {
+  for (const OwnerEntry& e : owners_) {
+    if (e.tx == tx) return &e;
+  }
+  return nullptr;
+}
+
+LockState::OwnerLocks& LockState::ensure_owner(TxId tx) {
+  OwnerEntry* free = nullptr;
+  for (OwnerEntry& e : owners_) {
+    if (e.tx == tx) return e.locks;
+    if (e.tx == kInvalidTxId && free == nullptr) free = &e;
+  }
+  if (free == nullptr) {
+    owners_.emplace_back();
+    free = &owners_.back();
+  }
+  free->tx = tx;
+  return free->locks;
+}
+
+void LockState::free_slot(OwnerEntry& e) {
+  e.tx = kInvalidTxId;
+  e.locks.read.clear();
+  e.locks.write.clear();
+}
 
 ProbeResult LockState::probe(TxId tx, LockMode mode,
                              const Interval& want) const {
   ProbeResult result;
   if (want.is_empty()) return result;
-  const IntervalSet wanted(want);
+
+  // The horizon and the frozen sets must be read in ONE critical
+  // section: purge_below raises the horizon and then discards frozen
+  // locks below it, so a horizon snapshot taken outside the spinlock can
+  // be stale by the time the frozen sets are intersected — a write probe
+  // would then see a just-purged commit point as neither frozen nor
+  // below the horizon and grant a write lock where a version already
+  // committed (double install of a retried transaction).
+  IntervalSet permanent;
+  Timestamp horizon;
+  {
+    std::lock_guard frozen_guard(frozen_mu_);
+    horizon = horizon_;
+    const IntervalSet frozen_w = frozen_write_.intersect(want);
+    if (!frozen_w.is_empty()) {
+      permanent.insert(frozen_w);
+      result.hit_frozen_write = true;
+    }
+    if (mode == LockMode::kWrite) {
+      permanent.insert(frozen_read_.intersect(want));
+      if (horizon > Timestamp::min()) {
+        permanent.insert(
+            IntervalSet(below_horizon(horizon)).intersect(want));
+      }
+    }
+  }
 
   IntervalSet blocked;
+  // For write requests, another owner's read locks below the horizon are
+  // logically reclaimed (maybe_strip_owners may not have run yet) and,
+  // reclaimed or not, the horizon refuses those points permanently —
+  // clip them so they produce neither blocked points nor spurious
+  // wait-for edges. Their WRITE locks keep full conflict power anywhere.
+  // (A concurrently rising horizon only makes this clip conservative:
+  // fewer points clipped, more reported blocked.)
+  Interval read_conflict_want = want;
+  if (mode == LockMode::kWrite && horizon > Timestamp::min()) {
+    read_conflict_want =
+        want.intersect(Interval{horizon, Timestamp::infinity()});
+  }
   for (const auto& [owner, locks] : owners_) {
-    if (owner == tx) continue;
+    if (owner == tx || owner == kInvalidTxId) continue;
     // Another owner's write always conflicts; their read conflicts only
     // with a write request.
     IntervalSet conflict = locks.write.intersect(want);
     if (mode == LockMode::kWrite) {
-      conflict.insert(locks.read.intersect(want));
+      conflict.insert(locks.read.intersect(read_conflict_want));
     }
     if (!conflict.is_empty()) {
       blocked.insert(conflict);
       result.blockers.push_back(owner);
-    }
-  }
-
-  IntervalSet permanent;
-  const IntervalSet frozen_w = frozen_write_.intersect(want);
-  if (!frozen_w.is_empty()) {
-    permanent.insert(frozen_w);
-    result.hit_frozen_write = true;
-  }
-  if (mode == LockMode::kWrite) {
-    permanent.insert(frozen_read_.intersect(want));
-    if (horizon_ > Timestamp::min()) {
-      permanent.insert(
-          IntervalSet(Interval{Timestamp::min(), horizon_.prev()})
-              .intersect(want));
     }
   }
   // Reads need no horizon special-case: genuinely unlocked points below
@@ -46,8 +108,14 @@ ProbeResult LockState::probe(TxId tx, LockMode mode,
   // transaction's write lock, or the frozen write of one that committed
   // just under a rising horizon — must keep its full conflict power.
 
+  // Fast path: nothing conflicts — the whole want is available.
+  if (blocked.is_empty() && permanent.is_empty()) {
+    result.available = IntervalSet(want);
+    return result;
+  }
+
   blocked.subtract(permanent);  // permanent refusal dominates waiting
-  IntervalSet available = wanted;
+  IntervalSet available{want};
   available.subtract(blocked);
   available.subtract(permanent);
 
@@ -59,7 +127,8 @@ ProbeResult LockState::probe(TxId tx, LockMode mode,
 
 void LockState::grant(TxId tx, LockMode mode, const IntervalSet& points) {
   if (points.is_empty()) return;
-  OwnerLocks& mine = owners_[tx];
+  maybe_strip_owners();
+  OwnerLocks& mine = ensure_owner(tx);
   // Read and write holdings of the same owner may overlap (a write lock
   // "upgrading" a read keeps the read record): releasing or trimming the
   // write lock later must not silently drop read protection the
@@ -72,93 +141,156 @@ void LockState::grant(TxId tx, LockMode mode, const IntervalSet& points) {
 }
 
 void LockState::release(TxId tx, LockMode mode, const IntervalSet& points) {
-  auto it = owners_.find(tx);
-  if (it == owners_.end()) return;
+  OwnerEntry* e = find_owner(tx);
+  if (e == nullptr) return;
   if (mode == LockMode::kRead) {
-    it->second.read.subtract(points);
+    e->locks.read.subtract(points);
   } else {
-    it->second.write.subtract(points);
+    e->locks.write.subtract(points);
   }
-  if (it->second.empty()) owners_.erase(it);
+  if (e->locks.empty()) free_slot(*e);
 }
 
-void LockState::release_all(TxId tx) { owners_.erase(tx); }
+void LockState::release_all(TxId tx) {
+  OwnerEntry* e = find_owner(tx);
+  if (e != nullptr) free_slot(*e);
+}
 
 void LockState::freeze(TxId tx, LockMode mode, const IntervalSet& points) {
-  auto it = owners_.find(tx);
-  if (it == owners_.end()) return;
+  maybe_strip_owners();
+  OwnerEntry* e = find_owner(tx);
+  if (e == nullptr) return;
   IntervalSet& held =
-      mode == LockMode::kRead ? it->second.read : it->second.write;
+      mode == LockMode::kRead ? e->locks.read : e->locks.write;
   IntervalSet to_freeze = held.intersect(points);
   if (to_freeze.is_empty()) return;
   held.subtract(to_freeze);
-  if (mode == LockMode::kRead) {
-    frozen_read_.insert(to_freeze);
-  } else {
-    frozen_write_.insert(to_freeze);
+  {
+    std::lock_guard frozen_guard(frozen_mu_);
+    if (mode == LockMode::kRead) {
+      frozen_read_.insert(to_freeze);
+    } else {
+      frozen_write_.insert(to_freeze);
+    }
   }
-  if (it->second.empty()) owners_.erase(it);
+  if (e->locks.empty()) free_slot(*e);
 }
 
 bool LockState::holds(TxId tx, LockMode mode, Timestamp t) const {
-  auto it = owners_.find(tx);
-  if (it == owners_.end()) return false;
-  const OwnerLocks& mine = it->second;
+  const OwnerEntry* e = find_owner(tx);
+  if (e == nullptr) return false;
+  const OwnerLocks& mine = e->locks;
   if (mode == LockMode::kWrite) return mine.write.contains(t);
-  return mine.read.contains(t) || mine.write.contains(t);
+  // Read locks below the horizon are logically reclaimed even before
+  // maybe_strip_owners physically drops them.
+  if (mine.read.contains(t) && t >= purge_horizon()) return true;
+  return mine.write.contains(t);
 }
 
 void LockState::adopt_frozen(const IntervalSet& read,
                              const IntervalSet& write) {
+  std::lock_guard frozen_guard(frozen_mu_);
   frozen_read_.insert(read);
   frozen_write_.insert(write);
 }
 
 IntervalSet LockState::migratable_read() const {
-  IntervalSet out = frozen_read_;
-  for (const auto& [owner, locks] : owners_) out.insert(locks.read);
+  IntervalSet out;
+  {
+    std::lock_guard frozen_guard(frozen_mu_);
+    out = frozen_read_;
+  }
+  const Interval below = below_horizon(purge_horizon());
+  for (const auto& [owner, locks] : owners_) {
+    if (owner == kInvalidTxId) continue;
+    IntervalSet read = locks.read;
+    read.subtract(below);
+    out.insert(read);
+  }
   return out;
 }
 
 IntervalSet LockState::migratable_write() const {
-  IntervalSet out = frozen_write_;
-  for (const auto& [owner, locks] : owners_) out.insert(locks.write);
+  IntervalSet out;
+  {
+    std::lock_guard frozen_guard(frozen_mu_);
+    out = frozen_write_;
+  }
+  for (const auto& [owner, locks] : owners_) {
+    if (owner != kInvalidTxId) out.insert(locks.write);
+  }
   return out;
 }
 
 void LockState::clear_for_migration() {
   owners_.clear();
+  owners_stripped_below_ = Timestamp::min();
+  std::lock_guard frozen_guard(frozen_mu_);
   frozen_read_ = IntervalSet{};
   frozen_write_ = IntervalSet{};
 }
 
 void LockState::purge_below(Timestamp horizon) {
+  std::lock_guard frozen_guard(frozen_mu_);
   if (horizon <= horizon_) return;
   horizon_ = horizon;
-  if (horizon_ == Timestamp::min()) return;
-  const Interval below{Timestamp::min(), horizon_.prev()};
+  horizon_raw_.store(horizon.raw(), std::memory_order_release);
+  const Interval below = below_horizon(horizon_);
   frozen_read_.subtract(below);
   frozen_write_.subtract(below);
   // Unfrozen READ locks below the horizon are reclaimable even if their
   // owner is still running: new write locks there are permanently
   // refused, and a surviving old write lock never overlaps another
   // owner's read at the same point, so the stripped reads stay
-  // vacuously protected. Unfrozen WRITE locks must survive — an active
-  // transaction prepared at a point just below a rising horizon still
-  // commits there (install + freeze), and stripping its lock would let
-  // a reader slip through the point first (seen as a commit_key assert
-  // under a slow, GC-churning cluster).
-  for (auto it = owners_.begin(); it != owners_.end();) {
-    it->second.read.subtract(below);
-    it = it->second.empty() ? owners_.erase(it) : std::next(it);
+  // vacuously protected. They are reclaimed lazily by
+  // maybe_strip_owners(), under the key latch, because this broadcast
+  // deliberately does not take it. Unfrozen WRITE locks must survive —
+  // an active transaction prepared at a point just below a rising
+  // horizon still commits there (install + freeze), and stripping its
+  // lock would let a reader slip through the point first (seen as a
+  // commit_key assert under a slow, GC-churning cluster).
+}
+
+void LockState::maybe_strip_owners() {
+  const Timestamp horizon = purge_horizon();
+  if (horizon <= owners_stripped_below_) return;
+  owners_stripped_below_ = horizon;
+  const Interval below = below_horizon(horizon);
+  for (OwnerEntry& e : owners_) {
+    if (e.tx == kInvalidTxId) continue;
+    e.locks.read.subtract(below);
+    if (e.locks.empty()) free_slot(e);
   }
 }
 
 std::size_t LockState::entry_count() const {
-  std::size_t n = frozen_read_.interval_count() +
-                  frozen_write_.interval_count();
+  std::size_t n = 0;
+  {
+    std::lock_guard frozen_guard(frozen_mu_);
+    n = frozen_read_.interval_count() + frozen_write_.interval_count();
+  }
+  const Interval below = below_horizon(purge_horizon());
   for (const auto& [owner, locks] : owners_) {
-    n += locks.read.interval_count() + locks.write.interval_count();
+    if (owner == kInvalidTxId) continue;
+    IntervalSet read = locks.read;
+    read.subtract(below);
+    n += read.interval_count() + locks.write.interval_count();
+  }
+  return n;
+}
+
+std::size_t LockState::owner_count() const {
+  const Timestamp horizon = purge_horizon();
+  std::size_t n = 0;
+  for (const auto& [owner, locks] : owners_) {
+    if (owner == kInvalidTxId) continue;
+    if (!locks.write.is_empty()) {
+      ++n;
+      continue;
+    }
+    // A pure reader whose coverage sits entirely below the horizon is
+    // logically reclaimed (lazy strip).
+    if (locks.read.ceiling(horizon).has_value()) ++n;
   }
   return n;
 }

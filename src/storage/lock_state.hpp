@@ -26,14 +26,21 @@
 //   request write: blocked by another owner's unfrozen READ or WRITE,
 //                  permanently refused by any frozen lock or the horizon.
 //
-// Thread safety: none here. KeyState wraps LockState + VersionChain under
-// one mutex; all callers hold it.
+// Thread safety: `owners_` is guarded by the enclosing KeyState latch —
+// every owner-touching entry point must be called under it, as before.
+// The frozen sets and the horizon are additionally guarded by an internal
+// leaf spinlock so that `purge_below` (the timestamp-service GC
+// broadcast) runs WITHOUT the key latch and never blocks the write path.
+// Owner read locks below the horizon are reclaimed lazily, on the next
+// latched mutation (`maybe_strip_owners`); until then the accessors mask
+// them out, so observable behavior matches an eager strip.
 #pragma once
 
-#include <unordered_map>
+#include <atomic>
 #include <vector>
 
 #include "common/interval_set.hpp"
+#include "common/spinlock.hpp"
 #include "common/types.hpp"
 
 namespace mvtl {
@@ -63,6 +70,10 @@ struct ProbeResult {
 
 class LockState {
  public:
+  LockState() = default;
+  LockState(const LockState&) = delete;
+  LockState& operator=(const LockState&) = delete;
+
   /// Classifies every point of `want` for a (tx, mode) request.
   ProbeResult probe(TxId tx, LockMode mode, const Interval& want) const;
 
@@ -109,19 +120,21 @@ class LockState {
   /// Raises the purge horizon: frozen state strictly below `horizon` is
   /// discarded (the associated versions are being purged). Unfrozen locks
   /// of active transactions are kept — their owners are still running.
+  /// Latch-free: takes only the internal spinlock, so the GC broadcast
+  /// never contends with the per-key latch.
   void purge_below(Timestamp horizon);
 
-  Timestamp purge_horizon() const { return horizon_; }
+  /// Latch-free (atomic mirror of the spinlock-guarded horizon).
+  Timestamp purge_horizon() const {
+    return Timestamp{horizon_raw_.load(std::memory_order_acquire)};
+  }
 
   /// Number of interval-compressed lock records currently stored —
   /// the "number of locks" metric of Figure 6.
   std::size_t entry_count() const;
 
   /// Number of distinct active owners holding unfrozen locks.
-  std::size_t owner_count() const { return owners_.size(); }
-
-  const IntervalSet& frozen_read() const { return frozen_read_; }
-  const IntervalSet& frozen_write() const { return frozen_write_; }
+  std::size_t owner_count() const;
 
  private:
   struct OwnerLocks {
@@ -130,10 +143,35 @@ class LockState {
     bool empty() const { return read.is_empty() && write.is_empty(); }
   };
 
-  std::unordered_map<TxId, OwnerLocks> owners_;
-  IntervalSet frozen_read_;
-  IntervalSet frozen_write_;
-  Timestamp horizon_ = Timestamp::min();  // everything below is reclaimed
+  /// One owner slot. `tx == kInvalidTxId` marks a free slot whose
+  /// IntervalSets are empty but keep their capacity — a release/grant
+  /// cycle on a hot key then allocates nothing.
+  struct OwnerEntry {
+    TxId tx = kInvalidTxId;
+    OwnerLocks locks;
+  };
+
+  OwnerEntry* find_owner(TxId tx);
+  const OwnerEntry* find_owner(TxId tx) const;
+  OwnerLocks& ensure_owner(TxId tx);
+  static void free_slot(OwnerEntry& e);
+
+  /// Reclaims owner read locks below the horizon (see class comment).
+  /// Caller holds the key latch.
+  void maybe_strip_owners();
+
+  /// The interval [min, horizon) as a subtrahend, or empty when the
+  /// horizon never rose.
+  static Interval below_horizon(Timestamp horizon);
+
+  std::vector<OwnerEntry> owners_;  // guarded by KeyState::mu
+  Timestamp owners_stripped_below_ = Timestamp::min();  // ditto
+
+  mutable SpinLock frozen_mu_;
+  IntervalSet frozen_read_;              // guarded by frozen_mu_
+  IntervalSet frozen_write_;             // guarded by frozen_mu_
+  Timestamp horizon_ = Timestamp::min();  // guarded by frozen_mu_
+  std::atomic<Timestamp::Rep> horizon_raw_{Timestamp::min().raw()};
 };
 
 }  // namespace mvtl

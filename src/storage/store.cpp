@@ -1,48 +1,122 @@
 #include "storage/store.hpp"
 
+#include <cassert>
+#include <new>
+
 namespace mvtl {
+
+namespace {
+constexpr std::size_t kInitialTableCapacity = 16;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Table lifecycle. Tables are raw blocks (header + slot array); entries
+// are owned by the store, not the table, so destroying a retired table
+// never touches them.
+
+Store::Table* Store::Table::create(std::size_t capacity) {
+  assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+  const std::size_t bytes =
+      sizeof(Table) + (capacity - 1) * sizeof(std::atomic<Entry*>);
+  void* mem = ::operator new(bytes);
+  Table* t = new (mem) Table;
+  t->mask = capacity - 1;
+  for (std::size_t i = 0; i < capacity; ++i) {
+    new (&t->slots[i]) std::atomic<Entry*>(nullptr);
+  }
+  return t;
+}
+
+void Store::Table::destroy(Table* t) { ::operator delete(t); }
+
+// ---------------------------------------------------------------------------
 
 Store::Store(std::size_t shard_count) {
   if (shard_count == 0) shard_count = 1;
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->table.store(Table::create(kInitialTableCapacity),
+                                std::memory_order_release);
   }
 }
 
-Store::Shard& Store::shard_for(const Key& key) {
-  const std::size_t h = std::hash<Key>{}(key);
-  return *shards_[h % shards_.size()];
+Store::~Store() {
+  // Replaced (retired) tables are freed by the collector; the live table
+  // and the entries themselves are freed here. No reader may be active.
+  for (const auto& shard : shards_) {
+    Table* t = shard->table.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i <= t->mask; ++i) {
+      delete t->slots[i].load(std::memory_order_acquire);
+    }
+    Table::destroy(t);
+  }
+}
+
+Store::Entry* Store::find(const Table* t, std::size_t hash, const Key& key) {
+  for (std::size_t i = hash & t->mask;; i = (i + 1) & t->mask) {
+    Entry* e = t->slots[i].load(std::memory_order_acquire);
+    if (e == nullptr) return nullptr;
+    if (e->hash == hash && e->key == key) return e;
+  }
 }
 
 KeyState& Store::key_state(const Key& key) {
-  Shard& shard = shard_for(key);
+  const std::size_t hash = std::hash<Key>{}(key);  // hashed exactly once
+  Shard& shard = shard_for(hash);
   {
-    std::shared_lock read_guard(shard.mu);
-    auto it = shard.map.find(key);
-    if (it != shard.map.end()) return *it->second;
+    ebr::Guard guard;
+    Entry* e = find(shard.table.load(std::memory_order_acquire), hash, key);
+    // The entry is immortal, so the reference stays valid after the
+    // guard is dropped; only the table block needed protection.
+    if (e != nullptr) return e->state;
   }
-  std::unique_lock write_guard(shard.mu);
-  auto [it, inserted] = shard.map.try_emplace(key, nullptr);
-  if (inserted) it->second = std::make_unique<KeyState>();
-  return *it->second;
+  return insert_slow(shard, hash, key);
 }
 
-void Store::for_each(const std::function<void(const Key&, KeyState&)>& fn) {
-  for (auto& shard : shards_) {
-    std::shared_lock guard(shard->mu);
-    for (auto& [key, state] : shard->map) {
-      fn(key, *state);
+KeyState& Store::insert_slow(Shard& shard, std::size_t hash, const Key& key) {
+  std::lock_guard insert_guard(shard.insert_mu);
+  Table* t = shard.table.load(std::memory_order_relaxed);
+  if (Entry* e = find(t, hash, key)) return e->state;  // lost the race
+
+  // Grow at 3/4 load so probe chains stay short for the wait-free reads.
+  if ((shard.size + 1) * 4 > (t->mask + 1) * 3) {
+    Table* bigger = Table::create((t->mask + 1) * 2);
+    for (std::size_t i = 0; i <= t->mask; ++i) {
+      Entry* e = t->slots[i].load(std::memory_order_relaxed);
+      if (e == nullptr) continue;
+      std::size_t j = e->hash & bigger->mask;
+      while (bigger->slots[j].load(std::memory_order_relaxed) != nullptr) {
+        j = (j + 1) & bigger->mask;
+      }
+      bigger->slots[j].store(e, std::memory_order_relaxed);
     }
+    shard.table.store(bigger, std::memory_order_release);
+    ebr::retire(t, [](void* p) { Table::destroy(static_cast<Table*>(p)); });
+    t = bigger;
   }
+
+  Entry* e = new Entry(hash, key);
+  std::size_t i = hash & t->mask;
+  while (t->slots[i].load(std::memory_order_relaxed) != nullptr) {
+    i = (i + 1) & t->mask;
+  }
+  // Release: the fully constructed entry becomes visible to wait-free
+  // readers no earlier than its contents.
+  t->slots[i].store(e, std::memory_order_release);
+  ++shard.size;
+  return e->state;
 }
 
 std::size_t Store::purge_below(Timestamp horizon) {
   std::size_t dropped = 0;
   for_each([&](const Key&, KeyState& ks) {
-    std::lock_guard guard(ks.mu);
     dropped += ks.versions.purge_below(horizon);
     ks.locks.purge_below(horizon);
+    // Readers parked in "wait unless frozen" loops re-check their world
+    // after a purge. All such waits are deadline-bounded, so the absence
+    // of the latch here (a waiter could re-park just after this signal)
+    // costs at most one timeout tick, never a lost wakeup hang.
     ks.cv.notify_all();
   });
   return dropped;

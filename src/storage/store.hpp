@@ -2,21 +2,31 @@
 //
 // The paper's implementation (§8.1) stores, per key, two skip lists —
 // version state and lock state — inside a concurrent hash table with a
-// latch per entry. We mirror that shape: a striped hash map of KeyState,
-// where each KeyState carries its own mutex (the latch) and condition
-// variable (for "wait unless frozen" semantics). Key states are never
-// removed, so references handed out remain valid for the store's lifetime.
+// latch per entry. We mirror that shape, but the table itself is an
+// RCU-style published index: each shard holds an atomic pointer to an
+// open-addressed (linear probing) array of Entry pointers. Lookups hash
+// the key ONCE (the hash picks the shard and seeds the probe), load the
+// shard's current table with an acquire, and walk it without any lock —
+// wait-free in the practical sense: a bounded probe, no retries, no CAS.
+//
+// This is sound because key states are never removed (the class contract
+// since day one: references handed out remain valid for the store's
+// lifetime). Entries are immortal, so a reader can never chase a pointer
+// into a freed KeyState; only the *table block* is ever replaced (on
+// growth), and the old block is epoch-retired (common/epoch.hpp) so
+// late readers finish their probe on it safely. Inserts — first touch of
+// a key only — serialize on a per-shard mutex, re-check, and publish
+// either a new slot (release store into the live table) or a doubled
+// rehashed table.
 #pragma once
 
 #include <condition_variable>
-#include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/epoch.hpp"
 #include "common/types.hpp"
 #include "storage/lock_state.hpp"
 #include "storage/version_chain.hpp"
@@ -36,6 +46,7 @@ struct KeyState {
 class Store {
  public:
   explicit Store(std::size_t shard_count = 64);
+  ~Store();
 
   Store(const Store&) = delete;
   Store& operator=(const Store&) = delete;
@@ -45,22 +56,65 @@ class Store {
   KeyState& key_state(const Key& key);
 
   /// Applies `fn` to every key state. `fn` must lock ks.mu itself if it
-  /// mutates; iteration holds only the shard map locks.
-  void for_each(const std::function<void(const Key&, KeyState&)>& fn);
+  /// needs the latch; iteration itself is lock-free (it walks the
+  /// published tables under an epoch guard). Keys inserted concurrently
+  /// may or may not be visited.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    ebr::Guard guard;
+    for (const auto& shard : shards_) {
+      const Table* t = shard->table.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i <= t->mask; ++i) {
+        Entry* e = t->slots[i].load(std::memory_order_acquire);
+        if (e != nullptr) fn(e->key, e->state);
+      }
+    }
+  }
 
   /// Purges versions and frozen lock state below `horizon` on every key
   /// (the timestamp-service broadcast of §8.1). Returns totals dropped.
+  /// Never takes a per-key latch: version purging is a chain-internal
+  /// RCU replacement and lock purging takes only the frozen-state
+  /// spinlock, so the broadcast cannot stall the write path.
   std::size_t purge_below(Timestamp horizon);
 
   StoreStats stats();
 
  private:
-  struct Shard {
-    std::shared_mutex mu;
-    std::unordered_map<Key, std::unique_ptr<KeyState>> map;
+  /// Immortal per-key record. `hash` is cached so table growth never
+  /// re-hashes key bytes.
+  struct Entry {
+    Entry(std::size_t h, Key k) : hash(h), key(std::move(k)) {}
+    const std::size_t hash;
+    const Key key;
+    KeyState state;
   };
 
-  Shard& shard_for(const Key& key);
+  /// One published open-addressed table: `mask + 1` power-of-two slots.
+  /// Slots hold null (free) or a pointer to an immortal Entry. A slot
+  /// written non-null never changes again within one table.
+  struct Table {
+    std::size_t mask;
+    std::atomic<Entry*> slots[1];  // really mask + 1; over-allocated
+
+    static Table* create(std::size_t capacity);
+    static void destroy(Table* t);
+  };
+
+  struct alignas(64) Shard {
+    std::atomic<Table*> table{nullptr};
+    std::mutex insert_mu;
+    std::size_t size = 0;  // entries; guarded by insert_mu
+  };
+
+  static Entry* find(const Table* t, std::size_t hash, const Key& key);
+  KeyState& insert_slow(Shard& shard, std::size_t hash, const Key& key);
+  Shard& shard_for(std::size_t hash) {
+    // The probe seed uses the hash's low bits, so shard selection uses
+    // the high bits — otherwise every key in a shard would share its
+    // probe-start residue and cluster.
+    return *shards_[(hash >> 48) % shards_.size()];
+  }
 
   std::vector<std::unique_ptr<Shard>> shards_;
 };

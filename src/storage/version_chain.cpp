@@ -1,65 +1,314 @@
 #include "storage/version_chain.hpp"
 
-#include <algorithm>
+#include <new>
+
+#include "common/pool.hpp"
 
 namespace mvtl {
 
-const VersionChain::Version& VersionChain::bottom() {
-  static const Version kBottom{Timestamp::min(), std::nullopt, kInvalidTxId};
-  return kBottom;
+namespace {
+constexpr std::uint32_t kMinCapacity = 4;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Array lifecycle.
+
+std::size_t VersionChain::Array::bytes_for(std::uint32_t capacity) {
+  const std::uint32_t n = capacity > 0 ? capacity : 1;
+  return sizeof(Array) + (n - 1) * sizeof(Slot);
 }
 
-const VersionChain::Version& VersionChain::latest_before(
-    Timestamp bound) const {
-  auto it = std::lower_bound(
-      versions_.begin(), versions_.end(), bound,
-      [](const Version& v, Timestamp t) { return v.ts < t; });
-  if (it == versions_.begin()) return bottom();
-  return *(it - 1);
+VersionChain::Array* VersionChain::Array::create(std::uint32_t capacity) {
+  void* mem = pool::alloc(bytes_for(capacity));
+  // Default-init: `size` (std::atomic, C++20) value-initializes to 0;
+  // slots are written before publication and never read beyond `size`.
+  Array* a = new (mem) Array;
+  a->capacity = capacity;
+  a->size.store(0, std::memory_order_relaxed);
+  return a;
 }
 
-const VersionChain::Version& VersionChain::latest() const {
-  return versions_.empty() ? bottom() : versions_.back();
+VersionChain::Array* VersionChain::empty_array() {
+  // Shared by every fresh chain so a never-written key costs no array
+  // allocation. Leaky; never retired (see retire_array).
+  static Array* e = Array::create(0);
+  return e;
+}
+
+void VersionChain::destroy_array(Array* a) {
+  if (a == empty_array()) return;
+  const std::uint32_t n = a->size.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) free_slot_value(a->slots[i]);
+  pool::dealloc(a, Array::bytes_for(a->capacity));
+}
+
+void VersionChain::retire_array(Array* a) {
+  if (a == empty_array()) return;
+  ebr::retire(a, [](void* p) { destroy_array(static_cast<Array*>(p)); });
+}
+
+// ---------------------------------------------------------------------------
+// Slot helpers.
+
+void VersionChain::init_slot(Slot& s, Timestamp ts, std::string_view value,
+                             TxId writer) {
+  s.ts_raw = ts.raw();
+  s.writer = writer;
+  s.len = static_cast<std::uint32_t>(value.size());
+  if (value.size() <= Slot::kInlineCap) {
+    s.inlined = true;
+    if (!value.empty()) std::memcpy(s.inline_buf, value.data(), value.size());
+  } else {
+    s.inlined = false;
+    s.heap = static_cast<char*>(pool::alloc(value.size()));
+    std::memcpy(s.heap, value.data(), value.size());
+  }
+}
+
+void VersionChain::free_slot_value(Slot& s) {
+  if (!s.inlined) pool::dealloc(s.heap, s.len);
+}
+
+void VersionChain::copy_slot_deep(Slot& dst, const Slot& src) {
+  dst = src;
+  if (!src.inlined) {
+    dst.heap = static_cast<char*>(pool::alloc(src.len));
+    std::memcpy(dst.heap, src.heap, src.len);
+  }
+}
+
+VersionView VersionChain::make_view(const Slot& s) {
+  VersionView v;
+  v.ts = Timestamp{s.ts_raw};
+  v.writer = s.writer;
+  v.has_value = true;
+  v.value = s.view();
+  return v;
+}
+
+std::uint32_t VersionChain::lower_bound_ts(const Slot* slots, std::uint32_t n,
+                                           Timestamp t) {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = n;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (Timestamp{slots[mid].ts_raw} < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+VersionView VersionChain::view_before(const Slot* slots, std::uint32_t n,
+                                      Timestamp bound) {
+  const std::uint32_t pos = lower_bound_ts(slots, n, bound);
+  if (pos == 0) return VersionView{};  // the ⊥ sentinel
+  return make_view(slots[pos - 1]);
+}
+
+// ---------------------------------------------------------------------------
+// Seqlock plumbing.
+
+template <typename Fn>
+auto VersionChain::read_section(Fn&& fn, std::uint32_t* attempts_out) const {
+  std::uint32_t attempts = 0;
+  for (;;) {
+    ++attempts;
+    const std::uint32_t s1 = seq_.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) {  // writer mid-replacement
+      cpu_relax();
+      continue;
+    }
+    const Array* a = arr_.load(std::memory_order_acquire);
+    const std::uint32_t n = a->size.load(std::memory_order_acquire);
+    const Timestamp floor{floor_.load(std::memory_order_relaxed)};
+    auto result = fn(a->slots, n, floor);
+    // Pairs with publish()'s release fence through arr_/floor_: if any
+    // of the loads above observed a mid-section value, the reload below
+    // is guaranteed to observe the odd seq_ and we retry.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) == s1) {
+      if (attempts_out != nullptr) *attempts_out = attempts;
+      return result;
+    }
+  }
+}
+
+template <typename Fn>
+void VersionChain::publish(Fn&& mutate) {
+  // Caller holds wmu_. In-place appends do NOT come through here: a slot
+  // append is already atomic for readers via the release store of size.
+  const std::uint32_t s = seq_.load(std::memory_order_relaxed);
+  seq_.store(s + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  mutate();
+  seq_.store(s + 2, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Public API.
+
+VersionChain::VersionChain() {
+  arr_.store(empty_array(), std::memory_order_relaxed);
+}
+
+VersionChain::~VersionChain() {
+  destroy_array(arr_.load(std::memory_order_relaxed));
+}
+
+VersionView VersionChain::latest_before(Timestamp bound,
+                                        const ebr::Guard&) const {
+  return read_section(
+      [bound](const Slot* slots, std::uint32_t n, Timestamp) {
+        return view_before(slots, n, bound);
+      });
+}
+
+VersionView VersionChain::latest(const ebr::Guard&) const {
+  return read_section([](const Slot* slots, std::uint32_t n, Timestamp) {
+    if (n == 0) return VersionView{};
+    return make_view(slots[n - 1]);
+  });
 }
 
 bool VersionChain::has_version_at(Timestamp t) const {
-  auto it = std::lower_bound(
-      versions_.begin(), versions_.end(), t,
-      [](const Version& v, Timestamp ts) { return v.ts < ts; });
-  return it != versions_.end() && it->ts == t;
+  ebr::Guard g;
+  return read_section([t](const Slot* slots, std::uint32_t n, Timestamp) {
+    const std::uint32_t pos = lower_bound_ts(slots, n, t);
+    return pos < n && Timestamp{slots[pos].ts_raw} == t;
+  });
 }
 
-void VersionChain::install(Timestamp ts, Value value, TxId writer) {
+VersionChain::Resolved VersionChain::resolve_at(Timestamp bound,
+                                                const ebr::Guard&) const {
+  std::uint32_t attempts = 0;
+  Resolved r = read_section(
+      [bound](const Slot* slots, std::uint32_t n, Timestamp floor) {
+        Resolved out;
+        out.safe = bound > floor;
+        if (out.safe) out.view = view_before(slots, n, bound);
+        return out;
+      },
+      &attempts);
+  r.attempts = attempts;
+  return r;
+}
+
+std::size_t VersionChain::install(Timestamp ts, std::string_view value,
+                                  TxId writer) {
   assert(ts > Timestamp::min());
-  auto it = std::lower_bound(
-      versions_.begin(), versions_.end(), ts,
-      [](const Version& v, Timestamp t) { return v.ts < t; });
-  assert(it == versions_.end() || it->ts != ts);
-  versions_.insert(it, Version{ts, std::move(value), writer});
-}
-
-std::size_t VersionChain::clear() {
-  const std::size_t dropped = versions_.size();
-  versions_.clear();
-  purge_floor_ = Timestamp::min();
-  return dropped;
+  std::lock_guard writer_guard(wmu_);
+  Array* a = arr_.load(std::memory_order_relaxed);
+  const std::uint32_t n = a->size.load(std::memory_order_relaxed);
+  if (n < a->capacity && (n == 0 || Timestamp{a->slots[n - 1].ts_raw} < ts)) {
+    // Hot path: append a version newer than all others. The slot is
+    // fully written before the release store of size makes it visible;
+    // no seqlock bump, no allocation for values <= Slot::kInlineCap.
+    init_slot(a->slots[n], ts, value, writer);
+    a->size.store(n + 1, std::memory_order_release);
+    return n + 1;
+  }
+  // Grow and/or out-of-order insert: build a replacement array.
+  const std::uint32_t pos = lower_bound_ts(a->slots, n, ts);
+  assert(pos == n || Timestamp{a->slots[pos].ts_raw} != ts);
+  std::uint32_t cap = a->capacity;
+  if (n + 1 > cap) cap = cap < kMinCapacity ? kMinCapacity : cap * 2;
+  Array* b = Array::create(cap);
+  for (std::uint32_t i = 0; i < pos; ++i) {
+    copy_slot_deep(b->slots[i], a->slots[i]);
+  }
+  init_slot(b->slots[pos], ts, value, writer);
+  for (std::uint32_t i = pos; i < n; ++i) {
+    copy_slot_deep(b->slots[i + 1], a->slots[i]);
+  }
+  b->size.store(n + 1, std::memory_order_relaxed);
+  publish([&] { arr_.store(b, std::memory_order_release); });
+  retire_array(a);
+  return n + 1;
 }
 
 std::size_t VersionChain::purge_below(Timestamp horizon) {
+  std::lock_guard writer_guard(wmu_);
+  Array* a = arr_.load(std::memory_order_relaxed);
+  const std::uint32_t n = a->size.load(std::memory_order_relaxed);
   // Find versions strictly below the horizon; keep the newest of them.
-  auto below_end = std::lower_bound(
-      versions_.begin(), versions_.end(), horizon,
-      [](const Version& v, Timestamp t) { return v.ts < t; });
-  const auto below_count =
-      static_cast<std::size_t>(below_end - versions_.begin());
-  if (below_count <= 1) return 0;
-  const std::size_t dropped = below_count - 1;
-  versions_.erase(versions_.begin(),
-                  versions_.begin() + static_cast<std::ptrdiff_t>(dropped));
-  // versions_.front() is the survivor of the purged region; reads bounded
-  // at or below it can no longer be resolved correctly.
-  purge_floor_ = max(purge_floor_, versions_.front().ts);
+  const std::uint32_t below = lower_bound_ts(a->slots, n, horizon);
+  if (below <= 1) return 0;
+  const std::uint32_t dropped = below - 1;
+  const std::uint32_t survivors = n - dropped;
+  std::uint32_t cap = survivors * 2;
+  if (cap < kMinCapacity) cap = kMinCapacity;
+  Array* b = Array::create(cap);
+  for (std::uint32_t i = 0; i < survivors; ++i) {
+    copy_slot_deep(b->slots[i], a->slots[i + dropped]);
+  }
+  b->size.store(survivors, std::memory_order_relaxed);
+  // b->slots[0] is the survivor of the purged region; reads bounded at
+  // or below it can no longer be resolved correctly.
+  const Timestamp new_floor =
+      max(Timestamp{floor_.load(std::memory_order_relaxed)},
+          Timestamp{a->slots[dropped].ts_raw});
+  publish([&] {
+    arr_.store(b, std::memory_order_release);
+    floor_.store(new_floor.raw(), std::memory_order_release);
+  });
+  retire_array(a);
   return dropped;
+}
+
+std::size_t VersionChain::clear() {
+  std::lock_guard writer_guard(wmu_);
+  Array* a = arr_.load(std::memory_order_relaxed);
+  const std::size_t dropped = a->size.load(std::memory_order_relaxed);
+  publish([&] {
+    arr_.store(empty_array(), std::memory_order_release);
+    floor_.store(Timestamp::min().raw(), std::memory_order_release);
+  });
+  retire_array(a);
+  return dropped;
+}
+
+void VersionChain::adopt_purge_floor(Timestamp floor) {
+  std::lock_guard writer_guard(wmu_);
+  if (floor.raw() <= floor_.load(std::memory_order_relaxed)) return;
+  publish([&] { floor_.store(floor.raw(), std::memory_order_release); });
+}
+
+std::size_t VersionChain::version_count() const {
+  ebr::Guard g;
+  const Array* a = arr_.load(std::memory_order_acquire);
+  return a->size.load(std::memory_order_acquire);
+}
+
+std::vector<VersionChain::Record> VersionChain::snapshot() const {
+  ebr::Guard g;
+  return read_section([](const Slot* slots, std::uint32_t n, Timestamp) {
+    std::vector<Record> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      out.push_back(
+          Record{Timestamp{slots[i].ts_raw}, Value(slots[i].view()),
+                 slots[i].writer});
+    }
+    return out;
+  });
+}
+
+VersionChain::DebugWriterHold::DebugWriterHold(VersionChain* chain)
+    : chain_(chain) {
+  chain_->wmu_.lock();
+  const std::uint32_t s = chain_->seq_.load(std::memory_order_relaxed);
+  chain_->seq_.store(s + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+VersionChain::DebugWriterHold::~DebugWriterHold() {
+  if (chain_ == nullptr) return;
+  const std::uint32_t s = chain_->seq_.load(std::memory_order_relaxed);
+  chain_->seq_.store(s + 1, std::memory_order_release);
+  chain_->wmu_.unlock();
 }
 
 }  // namespace mvtl

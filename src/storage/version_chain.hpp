@@ -5,49 +5,101 @@
 // timestamp 0 (a read that resolves to it reports "no value"). Purging
 // keeps, of the versions below the horizon, only the most recent one — so
 // reads above the horizon always find their base version.
+//
+// Storage layout (see docs/ARCHITECTURE.md "Hot path"): versions live in a
+// pool-allocated flat slot array with inline storage for small values,
+// published through an atomic pointer. Readers resolve versions with no
+// lock at all: a seqlock (`seq_`) makes the (array, size, purge floor)
+// triple consistent, and epoch reclamation (common/epoch.hpp) keeps a
+// replaced array alive until every reader is done with it. The common
+// case — installing a version newer than every existing one into an array
+// with spare capacity — appends in place and publishes with a single
+// release store of the size, touching neither the seqlock nor the
+// allocator. Writers are serialized by an internal spinlock, so install /
+// purge / clear may be called concurrently with each other and with any
+// reader.
 #pragma once
 
+#include <atomic>
 #include <cassert>
+#include <cstdint>
+#include <cstring>
 #include <optional>
+#include <string_view>
 #include <vector>
 
+#include "common/epoch.hpp"
+#include "common/spinlock.hpp"
 #include "common/types.hpp"
 
 namespace mvtl {
 
+/// A read-only view of one resolved version. `value` points into the
+/// chain's published storage and is valid only while the `ebr::Guard`
+/// passed to the resolving call is alive; copy it out (`to_optional`)
+/// before dropping the guard. `has_value == false` means ⊥ (the implicit
+/// initial version — `ts` is Timestamp::min() and `writer` invalid).
+struct VersionView {
+  Timestamp ts = Timestamp::min();
+  TxId writer = kInvalidTxId;
+  bool has_value = false;
+  std::string_view value{};
+
+  std::optional<Value> to_optional() const {
+    if (!has_value) return std::nullopt;
+    return Value(value);
+  }
+};
+
 class VersionChain {
  public:
-  struct Version {
-    Timestamp ts;
-    std::optional<Value> value;  // nullopt == ⊥ (only for the ts-0 sentinel)
-    TxId writer = kInvalidTxId;  // kInvalidTxId for ⊥
-  };
+  VersionChain();
+  ~VersionChain();
+  VersionChain(const VersionChain&) = delete;
+  VersionChain& operator=(const VersionChain&) = delete;
 
   /// The latest committed version with ts < bound, i.e. the version a
   /// transaction serialized anywhere in [result.ts+1, ...] reads. Always
-  /// defined: falls back to the ⊥ sentinel {0, nullopt}.
-  const Version& latest_before(Timestamp bound) const;
+  /// defined: falls back to the ⊥ sentinel. Latch-free; the caller's
+  /// guard keeps the returned view valid.
+  VersionView latest_before(Timestamp bound, const ebr::Guard& g) const;
 
   /// The latest committed version overall (the ⊥ sentinel if none).
-  const Version& latest() const;
+  VersionView latest(const ebr::Guard& g) const;
 
-  /// True iff a committed version exists exactly at `t`.
+  /// True iff a committed version exists exactly at `t`. Latch-free.
   bool has_version_at(Timestamp t) const;
 
+  /// One-shot snapshot-read resolution: checks the purge floor and
+  /// resolves latest_before(bound) inside a single seqlock section, so
+  /// the safety verdict and the version belong to the same consistent
+  /// state. `attempts` counts seqlock tries (> 1 == a torn read was
+  /// retried; pinned by the regression test).
+  struct Resolved {
+    bool safe = false;
+    VersionView view;
+    std::uint32_t attempts = 0;
+  };
+  Resolved resolve_at(Timestamp bound, const ebr::Guard& g) const;
+
   /// Installs a committed version. Timestamps are unique per transaction,
-  /// so `ts` must not collide with an existing version.
-  void install(Timestamp ts, Value value, TxId writer);
+  /// so `ts` must not collide with an existing version. Returns the
+  /// number of versions after the install (chain length).
+  std::size_t install(Timestamp ts, std::string_view value, TxId writer);
 
   /// Drops versions with ts < horizon except the most recent of them
-  /// (paper §6 / §8.1). Returns the number of versions dropped.
+  /// (paper §6 / §8.1). Returns the number of versions dropped. Safe to
+  /// call concurrently with readers and installs: the replaced array is
+  /// epoch-retired, never freed in place.
   std::size_t purge_below(Timestamp horizon);
 
   /// After purging, history below the newest purged-region version is
   /// unknown, so `latest_before(bound)` is only trustworthy for bounds
   /// above it. Transactions with an unsafe bound must abort
   /// (AbortReason::kVersionPurged) — §6: "transactions that need purged
-  /// versions will abort".
-  bool is_safe_bound(Timestamp bound) const { return bound > purge_floor_; }
+  /// versions will abort". Prefer resolve_at() for a verdict consistent
+  /// with the resolved version.
+  bool is_safe_bound(Timestamp bound) const { return bound > purge_floor(); }
 
   /// Shard migration: drops every committed version and resets the purge
   /// floor; the key's history continues on the importing server. Returns
@@ -56,24 +108,110 @@ class VersionChain {
 
   /// The newest timestamp whose history has been purged away (see
   /// is_safe_bound); Timestamp::min() when nothing was purged.
-  Timestamp purge_floor() const { return purge_floor_; }
+  Timestamp purge_floor() const {
+    return Timestamp{floor_.load(std::memory_order_acquire)};
+  }
 
   /// Shard migration: adopts the exporting server's purge floor so reads
   /// that would have aborted with kVersionPurged there abort here too.
-  void adopt_purge_floor(Timestamp floor) {
-    purge_floor_ = max(purge_floor_, floor);
-  }
+  void adopt_purge_floor(Timestamp floor);
 
   /// Number of explicit committed versions (excludes the ⊥ sentinel).
-  std::size_t version_count() const { return versions_.size(); }
+  std::size_t version_count() const;
 
-  const std::vector<Version>& versions() const { return versions_; }
+  /// Owned copy of the whole chain, oldest first (migration export,
+  /// stats, tests). Consistent: taken inside one seqlock section.
+  struct Record {
+    Timestamp ts;
+    Value value;
+    TxId writer;
+  };
+  std::vector<Record> snapshot() const;
+
+  /// Test hook: holds the writer lock with the seqlock left *odd*, so
+  /// concurrent readers observe a torn state and must retry. Used by the
+  /// seqlock regression test; never in production code.
+  class DebugWriterHold {
+   public:
+    explicit DebugWriterHold(VersionChain* chain);
+    ~DebugWriterHold();
+    DebugWriterHold(DebugWriterHold&& other) noexcept
+        : chain_(other.chain_) {
+      other.chain_ = nullptr;
+    }
+    DebugWriterHold(const DebugWriterHold&) = delete;
+    DebugWriterHold& operator=(const DebugWriterHold&) = delete;
+    DebugWriterHold& operator=(DebugWriterHold&&) = delete;
+
+   private:
+    VersionChain* chain_;
+  };
+  DebugWriterHold debug_hold_writer() { return DebugWriterHold(this); }
 
  private:
-  static const Version& bottom();
+  /// One committed version. Immutable once published: the append path
+  /// fully initializes a slot before the release store of `size` that
+  /// makes it visible; every other mutation builds a fresh array.
+  struct Slot {
+    static constexpr std::size_t kInlineCap = 24;
 
-  std::vector<Version> versions_;  // sorted by ts ascending
-  Timestamp purge_floor_ = Timestamp::min();
+    std::uint64_t ts_raw;
+    TxId writer;
+    std::uint32_t len;
+    bool inlined;
+    union {
+      char inline_buf[kInlineCap];
+      char* heap;
+    };
+
+    std::string_view view() const {
+      return std::string_view(inlined ? inline_buf : heap, len);
+    }
+  };
+
+  /// Pool-allocated slot array. `size` is the published length: slots
+  /// [0, size) are immutable and readable. Every array owns the heap
+  /// values of its published slots (rebuilds deep-copy values into the
+  /// replacement), so a retired array frees its block and its values
+  /// together once the grace period passes.
+  struct Array {
+    std::uint32_t capacity;
+    std::atomic<std::uint32_t> size;
+    Slot slots[1];  // really `capacity` slots; block is over-allocated
+
+    static Array* create(std::uint32_t capacity);
+    static std::size_t bytes_for(std::uint32_t capacity);
+  };
+
+  static Array* empty_array();
+  static void init_slot(Slot& s, Timestamp ts, std::string_view value,
+                        TxId writer);
+  static void free_slot_value(Slot& s);
+  static void copy_slot_deep(Slot& dst, const Slot& src);
+  static void retire_array(Array* a);
+  static void destroy_array(Array* a);
+  static VersionView make_view(const Slot& s);
+  static VersionView view_before(const Slot* slots, std::uint32_t n,
+                                 Timestamp bound);
+  /// Index of the first slot with ts >= t (== n when none).
+  static std::uint32_t lower_bound_ts(const Slot* slots, std::uint32_t n,
+                                      Timestamp t);
+
+  /// Runs `fn(slots, size, floor)` until a seqlock section completes
+  /// untorn; returns fn's result. Caller must hold an ebr::Guard if the
+  /// result references slot storage.
+  template <typename Fn>
+  auto read_section(Fn&& fn, std::uint32_t* attempts_out = nullptr) const;
+
+  /// Replaces the published array/floor under the writer lock, bumping
+  /// the seqlock around `mutate`.
+  template <typename Fn>
+  void publish(Fn&& mutate);
+
+  std::atomic<Array*> arr_;
+  std::atomic<Timestamp::Rep> floor_{Timestamp::min().raw()};
+  mutable std::atomic<std::uint32_t> seq_{0};
+  SpinLock wmu_;
 };
 
 }  // namespace mvtl

@@ -1,0 +1,114 @@
+#include "common/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace mvtl::ebr {
+namespace {
+
+TEST(EpochTest, RetiredObjectFreedAfterDrain) {
+  std::atomic<int> freed{0};
+  struct Tracked {
+    std::atomic<int>* counter;
+    ~Tracked() { counter->fetch_add(1); }
+  };
+  retire(new Tracked{&freed});
+  EXPECT_TRUE(Collector::instance().drain_for_testing());
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EpochTest, PinnedGuardBlocksReclamation) {
+  // An object retired while a guard is pinned must not be freed until
+  // the guard drops — the collector needs two epoch advances, and no
+  // advance can happen past a pinned thread.
+  std::atomic<int> freed{0};
+  struct Tracked {
+    std::atomic<int>* counter;
+    ~Tracked() { counter->fetch_add(1); }
+  };
+  std::atomic<bool> release{false};
+  std::atomic<bool> pinned{false};
+  std::thread holder([&] {
+    Guard g;
+    pinned.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!pinned.load()) std::this_thread::yield();
+
+  retire(new Tracked{&freed});
+  // Bounded drain attempts cannot reclaim while the holder is pinned.
+  EXPECT_FALSE(Collector::instance().drain_for_testing(8));
+  EXPECT_EQ(freed.load(), 0);
+
+  release.store(true);
+  holder.join();
+  EXPECT_TRUE(Collector::instance().drain_for_testing());
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EpochTest, GuardIsReentrant) {
+  Guard outer;
+  {
+    Guard inner;  // must not deadlock or unpin early
+  }
+  // Still pinned here: retiring + draining with our own guard alive
+  // cannot free (we are the pinned thread). That distinction is covered
+  // by PinnedGuardBlocksReclamation; here we only check no crash.
+  SUCCEED();
+}
+
+TEST(EpochTest, ExitedThreadOrphansAreReclaimed) {
+  // A thread that retires objects and exits must hand its local retire
+  // list to the collector (orphans), not leak it.
+  std::atomic<int> freed{0};
+  struct Tracked {
+    std::atomic<int>* counter;
+    ~Tracked() { counter->fetch_add(1); }
+  };
+  std::thread t([&] {
+    Guard g;
+    retire(new Tracked{&freed});
+  });
+  t.join();
+  EXPECT_TRUE(Collector::instance().drain_for_testing());
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EpochTest, ManyThreadsRetireConcurrently) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::atomic<int> freed{0};
+  struct Tracked {
+    std::atomic<int>* counter;
+    ~Tracked() { counter->fetch_add(1); }
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kPerThread; ++j) {
+        Guard g;
+        retire(new Tracked{&freed});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(Collector::instance().drain_for_testing());
+  EXPECT_EQ(freed.load(), kThreads * kPerThread);
+  EXPECT_EQ(Collector::instance().approx_pending(), 0u);
+}
+
+TEST(EpochTest, GlobalEpochAdvancesUnderChurn) {
+  const uint64_t before = Collector::instance().global_epoch();
+  for (int i = 0; i < 256; ++i) {
+    Guard g;
+    retire(new int(i));
+  }
+  EXPECT_TRUE(Collector::instance().drain_for_testing());
+  EXPECT_GT(Collector::instance().global_epoch(), before);
+}
+
+}  // namespace
+}  // namespace mvtl::ebr

@@ -272,7 +272,10 @@ TEST(LockOpsCommitTest, CommitKeyFreezesAndInstalls) {
   }
   lock_ops::commit_key(ks, 1, ts(7), "v7");
   EXPECT_TRUE(ks.versions.has_version_at(ts(7)));
-  EXPECT_EQ(*ks.versions.latest_before(ts(8)).value, "v7");
+  {
+    ebr::Guard g;
+    EXPECT_EQ(ks.versions.latest_before(ts(8), g).value, "v7");
+  }
   // The commit point is frozen; the rest of the write locks are not.
   const ProbeResult p = ks.locks.probe(2, LockMode::kWrite, iv(5, 10));
   EXPECT_TRUE(p.permanent.contains(ts(7)));

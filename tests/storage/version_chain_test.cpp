@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
 namespace mvtl {
 namespace {
 
@@ -9,9 +14,10 @@ Timestamp ts(std::uint64_t raw) { return Timestamp{raw}; }
 
 TEST(VersionChainTest, EmptyChainResolvesToBottom) {
   VersionChain chain;
-  const auto& v = chain.latest_before(ts(100));
+  ebr::Guard g;
+  const VersionView v = chain.latest_before(ts(100), g);
   EXPECT_EQ(v.ts, Timestamp::min());
-  EXPECT_FALSE(v.value.has_value());
+  EXPECT_FALSE(v.has_value);
   EXPECT_EQ(v.writer, kInvalidTxId);
 }
 
@@ -19,11 +25,12 @@ TEST(VersionChainTest, LatestBeforeIsStrict) {
   VersionChain chain;
   chain.install(ts(5), "a", 1);
   chain.install(ts(9), "b", 2);
-  EXPECT_EQ(chain.latest_before(ts(5)).ts, Timestamp::min());
-  EXPECT_EQ(chain.latest_before(ts(6)).ts, ts(5));
-  EXPECT_EQ(chain.latest_before(ts(9)).ts, ts(5));
-  EXPECT_EQ(chain.latest_before(ts(10)).ts, ts(9));
-  EXPECT_EQ(*chain.latest_before(ts(10)).value, "b");
+  ebr::Guard g;
+  EXPECT_EQ(chain.latest_before(ts(5), g).ts, Timestamp::min());
+  EXPECT_EQ(chain.latest_before(ts(6), g).ts, ts(5));
+  EXPECT_EQ(chain.latest_before(ts(9), g).ts, ts(5));
+  EXPECT_EQ(chain.latest_before(ts(10), g).ts, ts(9));
+  EXPECT_EQ(chain.latest_before(ts(10), g).value, "b");
 }
 
 TEST(VersionChainTest, PaperTimelineExample) {
@@ -31,9 +38,10 @@ TEST(VersionChainTest, PaperTimelineExample) {
   VersionChain chain;
   chain.install(ts(2), "a", 1);
   chain.install(ts(9), "b", 2);
-  const auto& v = chain.latest_before(ts(6));
+  ebr::Guard g;
+  const VersionView v = chain.latest_before(ts(6), g);
   EXPECT_EQ(v.ts, ts(2));
-  EXPECT_EQ(*v.value, "a");
+  EXPECT_EQ(v.value, "a");
 }
 
 TEST(VersionChainTest, OutOfOrderInstallKeepsSorted) {
@@ -41,8 +49,9 @@ TEST(VersionChainTest, OutOfOrderInstallKeepsSorted) {
   chain.install(ts(9), "c", 3);
   chain.install(ts(2), "a", 1);
   chain.install(ts(5), "b", 2);
-  EXPECT_EQ(chain.latest_before(ts(4)).ts, ts(2));
-  EXPECT_EQ(chain.latest_before(ts(8)).ts, ts(5));
+  ebr::Guard g;
+  EXPECT_EQ(chain.latest_before(ts(4), g).ts, ts(2));
+  EXPECT_EQ(chain.latest_before(ts(8), g).ts, ts(5));
   EXPECT_EQ(chain.version_count(), 3u);
 }
 
@@ -56,10 +65,11 @@ TEST(VersionChainTest, HasVersionAt) {
 
 TEST(VersionChainTest, LatestIsNewest) {
   VersionChain chain;
-  EXPECT_EQ(chain.latest().ts, Timestamp::min());
+  ebr::Guard g;
+  EXPECT_EQ(chain.latest(g).ts, Timestamp::min());
   chain.install(ts(4), "x", 1);
   chain.install(ts(7), "y", 2);
-  EXPECT_EQ(chain.latest().ts, ts(7));
+  EXPECT_EQ(chain.latest(g).ts, ts(7));
 }
 
 TEST(VersionChainTest, PurgeKeepsNewestBelowHorizon) {
@@ -71,8 +81,9 @@ TEST(VersionChainTest, PurgeKeepsNewestBelowHorizon) {
   const std::size_t dropped = chain.purge_below(ts(10));
   EXPECT_EQ(dropped, 2u);  // a and b go; c survives as the newest below 10
   EXPECT_EQ(chain.version_count(), 2u);
-  EXPECT_EQ(chain.latest_before(ts(15)).ts, ts(8));
-  EXPECT_EQ(chain.latest_before(ts(25)).ts, ts(20));
+  ebr::Guard g;
+  EXPECT_EQ(chain.latest_before(ts(15), g).ts, ts(8));
+  EXPECT_EQ(chain.latest_before(ts(25), g).ts, ts(20));
 }
 
 TEST(VersionChainTest, PurgeNothingBelowIsNoop) {
@@ -108,11 +119,103 @@ TEST(VersionChainTest, RepeatedPurgeMonotone) {
     chain.install(ts(i * 10), "v", i);
   }
   chain.purge_below(ts(45));
-  EXPECT_EQ(chain.latest_before(ts(50)).ts, ts(40));
+  ebr::Guard g;
+  EXPECT_EQ(chain.latest_before(ts(50), g).ts, ts(40));
   chain.purge_below(ts(85));
-  EXPECT_EQ(chain.latest_before(ts(90)).ts, ts(80));
+  EXPECT_EQ(chain.latest_before(ts(90), g).ts, ts(80));
   EXPECT_FALSE(chain.is_safe_bound(ts(80)));
   EXPECT_EQ(chain.version_count(), 3u);  // 80, 90, 100
+}
+
+TEST(VersionChainTest, LargeValuesSpillOutOfInlineStorage) {
+  VersionChain chain;
+  const std::string big(1000, 'x');
+  const std::string small = "s";
+  chain.install(ts(5), big, 1);
+  chain.install(ts(9), small, 2);
+  ebr::Guard g;
+  EXPECT_EQ(chain.latest_before(ts(6), g).value, big);
+  EXPECT_EQ(chain.latest_before(ts(10), g).value, small);
+  // Force a rebuild (out-of-order install) and re-check the deep copies.
+  chain.install(ts(7), std::string(500, 'y'), 3);
+  EXPECT_EQ(chain.latest_before(ts(6), g).value, big);
+  EXPECT_EQ(chain.latest_before(ts(8), g).value, std::string(500, 'y'));
+}
+
+TEST(VersionChainTest, SnapshotCopiesWholeChainInOrder) {
+  VersionChain chain;
+  chain.install(ts(9), "c", 3);
+  chain.install(ts(2), "a", 1);
+  chain.install(ts(5), std::string(100, 'b'), 2);
+  const auto records = chain.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].ts, ts(2));
+  EXPECT_EQ(records[0].value, "a");
+  EXPECT_EQ(records[1].value, std::string(100, 'b'));
+  EXPECT_EQ(records[2].ts, ts(9));
+  EXPECT_EQ(records[2].writer, 3u);
+}
+
+TEST(VersionChainTest, ResolveAtCombinesSafetyAndResolution) {
+  VersionChain chain;
+  chain.install(ts(2), "a", 1);
+  chain.install(ts(8), "c", 3);
+  ebr::Guard g;
+  VersionChain::Resolved r = chain.resolve_at(ts(9), g);
+  EXPECT_TRUE(r.safe);
+  EXPECT_EQ(r.view.ts, ts(8));
+  EXPECT_GE(r.attempts, 1u);
+
+  chain.install(ts(5), "b", 2);  // rebuild
+  chain.purge_below(ts(9));      // floor rises to 8
+  r = chain.resolve_at(ts(8), g);
+  EXPECT_FALSE(r.safe);
+  r = chain.resolve_at(ts(9), g);
+  EXPECT_TRUE(r.safe);
+  EXPECT_EQ(r.view.ts, ts(8));
+  EXPECT_EQ(r.view.value, "c");
+}
+
+// Regression: a reader that lands inside a writer's seqlock section must
+// retry (never return a torn view). DebugWriterHold pins the chain in
+// the mid-replacement (odd) state; the reader must block until release
+// and report > 1 attempt.
+TEST(VersionChainSeqlockTest, TornReadRetriesUntilWriterFinishes) {
+  VersionChain chain;
+  chain.install(ts(5), "a", 1);
+
+  std::atomic<bool> reader_started{false};
+  std::atomic<bool> reader_done{false};
+  VersionChain::Resolved result;
+
+  std::thread reader;
+  {
+    auto hold = chain.debug_hold_writer();
+    reader = std::thread([&] {
+      ebr::Guard g;
+      reader_started.store(true);
+      result = chain.resolve_at(ts(6), g);  // spins: seq is odd
+      reader_done.store(true);
+    });
+    while (!reader_started.load()) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Still torn: the reader must not have returned a value.
+    EXPECT_FALSE(reader_done.load());
+  }  // hold released: seq becomes even again
+  reader.join();
+  EXPECT_TRUE(reader_done.load());
+  EXPECT_GT(result.attempts, 1u);
+  EXPECT_TRUE(result.safe);
+  EXPECT_EQ(result.view.ts, ts(5));
+  EXPECT_EQ(result.view.value, "a");
+}
+
+TEST(VersionChainSeqlockTest, UntornReadResolvesInOneAttempt) {
+  VersionChain chain;
+  chain.install(ts(5), "a", 1);
+  ebr::Guard g;
+  const VersionChain::Resolved r = chain.resolve_at(ts(6), g);
+  EXPECT_EQ(r.attempts, 1u);
 }
 
 }  // namespace
